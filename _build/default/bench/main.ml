@@ -1,0 +1,135 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (Section 4).  Run all experiments with [dune exec
+   bench/main.exe], or a subset by name:
+
+     dune exec bench/main.exe -- table1 fig14
+
+   Scale knobs (environment):
+     HYPERION_BENCH_N       integer keys per data set   (default 200_000)
+     HYPERION_BENCH_NGRAMS  string keys per data set    (default 100_000)
+     HYPERION_BENCH_BUDGET  fig13 memory budget, bytes  (default 64 MiB)
+
+   [bechamel] runs one Bechamel micro-benchmark per table (put/get kernels
+   for each structure) with confidence intervals. *)
+
+let env_int name default =
+  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+let n_int () = env_int "HYPERION_BENCH_N" 500_000
+let n_str () = env_int "HYPERION_BENCH_NGRAMS" 300_000
+let budget () = env_int "HYPERION_BENCH_BUDGET" (64 * 1024 * 1024)
+
+(* ---- Bechamel micro-kernels: one Test.make per table ---- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let keys =
+    let ds = Workload.Dataset.rand_ints 50_000 in
+    Array.map fst ds.Workload.Dataset.pairs
+  in
+  let skeys =
+    let ds = Workload.Dataset.ngrams_random 20_000 in
+    Array.map fst ds.Workload.Dataset.pairs
+  in
+  let kernel_put name (d : Bench_util.Driver.driver) keys =
+    Test.make_with_resource ~name Test.uniq
+      ~allocate:(fun () -> (Bench_util.Driver.open_instance d, ref 0))
+      ~free:(fun _ -> ())
+      (Staged.stage (fun (inst, i) ->
+           let k = keys.(!i mod Array.length keys) in
+           incr i;
+           Bench_util.Driver.put inst k 1L))
+  in
+  let kernel_get name (d : Bench_util.Driver.driver) keys =
+    Test.make_with_resource ~name Test.uniq
+      ~allocate:(fun () ->
+        let inst = Bench_util.Driver.open_instance d in
+        Array.iter (fun k -> Bench_util.Driver.put inst k 1L) keys;
+        (inst, ref 0))
+      ~free:(fun _ -> ())
+      (Staged.stage (fun (inst, i) ->
+           let k = keys.(!i mod Array.length keys) in
+           incr i;
+           ignore (Bench_util.Driver.get inst k)))
+  in
+  let per_driver make label keys drivers =
+    List.map (fun d -> make (label ^ "/" ^ d.Bench_util.Driver.dname) d keys) drivers
+  in
+  [
+    (* Table 2 kernels: integer keys *)
+    Test.make_grouped ~name:"table2-put"
+      (per_driver kernel_put "int-put" keys
+         (List.filter
+            (fun d -> d.Bench_util.Driver.dname <> "Hyperion_p")
+            (Bench_util.Driver.for_integers ())));
+    Test.make_grouped ~name:"table2-get"
+      (per_driver kernel_get "int-get" keys
+         (List.filter
+            (fun d -> d.Bench_util.Driver.dname <> "Hyperion_p")
+            (Bench_util.Driver.for_integers ())));
+    (* Table 1 kernels: string keys *)
+    Test.make_grouped ~name:"table1-put"
+      (per_driver kernel_put "str-put" skeys (Bench_util.Driver.for_strings ()));
+    Test.make_grouped ~name:"table1-get"
+      (per_driver kernel_get "str-get" skeys (Bench_util.Driver.for_strings ()));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test
+        |> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+             (Instance.monotonic_clock)
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "%-40s %12.1f ns/op\n" name est
+          | _ -> Printf.printf "%-40s (no estimate)\n" name)
+        results)
+    (bechamel_tests ())
+
+let all_experiments =
+  [
+    ("table1", fun () -> Bench_util.Experiments.table1 ~n:(n_str ()));
+    ("table2", fun () -> Bench_util.Experiments.table2 ~n:(n_int ()));
+    ( "table3",
+      fun () ->
+        Bench_util.Experiments.table3 ~n_int:(n_int ()) ~n_str:(n_str ()) );
+    ("fig13", fun () -> Bench_util.Experiments.fig13 ~budget:(budget ()));
+    ("fig14", fun () -> Bench_util.Experiments.fig14 ~n:(n_str ()));
+    ("fig15", fun () -> Bench_util.Experiments.fig15 ~n:(n_int ()));
+    ("fig16", fun () -> Bench_util.Experiments.fig16 ~n:(n_int ()));
+    ( "arenas",
+      fun () -> Bench_util.Experiments.arena_scaling ~n:(max 1 (n_int () / 5)) );
+    ("ablation", fun () -> Bench_util.Experiments.ablation ~n:(n_str ()));
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let selected =
+    match args with
+    | [] -> List.map fst all_experiments
+    | names -> names
+  in
+  List.iter
+    (fun name ->
+      if name = "bechamel" then run_bechamel ()
+      else
+        match List.assoc_opt name all_experiments with
+        | Some f ->
+            f ();
+            flush stdout
+        | None ->
+            Printf.eprintf
+              "unknown experiment %S (known: %s, bechamel)\n" name
+              (String.concat ", " (List.map fst all_experiments));
+            exit 2)
+    selected

@@ -1,0 +1,121 @@
+(* hyperion_cli — interactive / scripted driver for a Hyperion store.
+
+   Subcommands:
+     demo           load the paper's example words and dump the trie stats
+     load-ints N    insert N sequential integers and report density
+     load-ngrams N  insert N synthetic n-grams and report density
+     repl           read commands from stdin:
+                      put <key> <value> | add <key> | get <key>
+                      del <key> | range <start> <limit> | stats | quit *)
+
+open Cmdliner
+
+let make_store () =
+  Hyperion.Store.create
+    ~config:{ Hyperion.Config.strings with chunks_per_bin = 64 }
+    ()
+
+let report store =
+  let st = Hyperion.Store.stats store in
+  Printf.printf "keys           : %d\n" (Hyperion.Store.length store);
+  Printf.printf "resident bytes : %d (%.1f B/key)\n"
+    (Hyperion.Store.memory_usage store)
+    (float_of_int (Hyperion.Store.memory_usage store)
+    /. float_of_int (max 1 (Hyperion.Store.length store)));
+  Printf.printf "containers     : %d (+%d embedded, %d split)\n"
+    st.Hyperion.Stats.containers st.Hyperion.Stats.embedded_containers
+    st.Hyperion.Stats.split_containers;
+  Printf.printf "records        : %d T, %d S, %d delta-encoded\n"
+    st.Hyperion.Stats.t_nodes st.Hyperion.Stats.s_nodes
+    st.Hyperion.Stats.delta_encoded;
+  Printf.printf "path compr.    : %d nodes, %d suffix bytes\n"
+    st.Hyperion.Stats.pc_nodes st.Hyperion.Stats.pc_suffix_bytes
+
+let demo () =
+  let store = make_store () in
+  List.iteri
+    (fun i w -> Hyperion.Store.put store w (Int64.of_int i))
+    [ "a"; "and"; "be"; "by"; "that"; "the"; "to" ];
+  Hyperion.Store.range store (fun k v ->
+      Printf.printf "%-6s -> %s\n" k
+        (match v with Some v -> Int64.to_string v | None -> "(member)");
+      true);
+  report store
+
+let load_ints n =
+  let store = make_store () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    Hyperion.Store.put store (Kvcommon.Key_codec.of_u64 (Int64.of_int i)) (Int64.of_int i)
+  done;
+  Printf.printf "inserted %d sequential integers in %.2fs\n" n
+    (Unix.gettimeofday () -. t0);
+  report store
+
+let load_ngrams n =
+  let store = make_store () in
+  let pairs = Workload.Ngram.generate ~n () in
+  let t0 = Unix.gettimeofday () in
+  Array.iter (fun (k, v) -> Hyperion.Store.put store k v) pairs;
+  Printf.printf "inserted %d n-grams in %.2fs\n" n (Unix.gettimeofday () -. t0);
+  report store
+
+let repl () =
+  let store = make_store () in
+  let rec loop () =
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "quit" ] -> ()
+        | [ "stats" ] ->
+            report store;
+            loop ()
+        | [ "put"; k; v ] ->
+            Hyperion.Store.put store k (Int64.of_string v);
+            loop ()
+        | [ "add"; k ] ->
+            Hyperion.Store.add store k;
+            loop ()
+        | [ "get"; k ] ->
+            (match Hyperion.Store.get store k with
+            | Some v -> Printf.printf "%Ld\n" v
+            | None ->
+                print_endline
+                  (if Hyperion.Store.mem store k then "(member)" else "(nil)"));
+            loop ()
+        | [ "del"; k ] ->
+            Printf.printf "%b\n" (Hyperion.Store.delete store k);
+            loop ()
+        | [ "range"; start; limit ] ->
+            let n = ref (int_of_string limit) in
+            Hyperion.Store.range store ~start (fun k v ->
+                Printf.printf "%s %s\n" k
+                  (match v with Some v -> Int64.to_string v | None -> "-");
+                decr n;
+                !n > 0);
+            loop ()
+        | [ "" ] -> loop ()
+        | _ ->
+            print_endline "put|add|get|del|range|stats|quit";
+            loop ())
+  in
+  loop ()
+
+let n_arg = Arg.(value & pos 0 int 100_000 & info [] ~docv:"N")
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "demo" ~doc:"Paper example words") Term.(const demo $ const ());
+    Cmd.v (Cmd.info "load-ints" ~doc:"Sequential integer load") Term.(const load_ints $ n_arg);
+    Cmd.v (Cmd.info "load-ngrams" ~doc:"Synthetic n-gram load") Term.(const load_ngrams $ n_arg);
+    Cmd.v (Cmd.info "repl" ~doc:"Line-oriented REPL on stdin") Term.(const repl $ const ());
+  ]
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "hyperion_cli" ~version:"1.0.0"
+             ~doc:"Hyperion in-memory search tree CLI")
+          cmds))

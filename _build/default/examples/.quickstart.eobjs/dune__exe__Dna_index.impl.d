@@ -1,0 +1,1 @@
+examples/dna_index.ml: Array Hyperion Int64 Printf String Workload

@@ -1,0 +1,1 @@
+examples/dna_index.mli:

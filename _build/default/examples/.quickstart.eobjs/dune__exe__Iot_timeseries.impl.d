@@ -1,0 +1,1 @@
+examples/iot_timeseries.ml: Array Bytes Hyperion Int64 List Printf String Workload

@@ -1,0 +1,1 @@
+examples/ngram_index.ml: Array Hyperion Int64 Printf String Sys Unix Workload

@@ -1,0 +1,1 @@
+examples/ngram_index.mli:

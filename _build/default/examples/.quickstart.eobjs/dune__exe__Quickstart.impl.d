@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hyperion Int64 Kvcommon Printf

@@ -1,0 +1,51 @@
+(* Quickstart: the Hyperion public API in two minutes.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* A store with default thresholds; bins scaled to a laptop demo (the
+     server default is chunks_per_bin = 4096). *)
+  let store =
+    Hyperion.Store.create
+      ~config:{ Hyperion.Config.default with chunks_per_bin = 64 }
+      ()
+  in
+
+  (* Point operations: arbitrary binary keys, 64-bit values. *)
+  Hyperion.Store.put store "greeting" 1L;
+  Hyperion.Store.put store "greetings" 2L;
+  Hyperion.Store.put store "grove" 3L;
+  assert (Hyperion.Store.get store "greeting" = Some 1L);
+  assert (Hyperion.Store.get store "missing" = None);
+
+  (* Keys can also be stored without a value (set semantics, the paper's
+     type-10 terminals). *)
+  Hyperion.Store.add store "flag";
+  assert (Hyperion.Store.mem store "flag");
+  assert (Hyperion.Store.get store "flag" = None);
+
+  (* Integer keys become binary-comparable strings via Key_codec. *)
+  for i = 0 to 99 do
+    Hyperion.Store.put store (Kvcommon.Key_codec.of_u64 (Int64.of_int i)) (Int64.of_int i)
+  done;
+
+  (* Ordered range queries with a callback; return false to stop. *)
+  print_endline "string keys >= \"g\":";
+  Hyperion.Store.range store ~start:"g" (fun key value ->
+      Printf.printf "  %S -> %s\n" key
+        (match value with Some v -> Int64.to_string v | None -> "(member)");
+      true);
+
+  (* Deletion reclaims container space. *)
+  assert (Hyperion.Store.delete store "grove");
+  assert (not (Hyperion.Store.mem store "grove"));
+
+  (* Introspection: exact allocator-level memory and trie statistics. *)
+  Printf.printf "keys: %d, resident: %d bytes\n"
+    (Hyperion.Store.length store)
+    (Hyperion.Store.memory_usage store);
+  let st = Hyperion.Store.stats store in
+  Printf.printf "containers: %d, delta-encoded records: %d, PC nodes: %d\n"
+    st.Hyperion.Stats.containers st.Hyperion.Stats.delta_encoded
+    st.Hyperion.Stats.pc_nodes;
+  print_endline "quickstart OK"

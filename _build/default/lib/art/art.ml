@@ -1,0 +1,455 @@
+type leaf = { mutable lkey : string; mutable lvalue : int64 }
+
+type node = Leaf of leaf | Inner of inner
+
+and inner = {
+  mutable prefix : string;  (* pessimistic path compression: full prefix *)
+  mutable term : leaf option;  (* key ending exactly at this node *)
+  mutable kind : kind;
+}
+
+and kind =
+  | N4 of small
+  | N16 of small
+  | N48 of { mutable index : Bytes.t; mutable slots : node option array }
+  | N256 of { mutable kids256 : node option array }
+
+and small = { mutable keys : Bytes.t; mutable kids : node option array; mutable n : int }
+
+type t = {
+  mutable root : node option;
+  mutable count : int;
+  mutable key_bytes : int;
+}
+
+let name = "ART"
+
+let create () = { root = None; count = 0; key_bytes = 0 }
+
+(* ---- node-kind helpers ---- *)
+
+
+let find_child inner c =
+  match inner.kind with
+  | N4 s | N16 s ->
+      let rec go i =
+        if i >= s.n then None
+        else if Bytes.get_uint8 s.keys i = c then s.kids.(i)
+        else go (i + 1)
+      in
+      go 0
+  | N48 n ->
+      let slot = Bytes.get_uint8 n.index c in
+      if slot = 0 then None else n.slots.(slot - 1)
+  | N256 n -> n.kids256.(c)
+
+let set_child inner c child =
+  match inner.kind with
+  | N4 s | N16 s ->
+      let rec go i =
+        if i >= s.n then assert false
+        else if Bytes.get_uint8 s.keys i = c then s.kids.(i) <- Some child
+        else go (i + 1)
+      in
+      go 0
+  | N48 n ->
+      let slot = Bytes.get_uint8 n.index c in
+      assert (slot <> 0);
+      n.slots.(slot - 1) <- Some child
+  | N256 n -> n.kids256.(c) <- Some child
+
+let child_count inner =
+  match inner.kind with
+  | N4 s | N16 s -> s.n
+  | N48 n ->
+      let c = ref 0 in
+      Array.iter (fun k -> if k <> None then incr c) n.slots;
+      !c
+  | N256 n ->
+      let c = ref 0 in
+      Array.iter (fun k -> if k <> None then incr c) n.kids256;
+      !c
+
+let new_small cap = { keys = Bytes.make cap '\000'; kids = Array.make cap None; n = 0 }
+
+let new_n4 prefix = { prefix; term = None; kind = N4 (new_small 4) }
+
+(* Grow to the next node size when full (paper Section 2.2). *)
+let grow inner =
+  match inner.kind with
+  | N4 s when s.n >= 4 ->
+      let s' = new_small 16 in
+      Bytes.blit s.keys 0 s'.keys 0 s.n;
+      Array.blit s.kids 0 s'.kids 0 s.n;
+      s'.n <- s.n;
+      inner.kind <- N16 s'
+  | N16 s when s.n >= 16 ->
+      let index = Bytes.make 256 '\000' in
+      let slots = Array.make 48 None in
+      for i = 0 to s.n - 1 do
+        Bytes.set_uint8 index (Bytes.get_uint8 s.keys i) (i + 1);
+        slots.(i) <- s.kids.(i)
+      done;
+      inner.kind <- N48 { index; slots }
+  | N48 n when child_count inner >= 48 ->
+      let kids256 = Array.make 256 None in
+      for c = 0 to 255 do
+        let slot = Bytes.get_uint8 n.index c in
+        if slot <> 0 then kids256.(c) <- n.slots.(slot - 1)
+      done;
+      inner.kind <- N256 { kids256 }
+  | _ -> ()
+
+let add_child inner c child =
+  (match inner.kind with
+  | N4 s when s.n >= 4 -> grow inner
+  | N16 s when s.n >= 16 -> grow inner
+  | N48 _ when child_count inner >= 48 -> grow inner
+  | _ -> ());
+  match inner.kind with
+  | N4 s | N16 s ->
+      (* keep keys sorted for ordered iteration *)
+      let pos = ref s.n in
+      while !pos > 0 && Bytes.get_uint8 s.keys (!pos - 1) > c do
+        Bytes.set_uint8 s.keys !pos (Bytes.get_uint8 s.keys (!pos - 1));
+        s.kids.(!pos) <- s.kids.(!pos - 1);
+        decr pos
+      done;
+      Bytes.set_uint8 s.keys !pos c;
+      s.kids.(!pos) <- Some child;
+      s.n <- s.n + 1
+  | N48 n ->
+      let rec free_slot i = if n.slots.(i) = None then i else free_slot (i + 1) in
+      let slot = free_slot 0 in
+      n.slots.(slot) <- Some child;
+      Bytes.set_uint8 n.index c (slot + 1)
+  | N256 n -> n.kids256.(c) <- Some child
+
+let remove_child inner c =
+  match inner.kind with
+  | N4 s | N16 s ->
+      let rec find i = if Bytes.get_uint8 s.keys i = c then i else find (i + 1) in
+      let i = find 0 in
+      for j = i to s.n - 2 do
+        Bytes.set_uint8 s.keys j (Bytes.get_uint8 s.keys (j + 1));
+        s.kids.(j) <- s.kids.(j + 1)
+      done;
+      s.kids.(s.n - 1) <- None;
+      s.n <- s.n - 1
+  | N48 n ->
+      let slot = Bytes.get_uint8 n.index c in
+      assert (slot <> 0);
+      n.slots.(slot - 1) <- None;
+      Bytes.set_uint8 n.index c 0
+  | N256 n -> n.kids256.(c) <- None
+
+(* Shrink to a smaller node kind on underflow. *)
+let shrink inner =
+  match inner.kind with
+  | N16 s when s.n <= 3 ->
+      let s' = new_small 4 in
+      Bytes.blit s.keys 0 s'.keys 0 s.n;
+      Array.blit s.kids 0 s'.kids 0 s.n;
+      s'.n <- s.n;
+      inner.kind <- N4 s'
+  | N48 n when child_count inner <= 12 ->
+      let s' = new_small 16 in
+      for c = 0 to 255 do
+        let slot = Bytes.get_uint8 n.index c in
+        if slot <> 0 then begin
+          Bytes.set_uint8 s'.keys s'.n c;
+          s'.kids.(s'.n) <- n.slots.(slot - 1);
+          s'.n <- s'.n + 1
+        end
+      done;
+      inner.kind <- N16 s'
+  | N256 n when child_count inner <= 36 ->
+      let index = Bytes.make 256 '\000' in
+      let slots = Array.make 48 None in
+      let next = ref 0 in
+      for c = 0 to 255 do
+        match n.kids256.(c) with
+        | Some k ->
+            slots.(!next) <- Some k;
+            Bytes.set_uint8 index c (!next + 1);
+            incr next
+        | None -> ()
+      done;
+      inner.kind <- N48 { index; slots }
+  | _ -> ()
+
+(* ---- search ---- *)
+
+let common_prefix_len a apos b bpos =
+  let n = min (String.length a - apos) (String.length b - bpos) in
+  let rec go i = if i < n && a.[apos + i] = b.[bpos + i] then go (i + 1) else i in
+  go 0
+
+let rec search node key depth =
+  match node with
+  | Leaf l -> if l.lkey = key then Some l else None
+  | Inner inner ->
+      let plen = String.length inner.prefix in
+      let m = common_prefix_len key depth inner.prefix 0 in
+      if m < plen then None
+      else
+        let depth = depth + plen in
+        if depth = String.length key then inner.term
+        else begin
+          match find_child inner (Char.code key.[depth]) with
+          | Some child -> search child key (depth + 1)
+          | None -> None
+        end
+
+let get t key =
+  match t.root with
+  | None -> None
+  | Some root -> ( match search root key 0 with Some l -> Some l.lvalue | None -> None)
+
+let mem t key = get t key <> None
+
+(* ---- insert ---- *)
+
+let rec insert t parent_set node key value depth =
+  match node with
+  | Leaf l ->
+      if l.lkey = key then l.lvalue <- value
+      else begin
+        (* split: new Node4 covering the common part *)
+        let m = common_prefix_len key depth l.lkey depth in
+        let n4 = new_n4 (String.sub key depth m) in
+        let inner = n4 in
+        let place lf =
+          let k = lf.lkey in
+          if String.length k = depth + m then inner.term <- Some lf
+          else add_child inner (Char.code k.[depth + m]) (Leaf lf)
+        in
+        place l;
+        let nl = { lkey = key; lvalue = value } in
+        place nl;
+        t.count <- t.count + 1;
+        t.key_bytes <- t.key_bytes + String.length key;
+        parent_set (Inner inner)
+      end
+  | Inner inner ->
+      let plen = String.length inner.prefix in
+      let m = common_prefix_len key depth inner.prefix 0 in
+      if m < plen then begin
+        (* prefix mismatch: split the compressed path *)
+        let top = new_n4 (String.sub inner.prefix 0 m) in
+        let rest_first = Char.code inner.prefix.[m] in
+        inner.prefix <- String.sub inner.prefix (m + 1) (plen - m - 1);
+        add_child top rest_first (Inner inner);
+        (if depth + m = String.length key then
+           top.term <- Some { lkey = key; lvalue = value }
+         else
+           add_child top
+             (Char.code key.[depth + m])
+             (Leaf { lkey = key; lvalue = value }));
+        t.count <- t.count + 1;
+        t.key_bytes <- t.key_bytes + String.length key;
+        parent_set (Inner top)
+      end
+      else begin
+        let depth = depth + plen in
+        if depth = String.length key then begin
+          match inner.term with
+          | Some l -> l.lvalue <- value
+          | None ->
+              inner.term <- Some { lkey = key; lvalue = value };
+              t.count <- t.count + 1;
+              t.key_bytes <- t.key_bytes + String.length key
+        end
+        else begin
+          let c = Char.code key.[depth] in
+          match find_child inner c with
+          | Some child ->
+              insert t (fun n -> set_child inner c n) child key value (depth + 1)
+          | None ->
+              add_child inner c (Leaf { lkey = key; lvalue = value });
+              t.count <- t.count + 1;
+              t.key_bytes <- t.key_bytes + String.length key
+        end
+      end
+
+let put t key value =
+  match t.root with
+  | None ->
+      t.root <- Some (Leaf { lkey = key; lvalue = value });
+      t.count <- 1;
+      t.key_bytes <- String.length key
+  | Some root -> insert t (fun n -> t.root <- Some n) root key value 0
+
+(* ---- delete ---- *)
+
+(* Merge a single-child, term-less Node4 into its child (restores path
+   compression after deletions). *)
+let compress inner =
+  match inner.kind with
+  | N4 s when s.n = 1 && inner.term = None -> (
+      let c = Bytes.get_uint8 s.keys 0 in
+      match s.kids.(0) with
+      | Some (Inner child) ->
+          child.prefix <-
+            inner.prefix ^ String.make 1 (Char.chr c) ^ child.prefix;
+          Some (Inner child)
+      | Some (Leaf l) -> Some (Leaf l)
+      | None -> assert false)
+  | N4 s when s.n = 0 -> (
+      match inner.term with Some l -> Some (Leaf l) | None -> None)
+  | _ -> None
+
+let rec remove t parent_set node key depth =
+  match node with
+  | Leaf l ->
+      if l.lkey = key then begin
+        parent_set None;
+        true
+      end
+      else false
+  | Inner inner ->
+      let plen = String.length inner.prefix in
+      let m = common_prefix_len key depth inner.prefix 0 in
+      if m < plen then false
+      else begin
+        let depth = depth + plen in
+        let removed =
+          if depth = String.length key then begin
+            match inner.term with
+            | Some _ ->
+                inner.term <- None;
+                true
+            | None -> false
+          end
+          else begin
+            let c = Char.code key.[depth] in
+            match find_child inner c with
+            | Some child ->
+                remove t
+                  (fun n ->
+                    match n with
+                    | Some n -> set_child inner c n
+                    | None -> remove_child inner c)
+                  child key (depth + 1)
+            | None -> false
+          end
+        in
+        if removed then begin
+          shrink inner;
+          match compress inner with
+          | Some replacement -> parent_set (Some replacement)
+          | None ->
+              if child_count inner = 0 && inner.term = None then parent_set None
+        end;
+        removed
+      end
+
+let delete t key =
+  match t.root with
+  | None -> false
+  | Some root ->
+      let removed =
+        remove t
+          (fun n -> t.root <- n)
+          root key 0
+      in
+      if removed then begin
+        t.count <- t.count - 1;
+        t.key_bytes <- t.key_bytes - String.length key
+      end;
+      removed
+
+(* ---- ordered iteration ---- *)
+
+exception Stop
+
+let iter_children inner f =
+  match inner.kind with
+  | N4 s | N16 s ->
+      for i = 0 to s.n - 1 do
+        match s.kids.(i) with Some k -> f k | None -> ()
+      done
+  | N48 n ->
+      for c = 0 to 255 do
+        let slot = Bytes.get_uint8 n.index c in
+        if slot <> 0 then
+          match n.slots.(slot - 1) with Some k -> f k | None -> ()
+      done
+  | N256 n ->
+      for c = 0 to 255 do
+        match n.kids256.(c) with Some k -> f k | None -> ()
+      done
+
+let range t ?(start = "") f =
+  let rec visit node =
+    match node with
+    | Leaf l ->
+        if String.compare l.lkey start >= 0 && not (f l.lkey (Some l.lvalue))
+        then raise Stop
+    | Inner inner ->
+        (match inner.term with
+        | Some l ->
+            if String.compare l.lkey start >= 0 && not (f l.lkey (Some l.lvalue))
+            then raise Stop
+        | None -> ());
+        iter_children inner visit
+  in
+  match t.root with
+  | None -> ()
+  | Some root -> ( try visit root with Stop -> ())
+
+let length t = t.count
+
+(* ---- memory models (paper Section 4.1) ---- *)
+
+type model = Ext | Leafalloc | Opt
+
+let node_sizes t =
+  let n4 = ref 0 and n16 = ref 0 and n48 = ref 0 and n256 = ref 0 in
+  let prefix_bytes = ref 0 in
+  let rec go = function
+    | Leaf _ -> ()
+    | Inner inner ->
+        prefix_bytes := !prefix_bytes + String.length inner.prefix;
+        (match inner.kind with
+        | N4 _ -> incr n4
+        | N16 _ -> incr n16
+        | N48 _ -> incr n48
+        | N256 _ -> incr n256);
+        iter_children inner go
+  in
+  (match t.root with Some r -> go r | None -> ());
+  (!n4, !n16, !n48, !n256, !prefix_bytes)
+
+let node_histogram t =
+  let n4, n16, n48, n256, _ = node_sizes t in
+  (n4, n16, n48, n256)
+
+let memory_usage_model t model =
+  let n4, n16, n48, n256, _prefix = node_sizes t in
+  (* Leis et al. node sizes: 16-byte header (type, child count, compressed
+     path) plus key and child-pointer arrays. *)
+  let inner_bytes =
+    (n4 * Kvcommon.Mem_model.malloc (16 + 4 + (4 * 8)))
+    + (n16 * Kvcommon.Mem_model.malloc (16 + 16 + (16 * 8)))
+    + (n48 * Kvcommon.Mem_model.malloc (16 + 256 + (48 * 8)))
+    + (n256 * Kvcommon.Mem_model.malloc (16 + (256 * 8)))
+  in
+  match model with
+  | Ext ->
+      (* leaves are tagged pointers into an external k/v array accounted
+         without padding or metadata (paper Section 4.1) *)
+      inner_bytes + (t.count * 8) + t.key_bytes
+  | Leafalloc ->
+      (* libart: art_leaf { void *value; u32 key_len; u8 key[] } per leaf,
+         plus a heap cell for each 8-byte value *)
+      inner_bytes
+      + (t.count * Kvcommon.Mem_model.malloc (8 + 4))
+      + Kvcommon.Mem_model.malloc t.key_bytes
+      + (t.count * Kvcommon.Mem_model.malloc 8)
+  | Opt ->
+      (* theoretical lower bound: values up to 8 bytes stored inside the
+         nodes, keys not materialized (paper's ARTopt) *)
+      inner_bytes + (t.count * 8)
+
+let memory_usage t = memory_usage_model t Ext

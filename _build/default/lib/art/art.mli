@@ -1,0 +1,29 @@
+(** Adaptive Radix Tree (Leis et al., ICDE 2013) — the paper's primary
+    performance competitor.
+
+    A 256-ary radix tree with four adaptive node sizes (Node4, Node16,
+    Node48, Node256), pessimistic path compression (the full compressed
+    prefix is stored), and leaves holding complete keys.  Keys that are
+    proper prefixes of other keys terminate in a per-node terminal leaf,
+    the standard generalization for arbitrary binary keys.
+
+    The SIMD comparison the original uses for Node16 is a linear scan here
+    (DESIGN.md substitutions); the asymptotics and node layouts match.
+
+    Memory accounting offers the paper's three models (Section 4.1):
+    ART (external key/value array, counted without padding), ARTC (libart:
+    one heap allocation per leaf embedding the key), and ARTopt (the
+    theoretical lower bound with up-to-8-byte values inlined into nodes). *)
+
+include Kvcommon.Kv_intf.S
+
+type model = Ext  (** external k/v array: the paper's "ART" *)
+           | Leafalloc  (** per-leaf heap allocations: "ARTC" *)
+           | Opt  (** theoretical inline-value lower bound: "ARTopt" *)
+
+val memory_usage_model : t -> model -> int
+(** {!memory_usage} is [memory_usage_model t Ext]. *)
+
+val node_histogram : t -> int * int * int * int
+(** Counts of (Node4, Node16, Node48, Node256) inner nodes — the paper
+    discusses the Node16->48->256 transition dents in Figure 15. *)

@@ -1,0 +1,1 @@
+lib/bench_util/driver.ml: Art Hashkv Hat Hot Hyperion Judy Kvcommon List Rbtree

@@ -1,0 +1,1 @@
+lib/bench_util/driver.mli: Kvcommon

@@ -1,0 +1,1 @@
+lib/bench_util/experiments.ml: Array Domain Driver Hashtbl Hyperion Kvcommon List Measure Printf String Workload

@@ -1,0 +1,112 @@
+module Make_hyperion (C : sig
+  val name : string
+  val config : Hyperion.Config.t
+end) : Kvcommon.Kv_intf.S = struct
+  type t = Hyperion.Store.t
+
+  let name = C.name
+  let create () = Hyperion.Store.create ~config:C.config ()
+  let put = Hyperion.Store.put
+  let get = Hyperion.Store.get
+  let mem = Hyperion.Store.mem
+  let delete = Hyperion.Store.delete
+  let range = Hyperion.Store.range
+  let length = Hyperion.Store.length
+  let memory_usage = Hyperion.Store.memory_usage
+end
+
+(* Benchmarks run at laptop scale, so the memory manager's bins are scaled
+   down with them (64 chunks per bin instead of 4096) — the same shape of
+   external fragmentation at 1/64 of the granularity; see DESIGN.md. *)
+let bench_cpb = 64
+
+module Hyperion_kv = Make_hyperion (struct
+  let name = "Hyperion"
+  let config = { Hyperion.Config.default with chunks_per_bin = bench_cpb }
+end)
+
+module Hyperion_strings = Make_hyperion (struct
+  let name = "Hyperion"
+  let config = { Hyperion.Config.strings with chunks_per_bin = bench_cpb }
+end)
+
+module Hyperion_p = Make_hyperion (struct
+  let name = "Hyperion_p"
+  let config =
+    { Hyperion.Config.default with preprocess = true; chunks_per_bin = bench_cpb }
+end)
+
+type instance =
+  | Instance :
+      (module Kvcommon.Kv_intf.S with type t = 'a)
+      * 'a
+      * (unit -> (string * int) list)
+      -> instance
+
+type driver = { dname : string; make : unit -> instance }
+
+let open_instance d = d.make ()
+let name (Instance ((module S), _, _)) = S.name
+let put (Instance ((module S), s, _)) k v = S.put s k v
+let get (Instance ((module S), s, _)) k = S.get s k
+let delete (Instance ((module S), s, _)) k = S.delete s k
+let range (Instance ((module S), s, _)) ?start f = S.range s ?start f
+let length (Instance ((module S), s, _)) = S.length s
+let memory_usage (Instance ((module S), s, _)) = S.memory_usage s
+let alt_memories (Instance (_, _, alt)) = alt ()
+
+let driver (type a) dname (module S : Kvcommon.Kv_intf.S with type t = a) =
+  { dname; make = (fun () -> Instance ((module S), S.create (), fun () -> [])) }
+
+(* ART and HOT additionally report the paper's ARTC / ARTopt / HOTopt
+   memory models for the same index. *)
+let art_driver =
+  {
+    dname = "ART";
+    make =
+      (fun () ->
+        let s = Art.create () in
+        Instance
+          ( (module Art),
+            s,
+            fun () ->
+              [
+                ("ARTC", Art.memory_usage_model s Art.Leafalloc);
+                ("ARTopt", Art.memory_usage_model s Art.Opt);
+              ] ));
+  }
+
+let hot_driver =
+  {
+    dname = "HOT";
+    make =
+      (fun () ->
+        let s = Hot.create () in
+        Instance
+          ((module Hot), s, fun () -> [ ("HOTopt", Hot.memory_usage_opt s) ]));
+  }
+
+let for_integers () =
+  [
+    driver "Hyperion" (module Hyperion_kv);
+    driver "Hyperion_p" (module Hyperion_p);
+    driver "Judy" (module Judy);
+    driver "HAT" (module Hat);
+    art_driver;
+    hot_driver;
+    driver "RB-Tree" (module Rbtree);
+    driver "Hash" (module Hashkv);
+  ]
+
+let for_strings () =
+  [
+    driver "Hyperion" (module Hyperion_strings);
+    driver "Judy" (module Judy);
+    driver "HAT" (module Hat);
+    art_driver;
+    hot_driver;
+    driver "RB-Tree" (module Rbtree);
+    driver "Hash" (module Hashkv);
+  ]
+
+let ordered_only = List.filter (fun d -> d.dname <> "Hash")

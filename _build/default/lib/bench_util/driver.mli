@@ -1,0 +1,50 @@
+(** Uniform drivers over every key-value store in the repository, so the
+    benchmark harness can sweep the paper's full comparison set.
+
+    Hyperion appears in up to three rows, as in the paper: plain
+    ("Hyperion"), with key pre-processing ("Hyperion_p", integer keys
+    only), and with the string-tuned 16 KiB ejection limit used
+    transparently for string data sets. *)
+
+module Hyperion_kv : Kvcommon.Kv_intf.S
+(** Hyperion with integer-key defaults (8 KiB ejection limit). *)
+
+module Hyperion_strings : Kvcommon.Kv_intf.S
+(** Hyperion with the paper's string-key configuration. *)
+
+module Hyperion_p : Kvcommon.Kv_intf.S
+(** Hyperion with key pre-processing enabled (keys must be >= 4 bytes). *)
+
+type instance =
+  | Instance :
+      (module Kvcommon.Kv_intf.S with type t = 'a)
+      * 'a
+      * (unit -> (string * int) list)
+      -> instance
+
+type driver = { dname : string; make : unit -> instance }
+
+val open_instance : driver -> instance
+val name : instance -> string
+val put : instance -> string -> int64 -> unit
+val get : instance -> string -> int64 option
+val delete : instance -> string -> bool
+val range : instance -> ?start:string -> (string -> int64 option -> bool) -> unit
+val length : instance -> int
+val memory_usage : instance -> int
+
+val alt_memories : instance -> (string * int) list
+(** Additional memory models for the same index: ARTC/ARTopt for ART and
+    HOTopt for HOT (paper Section 4.1); empty for other structures. *)
+
+val for_integers : unit -> driver list
+(** The paper's integer-key line-up: Hyperion, Hyperion_p, Judy, HAT,
+    ART, HOT, RB-Tree, Hash. *)
+
+val for_strings : unit -> driver list
+(** The string-key line-up (no pre-processing; Hyperion uses the 16 KiB
+    ejection limit). *)
+
+val ordered_only : driver list -> driver list
+(** Drop structures without meaningful ordered iteration (the hash table),
+    as the paper does for range queries. *)

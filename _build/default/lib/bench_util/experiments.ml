@@ -1,0 +1,461 @@
+type kpi_row = {
+  rname : string;
+  puts_mops : float;
+  gets_mops : float;
+  mem_bytes : int;
+  bytes_per_key : float;
+  pm_norm : float;
+}
+
+let pf = Printf.printf
+
+let hr () =
+  pf "%s\n" (String.make 78 '-')
+
+(* (puts + gets per second) / memory footprint — Eq. (5). *)
+let pm_ratio puts gets mem =
+  if mem = 0 then 0.0 else (puts +. gets) *. 1e6 /. float_of_int mem
+
+let kpi_table ~title ~drivers (ds : Workload.Dataset.t) =
+  pf "\n== %s (%d keys) ==\n" title (Array.length ds.pairs);
+  pf "%-12s %9s %9s %12s %8s %6s\n" "" "Puts MOPS" "Gets MOPS" "Mem MiB" "B/key"
+    "P/M";
+  hr ();
+  let n = Array.length ds.pairs in
+  let rows = ref [] in
+  List.iter
+    (fun d ->
+      let inst = Driver.open_instance d in
+      let put_s =
+        Measure.time (fun () ->
+            Array.iter (fun (k, v) -> Driver.put inst k v) ds.pairs)
+      in
+      let misses = ref 0 in
+      let get_s =
+        Measure.time (fun () ->
+            Array.iter
+              (fun (k, _) -> if Driver.get inst k = None then incr misses)
+              ds.pairs)
+      in
+      if !misses > 0 then
+        failwith (Printf.sprintf "%s lost %d keys" d.Driver.dname !misses);
+      let mem = Driver.memory_usage inst in
+      let row =
+        {
+          rname = d.Driver.dname;
+          puts_mops = Measure.mops n put_s;
+          gets_mops = Measure.mops n get_s;
+          mem_bytes = mem;
+          bytes_per_key = Measure.bytes_per_key mem n;
+          pm_norm = pm_ratio (Measure.mops n put_s) (Measure.mops n get_s) mem;
+        }
+      in
+      rows := row :: !rows;
+      (* lower-bound memory-model rows (ARTC / ARTopt / HOTopt) *)
+      List.iter
+        (fun (mname, mbytes) ->
+          rows :=
+            {
+              rname = mname;
+              puts_mops = row.puts_mops;
+              gets_mops = row.gets_mops;
+              mem_bytes = mbytes;
+              bytes_per_key = Measure.bytes_per_key mbytes n;
+              pm_norm = pm_ratio row.puts_mops row.gets_mops mbytes;
+            }
+            :: !rows)
+        (Driver.alt_memories inst))
+    drivers;
+  let rows = List.rev !rows in
+  let hyperion_pm =
+    match List.find_opt (fun r -> r.rname = "Hyperion") rows with
+    | Some r -> r.pm_norm
+    | None -> 1.0
+  in
+  let rows =
+    List.map
+      (fun r ->
+        { r with pm_norm = (if hyperion_pm > 0.0 then r.pm_norm /. hyperion_pm else 0.0) })
+      rows
+  in
+  List.iter
+    (fun r ->
+      let perf_known = not (String.length r.rname > 3 && String.sub r.rname (String.length r.rname - 3) 3 = "opt") in
+      let model_row = r.rname = "ARTC" || not perf_known in
+      if model_row && (r.rname = "ARTopt" || r.rname = "HOTopt") then
+        pf "%-12s %9s %9s %12.1f %8.1f %6s\n" r.rname "" ""
+          (Measure.mib r.mem_bytes) r.bytes_per_key ""
+      else
+        pf "%-12s %9.3f %9.3f %12.1f %8.1f %6.2f\n" r.rname r.puts_mops
+          r.gets_mops (Measure.mib r.mem_bytes) r.bytes_per_key r.pm_norm)
+    rows;
+  flush stdout;
+  rows
+
+(* ---- Table 1: string keys ---- *)
+
+let table1 ~n =
+  let sorted = Workload.Dataset.ngrams_sorted n in
+  let random = Workload.Dataset.shuffled sorted in
+  pf "\n#### Table 1 — string data sets (avg key %.2f B) ####\n"
+    (Workload.Ngram.average_key_length sorted.pairs);
+  ignore
+    (kpi_table ~title:"Sequential (sorted) string keys"
+       ~drivers:(Driver.for_strings ()) sorted);
+  ignore
+    (kpi_table ~title:"Randomized string keys" ~drivers:(Driver.for_strings ())
+       { random with name = "rand-str" })
+
+(* ---- Table 2: integer keys ---- *)
+
+let table2 ~n =
+  pf "\n#### Table 2 — 64-bit integer k/v ####\n";
+  let seq = Workload.Dataset.seq_ints n in
+  let integer_drivers_no_p =
+    List.filter (fun d -> d.Driver.dname <> "Hyperion_p") (Driver.for_integers ())
+  in
+  ignore
+    (kpi_table ~title:"Sequential integer keys" ~drivers:integer_drivers_no_p seq);
+  let rand = Workload.Dataset.rand_ints n in
+  ignore
+    (kpi_table ~title:"Randomized integer keys"
+       ~drivers:(Driver.for_integers ()) rand)
+
+(* ---- Table 3: range queries ---- *)
+
+let range_row inst n =
+  let visited = ref 0 in
+  let secs =
+    Measure.time (fun () ->
+        Driver.range inst (fun _ _ ->
+            incr visited;
+            true))
+  in
+  if !visited <> n then
+    failwith
+      (Printf.sprintf "%s range visited %d of %d" (Driver.name inst) !visited n);
+  secs
+
+let table3 ~n_int ~n_str =
+  pf "\n#### Table 3 — full-index range query duration (seconds) ####\n";
+  pf "%-12s %12s %12s %12s %12s\n" "" "int seq" "int rand" "str seq" "str rand";
+  hr ();
+  let datasets =
+    [
+      (`Int, Workload.Dataset.seq_ints n_int);
+      (`Int, Workload.Dataset.rand_ints n_int);
+      (`Str, Workload.Dataset.ngrams_sorted n_str);
+      (`Str, Workload.Dataset.ngrams_random n_str);
+    ]
+  in
+  (* The paper runs Hyperion_p only on random integers; ART and the hash
+     table are excluded (no ordered iterator in their implementations).
+     Our ART supports ordered traversal, so it stands in for ARTC. *)
+  let names =
+    [ "Hyperion"; "Hyperion_p"; "Judy"; "HAT"; "ART"; "HOT"; "RB-Tree" ]
+  in
+  let results = Hashtbl.create 16 in
+  List.iteri
+    (fun col (kind, ds) ->
+      let drivers =
+        match kind with `Int -> Driver.for_integers () | `Str -> Driver.for_strings ()
+      in
+      List.iter
+        (fun d ->
+          let dn = d.Driver.dname in
+          let applicable =
+            List.mem dn names
+            && (dn <> "Hyperion_p" || (kind = `Int && col = 1))
+          in
+          if applicable then begin
+            let inst = Driver.open_instance d in
+            Array.iter (fun (k, v) -> Driver.put inst k v) ds.Workload.Dataset.pairs;
+            let secs = range_row inst (Array.length ds.Workload.Dataset.pairs) in
+            Hashtbl.replace results (dn, col) secs
+          end)
+        (Driver.ordered_only drivers))
+    datasets;
+  List.iter
+    (fun dn ->
+      let cell col =
+        match Hashtbl.find_opt results (dn, col) with
+        | Some s -> Printf.sprintf "%12.3f" s
+        | None -> Printf.sprintf "%12s" "-"
+      in
+      pf "%-12s %s %s %s %s\n" dn (cell 0) (cell 1) (cell 2) (cell 3))
+    names
+
+(* ---- Figure 13: keys within a memory budget ---- *)
+
+let fill_until_budget (d : Driver.driver) budget next_pair =
+  let inst = Driver.open_instance d in
+  let continue = ref true in
+  while !continue do
+    (match next_pair () with
+    | Some (k, v) -> Driver.put inst k v
+    | None -> continue := false);
+    if Driver.length inst mod 4096 = 0 && Driver.memory_usage inst > budget
+    then continue := false
+  done;
+  Driver.length inst
+
+let fig13 ~budget =
+  pf "\n#### Figure 13 — keys indexable within %.0f MiB ####\n"
+    (Measure.mib budget);
+  pf "%-12s %16s %16s\n" "" "random ints" "seq 3-gram strings";
+  hr ();
+  (* streamed workloads so the data set never bounds the fill *)
+  let int_stream () =
+    let rng = Workload.Mt19937_64.create 777L in
+    fun () ->
+      let v = Workload.Mt19937_64.next_u64 rng in
+      Some (Kvcommon.Key_codec.of_u64 v, v)
+  in
+  let str_stream () =
+    (* sorted stream approximated by a large pre-sorted block *)
+    let ds = Workload.Dataset.ngrams_sorted 400_000 in
+    let i = ref 0 in
+    fun () ->
+      if !i >= Array.length ds.pairs then None
+      else begin
+        let p = ds.pairs.(!i) in
+        incr i;
+        Some p
+      end
+  in
+  let names = [ "Hyperion"; "Hyperion_p"; "Judy"; "HAT"; "ART"; "RB-Tree"; "Hash" ] in
+  List.iter
+    (fun dn ->
+      let ints =
+        match
+          List.find_opt (fun d -> d.Driver.dname = dn) (Driver.for_integers ())
+        with
+        | Some d -> Some (fill_until_budget d budget (int_stream ()))
+        | None -> None
+      in
+      let strs =
+        if dn = "Hyperion_p" then None
+        else
+          match
+            List.find_opt (fun d -> d.Driver.dname = dn) (Driver.for_strings ())
+          with
+          | Some d -> Some (fill_until_budget d budget (str_stream ()))
+          | None -> None
+      in
+      let cell = function
+        | Some v -> Printf.sprintf "%16d" v
+        | None -> Printf.sprintf "%16s" "-"
+      in
+      pf "%-12s %s %s\n" dn (cell ints) (cell strs))
+    names
+
+(* ---- Figures 14 and 16: Hyperion superbin profiles ---- *)
+
+let print_profile label (store : Hyperion.Store.t) =
+  let profile = Hyperion.Store.superbin_profile store in
+  let total_alloc = ref 0 and total_empty = ref 0 in
+  let bytes_alloc = ref 0 and bytes_empty = ref 0 in
+  pf "\n-- %s --\n" label;
+  pf "%4s %10s %12s %12s %14s %14s\n" "SB" "chunk B" "alloc chunks" "empty chunks"
+    "alloc bytes" "empty bytes";
+  Array.iteri
+    (fun i (s : Hyperion.Memman.superbin_stats) ->
+      total_alloc := !total_alloc + s.allocated_chunks;
+      total_empty := !total_empty + s.empty_chunks;
+      bytes_alloc := !bytes_alloc + s.allocated_bytes;
+      bytes_empty := !bytes_empty + s.empty_bytes;
+      if s.allocated_chunks > 0 || s.empty_chunks > 0 then
+        pf "%4d %10d %12d %12d %14d %14d\n" i s.chunk_size s.allocated_chunks
+          s.empty_chunks s.allocated_bytes s.empty_bytes)
+    profile;
+  pf "TOTAL allocated %d chunks / %.2f MiB; empty %d chunks / %.2f MiB\n"
+    !total_alloc (Measure.mib !bytes_alloc) !total_empty
+    (Measure.mib !bytes_empty);
+  flush stdout
+
+let bench_cpb = 64
+
+let fig14 ~n =
+  pf "\n#### Figure 14 — Hyperion memory characteristics, string keys ####\n";
+  let sorted = Workload.Dataset.ngrams_sorted n in
+  let cfg = { Hyperion.Config.strings with chunks_per_bin = bench_cpb } in
+  let s1 = Hyperion.Store.create ~config:cfg () in
+  Array.iter (fun (k, v) -> Hyperion.Store.put s1 k v) sorted.pairs;
+  print_profile "ordered string data set" s1;
+  let random = Workload.Dataset.shuffled sorted in
+  let s2 = Hyperion.Store.create ~config:cfg () in
+  Array.iter (fun (k, v) -> Hyperion.Store.put s2 k v) random.pairs;
+  print_profile "randomized string data set" s2
+
+let fig16 ~n =
+  pf "\n#### Figure 16 — Hyperion vs Hyperion_p allocations, random ints ####\n";
+  let ds = Workload.Dataset.rand_ints n in
+  let plain =
+    Hyperion.Store.create
+      ~config:{ Hyperion.Config.default with chunks_per_bin = bench_cpb }
+      ()
+  in
+  Array.iter (fun (k, v) -> Hyperion.Store.put plain k v) ds.pairs;
+  print_profile "Hyperion" plain;
+  let pp =
+    Hyperion.Store.create
+      ~config:
+        {
+          Hyperion.Config.default with
+          preprocess = true;
+          chunks_per_bin = bench_cpb;
+        }
+      ()
+  in
+  Array.iter (fun (k, v) -> Hyperion.Store.put pp k v) ds.pairs;
+  print_profile "Hyperion_p (pre-processed)" pp;
+  pf "allocated chunks: Hyperion %d vs Hyperion_p %d (paper: factor ~72 fewer)\n"
+    (Hyperion.Store.allocated_chunks plain)
+    (Hyperion.Store.allocated_chunks pp)
+
+(* ---- Figure 15: throughput vs index size ---- *)
+
+let curve ~checkpoints (ds : Workload.Dataset.t) (d : Driver.driver) =
+  let inst = Driver.open_instance d in
+  let n = Array.length ds.pairs in
+  let step = max 1 (n / checkpoints) in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let upto = min n (!i + step) in
+    let secs =
+      Measure.time (fun () ->
+          for j = !i to upto - 1 do
+            let k, v = ds.pairs.(j) in
+            Driver.put inst k v
+          done)
+    in
+    out := (upto, Measure.mops (upto - !i) secs) :: !out;
+    i := upto
+  done;
+  (* gets pass, same checkpointing *)
+  let gets = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let upto = min n (!i + step) in
+    let secs =
+      Measure.time (fun () ->
+          for j = !i to upto - 1 do
+            let k, _ = ds.pairs.(j) in
+            ignore (Driver.get inst k)
+          done)
+    in
+    gets := (upto, Measure.mops (upto - !i) secs) :: !gets;
+    i := upto
+  done;
+  (List.rev !out, List.rev !gets, Driver.memory_usage inst)
+
+let fig15 ~n =
+  pf "\n#### Figure 15 — throughput vs index size (integer keys) ####\n";
+  List.iter
+    (fun (label, ds) ->
+      pf "\n-- %s --\n" label;
+      let drivers =
+        if label = "sequential" then
+          List.filter
+            (fun d -> d.Driver.dname <> "Hyperion_p")
+            (Driver.for_integers ())
+        else Driver.for_integers ()
+      in
+      List.iter
+        (fun d ->
+          let puts, gets, mem = curve ~checkpoints:10 ds d in
+          pf "%-12s puts MOPS:" d.Driver.dname;
+          List.iter (fun (_, m) -> pf " %6.2f" m) puts;
+          pf "\n%-12s gets MOPS:" "";
+          List.iter (fun (_, m) -> pf " %6.2f" m) gets;
+          pf "\n%-12s memory: %.1f MiB\n" "" (Measure.mib mem))
+        drivers)
+    [
+      ("sequential", Workload.Dataset.seq_ints n);
+      ("randomized", Workload.Dataset.rand_ints n);
+    ]
+
+(* ---- Ablations ---- *)
+
+let ablation ~n =
+  pf "\n#### Ablation — Hyperion design choices (random strings, n=%d) ####\n" n;
+  let ds = Workload.Dataset.ngrams_random n in
+  let base = { Hyperion.Config.strings with chunks_per_bin = bench_cpb } in
+  let variants =
+    [
+      ("full", base);
+      ("no-delta", { base with delta_encoding = false });
+      ( "no-jumps",
+        {
+          base with
+          js_threshold = 1_000_000;
+          tnode_jt_threshold = 1_000_000;
+          container_jt_threshold = 1_000_000;
+        } );
+      ("no-split", { base with split_a = Hyperion.Layout.max_container_size });
+      ("no-embed", { base with embedded_max = 9 });
+      ("min-pc", { base with pc_max = 1 });
+    ]
+  in
+  pf "%-12s %9s %9s %12s %8s\n" "" "Puts MOPS" "Gets MOPS" "Mem MiB" "B/key";
+  hr ();
+  List.iter
+    (fun (label, config) ->
+      let s = Hyperion.Store.create ~config () in
+      let put_s =
+        Measure.time (fun () ->
+            Array.iter (fun (k, v) -> Hyperion.Store.put s k v) ds.pairs)
+      in
+      let get_s =
+        Measure.time (fun () ->
+            Array.iter (fun (k, _) -> ignore (Hyperion.Store.get s k)) ds.pairs)
+      in
+      let mem = Hyperion.Store.memory_usage s in
+      let n = Array.length ds.pairs in
+      pf "%-12s %9.3f %9.3f %12.1f %8.1f\n" label (Measure.mops n put_s)
+        (Measure.mops n get_s) (Measure.mib mem)
+        (Measure.bytes_per_key mem n))
+    variants
+
+(* ---- Arena scaling (paper Section 3.2: "they are not optimized yet and
+   only provide limited speed-ups", factors of two to three) ---- *)
+
+let arena_scaling ~n =
+  pf "\n#### Arena scaling — parallel ingest over locked arenas ####\n";
+  pf "(paper: arenas are thread-safe but only give limited speed-ups)\n";
+  let ds = Workload.Dataset.rand_ints n in
+  pf "%-8s %12s %10s\n" "arenas" "domains" "Puts MOPS";
+  hr ();
+  List.iter
+    (fun (arenas, domains) ->
+      let store =
+        Hyperion.Store.create
+          ~config:
+            { Hyperion.Config.default with arenas; chunks_per_bin = bench_cpb }
+          ()
+      in
+      let pairs = ds.Workload.Dataset.pairs in
+      let chunk = Array.length pairs / domains in
+      let worker d () =
+        let lo = d * chunk in
+        let hi = if d = domains - 1 then Array.length pairs else lo + chunk in
+        for i = lo to hi - 1 do
+          let k, v = pairs.(i) in
+          Hyperion.Store.put store k v
+        done
+      in
+      let secs =
+        Measure.time (fun () ->
+            let spawned =
+              List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+            in
+            worker 0 ();
+            List.iter Domain.join spawned)
+      in
+      if Hyperion.Store.length store <> Array.length pairs then
+        failwith "arena scaling lost keys";
+      pf "%-8d %12d %10.3f\n" arenas domains
+        (Measure.mops (Array.length pairs) secs))
+    [ (1, 1); (4, 2); (16, 4); (64, 4); (256, 4) ];
+  flush stdout

@@ -1,0 +1,60 @@
+(** Scaled reproductions of every table and figure in the paper's
+    evaluation (Section 4).  Each function generates its workload, drives
+    the full comparison set, and prints rows/series in the paper's shape;
+    see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+    paper-vs-measured numbers. *)
+
+type kpi_row = {
+  rname : string;
+  puts_mops : float;
+  gets_mops : float;
+  mem_bytes : int;
+  bytes_per_key : float;
+  pm_norm : float;  (** (puts+gets)/memory, normalized to Hyperion *)
+}
+
+val kpi_table :
+  title:string ->
+  drivers:Driver.driver list ->
+  Workload.Dataset.t ->
+  kpi_row list
+(** Insert the whole data set (timed), look every key up in insertion
+    order (timed, as the paper does), read memory, and print one row per
+    structure plus the ARTC/ARTopt/HOTopt memory-model rows. *)
+
+val table1 : n:int -> unit
+(** Table 1: sequential and randomized n-gram string keys. *)
+
+val table2 : n:int -> unit
+(** Table 2: sequential and randomized 64-bit integer k/v (including
+    Hyperion_p on the randomized set). *)
+
+val table3 : n_int:int -> n_str:int -> unit
+(** Table 3: full-index ordered range-query durations for all four data
+    sets (hash table and plain ART excluded, as in the paper). *)
+
+val fig13 : budget:int -> unit
+(** Figure 13: how many keys fit in a fixed memory budget (random
+    integers; sequential n-gram strings). *)
+
+val fig14 : n:int -> unit
+(** Figure 14: Hyperion's per-superbin allocated/empty chunk profile for
+    the ordered vs. randomized string data set. *)
+
+val fig15 : n:int -> unit
+(** Figure 15: put/get throughput vs. index size (checkpointed series)
+    plus the memory-footprint comparison, integer keys. *)
+
+val fig16 : n:int -> unit
+(** Figure 16: Hyperion vs. Hyperion_p per-superbin allocation
+    distribution after random-integer load. *)
+
+val arena_scaling : n:int -> unit
+(** Extension: parallel ingest throughput over 1..256 arenas and 1..4
+    domains (the paper's Section 3.2 claim of thread safety with limited
+    speed-ups). *)
+
+val ablation : n:int -> unit
+(** Extension: Hyperion design-choice ablations (delta encoding is free;
+    disable jump successors/tables, container splitting, embedding and
+    path compression via Config) on random strings. *)

@@ -1,0 +1,10 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let mops n seconds = if seconds <= 0.0 then 0.0 else float_of_int n /. seconds /. 1e6
+let mib bytes = float_of_int bytes /. 1048576.0
+
+let bytes_per_key bytes keys =
+  if keys = 0 then 0.0 else float_of_int bytes /. float_of_int keys

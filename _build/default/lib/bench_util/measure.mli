@@ -1,0 +1,13 @@
+(** Wall-clock measurement helpers for the benchmark harness. *)
+
+val time : (unit -> unit) -> float
+(** Seconds elapsed running the thunk. *)
+
+val mops : int -> float -> float
+(** [mops n seconds] is millions of operations per second. *)
+
+val mib : int -> float
+(** Bytes to MiB. *)
+
+val bytes_per_key : int -> int -> float
+(** [bytes_per_key bytes keys]. *)

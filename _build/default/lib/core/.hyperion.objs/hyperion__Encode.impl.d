@@ -1,0 +1,1 @@
+lib/core/encode.ml: Buffer Bytes Char Hp Node Records Splice String Types

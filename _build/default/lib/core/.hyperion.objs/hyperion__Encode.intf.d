@@ -1,0 +1,1 @@
+lib/core/encode.mli: Bytes Hp Node Types

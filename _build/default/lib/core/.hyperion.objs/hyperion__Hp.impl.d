@@ -1,0 +1,1 @@
+lib/core/hp.ml: Bytes Format Printf

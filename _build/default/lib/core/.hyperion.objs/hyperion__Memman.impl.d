@@ -1,0 +1,1 @@
+lib/core/memman.ml: Array Bitset Bytes Hp List

@@ -1,0 +1,1 @@
+lib/core/memman.mli: Bytes Hp

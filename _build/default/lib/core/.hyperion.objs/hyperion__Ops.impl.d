@@ -1,0 +1,1 @@
+lib/core/ops.ml: Array Bytes Char Config Encode Hp Layout List Memman Node Records Scan Splice String Types

@@ -1,0 +1,1 @@
+lib/core/range.ml: Buffer Bytes Char Hp Memman Node Records String Types

@@ -1,0 +1,1 @@
+lib/core/records.ml: Bytes Hp Layout Node

@@ -1,0 +1,1 @@
+lib/core/records.mli: Bytes

@@ -1,0 +1,1 @@
+lib/core/scan.ml: Bytes Layout Node Records Types

@@ -1,0 +1,1 @@
+lib/core/scan.mli: Records Types

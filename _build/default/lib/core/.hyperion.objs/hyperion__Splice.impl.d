@@ -1,0 +1,1 @@
+lib/core/splice.ml: Bytes Hp Layout List Memman Node Records String Types

@@ -1,0 +1,1 @@
+lib/core/splice.mli: Bytes Hp Types

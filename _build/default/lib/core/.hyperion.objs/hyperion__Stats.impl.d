@@ -1,0 +1,1 @@
+lib/core/stats.ml: Bytes Hp Layout Memman Node Records Types

@@ -1,0 +1,1 @@
+lib/core/store.ml: Array Char Config Fun Hp Memman Mutex Ops Option Preprocess Range Stats String Types

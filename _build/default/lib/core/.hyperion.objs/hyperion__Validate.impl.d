@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Bytes Format Hp Layout List Memman Node Printf Records Store Types

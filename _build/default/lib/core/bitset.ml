@@ -1,0 +1,69 @@
+let word_bits = 63
+
+type t = {
+  words : int array;
+  n : int;
+  mutable set_count : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Array.make ((n + word_bits - 1) / word_bits) 0; n; set_count = 0 }
+
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let set t i =
+  check t i;
+  let w = i / word_bits and b = i mod word_bits in
+  if t.words.(w) land (1 lsl b) = 0 then begin
+    t.words.(w) <- t.words.(w) lor (1 lsl b);
+    t.set_count <- t.set_count + 1
+  end
+
+let clear t i =
+  check t i;
+  let w = i / word_bits and b = i mod word_bits in
+  if t.words.(w) land (1 lsl b) <> 0 then begin
+    t.words.(w) <- t.words.(w) land lnot (1 lsl b);
+    t.set_count <- t.set_count - 1
+  end
+
+let count_set t = t.set_count
+
+let full_word = (1 lsl word_bits) - 1
+
+let find_clear t =
+  let nw = Array.length t.words in
+  let rec scan_word w =
+    if w >= nw then None
+    else if t.words.(w) = full_word then scan_word (w + 1)
+    else
+      let base = w * word_bits in
+      let rec scan_bit b =
+        if b >= word_bits then scan_word (w + 1)
+        else
+          let i = base + b in
+          if i >= t.n then None
+          else if t.words.(w) land (1 lsl b) = 0 then Some i
+          else scan_bit (b + 1)
+      in
+      scan_bit 0
+  in
+  scan_word 0
+
+let find_clear_run t k =
+  if k <= 0 then invalid_arg "Bitset.find_clear_run";
+  let rec scan i run_start run_len =
+    if run_len = k then Some run_start
+    else if i >= t.n then None
+    else if mem t i then scan (i + 1) (i + 1) 0
+    else scan (i + 1) run_start (run_len + 1)
+  in
+  scan 0 0 0

@@ -1,0 +1,27 @@
+(** Fixed-size bit sets used by the memory manager's bins and metabins to
+    distinguish used from free chunks (paper Section 3.2: "Bins use a 4,096
+    bit array to distinguish used from free chunks").
+
+    The paper scans these bitmaps with SIMD instructions; here a word-wise
+    scan provides the same behaviour (see DESIGN.md substitutions). *)
+
+type t
+
+val create : int -> t
+(** [create n] is a set over indices [0 .. n-1], all clear. *)
+
+val length : t -> int
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+
+val count_set : t -> int
+(** Number of set bits (O(1), maintained incrementally). *)
+
+val find_clear : t -> int option
+(** Lowest clear index, if any. *)
+
+val find_clear_run : t -> int -> int option
+(** [find_clear_run t k] is the lowest index starting a run of [k]
+    consecutive clear bits, if one exists (used to place chained extended
+    bins in eight consecutive chunks). *)

@@ -1,0 +1,56 @@
+type t = {
+  embedded_eject_parent_limit : int;
+  embedded_max : int;
+  pc_max : int;
+  js_threshold : int;
+  tnode_jt_threshold : int;
+  container_jt_threshold : int;
+  split_a : int;
+  split_b : int;
+  split_min_piece : int;
+  chunks_per_bin : int;
+  arenas : int;
+  preprocess : bool;
+  delta_encoding : bool;
+}
+
+let default =
+  {
+    embedded_eject_parent_limit = 8 * 1024;
+    embedded_max = 256;
+    pc_max = 127;
+    js_threshold = 2;
+    tnode_jt_threshold = 16;
+    container_jt_threshold = 8;
+    split_a = 16 * 1024;
+    split_b = 64 * 1024;
+    split_min_piece = 3 * 1024;
+    chunks_per_bin = 4096;
+    arenas = 1;
+    preprocess = false;
+    delta_encoding = true;
+  }
+
+let strings = { default with embedded_eject_parent_limit = 16 * 1024 }
+
+let validate c =
+  let check cond msg = if not cond then invalid_arg ("Config: " ^ msg) in
+  check (c.embedded_max > 8 && c.embedded_max <= 256)
+    "embedded_max must be in (8, 256]";
+  check (c.pc_max >= 1 && c.pc_max <= 127) "pc_max must be in [1, 127]";
+  check (c.embedded_eject_parent_limit >= 64)
+    "embedded_eject_parent_limit must be >= 64";
+  check (c.js_threshold >= 1) "js_threshold must be >= 1";
+  check (c.tnode_jt_threshold >= 2) "tnode_jt_threshold must be >= 2";
+  check
+    (c.js_threshold <= c.tnode_jt_threshold)
+    "js_threshold must not exceed tnode_jt_threshold (jump successors are \
+     added before jump tables)";
+  check (c.container_jt_threshold >= 1) "container_jt_threshold must be >= 1";
+  check (c.split_a >= 256) "split_a must be >= 256";
+  check (c.split_b >= 0) "split_b must be >= 0";
+  check (c.split_min_piece >= 0) "split_min_piece must be >= 0";
+  check (c.chunks_per_bin >= 64 && c.chunks_per_bin <= 4096)
+    "chunks_per_bin must be in [64, 4096]";
+  check (c.chunks_per_bin mod 64 = 0) "chunks_per_bin must be a multiple of 64";
+  check (c.arenas >= 1 && c.arenas <= 256) "arenas must be in [1, 256]"

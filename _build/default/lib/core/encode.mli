@@ -1,0 +1,58 @@
+(** Pure builders for record byte fragments and for the child encodings of
+    key suffixes: path-compressed nodes, (recursively) embedded containers
+    and real child containers (paper Section 3.1).
+
+    The builders apply delta encoding whenever the gap to the preceding
+    sibling fits the 3-bit delta field (Section 3.3). *)
+
+val delta_for : prev_key:int -> key:int -> int
+(** The delta to store: [key - prev_key] when [prev_key >= 0] and the gap
+    is in [1, 7], else 0 (explicit key byte). *)
+
+val t_record :
+  prev_key:int -> key:int -> typ:Node.typ -> value:int64 option -> string
+(** A fresh T-node record head (no jump successor / jump table).  [value]
+    must be [Some] iff [typ] is [Leaf_value]. *)
+
+val s_record :
+  prev_key:int ->
+  key:int ->
+  typ:Node.typ ->
+  value:int64 option ->
+  child:Node.child ->
+  string
+(** A fresh S-node record head; the child body is appended by the caller. *)
+
+val pc_body : string -> int64 option -> string
+(** Path-compressed child body for a suffix of length in [1, 127]. *)
+
+val hp_body : Hp.t -> string
+(** 5-byte HP child body. *)
+
+val re_encode_head : Bytes.t -> int -> key:int -> new_prev:int -> string * int
+(** [re_encode_head buf pos ~key ~new_prev] re-encodes the flag/key
+    fragment of the record at [pos] (whose decoded key byte is [key])
+    against a new preceding sibling ([-1] = none): returns the replacement
+    fragment and the size difference vs. the old fragment (-1, 0 or +1).
+    Used when inserting or removing a sibling changes a record's
+    predecessor. *)
+
+val head_frag_size : int -> int
+(** Size of a record's flag/key fragment for a given flag byte (1 or 2). *)
+
+val make_child :
+  ?dry:bool -> Types.trie -> string -> int64 option -> Node.child * string
+(** [make_child trie suffix value] encodes a child holding the whole
+    [suffix] (length >= 1) terminating with [value]: a path-compressed
+    node when the suffix fits, otherwise an embedded container (recursing),
+    otherwise a real container chain allocated through the trie's memory
+    manager (returning a 5-byte HP body).  With [~dry:true] no container is
+    allocated but the returned body has the exact final length — used to
+    size an insertion before committing to it. *)
+
+val value_string : int64 -> string
+(** 8-byte little-endian encoding of a value. *)
+
+val region_for : Types.trie -> string -> int64 option -> string
+(** Full region content (a T record, optionally with an S record and child)
+    indexing exactly one key [suffix] (length >= 1). *)

@@ -1,0 +1,53 @@
+type t = int
+
+(* Bit layout, least significant first: chunk(12) bin(8) metabin(14)
+   superbin(6) — 40 bits total (Figure 9). *)
+let chunk_bits = 12
+let bin_bits = 8
+let metabin_bits = 14
+let superbin_bits = 6
+let bin_shift = chunk_bits
+let metabin_shift = bin_shift + bin_bits
+let superbin_shift = metabin_shift + metabin_bits
+
+let null = 0
+let is_null hp = hp = 0
+
+let make ~superbin ~metabin ~bin ~chunk =
+  let check v bits name =
+    if v < 0 || v >= 1 lsl bits then
+      invalid_arg (Printf.sprintf "Hp.make: %s=%d out of %d-bit range" name v bits)
+  in
+  check superbin superbin_bits "superbin";
+  check metabin metabin_bits "metabin";
+  check bin bin_bits "bin";
+  check chunk chunk_bits "chunk";
+  (superbin lsl superbin_shift)
+  lor (metabin lsl metabin_shift)
+  lor (bin lsl bin_shift)
+  lor chunk
+
+let superbin hp = (hp lsr superbin_shift) land ((1 lsl superbin_bits) - 1)
+let metabin hp = (hp lsr metabin_shift) land ((1 lsl metabin_bits) - 1)
+let bin hp = (hp lsr bin_shift) land ((1 lsl bin_bits) - 1)
+let chunk hp = hp land ((1 lsl chunk_bits) - 1)
+
+let byte_size = 5
+
+let write buf off hp =
+  Bytes.set_uint8 buf off (hp land 0xff);
+  Bytes.set_uint8 buf (off + 1) ((hp lsr 8) land 0xff);
+  Bytes.set_uint8 buf (off + 2) ((hp lsr 16) land 0xff);
+  Bytes.set_uint8 buf (off + 3) ((hp lsr 24) land 0xff);
+  Bytes.set_uint8 buf (off + 4) ((hp lsr 32) land 0xff)
+
+let read buf off =
+  Bytes.get_uint8 buf off
+  lor (Bytes.get_uint8 buf (off + 1) lsl 8)
+  lor (Bytes.get_uint8 buf (off + 2) lsl 16)
+  lor (Bytes.get_uint8 buf (off + 3) lsl 24)
+  lor (Bytes.get_uint8 buf (off + 4) lsl 32)
+
+let pp fmt hp =
+  Format.fprintf fmt "%d.%d.%d.%d" (superbin hp) (metabin hp) (bin hp)
+    (chunk hp)

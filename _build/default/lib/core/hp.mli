@@ -1,0 +1,39 @@
+(** Hyperion Pointers (paper Section 3.2, Figure 9).
+
+    A Hyperion Pointer (HP) is the 5-byte handle the trie stores instead of
+    an 8-byte virtual-memory pointer.  Its 40 bits name a chunk through the
+    memory-manager hierarchy: superbin (6 bits), metabin (14 bits), bin
+    (8 bits), chunk (12 bits).  HPs fully decouple the trie from virtual
+    memory: the memory manager is free to move chunks.
+
+    Represented as a non-negative OCaml [int]; the all-zero HP is the null
+    pointer (the memory manager never hands out superbin 0 / metabin 0 /
+    bin 0 / chunk 0). *)
+
+type t = int
+
+val null : t
+(** The null Hyperion Pointer (all 40 bits zero). *)
+
+val is_null : t -> bool
+
+val make : superbin:int -> metabin:int -> bin:int -> chunk:int -> t
+(** Pack the four hierarchy indices.  @raise Invalid_argument if any index
+    exceeds its field width. *)
+
+val superbin : t -> int
+val metabin : t -> int
+val bin : t -> int
+val chunk : t -> int
+
+val byte_size : int
+(** Bytes an HP occupies inside a container: 5. *)
+
+val write : Bytes.t -> int -> t -> unit
+(** [write buf off hp] stores the 5-byte little-endian representation. *)
+
+val read : Bytes.t -> int -> t
+(** [read buf off] decodes an HP previously stored with {!write}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: [sb.mb.bin.chunk]. *)

@@ -1,0 +1,70 @@
+(** Container header and container jump-table codec (paper Figures 3
+    and 11, Section 3.3).
+
+    A top-level container is laid out as:
+    {v
+    [4-byte header][container jump table: J*7 entries x 4 bytes][records...][zeroed free tail]
+    v}
+    The header packs (little-endian 32-bit word): size (19 bits, total
+    allocated bytes), free (8 bits, zeroed bytes at the end), J (3 bits,
+    jump-table size in 7-entry steps), S (2 bits, split delay).
+
+    A container jump-table entry is 4 bytes: the target T-node's key (u8)
+    and its offset from the container base (u24 little-endian); offset 0
+    marks an unused/invalidated entry.
+
+    An embedded container has a 1-byte header holding its total size
+    including the header itself. *)
+
+val header_size : int
+(** 4. *)
+
+val max_container_size : int
+(** 2^19 - 1, the largest encodable container size. *)
+
+val read_size : Bytes.t -> int -> int
+val read_free : Bytes.t -> int -> int
+val read_jump_levels : Bytes.t -> int -> int
+(** The J field (0..7); the jump table holds [7 * J] entries. *)
+
+val read_split_delay : Bytes.t -> int -> int
+
+val write_header :
+  Bytes.t -> int -> size:int -> free:int -> jump_levels:int -> split_delay:int -> unit
+
+val set_size : Bytes.t -> int -> int -> unit
+val set_free : Bytes.t -> int -> int -> unit
+val set_jump_levels : Bytes.t -> int -> int -> unit
+val set_split_delay : Bytes.t -> int -> int -> unit
+
+val jt_entry_size : int
+(** 4. *)
+
+val jt_count : Bytes.t -> int -> int
+(** Number of jump-table entries ([7 * J]). *)
+
+val jt_area_size : Bytes.t -> int -> int
+(** Bytes occupied by the jump table. *)
+
+val payload_start : Bytes.t -> int -> int
+(** Offset (relative to the container base) of the first record: header
+    plus jump-table area. *)
+
+val content_end : Bytes.t -> int -> int
+(** Offset (relative to the container base) one past the last record byte:
+    [size - free]. *)
+
+val jt_read : Bytes.t -> int -> int -> int * int
+(** [jt_read buf base i] is entry [i] as [(key, offset)]; [offset] is
+    relative to the container base, 0 when unused. *)
+
+val jt_write : Bytes.t -> int -> int -> key:int -> off:int -> unit
+
+val emb_header_size : int
+(** 1. *)
+
+val emb_total_size : Bytes.t -> int -> int
+(** Total size of an embedded container whose header byte is at the given
+    position (includes the header byte). *)
+
+val set_emb_total_size : Bytes.t -> int -> int -> unit

@@ -1,0 +1,549 @@
+let small_max = 2016
+let ceb_slots = 8
+let bins_per_metabin = 256
+let max_metabins = 1 lsl 14
+let ehp_chunk_bytes = 16 (* paper: extended bins have a size of 16 bytes *)
+
+let round_up n step = (n + step - 1) / step * step
+
+let size_class n =
+  if n <= 0 then invalid_arg "Memman.size_class: non-positive request"
+  else if n <= small_max then round_up n 32
+  else if n <= 8 * 1024 then round_up n 256
+  else if n <= 16 * 1024 then round_up n 1024
+  else round_up n 4096
+
+(* ---- small superbins (1..63): flat segments of fixed-size chunks ---- *)
+
+type sbin = { seg : Bytes.t; used : Bitset.t }
+
+type 'bin metabin = {
+  bins : 'bin option array;
+  no_room : Bitset.t;
+      (* bit set = bin is uninitialized or full; clear = has a free chunk *)
+  mutable initialized : int;
+}
+
+type 'bin superbin = {
+  mutable metabins : 'bin metabin option array;
+  mutable metabin_count : int;
+  mutable nonfull : int list; (* sorted metabin ids that can still allocate *)
+}
+
+(* ---- superbin 0: extended bins ---- *)
+
+type ekind = Efree | Eplain | Echain_head | Echain_member | Ereserved
+
+type ehp = {
+  mutable mem : Bytes.t;
+  mutable cap : int;
+  mutable requested : int;
+  mutable kind : ekind;
+}
+
+type ebin = { recs : ehp array; eused : Bitset.t }
+
+type t = {
+  cpb : int; (* chunks per bin *)
+  small : sbin superbin array; (* index 0 unused; 1..63 *)
+  ext : ebin superbin;
+}
+
+let new_superbin () = { metabins = Array.make 8 None; metabin_count = 0; nonfull = [] }
+
+let create ?(chunks_per_bin = 4096) () =
+  if
+    chunks_per_bin < 64 || chunks_per_bin > 4096
+    || chunks_per_bin mod 64 <> 0
+  then invalid_arg "Memman.create: chunks_per_bin must be a multiple of 64 in [64,4096]";
+  let t =
+    {
+      cpb = chunks_per_bin;
+      small = Array.init 64 (fun _ -> new_superbin ());
+      ext = new_superbin ();
+    }
+  in
+  t
+
+let rec insert_sorted x = function
+  | [] -> [ x ]
+  | y :: tl as l ->
+      if x < y then x :: l else if x = y then l else y :: insert_sorted x tl
+
+let new_metabin () =
+  let no_room = Bitset.create bins_per_metabin in
+  for i = 0 to bins_per_metabin - 1 do
+    Bitset.set no_room i
+  done;
+  { bins = Array.make bins_per_metabin None; no_room; initialized = 0 }
+
+let grow_metabins sb mb_id =
+  let len = Array.length sb.metabins in
+  if mb_id >= len then begin
+    let bigger = Array.make (max (2 * len) (mb_id + 1)) None in
+    Array.blit sb.metabins 0 bigger 0 len;
+    sb.metabins <- bigger
+  end
+
+(* Fetch (creating on demand) a metabin that can still allocate. *)
+let nonfull_metabin sb =
+  match sb.nonfull with
+  | mb_id :: _ -> (
+      match sb.metabins.(mb_id) with
+      | Some mb -> (mb_id, mb)
+      | None -> assert false)
+  | [] ->
+      let mb_id = sb.metabin_count in
+      if mb_id >= max_metabins then failwith "Memman: superbin exhausted";
+      grow_metabins sb mb_id;
+      let mb = new_metabin () in
+      sb.metabins.(mb_id) <- Some mb;
+      sb.metabin_count <- mb_id + 1;
+      sb.nonfull <- insert_sorted mb_id sb.nonfull;
+      (mb_id, mb)
+
+let metabin_can_allocate mb =
+  mb.initialized < bins_per_metabin
+  || Bitset.count_set mb.no_room < bins_per_metabin
+
+let after_alloc_bookkeeping sb mb_id mb bin_id bin_full =
+  if bin_full then Bitset.set mb.no_room bin_id;
+  if not (metabin_can_allocate mb) then
+    sb.nonfull <- List.filter (fun id -> id <> mb_id) sb.nonfull
+
+let after_free_bookkeeping sb mb_id mb bin_id =
+  Bitset.clear mb.no_room bin_id;
+  sb.nonfull <- insert_sorted mb_id sb.nonfull
+
+(* Pick a bin with a free chunk in [mb], initializing a fresh bin when all
+   initialized ones are full.  [init] creates the bin payload. *)
+let pick_bin mb ~init =
+  match Bitset.find_clear mb.no_room with
+  | Some bin_id -> (
+      match mb.bins.(bin_id) with
+      | Some bin -> (bin_id, bin)
+      | None -> assert false)
+  | None ->
+      assert (mb.initialized < bins_per_metabin);
+      let bin_id = mb.initialized in
+      let bin = init () in
+      mb.bins.(bin_id) <- Some bin;
+      mb.initialized <- mb.initialized + 1;
+      Bitset.clear mb.no_room bin_id;
+      (bin_id, bin)
+
+(* ---- small-chunk paths ---- *)
+
+let small_chunk_size sb_id = 32 * sb_id
+
+let small_alloc t sb_id =
+  let sb = t.small.(sb_id) in
+  let chunk_size = small_chunk_size sb_id in
+  let mb_id, mb = nonfull_metabin sb in
+  let init () =
+    { seg = Bytes.make (t.cpb * chunk_size) '\000'; used = Bitset.create t.cpb }
+  in
+  let bin_id, bin = pick_bin mb ~init in
+  let chunk =
+    match Bitset.find_clear bin.used with
+    | Some c -> c
+    | None -> assert false
+  in
+  Bitset.set bin.used chunk;
+  Bytes.fill bin.seg (chunk * chunk_size) chunk_size '\000';
+  after_alloc_bookkeeping sb mb_id mb bin_id
+    (Bitset.count_set bin.used = t.cpb);
+  Hp.make ~superbin:sb_id ~metabin:mb_id ~bin:bin_id ~chunk
+
+let small_bin t hp =
+  let sb = t.small.(Hp.superbin hp) in
+  match sb.metabins.(Hp.metabin hp) with
+  | Some mb -> (
+      match mb.bins.(Hp.bin hp) with
+      | Some bin -> bin
+      | None -> invalid_arg "Memman: dangling HP (bin)")
+  | None -> invalid_arg "Memman: dangling HP (metabin)"
+
+let small_free t hp =
+  let sb_id = Hp.superbin hp in
+  let sb = t.small.(sb_id) in
+  let bin = small_bin t hp in
+  if not (Bitset.mem bin.used (Hp.chunk hp)) then
+    invalid_arg "Memman.free: double free";
+  Bitset.clear bin.used (Hp.chunk hp);
+  match sb.metabins.(Hp.metabin hp) with
+  | Some mb -> after_free_bookkeeping sb (Hp.metabin hp) mb (Hp.bin hp)
+  | None -> assert false
+
+(* ---- extended-bin paths ---- *)
+
+let fresh_ehp () = { mem = Bytes.empty; cap = 0; requested = 0; kind = Efree }
+
+let ebin_init t () =
+  let recs = Array.init t.cpb (fun _ -> fresh_ehp ()) in
+  { recs; eused = Bitset.create t.cpb }
+
+(* Reserve chunk (0,0,0,0) so that the null HP never denotes live memory. *)
+let reserve_null bin mb_id bin_id chunk =
+  if mb_id = 0 && bin_id = 0 && chunk = 0 then begin
+    bin.recs.(0).kind <- Ereserved;
+    Bitset.set bin.eused 0;
+    true
+  end
+  else false
+
+let ext_alloc t requested =
+  let sb = t.ext in
+  let cap = size_class requested in
+  let rec attempt () =
+    let mb_id, mb = nonfull_metabin sb in
+    let bin_id, bin = pick_bin mb ~init:(ebin_init t) in
+    let chunk =
+      match Bitset.find_clear bin.eused with
+      | Some c -> c
+      | None -> assert false
+    in
+    if reserve_null bin mb_id bin_id chunk then begin
+      after_alloc_bookkeeping sb mb_id mb bin_id
+        (Bitset.count_set bin.eused = t.cpb);
+      attempt ()
+    end
+    else begin
+      Bitset.set bin.eused chunk;
+      let r = bin.recs.(chunk) in
+      r.mem <- Bytes.make cap '\000';
+      r.cap <- cap;
+      r.requested <- requested;
+      r.kind <- Eplain;
+      after_alloc_bookkeeping sb mb_id mb bin_id
+        (Bitset.count_set bin.eused = t.cpb);
+      Hp.make ~superbin:0 ~metabin:mb_id ~bin:bin_id ~chunk
+    end
+  in
+  attempt ()
+
+let ext_bin t hp =
+  let sb = t.ext in
+  match sb.metabins.(Hp.metabin hp) with
+  | Some mb -> (
+      match mb.bins.(Hp.bin hp) with
+      | Some bin -> bin
+      | None -> invalid_arg "Memman: dangling HP (ext bin)")
+  | None -> invalid_arg "Memman: dangling HP (ext metabin)"
+
+let ext_rec t hp =
+  let bin = ext_bin t hp in
+  bin.recs.(Hp.chunk hp)
+
+let reset_ehp r =
+  r.mem <- Bytes.empty;
+  r.cap <- 0;
+  r.requested <- 0;
+  r.kind <- Efree
+
+let ext_free_chunk t hp chunk =
+  let sb = t.ext in
+  let bin = ext_bin t hp in
+  if not (Bitset.mem bin.eused chunk) then invalid_arg "Memman.free: double free";
+  reset_ehp bin.recs.(chunk);
+  Bitset.clear bin.eused chunk;
+  match sb.metabins.(Hp.metabin hp) with
+  | Some mb -> after_free_bookkeeping sb (Hp.metabin hp) mb (Hp.bin hp)
+  | None -> assert false
+
+(* ---- public plain API ---- *)
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Memman.alloc: non-positive size";
+  if n <= small_max then small_alloc t ((n + 31) / 32) else ext_alloc t n
+
+let is_chained t hp =
+  (not (Hp.is_null hp))
+  && Hp.superbin hp = 0
+  && (ext_rec t hp).kind = Echain_head
+
+let free t hp =
+  if Hp.is_null hp then invalid_arg "Memman.free: null HP";
+  if Hp.superbin hp > 0 then small_free t hp
+  else
+    let r = ext_rec t hp in
+    match r.kind with
+    | Eplain -> ext_free_chunk t hp (Hp.chunk hp)
+    | Echain_head ->
+        let head = Hp.chunk hp in
+        for i = 0 to ceb_slots - 1 do
+          ext_free_chunk t hp (head + i)
+        done
+    | Efree | Ereserved -> invalid_arg "Memman.free: not allocated"
+    | Echain_member -> invalid_arg "Memman.free: HP names a chained member"
+
+let capacity t hp =
+  if Hp.is_null hp then invalid_arg "Memman.capacity: null HP";
+  if Hp.superbin hp > 0 then small_chunk_size (Hp.superbin hp)
+  else
+    let r = ext_rec t hp in
+    match r.kind with
+    | Eplain -> r.cap
+    | _ -> invalid_arg "Memman.capacity: not a plain allocation"
+
+let resolve t hp =
+  if Hp.is_null hp then invalid_arg "Memman.resolve: null HP";
+  let sb_id = Hp.superbin hp in
+  if sb_id > 0 then
+    let bin = small_bin t hp in
+    (bin.seg, Hp.chunk hp * small_chunk_size sb_id)
+  else
+    let r = ext_rec t hp in
+    match r.kind with
+    | Eplain -> (r.mem, 0)
+    | _ -> invalid_arg "Memman.resolve: not a plain allocation"
+
+let realloc t hp n =
+  let new_cap = size_class n in
+  if Hp.is_null hp then invalid_arg "Memman.realloc: null HP";
+  if Hp.superbin hp > 0 then begin
+    let old_cap = small_chunk_size (Hp.superbin hp) in
+    if new_cap = old_cap then hp
+    else begin
+      let old_bin = small_bin t hp in
+      let old_off = Hp.chunk hp * old_cap in
+      let fresh = alloc t n in
+      let buf, off =
+        if Hp.superbin fresh > 0 then
+          let b = small_bin t fresh in
+          (b.seg, Hp.chunk fresh * small_chunk_size (Hp.superbin fresh))
+        else ((ext_rec t fresh).mem, 0)
+      in
+      Bytes.blit old_bin.seg old_off buf off (min old_cap new_cap);
+      small_free t hp;
+      fresh
+    end
+  end
+  else begin
+    let r = ext_rec t hp in
+    match r.kind with
+    | Eplain ->
+        if new_cap = r.cap then begin
+          r.requested <- n;
+          hp
+        end
+        else if new_cap <= small_max then begin
+          let fresh = small_alloc t ((n + 31) / 32) in
+          let bin = small_bin t fresh in
+          let off = Hp.chunk fresh * small_chunk_size (Hp.superbin fresh) in
+          Bytes.blit r.mem 0 bin.seg off (min r.cap new_cap);
+          ext_free_chunk t hp (Hp.chunk hp);
+          fresh
+        end
+        else begin
+          let mem = Bytes.make new_cap '\000' in
+          Bytes.blit r.mem 0 mem 0 (min r.cap new_cap);
+          r.mem <- mem;
+          r.cap <- new_cap;
+          r.requested <- n;
+          hp
+        end
+    | _ -> invalid_arg "Memman.realloc: not a plain allocation"
+  end
+
+(* ---- chained extended bins ---- *)
+
+let ceb_alloc t =
+  let sb = t.ext in
+  (* Find a bin with a run of 8 consecutive free chunks, initializing a new
+     bin when the nonfull ones are too fragmented. *)
+  (* The reserved null chunk (0,0,0) is marked used as soon as its bin
+     exists, so runs returned here never include it. *)
+  let try_metabin mb_id mb =
+    let rec try_bins bin_id =
+      if bin_id >= mb.initialized then None
+      else
+        match mb.bins.(bin_id) with
+        | None -> None
+        | Some bin -> (
+            match Bitset.find_clear_run bin.eused ceb_slots with
+            | Some head -> Some (mb_id, mb, bin_id, bin, head)
+            | None -> try_bins (bin_id + 1))
+    in
+    try_bins 0
+  in
+  let rec search ids =
+    match ids with
+    | mb_id :: rest -> (
+        match sb.metabins.(mb_id) with
+        | Some mb -> (
+            match try_metabin mb_id mb with
+            | Some found -> found
+            | None -> search rest)
+        | None -> search rest)
+    | [] ->
+        (* No existing bin has 8 consecutive free chunks: initialize a fresh
+           bin in a metabin that still has room for one. *)
+        let rec with_room ids =
+          match ids with
+          | mb_id :: rest -> (
+              match sb.metabins.(mb_id) with
+              | Some mb when mb.initialized < bins_per_metabin -> (mb_id, mb)
+              | _ -> with_room rest)
+          | [] ->
+              let mb_id = sb.metabin_count in
+              if mb_id >= max_metabins then
+                failwith "Memman.ceb_alloc: superbin 0 exhausted";
+              grow_metabins sb mb_id;
+              let mb = new_metabin () in
+              sb.metabins.(mb_id) <- Some mb;
+              sb.metabin_count <- mb_id + 1;
+              sb.nonfull <- insert_sorted mb_id sb.nonfull;
+              (mb_id, mb)
+        in
+        let mb_id, mb = with_room sb.nonfull in
+        let bin_id = mb.initialized in
+        let bin = ebin_init t () in
+        mb.bins.(bin_id) <- Some bin;
+        mb.initialized <- bin_id + 1;
+        Bitset.clear mb.no_room bin_id;
+        ignore (reserve_null bin mb_id bin_id 0);
+        (match Bitset.find_clear_run bin.eused ceb_slots with
+        | Some head -> (mb_id, mb, bin_id, bin, head)
+        | None -> assert false (* a fresh bin has >= 63 free chunks *))
+  in
+  let mb_id, mb, bin_id, bin, head = search sb.nonfull in
+  for i = 0 to ceb_slots - 1 do
+    Bitset.set bin.eused (head + i);
+    let r = bin.recs.(head + i) in
+    reset_ehp r;
+    r.kind <- (if i = 0 then Echain_head else Echain_member)
+  done;
+  after_alloc_bookkeeping sb mb_id mb bin_id
+    (Bitset.count_set bin.eused = t.cpb);
+  Hp.make ~superbin:0 ~metabin:mb_id ~bin:bin_id ~chunk:head
+
+let ceb_record t hp ~slot =
+  if slot < 0 || slot >= ceb_slots then invalid_arg "Memman: CEB slot out of range";
+  let bin = ext_bin t hp in
+  let head = Hp.chunk hp in
+  if bin.recs.(head).kind <> Echain_head then
+    invalid_arg "Memman: HP is not a chained extended bin";
+  bin.recs.(head + slot)
+
+let ceb_set_slot t hp ~slot n =
+  let r = ceb_record t hp ~slot in
+  if r.cap <> 0 then invalid_arg "Memman.ceb_set_slot: slot already populated";
+  let cap = size_class n in
+  r.mem <- Bytes.make cap '\000';
+  r.cap <- cap;
+  r.requested <- n
+
+let ceb_slot t hp ~slot =
+  let r = ceb_record t hp ~slot in
+  if r.cap = 0 then None else Some (r.mem, 0, r.cap)
+
+let ceb_realloc_slot t hp ~slot n =
+  let r = ceb_record t hp ~slot in
+  if r.cap = 0 then invalid_arg "Memman.ceb_realloc_slot: void slot";
+  let cap = size_class n in
+  if cap <> r.cap then begin
+    let mem = Bytes.make cap '\000' in
+    Bytes.blit r.mem 0 mem 0 (min r.cap cap);
+    r.mem <- mem;
+    r.cap <- cap
+  end;
+  r.requested <- n
+
+let ceb_clear_slot t hp ~slot =
+  let r = ceb_record t hp ~slot in
+  r.mem <- Bytes.empty;
+  r.cap <- 0;
+  r.requested <- 0
+
+let ceb_resolve_key t hp ~tkey =
+  if tkey < 0 || tkey > 255 then invalid_arg "Memman.ceb_resolve_key: bad key";
+  let rec scan slot =
+    if slot < 0 then
+      invalid_arg "Memman.ceb_resolve_key: no populated slot at or below key"
+    else
+      let r = ceb_record t hp ~slot in
+      if r.cap > 0 then slot else scan (slot - 1)
+  in
+  scan (tkey / 32)
+
+(* ---- accounting ---- *)
+
+type superbin_stats = {
+  chunk_size : int;
+  allocated_chunks : int;
+  empty_chunks : int;
+  allocated_bytes : int;
+  empty_bytes : int;
+}
+
+let iter_bins sb f =
+  for mb_id = 0 to sb.metabin_count - 1 do
+    match sb.metabins.(mb_id) with
+    | None -> ()
+    | Some mb ->
+        for bin_id = 0 to mb.initialized - 1 do
+          match mb.bins.(bin_id) with None -> () | Some bin -> f bin
+        done
+  done
+
+let superbin_profile t =
+  Array.init 64 (fun sb_id ->
+      if sb_id > 0 then begin
+        let chunk_size = small_chunk_size sb_id in
+        let allocated = ref 0 and empty = ref 0 in
+        iter_bins t.small.(sb_id) (fun bin ->
+            let used = Bitset.count_set bin.used in
+            allocated := !allocated + used;
+            empty := !empty + (t.cpb - used));
+        {
+          chunk_size;
+          allocated_chunks = !allocated;
+          empty_chunks = !empty;
+          allocated_bytes = !allocated * chunk_size;
+          empty_bytes = !empty * chunk_size;
+        }
+      end
+      else begin
+        let allocated = ref 0 and empty = ref 0 and bytes = ref 0 in
+        iter_bins t.ext (fun bin ->
+            Array.iteri
+              (fun i r ->
+                match r.kind with
+                | Eplain | Echain_head | Echain_member ->
+                    if Bitset.mem bin.eused i then begin
+                      incr allocated;
+                      bytes := !bytes + r.cap + ehp_chunk_bytes
+                    end
+                | Ereserved -> ()
+                | Efree -> incr empty)
+              bin.recs);
+        {
+          chunk_size = 0;
+          allocated_chunks = !allocated;
+          empty_chunks = !empty;
+          allocated_bytes = !bytes;
+          empty_bytes = !empty * ehp_chunk_bytes;
+        }
+      end)
+
+let metabin_overhead cpb = (bins_per_metabin * ((cpb / 8) + 9)) + 40
+
+let total_bytes t =
+  let total = ref (64 * 64) (* superbin headers fit a cache line each *) in
+  let mb_overhead = metabin_overhead t.cpb in
+  for sb_id = 1 to 63 do
+    let sb = t.small.(sb_id) in
+    total := !total + (sb.metabin_count * mb_overhead);
+    iter_bins sb (fun _ -> total := !total + (t.cpb * small_chunk_size sb_id))
+  done;
+  total := !total + (t.ext.metabin_count * mb_overhead);
+  iter_bins t.ext (fun bin ->
+      total := !total + (t.cpb * ehp_chunk_bytes);
+      Array.iter (fun r -> total := !total + r.cap) bin.recs);
+  !total
+
+let allocated_chunk_count t =
+  Array.fold_left
+    (fun acc s -> acc + s.allocated_chunks)
+    0 (superbin_profile t)

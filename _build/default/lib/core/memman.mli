@@ -1,0 +1,105 @@
+(** Hyperion's custom memory manager (paper Section 3.2).
+
+    The manager acts as middleware between the trie and the system: small
+    allocations (up to 2,016 bytes) are grouped by size class into large
+    flat segments; larger allocations live on the heap behind extended bins.
+    The hierarchy is 64 superbins -> up to 2^14 metabins -> 256 bins ->
+    [chunks_per_bin] chunks (paper Figure 9); a chunk holds one trie
+    container.  Superbin [i] (1..63) serves chunks of exactly [32*i] bytes;
+    superbin 0 manages extended bins.
+
+    Callers address chunks exclusively through 5-byte {!Hp.t} handles, which
+    decouples the trie from virtual memory.  All chunk memory is zero
+    on allocation (the trie's scan algorithm relies on zeroed tails to
+    detect invalid nodes).
+
+    This module is not thread-safe on its own; {!Arena} serializes access. *)
+
+type t
+
+val create : ?chunks_per_bin:int -> unit -> t
+(** [create ()] is an empty manager.  [chunks_per_bin] defaults to 4096 and
+    must be a multiple of 64 in [64, 4096]. *)
+
+val small_max : int
+(** Largest request served by a small superbin: 2,016 bytes. *)
+
+val size_class : int -> int
+(** [size_class n] is the usable capacity a request of [n] bytes receives:
+    the next multiple of 32 up to {!small_max}; beyond that the extended-bin
+    rounding (256-byte steps up to 8 KiB, 1 KiB steps up to 16 KiB, 4 KiB
+    steps above — the paper's growth-mitigation intervals). *)
+
+(** {1 Plain allocations} *)
+
+val alloc : t -> int -> Hp.t
+(** [alloc t n] allocates a chunk with capacity [size_class n], zeroed. *)
+
+val free : t -> Hp.t -> unit
+(** Release a chunk (plain or chained; chained frees all slots). *)
+
+val capacity : t -> Hp.t -> int
+(** Usable bytes behind a plain HP. *)
+
+val resolve : t -> Hp.t -> Bytes.t * int
+(** [resolve t hp] is the backing buffer and the chunk's byte offset within
+    it.  The pair is invalidated by any [realloc]/[free] of the same HP. *)
+
+val realloc : t -> Hp.t -> int -> Hp.t
+(** [realloc t hp n] grows or shrinks the chunk to capacity [size_class n],
+    preserving contents up to the smaller capacity and zeroing any new
+    tail.  Returns the (possibly different) HP; extended bins keep their HP
+    because only the heap pointer inside the eHP record changes. *)
+
+(** {1 Chained extended bins (paper Figure 11)}
+
+    A chained extended bin (CEB) owns eight consecutive extended-bin chunks
+    behind a single HP; slot [i] holds the split container responsible for
+    T-node keys [32*i .. 32*(i+1)-1].  Slots may be void. *)
+
+val ceb_alloc : t -> Hp.t
+(** Allocate a CEB with all eight slots void. *)
+
+val is_chained : t -> Hp.t -> bool
+(** [true] iff the HP designates a CEB head. *)
+
+val ceb_set_slot : t -> Hp.t -> slot:int -> int -> unit
+(** [ceb_set_slot t hp ~slot n] gives slot [slot] (0..7) a zeroed heap
+    segment of capacity [size_class n].  The slot must be void. *)
+
+val ceb_slot : t -> Hp.t -> slot:int -> (Bytes.t * int * int) option
+(** [ceb_slot t hp ~slot] is [Some (buf, off, capacity)] when the slot is
+    populated. *)
+
+val ceb_realloc_slot : t -> Hp.t -> slot:int -> int -> unit
+(** Resize a populated slot, preserving contents. *)
+
+val ceb_clear_slot : t -> Hp.t -> slot:int -> unit
+(** Return a populated slot to the void state. *)
+
+val ceb_resolve_key : t -> Hp.t -> tkey:int -> int
+(** [ceb_resolve_key t hp ~tkey] is the slot responsible for T-node key
+    [tkey]: the first populated slot at or below [tkey / 32] (paper's
+    downward scan).  @raise Invalid_argument if no such slot exists. *)
+
+(** {1 Accounting} *)
+
+type superbin_stats = {
+  chunk_size : int;  (** bytes per chunk; 0 for superbin 0 *)
+  allocated_chunks : int;
+  empty_chunks : int;  (** initialized but free — external fragmentation *)
+  allocated_bytes : int;
+  empty_bytes : int;
+}
+
+val superbin_profile : t -> superbin_stats array
+(** 64 entries; entry 0 covers extended bins (allocated bytes = heap
+    segment capacities + 16 bytes per eHP chunk).  Drives Figures 14/16. *)
+
+val total_bytes : t -> int
+(** Resident bytes of the whole manager: initialized bin segments, metabin
+    metadata (the paper's 133,416 bytes per full metabin, scaled to
+    [chunks_per_bin]), superbin headers and extended-bin heap segments. *)
+
+val allocated_chunk_count : t -> int
+(** Number of currently allocated chunks (paper Fig. 14/16 totals). *)

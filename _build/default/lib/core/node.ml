@@ -1,0 +1,83 @@
+type typ = Invalid | Inner | Leaf_no_value | Leaf_value
+type child = No_child | Child_hp | Child_embedded | Child_pc
+
+let typ_code = function
+  | Invalid -> 0
+  | Inner -> 1
+  | Leaf_no_value -> 2
+  | Leaf_value -> 3
+
+let typ_of_code = function
+  | 0 -> Invalid
+  | 1 -> Inner
+  | 2 -> Leaf_no_value
+  | 3 -> Leaf_value
+  | _ -> invalid_arg "Node.typ_of_code"
+
+let child_code = function
+  | No_child -> 0
+  | Child_hp -> 1
+  | Child_embedded -> 2
+  | Child_pc -> 3
+
+let child_of_code = function
+  | 0 -> No_child
+  | 1 -> Child_hp
+  | 2 -> Child_embedded
+  | 3 -> Child_pc
+  | _ -> invalid_arg "Node.child_of_code"
+
+let typ_of_flag flag = typ_of_code (flag land 0b11)
+let is_snode flag = flag land 0b100 <> 0
+let delta_of_flag flag = (flag lsr 3) land 0b111
+let has_js flag = flag land 0x40 <> 0
+let has_jt flag = flag land 0x80 <> 0
+let child_of_flag flag = child_of_code ((flag lsr 6) land 0b11)
+
+let check_delta delta =
+  if delta < 0 || delta > 7 then invalid_arg "Node: delta out of [0,7]"
+
+let t_flag ~typ ~delta ~js ~jt =
+  check_delta delta;
+  typ_code typ lor (delta lsl 3) lor (if js then 0x40 else 0)
+  lor if jt then 0x80 else 0
+
+let s_flag ~typ ~delta ~child =
+  check_delta delta;
+  typ_code typ lor 0b100 lor (delta lsl 3) lor (child_code child lsl 6)
+
+let with_typ flag typ = flag land lnot 0b11 lor typ_code typ
+let with_child flag child = flag land lnot 0xc0 lor (child_code child lsl 6)
+let with_js flag js = if js then flag lor 0x40 else flag land lnot 0x40
+let with_jt flag jt = if jt then flag lor 0x80 else flag land lnot 0x80
+
+let with_delta flag delta =
+  check_delta delta;
+  flag land lnot 0b111000 lor (delta lsl 3)
+
+let value_size = 8
+let js_size = 2
+let jt_entries = 15
+let jt_size = jt_entries * 3
+
+let t_head_size flag =
+  1
+  + (if delta_of_flag flag = 0 then 1 else 0)
+  + (if has_js flag then js_size else 0)
+  + (if has_jt flag then jt_size else 0)
+  + if typ_of_flag flag = Leaf_value then value_size else 0
+
+let s_head_size flag =
+  1
+  + (if delta_of_flag flag = 0 then 1 else 0)
+  + if typ_of_flag flag = Leaf_value then value_size else 0
+
+let pc_header ~len ~has_value =
+  if len < 1 || len > 127 then invalid_arg "Node.pc_header: len out of [1,127]";
+  len lor if has_value then 0x80 else 0
+
+let pc_len header = header land 0x7f
+let pc_has_value header = header land 0x80 <> 0
+
+let pc_body_size header =
+  1 + (if pc_has_value header then value_size else 0) + pc_len header

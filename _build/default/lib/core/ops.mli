@@ -1,0 +1,25 @@
+(** Trie operations: point queries, order-preserving insertion, deletion,
+    and the structural maintenance around them — embedded-container
+    ejection (paper Fig. 8), path-compression bursts, jump-successor /
+    jump-table upkeep (Section 3.3) and vertical container splits
+    (Fig. 11, Eq. 4).
+
+    A [trie] is single-threaded here; {!Store} adds arena locking. *)
+
+val create : Config.t -> Types.trie
+(** A fresh empty trie with its own memory manager. *)
+
+val find : Types.trie -> string -> int64 option option
+(** [find t key] is [None] when absent, [Some None] when the key is stored
+    without a value (type-10 terminal), [Some (Some v)] when it maps to
+    [v].  @raise Invalid_argument on the empty key. *)
+
+val put : Types.trie -> string -> int64 option -> bool
+(** [put t key value] inserts or updates; [value = None] stores the key
+    alone (set semantics).  Returns [true] when the key was not present
+    before.  @raise Invalid_argument on the empty key. *)
+
+val delete : Types.trie -> string -> bool
+(** Remove a key (valued or not); [true] iff it was present.  Vacated
+    records are spliced out, empty containers freed, and the path cleaned
+    up bottom-up. *)

@@ -1,0 +1,136 @@
+open Types
+
+exception Stop
+
+(* [bound] is the remaining lower-bound suffix under the current prefix:
+   [None] = unconstrained, [Some b] = emit only keys whose remaining suffix
+   is >= b.  [Some ""] is equivalent to [None]. *)
+
+(* Remaining bound after consuming one matching byte; an exhausted bound
+   means every following key qualifies. *)
+let sub_bound b =
+  if String.length b <= 1 then None
+  else Some (String.sub b 1 (String.length b - 1))
+
+let rec visit_container trie hp prefix bound emit =
+  if Memman.is_chained trie.mm hp then
+    for slot = 0 to 7 do
+      match Memman.ceb_slot trie.mm hp ~slot with
+      | Some (buf, off, _) ->
+          visit_top trie buf off prefix bound emit
+      | None -> ()
+    done
+  else begin
+    let buf, base = Memman.resolve trie.mm hp in
+    visit_top trie buf base prefix bound emit
+  end
+
+and visit_top trie buf base prefix bound emit =
+  let region = top_region buf base in
+  visit_region trie buf region.rb region.re prefix bound emit
+
+and visit_region trie buf rb re prefix bound emit =
+  let pos = ref rb and prev = ref (-1) in
+  let bound = ref (match bound with Some "" -> None | b -> b) in
+  while !pos < re do
+    let t = Records.parse_t buf !pos ~prev_key:!prev in
+    let tkey = t.Records.t_key in
+    prev := tkey;
+    let skip =
+      match !bound with
+      | Some b when Char.code b.[0] > tkey -> true
+      | _ -> false
+    in
+    if not skip then begin
+      let tbound =
+        match !bound with
+        | Some b when Char.code b.[0] = tkey -> sub_bound b
+        | _ ->
+            bound := None;
+            None
+      in
+      Buffer.add_char prefix (Char.chr tkey);
+      (match Node.typ_of_flag t.Records.t_flag with
+      | Node.Leaf_no_value when tbound = None -> emit prefix None
+      | Node.Leaf_value when tbound = None ->
+          emit prefix (Some (Records.read_value buf t.Records.t_value_pos))
+      | _ -> ());
+      visit_children trie buf t re prefix tbound emit;
+      Buffer.truncate prefix (Buffer.length prefix - 1)
+    end;
+    pos := Records.next_t_pos buf t ~limit:re
+  done
+
+and visit_children trie buf t re prefix bound emit =
+  let limit = Records.next_t_pos buf t ~limit:re in
+  let pos = ref t.Records.t_head_end and prev = ref (-1) in
+  let bound = ref (match bound with Some "" -> None | b -> b) in
+  while !pos < limit do
+    let flag = Bytes.get_uint8 buf !pos in
+    if flag = 0 || not (Node.is_snode flag) then pos := limit
+    else begin
+      let s = Records.parse_s buf !pos ~prev_key:!prev in
+      let skey = s.Records.s_key in
+      prev := skey;
+      let skip =
+        match !bound with
+        | Some b when Char.code b.[0] > skey -> true
+        | _ -> false
+      in
+      if not skip then begin
+        let sbound =
+          match !bound with
+          | Some b when Char.code b.[0] = skey -> sub_bound b
+          | _ ->
+              bound := None;
+              None
+        in
+        Buffer.add_char prefix (Char.chr skey);
+        (match Node.typ_of_flag s.Records.s_flag with
+        | Node.Leaf_no_value when sbound = None -> emit prefix None
+        | Node.Leaf_value when sbound = None ->
+            emit prefix (Some (Records.read_value buf s.Records.s_value_pos))
+        | _ -> ());
+        (match Node.child_of_flag s.Records.s_flag with
+        | Node.No_child -> ()
+        | Node.Child_pc ->
+            let pc = Records.parse_pc buf s.Records.s_head_end in
+            let suffix =
+              Bytes.sub_string buf pc.Records.pc_suffix_pos
+                pc.Records.pc_suffix_len
+            in
+            let ok =
+              match sbound with None -> true | Some b -> String.compare suffix b >= 0
+            in
+            if ok then begin
+              Buffer.add_string prefix suffix;
+              let v =
+                if pc.Records.pc_value_pos >= 0 then
+                  Some (Records.read_value buf pc.Records.pc_value_pos)
+                else None
+              in
+              emit prefix v;
+              Buffer.truncate prefix (Buffer.length prefix - pc.Records.pc_suffix_len)
+            end
+        | Node.Child_embedded ->
+            let r = emb_region buf s.Records.s_head_end in
+            visit_region trie buf r.rb r.re prefix sbound emit
+        | Node.Child_hp ->
+            visit_container trie
+              (Hp.read buf s.Records.s_head_end)
+              prefix sbound emit);
+        Buffer.truncate prefix (Buffer.length prefix - 1)
+      end;
+      pos := s.Records.s_end
+    end
+  done
+
+let range trie ?start f =
+  if not (Hp.is_null trie.root) then begin
+    let prefix = Buffer.create 64 in
+    let emit buf_prefix value =
+      if not (f (Buffer.contents buf_prefix) value) then raise Stop
+    in
+    let bound = match start with Some "" | None -> None | s -> s in
+    try visit_container trie trie.root prefix bound emit with Stop -> ()
+  end

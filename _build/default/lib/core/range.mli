@@ -1,0 +1,15 @@
+(** Ordered range queries with a callback (paper Section 3.1, Operations):
+    the callback is invoked for every stored key greater than or equal to
+    the given start key, in ascending binary-comparable order, until it
+    returns [false].
+
+    The traversal is the linear pre-order container walk the paper credits
+    for Hyperion's range-query performance: records are visited in the
+    order they are laid out, descending into embedded containers, child
+    containers and split-container slots as they appear. *)
+
+val range :
+  Types.trie -> ?start:string -> (string -> int64 option -> bool) -> unit
+(** [range t ?start f] calls [f key value] for each key [>= start] (from
+    the smallest key when omitted); stops early when [f] returns [false].
+    [value] is [None] for keys stored without a value. *)

@@ -1,0 +1,125 @@
+open Types
+
+type t_result =
+  | T_found of Records.tnode * int
+  | T_insert of {
+      t_at : int;
+      t_prev_key : int;
+      t_succ : Records.tnode option;
+    }
+
+type s_result =
+  | S_found of Records.snode * int
+  | S_insert of {
+      s_at : int;
+      s_prev_key : int;
+      s_succ : Records.snode option;
+    }
+
+(* Best container-jump-table entry for [k0]: the populated entry with the
+   largest key <= k0 (paper: linear scan of the entries). *)
+let cjt_start cbox region k0 =
+  if not region.top then None
+  else begin
+    let buf = cbox.buf and base = cbox.base in
+    let cnt = Layout.jt_count buf base in
+    let best = ref None in
+    for i = 0 to cnt - 1 do
+      let key, off = Layout.jt_read buf base i in
+      if off <> 0 && key <= k0 then
+        match !best with
+        | Some (bk, _) when bk >= key -> ()
+        | _ -> best := Some (key, base + off)
+    done;
+    !best
+  end
+
+let find_t ?(use_jumps = true) cbox region k0 ~traversed =
+  let buf = cbox.buf in
+  let start_pos, start_key =
+    match (if use_jumps then cjt_start cbox region k0 else None) with
+    | Some (key, pos) when pos < region.re -> (pos, key)
+    | _ -> (region.rb, -1)
+  in
+  (* [prev] is the predecessor sibling's key; after a jump the jump target's
+     own predecessor is unknown and reported as -1. *)
+  let rec go pos prev known =
+    if pos >= region.re then
+      T_insert { t_at = region.re; t_prev_key = prev; t_succ = None }
+    else begin
+      let t =
+        match known with
+        | Some key -> Records.parse_t_known buf pos ~key
+        | None -> Records.parse_t buf pos ~prev_key:prev
+      in
+      incr traversed;
+      if t.Records.t_key = k0 then T_found (t, prev)
+      else if t.Records.t_key > k0 then
+        T_insert { t_at = pos; t_prev_key = prev; t_succ = Some t }
+      else
+        go (Records.next_t_pos buf t ~limit:region.re) t.Records.t_key None
+    end
+  in
+  go start_pos (-1) (if start_key >= 0 then Some start_key else None)
+
+let t_children_end cbox region t =
+  Records.next_t_pos cbox.buf t ~limit:region.re
+
+(* Best T-node jump-table entry for [k1]. *)
+let tjt_start cbox t k1 =
+  if t.Records.t_jt_pos < 0 then None
+  else begin
+    let buf = cbox.buf in
+    let best = ref None in
+    for i = 0 to Node.jt_entries - 1 do
+      let key, off = Records.jt_entry buf t.Records.t_jt_pos i in
+      if off <> 0 && key <= k1 then
+        match !best with
+        | Some (bk, _) when bk >= key -> ()
+        | _ -> best := Some (key, t.Records.t_pos + off)
+    done;
+    !best
+  end
+
+let find_s ?(use_jumps = true) ?(scanned = ref 0) cbox region t k1 =
+  let buf = cbox.buf in
+  let s_end = t_children_end cbox region t in
+  let start_pos, start_key =
+    match (if use_jumps then tjt_start cbox t k1 else None) with
+    | Some (key, pos) when pos < s_end -> (pos, key)
+    | _ -> (t.Records.t_head_end, -1)
+  in
+  let rec go pos prev known =
+    incr scanned;
+    if pos >= s_end then
+      S_insert { s_at = s_end; s_prev_key = prev; s_succ = None }
+    else begin
+      let flag = Bytes.get_uint8 buf pos in
+      if flag = 0 || not (Node.is_snode flag) then
+        S_insert { s_at = pos; s_prev_key = prev; s_succ = None }
+      else
+        let s =
+          match known with
+          | Some key -> Records.parse_s_known buf pos ~key
+          | None -> Records.parse_s buf pos ~prev_key:prev
+        in
+        if s.Records.s_key = k1 then S_found (s, prev)
+        else if s.Records.s_key > k1 then
+          S_insert { s_at = pos; s_prev_key = prev; s_succ = Some s }
+        else go s.Records.s_end s.Records.s_key None
+    end
+  in
+  go start_pos (-1) (if start_key >= 0 then Some start_key else None)
+
+let count_s_children ?(cap = max_int) cbox region t =
+  let buf = cbox.buf in
+  let s_end = t_children_end cbox region t in
+  let rec go pos acc =
+    if acc >= cap || pos >= s_end then acc
+    else begin
+      let flag = Bytes.get_uint8 buf pos in
+      if flag = 0 || not (Node.is_snode flag) then acc
+      else go (pos + Records.s_record_size buf pos) (acc + 1)
+    end
+  in
+  go t.Records.t_head_end 0

@@ -1,0 +1,57 @@
+(** Linear pre-order scanning of a container region (paper Section 3.1,
+    Figure 2d), accelerated by the container jump table and T-node jump
+    tables when present (Section 3.3). *)
+
+type t_result =
+  | T_found of Records.tnode * int
+      (** the record and its predecessor sibling's key (-1 when first) *)
+  | T_insert of {
+      t_at : int;  (** absolute insertion position *)
+      t_prev_key : int;  (** preceding T-sibling key, -1 when none *)
+      t_succ : Records.tnode option;
+          (** the T record currently at the insertion position, whose
+              delta field must be re-encoded against the new sibling *)
+    }
+
+type s_result =
+  | S_found of Records.snode * int
+  | S_insert of {
+      s_at : int;
+      s_prev_key : int;
+      s_succ : Records.snode option;
+    }
+
+val find_t :
+  ?use_jumps:bool ->
+  Types.cbox ->
+  Types.region ->
+  int ->
+  traversed:int ref ->
+  t_result
+(** Locate the T-node with key [k0] in the region, counting traversed
+    T-records in [traversed] (drives container-jump-table growth).  Uses
+    the container jump table for top regions unless [use_jumps] is false
+    (deletions disable jumps because they need the exact predecessor; a
+    jump would leave it unknown, reported as -1). *)
+
+val find_s :
+  ?use_jumps:bool ->
+  ?scanned:int ref ->
+  Types.cbox ->
+  Types.region ->
+  Records.tnode ->
+  int ->
+  s_result
+(** Locate the S-node with key [k1] among the children of the given
+    T-node, using its jump table when present (see [use_jumps] above).
+    [scanned] counts the S-records examined after any jump — callers use
+    it to decide when the jump table has gone stale and needs a refill. *)
+
+val t_children_end : Types.cbox -> Types.region -> Records.tnode -> int
+(** Absolute position one past the T-node's last S-child (the next
+    T-record or the region end). *)
+
+val count_s_children :
+  ?cap:int -> Types.cbox -> Types.region -> Records.tnode -> int
+(** Number of S-children (walk, ignoring jump shortcuts), stopping at
+    [cap] — threshold checks never need the exact population. *)

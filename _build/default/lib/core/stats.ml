@@ -1,0 +1,161 @@
+open Types
+
+type t = {
+  containers : int;
+  split_containers : int;
+  embedded_containers : int;
+  pc_nodes : int;
+  pc_suffix_bytes : int;
+  t_nodes : int;
+  s_nodes : int;
+  delta_encoded : int;
+  values : int;
+  members_without_value : int;
+  jump_successors : int;
+  tnode_jump_tables : int;
+  container_jt_entries : int;
+}
+
+let empty =
+  {
+    containers = 0;
+    split_containers = 0;
+    embedded_containers = 0;
+    pc_nodes = 0;
+    pc_suffix_bytes = 0;
+    t_nodes = 0;
+    s_nodes = 0;
+    delta_encoded = 0;
+    values = 0;
+    members_without_value = 0;
+    jump_successors = 0;
+    tnode_jump_tables = 0;
+    container_jt_entries = 0;
+  }
+
+let add a b =
+  {
+    containers = a.containers + b.containers;
+    split_containers = a.split_containers + b.split_containers;
+    embedded_containers = a.embedded_containers + b.embedded_containers;
+    pc_nodes = a.pc_nodes + b.pc_nodes;
+    pc_suffix_bytes = a.pc_suffix_bytes + b.pc_suffix_bytes;
+    t_nodes = a.t_nodes + b.t_nodes;
+    s_nodes = a.s_nodes + b.s_nodes;
+    delta_encoded = a.delta_encoded + b.delta_encoded;
+    values = a.values + b.values;
+    members_without_value = a.members_without_value + b.members_without_value;
+    jump_successors = a.jump_successors + b.jump_successors;
+    tnode_jump_tables = a.tnode_jump_tables + b.tnode_jump_tables;
+    container_jt_entries = a.container_jt_entries + b.container_jt_entries;
+  }
+
+type acc = {
+  mutable st : t;
+}
+
+let count_terminal acc flag =
+  match Node.typ_of_flag flag with
+  | Node.Leaf_value -> acc.st <- { acc.st with values = acc.st.values + 1 }
+  | Node.Leaf_no_value ->
+      acc.st <-
+        { acc.st with members_without_value = acc.st.members_without_value + 1 }
+  | Node.Inner | Node.Invalid -> ()
+
+let rec walk_container trie acc hp =
+  if Memman.is_chained trie.mm hp then begin
+    acc.st <- { acc.st with split_containers = acc.st.split_containers + 1 };
+    for slot = 0 to 7 do
+      match Memman.ceb_slot trie.mm hp ~slot with
+      | Some (buf, off, _) -> walk_top trie acc buf off
+      | None -> ()
+    done
+  end
+  else begin
+    let buf, base = Memman.resolve trie.mm hp in
+    walk_top trie acc buf base
+  end
+
+and walk_top trie acc buf base =
+  acc.st <-
+    {
+      acc.st with
+      containers = acc.st.containers + 1;
+      container_jt_entries =
+        acc.st.container_jt_entries + Layout.jt_count buf base;
+    };
+  let region = top_region buf base in
+  walk_region trie acc buf region.rb region.re
+
+and walk_region trie acc buf rb re =
+  let pos = ref rb and prev = ref (-1) in
+  while !pos < re do
+    let t = Records.parse_t buf !pos ~prev_key:!prev in
+    prev := t.Records.t_key;
+    acc.st <-
+      {
+        acc.st with
+        t_nodes = acc.st.t_nodes + 1;
+        delta_encoded =
+          (acc.st.delta_encoded
+          + if Node.delta_of_flag t.Records.t_flag <> 0 then 1 else 0);
+        jump_successors =
+          (acc.st.jump_successors + if t.Records.t_js_pos >= 0 then 1 else 0);
+        tnode_jump_tables =
+          (acc.st.tnode_jump_tables + if t.Records.t_jt_pos >= 0 then 1 else 0);
+      };
+    count_terminal acc t.Records.t_flag;
+    let limit = Records.next_t_pos buf t ~limit:re in
+    let sp = ref t.Records.t_head_end and sprev = ref (-1) in
+    while !sp < limit do
+      let flag = Bytes.get_uint8 buf !sp in
+      if flag = 0 || not (Node.is_snode flag) then sp := limit
+      else begin
+        let s = Records.parse_s buf !sp ~prev_key:!sprev in
+        sprev := s.Records.s_key;
+        acc.st <-
+          {
+            acc.st with
+            s_nodes = acc.st.s_nodes + 1;
+            delta_encoded =
+              (acc.st.delta_encoded
+              + if Node.delta_of_flag flag <> 0 then 1 else 0);
+          };
+        count_terminal acc flag;
+        (match Node.child_of_flag flag with
+        | Node.No_child -> ()
+        | Node.Child_pc ->
+            let pc = Records.parse_pc buf s.Records.s_head_end in
+            acc.st <-
+              {
+                acc.st with
+                pc_nodes = acc.st.pc_nodes + 1;
+                pc_suffix_bytes =
+                  acc.st.pc_suffix_bytes + pc.Records.pc_suffix_len;
+                values =
+                  (acc.st.values
+                  + if pc.Records.pc_value_pos >= 0 then 1 else 0);
+                members_without_value =
+                  (acc.st.members_without_value
+                  + if pc.Records.pc_value_pos < 0 then 1 else 0);
+              }
+        | Node.Child_embedded ->
+            acc.st <-
+              {
+                acc.st with
+                embedded_containers = acc.st.embedded_containers + 1;
+              };
+            let r = emb_region buf s.Records.s_head_end in
+            walk_region trie acc buf r.rb r.re
+        | Node.Child_hp ->
+            walk_container trie acc (Hp.read buf s.Records.s_head_end));
+        sp := s.Records.s_end
+      end
+    done;
+    pos := limit
+  done
+
+let collect trie =
+  let acc = { st = empty } in
+  if not (Hp.is_null trie.root) then walk_container trie acc trie.root;
+  acc.st

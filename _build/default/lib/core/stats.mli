@@ -1,0 +1,27 @@
+(** Structural statistics of a Hyperion trie, gathered by a full walk.
+    These drive the paper's memory-characteristics analyses: delta-encoding
+    savings, embedded-container counts, path-compression savings
+    (Section 4.3) and — through {!Memman.superbin_profile} — the per-
+    superbin allocation distributions of Figures 14 and 16. *)
+
+type t = {
+  containers : int;  (** real (top-level) containers, split slots included *)
+  split_containers : int;  (** chained extended bins in use *)
+  embedded_containers : int;
+  pc_nodes : int;
+  pc_suffix_bytes : int;  (** path-compressed key bytes *)
+  t_nodes : int;
+  s_nodes : int;
+  delta_encoded : int;  (** records whose key byte is delta-encoded *)
+  values : int;
+  members_without_value : int;
+  jump_successors : int;
+  tnode_jump_tables : int;
+  container_jt_entries : int;
+}
+
+val empty : t
+val add : t -> t -> t
+
+val collect : Types.trie -> t
+(** Walk the whole trie. *)

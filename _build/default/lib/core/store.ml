@@ -1,0 +1,171 @@
+type t = {
+  cfg : Config.t;
+  mms : Memman.t array;  (** one per arena *)
+  locks : Mutex.t array;  (** one per arena *)
+  tries : Types.trie array;  (** 1, or 256 routed by first key byte *)
+  counts : int array;  (** keys per trie, guarded by the arena lock *)
+}
+
+let name = "Hyperion"
+
+let create ?(config = Config.default) () =
+  Config.validate config;
+  let mms =
+    Array.init config.arenas (fun _ ->
+        Memman.create ~chunks_per_bin:config.chunks_per_bin ())
+  in
+  let locks = Array.init config.arenas (fun _ -> Mutex.create ()) in
+  let n_tries = if config.arenas = 1 then 1 else 256 in
+  let tries =
+    Array.init n_tries (fun i ->
+        {
+          Types.cfg = config;
+          mm = mms.(i mod config.arenas);
+          root = Hp.null;
+        })
+  in
+  { cfg = config; mms; locks; tries; counts = Array.make n_tries 0 }
+
+let create_default () = create ()
+let config t = t.cfg
+
+let xform t key = if t.cfg.preprocess then Preprocess.encode key else key
+
+let route t key =
+  if Array.length t.tries = 1 then 0 else Char.code key.[0]
+
+let with_arena t idx f =
+  let lock = t.locks.(idx mod Array.length t.locks) in
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let put_opt t key value =
+  let key = xform t key in
+  if String.length key = 0 then invalid_arg "Hyperion: empty key";
+  let i = route t key in
+  with_arena t i (fun () ->
+      if Ops.put t.tries.(i) key value then t.counts.(i) <- t.counts.(i) + 1)
+
+let put t key value = put_opt t key (Some value)
+let add t key = put_opt t key None
+
+let get t key =
+  let key = xform t key in
+  if String.length key = 0 then invalid_arg "Hyperion: empty key";
+  let i = route t key in
+  with_arena t i (fun () ->
+      match Ops.find t.tries.(i) key with
+      | Some (Some v) -> Some v
+      | Some None | None -> None)
+
+let mem t key =
+  let key = xform t key in
+  if String.length key = 0 then invalid_arg "Hyperion: empty key";
+  let i = route t key in
+  with_arena t i (fun () -> Ops.find t.tries.(i) key <> None)
+
+let delete t key =
+  let key = xform t key in
+  if String.length key = 0 then invalid_arg "Hyperion: empty key";
+  let i = route t key in
+  with_arena t i (fun () ->
+      let removed = Ops.delete t.tries.(i) key in
+      if removed then t.counts.(i) <- t.counts.(i) - 1;
+      removed)
+
+let range t ?start f =
+  let start = Option.map (xform t) start in
+  let wrap key value =
+    let key = if t.cfg.preprocess then Preprocess.decode key else key in
+    f key value
+  in
+  let n = Array.length t.tries in
+  if n = 1 then
+    with_arena t 0 (fun () -> Range.range t.tries.(0) ?start wrap)
+  else begin
+    (* Tries are routed by first key byte, so visiting them in index order
+       preserves the global key order. *)
+    let stop = ref false in
+    let wrap' key value =
+      let continue = wrap key value in
+      if not continue then stop := true;
+      continue
+    in
+    let first = match start with Some s when s <> "" -> Char.code s.[0] | _ -> 0 in
+    let i = ref first in
+    while (not !stop) && !i < n do
+      let idx = !i in
+      let bound = if idx = first then start else None in
+      with_arena t idx (fun () -> Range.range t.tries.(idx) ?start:bound wrap');
+      incr i
+    done
+  end
+
+let length t = Array.fold_left ( + ) 0 t.counts
+
+let memory_usage t =
+  Array.fold_left (fun acc mm -> acc + Memman.total_bytes mm) 0 t.mms
+
+let stats t =
+  Array.fold_left
+    (fun acc trie -> Stats.add acc (Stats.collect trie))
+    Stats.empty t.tries
+
+let superbin_profile t =
+  let merged =
+    Array.init 64 (fun _ ->
+        {
+          Memman.chunk_size = 0;
+          allocated_chunks = 0;
+          empty_chunks = 0;
+          allocated_bytes = 0;
+          empty_bytes = 0;
+        })
+  in
+  Array.iter
+    (fun mm ->
+      let p = Memman.superbin_profile mm in
+      Array.iteri
+        (fun i s ->
+          merged.(i) <-
+            {
+              Memman.chunk_size = s.Memman.chunk_size;
+              allocated_chunks =
+                merged.(i).Memman.allocated_chunks + s.Memman.allocated_chunks;
+              empty_chunks =
+                merged.(i).Memman.empty_chunks + s.Memman.empty_chunks;
+              allocated_bytes =
+                merged.(i).Memman.allocated_bytes + s.Memman.allocated_bytes;
+              empty_bytes =
+                merged.(i).Memman.empty_bytes + s.Memman.empty_bytes;
+            })
+        p)
+    t.mms;
+  merged
+
+let allocated_chunks t =
+  Array.fold_left (fun acc mm -> acc + Memman.allocated_chunk_count mm) 0 t.mms
+
+let internal_tries t = t.tries
+
+let iter t f =
+  range t (fun k v ->
+      f k v;
+      true)
+
+let fold t ~init ~f =
+  let acc = ref init in
+  range t (fun k v ->
+      acc := f !acc k v;
+      true);
+  !acc
+
+let starts_with ~prefix k =
+  String.length k >= String.length prefix
+  && String.sub k 0 (String.length prefix) = prefix
+
+let prefix_iter t ~prefix f =
+  if prefix = "" then range t f
+  else
+    range t ~start:prefix (fun k v ->
+        if starts_with ~prefix k then f k v else false)

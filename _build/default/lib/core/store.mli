@@ -1,0 +1,60 @@
+(** Hyperion key-value store: the public API.
+
+    A store owns one or more tries (256 when arenas are enabled, paper
+    Section 3.2) with one memory manager and one lock per arena.  Keys are
+    arbitrary non-empty byte strings in binary-comparable form (see
+    {!Kvcommon.Key_codec}); values are 64-bit words.  Keys can also be
+    stored without a value (type-10 terminals, set semantics).
+
+    When [config.preprocess] is on, keys are transparently transformed with
+    {!Preprocess} on the way in and restored on the way out. *)
+
+type t
+
+val name : string
+
+val create : ?config:Config.t -> unit -> t
+val create_default : unit -> t
+(** [create_default ()] is [create ()] — the {!Kv_intf} creation hook. *)
+
+val config : t -> Config.t
+
+val put : t -> string -> int64 -> unit
+val add : t -> string -> unit
+(** Store the key without a value. *)
+
+val get : t -> string -> int64 option
+val mem : t -> string -> bool
+val delete : t -> string -> bool
+
+val range : t -> ?start:string -> (string -> int64 option -> bool) -> unit
+(** Ordered callback iteration from [start] (paper's range queries). *)
+
+val length : t -> int
+val memory_usage : t -> int
+(** Exact resident bytes of all memory managers (initialized bin segments,
+    metabin metadata, extended-bin heap segments). *)
+
+val stats : t -> Stats.t
+val superbin_profile : t -> Memman.superbin_stats array
+(** Aggregated over all arenas; drives Figures 14 and 16. *)
+
+val allocated_chunks : t -> int
+
+(**/**)
+
+val internal_tries : t -> Types.trie array
+(** For {!Validate} and white-box tests only. *)
+
+(** {1 Convenience iteration} *)
+
+val iter : t -> (string -> int64 option -> unit) -> unit
+(** Visit every binding in ascending key order. *)
+
+val fold : t -> init:'a -> f:('a -> string -> int64 option -> 'a) -> 'a
+(** Left fold over all bindings in ascending key order. *)
+
+val prefix_iter : t -> prefix:string -> (string -> int64 option -> bool) -> unit
+(** [prefix_iter t ~prefix f] invokes [f] for every stored key beginning
+    with [prefix], in order, until [f] returns [false].  A common trie
+    idiom built on {!range}; an empty prefix visits everything. *)

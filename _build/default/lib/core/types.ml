@@ -1,0 +1,62 @@
+(** Shared engine types: a trie handle, an open container and a scan
+    region.  Internal to the library (re-exported selectively through
+    {!Store}). *)
+
+type trie = {
+  cfg : Config.t;
+  mm : Memman.t;
+  mutable root : Hp.t;  (** null while the trie is empty *)
+}
+
+(** Where the HP of the currently open container is stored, so that it can
+    be re-written when a reallocation moves the container to a different
+    chunk class. *)
+type where =
+  | W_root  (** the trie's root field *)
+  | W_parent of Bytes.t * int
+      (** absolute position of the 5-byte HP inside the parent container;
+          valid as long as the parent is not itself spliced *)
+  | W_slot  (** the container is a CEB slot: its CEB HP never changes *)
+
+(** An open (resolved) container.  [buf]/[base] are invalidated by any
+    splice or reallocation and must be re-derived afterwards. *)
+type cbox = {
+  trie : trie;
+  mutable hp : Hp.t;  (** plain container HP, or the CEB HP when [slot >= 0] *)
+  slot : int;  (** CEB slot index, -1 for plain containers *)
+  where : where;
+  mutable buf : Bytes.t;
+  mutable base : int;
+}
+
+(** A scan region: either the payload of the open container itself or an
+    embedded container nested in it.  Bounds are absolute buffer offsets. *)
+type region = {
+  rb : int;  (** first record byte *)
+  re : int;  (** one past the last record byte *)
+  top : bool;  (** top-level payload (owns header and jump tables) *)
+}
+
+(** Enclosing embedded containers of the current region, outermost first:
+    [(s_pos, emb_pos)] — the owning S-node's record start (to rewrite its
+    child flag on ejection) and the embedded header byte position. *)
+type emb_chain = (int * int) list
+
+let top_region buf base =
+  {
+    rb = base + Layout.payload_start buf base;
+    re = base + Layout.content_end buf base;
+    top = true;
+  }
+
+let emb_region buf emb_pos =
+  {
+    rb = emb_pos + Layout.emb_header_size;
+    re = emb_pos + Layout.emb_total_size buf emb_pos;
+    top = false;
+  }
+
+(* Raised whenever a structural change (ejection, split, PC burst)
+   invalidates the positions held by an in-flight operation; the operation
+   re-navigates from the root. *)
+exception Restart

@@ -1,0 +1,35 @@
+(** Structural integrity checking for Hyperion tries.
+
+    Walks every container reachable from the root and verifies the
+    invariants the engine relies on:
+
+    - container headers: size within the 19-bit limit, free tail within
+      the 8-bit limit, [size - free] consistent with parsed content;
+    - records: strictly ascending sibling keys at both levels, delta
+      fields decodable (first sibling explicit), value fields only on
+      type-11 nodes;
+    - the free tail and over-allocated memory are zeroed (the scan
+      algorithm depends on it, paper Fig. 8);
+    - jump successors point exactly at the next T-record (or content end);
+    - jump-table entries reference records with the stored key;
+    - container jump-table entries reference T-records with the stored key;
+    - embedded containers: header size matches their parsed extent,
+      nesting within the 255-byte budget;
+    - path-compressed nodes within the 127-byte limit;
+    - split containers: populated CEB slots hold containers whose T-keys
+      lie within the slot's responsibility range;
+    - every HP resolves through the memory manager.
+
+    Used by the test suite after every phase of randomized workloads;
+    exposed publicly because downstream users embedding Hyperion want the
+    same check in their own harnesses. *)
+
+type error = { context : string; message : string }
+
+val check : Types.trie -> error list
+(** All violations found (empty = structurally sound). *)
+
+val check_store : Store.t -> error list
+(** Check every trie of a store (all arenas). *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,119 @@
+type node = {
+  nkey : string;
+  mutable nvalue : int64;
+  nhash : int;
+  mutable next : node option;
+}
+
+type t = {
+  mutable buckets : node option array;
+  mutable count : int;
+  mutable key_bytes : int;
+}
+
+let name = "Hash"
+let initial_buckets = 16
+
+let create () =
+  { buckets = Array.make initial_buckets None; count = 0; key_bytes = 0 }
+
+(* FNV-1a, 64-bit folded into OCaml's int range. *)
+let fnv1a key =
+  let h = ref 0x3f29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    key;
+  !h land max_int
+
+let bucket_of t h = h mod Array.length t.buckets
+
+let find_node t key h =
+  let rec go = function
+    | None -> None
+    | Some n -> if n.nhash = h && n.nkey = key then Some n else go n.next
+  in
+  go t.buckets.(bucket_of t h)
+
+let rehash t =
+  let old = t.buckets in
+  t.buckets <- Array.make (2 * Array.length old) None;
+  Array.iter
+    (fun chain ->
+      let rec go = function
+        | None -> ()
+        | Some n ->
+            let next = n.next in
+            let b = bucket_of t n.nhash in
+            n.next <- t.buckets.(b);
+            t.buckets.(b) <- Some n;
+            go next
+      in
+      go chain)
+    old
+
+let put t key value =
+  let h = fnv1a key in
+  match find_node t key h with
+  | Some n -> n.nvalue <- value
+  | None ->
+      if t.count >= Array.length t.buckets then rehash t;
+      let b = bucket_of t h in
+      t.buckets.(b) <- Some { nkey = key; nvalue = value; nhash = h; next = t.buckets.(b) };
+      t.count <- t.count + 1;
+      t.key_bytes <- t.key_bytes + String.length key
+
+let get t key =
+  match find_node t key (fnv1a key) with Some n -> Some n.nvalue | None -> None
+
+let mem t key = find_node t key (fnv1a key) <> None
+
+let delete t key =
+  let h = fnv1a key in
+  let b = bucket_of t h in
+  let rec go prev = function
+    | None -> false
+    | Some n when n.nhash = h && n.nkey = key ->
+        (match prev with
+        | None -> t.buckets.(b) <- n.next
+        | Some p -> p.next <- n.next);
+        t.count <- t.count - 1;
+        t.key_bytes <- t.key_bytes - String.length key;
+        true
+    | Some n -> go (Some n) n.next
+  in
+  go None t.buckets.(b)
+
+(* Hash tables have no order; the paper excludes them from range queries.
+   Provided for interface completeness by collect-and-sort. *)
+let range t ?(start = "") f =
+  let items = ref [] in
+  Array.iter
+    (fun chain ->
+      let rec go = function
+        | None -> ()
+        | Some n ->
+            if String.compare n.nkey start >= 0 then
+              items := (n.nkey, n.nvalue) :: !items;
+            go n.next
+      in
+      go chain)
+    t.buckets;
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) !items in
+  let rec emit = function
+    | [] -> ()
+    | (k, v) :: rest -> if f k (Some v) then emit rest
+  in
+  emit sorted
+
+let length t = t.count
+
+(* libstdc++ unordered_map: __detail::_Hash_node (next pointer + cached
+   hash + value_type of std::string key and 8-byte value) per element, one
+   pointer per bucket. *)
+let memory_usage t =
+  let node = Kvcommon.Mem_model.malloc (8 + 8 + 32 + 8) in
+  (t.count * node)
+  + (Array.length t.buckets * Kvcommon.Mem_model.pointer)
+  + Kvcommon.Mem_model.malloc t.key_bytes

@@ -1,0 +1,14 @@
+(** Chained hash table — the paper's [std::unordered_map] baseline.
+
+    Separate chaining with doubling growth at load factor 1, FNV-1a
+    hashing.  Rehashing recomputes every key's bucket, reproducing the
+    paper's observation that insert throughput dips when the table resizes.
+    The paper excludes this structure from range queries (no order);
+    [range] here falls back to collecting and sorting — callers that want
+    the paper's behaviour simply do not call it.
+
+    Memory accounting mirrors libstdc++'s [unordered_map]: a bucket
+    pointer array plus one heap node per element (next pointer, cached
+    hash, [std::string] key, 8-byte value). *)
+
+include Kvcommon.Kv_intf.S

@@ -1,0 +1,292 @@
+let burst_threshold = 8192
+let initial_slots = 16
+let max_slots = 512
+
+(* Array-hash container: each slot is one contiguous buffer of records
+   [u16 suffix length | suffix | 8-byte value] appended back to back. *)
+type container = {
+  mutable slots : Bytes.t array;
+  mutable used : int array;
+  mutable n : int;
+}
+
+type node =
+  | Container of container
+  | Trie of { kids : node option array; mutable term : int64 option }
+
+type t = { mutable root : node; mutable count : int }
+
+let name = "HAT"
+
+let new_container () =
+  { slots = Array.make initial_slots Bytes.empty; used = Array.make initial_slots 0; n = 0 }
+
+let create () = { root = Container (new_container ()); count = 0 }
+
+let fnv1a_sub key pos =
+  let h = ref 0x3f29ce484222325 in
+  for i = pos to String.length key - 1 do
+    h := !h lxor Char.code key.[i];
+    h := !h * 0x100000001b3
+  done;
+  !h land max_int
+
+let fnv1a_bytes buf pos len =
+  let h = ref 0x3f29ce484222325 in
+  for i = pos to pos + len - 1 do
+    h := !h lxor Bytes.get_uint8 buf i;
+    h := !h * 0x100000001b3
+  done;
+  !h land max_int
+
+let read_len buf pos = Bytes.get_uint8 buf pos lor (Bytes.get_uint8 buf (pos + 1) lsl 8)
+
+(* Scan a slot for the record whose suffix equals key[from..]; returns the
+   record's position. *)
+let find_record c slot key from =
+  let want = String.length key - from in
+  let buf = c.slots.(slot) and used = c.used.(slot) in
+  let rec go pos =
+    if pos >= used then None
+    else begin
+      let len = read_len buf pos in
+      let matches =
+        len = want
+        &&
+        let rec eq i =
+          i = len || (Bytes.get buf (pos + 2 + i) = key.[from + i] && eq (i + 1))
+        in
+        eq 0
+      in
+      if matches then Some pos else go (pos + 2 + len + 8)
+    end
+  in
+  go 0
+
+let slot_of c h = h mod Array.length c.slots
+
+let append_record c slot suffix_src from len value =
+  let need = c.used.(slot) + 2 + len + 8 in
+  if Bytes.length c.slots.(slot) < need then begin
+    let cap = max 32 (max need (2 * Bytes.length c.slots.(slot))) in
+    let fresh = Bytes.make cap '\000' in
+    Bytes.blit c.slots.(slot) 0 fresh 0 c.used.(slot);
+    c.slots.(slot) <- fresh
+  end;
+  let buf = c.slots.(slot) and pos = c.used.(slot) in
+  Bytes.set_uint8 buf pos (len land 0xff);
+  Bytes.set_uint8 buf (pos + 1) (len lsr 8);
+  Bytes.blit_string suffix_src from buf (pos + 2) len;
+  Bytes.set_int64_le buf (pos + 2 + len) value;
+  c.used.(slot) <- need;
+  c.n <- c.n + 1
+
+(* Double the slot table, rehashing every record (the paper's observed
+   insert-rate dips). *)
+let resize c =
+  let old_slots = c.slots and old_used = c.used in
+  let nslots = 2 * Array.length c.slots in
+  c.slots <- Array.make nslots Bytes.empty;
+  c.used <- Array.make nslots 0;
+  c.n <- 0;
+  Array.iteri
+    (fun i buf ->
+      let used = old_used.(i) in
+      let pos = ref 0 in
+      while !pos < used do
+        let len = read_len buf !pos in
+        let h = fnv1a_bytes buf (!pos + 2) len in
+        let value = Bytes.get_int64_le buf (!pos + 2 + len) in
+        let s = Bytes.sub_string buf (!pos + 2) len in
+        append_record c (h mod nslots) s 0 len value;
+        pos := !pos + 2 + len + 8
+      done)
+    old_slots
+
+let iter_container c f =
+  Array.iteri
+    (fun i buf ->
+      let used = c.used.(i) in
+      let pos = ref 0 in
+      while !pos < used do
+        let len = read_len buf !pos in
+        f (Bytes.sub_string buf (!pos + 2) len) (Bytes.get_int64_le buf (!pos + 2 + len));
+        pos := !pos + 2 + len + 8
+      done)
+    c.slots
+
+(* Burst: replace the container by a trie node over the suffix's first
+   character, distributing records into fresh child containers. *)
+let burst c =
+  let kids = Array.make 256 None in
+  let term = ref None in
+  iter_container c (fun suffix value ->
+      if suffix = "" then term := Some value
+      else begin
+        let ch = Char.code suffix.[0] in
+        let child =
+          match kids.(ch) with
+          | Some (Container cc) -> cc
+          | _ ->
+              let cc = new_container () in
+              kids.(ch) <- Some (Container cc);
+              cc
+        in
+        let len = String.length suffix - 1 in
+        let h = fnv1a_sub suffix 1 in
+        append_record child (slot_of child h) suffix 1 len value
+      end);
+  Trie { kids; term = !term }
+
+let put t key value =
+  let rec go node depth parent_set =
+    match node with
+    | Trie tn ->
+        if depth = String.length key then begin
+          if tn.term = None then t.count <- t.count + 1;
+          tn.term <- Some value
+        end
+        else begin
+          let c = Char.code key.[depth] in
+          match tn.kids.(c) with
+          | Some child ->
+              go child (depth + 1) (fun n -> tn.kids.(c) <- Some n)
+          | None ->
+              let cc = new_container () in
+              tn.kids.(c) <- Some (Container cc);
+              go (Container cc) (depth + 1) (fun n -> tn.kids.(c) <- Some n)
+        end
+    | Container c -> (
+        let h = fnv1a_sub key depth in
+        let slot = slot_of c h in
+        match find_record c slot key depth with
+        | Some pos ->
+            let buf = c.slots.(slot) in
+            let len = read_len buf pos in
+            Bytes.set_int64_le buf (pos + 2 + len) value
+        | None ->
+            if c.n >= burst_threshold then begin
+              let trie = burst c in
+              parent_set trie;
+              go trie depth parent_set
+            end
+            else begin
+              if c.n > 8 * Array.length c.slots && Array.length c.slots < max_slots
+              then resize c;
+              let slot = slot_of c h in
+              append_record c slot key depth (String.length key - depth) value;
+              t.count <- t.count + 1
+            end)
+  in
+  go t.root 0 (fun n -> t.root <- n)
+
+let get t key =
+  let rec go node depth =
+    match node with
+    | Trie tn ->
+        if depth = String.length key then tn.term
+        else begin
+          match tn.kids.(Char.code key.[depth]) with
+          | Some child -> go child (depth + 1)
+          | None -> None
+        end
+    | Container c -> (
+        let slot = slot_of c (fnv1a_sub key depth) in
+        match find_record c slot key depth with
+        | Some pos ->
+            let buf = c.slots.(slot) in
+            let len = read_len buf pos in
+            Some (Bytes.get_int64_le buf (pos + 2 + len))
+        | None -> None)
+  in
+  go t.root 0
+
+let mem t key = get t key <> None
+
+let delete t key =
+  let rec go node depth =
+    match node with
+    | Trie tn ->
+        if depth = String.length key then (
+          match tn.term with
+          | Some _ ->
+              tn.term <- None;
+              true
+          | None -> false)
+        else begin
+          match tn.kids.(Char.code key.[depth]) with
+          | Some child -> go child (depth + 1)
+          | None -> false
+        end
+    | Container c -> (
+        let slot = slot_of c (fnv1a_sub key depth) in
+        match find_record c slot key depth with
+        | Some pos ->
+            let buf = c.slots.(slot) in
+            let len = read_len buf pos in
+            let rec_size = 2 + len + 8 in
+            Bytes.blit buf (pos + rec_size) buf pos (c.used.(slot) - pos - rec_size);
+            c.used.(slot) <- c.used.(slot) - rec_size;
+            c.n <- c.n - 1;
+            true
+        | None -> false)
+  in
+  let removed = go t.root 0 in
+  if removed then t.count <- t.count - 1;
+  removed
+
+exception Stop
+
+(* Ordered iteration: containers are unordered, so their contents are
+   collected and sorted on demand — the cost the paper's Table 3 shows. *)
+let range t ?(start = "") f =
+  let prefix = Buffer.create 64 in
+  let emit k v = if not (f k (Some v)) then raise Stop in
+  let rec visit node =
+    match node with
+    | Trie tn ->
+        (match tn.term with
+        | Some v ->
+            let k = Buffer.contents prefix in
+            if String.compare k start >= 0 then emit k v
+        | None -> ());
+        for c = 0 to 255 do
+          match tn.kids.(c) with
+          | Some child ->
+              Buffer.add_char prefix (Char.chr c);
+              visit child;
+              Buffer.truncate prefix (Buffer.length prefix - 1)
+          | None -> ()
+        done
+    | Container c ->
+        let items = ref [] in
+        let p = Buffer.contents prefix in
+        iter_container c (fun suffix value ->
+            let k = p ^ suffix in
+            if String.compare k start >= 0 then items := (k, value) :: !items);
+        let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) !items in
+        List.iter (fun (k, v) -> emit k v) sorted
+  in
+  try visit t.root with Stop -> ()
+
+let length t = t.count
+
+(* Trie node: 256 pointers + header.  Container: slot-pointer and usage
+   arrays plus each slot's allocated buffer. *)
+let memory_usage t =
+  let total = ref 0 in
+  let rec go = function
+    | Trie tn ->
+        total := !total + Kvcommon.Mem_model.malloc (16 + (256 * 8));
+        Array.iter (function Some k -> go k | None -> ()) tn.kids
+    | Container c ->
+        total :=
+          !total + Kvcommon.Mem_model.malloc (16 + (Array.length c.slots * 12));
+        Array.iter
+          (fun buf ->
+            if Bytes.length buf > 0 then
+              total := !total + Kvcommon.Mem_model.malloc (Bytes.length buf))
+          c.slots
+  in
+  go t.root;
+  !total

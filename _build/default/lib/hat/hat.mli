@@ -1,0 +1,17 @@
+(** HAT-trie (Askitis & Sinha; paper Section 2.2) — a burst trie whose
+    containers are cache-conscious array hash tables.
+
+    Trie nodes hold 256 child pointers; leaves are containers hashing key
+    suffixes into slots, each slot one contiguous byte buffer of
+    [(length, suffix, value)] entries appended back to back (the array
+    hash).  A container bursts into a trie node with fresh containers when
+    its population exceeds the burst threshold.  Pure containers only (the
+    hybrid variant is a further optimization; DESIGN.md).
+
+    Range queries must sort container contents on demand — the weakness
+    the paper's Table 3 exposes. *)
+
+include Kvcommon.Kv_intf.S
+
+val burst_threshold : int
+(** Entries per container before it bursts (8192, HAT-trie default). *)

@@ -1,0 +1,208 @@
+let fanout = 32
+
+(* Compound nodes: leaves hold up to [fanout] (key, value) entries sorted
+   by key; internal nodes hold children separated by discriminative
+   boundary keys.  Splits cut at the median boundary, which is exactly the
+   effect of HOT's span adaptation: every node keeps a high fan-out
+   independent of how sparse the key space is. *)
+type leaf = { mutable lkeys : string array; mutable lvals : int64 array; mutable ln : int }
+
+type node = L of leaf | I of inner
+
+and inner = { mutable seps : string array; mutable kids : node array; mutable kn : int }
+(* kn children, kn-1 separators; child i holds keys < seps.(i) *)
+
+type t = { mutable root : node; mutable count : int; mutable key_bytes : int }
+
+let name = "HOT"
+
+let new_leaf () =
+  { lkeys = Array.make fanout ""; lvals = Array.make fanout 0L; ln = 0 }
+
+let create () = { root = L (new_leaf ()); count = 0; key_bytes = 0 }
+
+(* First index in [a.(0..n-1)] with a.(i) >= key (binary search — the
+   scalar stand-in for HOT's SIMD partial-key match). *)
+let lower_bound a n key =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare a.(mid) key < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child index for [key] in an internal node. *)
+let child_index seps kn key =
+  let lo = ref 0 and hi = ref (kn - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare key seps.(mid) < 0 then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let rec search node key =
+  match node with
+  | L l ->
+      let i = lower_bound l.lkeys l.ln key in
+      if i < l.ln && l.lkeys.(i) = key then Some l.lvals.(i) else None
+  | I n -> search n.kids.(child_index n.seps n.kn key) key
+
+let get t key = if t.count = 0 then None else search t.root key
+let mem t key = get t key <> None
+
+(* Insert; returns Some (boundary, right_sibling) when the node split. *)
+let rec insert t node key value =
+  match node with
+  | L l ->
+      let i = lower_bound l.lkeys l.ln key in
+      if i < l.ln && l.lkeys.(i) = key then begin
+        l.lvals.(i) <- value;
+        None
+      end
+      else begin
+        t.count <- t.count + 1;
+        t.key_bytes <- t.key_bytes + String.length key;
+        if l.ln < fanout then begin
+          Array.blit l.lkeys i l.lkeys (i + 1) (l.ln - i);
+          Array.blit l.lvals i l.lvals (i + 1) (l.ln - i);
+          l.lkeys.(i) <- key;
+          l.lvals.(i) <- value;
+          l.ln <- l.ln + 1;
+          None
+        end
+        else begin
+          (* split at the median discriminative boundary *)
+          let mid = fanout / 2 in
+          let right = new_leaf () in
+          Array.blit l.lkeys mid right.lkeys 0 (fanout - mid);
+          Array.blit l.lvals mid right.lvals 0 (fanout - mid);
+          right.ln <- fanout - mid;
+          l.ln <- mid;
+          Array.fill l.lkeys mid (fanout - mid) "";
+          let target = if String.compare key right.lkeys.(0) < 0 then l else right in
+          let j = lower_bound target.lkeys target.ln key in
+          Array.blit target.lkeys j target.lkeys (j + 1) (target.ln - j);
+          Array.blit target.lvals j target.lvals (j + 1) (target.ln - j);
+          target.lkeys.(j) <- key;
+          target.lvals.(j) <- value;
+          target.ln <- target.ln + 1;
+          Some (right.lkeys.(0), L right)
+        end
+      end
+  | I n -> (
+      let i = child_index n.seps n.kn key in
+      match insert t n.kids.(i) key value with
+      | None -> None
+      | Some (boundary, sibling) ->
+          if n.kn < fanout then begin
+            Array.blit n.seps i n.seps (i + 1) (n.kn - 1 - i);
+            Array.blit n.kids (i + 1) n.kids (i + 2) (n.kn - 1 - i);
+            n.seps.(i) <- boundary;
+            n.kids.(i + 1) <- sibling;
+            n.kn <- n.kn + 1;
+            None
+          end
+          else begin
+            (* split the internal compound node *)
+            Array.blit n.seps i n.seps (i + 1) (n.kn - 1 - i);
+            Array.blit n.kids (i + 1) n.kids (i + 2) (n.kn - 1 - i);
+            n.seps.(i) <- boundary;
+            n.kids.(i + 1) <- sibling;
+            let kn = n.kn + 1 in
+            let mid = kn / 2 in
+            let up = n.seps.(mid - 1) in
+            let right =
+              I
+                {
+                  seps = Array.init fanout (fun j ->
+                      if j < kn - mid - 1 then n.seps.(mid + j) else "");
+                  kids =
+                    Array.init (fanout + 1) (fun j ->
+                        if j < kn - mid then n.kids.(mid + j) else L (new_leaf ()));
+                  kn = kn - mid;
+                }
+            in
+            n.kn <- mid;
+            Array.fill n.seps (mid - 1) (fanout - mid + 1) "";
+            Some (up, right)
+          end)
+
+let put t key value =
+  match insert t t.root key value with
+  | None -> ()
+  | Some (boundary, sibling) ->
+      let seps = Array.make fanout "" in
+      let kids = Array.make (fanout + 1) (L (new_leaf ())) in
+      seps.(0) <- boundary;
+      kids.(0) <- t.root;
+      kids.(1) <- sibling;
+      t.root <- I { seps; kids; kn = 2 }
+
+(* Deletion removes the entry without re-merging compound nodes. *)
+let delete t key =
+  let rec go node =
+    match node with
+    | L l ->
+        let i = lower_bound l.lkeys l.ln key in
+        if i < l.ln && l.lkeys.(i) = key then begin
+          Array.blit l.lkeys (i + 1) l.lkeys i (l.ln - i - 1);
+          Array.blit l.lvals (i + 1) l.lvals i (l.ln - i - 1);
+          l.ln <- l.ln - 1;
+          l.lkeys.(l.ln) <- "";
+          true
+        end
+        else false
+    | I n -> go n.kids.(child_index n.seps n.kn key)
+  in
+  let removed = go t.root in
+  if removed then begin
+    t.count <- t.count - 1;
+    t.key_bytes <- t.key_bytes - String.length key
+  end;
+  removed
+
+exception Stop
+
+let range t ?(start = "") f =
+  let rec visit node =
+    match node with
+    | L l ->
+        for i = 0 to l.ln - 1 do
+          if String.compare l.lkeys.(i) start >= 0 then
+            if not (f l.lkeys.(i) (Some l.lvals.(i))) then raise Stop
+        done
+    | I n ->
+        let first = if start = "" then 0 else child_index n.seps n.kn start in
+        for i = first to n.kn - 1 do
+          visit n.kids.(i)
+        done
+  in
+  if t.count > 0 then try visit t.root with Stop -> ()
+
+let length t = t.count
+
+let height t =
+  let rec go = function L _ -> 1 | I n -> 1 + go n.kids.(0) in
+  go t.root
+
+(* HOT compound node: 16-byte header, ~4-byte sparse partial key and an
+   8-byte (tagged) pointer per entry.  Leaf entries point into the
+   external k/v array counted without padding (paper Section 4.1). *)
+let node_bytes t =
+  let total = ref 0 and entries = ref 0 in
+  let rec go = function
+    | L l ->
+        incr entries;
+        total := !total + Kvcommon.Mem_model.malloc (16 + (l.ln * (4 + 8)))
+    | I n ->
+        total := !total + Kvcommon.Mem_model.malloc (16 + (n.kn * (4 + 8)));
+        for i = 0 to n.kn - 1 do
+          go n.kids.(i)
+        done
+  in
+  go t.root;
+  !total
+
+let memory_usage t = node_bytes t + (t.count * 8) + t.key_bytes
+
+let memory_usage_opt t = node_bytes t + (t.count * 8)

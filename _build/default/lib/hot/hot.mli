@@ -1,0 +1,30 @@
+(** HOT-style height-optimized trie (Binna et al., SIGMOD 2018; paper
+    Section 2.2).
+
+    HOT combines multiple binary-Patricia levels into compound nodes with
+    a data-dependent span so that every node reaches a fan-out of up to
+    [k = 32] regardless of key distribution, which minimizes tree height
+    over sparse key spaces.  This implementation keeps the essential
+    structure — compound nodes of up to 32 entries split along their
+    median discriminative boundary, giving the same height and fan-out
+    profile — while replacing the SIMD partial-key matching of the
+    original with a binary search over the node's discriminative
+    boundaries (DESIGN.md substitutions).  Deletions remove entries
+    without node re-merging (the HOT paper's evaluation also concentrates
+    on insert/lookup).
+
+    Memory is accounted per HOT's compound-node layout: a 16-byte header
+    per node plus a sparse partial key (~4 bytes, the HOT paper reports
+    ~31 discriminative bits on average) and an 8-byte pointer per entry;
+    leaf entries are tagged pointers to the external key/value pairs,
+    counted without padding, exactly like the paper's ART/HOT setup.
+    [memory_usage_opt] is the paper's HOTopt lower bound (values up to 8
+    bytes inlined, no external pair array). *)
+
+include Kvcommon.Kv_intf.S
+
+val memory_usage_opt : t -> int
+(** The paper's HOTopt lower bound. *)
+
+val height : t -> int
+(** Compound-node height (the quantity HOT minimizes). *)

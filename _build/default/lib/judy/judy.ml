@@ -1,0 +1,422 @@
+type leaf = { mutable lkey : string; mutable lvalue : int64 }
+
+type node = Leaf of leaf | Inner of inner
+
+and inner = {
+  mutable prefix : string;  (* vertical compression *)
+  mutable term : leaf option;
+  mutable kind : kind;
+}
+
+and kind =
+  | Linear of { mutable lkeys : Bytes.t; mutable lkids : node option array; mutable ln : int }
+  | Bitmap of { bitmap : Bytes.t; mutable bkids : node array }
+      (* packed child array ordered by key; index = rank in the bitmap *)
+  | Full of { fkids : node option array }
+
+type t = {
+  mutable root : node option;
+  mutable count : int;
+  mutable key_bytes : int;
+}
+
+let name = "Judy"
+let linear_max = 7
+let bitmap_max = 187 (* beyond this an uncompressed node is smaller *)
+
+let create () = { root = None; count = 0; key_bytes = 0 }
+
+(* ---- bitmap helpers ---- *)
+
+let bit_mem bm c = Bytes.get_uint8 bm (c lsr 3) land (1 lsl (c land 7)) <> 0
+
+let bit_set bm c =
+  Bytes.set_uint8 bm (c lsr 3) (Bytes.get_uint8 bm (c lsr 3) lor (1 lsl (c land 7)))
+
+let bit_clear bm c =
+  Bytes.set_uint8 bm (c lsr 3)
+    (Bytes.get_uint8 bm (c lsr 3) land lnot (1 lsl (c land 7)))
+
+let popcount_byte b =
+  let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+  go b 0
+
+(* Rank of key [c]: number of set bits strictly below it. *)
+let bit_rank bm c =
+  let rank = ref 0 in
+  for i = 0 to (c lsr 3) - 1 do
+    rank := !rank + popcount_byte (Bytes.get_uint8 bm i)
+  done;
+  !rank + popcount_byte (Bytes.get_uint8 bm (c lsr 3) land ((1 lsl (c land 7)) - 1))
+
+(* ---- generic child operations ---- *)
+
+let find_child inner c =
+  match inner.kind with
+  | Linear l ->
+      let rec go i =
+        if i >= l.ln then None
+        else if Bytes.get_uint8 l.lkeys i = c then l.lkids.(i)
+        else go (i + 1)
+      in
+      go 0
+  | Bitmap b -> if bit_mem b.bitmap c then Some b.bkids.(bit_rank b.bitmap c) else None
+  | Full f -> f.fkids.(c)
+
+let set_child inner c child =
+  match inner.kind with
+  | Linear l ->
+      let rec go i =
+        if i >= l.ln then assert false
+        else if Bytes.get_uint8 l.lkeys i = c then l.lkids.(i) <- Some child
+        else go (i + 1)
+      in
+      go 0
+  | Bitmap b ->
+      assert (bit_mem b.bitmap c);
+      b.bkids.(bit_rank b.bitmap c) <- child
+  | Full f -> f.fkids.(c) <- Some child
+
+let child_count inner =
+  match inner.kind with
+  | Linear l -> l.ln
+  | Bitmap b -> Array.length b.bkids
+  | Full f ->
+      let n = ref 0 in
+      Array.iter (fun k -> if k <> None then incr n) f.fkids;
+      !n
+
+let new_linear () =
+  Linear { lkeys = Bytes.make linear_max '\000'; lkids = Array.make linear_max None; ln = 0 }
+
+let new_inner prefix = { prefix; term = None; kind = new_linear () }
+
+let iter_children inner f =
+  match inner.kind with
+  | Linear l ->
+      for i = 0 to l.ln - 1 do
+        match l.lkids.(i) with Some k -> f (Bytes.get_uint8 l.lkeys i) k | None -> ()
+      done
+  | Bitmap b ->
+      let idx = ref 0 in
+      for c = 0 to 255 do
+        if bit_mem b.bitmap c then begin
+          f c b.bkids.(!idx);
+          incr idx
+        end
+      done
+  | Full fk ->
+      for c = 0 to 255 do
+        match fk.fkids.(c) with Some k -> f c k | None -> ()
+      done
+
+(* Switch layout when the population crosses a threshold (horizontal
+   compression: the node shape tracks the population). *)
+let relayout inner =
+  let n = child_count inner in
+  let rebuild_bitmap () =
+    let bitmap = Bytes.make 32 '\000' in
+    let kids = Array.make n (Leaf { lkey = ""; lvalue = 0L }) in
+    let i = ref 0 in
+    iter_children inner (fun c k ->
+        bit_set bitmap c;
+        kids.(!i) <- k;
+        incr i);
+    inner.kind <- Bitmap { bitmap; bkids = kids }
+  in
+  let rebuild_linear () =
+    let l = Bytes.make linear_max '\000' in
+    let kids = Array.make linear_max None in
+    let i = ref 0 in
+    iter_children inner (fun c k ->
+        Bytes.set_uint8 l !i c;
+        kids.(!i) <- Some k;
+        incr i);
+    inner.kind <- Linear { lkeys = l; lkids = kids; ln = n }
+  in
+  let rebuild_full () =
+    let fkids = Array.make 256 None in
+    iter_children inner (fun c k -> fkids.(c) <- Some k);
+    inner.kind <- Full { fkids }
+  in
+  match inner.kind with
+  | Linear _ when n > linear_max -> rebuild_bitmap ()
+  | Bitmap _ when n > bitmap_max -> rebuild_full ()
+  | Bitmap _ when n <= linear_max -> rebuild_linear ()
+  | Full _ when n <= bitmap_max -> rebuild_bitmap ()
+  | Linear _ | Bitmap _ | Full _ -> ()
+
+let add_child inner c child =
+  (* ensure capacity: a full linear node becomes a bitmap node first *)
+  (match inner.kind with
+  | Linear l when l.ln >= linear_max ->
+      let n = l.ln in
+      let bitmap = Bytes.make 32 '\000' in
+      let kids = Array.make n (Leaf { lkey = ""; lvalue = 0L }) in
+      for i = 0 to n - 1 do
+        bit_set bitmap (Bytes.get_uint8 l.lkeys i);
+        kids.(i) <- Option.get l.lkids.(i)
+      done;
+      inner.kind <- Bitmap { bitmap; bkids = kids }
+  | _ -> ());
+  match inner.kind with
+  | Linear l ->
+      let pos = ref l.ln in
+      while !pos > 0 && Bytes.get_uint8 l.lkeys (!pos - 1) > c do
+        Bytes.set_uint8 l.lkeys !pos (Bytes.get_uint8 l.lkeys (!pos - 1));
+        l.lkids.(!pos) <- l.lkids.(!pos - 1);
+        decr pos
+      done;
+      Bytes.set_uint8 l.lkeys !pos c;
+      l.lkids.(!pos) <- Some child;
+      l.ln <- l.ln + 1
+  | Bitmap b ->
+      assert (not (bit_mem b.bitmap c));
+      let rank = bit_rank b.bitmap c in
+      let n = Array.length b.bkids in
+      let kids = Array.make (n + 1) child in
+      Array.blit b.bkids 0 kids 0 rank;
+      Array.blit b.bkids rank kids (rank + 1) (n - rank);
+      bit_set b.bitmap c;
+      b.bkids <- kids;
+      if n + 1 > bitmap_max then relayout inner
+  | Full f -> f.fkids.(c) <- Some child
+
+let remove_child inner c =
+  (match inner.kind with
+  | Linear l ->
+      let rec find i = if Bytes.get_uint8 l.lkeys i = c then i else find (i + 1) in
+      let i = find 0 in
+      for j = i to l.ln - 2 do
+        Bytes.set_uint8 l.lkeys j (Bytes.get_uint8 l.lkeys (j + 1));
+        l.lkids.(j) <- l.lkids.(j + 1)
+      done;
+      l.lkids.(l.ln - 1) <- None;
+      l.ln <- l.ln - 1
+  | Bitmap b ->
+      let rank = bit_rank b.bitmap c in
+      let n = Array.length b.bkids in
+      let kids = Array.make (n - 1) (Leaf { lkey = ""; lvalue = 0L }) in
+      Array.blit b.bkids 0 kids 0 rank;
+      Array.blit b.bkids (rank + 1) kids rank (n - 1 - rank);
+      bit_clear b.bitmap c;
+      b.bkids <- kids
+  | Full f -> f.fkids.(c) <- None);
+  relayout inner
+
+(* ---- shared radix-tree logic (as in ART, with Judy layouts) ---- *)
+
+let common_prefix_len a apos b bpos =
+  let n = min (String.length a - apos) (String.length b - bpos) in
+  let rec go i = if i < n && a.[apos + i] = b.[bpos + i] then go (i + 1) else i in
+  go 0
+
+let rec search node key depth =
+  match node with
+  | Leaf l -> if l.lkey = key then Some l else None
+  | Inner inner ->
+      let plen = String.length inner.prefix in
+      let m = common_prefix_len key depth inner.prefix 0 in
+      if m < plen then None
+      else
+        let depth = depth + plen in
+        if depth = String.length key then inner.term
+        else begin
+          match find_child inner (Char.code key.[depth]) with
+          | Some child -> search child key (depth + 1)
+          | None -> None
+        end
+
+let get t key =
+  match t.root with
+  | None -> None
+  | Some root -> ( match search root key 0 with Some l -> Some l.lvalue | None -> None)
+
+let mem t key = get t key <> None
+
+let rec insert t parent_set node key value depth =
+  match node with
+  | Leaf l ->
+      if l.lkey = key then l.lvalue <- value
+      else begin
+        let m = common_prefix_len key depth l.lkey depth in
+        let inner = new_inner (String.sub key depth m) in
+        let place lf =
+          if String.length lf.lkey = depth + m then inner.term <- Some lf
+          else add_child inner (Char.code lf.lkey.[depth + m]) (Leaf lf)
+        in
+        place l;
+        place { lkey = key; lvalue = value };
+        t.count <- t.count + 1;
+        t.key_bytes <- t.key_bytes + String.length key;
+        parent_set (Inner inner)
+      end
+  | Inner inner ->
+      let plen = String.length inner.prefix in
+      let m = common_prefix_len key depth inner.prefix 0 in
+      if m < plen then begin
+        let top = new_inner (String.sub inner.prefix 0 m) in
+        let rest_first = Char.code inner.prefix.[m] in
+        inner.prefix <- String.sub inner.prefix (m + 1) (plen - m - 1);
+        add_child top rest_first (Inner inner);
+        (if depth + m = String.length key then
+           top.term <- Some { lkey = key; lvalue = value }
+         else
+           add_child top
+             (Char.code key.[depth + m])
+             (Leaf { lkey = key; lvalue = value }));
+        t.count <- t.count + 1;
+        t.key_bytes <- t.key_bytes + String.length key;
+        parent_set (Inner top)
+      end
+      else begin
+        let depth = depth + plen in
+        if depth = String.length key then begin
+          match inner.term with
+          | Some l -> l.lvalue <- value
+          | None ->
+              inner.term <- Some { lkey = key; lvalue = value };
+              t.count <- t.count + 1;
+              t.key_bytes <- t.key_bytes + String.length key
+        end
+        else begin
+          let c = Char.code key.[depth] in
+          match find_child inner c with
+          | Some child ->
+              insert t (fun n -> set_child inner c n) child key value (depth + 1)
+          | None ->
+              add_child inner c (Leaf { lkey = key; lvalue = value });
+              t.count <- t.count + 1;
+              t.key_bytes <- t.key_bytes + String.length key
+        end
+      end
+
+let put t key value =
+  match t.root with
+  | None ->
+      t.root <- Some (Leaf { lkey = key; lvalue = value });
+      t.count <- 1;
+      t.key_bytes <- String.length key
+  | Some root -> insert t (fun n -> t.root <- Some n) root key value 0
+
+let compress inner =
+  if child_count inner = 1 && inner.term = None then begin
+    let only = ref None in
+    iter_children inner (fun c k -> only := Some (c, k));
+    match !only with
+    | Some (c, Inner child) ->
+        child.prefix <- inner.prefix ^ String.make 1 (Char.chr c) ^ child.prefix;
+        Some (Inner child)
+    | Some (_, Leaf l) -> Some (Leaf l)
+    | None -> None
+  end
+  else if child_count inner = 0 then
+    match inner.term with Some l -> Some (Leaf l) | None -> None
+  else None
+
+let rec remove t parent_set node key depth =
+  match node with
+  | Leaf l ->
+      if l.lkey = key then begin
+        parent_set None;
+        true
+      end
+      else false
+  | Inner inner ->
+      let plen = String.length inner.prefix in
+      let m = common_prefix_len key depth inner.prefix 0 in
+      if m < plen then false
+      else begin
+        let depth = depth + plen in
+        let removed =
+          if depth = String.length key then (
+            match inner.term with
+            | Some _ ->
+                inner.term <- None;
+                true
+            | None -> false)
+          else begin
+            let c = Char.code key.[depth] in
+            match find_child inner c with
+            | Some child ->
+                remove t
+                  (fun n ->
+                    match n with
+                    | Some n -> set_child inner c n
+                    | None -> remove_child inner c)
+                  child key (depth + 1)
+            | None -> false
+          end
+        in
+        if removed then begin
+          match compress inner with
+          | Some replacement -> parent_set (Some replacement)
+          | None ->
+              if child_count inner = 0 && inner.term = None then parent_set None
+        end;
+        removed
+      end
+
+let delete t key =
+  match t.root with
+  | None -> false
+  | Some root ->
+      let removed = remove t (fun n -> t.root <- n) root key 0 in
+      if removed then begin
+        t.count <- t.count - 1;
+        t.key_bytes <- t.key_bytes - String.length key
+      end;
+      removed
+
+exception Stop
+
+let range t ?(start = "") f =
+  let rec visit node =
+    match node with
+    | Leaf l ->
+        if String.compare l.lkey start >= 0 && not (f l.lkey (Some l.lvalue))
+        then raise Stop
+    | Inner inner ->
+        (match inner.term with
+        | Some l ->
+            if String.compare l.lkey start >= 0 && not (f l.lkey (Some l.lvalue))
+            then raise Stop
+        | None -> ());
+        iter_children inner (fun _ k -> visit k)
+  in
+  match t.root with
+  | None -> ()
+  | Some root -> ( try visit root with Stop -> ())
+
+let length t = t.count
+
+(* Judy memory model: linear nodes sized to population (key byte + pointer
+   per entry, one-word header), bitmap nodes a 32-byte bitmap plus packed
+   pointers, uncompressed nodes 256 pointers; JudySL leaves store the
+   remaining suffix with the value. *)
+let memory_usage t =
+  let total = ref 0 in
+  let rec go node depth =
+    match node with
+    | Leaf l ->
+        let suffix = max 0 (String.length l.lkey - depth) in
+        total := !total + Kvcommon.Mem_model.malloc (suffix + 1 + 8)
+    | Inner inner ->
+        let plen = String.length inner.prefix in
+        (match inner.kind with
+        | Linear l ->
+            total := !total + Kvcommon.Mem_model.malloc (8 + plen + (l.ln * 9))
+        | Bitmap b ->
+            total :=
+              !total
+              + Kvcommon.Mem_model.malloc
+                  (8 + plen + 32 + (Array.length b.bkids * 8))
+        | Full _ ->
+            total := !total + Kvcommon.Mem_model.malloc (8 + plen + (256 * 8)));
+        (match inner.term with
+        | Some _ -> total := !total + Kvcommon.Mem_model.malloc 8
+        | None -> ());
+        iter_children inner (fun _ k -> go k (depth + plen + 1))
+  in
+  (match t.root with Some r -> go r 0 | None -> ());
+  !total

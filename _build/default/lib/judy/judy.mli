@@ -1,0 +1,16 @@
+(** Judy-style adaptive 256-ary radix tree (Baskins; paper Section 2.2).
+
+    Judy arrays pioneered nodes that adapt their memory layout to the
+    actual population: this implementation provides the three canonical
+    layouts — linear nodes (sorted key array, up to 7 entries), bitmap
+    nodes (256-bit occupancy bitmap plus a packed pointer array), and
+    uncompressed nodes (256 pointers) — together with Judy's vertical
+    compression (single-descent paths collapsed into a prefix) and
+    JudySL-style leaves storing the remaining key suffix.
+
+    Thresholds between layouts follow population, so the per-node memory
+    closely tracks real Judy behaviour; the intricate cache-line sub-
+    expanse machinery of the original is abstracted away (DESIGN.md).
+    Memory is accounted per the C layouts. *)
+
+include Kvcommon.Kv_intf.S

@@ -1,0 +1,1 @@
+lib/kvcommon/key_codec.ml: Bytes Int64 String

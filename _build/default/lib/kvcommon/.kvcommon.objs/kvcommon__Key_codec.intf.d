@@ -1,0 +1,1 @@
+lib/kvcommon/key_codec.mli:

@@ -1,0 +1,1 @@
+lib/kvcommon/kv_intf.ml:

@@ -1,0 +1,1 @@
+lib/kvcommon/mem_model.mli:

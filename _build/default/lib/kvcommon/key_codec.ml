@@ -1,0 +1,26 @@
+let of_u64 x =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 x;
+  Bytes.unsafe_to_string b
+
+let to_u64 s =
+  if String.length s <> 8 then invalid_arg "Key_codec.to_u64: need 8 bytes";
+  String.get_int64_be s 0
+
+let of_i64 x = of_u64 (Int64.logxor x Int64.min_int)
+let to_i64 s = Int64.logxor (to_u64 s) Int64.min_int
+
+let of_u32 x =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 x;
+  Bytes.unsafe_to_string b
+
+let to_u32 s =
+  if String.length s <> 4 then invalid_arg "Key_codec.to_u32: need 4 bytes";
+  String.get_int32_be s 0
+
+let reverse_bytes s =
+  let n = String.length s in
+  String.init n (fun i -> s.[n - 1 - i])
+
+let compare_binary = String.compare

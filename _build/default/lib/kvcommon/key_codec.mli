@@ -1,0 +1,38 @@
+(** Binary-comparable key transformations (Leis et al., used by the paper in
+    Sections 2.1 and 4.4).
+
+    A transformation [f] is binary-comparable when the natural order of the
+    source domain coincides with the bytewise lexicographic order of the
+    encoded strings, so that tries and ordered structures agree on ordering
+    without knowing the key type. *)
+
+val of_u64 : int64 -> string
+(** [of_u64 x] encodes an unsigned 64-bit integer big-endian (most
+    significant byte first).  This is the paper's "reversed byte order" for
+    little-endian Intel machines: unsigned numeric order = bytewise order. *)
+
+val to_u64 : string -> int64
+(** Inverse of {!of_u64}.  @raise Invalid_argument if the string is not
+    exactly 8 bytes. *)
+
+val of_i64 : int64 -> string
+(** [of_i64 x] encodes a signed 64-bit integer by flipping the sign bit and
+    then encoding big-endian, so that signed order = bytewise order. *)
+
+val to_i64 : string -> int64
+(** Inverse of {!of_i64}. *)
+
+val of_u32 : int32 -> string
+(** Big-endian encoding of an unsigned 32-bit integer (4 bytes). *)
+
+val to_u32 : string -> int32
+(** Inverse of {!of_u32}. *)
+
+val reverse_bytes : string -> string
+(** [reverse_bytes k] is Oracle's reverse-key-index transformation mentioned
+    in Section 3.4: the key with its byte order reversed. *)
+
+val compare_binary : string -> string -> int
+(** Bytewise lexicographic comparison treating bytes as unsigned — the
+    order all stores in this repository maintain.  Equal to
+    [String.compare] in OCaml (documented here for emphasis). *)

@@ -1,0 +1,54 @@
+(** Common interface implemented by every key-value store in this
+    repository: Hyperion itself and all comparison structures of the paper's
+    evaluation (ART, HOT, Judy, HAT-trie, red-black tree, hash table).
+
+    Keys are arbitrary byte strings already transformed to binary-comparable
+    form (see {!Key_codec}); values are 64-bit integers, matching the paper's
+    experiments where every value is a 64-bit word. *)
+
+module type S = sig
+  type t
+  (** A mutable key-value store instance. *)
+
+  val name : string
+  (** Short display name used by the benchmark harness ("Hyperion", "ART",
+      ...). *)
+
+  val create : unit -> t
+  (** [create ()] is a fresh, empty store. *)
+
+  val put : t -> string -> int64 -> unit
+  (** [put t key value] inserts or replaces the binding of [key]. *)
+
+  val get : t -> string -> int64 option
+  (** [get t key] is the value bound to [key], if any. *)
+
+  val mem : t -> string -> bool
+  (** [mem t key] is [true] iff [key] is present (with or without value). *)
+
+  val delete : t -> string -> bool
+  (** [delete t key] removes [key]; [true] iff it was present. *)
+
+  val range : t -> ?start:string -> (string -> int64 option -> bool) -> unit
+  (** [range t ?start f] invokes [f key value] for every stored key
+      [>= start] (or from the smallest key when [start] is omitted) in
+      ascending binary-comparable order, until [f] returns [false] or keys
+      are exhausted.  Mirrors the paper's callback-based range queries. *)
+
+  val length : t -> int
+  (** Number of keys currently stored. *)
+
+  val memory_usage : t -> int
+  (** Estimated resident bytes of the index {e including} stored keys and
+      values, following the memory accounting described in DESIGN.md
+      (exact for Hyperion, analytic C-layout accounting for baselines). *)
+end
+
+(** Stores that additionally support key-only membership (the paper's
+    type-10 "leaf without value" nodes, Judy1-style sets). *)
+module type SET = sig
+  include S
+
+  val add : t -> string -> unit
+  (** [add t key] inserts [key] without an attached value. *)
+end

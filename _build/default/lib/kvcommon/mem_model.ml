@@ -1,0 +1,8 @@
+let malloc_header = 8
+let pointer = 8
+
+let malloc n =
+  if n < 0 then invalid_arg "Mem_model.malloc: negative size";
+  let gross = n + malloc_header in
+  let aligned = (gross + 15) / 16 * 16 in
+  max 32 aligned

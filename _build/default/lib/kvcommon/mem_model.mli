@@ -1,0 +1,23 @@
+(** Analytic memory accounting for the C baselines.
+
+    The paper measures resident memory of C/C++ implementations via
+    [/proc/self/status].  Reproducing that in OCaml would measure the OCaml
+    GC heap, which has nothing to do with the C node layouts the paper
+    compares (boxed words, headers, copying collection).  Instead every
+    baseline in this repository tracks the bytes its C counterpart would
+    hold, using the allocator model from the paper's Section 3.2: heap
+    allocators impose an eight-byte per-segment overhead and 16-byte
+    alignment (ptmalloc2). *)
+
+val malloc_header : int
+(** Per-allocation bookkeeping bytes of a typical heap allocator (8, per
+    the paper: "Heap allocators typically store the allocation size
+    internally and impose an eight-byte overhead per segment"). *)
+
+val malloc : int -> int
+(** [malloc n] is the resident cost of a heap allocation of [n] payload
+    bytes: header plus payload, rounded up to 16-byte granularity (glibc
+    ptmalloc2 behaviour, minimum chunk 32 bytes). *)
+
+val pointer : int
+(** Size of a native pointer on the paper's evaluation platform (8). *)

@@ -1,0 +1,1 @@
+lib/othertries/burst_trie.ml: Array Buffer Char Kvcommon List String

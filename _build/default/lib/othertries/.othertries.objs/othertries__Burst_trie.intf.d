@@ -1,0 +1,1 @@
+lib/othertries/burst_trie.mli: Kvcommon

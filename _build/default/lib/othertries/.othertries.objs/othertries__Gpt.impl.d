@@ -1,0 +1,1 @@
+lib/othertries/gpt.ml: Array Buffer Char String

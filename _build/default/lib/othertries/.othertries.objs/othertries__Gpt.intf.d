@@ -1,0 +1,1 @@
+lib/othertries/gpt.mli: Kvcommon

@@ -1,0 +1,1 @@
+lib/othertries/kiss_tree.ml: Array Bytes Int32 Int64 Kvcommon String

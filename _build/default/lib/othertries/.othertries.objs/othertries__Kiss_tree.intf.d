@@ -1,0 +1,1 @@
+lib/othertries/kiss_tree.mli: Kvcommon

@@ -1,0 +1,186 @@
+let burst_threshold = 256 (* "limit" heuristic of the original paper *)
+
+type record = { mutable suffix : string; mutable rvalue : int64 }
+
+type node =
+  | Container of { mutable records : record list; mutable n : int }
+  | Trie of { kids : node option array; mutable term : int64 option }
+
+type t = { mutable root : node; mutable count : int }
+
+let name = "BurstTrie"
+
+let new_container () = Container { records = []; n = 0 }
+let create () = { root = new_container (); count = 0 }
+
+(* Move-to-front search: the original authors' most effective container
+   discipline. *)
+let find_mtf c suffix =
+  match c with
+  | Trie _ -> assert false
+  | Container cc ->
+      let rec go acc = function
+        | [] -> None
+        | r :: rest ->
+            if r.suffix = suffix then begin
+              cc.records <- r :: List.rev_append acc rest;
+              Some r
+            end
+            else go (r :: acc) rest
+      in
+      go [] cc.records
+
+let burst records =
+  let kids = Array.make 256 None in
+  let term = ref None in
+  List.iter
+    (fun r ->
+      if r.suffix = "" then term := Some r.rvalue
+      else begin
+        let c = Char.code r.suffix.[0] in
+        let sub = String.sub r.suffix 1 (String.length r.suffix - 1) in
+        match kids.(c) with
+        | Some (Container cc) ->
+            cc.records <- { suffix = sub; rvalue = r.rvalue } :: cc.records;
+            cc.n <- cc.n + 1
+        | _ ->
+            kids.(c) <-
+              Some
+                (Container
+                   { records = [ { suffix = sub; rvalue = r.rvalue } ]; n = 1 })
+      end)
+    records;
+  Trie { kids; term = !term }
+
+let put t key value =
+  let rec go node depth parent_set =
+    match node with
+    | Trie tn ->
+        if depth = String.length key then begin
+          if tn.term = None then t.count <- t.count + 1;
+          tn.term <- Some value
+        end
+        else begin
+          let c = Char.code key.[depth] in
+          (match tn.kids.(c) with
+          | None -> tn.kids.(c) <- Some (new_container ())
+          | Some _ -> ());
+          match tn.kids.(c) with
+          | Some child -> go child (depth + 1) (fun n -> tn.kids.(c) <- Some n)
+          | None -> assert false
+        end
+    | Container cc as cnode -> (
+        let suffix = String.sub key depth (String.length key - depth) in
+        match find_mtf cnode suffix with
+        | Some r -> r.rvalue <- value
+        | None ->
+            if cc.n >= burst_threshold then begin
+              let trie = burst cc.records in
+              parent_set trie;
+              go trie depth parent_set
+            end
+            else begin
+              cc.records <- { suffix; rvalue = value } :: cc.records;
+              cc.n <- cc.n + 1;
+              t.count <- t.count + 1
+            end)
+  in
+  go t.root 0 (fun n -> t.root <- n)
+
+let get t key =
+  let rec go node depth =
+    match node with
+    | Trie tn ->
+        if depth = String.length key then tn.term
+        else begin
+          match tn.kids.(Char.code key.[depth]) with
+          | Some child -> go child (depth + 1)
+          | None -> None
+        end
+    | Container _ as c -> (
+        match find_mtf c (String.sub key depth (String.length key - depth)) with
+        | Some r -> Some r.rvalue
+        | None -> None)
+  in
+  go t.root 0
+
+let mem t key = get t key <> None
+
+let delete t key =
+  let rec go node depth =
+    match node with
+    | Trie tn ->
+        if depth = String.length key then (
+          match tn.term with
+          | Some _ ->
+              tn.term <- None;
+              true
+          | None -> false)
+        else begin
+          match tn.kids.(Char.code key.[depth]) with
+          | Some child -> go child (depth + 1)
+          | None -> false
+        end
+    | Container cc ->
+        let suffix = String.sub key depth (String.length key - depth) in
+        let before = cc.n in
+        cc.records <- List.filter (fun r -> r.suffix <> suffix) cc.records;
+        cc.n <- List.length cc.records;
+        cc.n < before
+  in
+  let removed = go t.root 0 in
+  if removed then t.count <- t.count - 1;
+  removed
+
+exception Stop
+
+let range t ?(start = "") f =
+  let prefix = Buffer.create 32 in
+  let emit k v = if not (f k (Some v)) then raise Stop in
+  let rec visit node =
+    match node with
+    | Trie tn ->
+        (match tn.term with
+        | Some v ->
+            let k = Buffer.contents prefix in
+            if String.compare k start >= 0 then emit k v
+        | None -> ());
+        for c = 0 to 255 do
+          match tn.kids.(c) with
+          | Some child ->
+              Buffer.add_char prefix (Char.chr c);
+              visit child;
+              Buffer.truncate prefix (Buffer.length prefix - 1)
+          | None -> ()
+        done
+    | Container cc ->
+        let p = Buffer.contents prefix in
+        cc.records
+        |> List.filter_map (fun r ->
+               let k = p ^ r.suffix in
+               if String.compare k start >= 0 then Some (k, r.rvalue) else None)
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.iter (fun (k, v) -> emit k v)
+  in
+  try visit t.root with Stop -> ()
+
+let length t = t.count
+
+let memory_usage t =
+  let total = ref 0 in
+  let rec go = function
+    | Trie tn ->
+        total := !total + Kvcommon.Mem_model.malloc (16 + (256 * 8));
+        Array.iter (function Some k -> go k | None -> ()) tn.kids
+    | Container cc ->
+        total := !total + Kvcommon.Mem_model.malloc 16;
+        List.iter
+          (fun r ->
+            (* list cell: next pointer + suffix pointer/len + value *)
+            total :=
+              !total
+              + Kvcommon.Mem_model.malloc (8 + 8 + 8 + String.length r.suffix))
+          cc.records
+  in
+  go t.root;
+  !total

@@ -1,0 +1,13 @@
+(** Burst trie (Heinz, Zobel & Williams 2002; paper Section 2.2) — the
+    HAT-trie's ancestor.
+
+    Trie nodes map one character to child nodes or containers; small
+    sub-tries live in containers managed, per the original paper's best
+    heuristic, as move-to-front linked lists of (suffix, value) records.
+    A container bursts into a trie node once its population exceeds the
+    burst threshold.  Kept here as the paper's historical reference point
+    for HAT (which replaced the lists with cache-conscious array hashes). *)
+
+include Kvcommon.Kv_intf.S
+
+val burst_threshold : int

@@ -1,0 +1,162 @@
+(* 16-ary trie over nibbles.  Nodes live in growable integer segments:
+   node i occupies cells [i*18, (i+1)*18): 16 child offsets (0 = none),
+   one terminal flag, one value index (-1 = none); values in a side
+   array.  Offsets-as-references mirror the GPT's segment design. *)
+
+let span = 16
+let node_cells = span + 2
+
+type t = {
+  mutable cells : int array;  (* node storage *)
+  mutable nodes : int;
+  mutable values : int64 array;
+  mutable nvalues : int;
+  mutable free_values : int list;  (* recycled value slots *)
+  mutable count : int;
+  mutable key_nibbles : int;  (* live key payload for accounting *)
+}
+
+let name = "GPT"
+
+let new_node t =
+  let need = (t.nodes + 1) * node_cells in
+  if Array.length t.cells < need then begin
+    let bigger = Array.make (max need (2 * Array.length t.cells)) 0 in
+    Array.blit t.cells 0 bigger 0 (t.nodes * node_cells);
+    t.cells <- bigger
+  end;
+  let id = t.nodes in
+  Array.fill t.cells (id * node_cells) node_cells 0;
+  t.cells.((id * node_cells) + span + 1) <- -1;
+  t.nodes <- id + 1;
+  id
+
+let create () =
+  let t =
+    {
+      cells = Array.make (64 * node_cells) 0;
+      nodes = 0;
+      values = Array.make 64 0L;
+      nvalues = 0;
+      free_values = [];
+      count = 0;
+      key_nibbles = 0;
+    }
+  in
+  ignore (new_node t) (* root = node 0 *);
+  t
+
+let child t node nib = t.cells.((node * node_cells) + nib)
+
+let set_child t node nib v = t.cells.((node * node_cells) + nib) <- v
+
+let value_ix t node = t.cells.((node * node_cells) + span + 1)
+
+let set_value_ix t node ix = t.cells.((node * node_cells) + span + 1) <- ix
+
+(* nibble i of the key, high nibble first *)
+let nibble key i =
+  let b = Char.code key.[i / 2] in
+  if i mod 2 = 0 then b lsr 4 else b land 0xf
+
+let nibbles key = 2 * String.length key
+
+let alloc_value t v =
+  match t.free_values with
+  | ix :: rest ->
+      t.free_values <- rest;
+      t.values.(ix) <- v;
+      ix
+  | [] ->
+      if t.nvalues >= Array.length t.values then begin
+        let bigger = Array.make (2 * Array.length t.values) 0L in
+        Array.blit t.values 0 bigger 0 t.nvalues;
+        t.values <- bigger
+      end;
+      t.values.(t.nvalues) <- v;
+      t.nvalues <- t.nvalues + 1;
+      t.nvalues - 1
+
+let descend t key ~create_path =
+  let n = nibbles key in
+  let rec go node i =
+    if i = n then Some node
+    else begin
+      let c = child t node (nibble key i) in
+      if c <> 0 then go c (i + 1)
+      else if create_path then begin
+        let fresh = new_node t in
+        set_child t node (nibble key i) fresh;
+        go fresh (i + 1)
+      end
+      else None
+    end
+  in
+  go 0 0
+
+let put t key value =
+  match descend t key ~create_path:true with
+  | Some node ->
+      if value_ix t node >= 0 then t.values.(value_ix t node) <- value
+      else begin
+        set_value_ix t node (alloc_value t value);
+        t.count <- t.count + 1;
+        t.key_nibbles <- t.key_nibbles + nibbles key
+      end
+  | None -> assert false
+
+let get t key =
+  match descend t key ~create_path:false with
+  | Some node when value_ix t node >= 0 -> Some t.values.(value_ix t node)
+  | _ -> None
+
+let mem t key = get t key <> None
+
+let delete t key =
+  match descend t key ~create_path:false with
+  | Some node when value_ix t node >= 0 ->
+      t.free_values <- value_ix t node :: t.free_values;
+      set_value_ix t node (-1);
+      t.count <- t.count - 1;
+      t.key_nibbles <- t.key_nibbles - nibbles key;
+      (* nodes are not reclaimed: the GPT's segments only grow *)
+      true
+  | _ -> false
+
+exception Stop
+
+let range t ?(start = "") f =
+  (* depth-first in nibble order = binary-comparable key order; terminals
+     exist only at even nibble depth (whole bytes) *)
+  let buf = Buffer.create 32 in
+  let emit v =
+    let k = Buffer.contents buf in
+    if String.compare k start >= 0 && not (f k (Some v)) then raise Stop
+  in
+  let rec visit node ~half =
+    (match half with
+    | None -> if value_ix t node >= 0 then emit t.values.(value_ix t node)
+    | Some _ -> ());
+    for nib = 0 to span - 1 do
+      let c = child t node nib in
+      if c <> 0 then begin
+        match half with
+        | None -> visit c ~half:(Some nib)
+        | Some hi ->
+            Buffer.add_char buf (Char.chr ((hi lsl 4) lor nib));
+            visit c ~half:None;
+            Buffer.truncate buf (Buffer.length buf - 1)
+      end
+    done
+  in
+  try visit 0 ~half:None with Stop -> ()
+
+let length t = t.count
+
+let node_count t = t.nodes
+
+(* GPT node: 16 4-byte child offsets + bookkeeping, no per-node malloc
+   header (segment allocation); values 8 bytes each. *)
+let memory_usage t =
+  (t.nodes * ((span * 4) + 8)) + (t.nvalues * 8) + 64 (* segment headers *)
+

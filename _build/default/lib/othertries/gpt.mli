@@ -1,0 +1,17 @@
+(** Generalized Prefix Tree (Böhm et al., BTW 2011; paper Section 2.3).
+
+    A fixed-span radix trie whose nodes live in large pre-allocated memory
+    segments and are referenced by 32-bit offsets instead of native
+    pointers, which removes per-node allocator overhead and halves the
+    child-reference cost — the idea Hyperion generalizes with its memory
+    manager and Hyperion Pointers.
+
+    This implementation uses the paper's 4-bit span (16-ary nodes over
+    nibbles), segment-allocated nodes, and no path compression — exactly
+    the combination ART §2.3 criticizes for worst-case memory, which makes
+    it a useful ablation reference here.  Keys of arbitrary length are
+    decomposed into nibbles; values live in the terminating node. *)
+
+include Kvcommon.Kv_intf.S
+
+val node_count : t -> int

@@ -1,0 +1,162 @@
+(* Level 1: implicit (the 16-bit fragment is the index).  Level 2: 2^16
+   slots, each either empty or referencing a 1024-bucket array.  Level 3:
+   compressed nodes of up to 64 entries with an existence bitmap. *)
+
+type leaf = { mutable bitmap : int64; mutable vals : int64 array }
+(* vals is exact-fit: popcount(bitmap) entries in fragment order *)
+
+type t = {
+  l2 : leaf option array option array;  (* 2^16 -> 1024 buckets -> leaf *)
+  mutable count : int;
+}
+
+let name = "KISS-Tree"
+
+let create () = { l2 = Array.make 65536 None; count = 0 }
+
+let check_key key =
+  if String.length key <> 4 then
+    invalid_arg "Kiss_tree: keys must be exactly 4 bytes (32-bit)"
+
+let fragments key =
+  check_key key;
+  let v = Int32.to_int (String.get_int32_be key 0) land 0xffffffff in
+  (v lsr 16, (v lsr 6) land 0x3ff, v land 0x3f)
+
+let popcount_below bm frag =
+  let below = if frag = 0 then 0L else Int64.shift_left 1L frag |> Int64.pred in
+  let x = Int64.logand bm below in
+  let rec go x acc =
+    if x = 0L then acc
+    else go (Int64.logand x (Int64.pred x)) (acc + 1)
+  in
+  go x 0
+
+let exists bm frag = Int64.logand bm (Int64.shift_left 1L frag) <> 0L
+
+let put t key value =
+  let f1, f2, f3 = fragments key in
+  let bucket =
+    match t.l2.(f1) with
+    | Some b -> b
+    | None ->
+        let b = Array.make 1024 None in
+        t.l2.(f1) <- Some b;
+        b
+  in
+  match bucket.(f2) with
+  | None ->
+      bucket.(f2) <-
+        Some { bitmap = Int64.shift_left 1L f3; vals = [| value |] };
+      t.count <- t.count + 1
+  | Some leaf ->
+      let ix = popcount_below leaf.bitmap f3 in
+      if exists leaf.bitmap f3 then leaf.vals.(ix) <- value
+      else begin
+        (* exact-fit copy-on-write insert, as in the original *)
+        let n = Array.length leaf.vals in
+        let vals = Array.make (n + 1) value in
+        Array.blit leaf.vals 0 vals 0 ix;
+        Array.blit leaf.vals ix vals (ix + 1) (n - ix);
+        leaf.vals <- vals;
+        leaf.bitmap <- Int64.logor leaf.bitmap (Int64.shift_left 1L f3);
+        t.count <- t.count + 1
+      end
+
+let get t key =
+  let f1, f2, f3 = fragments key in
+  match t.l2.(f1) with
+  | None -> None
+  | Some bucket -> (
+      match bucket.(f2) with
+      | Some leaf when exists leaf.bitmap f3 ->
+          Some leaf.vals.(popcount_below leaf.bitmap f3)
+      | _ -> None)
+
+let mem t key = get t key <> None
+
+let delete t key =
+  let f1, f2, f3 = fragments key in
+  match t.l2.(f1) with
+  | None -> false
+  | Some bucket -> (
+      match bucket.(f2) with
+      | Some leaf when exists leaf.bitmap f3 ->
+          let ix = popcount_below leaf.bitmap f3 in
+          let n = Array.length leaf.vals in
+          if n = 1 then bucket.(f2) <- None
+          else begin
+            let vals = Array.make (n - 1) 0L in
+            Array.blit leaf.vals 0 vals 0 ix;
+            Array.blit leaf.vals (ix + 1) vals ix (n - 1 - ix);
+            leaf.vals <- vals;
+            leaf.bitmap <- Int64.logand leaf.bitmap (Int64.lognot (Int64.shift_left 1L f3))
+          end;
+          t.count <- t.count - 1;
+          true
+      | _ -> false)
+
+exception Stop
+
+let key_of f1 f2 f3 =
+  let v = Int32.of_int ((f1 lsl 16) lor (f2 lsl 6) lor f3) in
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 v;
+  Bytes.unsafe_to_string b
+
+let range t ?(start = "") f =
+  let start_v =
+    if start = "" then 0
+    else if String.length start >= 4 then
+      Int32.to_int (String.get_int32_be start 0) land 0xffffffff
+    else
+      (* shorter bounds compare as left-aligned prefixes *)
+      let b = Bytes.make 4 '\000' in
+      Bytes.blit_string start 0 b 0 (String.length start);
+      Int32.to_int (Bytes.get_int32_be b 0) land 0xffffffff
+  in
+  try
+    for f1 = start_v lsr 16 to 65535 do
+      match t.l2.(f1) with
+      | None -> ()
+      | Some bucket ->
+          for f2 = 0 to 1023 do
+            match bucket.(f2) with
+            | None -> ()
+            | Some leaf ->
+                let ix = ref 0 in
+                for f3 = 0 to 63 do
+                  if exists leaf.bitmap f3 then begin
+                    let v = ((f1 lsl 16) lor (f2 lsl 6)) lor f3 in
+                    if v >= start_v then
+                      if not (f (key_of f1 f2 f3) (Some leaf.vals.(!ix))) then
+                        raise Stop;
+                    incr ix
+                  end
+                done
+          done
+    done
+  with Stop -> ()
+
+let length t = t.count
+
+(* level-2 slot arrays of compact 32-bit pointers; level-3 nodes with a
+   64-bit map plus exact-fit values *)
+let memory_usage t =
+  let total = ref (65536 * 8) in
+  Array.iter
+    (function
+      | None -> ()
+      | Some bucket ->
+          total := !total + Kvcommon.Mem_model.malloc (1024 * 4);
+          Array.iter
+            (function
+              | None -> ()
+              | Some leaf ->
+                  total :=
+                    !total
+                    + Kvcommon.Mem_model.malloc
+                        (8 + (8 * Array.length leaf.vals)))
+            bucket)
+    t.l2;
+  !total

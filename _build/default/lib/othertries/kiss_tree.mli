@@ -1,0 +1,13 @@
+(** KISS-Tree (Kissinger et al., DaMoN 2012; paper Section 2.3).
+
+    A latch-free three-level trie specialized to 32-bit keys: the 16-bit
+    first fragment addresses level two directly (no memory access), the
+    10-bit second fragment selects a bucket of compact (32-bit) pointers,
+    and the 6-bit third fragment resolves within a compressed leaf node
+    whose 64-bit bitmap marks which entries exist.
+
+    Keys here are exactly 4 bytes (big-endian 32-bit, see
+    {!Kvcommon.Key_codec.of_u32}); other lengths are rejected — the
+    structure's whole point is the fixed split 16/10/6. *)
+
+include Kvcommon.Kv_intf.S

@@ -1,0 +1,282 @@
+(* CLRS-style red-black tree with a shared nil sentinel. *)
+
+type color = Red | Black
+
+type node = {
+  mutable key : string;
+  mutable value : int64;
+  mutable color : color;
+  mutable left : node;
+  mutable right : node;
+  mutable parent : node;
+}
+
+type t = {
+  mutable nil : node;
+  mutable root : node;
+  mutable count : int;
+  mutable key_bytes : int;
+}
+
+let name = "RB-Tree"
+
+let make_nil () =
+  let rec nil =
+    { key = ""; value = 0L; color = Black; left = nil; right = nil; parent = nil }
+  in
+  nil
+
+let create () =
+  let nil = make_nil () in
+  { nil; root = nil; count = 0; key_bytes = 0 }
+
+let left_rotate t x =
+  let y = x.right in
+  x.right <- y.left;
+  if y.left != t.nil then y.left.parent <- x;
+  y.parent <- x.parent;
+  if x.parent == t.nil then t.root <- y
+  else if x == x.parent.left then x.parent.left <- y
+  else x.parent.right <- y;
+  y.left <- x;
+  x.parent <- y
+
+let right_rotate t x =
+  let y = x.left in
+  x.left <- y.right;
+  if y.right != t.nil then y.right.parent <- x;
+  y.parent <- x.parent;
+  if x.parent == t.nil then t.root <- y
+  else if x == x.parent.right then x.parent.right <- y
+  else x.parent.left <- y;
+  y.right <- x;
+  x.parent <- y
+
+let rec insert_fixup t z =
+  if z.parent.color = Red then begin
+    if z.parent == z.parent.parent.left then begin
+      let y = z.parent.parent.right in
+      if y.color = Red then begin
+        z.parent.color <- Black;
+        y.color <- Black;
+        z.parent.parent.color <- Red;
+        insert_fixup t z.parent.parent
+      end
+      else begin
+        (* CLRS case 2: rotate the old parent down, it becomes the new z *)
+        let z =
+          if z == z.parent.right then begin
+            let p = z.parent in
+            left_rotate t p;
+            p
+          end
+          else z
+        in
+        z.parent.color <- Black;
+        z.parent.parent.color <- Red;
+        right_rotate t z.parent.parent;
+        insert_fixup t z
+      end
+    end
+    else begin
+      let y = z.parent.parent.left in
+      if y.color = Red then begin
+        z.parent.color <- Black;
+        y.color <- Black;
+        z.parent.parent.color <- Red;
+        insert_fixup t z.parent.parent
+      end
+      else begin
+        let z =
+          if z == z.parent.left then begin
+            let p = z.parent in
+            right_rotate t p;
+            p
+          end
+          else z
+        in
+        z.parent.color <- Black;
+        z.parent.parent.color <- Red;
+        left_rotate t z.parent.parent;
+        insert_fixup t z
+      end
+    end
+  end
+
+let put t key value =
+  let y = ref t.nil and x = ref t.root in
+  let existing = ref None in
+  while !x != t.nil && !existing = None do
+    y := !x;
+    let c = String.compare key !x.key in
+    if c = 0 then existing := Some !x
+    else if c < 0 then x := !x.left
+    else x := !x.right
+  done;
+  match !existing with
+  | Some n -> n.value <- value
+  | None ->
+      let z =
+        {
+          key;
+          value;
+          color = Red;
+          left = t.nil;
+          right = t.nil;
+          parent = !y;
+        }
+      in
+      if !y == t.nil then t.root <- z
+      else if String.compare key !y.key < 0 then !y.left <- z
+      else !y.right <- z;
+      insert_fixup t z;
+      t.root.color <- Black;
+      t.count <- t.count + 1;
+      t.key_bytes <- t.key_bytes + String.length key
+
+let find_node t key =
+  let rec go x =
+    if x == t.nil then None
+    else
+      let c = String.compare key x.key in
+      if c = 0 then Some x else if c < 0 then go x.left else go x.right
+  in
+  go t.root
+
+let get t key =
+  match find_node t key with Some n -> Some n.value | None -> None
+
+let mem t key = find_node t key <> None
+
+let rec minimum t x = if x.left == t.nil then x else minimum t x.left
+
+let transplant t u v =
+  if u.parent == t.nil then t.root <- v
+  else if u == u.parent.left then u.parent.left <- v
+  else u.parent.right <- v;
+  v.parent <- u.parent
+
+let rec delete_fixup t x =
+  if x != t.root && x.color = Black then begin
+    if x == x.parent.left then begin
+      let w = ref x.parent.right in
+      if !w.color = Red then begin
+        !w.color <- Black;
+        x.parent.color <- Red;
+        left_rotate t x.parent;
+        w := x.parent.right
+      end;
+      if !w.left.color = Black && !w.right.color = Black then begin
+        !w.color <- Red;
+        delete_fixup t x.parent
+      end
+      else begin
+        if !w.right.color = Black then begin
+          !w.left.color <- Black;
+          !w.color <- Red;
+          right_rotate t !w;
+          w := x.parent.right
+        end;
+        !w.color <- x.parent.color;
+        x.parent.color <- Black;
+        !w.right.color <- Black;
+        left_rotate t x.parent
+      end
+    end
+    else begin
+      let w = ref x.parent.left in
+      if !w.color = Red then begin
+        !w.color <- Black;
+        x.parent.color <- Red;
+        right_rotate t x.parent;
+        w := x.parent.left
+      end;
+      if !w.right.color = Black && !w.left.color = Black then begin
+        !w.color <- Red;
+        delete_fixup t x.parent
+      end
+      else begin
+        if !w.left.color = Black then begin
+          !w.right.color <- Black;
+          !w.color <- Red;
+          left_rotate t !w;
+          w := x.parent.left
+        end;
+        !w.color <- x.parent.color;
+        x.parent.color <- Black;
+        !w.left.color <- Black;
+        right_rotate t x.parent
+      end
+    end
+  end
+  else x.color <- Black
+
+let delete t key =
+  match find_node t key with
+  | None -> false
+  | Some z ->
+      let y = ref z and y_orig_color = ref z.color in
+      let x =
+        if z.left == t.nil then begin
+          let x = z.right in
+          transplant t z z.right;
+          x
+        end
+        else if z.right == t.nil then begin
+          let x = z.left in
+          transplant t z z.left;
+          x
+        end
+        else begin
+          y := minimum t z.right;
+          y_orig_color := !y.color;
+          let x = !y.right in
+          if !y.parent == z then x.parent <- !y
+          else begin
+            transplant t !y !y.right;
+            !y.right <- z.right;
+            !y.right.parent <- !y
+          end;
+          transplant t z !y;
+          !y.left <- z.left;
+          !y.left.parent <- !y;
+          !y.color <- z.color;
+          x
+        end
+      in
+      if !y_orig_color = Black then delete_fixup t x;
+      if t.root != t.nil then t.root.color <- Black;
+      t.nil.parent <- t.nil;
+      t.count <- t.count - 1;
+      t.key_bytes <- t.key_bytes - String.length key;
+      true
+
+let range t ?(start = "") f =
+  let continue = ref true in
+  let rec go x =
+    if x != t.nil && !continue then begin
+      if String.compare x.key start >= 0 then begin
+        go x.left;
+        if !continue && not (f x.key (Some x.value)) then continue := false;
+        if !continue then go x.right
+      end
+      else go x.right
+    end
+  in
+  go t.root
+
+let length t = t.count
+
+(* libstdc++ _Rb_tree_node: color + 3 pointers + payload (std::string key of
+   32 bytes header with SSO, heap buffer when longer than 15 bytes, plus the
+   8-byte value), each node a heap allocation. *)
+let memory_usage t =
+  let node_fixed = 8 (* color, padded *) + (3 * Kvcommon.Mem_model.pointer) in
+  let string_header = 32 in
+  let per_node = Kvcommon.Mem_model.malloc (node_fixed + string_header + 8) in
+  let heap_strings =
+    (* keys longer than the 15-byte SSO buffer spill to the heap; we charge
+       the average via total key bytes *)
+    t.key_bytes
+  in
+  (t.count * per_node) + Kvcommon.Mem_model.malloc heap_strings

@@ -1,0 +1,9 @@
+(** Red-black tree key-value store — the paper's [std::map] baseline.
+
+    A classic top-down-balanced binary search tree implemented imperatively
+    with parent pointers, as libstdc++'s [_Rb_tree] is.  Memory accounting
+    follows the C++ layout: per node three pointers, one color word, the
+    [std::string] key header plus its heap buffer, and the 8-byte value
+    (see {!Kvcommon.Mem_model}). *)
+
+include Kvcommon.Kv_intf.S

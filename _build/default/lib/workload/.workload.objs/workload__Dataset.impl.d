@@ -1,0 +1,1 @@
+lib/workload/dataset.ml: Array Hashtbl Int64 Kvcommon Mt19937_64 Ngram String

@@ -1,0 +1,1 @@
+lib/workload/mt19937_64.ml: Array Int64

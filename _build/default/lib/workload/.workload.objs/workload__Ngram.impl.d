@@ -1,0 +1,1 @@
+lib/workload/ngram.ml: Array Buffer Hashtbl Int64 Mt19937_64 String Zipf

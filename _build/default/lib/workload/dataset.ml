@@ -1,0 +1,43 @@
+type t = { name : string; pairs : (string * int64) array }
+
+let seq_ints n =
+  let pairs =
+    Array.init n (fun i ->
+        let v = Int64.of_int i in
+        (Kvcommon.Key_codec.of_u64 v, v))
+  in
+  { name = "seq-int"; pairs }
+
+let rand_ints ?(seed = 4242L) n =
+  let rng = Mt19937_64.create seed in
+  let seen = Hashtbl.create (2 * n) in
+  let pairs = Array.make (max n 1) ("", 0L) in
+  let filled = ref 0 in
+  while !filled < n do
+    let v = Mt19937_64.next_u64 rng in
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      pairs.(!filled) <- (Kvcommon.Key_codec.of_u64 v, v);
+      incr filled
+    end
+  done;
+  { name = "rand-int"; pairs = (if n = 0 then [||] else pairs) }
+
+let sorted t =
+  let pairs = Array.copy t.pairs in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) pairs;
+  { t with pairs }
+
+let shuffled ?(seed = 99991L) t =
+  let rng = Mt19937_64.create seed in
+  let pairs = Array.copy t.pairs in
+  Mt19937_64.shuffle rng pairs;
+  { t with pairs }
+
+let ngrams_sorted ?seed n =
+  let pairs = Ngram.generate ?seed ~n () in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) pairs;
+  { name = "seq-str"; pairs }
+
+let ngrams_random ?seed n =
+  { name = "rand-str"; pairs = Ngram.generate ?seed ~n () }

@@ -1,0 +1,32 @@
+(** The four data sets of the paper's evaluation (Section 4.1), scaled:
+    sequential and randomized 64-bit integers, and sequential (sorted) and
+    randomized n-gram strings.  Integer keys are encoded big-endian — the
+    paper's "reversed byte order" for little-endian machines — so that tries
+    fill depth-first on sequential data. *)
+
+type t = {
+  name : string;  (** e.g. ["seq-int"], ["rand-str"] *)
+  pairs : (string * int64) array;
+      (** distinct binary-comparable keys with 64-bit values, in insertion
+          order (sorted for sequential sets, shuffled for randomized). *)
+}
+
+val seq_ints : int -> t
+(** [seq_ints n] is keys 0..n-1 (big-endian 8-byte), value = key. *)
+
+val rand_ints : ?seed:int64 -> int -> t
+(** [rand_ints n] is [n] distinct MT19937-64 draws, big-endian encoded,
+    value = key, in draw order. *)
+
+val ngrams_sorted : ?seed:int64 -> int -> t
+(** Synthetic n-gram corpus sorted lexicographically (the paper's
+    cache-friendly "sequential" string set). *)
+
+val ngrams_random : ?seed:int64 -> int -> t
+(** The same corpus in random order. *)
+
+val shuffled : ?seed:int64 -> t -> t
+(** A copy of a data set with its insertion order shuffled. *)
+
+val sorted : t -> t
+(** A copy sorted by key (binary-comparable order). *)

@@ -1,0 +1,71 @@
+(* Reference MT19937-64 recurrence (Matsumoto & Nishimura 2004). *)
+
+let nn = 312
+let mm = 156
+let matrix_a = 0xB5026F5AA96619E9L
+let upper_mask = 0xFFFFFFFF80000000L (* most significant 33 bits *)
+let lower_mask = 0x7FFFFFFFL (* least significant 31 bits *)
+
+type t = { mt : int64 array; mutable mti : int }
+
+let create seed =
+  let mt = Array.make nn 0L in
+  mt.(0) <- seed;
+  for i = 1 to nn - 1 do
+    let prev = mt.(i - 1) in
+    mt.(i) <-
+      Int64.add
+        (Int64.mul 6364136223846793005L
+           (Int64.logxor prev (Int64.shift_right_logical prev 62)))
+        (Int64.of_int i)
+  done;
+  { mt; mti = nn }
+
+let twist t =
+  let mt = t.mt in
+  for i = 0 to nn - 1 do
+    let x =
+      Int64.logor
+        (Int64.logand mt.(i) upper_mask)
+        (Int64.logand mt.((i + 1) mod nn) lower_mask)
+    in
+    let xa = Int64.shift_right_logical x 1 in
+    let xa =
+      if Int64.logand x 1L <> 0L then Int64.logxor xa matrix_a else xa
+    in
+    mt.(i) <- Int64.logxor mt.((i + mm) mod nn) xa
+  done;
+  t.mti <- 0
+
+let next_u64 t =
+  if t.mti >= nn then twist t;
+  let x = t.mt.(t.mti) in
+  t.mti <- t.mti + 1;
+  let x = Int64.logxor x (Int64.logand (Int64.shift_right_logical x 29) 0x5555555555555555L) in
+  let x = Int64.logxor x (Int64.logand (Int64.shift_left x 17) 0x71D67FFFEDA60000L) in
+  let x = Int64.logxor x (Int64.logand (Int64.shift_left x 37) 0xFFF7EEE000000000L) in
+  Int64.logxor x (Int64.shift_right_logical x 43)
+
+let next_below t n =
+  if n <= 0 then invalid_arg "Mt19937_64.next_below: bound must be positive";
+  (* Rejection sampling on the low 62 bits keeps the distribution uniform. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+  let rec draw () =
+    let r = Int64.to_int (Int64.logand (next_u64 t) mask) in
+    let v = r mod n in
+    if r - v > (1 lsl 62) - n then draw () else v
+  in
+  draw ()
+
+let next_float t =
+  (* 53-bit resolution, as in the reference genrand64_real2. *)
+  let x = Int64.shift_right_logical (next_u64 t) 11 in
+  Int64.to_float x *. (1.0 /. 9007199254740992.0)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = next_below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,25 @@
+(** 64-bit Mersenne Twister (MT19937-64, Matsumoto & Nishimura).
+
+    The paper generates its random integer keys with the SIMD-oriented Fast
+    Mersenne Twister; this is the scalar member of the same generator family
+    with identical statistical properties (see DESIGN.md substitutions).
+    Implemented from the reference recurrence; reproducible from a seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] initializes the 312-word state from [seed] using the
+    reference initialization (multiplier 6364136223846793005). *)
+
+val next_u64 : t -> int64
+(** Next 64-bit output (full range, treat as unsigned). *)
+
+val next_below : t -> int -> int
+(** [next_below t n] is a uniform integer in [\[0, n)].  [n] must be
+    positive. *)
+
+val next_float : t -> float
+(** Uniform float in [\[0, 1)] with 53-bit resolution. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle driven by this generator. *)

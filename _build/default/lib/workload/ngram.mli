@@ -1,0 +1,26 @@
+(** Deterministic synthetic Google-Books-style n-gram corpus.
+
+    The paper's string experiments index the Google Books n-gram data set:
+    keys are 1- to 5-grams with the publication year appended, values encode
+    the book count and total occurrences.  That corpus is hundreds of GiB;
+    this generator reproduces its key statistics at configurable scale
+    (DESIGN.md, substitutions): a Zipf-distributed vocabulary built from an
+    English letter-frequency model, n-grams of 1–5 words joined by spaces,
+    a tab-separated year, and values packing two counts into one 64-bit
+    word.  Generation is reproducible from the seed and keys are distinct. *)
+
+val generate :
+  ?seed:int64 ->
+  ?vocab_size:int ->
+  ?min_words:int ->
+  ?max_words:int ->
+  n:int ->
+  unit ->
+  (string * int64) array
+(** [generate ~n ()] is an array of [n] distinct (key, value) pairs in
+    random generation order.  Defaults: [seed = 20190301L] (the paper's
+    publication month), [vocab_size = 8192], [min_words = 2],
+    [max_words = 5]. *)
+
+val average_key_length : (string * int64) array -> float
+(** Mean key size in bytes (the paper reports 22.65 B for its corpus). *)

@@ -1,0 +1,26 @@
+type t = { cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1.0 /. (float_of_int (k + 1) ** s));
+    cdf.(k) <- !acc
+  done;
+  let total = !acc in
+  for k = 0 to n - 1 do
+    cdf.(k) <- cdf.(k) /. total
+  done;
+  { cdf }
+
+let sample t rng =
+  let u = Mt19937_64.next_float rng in
+  (* First index whose cumulative probability exceeds [u]. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) <= u then lo := mid + 1 else hi := mid
+  done;
+  !lo

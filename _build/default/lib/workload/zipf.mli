@@ -1,0 +1,16 @@
+(** Zipf-distributed sampling over ranks [0 .. n-1].
+
+    Used by the synthetic n-gram corpus: word frequencies in natural-language
+    corpora (such as the Google Books n-grams the paper indexes) follow a
+    Zipfian law, which is what gives string data sets their skewed byte
+    distributions and heavily shared prefixes. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a sampler over [n] ranks with exponent [s]
+    (probability of rank [k] proportional to [1/(k+1)^s]).  [n] must be
+    positive and [s] non-negative.  O(n) setup, O(log n) sampling. *)
+
+val sample : t -> Mt19937_64.t -> int
+(** Draw a rank in [\[0, n)]. *)

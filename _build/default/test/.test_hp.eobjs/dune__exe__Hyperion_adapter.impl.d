@@ -1,0 +1,1 @@
+test/hyperion_adapter.ml: Hyperion

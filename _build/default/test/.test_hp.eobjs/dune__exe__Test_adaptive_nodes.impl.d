@@ -1,0 +1,1 @@
+test/test_adaptive_nodes.ml: Alcotest Art Char Hat Hot Int64 Judy Kvcommon List Printf

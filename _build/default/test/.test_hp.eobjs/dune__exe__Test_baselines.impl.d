@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Art Char Hashkv Hat Hot Int64 Judy Kvcommon List Map Printf Rbtree String Workload

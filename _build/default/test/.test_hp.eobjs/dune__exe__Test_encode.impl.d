@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Bytes Char Gen Hyperion QCheck QCheck_alcotest String

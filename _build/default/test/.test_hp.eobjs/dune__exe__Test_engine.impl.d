@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Char Format Hashtbl Hyperion Int64 Kvcommon List Map Printf String Workload

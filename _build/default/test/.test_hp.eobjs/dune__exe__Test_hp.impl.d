@@ -1,0 +1,1 @@
+test/test_hp.ml: Alcotest Bytes Hyperion List QCheck QCheck_alcotest

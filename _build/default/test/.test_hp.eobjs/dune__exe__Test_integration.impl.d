@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Art Char Hat Hot Hyperion Hyperion_adapter Int64 Judy Kvcommon Lazy List Rbtree String Workload

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Bytes Char Hyperion QCheck QCheck_alcotest String

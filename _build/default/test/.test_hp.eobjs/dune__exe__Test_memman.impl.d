@@ -1,0 +1,1 @@
+test/test_memman.ml: Alcotest Array Bytes Hyperion List Option Printf QCheck QCheck_alcotest

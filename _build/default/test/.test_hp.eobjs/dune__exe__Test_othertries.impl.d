@@ -1,0 +1,1 @@
+test/test_othertries.ml: Alcotest Char Int32 Int64 Kvcommon List Map Othertries Printf String Workload

@@ -1,0 +1,1 @@
+test/test_preprocess.ml: Alcotest Bytes Char Hashtbl Hyperion Kvcommon QCheck QCheck_alcotest String Workload

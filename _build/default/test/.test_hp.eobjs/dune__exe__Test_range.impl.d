@@ -1,0 +1,1 @@
+test/test_range.ml: Alcotest Char Gen Hashtbl Hyperion Int64 List Printf QCheck QCheck_alcotest String

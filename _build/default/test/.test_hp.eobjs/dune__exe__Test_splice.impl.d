@@ -1,0 +1,1 @@
+test/test_splice.ml: Alcotest Bytes Char Hyperion Printf String

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Char Gen Hashtbl Hyperion Int64 Kvcommon List Printf QCheck QCheck_alcotest String Thread Workload

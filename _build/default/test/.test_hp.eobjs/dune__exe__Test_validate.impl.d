@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Bytes Char Hyperion Int64 List Printf

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fun Hashtbl Int64 Kvcommon List Printf QCheck QCheck_alcotest String Workload

@@ -1,0 +1,19 @@
+(* Hyperion's Store as a Kv_intf.S instance for the integration tests
+   (bench_util has its own adapter; tests stay independent of it). *)
+
+type t = Hyperion.Store.t
+
+let name = "Hyperion"
+
+let create () =
+  Hyperion.Store.create
+    ~config:{ Hyperion.Config.strings with chunks_per_bin = 64 }
+    ()
+
+let put = Hyperion.Store.put
+let get = Hyperion.Store.get
+let mem = Hyperion.Store.mem
+let delete = Hyperion.Store.delete
+let range = Hyperion.Store.range
+let length = Hyperion.Store.length
+let memory_usage = Hyperion.Store.memory_usage

@@ -1,0 +1,138 @@
+(* Adaptive node-layout transitions under deletion: ART must shrink
+   Node256 -> Node48 -> Node16 -> Node4 and restore path compression;
+   Judy must step back from uncompressed to bitmap to linear layouts.
+   These reverse paths are rarely hit by random workloads, so they get
+   dedicated coverage. *)
+
+let key i = Printf.sprintf "p%c" (Char.chr i)
+
+let test_art_shrink_chain () =
+  let s = Art.create () in
+  for i = 0 to 99 do
+    Art.put s (key i) (Int64.of_int i)
+  done;
+  let _, _, _, n256 = Art.node_histogram s in
+  Alcotest.(check bool) "node256 present at 100 children" true (n256 >= 1);
+  (* shrink hysteresis: 256 -> 48 at <= 36 children *)
+  for i = 36 to 99 do
+    Alcotest.(check bool) "delete" true (Art.delete s (key i))
+  done;
+  let _, _, n48, n256 = Art.node_histogram s in
+  Alcotest.(check int) "no node256" 0 n256;
+  Alcotest.(check bool) "node48" true (n48 >= 1);
+  (* 48 -> 16 at <= 12 *)
+  for i = 12 to 35 do
+    ignore (Art.delete s (key i))
+  done;
+  let _, n16, n48, _ = Art.node_histogram s in
+  Alcotest.(check int) "no node48" 0 n48;
+  Alcotest.(check bool) "node16" true (n16 >= 1);
+  (* 16 -> 4 at <= 3; keep only keys 0 and 1 *)
+  for i = 2 to 11 do
+    ignore (Art.delete s (key i))
+  done;
+  let n4, n16, _, _ = Art.node_histogram s in
+  Alcotest.(check int) "no node16" 0 n16;
+  Alcotest.(check bool) "node4" true (n4 >= 1);
+  (* survivors intact *)
+  Alcotest.(check (option int64)) "key 0" (Some 0L) (Art.get s (key 0));
+  Alcotest.(check (option int64)) "key 1" (Some 1L) (Art.get s (key 1));
+  (* down to one key: the tree collapses to a leaf via path compression *)
+  ignore (Art.delete s (key 1));
+  Alcotest.(check (option int64)) "path-compressed survivor" (Some 0L)
+    (Art.get s (key 0));
+  Alcotest.(check int) "single key" 1 (Art.length s)
+
+let test_art_prefix_restore () =
+  (* deleting the splitter restores the merged compressed path *)
+  let s = Art.create () in
+  Art.put s "commonprefixAAA" 1L;
+  Art.put s "commonprefixBBB" 2L;
+  Art.put s "commonprefixAAAtail" 3L;
+  Alcotest.(check bool) "del BBB" true (Art.delete s "commonprefixBBB");
+  Alcotest.(check (option int64)) "AAA kept" (Some 1L) (Art.get s "commonprefixAAA");
+  Alcotest.(check (option int64)) "AAAtail kept" (Some 3L)
+    (Art.get s "commonprefixAAAtail");
+  Alcotest.(check bool) "del AAA" true (Art.delete s "commonprefixAAA");
+  Alcotest.(check (option int64)) "tail survives two merges" (Some 3L)
+    (Art.get s "commonprefixAAAtail")
+
+let test_judy_layout_cycle () =
+  let s = Judy.create () in
+  (* grow through linear (<=7) -> bitmap -> full (>187) *)
+  for i = 0 to 220 do
+    Judy.put s (key i) (Int64.of_int i)
+  done;
+  for i = 0 to 220 do
+    if Judy.get s (key i) <> Some (Int64.of_int i) then
+      Alcotest.failf "lost %d in full layout" i
+  done;
+  (* shrink back below every threshold *)
+  for i = 5 to 220 do
+    ignore (Judy.delete s (key i))
+  done;
+  for i = 0 to 4 do
+    Alcotest.(check (option int64)) "linear again" (Some (Int64.of_int i))
+      (Judy.get s (key i))
+  done;
+  (* memory shrinks with the relayout *)
+  let m_small = Judy.memory_usage s in
+  for i = 5 to 220 do
+    Judy.put s (key i) (Int64.of_int i)
+  done;
+  Alcotest.(check bool) "full layout costs more" true
+    (Judy.memory_usage s > m_small)
+
+let test_hat_delete_inside_container () =
+  let s = Hat.create () in
+  for i = 0 to 499 do
+    Hat.put s (Printf.sprintf "k%04d" i) (Int64.of_int i)
+  done;
+  (* delete every other key: records shift inside slot buffers *)
+  for i = 0 to 499 do
+    if i mod 2 = 0 then
+      Alcotest.(check bool) "del" true (Hat.delete s (Printf.sprintf "k%04d" i))
+  done;
+  for i = 0 to 499 do
+    let expect = if i mod 2 = 0 then None else Some (Int64.of_int i) in
+    if Hat.get s (Printf.sprintf "k%04d" i) <> expect then
+      Alcotest.failf "slot shifting corrupted %d" i
+  done
+
+let test_hot_split_boundaries () =
+  (* exact fan-out boundaries: 32, 33, 32*32, 32*32+1 keys *)
+  List.iter
+    (fun n ->
+      let s = Hot.create () in
+      for i = 0 to n - 1 do
+        Hot.put s (Kvcommon.Key_codec.of_u64 (Int64.of_int i)) (Int64.of_int i)
+      done;
+      for i = 0 to n - 1 do
+        if
+          Hot.get s (Kvcommon.Key_codec.of_u64 (Int64.of_int i))
+          <> Some (Int64.of_int i)
+        then Alcotest.failf "n=%d lost %d" n i
+      done;
+      Alcotest.(check int) (Printf.sprintf "n=%d count" n) n (Hot.length s))
+    [ 31; 32; 33; 1024; 1025 ]
+
+let () =
+  Alcotest.run "adaptive-nodes"
+    [
+      ( "art",
+        [
+          Alcotest.test_case "shrink chain 256->48->16->4" `Quick
+            test_art_shrink_chain;
+          Alcotest.test_case "path compression restore" `Quick
+            test_art_prefix_restore;
+        ] );
+      ( "judy",
+        [ Alcotest.test_case "layout grow/shrink cycle" `Quick test_judy_layout_cycle ] );
+      ( "hat",
+        [
+          Alcotest.test_case "delete inside containers" `Quick
+            test_hat_delete_inside_container;
+        ] );
+      ( "hot",
+        [ Alcotest.test_case "split boundaries" `Quick test_hot_split_boundaries ] );
+    ]

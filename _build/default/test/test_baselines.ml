@@ -1,0 +1,213 @@
+(* The comparison data structures: each is driven against a Map-based
+   reference model, plus structure-specific behaviours (ART node-type
+   transitions, Judy layout adaptation, HAT bursting, HOT height, RB
+   ordering, hash resizing). *)
+
+module M = Map.Make (String)
+
+module Model_check (S : Kvcommon.Kv_intf.S) = struct
+  let run ~n ~seed ~keygen ctx =
+    let rng = Workload.Mt19937_64.create seed in
+    let s = S.create () in
+    let model = ref M.empty in
+    for i = 0 to n - 1 do
+      let k = keygen rng in
+      let op = Workload.Mt19937_64.next_below rng 10 in
+      if op < 7 then begin
+        let v = Workload.Mt19937_64.next_u64 rng in
+        S.put s k v;
+        model := M.add k v !model
+      end
+      else begin
+        let removed = S.delete s k in
+        if removed <> M.mem k !model then
+          Alcotest.failf "%s: delete %S -> %b" ctx k removed;
+        model := M.remove k !model
+      end;
+      if i mod (max 1 (n / 5)) = 0 || i = n - 1 then begin
+        M.iter
+          (fun k v ->
+            match S.get s k with
+            | Some got when got = v -> ()
+            | _ -> Alcotest.failf "%s@%d: key %S wrong" ctx i k)
+          !model;
+        if S.length s <> M.cardinal !model then Alcotest.failf "%s: length" ctx;
+        let got = ref [] in
+        S.range s (fun k v ->
+            got := (k, v) :: !got;
+            true);
+        if List.rev !got <> (M.bindings !model |> List.map (fun (k, v) -> (k, Some v)))
+        then Alcotest.failf "%s@%d: range mismatch" ctx i
+      end
+    done
+
+  let case name keygen seed n =
+    Alcotest.test_case name `Slow (fun () -> run ~n ~seed ~keygen name)
+end
+
+let word alphabet maxlen rng =
+  let n = 1 + Workload.Mt19937_64.next_below rng maxlen in
+  String.init n (fun _ ->
+      Char.chr (97 + Workload.Mt19937_64.next_below rng alphabet))
+
+let intkey bound rng =
+  Kvcommon.Key_codec.of_u64
+    (Int64.of_int (Workload.Mt19937_64.next_below rng bound))
+
+let binkey rng =
+  let n = 1 + Workload.Mt19937_64.next_below rng 10 in
+  String.init n (fun _ -> Char.chr (Workload.Mt19937_64.next_below rng 256))
+
+module CA = Model_check (Art)
+module CJ = Model_check (Judy)
+module CH = Model_check (Hot)
+module CT = Model_check (Hat)
+module CR = Model_check (Rbtree)
+module CK = Model_check (Hashkv)
+
+(* ---- structure-specific behaviours ---- *)
+
+let test_art_node_transitions () =
+  let s = Art.create () in
+  let hist () = Art.node_histogram s in
+  (* 0..3 children under one byte: a single Node4 *)
+  for i = 0 to 3 do
+    Art.put s (Printf.sprintf "k%c" (Char.chr i)) 1L
+  done;
+  let n4, _, _, _ = hist () in
+  Alcotest.(check bool) "node4 exists" true (n4 >= 1);
+  for i = 4 to 16 do
+    Art.put s (Printf.sprintf "k%c" (Char.chr i)) 1L
+  done;
+  let _, _, n48, _ = hist () in
+  Alcotest.(check bool) "node48 after 17 children" true (n48 >= 1);
+  for i = 17 to 60 do
+    Art.put s (Printf.sprintf "k%c" (Char.chr i)) 1L
+  done;
+  let _, _, _, n256 = hist () in
+  Alcotest.(check bool) "node256 after 49+ children" true (n256 >= 1);
+  (* memory models are ordered: Opt <= Ext *)
+  Alcotest.(check bool) "ARTopt <= ART" true
+    (Art.memory_usage_model s Art.Opt <= Art.memory_usage_model s Art.Ext)
+
+let test_hat_burst () =
+  let s = Hat.create () in
+  let n = Hat.burst_threshold + 100 in
+  for i = 0 to n - 1 do
+    Hat.put s (Printf.sprintf "k%08d" i) (Int64.of_int i)
+  done;
+  Alcotest.(check int) "all present" n (Hat.length s);
+  for i = 0 to n - 1 do
+    if Hat.get s (Printf.sprintf "k%08d" i) <> Some (Int64.of_int i) then
+      Alcotest.failf "key %d lost across burst" i
+  done
+
+let test_hot_height () =
+  let s = Hot.create () in
+  for i = 0 to 9999 do
+    Hot.put s (Kvcommon.Key_codec.of_u64 (Int64.of_int i)) 1L
+  done;
+  (* fan-out 32 => height ~ log32(10000/32) + 1 *)
+  Alcotest.(check bool) "height small" true (Hot.height s <= 4)
+
+let test_rb_ordered () =
+  let s = Rbtree.create () in
+  let rng = Workload.Mt19937_64.create 11L in
+  for _ = 1 to 5000 do
+    Rbtree.put s (word 26 12 rng) 1L
+  done;
+  let prev = ref "" and ok = ref true and first = ref true in
+  Rbtree.range s (fun k _ ->
+      if (not !first) && String.compare !prev k >= 0 then ok := false;
+      first := false;
+      prev := k;
+      true);
+  Alcotest.(check bool) "in-order traversal" true !ok
+
+let test_hash_growth () =
+  let s = Hashkv.create () in
+  for i = 0 to 99_999 do
+    Hashkv.put s (string_of_int i) (Int64.of_int i)
+  done;
+  Alcotest.(check int) "survives many rehashes" 100_000 (Hashkv.length s);
+  Alcotest.(check (option int64)) "spot" (Some 54321L) (Hashkv.get s "54321")
+
+let test_memory_sanity () =
+  (* the paper's qualitative ordering on random small keys: every index
+     must report nonzero memory that grows with population *)
+  let checks : (string * (unit -> int * int)) list =
+    let two (type a) (module S : Kvcommon.Kv_intf.S with type t = a) =
+      let s = S.create () in
+      for i = 0 to 99 do
+        S.put s (Printf.sprintf "%06d" i) 1L
+      done;
+      let m1 = S.memory_usage s in
+      for i = 100 to 9999 do
+        S.put s (Printf.sprintf "%06d" i) 1L
+      done;
+      (m1, S.memory_usage s)
+    in
+    [
+      ("art", fun () -> two (module Art));
+      ("judy", fun () -> two (module Judy));
+      ("hot", fun () -> two (module Hot));
+      ("hat", fun () -> two (module Hat));
+      ("rb", fun () -> two (module Rbtree));
+      ("hash", fun () -> two (module Hashkv));
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let m1, m2 = f () in
+      if not (m1 > 0 && m2 > m1) then
+        Alcotest.failf "%s memory accounting implausible (%d -> %d)" name m1 m2)
+    checks
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "model/art",
+        [
+          CA.case "words" (word 4 12) 21L 6000;
+          CA.case "ints" (intkey 5000) 22L 6000;
+          CA.case "binary" binkey 23L 4000;
+        ] );
+      ( "model/judy",
+        [
+          CJ.case "words" (word 4 12) 24L 6000;
+          CJ.case "ints" (intkey 5000) 25L 6000;
+          CJ.case "binary" binkey 26L 4000;
+        ] );
+      ( "model/hot",
+        [
+          CH.case "words" (word 4 12) 27L 6000;
+          CH.case "ints" (intkey 5000) 28L 6000;
+          CH.case "binary" binkey 29L 4000;
+        ] );
+      ( "model/hat",
+        [
+          CT.case "words" (word 4 12) 30L 6000;
+          CT.case "ints" (intkey 5000) 31L 6000;
+          CT.case "binary" binkey 32L 4000;
+        ] );
+      ( "model/rb",
+        [
+          CR.case "words" (word 4 12) 33L 6000;
+          CR.case "ints" (intkey 5000) 34L 6000;
+          CR.case "binary" binkey 35L 4000;
+        ] );
+      ( "model/hash",
+        [
+          CK.case "words" (word 4 12) 36L 6000;
+          CK.case "ints" (intkey 5000) 37L 6000;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "art node transitions" `Quick test_art_node_transitions;
+          Alcotest.test_case "hat burst" `Quick test_hat_burst;
+          Alcotest.test_case "hot height" `Quick test_hot_height;
+          Alcotest.test_case "rb ordering" `Quick test_rb_ordered;
+          Alcotest.test_case "hash growth" `Quick test_hash_growth;
+          Alcotest.test_case "memory sanity" `Quick test_memory_sanity;
+        ] );
+    ]

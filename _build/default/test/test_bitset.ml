@@ -1,0 +1,89 @@
+(* Bin bitmaps: set/clear/count, first-free search, consecutive runs (used
+   to place chained extended bins). *)
+
+let test_basic () =
+  let b = Hyperion.Bitset.create 100 in
+  Alcotest.(check int) "empty count" 0 (Hyperion.Bitset.count_set b);
+  Hyperion.Bitset.set b 0;
+  Hyperion.Bitset.set b 63;
+  Hyperion.Bitset.set b 64;
+  Hyperion.Bitset.set b 99;
+  Alcotest.(check int) "count" 4 (Hyperion.Bitset.count_set b);
+  Alcotest.(check bool) "mem 63" true (Hyperion.Bitset.mem b 63);
+  Alcotest.(check bool) "mem 62" false (Hyperion.Bitset.mem b 62);
+  Hyperion.Bitset.set b 63;
+  Alcotest.(check int) "count unchanged" 4 (Hyperion.Bitset.count_set b);
+  Hyperion.Bitset.clear b 63;
+  Alcotest.(check int) "count after clear" 3 (Hyperion.Bitset.count_set b);
+  Hyperion.Bitset.clear b 63;
+  Alcotest.(check int) "count idempotent" 3 (Hyperion.Bitset.count_set b)
+
+let test_find_clear () =
+  let b = Hyperion.Bitset.create 130 in
+  for i = 0 to 129 do
+    Hyperion.Bitset.set b i
+  done;
+  Alcotest.(check (option int)) "full" None (Hyperion.Bitset.find_clear b);
+  Hyperion.Bitset.clear b 127;
+  Alcotest.(check (option int)) "127" (Some 127) (Hyperion.Bitset.find_clear b);
+  Hyperion.Bitset.clear b 5;
+  Alcotest.(check (option int)) "lowest wins" (Some 5) (Hyperion.Bitset.find_clear b)
+
+let test_find_run () =
+  let b = Hyperion.Bitset.create 64 in
+  for i = 0 to 63 do
+    Hyperion.Bitset.set b i
+  done;
+  for i = 20 to 26 do
+    Hyperion.Bitset.clear b i
+  done;
+  Alcotest.(check (option int)) "7 < 8" None (Hyperion.Bitset.find_clear_run b 8);
+  Hyperion.Bitset.clear b 27;
+  Alcotest.(check (option int)) "run of 8" (Some 20) (Hyperion.Bitset.find_clear_run b 8);
+  Alcotest.(check (option int)) "run of 3" (Some 20) (Hyperion.Bitset.find_clear_run b 3)
+
+let prop_model =
+  QCheck.Test.make ~name:"bitset vs bool-array model" ~count:200
+    QCheck.(list (pair (int_bound 199) bool))
+    (fun ops ->
+      let b = Hyperion.Bitset.create 200 in
+      let m = Array.make 200 false in
+      List.iter
+        (fun (i, set) ->
+          if set then begin
+            Hyperion.Bitset.set b i;
+            m.(i) <- true
+          end
+          else begin
+            Hyperion.Bitset.clear b i;
+            m.(i) <- false
+          end)
+        ops;
+      let count_ok =
+        Hyperion.Bitset.count_set b
+        = Array.fold_left (fun a x -> if x then a + 1 else a) 0 m
+      in
+      let find_ok =
+        Hyperion.Bitset.find_clear b
+        = (let rec go i =
+             if i >= 200 then None else if not m.(i) then Some i else go (i + 1)
+           in
+           go 0)
+      in
+      let mem_ok =
+        Array.for_all Fun.id
+          (Array.init 200 (fun i -> Hyperion.Bitset.mem b i = m.(i)))
+      in
+      count_ok && find_ok && mem_ok)
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "ops",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "find_clear" `Quick test_find_clear;
+          Alcotest.test_case "find_clear_run" `Quick test_find_run;
+          QCheck_alcotest.to_alcotest prop_model;
+        ] );
+    ]

@@ -1,0 +1,43 @@
+(* Config validation: every documented domain constraint is enforced. *)
+
+let base = Hyperion.Config.default
+
+let rejects name cfg =
+  Alcotest.test_case name `Quick (fun () ->
+      match Hyperion.Config.validate cfg with
+      | () -> Alcotest.failf "%s: expected rejection" name
+      | exception Invalid_argument _ -> ())
+
+let accepts name cfg =
+  Alcotest.test_case name `Quick (fun () -> Hyperion.Config.validate cfg)
+
+let () =
+  Alcotest.run "config"
+    [
+      ( "accepts",
+        [
+          accepts "default" base;
+          accepts "strings" Hyperion.Config.strings;
+          accepts "max arenas" { base with arenas = 256 };
+          accepts "min chunks_per_bin" { base with chunks_per_bin = 64 };
+          accepts "pc_max bounds" { base with pc_max = 1 };
+          accepts "tiny embedded" { base with embedded_max = 9 };
+        ] );
+      ( "rejects",
+        [
+          rejects "embedded_max too small" { base with embedded_max = 8 };
+          rejects "embedded_max too large" { base with embedded_max = 257 };
+          rejects "pc_max zero" { base with pc_max = 0 };
+          rejects "pc_max > 127" { base with pc_max = 128 };
+          rejects "eject limit tiny" { base with embedded_eject_parent_limit = 32 };
+          rejects "js threshold zero" { base with js_threshold = 0 };
+          rejects "js > jt threshold"
+            { base with js_threshold = 50; tnode_jt_threshold = 10 };
+          rejects "split_a tiny" { base with split_a = 64 };
+          rejects "negative split_b" { base with split_b = -1 };
+          rejects "chunks not multiple of 64" { base with chunks_per_bin = 100 };
+          rejects "chunks too large" { base with chunks_per_bin = 8192 };
+          rejects "zero arenas" { base with arenas = 0 };
+          rejects "too many arenas" { base with arenas = 257 };
+        ] );
+    ]

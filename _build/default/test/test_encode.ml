@@ -1,0 +1,102 @@
+(* Record builders and suffix-chain encodings. *)
+
+module E = Hyperion.Encode
+module N = Hyperion.Node
+
+let trie () = Hyperion.Ops.create { Hyperion.Config.default with chunks_per_bin = 64 }
+
+let test_delta_for () =
+  Alcotest.(check int) "no prev" 0 (E.delta_for ~prev_key:(-1) ~key:5);
+  Alcotest.(check int) "gap 1" 1 (E.delta_for ~prev_key:4 ~key:5);
+  Alcotest.(check int) "gap 7" 7 (E.delta_for ~prev_key:0 ~key:7);
+  Alcotest.(check int) "gap 8 explicit" 0 (E.delta_for ~prev_key:0 ~key:8)
+
+let test_record_sizes () =
+  (* flag-only when delta-encoded and typeless of value *)
+  Alcotest.(check int) "delta T inner = 1 byte" 1
+    (String.length (E.t_record ~prev_key:1 ~key:3 ~typ:N.Inner ~value:None));
+  Alcotest.(check int) "explicit T inner = 2 bytes" 2
+    (String.length (E.t_record ~prev_key:(-1) ~key:3 ~typ:N.Inner ~value:None));
+  Alcotest.(check int) "T with value = 10 bytes" 10
+    (String.length
+       (E.t_record ~prev_key:(-1) ~key:3 ~typ:N.Leaf_value ~value:(Some 7L)));
+  Alcotest.(check int) "S head with child flag = 2" 2
+    (String.length
+       (E.s_record ~prev_key:(-1) ~key:9 ~typ:N.Inner ~value:None
+          ~child:N.Child_hp));
+  Alcotest.check_raises "type/value mismatch"
+    (Invalid_argument "Encode: type / value mismatch") (fun () ->
+      ignore (E.t_record ~prev_key:(-1) ~key:0 ~typ:N.Inner ~value:(Some 1L)))
+
+let test_re_encode_head () =
+  let rec_ = E.t_record ~prev_key:(-1) ~key:10 ~typ:N.Inner ~value:None in
+  let buf = Bytes.of_string rec_ in
+  (* explicit -> delta: shrinks one byte *)
+  let frag, d = E.re_encode_head buf 0 ~key:10 ~new_prev:8 in
+  Alcotest.(check int) "shrank" (-1) d;
+  Alcotest.(check int) "frag 1 byte" 1 (String.length frag);
+  Alcotest.(check int) "delta 2" 2 (N.delta_of_flag (Char.code frag.[0]));
+  (* delta -> explicit: grows one byte *)
+  let rec2 = E.t_record ~prev_key:8 ~key:10 ~typ:N.Inner ~value:None in
+  let buf2 = Bytes.of_string rec2 in
+  let frag2, d2 = E.re_encode_head buf2 0 ~key:10 ~new_prev:(-1) in
+  Alcotest.(check int) "grew" 1 d2;
+  Alcotest.(check string) "explicit key byte" "\n" (String.sub frag2 1 1)
+
+let test_make_child_pc () =
+  let t = trie () in
+  let kind, body = E.make_child t "short" (Some 5L) in
+  Alcotest.(check bool) "pc" true (kind = N.Child_pc);
+  Alcotest.(check int) "pc size" (1 + 8 + 5) (String.length body)
+
+let test_make_child_embedded () =
+  let t = trie () in
+  (* longer than pc_max (127) forces an embedded container *)
+  let suffix = String.make 140 'x' in
+  let kind, body = E.make_child t suffix (Some 5L) in
+  Alcotest.(check bool) "embedded" true (kind = N.Child_embedded);
+  Alcotest.(check int) "size byte consistent" (String.length body)
+    (Char.code body.[0])
+
+let test_make_child_real () =
+  let t = trie () in
+  (* way beyond the embedding budget: a real container chain is built (the
+     top link may still be a small embedded wrapper around an HP) *)
+  let suffix = String.init 2000 (fun i -> Char.chr (97 + (i mod 26))) in
+  let kind, body = E.make_child t suffix (Some 5L) in
+  Alcotest.(check bool) "not a PC" true (kind <> N.Child_pc);
+  Alcotest.(check bool) "wrapper stays small" true (String.length body <= 256);
+  (* end-to-end: a key with that suffix must round-trip through the trie *)
+  let key = "kk" ^ suffix in
+  ignore (Hyperion.Ops.put t key (Some 5L));
+  Alcotest.(check bool) "long key retrievable" true
+    (Hyperion.Ops.find t key = Some (Some 5L))
+
+let prop_dry_matches_real =
+  QCheck.Test.make ~name:"dry-run encodes the exact final length" ~count:100
+    QCheck.(pair (string_gen_of_size (Gen.int_range 1 3000) Gen.printable) bool)
+    (fun (suffix, has_value) ->
+      QCheck.assume (String.length suffix >= 1);
+      let t = trie () in
+      let value = if has_value then Some 1L else None in
+      let kind_dry, body_dry = E.make_child ~dry:true t suffix value in
+      let kind, body = E.make_child t suffix value in
+      kind_dry = kind && String.length body_dry = String.length body)
+
+let () =
+  Alcotest.run "encode"
+    [
+      ( "records",
+        [
+          Alcotest.test_case "delta_for" `Quick test_delta_for;
+          Alcotest.test_case "record sizes" `Quick test_record_sizes;
+          Alcotest.test_case "re_encode_head" `Quick test_re_encode_head;
+        ] );
+      ( "children",
+        [
+          Alcotest.test_case "pc" `Quick test_make_child_pc;
+          Alcotest.test_case "embedded" `Quick test_make_child_embedded;
+          Alcotest.test_case "real chain" `Quick test_make_child_real;
+          QCheck_alcotest.to_alcotest prop_dry_matches_real;
+        ] );
+    ]

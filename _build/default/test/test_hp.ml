@@ -1,0 +1,62 @@
+(* Hyperion Pointer codec (paper Fig. 9): field packing, byte round-trips,
+   null handling. *)
+
+let test_roundtrip () =
+  let cases =
+    [ (0, 0, 0, 0); (63, 16383, 255, 4095); (1, 2, 3, 4); (17, 9999, 128, 2048) ]
+  in
+  List.iter
+    (fun (superbin, metabin, bin, chunk) ->
+      let hp = Hyperion.Hp.make ~superbin ~metabin ~bin ~chunk in
+      Alcotest.(check int) "superbin" superbin (Hyperion.Hp.superbin hp);
+      Alcotest.(check int) "metabin" metabin (Hyperion.Hp.metabin hp);
+      Alcotest.(check int) "bin" bin (Hyperion.Hp.bin hp);
+      Alcotest.(check int) "chunk" chunk (Hyperion.Hp.chunk hp))
+    cases
+
+let test_null () =
+  Alcotest.(check bool) "null is null" true (Hyperion.Hp.is_null Hyperion.Hp.null);
+  let hp = Hyperion.Hp.make ~superbin:0 ~metabin:0 ~bin:0 ~chunk:1 in
+  Alcotest.(check bool) "chunk 1 is not null" false (Hyperion.Hp.is_null hp)
+
+let test_bytes_roundtrip () =
+  let buf = Bytes.make 16 '\xff' in
+  let hp = Hyperion.Hp.make ~superbin:42 ~metabin:1234 ~bin:56 ~chunk:789 in
+  Hyperion.Hp.write buf 3 hp;
+  Alcotest.(check int) "read back" hp (Hyperion.Hp.read buf 3);
+  Alcotest.(check char) "byte before untouched" '\xff' (Bytes.get buf 2);
+  Alcotest.(check char) "byte after untouched" '\xff' (Bytes.get buf 8)
+
+let test_out_of_range () =
+  Alcotest.check_raises "superbin too large"
+    (Invalid_argument "Hp.make: superbin=64 out of 6-bit range") (fun () ->
+      ignore (Hyperion.Hp.make ~superbin:64 ~metabin:0 ~bin:0 ~chunk:0));
+  Alcotest.check_raises "negative chunk"
+    (Invalid_argument "Hp.make: chunk=-1 out of 12-bit range") (fun () ->
+      ignore (Hyperion.Hp.make ~superbin:0 ~metabin:0 ~bin:0 ~chunk:(-1)))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"hp field/byte roundtrip" ~count:500
+    QCheck.(quad (int_bound 63) (int_bound 16383) (int_bound 255) (int_bound 4095))
+    (fun (superbin, metabin, bin, chunk) ->
+      let hp = Hyperion.Hp.make ~superbin ~metabin ~bin ~chunk in
+      let buf = Bytes.create 5 in
+      Hyperion.Hp.write buf 0 hp;
+      Hyperion.Hp.read buf 0 = hp
+      && Hyperion.Hp.superbin hp = superbin
+      && Hyperion.Hp.metabin hp = metabin
+      && Hyperion.Hp.bin hp = bin
+      && Hyperion.Hp.chunk hp = chunk)
+
+let () =
+  Alcotest.run "hp"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "field roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "null" `Quick test_null;
+          Alcotest.test_case "byte roundtrip" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "range checks" `Quick test_out_of_range;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,95 @@
+(* Cross-structure integration: every store in the repository must agree
+   on the same workloads — identical lookup answers and identical ordered
+   iteration — since the benchmark harness compares them head to head. *)
+
+type box = B : (module Kvcommon.Kv_intf.S with type t = 'a) * 'a -> box
+
+let all_stores () : box list =
+  let mk (type a) (module S : Kvcommon.Kv_intf.S with type t = a) =
+    B ((module S), S.create ())
+  in
+  [
+    B
+      ( (module Hyperion_adapter : Kvcommon.Kv_intf.S
+          with type t = Hyperion.Store.t),
+        Hyperion_adapter.create () );
+    mk (module Art);
+    mk (module Judy);
+    mk (module Hot);
+    mk (module Hat);
+    mk (module Rbtree);
+  ]
+
+and module_name (B ((module S), _)) = S.name
+
+let put_all boxes k v = List.iter (fun (B ((module S), s)) -> S.put s k v) boxes
+let delete_all boxes k = List.iter (fun (B ((module S), s)) -> ignore (S.delete s k)) boxes
+
+let dump (B ((module S), s)) =
+  let acc = ref [] in
+  S.range s (fun k v ->
+      acc := (k, v) :: !acc;
+      true);
+  List.rev !acc
+
+let test_agreement ~n ~seed keygen () =
+  let boxes = all_stores () in
+  let rng = Workload.Mt19937_64.create seed in
+  for _ = 1 to n do
+    let k = keygen rng in
+    if Workload.Mt19937_64.next_below rng 10 < 8 then
+      put_all boxes k (Workload.Mt19937_64.next_u64 rng)
+    else delete_all boxes k
+  done;
+  match boxes with
+  | [] -> assert false
+  | reference :: rest ->
+      let want = dump reference in
+      List.iter
+        (fun b ->
+          let got = dump b in
+          if got <> want then
+            Alcotest.failf "%s disagrees with %s (%d vs %d entries)"
+              (module_name b) (module_name reference) (List.length got)
+              (List.length want))
+        rest
+
+let word rng =
+  let n = 1 + Workload.Mt19937_64.next_below rng 16 in
+  String.init n (fun _ -> Char.chr (97 + Workload.Mt19937_64.next_below rng 6))
+
+let ngram_pick =
+  let corpus = lazy (Workload.Ngram.generate ~n:2000 ()) in
+  fun rng ->
+    let c = Lazy.force corpus in
+    fst c.(Workload.Mt19937_64.next_below rng (Array.length c))
+
+let intkey rng =
+  Kvcommon.Key_codec.of_u64
+    (Int64.of_int (Workload.Mt19937_64.next_below rng 100000))
+
+let test_dataset_consistency () =
+  (* full data-set pass: counts and point lookups agree everywhere *)
+  let ds = Workload.Dataset.ngrams_random 5000 in
+  let boxes = all_stores () in
+  Array.iter (fun (k, v) -> put_all boxes k v) ds.Workload.Dataset.pairs;
+  List.iter
+    (fun (B ((module S), s)) ->
+      Alcotest.(check int) (S.name ^ " count") (Array.length ds.pairs) (S.length s);
+      Array.iter
+        (fun (k, v) ->
+          if S.get s k <> Some v then Alcotest.failf "%s lost %S" S.name k)
+        ds.Workload.Dataset.pairs)
+    boxes
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "words" `Slow (test_agreement ~n:4000 ~seed:50L word);
+          Alcotest.test_case "ngrams" `Slow (test_agreement ~n:3000 ~seed:51L ngram_pick);
+          Alcotest.test_case "ints" `Slow (test_agreement ~n:4000 ~seed:52L intkey);
+          Alcotest.test_case "dataset consistency" `Slow test_dataset_consistency;
+        ] );
+    ]

@@ -1,0 +1,256 @@
+(* The custom memory manager (paper Section 3.2): size classes, alloc/free
+   bookkeeping, reallocation across classes, extended bins, chained
+   extended bins, and accounting conservation. *)
+
+module Mm = Hyperion.Memman
+module Hp = Hyperion.Hp
+
+let mk () = Mm.create ~chunks_per_bin:64 ()
+
+let test_size_class () =
+  Alcotest.(check int) "1 -> 32" 32 (Mm.size_class 1);
+  Alcotest.(check int) "32" 32 (Mm.size_class 32);
+  Alcotest.(check int) "33 -> 64" 64 (Mm.size_class 33);
+  Alcotest.(check int) "small max" 2016 (Mm.size_class 2016);
+  (* extended-bin rounding: 256 B steps to 8 KiB, 1 KiB to 16 KiB, 4 KiB after *)
+  Alcotest.(check int) "2017 -> 2048" 2048 (Mm.size_class 2017);
+  Alcotest.(check int) "8K stays" 8192 (Mm.size_class 8192);
+  Alcotest.(check int) "8K+1 -> 9K" (9 * 1024) (Mm.size_class (8192 + 1));
+  Alcotest.(check int) "16K+1 -> 20K" (20 * 1024) (Mm.size_class (16384 + 1));
+  Alcotest.check_raises "zero" (Invalid_argument "Memman.size_class: non-positive request")
+    (fun () -> ignore (Mm.size_class 0))
+
+let test_alloc_resolve () =
+  let mm = mk () in
+  let hp = Mm.alloc mm 40 in
+  Alcotest.(check bool) "not null" false (Hp.is_null hp);
+  Alcotest.(check int) "capacity" 64 (Mm.capacity mm hp);
+  let buf, off = Mm.resolve mm hp in
+  (* zeroed on allocation *)
+  for i = 0 to 63 do
+    Alcotest.(check char) "zeroed" '\000' (Bytes.get buf (off + i))
+  done;
+  Bytes.set buf off 'x';
+  let buf', off' = Mm.resolve mm hp in
+  Alcotest.(check char) "persists" 'x' (Bytes.get buf' off')
+
+let test_distinct_chunks () =
+  let mm = mk () in
+  let hps = List.init 200 (fun _ -> Mm.alloc mm 32) in
+  (* all distinct *)
+  let sorted = List.sort_uniq compare hps in
+  Alcotest.(check int) "distinct HPs" 200 (List.length sorted);
+  (* writes do not interfere *)
+  List.iteri
+    (fun i hp ->
+      let buf, off = Mm.resolve mm hp in
+      Bytes.set_uint8 buf off (i land 0xff))
+    hps;
+  List.iteri
+    (fun i hp ->
+      let buf, off = Mm.resolve mm hp in
+      Alcotest.(check int) "own byte" (i land 0xff) (Bytes.get_uint8 buf off))
+    hps
+
+let test_free_reuse () =
+  let mm = mk () in
+  let hp1 = Mm.alloc mm 32 in
+  Mm.free mm hp1;
+  let hp2 = Mm.alloc mm 32 in
+  Alcotest.(check int) "freed chunk reused" hp1 hp2;
+  Alcotest.check_raises "double free" (Invalid_argument "Memman.free: double free")
+    (fun () ->
+      Mm.free mm hp2;
+      Mm.free mm hp2)
+
+let test_realloc_grow () =
+  let mm = mk () in
+  let hp = Mm.alloc mm 32 in
+  let buf, off = Mm.resolve mm hp in
+  Bytes.blit_string "hello" 0 buf off 5;
+  let hp2 = Mm.realloc mm hp 200 in
+  Alcotest.(check int) "new capacity" 224 (Mm.capacity mm hp2);
+  let buf2, off2 = Mm.resolve mm hp2 in
+  Alcotest.(check string) "content preserved" "hello" (Bytes.sub_string buf2 off2 5);
+  Alcotest.(check char) "tail zeroed" '\000' (Bytes.get buf2 (off2 + 100));
+  (* small -> extended -> small round trip *)
+  let hp3 = Mm.realloc mm hp2 5000 in
+  Alcotest.(check int) "ext superbin" 0 (Hp.superbin hp3);
+  let buf3, off3 = Mm.resolve mm hp3 in
+  Alcotest.(check string) "content preserved (ext)" "hello" (Bytes.sub_string buf3 off3 5);
+  let hp4 = Mm.realloc mm hp3 64 in
+  Alcotest.(check bool) "back to small" true (Hp.superbin hp4 > 0);
+  let buf4, off4 = Mm.resolve mm hp4 in
+  Alcotest.(check string) "content preserved (small)" "hello" (Bytes.sub_string buf4 off4 5)
+
+let test_ext_realloc_keeps_hp () =
+  let mm = mk () in
+  let hp = Mm.alloc mm 4000 in
+  Alcotest.(check int) "ext" 0 (Hp.superbin hp);
+  let hp2 = Mm.realloc mm hp 12000 in
+  Alcotest.(check int) "same HP after ext growth" hp hp2
+
+let test_ceb () =
+  let mm = mk () in
+  let ceb = Mm.ceb_alloc mm in
+  Alcotest.(check bool) "chained" true (Mm.is_chained mm ceb);
+  Alcotest.(check bool) "plain alloc is not chained" false
+    (Mm.is_chained mm (Mm.alloc mm 5000));
+  Alcotest.(check (option int)) "slots start void" None
+    (Option.map (fun (_, _, c) -> c) (Mm.ceb_slot mm ceb ~slot:3));
+  Mm.ceb_set_slot mm ceb ~slot:0 100;
+  Mm.ceb_set_slot mm ceb ~slot:5 3000;
+  (match Mm.ceb_slot mm ceb ~slot:5 with
+  | Some (_, _, cap) -> Alcotest.(check int) "slot capacity" 3072 cap
+  | None -> Alcotest.fail "slot 5 missing");
+  (* downward key resolution (paper Fig. 11: key 110 -> slot 0 when 1..3 void) *)
+  Alcotest.(check int) "key 110 -> slot 0" 0 (Mm.ceb_resolve_key mm ceb ~tkey:110);
+  Alcotest.(check int) "key 160 -> slot 5" 5 (Mm.ceb_resolve_key mm ceb ~tkey:160);
+  Alcotest.(check int) "key 255 -> slot 5" 5 (Mm.ceb_resolve_key mm ceb ~tkey:255);
+  Alcotest.(check int) "key 10 -> slot 0" 0 (Mm.ceb_resolve_key mm ceb ~tkey:10);
+  (* slot contents survive slot reallocation *)
+  (match Mm.ceb_slot mm ceb ~slot:5 with
+  | Some (buf, off, _) -> Bytes.blit_string "world" 0 buf off 5
+  | None -> assert false);
+  Mm.ceb_realloc_slot mm ceb ~slot:5 9000;
+  (match Mm.ceb_slot mm ceb ~slot:5 with
+  | Some (buf, off, cap) ->
+      Alcotest.(check string) "slot content preserved" "world" (Bytes.sub_string buf off 5);
+      Alcotest.(check int) "slot grew" (9 * 1024) cap
+  | None -> Alcotest.fail "slot 5 lost");
+  Mm.ceb_clear_slot mm ceb ~slot:0;
+  Alcotest.(check int) "after clearing slot 0, key 10 -> 5? no: scan down fails"
+    5 (Mm.ceb_resolve_key mm ceb ~tkey:200);
+  Mm.free mm ceb;
+  Alcotest.(check bool) "freed ceb not chained" false (Mm.is_chained mm ceb)
+
+let test_chained_errors () =
+  let mm = mk () in
+  let ceb = Mm.ceb_alloc mm in
+  Alcotest.check_raises "capacity on CEB head"
+    (Invalid_argument "Memman.capacity: not a plain allocation") (fun () ->
+      ignore (Mm.capacity mm ceb));
+  Alcotest.check_raises "resolve on CEB head"
+    (Invalid_argument "Memman.resolve: not a plain allocation") (fun () ->
+      ignore (Mm.resolve mm ceb));
+  Alcotest.check_raises "slot out of range"
+    (Invalid_argument "Memman: CEB slot out of range") (fun () ->
+      ignore (Mm.ceb_slot mm ceb ~slot:8));
+  Alcotest.check_raises "resolve key with all slots void"
+    (Invalid_argument "Memman.ceb_resolve_key: no populated slot at or below key")
+    (fun () -> ignore (Mm.ceb_resolve_key mm ceb ~tkey:128));
+  Alcotest.check_raises "set populated slot"
+    (Invalid_argument "Memman.ceb_set_slot: slot already populated") (fun () ->
+      Mm.ceb_set_slot mm ceb ~slot:2 64;
+      Mm.ceb_set_slot mm ceb ~slot:2 64)
+
+let test_null_hp_errors () =
+  let mm = mk () in
+  Alcotest.check_raises "free null" (Invalid_argument "Memman.free: null HP")
+    (fun () -> Mm.free mm Hp.null);
+  Alcotest.check_raises "resolve null"
+    (Invalid_argument "Memman.resolve: null HP") (fun () ->
+      ignore (Mm.resolve mm Hp.null));
+  (* the null chunk is reserved: allocations never return it *)
+  let hps = List.init 70 (fun _ -> Mm.alloc mm 3000) in
+  Alcotest.(check bool) "no allocation returns the null HP" true
+    (List.for_all (fun hp -> not (Hp.is_null hp)) hps)
+
+let test_accounting () =
+  let mm = mk () in
+  let hps = ref [] in
+  for i = 1 to 500 do
+    hps := Mm.alloc mm (1 + (i * 37 mod 2000)) :: !hps
+  done;
+  let profile = Mm.superbin_profile mm in
+  let allocated = Array.fold_left (fun a s -> a + s.Mm.allocated_chunks) 0 profile in
+  Alcotest.(check int) "allocated chunks" 500 allocated;
+  Alcotest.(check int) "count agrees" 500 (Mm.allocated_chunk_count mm);
+  (* allocated + empty covers whole initialized bins (small superbins) *)
+  Array.iteri
+    (fun i s ->
+      if i > 0 && s.Mm.allocated_chunks > 0 then
+        Alcotest.(check int)
+          (Printf.sprintf "superbin %d conservation" i)
+          0
+          ((s.Mm.allocated_chunks + s.Mm.empty_chunks) mod 64))
+    profile;
+  (* free everything: no allocated chunks left *)
+  List.iter (fun hp -> Mm.free mm hp) !hps;
+  let profile = Mm.superbin_profile mm in
+  let allocated = Array.fold_left (fun a s -> a + s.Mm.allocated_chunks) 0 profile in
+  Alcotest.(check int) "all freed" 0 allocated;
+  Alcotest.(check bool) "total_bytes still counts initialized bins" true
+    (Mm.total_bytes mm > 0)
+
+let prop_alloc_free =
+  (* random alloc/free/realloc interleavings keep contents intact and
+     accounting balanced *)
+  QCheck.Test.make ~name:"memman random ops keep contents" ~count:60
+    QCheck.(list (pair (int_range 1 6000) (int_bound 2)))
+    (fun ops ->
+      let mm = mk () in
+      let live = ref [] in
+      let tag = ref 0 in
+      let check_one (hp, t, size) =
+        let buf, off = Mm.resolve mm hp in
+        Bytes.get_uint8 buf off = t land 0xff
+        && Bytes.get_uint8 buf (off + min (size - 1) 31) = (t + 1) land 0xff
+      in
+      List.for_all
+        (fun (size, action) ->
+          let size = max 2 size in
+          (* two distinct probe bytes need size >= 2; shrinkers may also
+             escape int_range *)
+          match action with
+          | 0 ->
+              incr tag;
+              let hp = Mm.alloc mm size in
+              let buf, off = Mm.resolve mm hp in
+              Bytes.set_uint8 buf off (!tag land 0xff);
+              Bytes.set_uint8 buf (off + min (size - 1) 31) ((!tag + 1) land 0xff);
+              live := (hp, !tag, size) :: !live;
+              true
+          | 1 -> (
+              match !live with
+              | [] -> true
+              | (hp, _, _) :: rest ->
+                  Mm.free mm hp;
+                  live := rest;
+                  true)
+          | _ -> (
+              match !live with
+              | [] -> true
+              | (hp, t, s) :: rest ->
+                  let ok_before = check_one (hp, t, s) in
+                  let hp' = Mm.realloc mm hp (s + size) in
+                  live := (hp', t, min s 32) :: rest;
+                  ok_before && check_one (hp', t, min s 32)))
+        ops
+      && List.for_all check_one !live)
+
+let () =
+  Alcotest.run "memman"
+    [
+      ( "classes",
+        [ Alcotest.test_case "size classes" `Quick test_size_class ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "alloc/resolve" `Quick test_alloc_resolve;
+          Alcotest.test_case "distinct chunks" `Quick test_distinct_chunks;
+          Alcotest.test_case "free & reuse" `Quick test_free_reuse;
+          Alcotest.test_case "realloc growth" `Quick test_realloc_grow;
+          Alcotest.test_case "ext realloc keeps HP" `Quick test_ext_realloc_keeps_hp;
+        ] );
+      ( "ceb",
+        [
+          Alcotest.test_case "chained extended bins" `Quick test_ceb;
+          Alcotest.test_case "chained error paths" `Quick test_chained_errors;
+          Alcotest.test_case "null HP handling" `Quick test_null_hp_errors;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "profile conservation" `Quick test_accounting;
+          QCheck_alcotest.to_alcotest prop_alloc_free;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(* The paper's Section 2.3 structures kept as reference baselines: burst
+   trie (Section 2.2), GPT and KISS-tree.  Same model-based discipline as
+   the main comparison set, plus their structure-specific constraints. *)
+
+module M = Map.Make (String)
+
+module Model_check (S : Kvcommon.Kv_intf.S) = struct
+  let run ~n ~seed ~keygen ctx =
+    let rng = Workload.Mt19937_64.create seed in
+    let s = S.create () in
+    let model = ref M.empty in
+    for i = 0 to n - 1 do
+      let k = keygen rng in
+      let op = Workload.Mt19937_64.next_below rng 10 in
+      if op < 7 then begin
+        let v = Workload.Mt19937_64.next_u64 rng in
+        S.put s k v;
+        model := M.add k v !model
+      end
+      else begin
+        let removed = S.delete s k in
+        if removed <> M.mem k !model then
+          Alcotest.failf "%s: delete %S -> %b" ctx k removed;
+        model := M.remove k !model
+      end;
+      if i mod (max 1 (n / 4)) = 0 || i = n - 1 then begin
+        M.iter
+          (fun k v ->
+            match S.get s k with
+            | Some got when got = v -> ()
+            | _ -> Alcotest.failf "%s@%d: key %S wrong" ctx i k)
+          !model;
+        if S.length s <> M.cardinal !model then Alcotest.failf "%s: length" ctx;
+        let got = ref [] in
+        S.range s (fun k v ->
+            got := (k, v) :: !got;
+            true);
+        if
+          List.rev !got
+          <> (M.bindings !model |> List.map (fun (k, v) -> (k, Some v)))
+        then Alcotest.failf "%s@%d: range mismatch" ctx i
+      end
+    done
+
+  let case name keygen seed n =
+    Alcotest.test_case name `Slow (fun () -> run ~n ~seed ~keygen name)
+end
+
+let word rng =
+  let n = 1 + Workload.Mt19937_64.next_below rng 12 in
+  String.init n (fun _ -> Char.chr (97 + Workload.Mt19937_64.next_below rng 4))
+
+let key32 rng =
+  Kvcommon.Key_codec.of_u32
+    (Int32.of_int (Workload.Mt19937_64.next_below rng 500_000))
+
+module CB = Model_check (Othertries.Burst_trie)
+module CG = Model_check (Othertries.Gpt)
+module CK = Model_check (Othertries.Kiss_tree)
+
+let test_burst_bursts () =
+  let s = Othertries.Burst_trie.create () in
+  let n = Othertries.Burst_trie.burst_threshold * 3 in
+  for i = 0 to n - 1 do
+    Othertries.Burst_trie.put s (Printf.sprintf "%06d" i) (Int64.of_int i)
+  done;
+  for i = 0 to n - 1 do
+    if Othertries.Burst_trie.get s (Printf.sprintf "%06d" i) <> Some (Int64.of_int i)
+    then Alcotest.failf "lost %d across bursts" i
+  done
+
+let test_gpt_nodes_grow_only () =
+  let s = Othertries.Gpt.create () in
+  Othertries.Gpt.put s "abc" 1L;
+  let n1 = Othertries.Gpt.node_count s in
+  ignore (Othertries.Gpt.delete s "abc");
+  Alcotest.(check int) "segments never shrink (GPT design)" n1
+    (Othertries.Gpt.node_count s);
+  Alcotest.(check int) "but the key is gone" 0 (Othertries.Gpt.length s)
+
+let test_kiss_fixed_width () =
+  let s = Othertries.Kiss_tree.create () in
+  Alcotest.check_raises "32-bit keys only"
+    (Invalid_argument "Kiss_tree: keys must be exactly 4 bytes (32-bit)")
+    (fun () -> Othertries.Kiss_tree.put s "abcde" 1L);
+  (* dense leaf fill: all 64 fragments of one third-level node *)
+  for i = 0 to 63 do
+    Othertries.Kiss_tree.put s
+      (Kvcommon.Key_codec.of_u32 (Int32.of_int i))
+      (Int64.of_int i)
+  done;
+  for i = 0 to 63 do
+    Alcotest.(check (option int64)) "leaf entry"
+      (Some (Int64.of_int i))
+      (Othertries.Kiss_tree.get s (Kvcommon.Key_codec.of_u32 (Int32.of_int i)))
+  done;
+  Alcotest.(check int) "count" 64 (Othertries.Kiss_tree.length s)
+
+let test_kiss_range_order () =
+  let s = Othertries.Kiss_tree.create () in
+  let rng = Workload.Mt19937_64.create 91L in
+  for _ = 1 to 5000 do
+    Othertries.Kiss_tree.put s (key32 rng) 1L
+  done;
+  let prev = ref "" and first = ref true and ok = ref true in
+  Othertries.Kiss_tree.range s (fun k _ ->
+      if (not !first) && String.compare !prev k >= 0 then ok := false;
+      first := false;
+      prev := k;
+      true);
+  Alcotest.(check bool) "ordered" true !ok
+
+let () =
+  Alcotest.run "othertries"
+    [
+      ( "model",
+        [
+          CB.case "burst words" word 61L 5000;
+          CG.case "gpt words" word 62L 5000;
+          CK.case "kiss 32-bit" key32 63L 5000;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "burst trie bursts" `Quick test_burst_bursts;
+          Alcotest.test_case "gpt grow-only segments" `Quick test_gpt_nodes_grow_only;
+          Alcotest.test_case "kiss fixed width" `Quick test_kiss_fixed_width;
+          Alcotest.test_case "kiss range order" `Quick test_kiss_range_order;
+        ] );
+    ]

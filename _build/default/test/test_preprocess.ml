@@ -1,0 +1,78 @@
+(* Key pre-processing (paper Section 3.4, Fig. 12): zero-bit injection is
+   injective, invertible and order-preserving; transformed keys grow by
+   exactly one byte and carry zeroes in the low bits of bytes 2-5. *)
+
+module P = Hyperion.Preprocess
+
+let test_basic () =
+  let k = "\x12\x34\x56\x78\x9a" in
+  let e = P.encode k in
+  Alcotest.(check int) "grows by one byte" (String.length k + 1) (String.length e);
+  Alcotest.(check char) "first byte unchanged" k.[0] e.[0];
+  for i = 1 to 4 do
+    Alcotest.(check int) "low bits zero" 0 (Char.code e.[i] land 0b11)
+  done;
+  Alcotest.(check char) "tail copied" '\x9a' e.[5];
+  Alcotest.(check string) "roundtrip" k (P.decode e)
+
+let test_errors () =
+  Alcotest.check_raises "short key"
+    (Invalid_argument "Preprocess.encode: keys must be >= 4 bytes") (fun () ->
+      ignore (P.encode "abc"));
+  Alcotest.check_raises "bad decode"
+    (Invalid_argument "Preprocess.decode: low bits of bytes 2-5 must be zero")
+    (fun () -> ignore (P.decode "\x00\x01\x00\x00\x00"))
+
+let key_gen =
+  QCheck.Gen.(map Bytes.unsafe_to_string (bytes_size (int_range 4 24)))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"decode . encode = id" ~count:1000
+    (QCheck.make key_gen)
+    (fun k -> P.decode (P.encode k) = k)
+
+let prop_order =
+  QCheck.Test.make ~name:"binary-comparable order preserved" ~count:1000
+    QCheck.(pair (make key_gen) (make key_gen))
+    (fun (a, b) ->
+      compare (String.compare a b > 0) (String.compare (P.encode a) (P.encode b) > 0) = 0
+      && compare (String.compare a b = 0)
+           (String.compare (P.encode a) (P.encode b) = 0)
+         = 0)
+
+let prop_u64_order =
+  (* the paper's use case: uniformly random 64-bit integers *)
+  QCheck.Test.make ~name:"u64 keys keep numeric order" ~count:1000
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      let ka = Kvcommon.Key_codec.of_u64 a and kb = Kvcommon.Key_codec.of_u64 b in
+      let cmp_raw = String.compare ka kb in
+      let cmp_pp = String.compare (P.encode ka) (P.encode kb) in
+      compare (cmp_raw > 0) (cmp_pp > 0) = 0 && compare (cmp_raw = 0) (cmp_pp = 0) = 0)
+
+let test_third_level_reduction () =
+  (* the transformation packs the first 4 key bytes into 5 bytes holding
+     26 data bits in the first 4 (2^26 third-level containers, paper) *)
+  let distinct = Hashtbl.create 64 in
+  let rng = Workload.Mt19937_64.create 1L in
+  for _ = 1 to 1000 do
+    let k = Kvcommon.Key_codec.of_u64 (Workload.Mt19937_64.next_u64 rng) in
+    let e = P.encode k in
+    Hashtbl.replace distinct (String.sub e 0 4) ()
+  done;
+  Alcotest.(check bool) "prefixes collide less than full entropy" true
+    (Hashtbl.length distinct <= 1000)
+
+let () =
+  Alcotest.run "preprocess"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "third-level reduction" `Quick test_third_level_reduction;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_order;
+          QCheck_alcotest.to_alcotest prop_u64_order;
+        ] );
+    ]

@@ -1,0 +1,108 @@
+(* Range-query semantics at the engine level, under configurations that
+   force the traversal across split containers, embedded containers and
+   path-compressed suffixes — with random lower bounds (the code path a
+   store-level property found a real bug in). *)
+
+module O = Hyperion.Ops
+
+let tiny =
+  {
+    Hyperion.Config.default with
+    chunks_per_bin = 64;
+    embedded_eject_parent_limit = 256;
+    embedded_max = 64;
+    pc_max = 8;
+    tnode_jt_threshold = 4;
+    js_threshold = 2;
+    container_jt_threshold = 2;
+    split_a = 512;
+    split_b = 256;
+    split_min_piece = 64;
+  }
+
+let collect trie ?start () =
+  let acc = ref [] in
+  Hyperion.Range.range trie ?start (fun k v ->
+      acc := (k, v) :: !acc;
+      true);
+  List.rev !acc
+
+let test_full_traversal_orders () =
+  (* identical key sets inserted in different orders traverse identically *)
+  let keys = List.init 300 (fun i -> Printf.sprintf "%03x-k" i) in
+  let a = O.create tiny and b = O.create tiny in
+  let v k = Int64.of_int (Hashtbl.hash k) in
+  List.iter (fun k -> ignore (O.put a k (Some (v k)))) keys;
+  List.iter (fun k -> ignore (O.put b k (Some (v k)))) (List.rev keys);
+  Alcotest.(check bool) "order-independent structure contents" true
+    (collect a () = collect b ())
+
+let test_bounds_at_every_key () =
+  let trie = O.create tiny in
+  let keys =
+    List.sort_uniq compare
+      (List.init 200 (fun i ->
+           Printf.sprintf "%c%c%s"
+             (Char.chr (97 + (i mod 7)))
+             (Char.chr (97 + (i / 7 mod 5)))
+             (String.make (i mod 11) 'z')))
+  in
+  List.iteri (fun i k -> ignore (O.put trie k (Some (Int64.of_int i)))) keys;
+  (* for every stored key k: range from k starts exactly at k; range from
+     k ^ "\x00" starts strictly after k *)
+  List.iter
+    (fun k ->
+      (match collect trie ~start:k () with
+      | (first, _) :: _ when first = k -> ()
+      | (first, _) :: _ -> Alcotest.failf "start %S yielded %S" k first
+      | [] -> Alcotest.failf "start %S yielded nothing" k);
+      match collect trie ~start:(k ^ "\x00") () with
+      | (first, _) :: _ when first > k -> ()
+      | (first, _) :: _ -> Alcotest.failf "start past %S yielded %S" k first
+      | [] -> () (* k was the largest key *))
+    keys
+
+let test_early_stop_counts () =
+  let trie = O.create tiny in
+  for i = 0 to 999 do
+    ignore (O.put trie (Printf.sprintf "%04d" i) (Some (Int64.of_int i)))
+  done;
+  List.iter
+    (fun limit ->
+      let seen = ref 0 in
+      Hyperion.Range.range trie (fun _ _ ->
+          incr seen;
+          !seen < limit);
+      Alcotest.(check int) (Printf.sprintf "stop after %d" limit) limit !seen)
+    [ 1; 2; 17; 500; 1000 ]
+
+let prop_bound_filter =
+  QCheck.Test.make ~name:"engine range ?start = sorted filter" ~count:40
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 150)
+           (string_gen_of_size (Gen.int_range 1 10)
+              (Gen.char_range 'a' 'f')))
+        (string_gen_of_size (Gen.int_range 0 10) (Gen.char_range 'a' 'f')))
+    (fun (keys, start) ->
+      let keys = List.filter (fun k -> k <> "") keys in
+      let trie = O.create tiny in
+      List.iteri (fun i k -> ignore (O.put trie k (Some (Int64.of_int i)))) keys;
+      let got = List.map fst (collect trie ~start ()) in
+      let want =
+        List.sort_uniq String.compare keys
+        |> List.filter (fun k -> String.compare k start >= 0)
+      in
+      got = want)
+
+let () =
+  Alcotest.run "range"
+    [
+      ( "traversal",
+        [
+          Alcotest.test_case "order independence" `Quick test_full_traversal_orders;
+          Alcotest.test_case "bounds at every key" `Quick test_bounds_at_every_key;
+          Alcotest.test_case "early stop" `Quick test_early_stop_counts;
+          QCheck_alcotest.to_alcotest prop_bound_filter;
+        ] );
+    ]

@@ -1,0 +1,163 @@
+(* Direct unit tests of the splice engine: tail shifts, zero fill,
+   exact-fit resizing, and — most importantly — the offset-patching rules
+   for jump successors and jump tables across a splice point (the paper's
+   "minor drawback of this offset based jump approach is the necessity of
+   updating the offset on insertions or deletions"). *)
+
+module O = Hyperion.Ops
+module T = Hyperion.Types
+module L = Hyperion.Layout
+module R = Hyperion.Records
+
+let cfg = { Hyperion.Config.default with chunks_per_bin = 64 }
+
+(* A fresh container holding the given record content, opened as a cbox. *)
+let open_fresh content =
+  let trie = O.create cfg in
+  let hp = Hyperion.Splice.new_container trie content in
+  trie.T.root <- hp;
+  Hyperion.Splice.open_container trie hp ~tkey:0 ~where:T.W_root
+
+let content cbox =
+  let size = L.read_size cbox.T.buf cbox.T.base in
+  let free = L.read_free cbox.T.buf cbox.T.base in
+  Bytes.sub_string cbox.T.buf
+    (cbox.T.base + L.payload_start cbox.T.buf cbox.T.base)
+    (size - free - L.payload_start cbox.T.buf cbox.T.base)
+
+(* Valid minimal record streams: terminal T-records with explicit keys
+   (2 bytes each) — the patch pass parses the container on every splice,
+   so content must always be well-formed. *)
+let t_rec key =
+  Hyperion.Encode.t_record ~prev_key:(-1) ~key:(Char.code key)
+    ~typ:Hyperion.Node.Leaf_no_value ~value:None
+
+let test_insert_shift () =
+  let cbox = open_fresh (t_rec 'A' ^ t_rec 'Z') in
+  let at = cbox.T.base + L.payload_start cbox.T.buf cbox.T.base + 2 in
+  Hyperion.Splice.splice cbox ~emb_chain:[] ~at ~remove:0 ~ins:(t_rec 'M')
+    ~keep_at:true;
+  Alcotest.(check string) "inserted between records"
+    (t_rec 'A' ^ t_rec 'M' ^ t_rec 'Z')
+    (content cbox)
+
+let test_remove_zeroes_tail () =
+  let cbox = open_fresh (t_rec 'A' ^ t_rec 'M' ^ t_rec 'Z') in
+  let p0 = cbox.T.base + L.payload_start cbox.T.buf cbox.T.base in
+  Hyperion.Splice.splice cbox ~emb_chain:[] ~at:(p0 + 2) ~remove:2 ~ins:""
+    ~keep_at:false;
+  Alcotest.(check string) "removed" (t_rec 'A' ^ t_rec 'Z') (content cbox);
+  (* vacated bytes must be zero *)
+  let size = L.read_size cbox.T.buf cbox.T.base in
+  let cend = size - L.read_free cbox.T.buf cbox.T.base in
+  for i = cend to size - 1 do
+    Alcotest.(check int) "zeroed" 0 (Bytes.get_uint8 cbox.T.buf (cbox.T.base + i))
+  done
+
+let test_growth_realloc () =
+  let cbox = open_fresh (t_rec 'A') in
+  let before = L.read_size cbox.T.buf cbox.T.base in
+  (* append records until the container must grow across size classes *)
+  for i = 1 to 60 do
+    let at = cbox.T.base + L.content_end cbox.T.buf cbox.T.base in
+    Hyperion.Splice.splice cbox ~emb_chain:[] ~at ~remove:0
+      ~ins:
+        (Hyperion.Encode.t_record ~prev_key:(-1) ~key:(65 + i)
+           ~typ:Hyperion.Node.Leaf_no_value ~value:None)
+      ~keep_at:true
+  done;
+  let after = L.read_size cbox.T.buf cbox.T.base in
+  Alcotest.(check bool) "grew" true (after > before);
+  Alcotest.(check int) "32-byte granular" 0 (after mod 32);
+  Alcotest.(check int) "content size" (2 * 61)
+    (String.length (content cbox));
+  (* the root HP was re-pointed on reallocation *)
+  Alcotest.(check bool) "root patched" true (cbox.T.hp = cbox.T.trie.T.root)
+
+(* Build a real two-T container via the engine, then exercise the patch
+   rules on its jump successor. *)
+let build_two_t () =
+  let trie = O.create cfg in
+  (* T 'a' with enough children for a jump successor, then T 'b' *)
+  for i = 0 to 9 do
+    ignore (O.put trie (Printf.sprintf "a%c" (Char.chr (100 + i))) (Some 1L))
+  done;
+  ignore (O.put trie "bz" (Some 2L));
+  let cbox =
+    Hyperion.Splice.open_container trie trie.T.root ~tkey:(Char.code 'a')
+      ~where:T.W_root
+  in
+  let region = T.top_region cbox.T.buf cbox.T.base in
+  let t = R.parse_t cbox.T.buf region.T.rb ~prev_key:(-1) in
+  Alcotest.(check bool) "has js" true (t.R.t_js_pos >= 0);
+  (trie, cbox, region, t)
+
+let js_target cbox =
+  let region = T.top_region cbox.T.buf cbox.T.base in
+  let t = R.parse_t cbox.T.buf region.T.rb ~prev_key:(-1) in
+  t.R.t_pos + R.read_u16 cbox.T.buf t.R.t_js_pos
+
+let test_js_patch_insert_before_target () =
+  let _, cbox, _, t = build_two_t () in
+  let target0 = js_target cbox in
+  (* insert an S-record-sized blob inside T 'a''s children: js must shift *)
+  let ins = Hyperion.Encode.s_record ~prev_key:(-1) ~key:1 ~typ:Hyperion.Node.Leaf_no_value
+      ~value:None ~child:Hyperion.Node.No_child in
+  Hyperion.Splice.splice cbox ~emb_chain:[] ~at:t.R.t_head_end ~remove:0 ~ins
+    ~keep_at:false;
+  Alcotest.(check int) "js target shifted by insert size"
+    (target0 + String.length ins) (js_target cbox)
+
+let test_js_patch_keep_at () =
+  let _, cbox, _, _ = build_two_t () in
+  let target0 = js_target cbox in
+  (* keep_at insert AT the target (a new T sibling): js must keep pointing
+     at the insertion point, i.e. at the new record *)
+  let at = js_target cbox in
+  let ins = Hyperion.Encode.t_record ~prev_key:(-1) ~key:(Char.code 'a' + 1)
+      ~typ:Hyperion.Node.Leaf_no_value ~value:None in
+  Hyperion.Splice.splice cbox ~emb_chain:[] ~at ~remove:0 ~ins ~keep_at:true;
+  Alcotest.(check int) "js target unchanged (points at new sibling)" target0
+    (js_target cbox)
+
+let test_js_patch_no_keep_at () =
+  let _, cbox, _, _ = build_two_t () in
+  let target0 = js_target cbox in
+  let at = js_target cbox in
+  Hyperion.Splice.splice cbox ~emb_chain:[] ~at ~remove:0 ~ins:"\x06" (* S rec *)
+    ~keep_at:false;
+  Alcotest.(check int) "js target shifts past non-sibling insert"
+    (target0 + 1) (js_target cbox)
+
+let test_engine_after_manual_splices () =
+  (* the engine must still answer correctly after the low-level exercises
+     above (keys untouched by the splices) *)
+  let trie, cbox, _, t = build_two_t () in
+  let ins = Hyperion.Encode.s_record ~prev_key:(-1) ~key:1
+      ~typ:Hyperion.Node.Leaf_no_value ~value:None ~child:Hyperion.Node.No_child in
+  Hyperion.Splice.splice cbox ~emb_chain:[] ~at:t.R.t_head_end ~remove:0 ~ins
+    ~keep_at:false;
+  Alcotest.(check bool) "bz still reachable" true
+    (O.find trie "bz" = Some (Some 2L))
+
+let () =
+  Alcotest.run "splice"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "insert shift" `Quick test_insert_shift;
+          Alcotest.test_case "remove zeroes tail" `Quick test_remove_zeroes_tail;
+          Alcotest.test_case "growth + realloc + repatch" `Quick test_growth_realloc;
+        ] );
+      ( "offset patching",
+        [
+          Alcotest.test_case "js shifts on insert before target" `Quick
+            test_js_patch_insert_before_target;
+          Alcotest.test_case "keep_at preserves sibling target" `Quick
+            test_js_patch_keep_at;
+          Alcotest.test_case "non-sibling insert shifts target" `Quick
+            test_js_patch_no_keep_at;
+          Alcotest.test_case "engine sane after manual splices" `Quick
+            test_engine_after_manual_splices;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+(* Public Store API: arenas, key pre-processing, range lower bounds,
+   counters and memory/stats accessors. *)
+
+module S = Hyperion.Store
+
+let cfg = { Hyperion.Config.default with chunks_per_bin = 64 }
+
+let test_basic_api () =
+  let s = S.create ~config:cfg () in
+  S.put s "alpha" 1L;
+  S.put s "beta" 2L;
+  S.add s "gamma";
+  Alcotest.(check (option int64)) "get alpha" (Some 1L) (S.get s "alpha");
+  Alcotest.(check (option int64)) "gamma valueless" None (S.get s "gamma");
+  Alcotest.(check bool) "gamma member" true (S.mem s "gamma");
+  Alcotest.(check bool) "delta not member" false (S.mem s "delta");
+  Alcotest.(check int) "length" 3 (S.length s);
+  Alcotest.(check bool) "delete beta" true (S.delete s "beta");
+  Alcotest.(check bool) "delete beta again" false (S.delete s "beta");
+  Alcotest.(check int) "length after delete" 2 (S.length s)
+
+let test_range_start () =
+  let s = S.create ~config:cfg () in
+  let keys = [ "apple"; "apricot"; "banana"; "cherry"; "date" ] in
+  List.iteri (fun i k -> S.put s k (Int64.of_int i)) keys;
+  let from start =
+    let acc = ref [] in
+    S.range s ~start (fun k _ ->
+        acc := k :: !acc;
+        true);
+    List.rev !acc
+  in
+  Alcotest.(check (list string)) "from banana" [ "banana"; "cherry"; "date" ]
+    (from "banana");
+  Alcotest.(check (list string)) "from b (prefix)" [ "banana"; "cherry"; "date" ]
+    (from "b");
+  Alcotest.(check (list string)) "between keys" [ "banana"; "cherry"; "date" ]
+    (from "azz");
+  Alcotest.(check (list string)) "past the end" [] (from "zebra");
+  Alcotest.(check (list string)) "everything" keys (from "");
+  (* early termination via callback *)
+  let count = ref 0 in
+  S.range s (fun _ _ ->
+      incr count;
+      !count < 2);
+  Alcotest.(check int) "callback stop" 2 !count
+
+let test_arenas () =
+  let s = S.create ~config:{ cfg with arenas = 4 } () in
+  let rng = Workload.Mt19937_64.create 5L in
+  let model = Hashtbl.create 64 in
+  for _ = 1 to 5000 do
+    let k =
+      String.init
+        (1 + Workload.Mt19937_64.next_below rng 10)
+        (fun _ -> Char.chr (Workload.Mt19937_64.next_below rng 256))
+    in
+    if String.length k > 0 then begin
+      let v = Workload.Mt19937_64.next_u64 rng in
+      S.put s k v;
+      Hashtbl.replace model k v
+    end
+  done;
+  Alcotest.(check int) "length across arenas" (Hashtbl.length model) (S.length s);
+  Hashtbl.iter
+    (fun k v ->
+      if S.get s k <> Some v then Alcotest.failf "arena-routed key %S lost" k)
+    model;
+  (* global order across the 256 per-byte tries *)
+  let prev = ref "" and ok = ref true and n = ref 0 in
+  S.range s (fun k _ ->
+      if String.compare !prev k >= 0 && !n > 0 then ok := false;
+      prev := k;
+      incr n;
+      true);
+  Alcotest.(check bool) "range ordered across tries" true !ok;
+  Alcotest.(check int) "range covers all" (Hashtbl.length model) !n;
+  Alcotest.(check int) "structurally valid" 0
+    (List.length (Hyperion.Validate.check_store s))
+
+let test_arena_threads () =
+  (* concurrent puts into distinct key spaces, one domain... the paper uses
+     threads over arenas; OCaml threads interleave but must stay safe *)
+  let s = S.create ~config:{ cfg with arenas = 8 } () in
+  let worker prefix () =
+    for i = 0 to 999 do
+      S.put s (Printf.sprintf "%c-%05d" prefix i) (Int64.of_int i)
+    done
+  in
+  let threads =
+    List.map (fun c -> Thread.create (worker c) ()) [ 'a'; 'h'; 'q'; 'z' ]
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "all inserted" 4000 (S.length s);
+  Alcotest.(check (option int64)) "spot check" (Some 123L) (S.get s "q-00123")
+
+let test_max_arenas () =
+  (* the paper's full 256-arena configuration *)
+  let s = S.create ~config:{ cfg with arenas = 256 } () in
+  for i = 0 to 2999 do
+    S.put s (Printf.sprintf "%c%05d" (Char.chr (i mod 256)) i) (Int64.of_int i)
+  done;
+  Alcotest.(check int) "length" 3000 (S.length s);
+  let n = ref 0 and prev = ref "" and ok = ref true in
+  S.range s (fun k _ ->
+      if !n > 0 && String.compare !prev k >= 0 then ok := false;
+      prev := k;
+      incr n;
+      true);
+  Alcotest.(check int) "range covers" 3000 !n;
+  Alcotest.(check bool) "ordered" true !ok;
+  for i = 0 to 2999 do
+    let k = Printf.sprintf "%c%05d" (Char.chr (i mod 256)) i in
+    if S.get s k <> Some (Int64.of_int i) then Alcotest.failf "lost %S" k
+  done
+
+let test_preprocess_store () =
+  let s = S.create ~config:{ cfg with preprocess = true } () in
+  let rng = Workload.Mt19937_64.create 6L in
+  let keys =
+    List.init 2000 (fun _ ->
+        Kvcommon.Key_codec.of_u64 (Workload.Mt19937_64.next_u64 rng))
+  in
+  List.iteri (fun i k -> S.put s k (Int64.of_int i)) keys;
+  List.iteri
+    (fun i k ->
+      if S.get s k <> Some (Int64.of_int i) then
+        Alcotest.failf "pre-processed key %d lost" i)
+    keys;
+  (* range must yield ORIGINAL keys, in original binary order *)
+  let sorted = List.sort String.compare keys in
+  let got = ref [] in
+  S.range s (fun k _ ->
+      got := k :: !got;
+      true);
+  Alcotest.(check bool) "decoded range keys" true (List.rev !got = sorted);
+  (* range with a start bound in original key space *)
+  let mid = List.nth sorted 1000 in
+  let got = ref [] in
+  S.range s ~start:mid (fun k _ ->
+      got := k :: !got;
+      true);
+  Alcotest.(check int) "bounded range size" 1000 (List.length !got)
+
+let prop_range_bound =
+  (* for random contents and a random start bound, range must return
+     exactly the model keys >= start, in order *)
+  QCheck.Test.make ~name:"range ?start equals model filter" ~count:60
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 120)
+           (string_gen_of_size (Gen.int_range 1 8) Gen.printable))
+        (string_gen_of_size (Gen.int_range 0 8) Gen.printable))
+    (fun (keys, start) ->
+      let keys = List.filter (fun k -> k <> "") keys in
+      let s = S.create ~config:cfg () in
+      List.iteri (fun i k -> S.put s k (Int64.of_int i)) keys;
+      let got = ref [] in
+      S.range s ~start (fun k _ ->
+          got := k :: !got;
+          true);
+      let want =
+        List.sort_uniq String.compare keys
+        |> List.filter (fun k -> String.compare k start >= 0)
+      in
+      List.rev !got = want)
+
+let test_iteration_helpers () =
+  let s = S.create ~config:cfg () in
+  List.iter (fun k -> S.put s k 1L) [ "car"; "cart"; "cat"; "dog"; "carp" ];
+  let n = ref 0 in
+  S.iter s (fun _ _ -> incr n);
+  Alcotest.(check int) "iter visits all" 5 !n;
+  let cat = S.fold s ~init:[] ~f:(fun acc k _ -> k :: acc) in
+  Alcotest.(check (list string)) "fold order" [ "dog"; "cat"; "cart"; "carp"; "car" ] cat;
+  let hits = ref [] in
+  S.prefix_iter s ~prefix:"car" (fun k _ ->
+      hits := k :: !hits;
+      true);
+  Alcotest.(check (list string)) "prefix" [ "cart"; "carp"; "car" ] !hits;
+  let none = ref 0 in
+  S.prefix_iter s ~prefix:"zz" (fun _ _ -> incr none; true);
+  Alcotest.(check int) "no prefix matches" 0 !none
+
+let test_mem_model () =
+  Alcotest.(check int) "min chunk" 32 (Kvcommon.Mem_model.malloc 0);
+  Alcotest.(check int) "16-byte aligned" 48 (Kvcommon.Mem_model.malloc 33);
+  Alcotest.(check int) "header included" 48 (Kvcommon.Mem_model.malloc 40);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Mem_model.malloc: negative size") (fun () ->
+      ignore (Kvcommon.Mem_model.malloc (-1)))
+
+let test_memory_and_stats () =
+  let s = S.create ~config:cfg () in
+  let empty_mem = S.memory_usage s in
+  for i = 0 to 9999 do
+    S.put s (Printf.sprintf "key-%06d" i) (Int64.of_int i)
+  done;
+  Alcotest.(check bool) "memory grows" true (S.memory_usage s > empty_mem);
+  let st = S.stats s in
+  Alcotest.(check int) "values counted" 10000 st.Hyperion.Stats.values;
+  Alcotest.(check bool) "delta encoding used" true
+    (st.Hyperion.Stats.delta_encoded > 0);
+  Alcotest.(check bool) "t nodes exist" true (st.Hyperion.Stats.t_nodes > 0);
+  let profile = S.superbin_profile s in
+  Alcotest.(check int) "profile has 64 superbins" 64 (Array.length profile);
+  Alcotest.(check bool) "chunks allocated" true (S.allocated_chunks s > 0)
+
+let test_sequential_int_memory () =
+  (* headline property: sequential integers are indexed with only ~1-2
+     extra bytes per 8-byte key beyond the 8-byte value (paper: 9.31 B/key) *)
+  let s = S.create ~config:cfg () in
+  let n = 200_000 in
+  for i = 0 to n - 1 do
+    S.put s (Kvcommon.Key_codec.of_u64 (Int64.of_int i)) (Int64.of_int i)
+  done;
+  let content =
+    (* subtract the allocator's fixed empty-chunk overhead to isolate the
+       per-key payload cost *)
+    Array.fold_left
+      (fun a p -> a + p.Hyperion.Memman.allocated_bytes)
+      0 (S.superbin_profile s)
+  in
+  let per_key = float_of_int content /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocated bytes/key %.2f in [8.5, 14]" per_key)
+    true
+    (per_key >= 8.5 && per_key <= 14.0)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "api",
+        [
+          Alcotest.test_case "basic" `Quick test_basic_api;
+          Alcotest.test_case "range start bounds" `Quick test_range_start;
+          Alcotest.test_case "arenas" `Quick test_arenas;
+          Alcotest.test_case "arena threads" `Quick test_arena_threads;
+          Alcotest.test_case "256 arenas" `Quick test_max_arenas;
+          Alcotest.test_case "pre-processing" `Quick test_preprocess_store;
+          Alcotest.test_case "memory & stats" `Quick test_memory_and_stats;
+          Alcotest.test_case "mem model" `Quick test_mem_model;
+          Alcotest.test_case "iteration helpers" `Quick test_iteration_helpers;
+          QCheck_alcotest.to_alcotest prop_range_bound;
+          Alcotest.test_case "sequential int density" `Slow test_sequential_int_memory;
+        ] );
+    ]

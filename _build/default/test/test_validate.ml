@@ -1,0 +1,83 @@
+(* The structural validator itself: a sound trie passes; deliberately
+   corrupted byte arrays are caught.  (The validator guards every model
+   test, so its own sensitivity matters.) *)
+
+module O = Hyperion.Ops
+module V = Hyperion.Validate
+
+let cfg = { Hyperion.Config.default with chunks_per_bin = 64 }
+
+let build words =
+  let trie = O.create cfg in
+  List.iteri (fun i w -> ignore (O.put trie w (Some (Int64.of_int i)))) words;
+  trie
+
+let test_sound () =
+  let trie = build [ "a"; "and"; "be"; "by"; "that"; "the"; "to" ] in
+  Alcotest.(check int) "no violations" 0 (List.length (V.check trie));
+  let empty = O.create cfg in
+  Alcotest.(check int) "empty trie valid" 0 (List.length (V.check empty))
+
+let corrupt trie f =
+  (* mutilate the root container's bytes *)
+  let buf, base = Hyperion.Memman.resolve trie.Hyperion.Types.mm trie.Hyperion.Types.root in
+  f buf base
+
+let test_detects_nonzero_tail () =
+  let trie = build [ "ab"; "cd" ] in
+  corrupt trie (fun buf base ->
+      let size = Hyperion.Layout.read_size buf base in
+      Bytes.set_uint8 buf (base + size - 1) 0x55);
+  Alcotest.(check bool) "tail corruption detected" true (V.check trie <> [])
+
+let test_detects_order_violation () =
+  let trie = build [ "ab"; "cd" ] in
+  corrupt trie (fun buf base ->
+      (* overwrite the first T-record's explicit key with a larger one *)
+      let rb = base + Hyperion.Layout.payload_start buf base in
+      Bytes.set_uint8 buf (rb + 1) 0xff);
+  Alcotest.(check bool) "ordering violation detected" true (V.check trie <> [])
+
+let test_detects_broken_js () =
+  (* enough children to have a jump successor, then bend it *)
+  let words = List.init 20 (fun i -> Printf.sprintf "a%c" (Char.chr (40 + i))) in
+  let trie = build ("b" :: words) in
+  let st = Hyperion.Stats.collect trie in
+  Alcotest.(check bool) "js present" true (st.Hyperion.Stats.jump_successors > 0);
+  corrupt trie (fun buf base ->
+      let rb = base + Hyperion.Layout.payload_start buf base in
+      let t = Hyperion.Records.parse_t buf rb ~prev_key:(-1) in
+      Alcotest.(check bool) "first T has js" true (t.Hyperion.Records.t_js_pos >= 0);
+      let off = Hyperion.Records.read_u16 buf t.Hyperion.Records.t_js_pos in
+      Hyperion.Records.write_u16 buf t.Hyperion.Records.t_js_pos (off + 1));
+  Alcotest.(check bool) "broken jump successor detected" true (V.check trie <> [])
+
+let test_detects_bad_header () =
+  let trie = build [ "hello" ] in
+  corrupt trie (fun buf base ->
+      Hyperion.Layout.set_size buf base (Hyperion.Layout.read_size buf base + 32));
+  Alcotest.(check bool) "size beyond capacity detected" true (V.check trie <> [])
+
+let test_check_store () =
+  let s =
+    Hyperion.Store.create ~config:{ cfg with arenas = 4 } ()
+  in
+  for i = 0 to 999 do
+    Hyperion.Store.put s (Printf.sprintf "%04d" i) (Int64.of_int i)
+  done;
+  Alcotest.(check int) "store valid across arenas" 0
+    (List.length (V.check_store s))
+
+let () =
+  Alcotest.run "validate"
+    [
+      ( "validator",
+        [
+          Alcotest.test_case "sound tries pass" `Quick test_sound;
+          Alcotest.test_case "nonzero free tail" `Quick test_detects_nonzero_tail;
+          Alcotest.test_case "key order violation" `Quick test_detects_order_violation;
+          Alcotest.test_case "broken jump successor" `Quick test_detects_broken_js;
+          Alcotest.test_case "header size overflow" `Quick test_detects_bad_header;
+          Alcotest.test_case "check_store" `Quick test_check_store;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+(* Workload substrate: MT19937-64 reference vectors, Zipf sampling, the
+   synthetic n-gram corpus and data-set construction. *)
+
+let test_mt_reference () =
+  (* Reference outputs of the Matsumoto & Nishimura mt19937-64.c for
+     init_genrand64(5489). *)
+  let rng = Workload.Mt19937_64.create 5489L in
+  let expected =
+    [ "14514284786278117030"; "4620546740167642908"; "13109570281517897720" ]
+  in
+  List.iter
+    (fun want ->
+      let got = Printf.sprintf "%Lu" (Workload.Mt19937_64.next_u64 rng) in
+      Alcotest.(check string) "mt19937-64 vector" want got)
+    expected
+
+let test_mt_determinism () =
+  let a = Workload.Mt19937_64.create 42L and b = Workload.Mt19937_64.create 42L in
+  for _ = 1 to 1000 do
+    Alcotest.(check int64) "same stream"
+      (Workload.Mt19937_64.next_u64 a)
+      (Workload.Mt19937_64.next_u64 b)
+  done
+
+let test_next_below () =
+  let rng = Workload.Mt19937_64.create 7L in
+  for _ = 1 to 10000 do
+    let v = Workload.Mt19937_64.next_below rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_shuffle_permutation () =
+  let rng = Workload.Mt19937_64.create 8L in
+  let a = Array.init 100 Fun.id in
+  Workload.Mt19937_64.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_zipf () =
+  let z = Workload.Zipf.create ~n:1000 ~s:1.1 in
+  let rng = Workload.Mt19937_64.create 9L in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 50_000 do
+    let r = Workload.Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  (* rank 0 must dominate rank 100 heavily *)
+  Alcotest.(check bool) "skew" true (counts.(0) > 10 * max 1 counts.(100));
+  Alcotest.(check bool) "support covered" true (Array.exists (fun c -> c > 0) counts)
+
+let test_ngram_corpus () =
+  let pairs = Workload.Ngram.generate ~n:5000 () in
+  Alcotest.(check int) "count" 5000 (Array.length pairs);
+  let seen = Hashtbl.create 5000 in
+  Array.iter
+    (fun (k, _) ->
+      if Hashtbl.mem seen k then Alcotest.failf "duplicate key %S" k;
+      Hashtbl.add seen k ();
+      (* shape: words separated by spaces, tab, 4-digit year *)
+      let tab = String.index k '\t' in
+      Alcotest.(check int) "year suffix" 4 (String.length k - tab - 1))
+    pairs;
+  let avg = Workload.Ngram.average_key_length pairs in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg key len %.1f close to the paper's 22.65" avg)
+    true
+    (avg > 15.0 && avg < 35.0);
+  (* determinism *)
+  let again = Workload.Ngram.generate ~n:5000 () in
+  Alcotest.(check bool) "reproducible" true (pairs = again)
+
+let test_datasets () =
+  let seq = Workload.Dataset.seq_ints 1000 in
+  Alcotest.(check int) "seq size" 1000 (Array.length seq.Workload.Dataset.pairs);
+  let sorted = Array.copy seq.Workload.Dataset.pairs in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "seq_ints sorted by construction" true
+    (sorted = seq.Workload.Dataset.pairs);
+  let rand = Workload.Dataset.rand_ints 1000 in
+  let keys = Array.map fst rand.Workload.Dataset.pairs in
+  let uniq = Array.to_list keys |> List.sort_uniq compare in
+  Alcotest.(check int) "distinct random keys" 1000 (List.length uniq);
+  Array.iter
+    (fun (k, v) ->
+      Alcotest.(check int64) "key encodes value" v (Kvcommon.Key_codec.to_u64 k))
+    rand.Workload.Dataset.pairs;
+  let s = Workload.Dataset.ngrams_sorted 500 in
+  let shuffled = Workload.Dataset.shuffled s in
+  Alcotest.(check bool) "shuffle keeps multiset" true
+    (List.sort compare (Array.to_list shuffled.Workload.Dataset.pairs)
+    = List.sort compare (Array.to_list s.Workload.Dataset.pairs))
+
+let test_key_codec () =
+  Alcotest.(check string) "u64 big-endian" "\x00\x00\x00\x00\x00\x00\x01\x02"
+    (Kvcommon.Key_codec.of_u64 258L);
+  Alcotest.(check int64) "roundtrip" (-1L)
+    (Kvcommon.Key_codec.to_u64 (Kvcommon.Key_codec.of_u64 (-1L)));
+  (* signed order via sign-bit flip *)
+  let a = Kvcommon.Key_codec.of_i64 (-5L) and b = Kvcommon.Key_codec.of_i64 3L in
+  Alcotest.(check bool) "signed order" true (String.compare a b < 0);
+  Alcotest.(check string) "reverse" "cba" (Kvcommon.Key_codec.reverse_bytes "abc")
+
+let prop_u64_order =
+  QCheck.Test.make ~name:"of_u64 is binary-comparable (unsigned)" ~count:1000
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      let cmp_num = Int64.unsigned_compare a b in
+      let cmp_str =
+        String.compare (Kvcommon.Key_codec.of_u64 a) (Kvcommon.Key_codec.of_u64 b)
+      in
+      compare (cmp_num > 0) (cmp_str > 0) = 0
+      && compare (cmp_num = 0) (cmp_str = 0) = 0)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "mt19937-64",
+        [
+          Alcotest.test_case "reference vectors" `Quick test_mt_reference;
+          Alcotest.test_case "determinism" `Quick test_mt_determinism;
+          Alcotest.test_case "next_below" `Quick test_next_below;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+        ] );
+      ("zipf", [ Alcotest.test_case "skew" `Quick test_zipf ]);
+      ( "corpus",
+        [
+          Alcotest.test_case "ngram corpus" `Quick test_ngram_corpus;
+          Alcotest.test_case "datasets" `Quick test_datasets;
+        ] );
+      ( "key codec",
+        [
+          Alcotest.test_case "codecs" `Quick test_key_codec;
+          QCheck_alcotest.to_alcotest prop_u64_order;
+        ] );
+    ]
