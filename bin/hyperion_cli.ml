@@ -4,9 +4,14 @@
      demo           load the paper's example words and dump the trie stats
      load-ints N    insert N sequential integers and report density
      load-ngrams N  insert N synthetic n-grams and report density
+     audit          apply mutations from stdin, then structurally validate
+                    the store; exit 1 when violations are found
+     chaos          seeded differential run against the red-black-tree
+                    oracle with fault injection; exit 1 on divergence
      repl           read commands from stdin:
                       put <key> <value> | add <key> | get <key>
-                      del <key> | range <start> <limit> | stats | quit *)
+                      del <key> | range <start> <limit> | audit
+                      stats | quit *)
 
 open Cmdliner
 
@@ -29,7 +34,10 @@ let report store =
     st.Hyperion.Stats.t_nodes st.Hyperion.Stats.s_nodes
     st.Hyperion.Stats.delta_encoded;
   Printf.printf "path compr.    : %d nodes, %d suffix bytes\n"
-    st.Hyperion.Stats.pc_nodes st.Hyperion.Stats.pc_suffix_bytes
+    st.Hyperion.Stats.pc_nodes st.Hyperion.Stats.pc_suffix_bytes;
+  if st.Hyperion.Stats.saturated_arenas > 0 then
+    Printf.printf "SATURATED      : %d arena(s) read-only (memory exhausted)\n"
+      st.Hyperion.Stats.saturated_arenas
 
 let demo () =
   let store = make_store () in
@@ -60,6 +68,58 @@ let load_ngrams n =
   Printf.printf "inserted %d n-grams in %.2fs\n" n (Unix.gettimeofday () -. t0);
   report store
 
+(* Print all structural violations; return the count. *)
+let audit_store store =
+  match Hyperion.Validate.check_store store with
+  | [] ->
+      print_endline "audit: OK, 0 violations";
+      0
+  | errs ->
+      Printf.printf "audit: %d violation(s)\n" (List.length errs);
+      List.iter
+        (fun e -> Format.printf "  %a@." Hyperion.Validate.pp_error e)
+        errs;
+      List.length errs
+
+let audit () =
+  let store = make_store () in
+  let rec loop lineno =
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line -> (
+        (match String.split_on_char ' ' (String.trim line) with
+        | [ "put"; k; v ] -> Hyperion.Store.put store k (Int64.of_string v)
+        | [ "add"; k ] -> Hyperion.Store.add store k
+        | [ "del"; k ] -> ignore (Hyperion.Store.delete store k)
+        | [ "" ] | [ "quit" ] -> ()
+        | _ -> Printf.eprintf "audit: line %d ignored: %s\n" lineno line);
+        loop (lineno + 1))
+  in
+  loop 1;
+  Printf.printf "loaded %d key(s)\n" (Hyperion.Store.length store);
+  exit (if audit_store store > 0 then 1 else 0)
+
+let chaos seed ops per_mille =
+  if per_mille < 0 || per_mille > 1000 then begin
+    prerr_endline "chaos: --per-mille must be in [0, 1000]";
+    exit 2
+  end;
+  if ops < 0 then begin
+    prerr_endline "chaos: --ops must be non-negative";
+    exit 2
+  end;
+  let plan =
+    if per_mille = 0 then Fault.none
+    else Fault.seeded ~seed ~per_mille ~sites:Fault.all_sites
+  in
+  match Chaos.run ~plan ~seed ~ops () with
+  | Ok o ->
+      Format.printf "chaos: OK — %a@." Chaos.pp_outcome o;
+      Format.printf "plan : %s@." (Fault.describe plan)
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
 let repl () =
   let store = make_store () in
   let rec loop () =
@@ -70,6 +130,9 @@ let repl () =
         | [ "quit" ] -> ()
         | [ "stats" ] ->
             report store;
+            loop ()
+        | [ "audit" ] ->
+            ignore (audit_store store);
             loop ()
         | [ "put"; k; v ] ->
             Hyperion.Store.put store k (Int64.of_string v);
@@ -104,11 +167,34 @@ let repl () =
 
 let n_arg = Arg.(value & pos 0 int 100_000 & info [] ~docv:"N")
 
+let seed_arg =
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED"
+       ~doc:"Workload and fault-plan seed (replay a failing run with it).")
+
+let ops_arg =
+  Arg.(value & opt int 10_000 & info [ "ops" ] ~docv:"N"
+       ~doc:"Number of random operations to execute.")
+
+let per_mille_arg =
+  Arg.(value & opt int 2 & info [ "per-mille" ] ~docv:"P"
+       ~doc:"Fault probability per consultation in 1/1000 units; 0 disables \
+             injection.")
+
 let cmds =
   [
     Cmd.v (Cmd.info "demo" ~doc:"Paper example words") Term.(const demo $ const ());
     Cmd.v (Cmd.info "load-ints" ~doc:"Sequential integer load") Term.(const load_ints $ n_arg);
     Cmd.v (Cmd.info "load-ngrams" ~doc:"Synthetic n-gram load") Term.(const load_ngrams $ n_arg);
+    Cmd.v
+      (Cmd.info "audit"
+         ~doc:"Apply put/add/del lines from stdin, then validate structure; \
+               exits 1 when violations are found")
+      Term.(const audit $ const ());
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:"Seeded differential run against the red-black-tree oracle \
+               with fault injection; exits 1 on divergence")
+      Term.(const chaos $ seed_arg $ ops_arg $ per_mille_arg);
     Cmd.v (Cmd.info "repl" ~doc:"Line-oriented REPL on stdin") Term.(const repl $ const ());
   ]
 

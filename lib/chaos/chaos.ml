@@ -1,0 +1,144 @@
+module H = Hyperion
+
+type outcome = {
+  ops : int;
+  mutations_ok : int;
+  mutations_failed : int;
+  injected_faults : int;
+  audits : int;
+  saturation_errors : int;
+  final_keys : int;
+}
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "%d ops: %d mutations ok, %d rejected (%d saturation), %d faults \
+     injected, %d audits, %d keys stored"
+    o.ops o.mutations_ok o.mutations_failed o.saturation_errors
+    o.injected_faults o.audits o.final_keys
+
+exception Divergence of string
+
+(* Deterministic key shapes: a mix of short, suffixed and prefixed keys so
+   the workload exercises path compression, embedded containers and multi-
+   container paths, while the same id always denotes the same key. *)
+let key_for id =
+  let base = Printf.sprintf "%06x" id in
+  match id mod 5 with
+  | 0 -> base
+  | 1 -> base ^ "-tail"
+  | 2 -> base ^ String.make (8 + (id mod 40)) 'x'
+  | 3 -> "pfx/" ^ base
+  | _ -> base ^ "!"
+
+let run ?(config = H.Config.default) ?(plan = Fault.none)
+    ?(validate_every = 1000) ?(key_space = 4096) ~seed ~ops () =
+  if ops < 0 then invalid_arg "Chaos.run: negative ops";
+  if key_space <= 0 then invalid_arg "Chaos.run: key_space must be positive";
+  if validate_every <= 0 then
+    invalid_arg "Chaos.run: validate_every must be positive";
+  let rng = Workload.Mt19937_64.create seed in
+  let store = H.Store.create ~config () in
+  H.Store.set_fault_plan store plan;
+  let oracle = Rbtree.create () in
+  let mutations_ok = ref 0
+  and mutations_failed = ref 0
+  and audits = ref 0
+  and saturation_errors = ref 0 in
+  let diverge op fmt =
+    Printf.ksprintf
+      (fun msg ->
+        raise
+          (Divergence
+             (Printf.sprintf "chaos seed=%Ld op=%d: %s; plan: %s" seed op msg
+                (Fault.describe plan))))
+      fmt
+  in
+  let audit op =
+    incr audits;
+    match H.Validate.check_store store with
+    | [] -> ()
+    | errs ->
+        diverge op "audit found %d structural violation(s); first: %s"
+          (List.length errs)
+          (Format.asprintf "%a" H.Validate.pp_error (List.hd errs))
+  in
+  let check_key op key =
+    let hv = H.Store.get store key and ov = Rbtree.get oracle key in
+    if hv <> ov then
+      diverge op "lookup mismatch on %S: hyperion=%s oracle=%s" key
+        (match hv with Some v -> Int64.to_string v | None -> "absent")
+        (match ov with Some v -> Int64.to_string v | None -> "absent")
+  in
+  let note_error e =
+    incr mutations_failed;
+    if e = H.Hyperion_error.Arena_saturated then incr saturation_errors
+  in
+  try
+    for op = 0 to ops - 1 do
+      let fired_before = Fault.fired_count plan in
+      let id = Workload.Mt19937_64.next_below rng key_space in
+      let key = key_for id in
+      let dice = Workload.Mt19937_64.next_below rng 100 in
+      (if dice < 55 then begin
+         let v = Int64.of_int (Workload.Mt19937_64.next_below rng 1_000_000) in
+         match H.Store.put_result store key v with
+         | Ok () ->
+             incr mutations_ok;
+             Rbtree.put oracle key v
+         | Error e ->
+             note_error e;
+             (* a rejected put must leave the old binding intact *)
+             check_key op key
+       end
+       else if dice < 75 then begin
+         match H.Store.delete_result store key with
+         | Ok removed ->
+             incr mutations_ok;
+             let oracle_removed = Rbtree.delete oracle key in
+             if removed <> oracle_removed then
+               diverge op "delete %S: hyperion=%b oracle=%b" key removed
+                 oracle_removed
+         | Error e ->
+             note_error e;
+             check_key op key
+       end
+       else if dice < 95 then check_key op key
+       else if H.Store.length store <> Rbtree.length oracle then
+         diverge op "length mismatch: hyperion=%d oracle=%d"
+           (H.Store.length store) (Rbtree.length oracle));
+      if Fault.fired_count plan > fired_before then audit op
+      else if (op + 1) mod validate_every = 0 then audit op
+    done;
+    audit ops;
+    (* Final full sweep: same bindings, same order. *)
+    let expected = ref [] in
+    Rbtree.range oracle (fun k v ->
+        expected := (k, v) :: !expected;
+        true);
+    let expected = ref (List.rev !expected) in
+    let sweep_pos = ref 0 in
+    H.Store.range store (fun k v ->
+        (match !expected with
+        | [] -> diverge ops "sweep: extra key %S in hyperion" k
+        | (ek, ev) :: rest ->
+            if k <> ek || v <> ev then
+              diverge ops "sweep at #%d: hyperion has %S, oracle has %S"
+                !sweep_pos k ek;
+            expected := rest);
+        incr sweep_pos;
+        true);
+    (match !expected with
+    | [] -> ()
+    | (ek, _) :: _ -> diverge ops "sweep: key %S missing from hyperion" ek);
+    Ok
+      {
+        ops;
+        mutations_ok = !mutations_ok;
+        mutations_failed = !mutations_failed;
+        injected_faults = Fault.fired_count plan;
+        audits = !audits;
+        saturation_errors = !saturation_errors;
+        final_keys = H.Store.length store;
+      }
+  with Divergence msg -> Error msg

@@ -1,0 +1,43 @@
+(** Differential chaos harness: a seeded random workload executed against
+    Hyperion and a red-black-tree oracle simultaneously, with faults
+    injected from a {!Fault.t} plan.
+
+    Every mutation is applied to both stores; a mutation that Hyperion
+    rejects with a typed error must leave Hyperion observably unchanged
+    (the oracle is not updated either, and the two are compared).  After
+    every injected fault — and periodically — the whole store is audited
+    with {!Hyperion.Validate}; any structural violation fails the run.
+
+    Runs are deterministic in [(seed, ops, config, plan)], so a failure
+    message, which embeds the seed and the plan's firing history, is a
+    complete replay recipe. *)
+
+type outcome = {
+  ops : int;  (** operations executed *)
+  mutations_ok : int;
+  mutations_failed : int;  (** typed-error rejections (expected under faults) *)
+  injected_faults : int;  (** plan firings over the whole run *)
+  audits : int;  (** full Validate sweeps performed *)
+  saturation_errors : int;  (** [Arena_saturated] rejections observed *)
+  final_keys : int;
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run :
+  ?config:Hyperion.Config.t ->
+  ?plan:Fault.t ->
+  ?validate_every:int ->
+  ?key_space:int ->
+  seed:int64 ->
+  ops:int ->
+  unit ->
+  (outcome, string) result
+(** [run ~seed ~ops ()] executes [ops] random operations (puts, deletes,
+    point lookups, length checks) over a bounded key space (default 4096
+    distinct keys, so updates and deletes hit existing keys), then performs
+    a final audit and a full ordered sweep comparing Hyperion against the
+    oracle.  [validate_every] (default 1000) bounds the distance between
+    audits even when no fault fires; every fault firing triggers an
+    immediate audit.  [Error msg] carries the divergence or violation plus
+    the seed and plan history needed to replay it. *)

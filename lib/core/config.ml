@@ -9,6 +9,7 @@ type t = {
   split_b : int;
   split_min_piece : int;
   chunks_per_bin : int;
+  max_metabins : int;
   arenas : int;
   preprocess : bool;
   delta_encoding : bool;
@@ -26,6 +27,7 @@ let default =
     split_b = 64 * 1024;
     split_min_piece = 3 * 1024;
     chunks_per_bin = 4096;
+    max_metabins = 1 lsl 14;
     arenas = 1;
     preprocess = false;
     delta_encoding = true;
@@ -53,4 +55,7 @@ let validate c =
   check (c.chunks_per_bin >= 64 && c.chunks_per_bin <= 4096)
     "chunks_per_bin must be in [64, 4096]";
   check (c.chunks_per_bin mod 64 = 0) "chunks_per_bin must be a multiple of 64";
+  check
+    (c.max_metabins >= 1 && c.max_metabins <= 1 lsl 14)
+    "max_metabins must be in [1, 2^14]";
   check (c.arenas >= 1 && c.arenas <= 256) "arenas must be in [1, 256]"

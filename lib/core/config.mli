@@ -32,6 +32,10 @@ type t = {
           Paper: 3 KiB. *)
   chunks_per_bin : int;
       (** Chunks per memory-manager bin.  Paper: 4096 (12 HP bits). *)
+  max_metabins : int;
+      (** Metabins a superbin may grow to before it reports saturation.
+          Paper: 2^14 (14 HP bits), the default; tests shrink it to force
+          arena exhaustion on tiny inputs. *)
   arenas : int;
       (** Number of separately locked arenas in [1, 256].  1 = single trie,
           no per-key routing. *)

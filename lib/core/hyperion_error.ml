@@ -1,0 +1,29 @@
+type t =
+  | Arena_saturated
+  | Alloc_failed of string
+  | Container_overflow
+  | Restart_budget_exceeded of int
+  | Chunk_corrupt of string
+  | Empty_key
+  | Key_too_long of int
+
+exception Error of t
+
+let fail e = raise (Error e)
+
+let to_string = function
+  | Arena_saturated -> "arena saturated: memory-manager pools exhausted"
+  | Alloc_failed site -> Printf.sprintf "allocation failed (%s)" site
+  | Container_overflow -> "container exceeds the 19-bit size limit"
+  | Restart_budget_exceeded n ->
+      Printf.sprintf "operation restart budget (%d) exceeded" n
+  | Chunk_corrupt what -> Printf.sprintf "corrupt chunk: %s" what
+  | Empty_key -> "empty keys are not supported"
+  | Key_too_long n -> Printf.sprintf "key of %d bytes exceeds the 2^20 limit" n
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Hyperion_error.Error: " ^ to_string e)
+    | _ -> None)

@@ -1,0 +1,34 @@
+(** The typed error channel of the store.
+
+    Every recoverable failure of a mutating operation is a value of {!t},
+    surfaced through the [( _, t) result] API of {!Store} and {!Ops}.  The
+    historical exception API is a thin wrapper: it raises {!Error} carrying
+    the same value.  A mutation that returns an error leaves the container
+    chain exactly as it was (put-side rollback); see DESIGN.md section 7. *)
+
+type t =
+  | Arena_saturated
+      (** The arena's memory-manager pools are exhausted.  The arena
+          degrades to read-only until chunks are freed. *)
+  | Alloc_failed of string
+      (** A single allocation request failed (today: only via injected
+          faults; the payload names the requesting site). *)
+  | Container_overflow
+      (** A container would exceed the 19-bit size limit (paper §3.1). *)
+  | Restart_budget_exceeded of int
+      (** An operation restarted more than the given budget of times
+          (ejections, bursts, splits, or an injected restart storm). *)
+  | Chunk_corrupt of string
+      (** A container chunk read back corrupt (today: only via injected
+          faults). *)
+  | Empty_key  (** Hyperion does not store the empty key. *)
+  | Key_too_long of int  (** Key length exceeds 2^20 bytes. *)
+
+exception Error of t
+(** The exception-API wrapper around {!t}. *)
+
+val fail : t -> 'a
+(** [fail e] raises [Error e]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

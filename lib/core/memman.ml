@@ -45,25 +45,57 @@ type ebin = { recs : ehp array; eused : Bitset.t }
 
 type t = {
   cpb : int; (* chunks per bin *)
+  max_metabins : int; (* per-superbin growth ceiling *)
   small : sbin superbin array; (* index 0 unused; 1..63 *)
   ext : ebin superbin;
+  mutable fault : Fault.t; (* injectable fault plan; Fault.none = off *)
+  mutable saturated : bool; (* sticky until a free returns memory *)
 }
 
 let new_superbin () = { metabins = Array.make 8 None; metabin_count = 0; nonfull = [] }
 
-let create ?(chunks_per_bin = 4096) () =
+let create ?(chunks_per_bin = 4096) ?(max_metabins = max_metabins) () =
   if
     chunks_per_bin < 64 || chunks_per_bin > 4096
     || chunks_per_bin mod 64 <> 0
   then invalid_arg "Memman.create: chunks_per_bin must be a multiple of 64 in [64,4096]";
+  if max_metabins < 1 || max_metabins > 1 lsl 14 then
+    invalid_arg "Memman.create: max_metabins must be in [1, 2^14]";
   let t =
     {
       cpb = chunks_per_bin;
+      max_metabins;
       small = Array.init 64 (fun _ -> new_superbin ());
       ext = new_superbin ();
+      fault = Fault.none;
+      saturated = false;
     }
   in
   t
+
+let set_fault t plan = t.fault <- plan
+let fault t = t.fault
+let is_saturated t = t.saturated
+
+(* Saturation is the graceful end state of a near-full arena: allocation
+   reports a typed error instead of crashing, reads keep working, and any
+   free lifts the state again. *)
+let saturate t =
+  t.saturated <- true;
+  Hyperion_error.fail Hyperion_error.Arena_saturated
+
+(* Consulted on every path that may create chunks or heap segments.  An
+   injected [Superbin_exhausted] mimics pool exhaustion without the sticky
+   flag, so chaos runs keep exercising the allocator afterwards. *)
+let alloc_gate t site =
+  if t.saturated then Hyperion_error.fail Hyperion_error.Arena_saturated;
+  if Fault.check t.fault Fault.Alloc_fail then
+    Hyperion_error.fail (Hyperion_error.Alloc_failed site);
+  if Fault.check t.fault Fault.Superbin_exhausted then
+    Hyperion_error.fail Hyperion_error.Arena_saturated
+
+(* Real memory pressure from the runtime also degrades to saturation. *)
+let guard_oom t f = try f () with Out_of_memory -> saturate t
 
 let rec insert_sorted x = function
   | [] -> [ x ]
@@ -86,7 +118,7 @@ let grow_metabins sb mb_id =
   end
 
 (* Fetch (creating on demand) a metabin that can still allocate. *)
-let nonfull_metabin sb =
+let nonfull_metabin t sb =
   match sb.nonfull with
   | mb_id :: _ -> (
       match sb.metabins.(mb_id) with
@@ -94,7 +126,7 @@ let nonfull_metabin sb =
       | None -> assert false)
   | [] ->
       let mb_id = sb.metabin_count in
-      if mb_id >= max_metabins then failwith "Memman: superbin exhausted";
+      if mb_id >= t.max_metabins then saturate t;
       grow_metabins sb mb_id;
       let mb = new_metabin () in
       sb.metabins.(mb_id) <- Some mb;
@@ -139,7 +171,7 @@ let small_chunk_size sb_id = 32 * sb_id
 let small_alloc t sb_id =
   let sb = t.small.(sb_id) in
   let chunk_size = small_chunk_size sb_id in
-  let mb_id, mb = nonfull_metabin sb in
+  let mb_id, mb = nonfull_metabin t sb in
   let init () =
     { seg = Bytes.make (t.cpb * chunk_size) '\000'; used = Bitset.create t.cpb }
   in
@@ -170,6 +202,7 @@ let small_free t hp =
   let bin = small_bin t hp in
   if not (Bitset.mem bin.used (Hp.chunk hp)) then
     invalid_arg "Memman.free: double free";
+  t.saturated <- false;
   Bitset.clear bin.used (Hp.chunk hp);
   match sb.metabins.(Hp.metabin hp) with
   | Some mb -> after_free_bookkeeping sb (Hp.metabin hp) mb (Hp.bin hp)
@@ -196,7 +229,7 @@ let ext_alloc t requested =
   let sb = t.ext in
   let cap = size_class requested in
   let rec attempt () =
-    let mb_id, mb = nonfull_metabin sb in
+    let mb_id, mb = nonfull_metabin t sb in
     let bin_id, bin = pick_bin mb ~init:(ebin_init t) in
     let chunk =
       match Bitset.find_clear bin.eused with
@@ -209,9 +242,11 @@ let ext_alloc t requested =
       attempt ()
     end
     else begin
-      Bitset.set bin.eused chunk;
       let r = bin.recs.(chunk) in
-      r.mem <- Bytes.make cap '\000';
+      (* allocate before marking: an OOM here must leave the bin intact *)
+      let mem = Bytes.make cap '\000' in
+      Bitset.set bin.eused chunk;
+      r.mem <- mem;
       r.cap <- cap;
       r.requested <- requested;
       r.kind <- Eplain;
@@ -245,6 +280,7 @@ let ext_free_chunk t hp chunk =
   let sb = t.ext in
   let bin = ext_bin t hp in
   if not (Bitset.mem bin.eused chunk) then invalid_arg "Memman.free: double free";
+  t.saturated <- false;
   reset_ehp bin.recs.(chunk);
   Bitset.clear bin.eused chunk;
   match sb.metabins.(Hp.metabin hp) with
@@ -255,7 +291,9 @@ let ext_free_chunk t hp chunk =
 
 let alloc t n =
   if n <= 0 then invalid_arg "Memman.alloc: non-positive size";
-  if n <= small_max then small_alloc t ((n + 31) / 32) else ext_alloc t n
+  alloc_gate t "alloc";
+  guard_oom t (fun () ->
+      if n <= small_max then small_alloc t ((n + 31) / 32) else ext_alloc t n)
 
 let is_chained t hp =
   (not (Hp.is_null hp))
@@ -328,7 +366,8 @@ let realloc t hp n =
           hp
         end
         else if new_cap <= small_max then begin
-          let fresh = small_alloc t ((n + 31) / 32) in
+          alloc_gate t "realloc";
+          let fresh = guard_oom t (fun () -> small_alloc t ((n + 31) / 32)) in
           let bin = small_bin t fresh in
           let off = Hp.chunk fresh * small_chunk_size (Hp.superbin fresh) in
           Bytes.blit r.mem 0 bin.seg off (min r.cap new_cap);
@@ -336,7 +375,8 @@ let realloc t hp n =
           fresh
         end
         else begin
-          let mem = Bytes.make new_cap '\000' in
+          alloc_gate t "realloc";
+          let mem = guard_oom t (fun () -> Bytes.make new_cap '\000') in
           Bytes.blit r.mem 0 mem 0 (min r.cap new_cap);
           r.mem <- mem;
           r.cap <- new_cap;
@@ -349,6 +389,8 @@ let realloc t hp n =
 (* ---- chained extended bins ---- *)
 
 let ceb_alloc t =
+  alloc_gate t "ceb_alloc";
+  guard_oom t @@ fun () ->
   let sb = t.ext in
   (* Find a bin with a run of 8 consecutive free chunks, initializing a new
      bin when the nonfull ones are too fragmented. *)
@@ -387,8 +429,7 @@ let ceb_alloc t =
               | _ -> with_room rest)
           | [] ->
               let mb_id = sb.metabin_count in
-              if mb_id >= max_metabins then
-                failwith "Memman.ceb_alloc: superbin 0 exhausted";
+              if mb_id >= t.max_metabins then saturate t;
               grow_metabins sb mb_id;
               let mb = new_metabin () in
               sb.metabins.(mb_id) <- Some mb;
@@ -429,8 +470,10 @@ let ceb_record t hp ~slot =
 let ceb_set_slot t hp ~slot n =
   let r = ceb_record t hp ~slot in
   if r.cap <> 0 then invalid_arg "Memman.ceb_set_slot: slot already populated";
+  alloc_gate t "ceb_set_slot";
   let cap = size_class n in
-  r.mem <- Bytes.make cap '\000';
+  let mem = guard_oom t (fun () -> Bytes.make cap '\000') in
+  r.mem <- mem;
   r.cap <- cap;
   r.requested <- n
 
@@ -443,7 +486,8 @@ let ceb_realloc_slot t hp ~slot n =
   if r.cap = 0 then invalid_arg "Memman.ceb_realloc_slot: void slot";
   let cap = size_class n in
   if cap <> r.cap then begin
-    let mem = Bytes.make cap '\000' in
+    alloc_gate t "ceb_realloc_slot";
+    let mem = guard_oom t (fun () -> Bytes.make cap '\000') in
     Bytes.blit r.mem 0 mem 0 (min r.cap cap);
     r.mem <- mem;
     r.cap <- cap
@@ -452,6 +496,7 @@ let ceb_realloc_slot t hp ~slot n =
 
 let ceb_clear_slot t hp ~slot =
   let r = ceb_record t hp ~slot in
+  if r.cap > 0 then t.saturated <- false;
   r.mem <- Bytes.empty;
   r.cap <- 0;
   r.requested <- 0

@@ -17,9 +17,33 @@
 
 type t
 
-val create : ?chunks_per_bin:int -> unit -> t
+val create : ?chunks_per_bin:int -> ?max_metabins:int -> unit -> t
 (** [create ()] is an empty manager.  [chunks_per_bin] defaults to 4096 and
-    must be a multiple of 64 in [64, 4096]. *)
+    must be a multiple of 64 in [64, 4096]; [max_metabins] defaults to 2^14
+    (the HP field width) and bounds every superbin's growth — when a
+    superbin would need more, allocation raises
+    [Hyperion_error.Error Arena_saturated] and the manager enters the
+    saturated state. *)
+
+(** {1 Failure handling and fault injection}
+
+    All allocating entry points ([alloc], [realloc], [ceb_alloc],
+    [ceb_set_slot], [ceb_realloc_slot]) may raise
+    [Hyperion_error.Error Arena_saturated] (pool exhaustion, real or
+    injected, and runtime [Out_of_memory]) or
+    [Hyperion_error.Error (Alloc_failed _)] (injected).  They never mutate
+    manager state before such a failure, so a caller observing the error
+    holds an unchanged heap.  Frees lift saturation. *)
+
+val set_fault : t -> Fault.t -> unit
+(** Install a fault-injection plan ({!Fault.none} disables injection). *)
+
+val fault : t -> Fault.t
+(** The currently installed plan. *)
+
+val is_saturated : t -> bool
+(** [true] while the manager is in the read-only saturated state: a pool
+    was exhausted and nothing has been freed since. *)
 
 val small_max : int
 (** Largest request served by a small superbin: 2,016 bytes. *)

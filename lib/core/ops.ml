@@ -4,7 +4,13 @@ let max_key_len = 1 lsl 20
 
 let create cfg =
   Config.validate cfg;
-  { cfg; mm = Memman.create ~chunks_per_bin:cfg.chunks_per_bin (); root = Hp.null }
+  {
+    cfg;
+    mm =
+      Memman.create ~chunks_per_bin:cfg.chunks_per_bin
+        ~max_metabins:cfg.max_metabins ();
+    root = Hp.null;
+  }
 
 let kb key i = Char.code key.[i]
 let typ_for = function Some _ -> Node.Leaf_value | None -> Node.Leaf_no_value
@@ -92,8 +98,14 @@ let eject trie cbox enclosing s_pos e_pos =
   let content = Bytes.sub_string buf (e_pos + 1) (size - 1) in
   let hp = Splice.new_container trie content in
   let s_rel = s_pos - cbox.base in
-  Splice.splice cbox ~emb_chain:enclosing ~at:e_pos ~remove:size
-    ~ins:(Encode.hp_body hp) ~keep_at:false;
+  (* A splice failure aborts before mutating the parent; reclaim the
+     freshly ejected container so the failed put leaves no trace. *)
+  (try
+     Splice.splice cbox ~emb_chain:enclosing ~at:e_pos ~remove:size
+       ~ins:(Encode.hp_body hp) ~keep_at:false
+   with e ->
+     Memman.free trie.mm hp;
+     raise e);
   let p = cbox.base + s_rel in
   Bytes.set_uint8 cbox.buf p
     (Node.with_child (Bytes.get_uint8 cbox.buf p) Node.Child_hp)
@@ -347,26 +359,50 @@ let try_split trie cbox =
             frag ^ Bytes.sub_string buf (cut + old_frag) (cend - cut - old_frag)
           in
           let right_slot = boundary / 32 in
-          (if cbox.slot < 0 then begin
-             let ceb = Memman.ceb_alloc trie.mm in
-             ignore (write_slot trie ceb 0 left_content);
-             let rbuf, roff = write_slot trie ceb right_slot right_content in
-             if d <> 0 then
-               Splice.adjust_record_offsets rbuf (roff + Layout.header_size) d;
-             (match cbox.where with
-             | W_root -> trie.root <- ceb
-             | W_parent (pbuf, ppos) -> Hp.write pbuf ppos ceb
-             | W_slot -> assert false);
-             Memman.free trie.mm cbox.hp
-           end
-           else begin
-             Memman.ceb_clear_slot trie.mm cbox.hp ~slot:cbox.slot;
-             ignore (write_slot trie cbox.hp cbox.slot left_content);
-             let rbuf, roff = write_slot trie cbox.hp right_slot right_content in
-             if d <> 0 then
-               Splice.adjust_record_offsets rbuf (roff + Layout.header_size) d
-           end);
-          true
+          (* Crash consistency: every allocation happens before the old
+             state is destroyed.  When the allocator fails mid-split, roll
+             back whatever was built and merely delay the split — the
+             container keeps absorbing inserts. *)
+          match
+            if cbox.slot < 0 then begin
+              let ceb = Memman.ceb_alloc trie.mm in
+              (try
+                 ignore (write_slot trie ceb 0 left_content);
+                 let rbuf, roff = write_slot trie ceb right_slot right_content in
+                 if d <> 0 then
+                   Splice.adjust_record_offsets rbuf (roff + Layout.header_size) d
+               with e ->
+                 Memman.free trie.mm ceb;
+                 raise e);
+              (match cbox.where with
+              | W_root -> trie.root <- ceb
+              | W_parent (pbuf, ppos) -> Hp.write pbuf ppos ceb
+              | W_slot -> assert false);
+              Memman.free trie.mm cbox.hp
+            end
+            else begin
+              (* Populate the fresh right slot first; only then replace the
+                 left slot.  The clear-and-rewrite of the left slot is the
+                 one window without a recovery point, so fault injection is
+                 paused across it (its only real failure mode is a runtime
+                 OOM, which saturates the arena and aborts the process-level
+                 invariants anyway). *)
+              (try
+                 let rbuf, roff =
+                   write_slot trie cbox.hp right_slot right_content
+                 in
+                 if d <> 0 then
+                   Splice.adjust_record_offsets rbuf (roff + Layout.header_size) d
+               with e ->
+                 Memman.ceb_clear_slot trie.mm cbox.hp ~slot:right_slot;
+                 raise e);
+              Fault.with_pause (Memman.fault trie.mm) (fun () ->
+                  Memman.ceb_clear_slot trie.mm cbox.hp ~slot:cbox.slot;
+                  ignore (write_slot trie cbox.hp cbox.slot left_content))
+            end
+          with
+          | () -> true
+          | exception Hyperion_error.Error _ -> abort_split cbox
     end
   end
 
@@ -475,15 +511,22 @@ let put_pc trie cbox emb_chain key value level s =
     let body_len = if embeds then 1 + String.length content else Hp.byte_size in
     let pc_size = pc.Records.pc_end - pc.Records.pc_pos in
     guard_emb trie cbox emb_chain (body_len - pc_size);
-    let kind, body =
+    let kind, body, undo =
       if embeds then
         ( Node.Child_embedded,
-          String.make 1 (Char.chr (1 + String.length content)) ^ content )
-      else (Node.Child_hp, Encode.hp_body (Splice.new_container trie content))
+          String.make 1 (Char.chr (1 + String.length content)) ^ content,
+          fun () -> () )
+      else
+        let hp = Splice.new_container trie content in
+        (Node.Child_hp, Encode.hp_body hp, fun () -> Memman.free trie.mm hp)
     in
     let s_rel = s.Records.s_pos - cbox.base in
-    Splice.splice cbox ~emb_chain ~at:pc.Records.pc_pos ~remove:pc_size
-      ~ins:body ~keep_at:false;
+    (try
+       Splice.splice cbox ~emb_chain ~at:pc.Records.pc_pos ~remove:pc_size
+         ~ins:body ~keep_at:false
+     with e ->
+       undo ();
+       raise e);
     let p = cbox.base + s_rel in
     Bytes.set_uint8 cbox.buf p
       (Node.with_child (Bytes.get_uint8 cbox.buf p) kind);
@@ -612,6 +655,10 @@ let insert_t trie cbox emb_chain key value level ~k0 ~at ~prev ~succ =
 (* ------------------------------------------------------------------ *)
 
 let rec put_container trie key value level hp where =
+  if Fault.check (Memman.fault trie.mm) Fault.Chunk_corrupt then
+    Hyperion_error.fail
+      (Hyperion_error.Chunk_corrupt
+         (Printf.sprintf "injected at key level %d" level));
   let cbox = Splice.open_container trie hp ~tkey:(kb key level) ~where in
   if should_split trie cbox && try_split trie cbox then raise Restart;
   put_region trie cbox (top_region cbox.buf cbox.base) [] key value level
@@ -622,11 +669,16 @@ and put_region trie cbox region emb_chain key value level =
   let traversed = ref 0 in
   let scanned = ref 0 in
   let post_insert added =
-    if region.top then begin
-      maintain_t trie cbox k0 ~stale:(!scanned > 24) 0;
-      if !traversed >= trie.cfg.container_jt_threshold then
-        maintain_cjt cbox
-    end;
+    (* Jump-structure upkeep is best-effort: its splices abort cleanly
+       before mutating on allocation failure, and a container without a
+       refreshed jump table is merely slower, not wrong.  The insert that
+       just succeeded must not be reported as failed. *)
+    (if region.top then
+       try
+         maintain_t trie cbox k0 ~stale:(!scanned > 24) 0;
+         if !traversed >= trie.cfg.container_jt_threshold then
+           maintain_cjt cbox
+       with Hyperion_error.Error _ -> ());
     added
   in
   match Scan.find_t cbox region k0 ~traversed with
@@ -685,8 +737,9 @@ and put_region trie cbox region emb_chain key value level =
                     (Hp.read cbox.buf s.Records.s_head_end)
                     (W_parent (cbox.buf, s.Records.s_head_end))))
 
-let put trie key value =
-  check_key key;
+let restart_budget = 256
+
+let put_unchecked trie key value =
   if Hp.is_null trie.root then begin
     let content = Encode.region_for trie key value in
     trie.root <- Splice.new_container trie content;
@@ -694,13 +747,33 @@ let put trie key value =
   end
   else begin
     let rec attempt n =
-      if n > 256 then failwith "Hyperion.put: restart budget exceeded"
+      if n > restart_budget then
+        Hyperion_error.fail
+          (Hyperion_error.Restart_budget_exceeded restart_budget)
+      else if Fault.check (Memman.fault trie.mm) Fault.Restart_storm then
+        attempt (n + 1)
       else
         try put_container trie key value 0 trie.root W_root
         with Restart -> attempt (n + 1)
     in
     attempt 0
   end
+
+let put trie key value =
+  check_key key;
+  put_unchecked trie key value
+
+let key_error key =
+  let len = String.length key in
+  if len = 0 then Some Hyperion_error.Empty_key
+  else if len > max_key_len then Some (Hyperion_error.Key_too_long len)
+  else None
+
+let put_checked trie key value =
+  match key_error key with
+  | Some e -> Error e
+  | None -> (
+      try Ok (put_unchecked trie key value) with Hyperion_error.Error e -> Error e)
 
 (* ------------------------------------------------------------------ *)
 (* delete + cleanup                                                    *)

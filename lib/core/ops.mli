@@ -17,7 +17,19 @@ val find : Types.trie -> string -> int64 option option
 val put : Types.trie -> string -> int64 option -> bool
 (** [put t key value] inserts or updates; [value = None] stores the key
     alone (set semantics).  Returns [true] when the key was not present
-    before.  @raise Invalid_argument on the empty key. *)
+    before.  @raise Invalid_argument on the empty key.
+    @raise Hyperion_error.Error on allocation failure, arena saturation or
+    an exceeded restart budget; the trie is left exactly as it was before
+    the call (failed splices roll back). *)
+
+val put_checked :
+  Types.trie -> string -> int64 option -> (bool, Hyperion_error.t) result
+(** [put_checked] is [put] with every failure — including key-validation
+    errors ([Empty_key], [Key_too_long]) — routed through the typed result
+    channel instead of exceptions. *)
+
+val key_error : string -> Hyperion_error.t option
+(** The typed validation error for a key, if any. *)
 
 val delete : Types.trie -> string -> bool
 (** Remove a key (valued or not); [true] iff it was present.  Vacated

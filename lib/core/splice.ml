@@ -31,7 +31,7 @@ let new_container trie content =
   let len = String.length content in
   let size = max 32 (round32 (Layout.header_size + len)) in
   if size > Layout.max_container_size then
-    failwith "Hyperion: container content exceeds the 19-bit size limit";
+    Hyperion_error.fail Hyperion_error.Container_overflow;
   let hp = Memman.alloc trie.mm size in
   let buf, base = Memman.resolve trie.mm hp in
   Layout.write_header buf base ~size
@@ -53,7 +53,7 @@ let patch_where cbox new_hp =
    (including the header, which the caller rewrites afterwards). *)
 let resize cbox new_size =
   if new_size > Layout.max_container_size then
-    failwith "Hyperion: container exceeds the 19-bit size limit";
+    Hyperion_error.fail Hyperion_error.Container_overflow;
   if cbox.slot >= 0 then
     Memman.ceb_realloc_slot cbox.trie.mm cbox.hp ~slot:cbox.slot new_size
   else begin
@@ -198,7 +198,12 @@ let splice cbox ~emb_chain ~at ~remove ~ins ~keep_at =
   assert (free >= 0);
   if free > 255 then begin
     let shrunk = round32 new_content in
-    resize cbox shrunk;
+    (* The shrink may need a fresh smaller chunk.  If the allocator cannot
+       provide one (saturation, injected fault), shrink *logically* only:
+       the size field drops to [shrunk] inside the oversized chunk (the
+       vacated tail is already zeroed), so the container stays consistent
+       and the free field stays in its 8-bit range.  No state is lost. *)
+    (try resize cbox shrunk with Hyperion_error.Error _ -> ());
     let buf = cbox.buf and base = cbox.base in
     Layout.write_header buf base ~size:shrunk ~free:(shrunk - new_content)
       ~jump_levels:(Layout.read_jump_levels buf base)

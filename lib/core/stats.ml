@@ -14,6 +14,7 @@ type t = {
   jump_successors : int;
   tnode_jump_tables : int;
   container_jt_entries : int;
+  saturated_arenas : int;
 }
 
 let empty =
@@ -31,6 +32,7 @@ let empty =
     jump_successors = 0;
     tnode_jump_tables = 0;
     container_jt_entries = 0;
+    saturated_arenas = 0;
   }
 
 let add a b =
@@ -48,6 +50,7 @@ let add a b =
     jump_successors = a.jump_successors + b.jump_successors;
     tnode_jump_tables = a.tnode_jump_tables + b.tnode_jump_tables;
     container_jt_entries = a.container_jt_entries + b.container_jt_entries;
+    saturated_arenas = a.saturated_arenas + b.saturated_arenas;
   }
 
 type acc = {
@@ -158,4 +161,7 @@ and walk_region trie acc buf rb re =
 let collect trie =
   let acc = { st = empty } in
   if not (Hp.is_null trie.root) then walk_container trie acc trie.root;
-  acc.st
+  {
+    acc.st with
+    saturated_arenas = (if Memman.is_saturated trie.mm then 1 else 0);
+  }

@@ -18,6 +18,10 @@ type t = {
   jump_successors : int;
   tnode_jump_tables : int;
   container_jt_entries : int;
+  saturated_arenas : int;
+      (** memory managers currently in the read-only saturated state (pool
+          exhausted, nothing freed since).  {!Store.stats} reports this per
+          arena; {!collect} reports the single trie's manager as 0/1. *)
 }
 
 val empty : t

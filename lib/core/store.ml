@@ -12,7 +12,8 @@ let create ?(config = Config.default) () =
   Config.validate config;
   let mms =
     Array.init config.arenas (fun _ ->
-        Memman.create ~chunks_per_bin:config.chunks_per_bin ())
+        Memman.create ~chunks_per_bin:config.chunks_per_bin
+          ~max_metabins:config.max_metabins ())
   in
   let locks = Array.init config.arenas (fun _ -> Mutex.create ()) in
   let n_tries = if config.arenas = 1 then 1 else 256 in
@@ -103,13 +104,62 @@ let range t ?start f =
 
 let length t = Array.fold_left ( + ) 0 t.counts
 
+(* --- typed-result mutation API ------------------------------------- *)
+
+let put_result_opt t key value =
+  match Ops.key_error key with
+  | Some e -> Error e
+  | None ->
+      let key = xform t key in
+      let i = route t key in
+      with_arena t i (fun () ->
+          match Ops.put_checked t.tries.(i) key value with
+          | Ok added ->
+              if added then t.counts.(i) <- t.counts.(i) + 1;
+              Ok ()
+          | Error _ as e -> e)
+
+let put_result t key value = put_result_opt t key (Some value)
+let add_result t key = put_result_opt t key None
+
+let delete_result t key =
+  match Ops.key_error key with
+  | Some e -> Error e
+  | None ->
+      let key = xform t key in
+      let i = route t key in
+      with_arena t i (fun () ->
+          match Ops.delete t.tries.(i) key with
+          | removed ->
+              if removed then t.counts.(i) <- t.counts.(i) - 1;
+              Ok removed
+          | exception Hyperion_error.Error e -> Error e)
+
+(* --- fault injection and saturation -------------------------------- *)
+
+let set_fault_plan t plan =
+  Array.iter (fun mm -> Memman.set_fault mm plan) t.mms
+
+let fault_plan t = Memman.fault t.mms.(0)
+
+let saturated_arenas t =
+  Array.fold_left
+    (fun acc mm -> acc + if Memman.is_saturated mm then 1 else 0)
+    0 t.mms
+
 let memory_usage t =
   Array.fold_left (fun acc mm -> acc + Memman.total_bytes mm) 0 t.mms
 
 let stats t =
-  Array.fold_left
-    (fun acc trie -> Stats.add acc (Stats.collect trie))
-    Stats.empty t.tries
+  (* Tries share memory managers when arenas < 256, so the per-trie
+     saturation bit from [Stats.collect] would overcount; recompute it from
+     the managers themselves. *)
+  let s =
+    Array.fold_left
+      (fun acc trie -> Stats.add acc (Stats.collect trie))
+      Stats.empty t.tries
+  in
+  { s with Stats.saturated_arenas = saturated_arenas t }
 
 let superbin_profile t =
   let merged =

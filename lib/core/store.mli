@@ -27,6 +27,32 @@ val get : t -> string -> int64 option
 val mem : t -> string -> bool
 val delete : t -> string -> bool
 
+(** {1 Typed-result mutation API}
+
+    [put]/[add]/[delete] raise [Hyperion_error.Error] when the store cannot
+    complete a mutation (arena saturation, allocation failure, injected
+    fault); these variants surface the same failures as values instead.  A
+    failed mutation leaves the store exactly as it was: splices roll back
+    before any byte moves, and reads keep working on a saturated arena. *)
+
+val put_result : t -> string -> int64 -> (unit, Hyperion_error.t) result
+val add_result : t -> string -> (unit, Hyperion_error.t) result
+val delete_result : t -> string -> (bool, Hyperion_error.t) result
+
+(** {1 Fault injection and saturation} *)
+
+val set_fault_plan : t -> Fault.t -> unit
+(** Install a fault-injection plan on every arena's memory manager
+    ({!Fault.none} disables injection).  The plan object is shared, so a
+    single operation budget spans all arenas. *)
+
+val fault_plan : t -> Fault.t
+(** The currently installed plan (of the first arena). *)
+
+val saturated_arenas : t -> int
+(** Arenas currently read-only because their memory pool is exhausted.
+    Saturation is sticky until a delete frees memory in that arena. *)
+
 val range : t -> ?start:string -> (string -> int64 option -> bool) -> unit
 (** Ordered callback iteration from [start] (paper's range queries). *)
 

@@ -1,0 +1,127 @@
+type site =
+  | Alloc_fail
+  | Superbin_exhausted
+  | Chunk_corrupt
+  | Restart_storm
+
+let site_name = function
+  | Alloc_fail -> "alloc-fail"
+  | Superbin_exhausted -> "superbin-exhausted"
+  | Chunk_corrupt -> "chunk-corrupt"
+  | Restart_storm -> "restart-storm"
+
+let all_sites = [ Alloc_fail; Superbin_exhausted; Chunk_corrupt; Restart_storm ]
+
+let site_index = function
+  | Alloc_fail -> 0
+  | Superbin_exhausted -> 1
+  | Chunk_corrupt -> 2
+  | Restart_storm -> 3
+
+let n_sites = 4
+
+type mode =
+  | Disabled
+  | At of (site * int) list
+  | Seeded of { per_mille : int; sites : site list }
+  | Always of site list
+
+type t = {
+  mode : mode;
+  counts : int array;  (* consultations per site *)
+  states : int64 array;  (* per-site splitmix64 streams *)
+  mutable fired : (site * int) list;  (* newest first *)
+  mutable paused : int;
+  seed : int64;
+}
+
+(* splitmix64: the standard seed expander; each [next] both advances the
+   per-site state and returns a well-mixed 64-bit draw. *)
+let splitmix_next states i =
+  let ( +% ) = Int64.add and ( *% ) = Int64.mul in
+  let ( ^^ ) = Int64.logxor in
+  let z = states.(i) +% 0x9E3779B97F4A7C15L in
+  states.(i) <- z;
+  let z = (z ^^ Int64.shift_right_logical z 30) *% 0xBF58476D1CE4E5B9L in
+  let z = (z ^^ Int64.shift_right_logical z 27) *% 0x94D049BB133111EBL in
+  z ^^ Int64.shift_right_logical z 31
+
+let make ?(seed = 0L) mode =
+  let states =
+    Array.init n_sites (fun i ->
+        Int64.logxor seed (Int64.mul (Int64.of_int (i + 1)) 0xD6E8FEB86659FD93L))
+  in
+  { mode; counts = Array.make n_sites 0; states; fired = []; paused = 0; seed }
+
+let none = make Disabled
+
+let fire_at schedule =
+  List.iter
+    (fun (_, n) ->
+      if n < 1 then invalid_arg "Fault.fire_at: consultation index must be >= 1")
+    schedule;
+  make (At schedule)
+
+let seeded ~seed ~per_mille ~sites =
+  if per_mille < 0 || per_mille > 1000 then
+    invalid_arg "Fault.seeded: per_mille must be in [0, 1000]";
+  make ~seed (Seeded { per_mille; sites })
+
+let always sites = make (Always sites)
+
+let decide t site n =
+  match t.mode with
+  | Disabled -> false
+  | At schedule ->
+      List.exists (fun (s, at) -> s = site && at = n) schedule
+  | Always sites -> List.mem site sites
+  | Seeded { per_mille; sites } ->
+      List.mem site sites
+      &&
+      let draw = splitmix_next t.states (site_index site) in
+      let bucket = Int64.to_int (Int64.unsigned_rem draw 1000L) in
+      bucket < per_mille
+
+let check t site =
+  if t.mode = Disabled || t.paused > 0 then false
+  else begin
+    let i = site_index site in
+    t.counts.(i) <- t.counts.(i) + 1;
+    let n = t.counts.(i) in
+    let fire = decide t site n in
+    if fire then t.fired <- (site, n) :: t.fired;
+    fire
+  end
+
+let with_pause t f =
+  t.paused <- t.paused + 1;
+  Fun.protect ~finally:(fun () -> t.paused <- t.paused - 1) f
+
+let consultations t site = t.counts.(site_index site)
+let fired t = List.rev t.fired
+let fired_count t = List.length t.fired
+
+let describe t =
+  let mode =
+    match t.mode with
+    | Disabled -> "disabled"
+    | At schedule ->
+        "at["
+        ^ String.concat ","
+            (List.map (fun (s, n) -> Printf.sprintf "%s@%d" (site_name s) n) schedule)
+        ^ "]"
+    | Always sites ->
+        "always[" ^ String.concat "," (List.map site_name sites) ^ "]"
+    | Seeded { per_mille; sites } ->
+        Printf.sprintf "seeded[seed=%Ld,p=%d/1000,%s]" t.seed per_mille
+          (String.concat "," (List.map site_name sites))
+  in
+  let hist =
+    match fired t with
+    | [] -> "fired:none"
+    | l ->
+        "fired:"
+        ^ String.concat ","
+            (List.map (fun (s, n) -> Printf.sprintf "%s@%d" (site_name s) n) l)
+  in
+  mode ^ " " ^ hist

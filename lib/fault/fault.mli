@@ -1,0 +1,62 @@
+(** Deterministic, seed-driven fault injection.
+
+    A {!t} is a *plan*: a pure function of its construction parameters and
+    of the sequence of {!check} consultations made against it.  Subsystems
+    that can fail (the memory manager, the mutation path) consult the plan
+    at each fault site; the plan answers "inject a fault now" or "proceed".
+    Because the decision depends only on the seed and the per-site
+    consultation count, any failing run can be replayed exactly from its
+    seed.
+
+    Plans are intentionally dependency-free: this library knows nothing
+    about Hyperion.  The store maps a fired site to its own typed error. *)
+
+type site =
+  | Alloc_fail  (** a single chunk/heap allocation request fails *)
+  | Superbin_exhausted  (** the allocator reports an exhausted pool *)
+  | Chunk_corrupt  (** a container chunk reads back corrupt *)
+  | Restart_storm  (** an in-flight operation is forced to restart *)
+
+val site_name : site -> string
+val all_sites : site list
+
+type t
+
+val none : t
+(** The disabled plan: never fires, never counts.  Safe to share. *)
+
+val fire_at : (site * int) list -> t
+(** [fire_at [(s, n); ...]] fires site [s] on its [n]-th consultation
+    (1-based).  A site may appear several times with different indices. *)
+
+val seeded : seed:int64 -> per_mille:int -> sites:site list -> t
+(** A pseudo-random plan: every consultation of a listed site fires with
+    probability [per_mille]/1000, drawn from a per-site splitmix64 stream
+    derived from [seed].  Deterministic for a deterministic consultation
+    order.  @raise Invalid_argument if [per_mille] is outside [0, 1000]. *)
+
+val always : site list -> t
+(** Fire on every consultation of the listed sites. *)
+
+val check : t -> site -> bool
+(** [check t s] consults the plan at site [s]: increments the site's
+    consultation counter and returns [true] when the plan injects a fault
+    here.  Returns [false] without counting on {!none} and inside
+    {!with_pause}. *)
+
+val with_pause : t -> (unit -> 'a) -> 'a
+(** Run a critical section with injection suppressed (consultations return
+    [false] and are not counted).  Used around multi-step mutations that
+    have no recovery point, e.g. rewriting a split slot after clearing it. *)
+
+val consultations : t -> site -> int
+(** How many times [site] has been consulted (pauses excluded). *)
+
+val fired : t -> (site * int) list
+(** Injection history, oldest first: each entry is the site and the
+    consultation index (1-based) at which it fired. *)
+
+val fired_count : t -> int
+
+val describe : t -> string
+(** One-line summary of the plan and its firing history, for replay logs. *)

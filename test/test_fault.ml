@@ -1,0 +1,202 @@
+(* Fault-injection plans and the differential chaos harness: plan
+   determinism, typed-error surfacing for every injected site, rollback
+   precision under persistent allocation failure, and the acceptance
+   criterion — 10k-op oracle-equivalent runs with an Alloc_fail injected at
+   each scheduled consultation index in turn, Validate-clean after every
+   fault. *)
+
+module H = Hyperion
+module S = H.Store
+module E = H.Hyperion_error
+
+let cfg = { H.Config.default with chunks_per_bin = 64 }
+
+let run_ok ?plan ?ops:(n = 10_000) seed =
+  match Chaos.run ~config:cfg ?plan ~seed ~ops:n () with
+  | Ok o -> o
+  | Error msg -> Alcotest.failf "chaos run failed: %s" msg
+
+(* --- Fault plan unit behaviour ------------------------------------- *)
+
+let test_plan_none () =
+  Alcotest.(check bool) "never fires" false (Fault.check Fault.none Fault.Alloc_fail);
+  Alcotest.(check int) "never counts" 0
+    (Fault.consultations Fault.none Fault.Alloc_fail)
+
+let test_plan_fire_at () =
+  let p = Fault.fire_at [ (Fault.Alloc_fail, 3); (Fault.Alloc_fail, 5) ] in
+  let hits =
+    List.init 6 (fun _ -> Fault.check p Fault.Alloc_fail)
+  in
+  Alcotest.(check (list bool)) "fires exactly at 3 and 5"
+    [ false; false; true; false; true; false ] hits;
+  Alcotest.(check int) "consultations counted" 6
+    (Fault.consultations p Fault.Alloc_fail);
+  Alcotest.(check int) "other sites untouched" 0
+    (Fault.consultations p Fault.Restart_storm);
+  Alcotest.(check (list (pair string int))) "history"
+    [ ("alloc-fail", 3); ("alloc-fail", 5) ]
+    (List.map (fun (s, i) -> (Fault.site_name s, i)) (Fault.fired p))
+
+let test_plan_seeded_deterministic () =
+  let mk () =
+    Fault.seeded ~seed:99L ~per_mille:100 ~sites:[ Fault.Alloc_fail ]
+  in
+  let a = mk () and b = mk () in
+  let da = List.init 500 (fun _ -> Fault.check a Fault.Alloc_fail) in
+  let db = List.init 500 (fun _ -> Fault.check b Fault.Alloc_fail) in
+  Alcotest.(check (list bool)) "identical decision streams" da db;
+  Alcotest.(check bool) "roughly 10% fire rate" true
+    (let n = Fault.fired_count a in
+     n > 20 && n < 100);
+  (* an unlisted site never fires *)
+  Alcotest.(check bool) "unlisted site silent" false
+    (Fault.check a Fault.Chunk_corrupt)
+
+let test_plan_pause () =
+  let p = Fault.always [ Fault.Alloc_fail ] in
+  Alcotest.(check bool) "fires outside pause" true (Fault.check p Fault.Alloc_fail);
+  let inside =
+    Fault.with_pause p (fun () -> Fault.check p Fault.Alloc_fail)
+  in
+  Alcotest.(check bool) "suppressed inside pause" false inside;
+  Alcotest.(check int) "paused consults not counted" 1
+    (Fault.consultations p Fault.Alloc_fail);
+  (* pause unwinds on exceptions *)
+  (try Fault.with_pause p (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "fires again after pause" true
+    (Fault.check p Fault.Alloc_fail)
+
+(* --- Typed errors per injected site -------------------------------- *)
+
+let test_alloc_fail_surfaces () =
+  let s = S.create ~config:cfg () in
+  S.set_fault_plan s (Fault.always [ Fault.Alloc_fail ]);
+  (match S.put_result s "alpha" 1L with
+  | Error (E.Alloc_failed _) -> ()
+  | Ok () -> Alcotest.fail "put must fail when every allocation fails"
+  | Error e -> Alcotest.failf "wrong error: %s" (E.to_string e));
+  Alcotest.(check int) "nothing stored" 0 (S.length s);
+  Alcotest.(check (option int64)) "reads fine" None (S.get s "alpha");
+  S.set_fault_plan s Fault.none;
+  Alcotest.(check bool) "recovers once plan removed" true
+    (S.put_result s "alpha" 1L = Ok ());
+  Alcotest.(check (option int64)) "stored now" (Some 1L) (S.get s "alpha")
+
+let test_superbin_exhausted_not_sticky () =
+  let s = S.create ~config:cfg () in
+  S.set_fault_plan s (Fault.fire_at [ (Fault.Superbin_exhausted, 1) ]);
+  (match S.put_result s "alpha" 1L with
+  | Error E.Arena_saturated -> ()
+  | r ->
+      Alcotest.failf "expected Arena_saturated, got %s"
+        (match r with Ok () -> "Ok" | Error e -> E.to_string e));
+  (* injected exhaustion is transient: the arena is not actually full *)
+  Alcotest.(check int) "not sticky" 0 (S.saturated_arenas s);
+  Alcotest.(check bool) "next put fine" true (S.put_result s "alpha" 1L = Ok ())
+
+let test_restart_budget () =
+  let s = S.create ~config:cfg () in
+  S.put s "seed" 0L;
+  S.set_fault_plan s (Fault.always [ Fault.Restart_storm ]);
+  (match S.put_result s "other" 1L with
+  | Error (E.Restart_budget_exceeded n) ->
+      Alcotest.(check bool) "budget positive" true (n > 0)
+  | r ->
+      Alcotest.failf "expected Restart_budget_exceeded, got %s"
+        (match r with Ok () -> "Ok" | Error e -> E.to_string e));
+  S.set_fault_plan s Fault.none;
+  Alcotest.(check bool) "put lands after storm" true
+    (S.put_result s "other" 1L = Ok ());
+  Alcotest.(check int) "both keys present" 2 (S.length s)
+
+let test_chunk_corrupt () =
+  let s = S.create ~config:cfg () in
+  S.put s "seed" 0L;
+  S.set_fault_plan s (Fault.fire_at [ (Fault.Chunk_corrupt, 1) ]);
+  (match S.put_result s "other" 1L with
+  | Error (E.Chunk_corrupt _) -> ()
+  | r ->
+      Alcotest.failf "expected Chunk_corrupt, got %s"
+        (match r with Ok () -> "Ok" | Error e -> E.to_string e));
+  Alcotest.(check (option int64)) "old binding intact" (Some 0L) (S.get s "seed");
+  Alcotest.(check int) "store still sound" 0
+    (List.length (H.Validate.check_store s))
+
+(* --- Differential chaos runs --------------------------------------- *)
+
+(* Acceptance criterion: inject a single allocation failure at each
+   scheduled consultation index in turn; every 10k-op run must stay
+   oracle-equivalent with a clean audit after the injected fault. *)
+let test_alloc_fail_schedule () =
+  List.iter
+    (fun at ->
+      let plan = Fault.fire_at [ (Fault.Alloc_fail, at) ] in
+      let o = run_ok ~plan 7L in
+      if Fault.consultations plan Fault.Alloc_fail >= at then
+        Alcotest.(check int)
+          (Printf.sprintf "fault injected at consultation %d" at)
+          1 o.Chaos.injected_faults)
+    [ 1; 2; 3; 5; 8; 13; 21; 34; 55; 100; 250; 500; 1000 ]
+
+let test_seeded_all_sites () =
+  let plan =
+    Fault.seeded ~seed:0xC0FFEEL ~per_mille:3 ~sites:Fault.all_sites
+  in
+  let o = run_ok ~plan 11L in
+  Alcotest.(check bool) "faults actually injected" true
+    (o.Chaos.injected_faults > 0);
+  Alcotest.(check bool) "audited after each firing" true
+    (o.Chaos.audits >= o.Chaos.injected_faults)
+
+let test_rollback_under_permanent_alloc_fail () =
+  (* With EVERY allocation failing, most mutations are rejected; each
+     rejection must leave the store byte-identical in observable terms
+     (the oracle comparison) and structurally sound (the audits). *)
+  let plan = Fault.always [ Fault.Alloc_fail ] in
+  let o =
+    match
+      Chaos.run ~config:cfg ~plan ~seed:23L ~ops:300 ~validate_every:50 ()
+    with
+    | Ok o -> o
+    | Error msg -> Alcotest.failf "rollback violated: %s" msg
+  in
+  Alcotest.(check bool) "rejections observed" true
+    (o.Chaos.mutations_failed > 0)
+
+let test_clean_run_without_faults () =
+  let o = run_ok 3L in
+  Alcotest.(check int) "no injections" 0 o.Chaos.injected_faults;
+  Alcotest.(check int) "no rejections" 0 o.Chaos.mutations_failed;
+  Alcotest.(check bool) "keys stored" true (o.Chaos.final_keys > 0)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "plans",
+        [
+          Alcotest.test_case "disabled plan" `Quick test_plan_none;
+          Alcotest.test_case "fire_at schedule" `Quick test_plan_fire_at;
+          Alcotest.test_case "seeded determinism" `Quick
+            test_plan_seeded_deterministic;
+          Alcotest.test_case "pause suppression" `Quick test_plan_pause;
+        ] );
+      ( "typed errors",
+        [
+          Alcotest.test_case "alloc failure" `Quick test_alloc_fail_surfaces;
+          Alcotest.test_case "injected exhaustion transient" `Quick
+            test_superbin_exhausted_not_sticky;
+          Alcotest.test_case "restart budget" `Quick test_restart_budget;
+          Alcotest.test_case "chunk corruption" `Quick test_chunk_corrupt;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "clean differential run" `Quick
+            test_clean_run_without_faults;
+          Alcotest.test_case "alloc-fail schedule" `Quick
+            test_alloc_fail_schedule;
+          Alcotest.test_case "seeded all sites" `Quick test_seeded_all_sites;
+          Alcotest.test_case "rollback precision" `Quick
+            test_rollback_under_permanent_alloc_fail;
+        ] );
+    ]

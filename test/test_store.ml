@@ -182,6 +182,103 @@ let test_iteration_helpers () =
   S.prefix_iter s ~prefix:"zz" (fun _ _ -> incr none; true);
   Alcotest.(check int) "no prefix matches" 0 !none
 
+module E = Hyperion.Hyperion_error
+
+let test_result_api_edges () =
+  let s = S.create ~config:cfg () in
+  (* empty key: typed error through the result API, exception via put *)
+  (match S.put_result s "" 1L with
+  | Error E.Empty_key -> ()
+  | _ -> Alcotest.fail "empty key must yield Error Empty_key");
+  (match S.delete_result s "" with
+  | Error E.Empty_key -> ()
+  | _ -> Alcotest.fail "empty-key delete must yield Error Empty_key");
+  Alcotest.check_raises "exception API preserved"
+    (Invalid_argument "Hyperion: empty key") (fun () -> S.put s "" 1L);
+  (* over-long key *)
+  let huge = String.make ((1 lsl 20) + 1) 'k' in
+  (match S.add_result s huge with
+  | Error (E.Key_too_long n) ->
+      Alcotest.(check int) "reported length" ((1 lsl 20) + 1) n
+  | _ -> Alcotest.fail "over-long key must yield Error Key_too_long");
+  (* happy paths mirror the exception API *)
+  Alcotest.(check bool) "put ok" true (S.put_result s "alpha" 7L = Ok ());
+  Alcotest.(check bool) "add ok" true (S.add_result s "beta" = Ok ());
+  Alcotest.(check bool) "delete hit" true (S.delete_result s "alpha" = Ok true);
+  Alcotest.(check bool) "delete miss" true (S.delete_result s "alpha" = Ok false);
+  Alcotest.(check int) "length tracks result API" 1 (S.length s)
+
+let test_container_size_limit () =
+  (* With splits disabled, the root container of 2-byte keys must grow to
+     the 19-bit size ceiling and then reject further growth with a typed
+     Container_overflow — never a crash, never a corrupt container. *)
+  let nosplit = { cfg with split_a = 1 lsl 22; split_b = 1 lsl 22 } in
+  let s = S.create ~config:nosplit () in
+  let key i = Printf.sprintf "%c%c" (Char.chr (i / 256)) (Char.chr (i mod 256)) in
+  let stored = ref 0 and overflow = ref None in
+  (try
+     for i = 0 to 65_535 do
+       match S.put_result s (key i) (Int64.of_int i) with
+       | Ok () -> incr stored
+       | Error e ->
+           overflow := Some e;
+           raise Exit
+     done
+   with Exit -> ());
+  (match !overflow with
+  | Some E.Container_overflow -> ()
+  | Some e -> Alcotest.failf "expected Container_overflow, got %s" (E.to_string e)
+  | None -> Alcotest.fail "19-bit limit never hit");
+  Alcotest.(check bool) "limit needed many keys" true (!stored > 10_000);
+  Alcotest.(check int) "length consistent" !stored (S.length s);
+  (* everything inserted before the overflow is still there *)
+  for i = 0 to !stored - 1 do
+    if S.get s (key i) <> Some (Int64.of_int i) then
+      Alcotest.failf "key %d lost after overflow" i
+  done;
+  Alcotest.(check int) "structurally valid at the ceiling" 0
+    (List.length (Hyperion.Validate.check_store s))
+
+let test_arena_exhaustion_and_recovery () =
+  (* One metabin only: the pool is exhausted after a few thousand real
+     containers.  The arena must saturate gracefully — typed error, reads
+     intact — and deletes must lift the saturation. *)
+  let tiny = { cfg with max_metabins = 1; chunks_per_bin = 64 } in
+  let s = S.create ~config:tiny () in
+  (* long unique suffixes force a real child container per key *)
+  let key i = Printf.sprintf "%06d-%s" i (String.make 200 (Char.chr (65 + (i mod 26)))) in
+  let stored = ref 0 and saturated = ref false in
+  (try
+     for i = 0 to 99_999 do
+       match S.put_result s (key i) (Int64.of_int i) with
+       | Ok () -> incr stored
+       | Error E.Arena_saturated ->
+           saturated := true;
+           raise Exit
+       | Error e -> Alcotest.failf "unexpected error: %s" (E.to_string e)
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "pool exhaustion reached" true !saturated;
+  Alcotest.(check int) "arena reported saturated" 1 (S.saturated_arenas s);
+  Alcotest.(check int) "stats agree" 1 (S.stats s).Hyperion.Stats.saturated_arenas;
+  (* reads keep working on a saturated arena *)
+  Alcotest.(check (option int64)) "read first" (Some 0L) (S.get s (key 0));
+  Alcotest.(check (option int64)) "read last stored"
+    (Some (Int64.of_int (!stored - 1)))
+    (S.get s (key (!stored - 1)));
+  Alcotest.(check int) "no structural damage" 0
+    (List.length (Hyperion.Validate.check_store s));
+  (* deletes still work and lift the saturation *)
+  for i = 0 to (!stored / 2) - 1 do
+    if S.delete_result s (key i) <> Ok true then
+      Alcotest.failf "delete %d failed on saturated arena" i
+  done;
+  Alcotest.(check int) "saturation lifted" 0 (S.saturated_arenas s);
+  Alcotest.(check bool) "puts resume after recovery" true
+    (S.put_result s "recovered" 1L = Ok ());
+  Alcotest.(check (option int64)) "new binding readable" (Some 1L)
+    (S.get s "recovered")
+
 let test_mem_model () =
   Alcotest.(check int) "min chunk" 32 (Kvcommon.Mem_model.malloc 0);
   Alcotest.(check int) "16-byte aligned" 48 (Kvcommon.Mem_model.malloc 33);
@@ -243,5 +340,13 @@ let () =
           Alcotest.test_case "iteration helpers" `Quick test_iteration_helpers;
           QCheck_alcotest.to_alcotest prop_range_bound;
           Alcotest.test_case "sequential int density" `Slow test_sequential_int_memory;
+        ] );
+      ( "limits",
+        [
+          Alcotest.test_case "result API edge cases" `Quick test_result_api_edges;
+          Alcotest.test_case "19-bit container ceiling" `Quick
+            test_container_size_limit;
+          Alcotest.test_case "arena exhaustion & recovery" `Quick
+            test_arena_exhaustion_and_recovery;
         ] );
     ]
