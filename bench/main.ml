@@ -96,6 +96,85 @@ let run_bechamel () =
         results)
     (bechamel_tests ())
 
+(* ---- Durability: snapshot bandwidth, WAL replay rate, cold load ---- *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let durability () =
+  let n = n_str () in
+  let config = Hyperion.Config.strings in
+  let ds = Workload.Dataset.ngrams_random n in
+  let pairs = ds.Workload.Dataset.pairs in
+  Printf.printf "## Durability (n = %d string keys)\n\n" n;
+  let store = Hyperion.Store.create ~config () in
+  let (), fresh_s =
+    time (fun () -> Array.iter (fun (k, v) -> Hyperion.Store.put store k v) pairs)
+  in
+  (* snapshot write bandwidth *)
+  let path = Filename.temp_file "hyperion_bench" ".hyp" in
+  let bytes, write_s =
+    time (fun () ->
+        match Persist.save_snapshot store path with
+        | Ok b -> b
+        | Error e -> failwith (Hyperion.Hyperion_error.to_string e))
+  in
+  Printf.printf "snapshot write      %8.1f MB/s  (%d bytes in %.3f s)\n"
+    (float_of_int bytes /. 1e6 /. write_s)
+    bytes write_s;
+  (* cold load vs fresh insertion *)
+  let loaded, load_s =
+    time (fun () ->
+        match Persist.load_snapshot ~config path with
+        | Ok s -> s
+        | Error e -> failwith (Hyperion.Hyperion_error.to_string e))
+  in
+  assert (Hyperion.Store.length loaded = Hyperion.Store.length store);
+  Printf.printf "cold load           %8.1f MB/s  (%.3f s; fresh insert %.3f s, %.2fx)\n"
+    (float_of_int bytes /. 1e6 /. load_s)
+    load_s fresh_s (fresh_s /. load_s);
+  Sys.remove path;
+  (* WAL replay rate: log everything, then measure recovery replay *)
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "hyperion_bench_wal" in
+  rm_rf dir;
+  let fail e = failwith (Hyperion.Hyperion_error.to_string e) in
+  let p =
+    match Persist.open_or_create ~config ~sync_every_ops:1024 dir with
+    | Ok p -> p
+    | Error e -> fail e
+  in
+  let (), append_s =
+    time (fun () ->
+        Array.iter
+          (fun (k, v) ->
+            match Persist.put p k v with Ok () -> () | Error e -> fail e)
+          pairs)
+  in
+  (match Persist.close p with Ok () -> () | Error e -> fail e);
+  Printf.printf "WAL append          %8.0f ops/s (group commit every 1024 ops)\n"
+    (float_of_int n /. append_s);
+  let p2, replay_s =
+    time (fun () ->
+        match Persist.open_or_create ~config dir with
+        | Ok p -> p
+        | Error e -> fail e)
+  in
+  let r = Persist.recovery p2 in
+  Printf.printf "WAL replay          %8.0f ops/s (%d records in %.3f s)\n"
+    (float_of_int r.Persist.replayed_ops /. replay_s)
+    r.Persist.replayed_ops replay_s;
+  ignore (Persist.close p2);
+  rm_rf dir;
+  print_newline ()
+
 let all_experiments =
   [
     ("table1", fun () -> Bench_util.Experiments.table1 ~n:(n_str ()));
@@ -110,6 +189,7 @@ let all_experiments =
     ( "arenas",
       fun () -> Bench_util.Experiments.arena_scaling ~n:(max 1 (n_int () / 5)) );
     ("ablation", fun () -> Bench_util.Experiments.ablation ~n:(n_str ()));
+    ("durability", fun () -> durability ());
   ]
 
 let () =

@@ -5,20 +5,38 @@
      load-ints N    insert N sequential integers and report density
      load-ngrams N  insert N synthetic n-grams and report density
      audit          apply mutations from stdin, then structurally validate
-                    the store; exit 1 when violations are found
+                    the store; with --dir, the store is first recovered
+                    from (and mutations are logged to) a durability
+                    directory
      chaos          seeded differential run against the red-black-tree
-                    oracle with fault injection; exit 1 on divergence
+                    oracle with fault injection; with --dir, the workload
+                    runs on a store recovered from that directory; with
+                    --crash, a crash-recovery run instead (kill at a random
+                    WAL offset, reopen, diff against the oracle)
+     save           apply put/add/del lines from stdin, then write a
+                    one-shot binary snapshot to the given file
+     load           load a snapshot file, report stats, optionally dump
+     recover        open a durability directory (snapshot + WAL replay),
+                    print what recovery found, then structurally validate
      repl           read commands from stdin:
                       put <key> <value> | add <key> | get <key>
                       del <key> | range <start> <limit> | audit
-                      stats | quit *)
+                      save <dir> | load <dir> | stats | quit
+
+   Exit codes (all subcommands):
+     0    success
+     1    divergence, structural violation, or corruption detected — the
+          store (or a recovery of it) is provably wrong
+     2    invalid argument values (negative op counts, bad --per-mille …)
+     3    persistence failure surfaced as a typed error: corrupt snapshot,
+          torn WAL header, format version mismatch, I/O error
+     124  command-line parse error (cmdliner)
+     125  unexpected internal error (cmdliner)                            *)
 
 open Cmdliner
 
-let make_store () =
-  Hyperion.Store.create
-    ~config:{ Hyperion.Config.strings with chunks_per_bin = 64 }
-    ()
+let default_config = { Hyperion.Config.strings with chunks_per_bin = 64 }
+let make_store () = Hyperion.Store.create ~config:default_config ()
 
 let report store =
   let st = Hyperion.Store.stats store in
@@ -38,6 +56,26 @@ let report store =
   if st.Hyperion.Stats.saturated_arenas > 0 then
     Printf.printf "SATURATED      : %d arena(s) read-only (memory exhausted)\n"
       st.Hyperion.Stats.saturated_arenas
+
+(* exit 3 on any typed persistence error *)
+let persist_fail ctx e =
+  Printf.eprintf "%s: %s\n" ctx (Hyperion.Hyperion_error.to_string e);
+  exit 3
+
+let open_dir dir =
+  match Persist.open_or_create ~config:default_config dir with
+  | Ok p -> p
+  | Error e -> persist_fail ("recovering " ^ dir) e
+
+let print_recovery p =
+  let r = Persist.recovery p in
+  Printf.printf
+    "recovered      : generation %d, %d snapshot key(s) + %d WAL op(s)%s\n"
+    r.Persist.generation r.Persist.snapshot_keys r.Persist.replayed_ops
+    (if r.Persist.wal_truncated then " (torn tail truncated)" else "");
+  List.iter
+    (fun s -> Printf.printf "skipped        : %s\n" s)
+    r.Persist.skipped
 
 let demo () =
   let store = make_store () in
@@ -81,25 +119,50 @@ let audit_store store =
         errs;
       List.length errs
 
-let audit () =
-  let store = make_store () in
+(* Feed put/add/del lines from stdin into [put]/[add]/[del] callbacks. *)
+let drive_stdin ~put ~add ~del =
   let rec loop lineno =
     match input_line stdin with
     | exception End_of_file -> ()
     | line -> (
         (match String.split_on_char ' ' (String.trim line) with
-        | [ "put"; k; v ] -> Hyperion.Store.put store k (Int64.of_string v)
-        | [ "add"; k ] -> Hyperion.Store.add store k
-        | [ "del"; k ] -> ignore (Hyperion.Store.delete store k)
+        | [ "put"; k; v ] -> put k (Int64.of_string v)
+        | [ "add"; k ] -> add k
+        | [ "del"; k ] -> del k
         | [ "" ] | [ "quit" ] -> ()
-        | _ -> Printf.eprintf "audit: line %d ignored: %s\n" lineno line);
+        | _ -> Printf.eprintf "line %d ignored: %s\n" lineno line);
         loop (lineno + 1))
   in
-  loop 1;
-  Printf.printf "loaded %d key(s)\n" (Hyperion.Store.length store);
-  exit (if audit_store store > 0 then 1 else 0)
+  loop 1
 
-let chaos seed ops per_mille =
+let audit dir =
+  match dir with
+  | None ->
+      let store = make_store () in
+      drive_stdin
+        ~put:(fun k v -> Hyperion.Store.put store k v)
+        ~add:(fun k -> Hyperion.Store.add store k)
+        ~del:(fun k -> ignore (Hyperion.Store.delete store k));
+      Printf.printf "loaded %d key(s)\n" (Hyperion.Store.length store);
+      exit (if audit_store store > 0 then 1 else 0)
+  | Some dir ->
+      let p = open_dir dir in
+      print_recovery p;
+      let check ctx = function
+        | Ok _ -> ()
+        | Error e -> persist_fail ctx e
+      in
+      drive_stdin
+        ~put:(fun k v -> check "put" (Persist.put p k v))
+        ~add:(fun k -> check "add" (Persist.add p k))
+        ~del:(fun k -> check "del" (Persist.delete p k));
+      Printf.printf "loaded %d key(s)\n"
+        (Hyperion.Store.length (Persist.store p));
+      let violations = audit_store (Persist.store p) in
+      check "close" (Persist.close p);
+      exit (if violations > 0 then 1 else 0)
+
+let chaos seed ops per_mille crash dir =
   if per_mille < 0 || per_mille > 1000 then begin
     prerr_endline "chaos: --per-mille must be in [0, 1000]";
     exit 2
@@ -108,20 +171,82 @@ let chaos seed ops per_mille =
     prerr_endline "chaos: --ops must be non-negative";
     exit 2
   end;
-  let plan =
-    if per_mille = 0 then Fault.none
-    else Fault.seeded ~seed ~per_mille ~sites:Fault.all_sites
-  in
-  match Chaos.run ~plan ~seed ~ops () with
-  | Ok o ->
-      Format.printf "chaos: OK — %a@." Chaos.pp_outcome o;
-      Format.printf "plan : %s@." (Fault.describe plan)
-  | Error msg ->
-      prerr_endline msg;
-      exit 1
+  if crash then begin
+    let dir =
+      match dir with
+      | Some d -> d
+      | None -> Filename.concat (Filename.get_temp_dir_name ()) "hyperion-chaos"
+    in
+    (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "chaos: cannot create %s: %s\n" dir (Unix.error_message e);
+       exit 2);
+    match Chaos.run_crash ~config:default_config ~dir ~seed ~ops () with
+    | Ok o -> Format.printf "chaos --crash: OK — %a@." Chaos.pp_crash_outcome o
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+  end
+  else begin
+    let plan =
+      if per_mille = 0 then Fault.none
+      else Fault.seeded ~seed ~per_mille ~sites:Fault.all_sites
+    in
+    let store, finish =
+      match dir with
+      | None -> (None, fun () -> ())
+      | Some d ->
+          let p = open_dir d in
+          print_recovery p;
+          (* the chaos workload mutates the store directly (not through the
+             log), so drop the handle without writing anything back *)
+          (Some (Persist.store p), fun () -> Persist.crash p)
+    in
+    match Chaos.run ?store ~plan ~seed ~ops () with
+    | Ok o ->
+        finish ();
+        Format.printf "chaos: OK — %a@." Chaos.pp_outcome o;
+        Format.printf "plan : %s@." (Fault.describe plan)
+    | Error msg ->
+        finish ();
+        prerr_endline msg;
+        exit 1
+  end
+
+let save path =
+  let store = make_store () in
+  drive_stdin
+    ~put:(fun k v -> Hyperion.Store.put store k v)
+    ~add:(fun k -> Hyperion.Store.add store k)
+    ~del:(fun k -> ignore (Hyperion.Store.delete store k));
+  match Persist.save_snapshot store path with
+  | Ok bytes ->
+      Printf.printf "saved %d key(s), %d bytes -> %s\n"
+        (Hyperion.Store.length store) bytes path
+  | Error e -> persist_fail ("saving " ^ path) e
+
+let load path dump =
+  match Persist.load_snapshot ~config:default_config path with
+  | Error e -> persist_fail ("loading " ^ path) e
+  | Ok store ->
+      if dump then
+        Hyperion.Store.iter store (fun k v ->
+            Printf.printf "%s %s\n" k
+              (match v with Some v -> Int64.to_string v | None -> "-"));
+      report store
+
+let recover dir =
+  let p = open_dir dir in
+  print_recovery p;
+  report (Persist.store p);
+  let violations = audit_store (Persist.store p) in
+  (match Persist.close p with
+  | Ok () -> ()
+  | Error e -> persist_fail "close" e);
+  exit (if violations > 0 then 1 else 0)
 
 let repl () =
-  let store = make_store () in
+  let store = ref (make_store ()) in
   let rec loop () =
     match input_line stdin with
     | exception End_of_file -> ()
@@ -129,38 +254,54 @@ let repl () =
         match String.split_on_char ' ' (String.trim line) with
         | [ "quit" ] -> ()
         | [ "stats" ] ->
-            report store;
+            report !store;
             loop ()
         | [ "audit" ] ->
-            ignore (audit_store store);
+            ignore (audit_store !store);
             loop ()
         | [ "put"; k; v ] ->
-            Hyperion.Store.put store k (Int64.of_string v);
+            Hyperion.Store.put !store k (Int64.of_string v);
             loop ()
         | [ "add"; k ] ->
-            Hyperion.Store.add store k;
+            Hyperion.Store.add !store k;
             loop ()
         | [ "get"; k ] ->
-            (match Hyperion.Store.get store k with
+            (match Hyperion.Store.get !store k with
             | Some v -> Printf.printf "%Ld\n" v
             | None ->
                 print_endline
-                  (if Hyperion.Store.mem store k then "(member)" else "(nil)"));
+                  (if Hyperion.Store.mem !store k then "(member)" else "(nil)"));
             loop ()
         | [ "del"; k ] ->
-            Printf.printf "%b\n" (Hyperion.Store.delete store k);
+            Printf.printf "%b\n" (Hyperion.Store.delete !store k);
             loop ()
         | [ "range"; start; limit ] ->
             let n = ref (int_of_string limit) in
-            Hyperion.Store.range store ~start (fun k v ->
+            Hyperion.Store.range !store ~start (fun k v ->
                 Printf.printf "%s %s\n" k
                   (match v with Some v -> Int64.to_string v | None -> "-");
                 decr n;
                 !n > 0);
             loop ()
+        | [ "save"; path ] ->
+            (match Persist.save_snapshot !store path with
+            | Ok bytes -> Printf.printf "saved %d bytes -> %s\n" bytes path
+            | Error e ->
+                Printf.printf "save failed: %s\n"
+                  (Hyperion.Hyperion_error.to_string e));
+            loop ()
+        | [ "load"; path ] ->
+            (match Persist.load_snapshot ~config:default_config path with
+            | Ok s ->
+                store := s;
+                Printf.printf "loaded %d key(s)\n" (Hyperion.Store.length s)
+            | Error e ->
+                Printf.printf "load failed: %s\n"
+                  (Hyperion.Hyperion_error.to_string e));
+            loop ()
         | [ "" ] -> loop ()
         | _ ->
-            print_endline "put|add|get|del|range|stats|quit";
+            print_endline "put|add|get|del|range|save|load|audit|stats|quit";
             loop ())
   in
   loop ()
@@ -180,6 +321,26 @@ let per_mille_arg =
        ~doc:"Fault probability per consultation in 1/1000 units; 0 disables \
              injection.")
 
+let crash_arg =
+  Arg.(value & flag & info [ "crash" ]
+       ~doc:"Crash-recovery mode: drive the workload through the durability \
+             layer, kill it at a random write-ahead-log offset, reopen and \
+             diff the recovered store against the oracle.")
+
+let dir_arg =
+  Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+       ~doc:"Durability directory to recover the store from (created when \
+             missing).")
+
+let dir_pos_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
+
+let path_pos_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+
+let dump_arg =
+  Arg.(value & flag & info [ "dump" ] ~doc:"Print every binding, in order.")
+
 let cmds =
   [
     Cmd.v (Cmd.info "demo" ~doc:"Paper example words") Term.(const demo $ const ());
@@ -188,13 +349,32 @@ let cmds =
     Cmd.v
       (Cmd.info "audit"
          ~doc:"Apply put/add/del lines from stdin, then validate structure; \
-               exits 1 when violations are found")
-      Term.(const audit $ const ());
+               with $(b,--dir), run against (and log into) a recovered \
+               store.  Exits 1 when violations are found")
+      Term.(const audit $ dir_arg);
     Cmd.v
       (Cmd.info "chaos"
          ~doc:"Seeded differential run against the red-black-tree oracle \
-               with fault injection; exits 1 on divergence")
-      Term.(const chaos $ seed_arg $ ops_arg $ per_mille_arg);
+               with fault injection; $(b,--crash) switches to the \
+               crash-recovery mode; $(b,--dir) recovers the store first. \
+               Exits 1 on divergence")
+      Term.(const chaos $ seed_arg $ ops_arg $ per_mille_arg $ crash_arg $ dir_arg);
+    Cmd.v
+      (Cmd.info "save"
+         ~doc:"Apply put/add/del lines from stdin, then write a one-shot \
+               binary snapshot to $(i,FILE)")
+      Term.(const save $ path_pos_arg);
+    Cmd.v
+      (Cmd.info "load"
+         ~doc:"Load a snapshot written by $(b,save) (or the repl) and \
+               report stats; $(b,--dump) prints every binding")
+      Term.(const load $ path_pos_arg $ dump_arg);
+    Cmd.v
+      (Cmd.info "recover"
+         ~doc:"Open a durability directory — latest valid snapshot plus \
+               write-ahead-log replay — then validate the recovered store. \
+               Exits 1 on violations, 3 on corruption")
+      Term.(const recover $ dir_pos_arg);
     Cmd.v (Cmd.info "repl" ~doc:"Line-oriented REPL on stdin") Term.(const repl $ const ());
   ]
 

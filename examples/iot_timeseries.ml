@@ -1,9 +1,16 @@
 (* IoT time-series indexing (paper Section 1: traffic time series on edge
-   devices with limited memory).
+   devices with limited memory) — now durable across process restarts.
 
    Keys: sensor id (2 bytes) ^ timestamp (8 bytes, big-endian) — so a range
    query over one sensor's window is a contiguous key interval.  Values:
-   the measurement.  Arenas give thread-safe ingest.
+   the measurement.
+
+   The example runs as two phases of the same edge process:
+     phase 1  ingest through the durability layer (snapshot + WAL), then
+              die abruptly — no clean shutdown;
+     phase 2  reopen the same directory, recover (snapshot + WAL replay,
+              torn tail cut), and serve window queries and retention on
+              the recovered store.
 
    Run with:  dune exec examples/iot_timeseries.exe *)
 
@@ -13,33 +20,59 @@ let sensor_key ~sensor ~ts =
   Bytes.set_int64_be b 2 ts;
   Bytes.unsafe_to_string b
 
-let () =
-  let store =
-    Hyperion.Store.create
-      ~config:{ Hyperion.Config.default with arenas = 4; chunks_per_bin = 64 }
-      ()
+let config = { Hyperion.Config.default with chunks_per_bin = 64 }
+let sensors = 64
+let samples = 2000
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline (Hyperion.Hyperion_error.to_string e);
+      exit 1
+
+(* -- phase 1: ingest, then crash ------------------------------------- *)
+
+let phase1 dir =
+  let p =
+    or_die (Persist.open_or_create ~config ~sync_every_ops:256 dir)
   in
   let rng = Workload.Mt19937_64.create 2026L in
-  let sensors = 64 and samples = 5000 in
-
-  (* Ingest: interleaved sensors, monotone timestamps with jitter. *)
   let ts = Array.make sensors 1_700_000_000_000L in
+  (* interleaved sensors, monotone timestamps with jitter *)
   for _ = 1 to samples do
     for s = 0 to sensors - 1 do
       ts.(s) <-
         Int64.add ts.(s) (Int64.of_int (500 + Workload.Mt19937_64.next_below rng 1000));
       let measurement = Int64.of_int (Workload.Mt19937_64.next_below rng 10_000) in
-      Hyperion.Store.put store (sensor_key ~sensor:s ~ts:ts.(s)) measurement
+      or_die (Persist.put p (sensor_key ~sensor:s ~ts:ts.(s)) measurement)
     done
   done;
-  Printf.printf "ingested %d samples from %d sensors\n"
+  let store = Persist.store p in
+  Printf.printf "phase 1: ingested %d samples from %d sensors\n"
     (Hyperion.Store.length store) sensors;
-  Printf.printf "resident: %.2f MiB (%.1f B/sample)\n"
+  Printf.printf "phase 1: resident %.2f MiB (%.1f B/sample)\n"
     (float_of_int (Hyperion.Store.memory_usage store) /. 1048576.)
     (float_of_int (Hyperion.Store.memory_usage store)
     /. float_of_int (Hyperion.Store.length store));
+  Printf.printf "phase 1: logged %d ops, %d durable — crashing without close\n"
+    (Persist.applied_ops p) (Persist.durable_ops p);
+  (* abrupt death: the WAL descriptor is dropped without a final sync *)
+  Persist.crash p
 
-  (* Window query: sensor 17, first 1000 samples' worth of time. *)
+(* -- phase 2: recover and serve --------------------------------------- *)
+
+let phase2 dir =
+  let p = or_die (Persist.open_or_create ~config dir) in
+  let r = Persist.recovery p in
+  Printf.printf
+    "phase 2: recovered generation %d — %d snapshot keys + %d WAL ops%s\n"
+    r.Persist.generation r.Persist.snapshot_keys r.Persist.replayed_ops
+    (if r.Persist.wal_truncated then " (torn tail cut)" else "");
+  let store = Persist.store p in
+  Printf.printf "phase 2: %d samples survived the crash\n"
+    (Hyperion.Store.length store);
+
+  (* Window query: sensor 17's full key interval. *)
   let sensor = 17 in
   let from = sensor_key ~sensor ~ts:0L in
   let count = ref 0 and sum = ref 0L in
@@ -52,11 +85,13 @@ let () =
         true
       end
       else false);
-  Printf.printf "sensor %d: %d samples, mean measurement %.1f\n" sensor !count
+  Printf.printf "phase 2: sensor %d: %d samples, mean measurement %.1f\n" sensor
+    !count
     (Int64.to_float !sum /. float_of_int (max 1 !count));
 
-  (* Retention: drop everything older than a cutoff for sensor 17. *)
-  let cutoff = Int64.add 1_700_000_000_000L 1_000_000L in
+  (* Retention: drop everything older than a cutoff for sensor 17 — the
+     deletes go through the log, so they too survive the next restart. *)
+  let cutoff = Int64.add 1_700_000_000_000L 500_000L in
   let doomed = ref [] in
   Hyperion.Store.range store ~start:from (fun key _ ->
       if
@@ -68,6 +103,26 @@ let () =
         true
       end
       else false);
-  List.iter (fun k -> ignore (Hyperion.Store.delete store k)) !doomed;
-  Printf.printf "retention dropped %d samples; %d remain\n" (List.length !doomed)
-    (Hyperion.Store.length store)
+  List.iter (fun k -> ignore (or_die (Persist.delete p k))) !doomed;
+  Printf.printf "phase 2: retention dropped %d samples; %d remain\n"
+    (List.length !doomed)
+    (Hyperion.Store.length store);
+  or_die (Persist.close p);
+
+  (* prove the retention outlived the process: reopen once more *)
+  let p = or_die (Persist.open_or_create ~config dir) in
+  Printf.printf "phase 3 (restart): %d samples — retention was durable\n"
+    (Hyperion.Store.length (Persist.store p));
+  or_die (Persist.close p)
+
+let () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "hyperion-iot" in
+  (* fresh run each time: wipe any previous example state *)
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  phase1 dir;
+  phase2 dir;
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end

@@ -32,15 +32,21 @@ let key_for id =
   | _ -> base ^ "!"
 
 let run ?(config = H.Config.default) ?(plan = Fault.none)
-    ?(validate_every = 1000) ?(key_space = 4096) ~seed ~ops () =
+    ?(validate_every = 1000) ?(key_space = 4096) ?store ~seed ~ops () =
   if ops < 0 then invalid_arg "Chaos.run: negative ops";
   if key_space <= 0 then invalid_arg "Chaos.run: key_space must be positive";
   if validate_every <= 0 then
     invalid_arg "Chaos.run: validate_every must be positive";
   let rng = Workload.Mt19937_64.create seed in
-  let store = H.Store.create ~config () in
+  let store =
+    match store with Some s -> s | None -> H.Store.create ~config ()
+  in
   H.Store.set_fault_plan store plan;
   let oracle = Rbtree.create () in
+  (* A pre-existing (e.g. just-recovered) store seeds the oracle, so the
+     differential run starts from agreement instead of a false divergence. *)
+  H.Store.iter store (fun k v ->
+      match v with Some v -> Rbtree.put oracle k v | None -> Rbtree.add oracle k);
   let mutations_ok = ref 0
   and mutations_failed = ref 0
   and audits = ref 0
@@ -142,3 +148,214 @@ let run ?(config = H.Config.default) ?(plan = Fault.none)
         final_keys = H.Store.length store;
       }
   with Divergence msg -> Error msg
+
+(* --- crash-recovery chaos (DESIGN.md section 8 crash matrix) --------- *)
+
+type crash_outcome = {
+  ops_logged : int;
+  acked : int;
+  recovered : int;
+  cut_bytes : int;
+  rotations : int;
+  scenario : string;
+}
+
+let pp_crash_outcome fmt o =
+  Format.fprintf fmt
+    "%d ops logged (%d acked), killed via %s cutting %d byte(s), %d \
+     rotation(s), recovered %d ops"
+    o.ops_logged o.acked o.scenario o.cut_bytes o.rotations o.recovered
+
+type logged_op = L_put of string * int64 | L_add of string | L_del of string
+
+let wipe_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let run_crash ?(config = H.Config.default) ?(key_space = 2048)
+    ?(sync_every_ops = 16) ?(rotate_bytes = 8192) ~dir ~seed ~ops () =
+  if ops < 0 then invalid_arg "Chaos.run_crash: negative ops";
+  if key_space <= 0 then
+    invalid_arg "Chaos.run_crash: key_space must be positive";
+  let dir = Filename.concat dir (Printf.sprintf "crash-%Ld" seed) in
+  wipe_dir dir;
+  let rng = Workload.Mt19937_64.create seed in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg -> Error (Printf.sprintf "crash chaos seed=%Ld: %s" seed msg))
+      fmt
+  in
+  let err_to_string = H.Hyperion_error.to_string in
+  match
+    Persist.open_or_create ~config ~sync_every_ops ~rotate_bytes dir
+  with
+  | Error e -> fail "initial open: %s" (err_to_string e)
+  | Ok p -> (
+      (* Seeded workload through the logged handle; [log] keeps exactly the
+         mutations that reached the WAL, in order. *)
+      let log = ref [] and logged = ref 0 in
+      let record op =
+        log := op :: !log;
+        incr logged
+      in
+      let rec drive op_i =
+        if op_i >= ops then Ok ()
+        else
+          let id = Workload.Mt19937_64.next_below rng key_space in
+          let key = key_for id in
+          let dice = Workload.Mt19937_64.next_below rng 100 in
+          let step =
+            if dice < 50 then
+              let v =
+                Int64.of_int (Workload.Mt19937_64.next_below rng 1_000_000)
+              in
+              match Persist.put p key v with
+              | Ok () ->
+                  record (L_put (key, v));
+                  Ok ()
+              | Error e -> Error e
+            else if dice < 65 then
+              match Persist.add p key with
+              | Ok () ->
+                  record (L_add key);
+                  Ok ()
+              | Error e -> Error e
+            else
+              match Persist.delete p key with
+              | Ok true ->
+                  record (L_del key);
+                  Ok ()
+              | Ok false -> Ok ()
+              | Error e -> Error e
+          in
+          match step with Ok () -> drive (op_i + 1) | Error _ as e -> e
+      in
+      match drive 0 with
+      | Error e -> fail "workload: %s" (err_to_string e)
+      | Ok () -> (
+          let ops_log = Array.of_list (List.rev !log) in
+          let gen = Persist.generation p in
+          let base = Persist.snapshot_base p in
+          let durable = Persist.durable_ops p in
+          let watermark = Persist.wal_synced_bytes p in
+          let size = Persist.wal_size p in
+          let rotations = Persist.rotations p in
+          Persist.crash p;
+          (* Kill at a uniformly random WAL offset at or past the durable
+             watermark (the crash model: fsynced bytes survive, anything
+             later may tear — including mid-record). *)
+          let cut = watermark + Workload.Mt19937_64.next_below rng (size - watermark + 1) in
+          let wal_path = Persist.wal_file ~dir ~gen in
+          Unix.truncate wal_path cut;
+          let snap_path = Persist.snapshot_file ~dir ~gen in
+          let scenario_dice = Workload.Mt19937_64.next_below rng 100 in
+          let scenario =
+            if scenario_dice < 30 then begin
+              (* crash mid-rotation, while the next snapshot was still being
+                 streamed to its .tmp file *)
+              let tmp = Persist.snapshot_file ~dir ~gen:(gen + 1) ^ ".tmp" in
+              let oc = open_out_bin tmp in
+              output_string oc (String.init (Workload.Mt19937_64.next_below rng 512) (fun i -> Char.chr ((i * 37) land 0xff)));
+              close_out oc;
+              "wal-cut+partial-tmp-snapshot"
+            end
+            else if scenario_dice < 50 then begin
+              (* a newer snapshot that never became fully durable: recovery
+                 must skip it and fall back to generation [gen] *)
+              let snap = In_channel.with_open_bin snap_path In_channel.input_all in
+              let cut_snap =
+                Workload.Mt19937_64.next_below rng (String.length snap)
+              in
+              let oc = open_out_bin (Persist.snapshot_file ~dir ~gen:(gen + 1)) in
+              output_string oc (String.sub snap 0 cut_snap);
+              close_out oc;
+              "wal-cut+torn-next-snapshot"
+            end
+            else "wal-cut"
+          in
+          match
+            Persist.open_or_create ~config ~sync_every_ops ~rotate_bytes dir
+          with
+          | Error e -> fail "reopen after %s: %s" scenario (err_to_string e)
+          | Ok p2 -> (
+              let r = Persist.recovery p2 in
+              let recovered = base + r.Persist.replayed_ops in
+              if r.Persist.generation <> gen then
+                fail "recovered from generation %d, expected %d"
+                  r.Persist.generation gen
+              else if recovered < durable then
+                fail
+                  "acknowledged ops lost: %d durable at crash, only %d \
+                   recovered (%s, cut=%d)"
+                  durable recovered scenario cut
+              else if recovered > !logged then
+                fail "recovered %d ops but only %d were ever logged" recovered
+                  !logged
+              else begin
+                (* The recovered store must equal the oracle's replay of
+                   exactly the first [recovered] logged mutations. *)
+                let oracle = Rbtree.create () in
+                Array.iteri
+                  (fun i op ->
+                    if i < recovered then
+                      match op with
+                      | L_put (k, v) -> Rbtree.put oracle k v
+                      | L_add k -> Rbtree.add oracle k
+                      | L_del k -> ignore (Rbtree.delete oracle k))
+                  ops_log;
+                let store = Persist.store p2 in
+                let divergence = ref None in
+                let expected = ref [] in
+                Rbtree.range oracle (fun k v ->
+                    expected := (k, v) :: !expected;
+                    true);
+                let expected = ref (List.rev !expected) in
+                H.Store.range store (fun k v ->
+                    (match !expected with
+                    | [] ->
+                        divergence := Some (Printf.sprintf "extra key %S" k)
+                    | (ek, ev) :: rest ->
+                        if k <> ek || v <> ev then
+                          divergence :=
+                            Some
+                              (Printf.sprintf "store has %S, oracle has %S" k ek)
+                        else expected := rest);
+                    !divergence = None);
+                (match (!divergence, !expected) with
+                | None, (ek, _) :: _ ->
+                    divergence := Some (Printf.sprintf "missing key %S" ek)
+                | _ -> ());
+                match !divergence with
+                | Some d ->
+                    fail "post-recovery dump diverges (%s, cut=%d): %s"
+                      scenario cut d
+                | None -> (
+                    match H.Validate.check_store store with
+                    | e :: _ ->
+                        fail "post-recovery audit: %s"
+                          (Format.asprintf "%a" H.Validate.pp_error e)
+                    | [] -> (
+                        (* liveness: the recovered handle must still accept
+                           and persist new mutations *)
+                        match Persist.put p2 "post/recovery/probe" 1L with
+                        | Error e -> fail "post-recovery put: %s" (err_to_string e)
+                        | Ok () -> (
+                            match Persist.close p2 with
+                            | Error e ->
+                                fail "post-recovery close: %s" (err_to_string e)
+                            | Ok () ->
+                                wipe_dir dir;
+                                Ok
+                                  {
+                                    ops_logged = !logged;
+                                    acked = durable;
+                                    recovered;
+                                    cut_bytes = size - cut;
+                                    rotations;
+                                    scenario;
+                                  })))
+              end)))

@@ -29,6 +29,7 @@ val run :
   ?plan:Fault.t ->
   ?validate_every:int ->
   ?key_space:int ->
+  ?store:Hyperion.Store.t ->
   seed:int64 ->
   ops:int ->
   unit ->
@@ -40,4 +41,47 @@ val run :
     oracle.  [validate_every] (default 1000) bounds the distance between
     audits even when no fault fires; every fault firing triggers an
     immediate audit.  [Error msg] carries the divergence or violation plus
-    the seed and plan history needed to replay it. *)
+    the seed and plan history needed to replay it.
+
+    [?store] runs the workload against an existing store — e.g. one just
+    recovered by {!Persist.open_or_create} — instead of a fresh one; its
+    current bindings seed the oracle. *)
+
+(** {1 Crash-recovery chaos}
+
+    The durability counterpart: a seeded workload is driven through a
+    {!Persist} logged handle, the process "dies" at a random write-ahead-log
+    byte offset (at or past the group-commit watermark — fsynced bytes
+    survive a crash, later ones may tear mid-record), optionally alongside a
+    rotation caught mid-snapshot, and the directory is reopened.  The
+    recovered store must reproduce {e exactly} a prefix of the logged
+    mutations: at least every acknowledged (fsynced) one, never a torn or
+    reordered state.  See DESIGN.md section 8 for the crash matrix. *)
+
+type crash_outcome = {
+  ops_logged : int;  (** mutations that reached the WAL before the kill *)
+  acked : int;  (** of those, durable (group-committed) at the kill *)
+  recovered : int;  (** prefix length the reopened store reproduced *)
+  cut_bytes : int;  (** WAL bytes torn off by the simulated crash *)
+  rotations : int;  (** snapshot rotations during the workload *)
+  scenario : string;  (** which crash-matrix row was exercised *)
+}
+
+val pp_crash_outcome : Format.formatter -> crash_outcome -> unit
+
+val run_crash :
+  ?config:Hyperion.Config.t ->
+  ?key_space:int ->
+  ?sync_every_ops:int ->
+  ?rotate_bytes:int ->
+  dir:string ->
+  seed:int64 ->
+  ops:int ->
+  unit ->
+  (crash_outcome, string) result
+(** [run_crash ~dir ~seed ~ops ()] is deterministic in [(seed, ops, config,
+    sync_every_ops, rotate_bytes)].  It works in [dir/crash-<seed>] (wiped
+    before and after).  Defaults force frequent group commits
+    ([sync_every_ops = 16]) and rotations ([rotate_bytes = 8192]) so short
+    runs still cross every crash window.  [Error msg] embeds the seed, the
+    scenario and the cut offset — a complete replay recipe. *)

@@ -35,6 +35,33 @@ let default =
 
 let strings = { default with embedded_eject_parent_limit = 16 * 1024 }
 
+(* FNV-1a over the field values in declaration order.  Explicit (rather
+   than [Hashtbl.hash]) so the fingerprint is stable across OCaml versions
+   and can be embedded in persisted snapshot headers. *)
+let fingerprint c =
+  let fnv_prime = 0x100000001b3L and basis = 0xcbf29ce484222325L in
+  let mix acc n =
+    let acc = Int64.logxor acc (Int64.of_int n) in
+    Int64.mul acc fnv_prime
+  in
+  List.fold_left mix basis
+    [
+      c.embedded_eject_parent_limit;
+      c.embedded_max;
+      c.pc_max;
+      c.js_threshold;
+      c.tnode_jt_threshold;
+      c.container_jt_threshold;
+      c.split_a;
+      c.split_b;
+      c.split_min_piece;
+      c.chunks_per_bin;
+      c.max_metabins;
+      c.arenas;
+      (if c.preprocess then 1 else 0);
+      (if c.delta_encoding then 1 else 0);
+    ]
+
 let validate c =
   let check cond msg = if not cond then invalid_arg ("Config: " ^ msg) in
   check (c.embedded_max > 8 && c.embedded_max <= 256)

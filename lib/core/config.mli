@@ -57,3 +57,9 @@ val strings : t
 
 val validate : t -> unit
 (** @raise Invalid_argument if a field is out of its documented domain. *)
+
+val fingerprint : t -> int64
+(** A stable 64-bit hash of every tunable (FNV-1a over the field values).
+    Embedded in persisted snapshot and WAL headers so that a durability
+    directory is never silently reopened under a different configuration
+    (see {!Persist} and DESIGN.md section 8). *)

@@ -6,6 +6,10 @@ type t =
   | Chunk_corrupt of string
   | Empty_key
   | Key_too_long of int
+  | Corrupt_snapshot of string
+  | Torn_log of string
+  | Version_mismatch of { found : int; expected : int }
+  | Io_error of string
 
 exception Error of t
 
@@ -20,6 +24,12 @@ let to_string = function
   | Chunk_corrupt what -> Printf.sprintf "corrupt chunk: %s" what
   | Empty_key -> "empty keys are not supported"
   | Key_too_long n -> Printf.sprintf "key of %d bytes exceeds the 2^20 limit" n
+  | Corrupt_snapshot what -> Printf.sprintf "corrupt snapshot: %s" what
+  | Torn_log what -> Printf.sprintf "torn write-ahead log: %s" what
+  | Version_mismatch { found; expected } ->
+      Printf.sprintf "format version mismatch: file has v%d, this build speaks v%d"
+        found expected
+  | Io_error what -> Printf.sprintf "I/O error: %s" what
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 

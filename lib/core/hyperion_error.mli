@@ -23,6 +23,22 @@ type t =
           faults). *)
   | Empty_key  (** Hyperion does not store the empty key. *)
   | Key_too_long of int  (** Key length exceeds 2^20 bytes. *)
+  | Corrupt_snapshot of string
+      (** A persisted snapshot failed structural validation (bad magic,
+          CRC mismatch, short read, count mismatch, or a config
+          fingerprint that does not match the opening configuration).
+          The payload names the file and the failing check. *)
+  | Torn_log of string
+      (** A write-ahead log's header is unreadable — the file exists but
+          was torn before its header was made durable.  Torn {e record}
+          tails are not errors: they are truncated silently on open (see
+          DESIGN.md section 8). *)
+  | Version_mismatch of { found : int; expected : int }
+      (** A persisted file carries a format version this build does not
+          speak. *)
+  | Io_error of string
+      (** An operating-system I/O failure while reading or writing the
+          durability directory (payload: the [Unix] error and path). *)
 
 exception Error of t
 (** The exception-API wrapper around {!t}. *)

@@ -300,7 +300,13 @@ let write_slot trie ceb slot content =
       Bytes.blit_string content 0 buf (off + Layout.header_size)
         (String.length content);
       (buf, off)
-  | None -> assert false
+  | None ->
+      Hyperion_error.fail
+        (Hyperion_error.Chunk_corrupt
+           (Format.asprintf
+              "write_slot: CEB slot %d vanished after ceb_set_slot in \
+               container %a"
+              slot Hp.pp ceb))
 
 let abort_split cbox =
   let d = Layout.read_split_delay cbox.buf cbox.base in

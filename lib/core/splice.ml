@@ -2,12 +2,21 @@ open Types
 
 let round32 n = (n + 31) / 32 * 32
 
+(* A CEB slot the memory manager itself routed us to must resolve; when it
+   does not, the chunk metadata is corrupt (seen in practice when WAL replay
+   feeds a damaged image).  Report where instead of [Assert_failure]. *)
+let corrupt_slot what hp slot =
+  Hyperion_error.fail
+    (Hyperion_error.Chunk_corrupt
+       (Format.asprintf "%s: CEB slot %d unresolvable in container %a" what
+          slot Hp.pp hp))
+
 let open_container trie hp ~tkey ~where =
   if Memman.is_chained trie.mm hp then begin
     let slot = Memman.ceb_resolve_key trie.mm hp ~tkey in
     match Memman.ceb_slot trie.mm hp ~slot with
     | Some (buf, off, _) -> { trie; hp; slot; where = W_slot; buf; base = off }
-    | None -> assert false
+    | None -> corrupt_slot "open_container" hp slot
   end
   else
     let buf, base = Memman.resolve trie.mm hp in
@@ -19,7 +28,7 @@ let refresh cbox =
     | Some (buf, off, _) ->
         cbox.buf <- buf;
         cbox.base <- off
-    | None -> assert false
+    | None -> corrupt_slot "refresh" cbox.hp cbox.slot
   end
   else begin
     let buf, base = Memman.resolve cbox.trie.mm cbox.hp in

@@ -119,6 +119,7 @@ let put_result_opt t key value =
               Ok ()
           | Error _ as e -> e)
 
+let put_opt_result = put_result_opt
 let put_result t key value = put_result_opt t key (Some value)
 let add_result t key = put_result_opt t key None
 

@@ -39,6 +39,12 @@ val put_result : t -> string -> int64 -> (unit, Hyperion_error.t) result
 val add_result : t -> string -> (unit, Hyperion_error.t) result
 val delete_result : t -> string -> (bool, Hyperion_error.t) result
 
+val put_opt_result : t -> string -> int64 option -> (unit, Hyperion_error.t) result
+(** [put_opt_result t key v] is [put_result] when [v = Some _] and
+    [add_result] when [v = None] — the shape {!iter} hands out, so snapshot
+    load and WAL replay can reinsert any binding (valued or type-10)
+    uniformly. *)
+
 (** {1 Fault injection and saturation} *)
 
 val set_fault_plan : t -> Fault.t -> unit

@@ -1,0 +1,316 @@
+module Crc32 = Crc32
+module Frame = Frame
+module Snapshot = Snapshot
+module Wal = Wal
+module E = Hyperion.Hyperion_error
+
+let snapshot_file ~dir ~gen = Filename.concat dir (Printf.sprintf "snapshot-%08d.hyp" gen)
+let wal_file ~dir ~gen = Filename.concat dir (Printf.sprintf "wal-%08d.log" gen)
+
+type recovery = {
+  generation : int;
+  snapshot_keys : int;
+  replayed_ops : int;
+  wal_truncated : bool;
+  skipped : string list;
+}
+
+type t = {
+  dir : string;
+  cfg : Hyperion.Config.t;
+  store : Hyperion.Store.t;
+  sync_every_ops : int;
+  sync_every_bytes : int;
+  rotate_bytes : int;
+  recovery : recovery;
+  lock : Mutex.t;
+  mutable gen : int;
+  mutable wal : Wal.writer;
+  mutable applied : int;  (* mutations logged since open *)
+  mutable base : int;  (* of those, captured by the current snapshot *)
+  mutable synced_ops : int;  (* of (applied - base), fsynced *)
+  mutable unsynced_ops : int;
+  mutable unsynced_bytes : int;
+  mutable rotations : int;
+  mutable closed : bool;
+}
+
+let store t = t.store
+let config t = t.cfg
+let dir t = t.dir
+let recovery t = t.recovery
+let generation t = t.gen
+let applied_ops t = t.applied
+let snapshot_base t = t.base
+let durable_ops t = t.base + t.synced_ops
+let rotations t = t.rotations
+let wal_size t = Wal.size t.wal
+let wal_synced_bytes t = Wal.synced_bytes t.wal
+
+let io_error path exn =
+  let detail =
+    match exn with
+    | Unix.Unix_error (e, fn, _) -> Printf.sprintf "%s: %s" fn (Unix.error_message e)
+    | Sys_error msg -> msg
+    | e -> Printexc.to_string e
+  in
+  Error (E.Io_error (Printf.sprintf "%s: %s" path detail))
+
+let ( let* ) = Result.bind
+
+(* --- open / recover ------------------------------------------------- *)
+
+let scan_generations dir =
+  (* generations that have a snapshot file, descending; plus stale tmps *)
+  let snaps = ref [] and tmps = ref [] in
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".tmp" then
+        tmps := Filename.concat dir name :: !tmps
+      else
+        try Scanf.sscanf name "snapshot-%08d.hyp%!" (fun g -> snaps := g :: !snaps)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> ())
+    (Sys.readdir dir);
+  (List.sort (fun a b -> compare b a) !snaps, !tmps)
+
+let fresh_generation ~config ~dir ~gen =
+  let store = Hyperion.Store.create ~config () in
+  let* _bytes = Snapshot.save store (snapshot_file ~dir ~gen) in
+  let* wal = Wal.create ~config ~gen (wal_file ~dir ~gen) in
+  Ok (store, wal)
+
+let recover_generation ~config ~dir ~gen =
+  let* store = Snapshot.load ~config (snapshot_file ~dir ~gen) in
+  let keys = Hyperion.Store.length store in
+  let wpath = wal_file ~dir ~gen in
+  if not (Sys.file_exists wpath) then
+    (* crash between snapshot rename and WAL creation: the snapshot alone
+       is the complete durable state *)
+    let* wal = Wal.create ~config ~gen wpath in
+    Ok (store, wal, keys, 0, false)
+  else
+    let apply op =
+      match op with
+      | Wal.Put (k, v) -> Hyperion.Store.put_result store k v
+      | Wal.Add k -> Hyperion.Store.add_result store k
+      | Wal.Delete k -> (
+          match Hyperion.Store.delete_result store k with
+          | Ok _ -> Ok ()
+          | Error _ as e -> e)
+    in
+    match Wal.replay ~config ~gen wpath ~f:apply with
+    | Ok r ->
+        let* wal = Wal.open_append ~config ~gen wpath in
+        Ok (store, wal, keys, r.Wal.records, r.Wal.truncated)
+    | Error (E.Torn_log _) ->
+        (* the header never became durable, so no record in this file was
+           ever acknowledged: restart it empty *)
+        let* wal = Wal.create ~config ~gen wpath in
+        Ok (store, wal, keys, 0, true)
+    | Error _ as e -> e
+
+let open_or_create ?(config = Hyperion.Config.default)
+    ?(sync_every_ops = 64) ?(sync_every_bytes = 1 lsl 20)
+    ?(rotate_bytes = 64 lsl 20) dir =
+  if sync_every_ops < 1 then invalid_arg "Persist: sync_every_ops must be >= 1";
+  if sync_every_bytes < 1 then
+    invalid_arg "Persist: sync_every_bytes must be >= 1";
+  if rotate_bytes < Frame.header_size then
+    invalid_arg "Persist: rotate_bytes too small";
+  let make ~gen ~wal ~store recovery =
+    {
+      dir;
+      cfg = config;
+      store;
+      sync_every_ops;
+      sync_every_bytes;
+      rotate_bytes;
+      recovery;
+      lock = Mutex.create ();
+      gen;
+      wal;
+      applied = 0;
+      base = 0;
+      synced_ops = 0;
+      unsynced_ops = 0;
+      unsynced_bytes = 0;
+      rotations = 0;
+      closed = false;
+    }
+  in
+  match
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+    else if not (Sys.is_directory dir) then
+      raise (Sys_error (dir ^ ": not a directory"))
+  with
+  | exception e -> io_error dir e
+  | () -> (
+      match scan_generations dir with
+      | exception e -> io_error dir e
+      | [], tmps ->
+          List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) tmps;
+          let* store, wal = fresh_generation ~config ~dir ~gen:0 in
+          Ok
+            (make ~gen:0 ~wal ~store
+               {
+                 generation = 0;
+                 snapshot_keys = 0;
+                 replayed_ops = 0;
+                 wal_truncated = false;
+                 skipped = tmps;
+               })
+      | gens, tmps ->
+          List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) tmps;
+          (* latest valid snapshot: fall back across corrupt ones, but a
+             version or config mismatch is a real error, not corruption *)
+          let rec attempt skipped = function
+            | [] -> (
+                match skipped with
+                | last :: _ ->
+                    Error
+                      (E.Corrupt_snapshot
+                         (Printf.sprintf "no valid snapshot in %s (last: %s)"
+                            dir last))
+                | [] -> assert false)
+            | gen :: rest -> (
+                match recover_generation ~config ~dir ~gen with
+                | Ok (store, wal, keys, replayed, truncated) ->
+                    Ok
+                      (make ~gen ~wal ~store
+                         {
+                           generation = gen;
+                           snapshot_keys = keys;
+                           replayed_ops = replayed;
+                           wal_truncated = truncated;
+                           skipped = List.rev_append skipped tmps;
+                         })
+                | Error (E.Corrupt_snapshot why) when rest <> [] ->
+                    attempt (why :: skipped) rest
+                | Error _ as e -> e)
+          in
+          attempt [] gens)
+
+(* --- logged mutations ----------------------------------------------- *)
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let do_sync t =
+  let* () = Wal.sync t.wal in
+  t.synced_ops <- t.applied - t.base;
+  t.unsynced_ops <- 0;
+  t.unsynced_bytes <- 0;
+  Ok ()
+
+(* Rotate into generation [gen + 1]:
+     1. make the old log durable (nothing acknowledged may regress);
+     2. write the new snapshot (tmp + rename + dir fsync — atomic);
+     3. start the new WAL (header fsynced);
+     4. only then drop the old generation's files.
+   A crash anywhere leaves either the old or the new generation whole. *)
+let do_rotate t =
+  let* () = do_sync t in
+  let next = t.gen + 1 in
+  let* _bytes = Snapshot.save t.store (snapshot_file ~dir:t.dir ~gen:next) in
+  let* wal = Wal.create ~config:t.cfg ~gen:next (wal_file ~dir:t.dir ~gen:next) in
+  let old_wal = t.wal and old_gen = t.gen in
+  t.wal <- wal;
+  t.gen <- next;
+  t.base <- t.applied;
+  t.synced_ops <- 0;
+  t.unsynced_ops <- 0;
+  t.unsynced_bytes <- 0;
+  t.rotations <- t.rotations + 1;
+  Wal.abort old_wal;
+  (try Sys.remove (wal_file ~dir:t.dir ~gen:old_gen) with Sys_error _ -> ());
+  (try Sys.remove (snapshot_file ~dir:t.dir ~gen:old_gen) with Sys_error _ -> ());
+  Ok ()
+
+let log_op t op =
+  let* bytes = Wal.append t.wal op in
+  t.applied <- t.applied + 1;
+  t.unsynced_ops <- t.unsynced_ops + 1;
+  t.unsynced_bytes <- t.unsynced_bytes + bytes;
+  let* () =
+    if t.unsynced_ops >= t.sync_every_ops || t.unsynced_bytes >= t.sync_every_bytes
+    then do_sync t
+    else Ok ()
+  in
+  if Wal.size t.wal >= t.rotate_bytes then do_rotate t else Ok ()
+
+let guard t f =
+  with_lock t (fun () ->
+      if t.closed then Error (E.Io_error (t.dir ^ ": persist handle closed"))
+      else f ())
+
+let put t key v =
+  guard t (fun () ->
+      let* () = Hyperion.Store.put_result t.store key v in
+      log_op t (Wal.Put (key, v)))
+
+let add t key =
+  guard t (fun () ->
+      let* () = Hyperion.Store.add_result t.store key in
+      log_op t (Wal.Add key))
+
+let delete t key =
+  guard t (fun () ->
+      let* removed = Hyperion.Store.delete_result t.store key in
+      if not removed then Ok false
+      else
+        let* () = log_op t (Wal.Delete key) in
+        Ok true)
+
+let sync t = guard t (fun () -> do_sync t)
+let snapshot_now t = guard t (fun () -> do_rotate t)
+
+let close t =
+  with_lock t (fun () ->
+      if t.closed then Ok ()
+      else begin
+        t.closed <- true;
+        Wal.close t.wal
+      end)
+
+let crash t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Wal.abort t.wal)
+
+(* --- one-shot snapshot I/O ------------------------------------------ *)
+
+let save_snapshot = Snapshot.save
+
+let load_snapshot ?config path =
+  match config with
+  | Some config -> Snapshot.load ~config path
+  | None -> (
+      (* infer the config family from the recorded preprocess flag; the
+         fingerprint still has to match, so only snapshots written with
+         stock configs load without an explicit one *)
+      match Snapshot.read_header path with
+      | Error _ as e -> e
+      | Ok h ->
+          let candidates =
+            [
+              Hyperion.Config.default;
+              Hyperion.Config.strings;
+              { Hyperion.Config.default with preprocess = true };
+              { Hyperion.Config.strings with preprocess = true };
+              { Hyperion.Config.strings with chunks_per_bin = 64 };
+            ]
+          in
+          let matching =
+            List.find_opt
+              (fun c -> Hyperion.Config.fingerprint c = h.Snapshot.fingerprint)
+              candidates
+          in
+          let config =
+            Option.value matching
+              ~default:
+                (if h.Snapshot.preprocess then
+                   { Hyperion.Config.default with preprocess = true }
+                 else Hyperion.Config.default)
+          in
+          Snapshot.load ~config path)

@@ -1,0 +1,126 @@
+(** Durability for a Hyperion store: snapshot + write-ahead log.
+
+    A durability directory holds one {e generation} — a base snapshot
+    ([snapshot-<gen>.hyp], see {!Snapshot}) plus an append-only log of the
+    mutations acknowledged since it was taken ([wal-<gen>.log], see
+    {!Wal}).  {!open_or_create} recovers the store as {e latest valid
+    snapshot + WAL replay}; the logged mutation API appends to the WAL
+    after the in-memory store accepts the mutation, makes records durable
+    in groups (fsync every [sync_every_ops] records or [sync_every_bytes]
+    bytes, whichever comes first), and rotates the log into a fresh
+    snapshot generation once it outgrows [rotate_bytes].
+
+    Recovery invariants (chaos-tested, DESIGN.md section 8):
+    - a mutation whose record was fsynced before a crash is always
+      recovered;
+    - an unacknowledged tail of mutations may be lost, but only as a
+      clean prefix cut — never a corrupt or reordered store;
+    - a crash at any point of a rotation leaves either the old or the new
+      generation fully recoverable.
+
+    The handle serialises mutations internally and is safe to share
+    across threads; reads go straight to {!store}. *)
+
+module Crc32 = Crc32
+module Frame = Frame
+module Snapshot = Snapshot
+module Wal = Wal
+(** The building blocks, re-exported for tests and tooling (the library is
+    wrapped, so they are not reachable under their bare names). *)
+
+type t
+
+type recovery = {
+  generation : int;  (** generation the store was recovered from *)
+  snapshot_keys : int;  (** bindings loaded from the base snapshot *)
+  replayed_ops : int;  (** WAL records applied on top *)
+  wal_truncated : bool;  (** a torn WAL tail was cut off *)
+  skipped : string list;
+      (** newer snapshot files that failed validation and were passed over,
+          plus stale [.tmp] leftovers removed *)
+}
+
+val open_or_create :
+  ?config:Hyperion.Config.t ->
+  ?sync_every_ops:int ->
+  ?sync_every_bytes:int ->
+  ?rotate_bytes:int ->
+  string ->
+  (t, Hyperion.Hyperion_error.t) result
+(** [open_or_create dir] creates [dir] (and an empty generation 0) when
+    absent, otherwise recovers from the latest valid snapshot plus its WAL.
+    Defaults: [sync_every_ops = 64], [sync_every_bytes = 1 MiB],
+    [rotate_bytes = 64 MiB].  All failures — corrupt snapshot, foreign
+    format version, torn WAL header, OS errors — come back as typed
+    errors; this function never raises. *)
+
+val store : t -> Hyperion.Store.t
+(** The live in-memory store.  Read through it freely; mutations applied
+    to it directly bypass the log and will not survive a restart — use the
+    logged API below. *)
+
+val config : t -> Hyperion.Config.t
+val dir : t -> string
+val recovery : t -> recovery  (** What {!open_or_create} found. *)
+
+(** {1 Logged mutations}
+
+    Same contracts as the [Store] result API; [Ok] additionally means the
+    mutation is in the log (durable after the next group commit). *)
+
+val put : t -> string -> int64 -> (unit, Hyperion.Hyperion_error.t) result
+val add : t -> string -> (unit, Hyperion.Hyperion_error.t) result
+val delete : t -> string -> (bool, Hyperion.Hyperion_error.t) result
+
+val sync : t -> (unit, Hyperion.Hyperion_error.t) result
+(** Force the group commit: fsync all appended records now. *)
+
+val snapshot_now : t -> (unit, Hyperion.Hyperion_error.t) result
+(** Force a rotation: write a fresh snapshot generation and start an empty
+    WAL, regardless of [rotate_bytes]. *)
+
+val close : t -> (unit, Hyperion.Hyperion_error.t) result
+(** [sync] and release the WAL descriptor.  The handle rejects further
+    mutations. *)
+
+(** {1 Observability}
+
+    Counters over the mutations logged {e through this handle} since
+    [open_or_create]; the chaos harness uses them to know exactly which
+    prefix of its workload a post-crash recovery must reproduce. *)
+
+val generation : t -> int
+val applied_ops : t -> int  (** mutations logged since open *)
+
+val snapshot_base : t -> int
+(** Of {!applied_ops}, how many are captured by the current generation's
+    base snapshot (reset point of the last rotation). *)
+
+val durable_ops : t -> int
+(** Mutations guaranteed to survive a crash right now:
+    [snapshot_base + fsynced WAL records]. *)
+
+val rotations : t -> int
+val wal_size : t -> int
+val wal_synced_bytes : t -> int
+
+val crash : t -> unit
+(** Simulate a process kill: drop the WAL descriptor without syncing and
+    poison the handle.  Unsynced appends may or may not reach disk — the
+    chaos harness then tears the file at a chosen offset before reopening. *)
+
+(** {1 One-shot snapshot I/O}
+
+    Directory-less convenience wrappers around {!Snapshot} for the CLI
+    [save]/[load] verbs. *)
+
+val save_snapshot :
+  Hyperion.Store.t -> string -> (int, Hyperion.Hyperion_error.t) result
+
+val load_snapshot :
+  ?config:Hyperion.Config.t -> string ->
+  (Hyperion.Store.t, Hyperion.Hyperion_error.t) result
+
+val snapshot_file : dir:string -> gen:int -> string
+val wal_file : dir:string -> gen:int -> string
+(** The naming scheme, for tests and tooling. *)

@@ -1,0 +1,156 @@
+module E = Hyperion.Hyperion_error
+
+let format_version = 1
+let magic = "HYPSNAP\x01"
+
+type header = {
+  version : int;
+  preprocess : bool;
+  fingerprint : int64;
+  count : int;
+}
+
+let io_error path exn =
+  let detail =
+    match exn with
+    | Unix.Unix_error (e, fn, _) -> Printf.sprintf "%s: %s" fn (Unix.error_message e)
+    | Sys_error msg -> msg
+    | End_of_file -> "unexpected end of file"
+    | e -> Printexc.to_string e
+  in
+  Error (E.Io_error (Printf.sprintf "%s: %s" path detail))
+
+let corrupt path what = Error (E.Corrupt_snapshot (path ^ ": " ^ what))
+
+let parse_header path buf =
+  match Frame.parse_header ~magic buf with
+  | Error Frame.Short -> corrupt path "file shorter than the header"
+  | Error Frame.Bad_magic -> corrupt path "bad magic"
+  | Error Frame.Bad_crc -> corrupt path "header CRC mismatch"
+  | Ok h ->
+      if h.Frame.version <> format_version then
+        Error (E.Version_mismatch { found = h.Frame.version; expected = format_version })
+      else
+        Ok
+          {
+            version = h.Frame.version;
+            preprocess = h.Frame.flags land 1 <> 0;
+            fingerprint = h.Frame.fingerprint;
+            count = Int64.to_int h.Frame.aux;
+          }
+
+let read_header path =
+  match Frame.read_file path with
+  | exception e -> io_error path e
+  | buf -> parse_header path buf
+
+(* fsync of a directory makes a completed rename durable; some filesystems
+   reject it, which only weakens durability, never consistency. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let record_payload key value =
+  let klen = String.length key in
+  match value with
+  | None ->
+      let b = Bytes.create (1 + klen) in
+      Bytes.set_uint8 b 0 0;
+      Bytes.blit_string key 0 b 1 klen;
+      Bytes.unsafe_to_string b
+  | Some v ->
+      let b = Bytes.create (1 + klen + 8) in
+      Bytes.set_uint8 b 0 1;
+      Bytes.blit_string key 0 b 1 klen;
+      Bytes.set_int64_le b (1 + klen) v;
+      Bytes.unsafe_to_string b
+
+let save store path =
+  let tmp = path ^ ".tmp" in
+  let store_cfg = Hyperion.Store.config store in
+  try
+    let oc = open_out_bin tmp in
+    let written = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        let header =
+          Frame.make_header ~magic ~version:format_version
+            ~flags:(if store_cfg.Hyperion.Config.preprocess then 1 else 0)
+            ~fingerprint:(Hyperion.Config.fingerprint store_cfg)
+            ~aux:(Int64.of_int (Hyperion.Store.length store))
+        in
+        output_bytes oc header;
+        written := Bytes.length header;
+        Hyperion.Store.iter store (fun key value ->
+            let rec_bytes = Frame.frame (record_payload key value) in
+            output_bytes oc rec_bytes;
+            written := !written + Bytes.length rec_bytes);
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc));
+    Unix.rename tmp path;
+    fsync_dir (Filename.dirname path);
+    Ok !written
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    io_error path e
+
+let apply_record store key value =
+  Hyperion.Store.put_opt_result store key value
+
+let decode_record path payload =
+  let len = String.length payload in
+  if len < 1 then corrupt path "empty record payload"
+  else
+    match payload.[0] with
+    | '\x00' when len >= 2 -> Ok (String.sub payload 1 (len - 1), None)
+    | '\x01' when len >= 2 + 8 ->
+        let key = String.sub payload 1 (len - 9) in
+        let v = Bytes.get_int64_le (Bytes.unsafe_of_string payload) (len - 8) in
+        Ok (key, Some v)
+    | _ -> corrupt path "malformed record payload"
+
+let load ~config path =
+  match Frame.read_file path with
+  | exception e -> io_error path e
+  | buf -> (
+      match parse_header path buf with
+      | Error _ as e -> e
+      | Ok h ->
+          if h.fingerprint <> Hyperion.Config.fingerprint config then
+            corrupt path
+              (Printf.sprintf
+                 "config fingerprint mismatch (file 0x%Lx, config 0x%Lx)"
+                 h.fingerprint
+                 (Hyperion.Config.fingerprint config))
+          else begin
+            let store = Hyperion.Store.create ~config () in
+            let total = Bytes.length buf in
+            let rec loop pos seen =
+              if pos = total then
+                if seen = h.count then Ok store
+                else
+                  corrupt path
+                    (Printf.sprintf "header promises %d records, file has %d"
+                       h.count seen)
+              else if seen = h.count then corrupt path "trailing bytes"
+              else
+                match Frame.read_record buf ~pos with
+                | Error Frame.Rec_short -> corrupt path "truncated record"
+                | Error Frame.Rec_bad_len -> corrupt path "absurd record length"
+                | Error Frame.Rec_bad_crc ->
+                    corrupt path
+                      (Printf.sprintf "record #%d CRC mismatch" seen)
+                | Ok (payload, next) -> (
+                    match decode_record path payload with
+                    | Error _ as e -> e
+                    | Ok (key, value) -> (
+                        match apply_record store key value with
+                        | Ok () -> loop next (seen + 1)
+                        | Error _ as e -> e))
+            in
+            loop Frame.header_size 0
+          end)

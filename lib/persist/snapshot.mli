@@ -1,0 +1,43 @@
+(** Versioned, CRC-framed binary snapshots of a whole store.
+
+    A snapshot is the {!Frame} header (magic ["HYPSNAP\x01"], aux = key
+    count) followed by one CRC-framed record per binding, written by
+    streaming {!Hyperion.Store.iter}'s ordered enumeration.  Record
+    payloads are [tag · key · value?]: tag [0] is a value-less (type-10)
+    key, tag [1] appends the 8-byte LE value.  Keys are stored in logical
+    (pre-processing-decoded) form, so a snapshot round-trips bindings
+    bit-exactly under any config whose fingerprint matches.
+
+    [save] is atomic: it writes [path ^ ".tmp"], fsyncs, renames over
+    [path], then fsyncs the directory — a crash mid-snapshot leaves at
+    worst a stale [.tmp] and the previous generation intact.
+
+    Load reinserts records by sorted bulk insertion (ascending key order is
+    the trie's cheapest insertion order: every put descends a warm
+    right-edge path). *)
+
+val format_version : int
+val magic : string
+
+type header = {
+  version : int;
+  preprocess : bool;
+  fingerprint : int64;
+  count : int;
+}
+
+val read_header : string -> (header, Hyperion.Hyperion_error.t) result
+(** Header of the snapshot at [path], without loading records. *)
+
+val save : Hyperion.Store.t -> string -> (int, Hyperion.Hyperion_error.t) result
+(** [save store path] writes atomically and returns the snapshot's size in
+    bytes.  Errors are [Io_error]. *)
+
+val load :
+  config:Hyperion.Config.t -> string ->
+  (Hyperion.Store.t, Hyperion.Hyperion_error.t) result
+(** Rebuild a store from [path].  [Version_mismatch] when the format
+    version differs, [Corrupt_snapshot] on bad magic, any CRC mismatch,
+    truncation, trailing bytes, a record count that disagrees with the
+    header, or a config fingerprint differing from [config]'s;
+    [Io_error] on OS failures.  Never raises. *)

@@ -1,0 +1,206 @@
+module E = Hyperion.Hyperion_error
+
+let format_version = 1
+let magic = "HYPWAL\x00\x01"
+
+type op = Put of string * int64 | Add of string | Delete of string
+
+let io_error path exn =
+  let detail =
+    match exn with
+    | Unix.Unix_error (e, fn, _) -> Printf.sprintf "%s: %s" fn (Unix.error_message e)
+    | Sys_error msg -> msg
+    | e -> Printexc.to_string e
+  in
+  Error (E.Io_error (Printf.sprintf "%s: %s" path detail))
+
+(* --- writer --------------------------------------------------------- *)
+
+type writer = {
+  path : string;
+  fd : Unix.file_descr;
+  mutable written : int;
+  mutable synced : int;
+  mutable open_ : bool;
+}
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write fd b !pos (len - !pos)
+  done
+
+let header_bytes ~config ~gen =
+  Frame.make_header ~magic ~version:format_version
+    ~flags:(if config.Hyperion.Config.preprocess then 1 else 0)
+    ~fingerprint:(Hyperion.Config.fingerprint config)
+    ~aux:(Int64.of_int gen)
+
+let create ~config ~gen path =
+  match
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  with
+  | exception e -> io_error path e
+  | fd -> (
+      try
+        write_all fd (header_bytes ~config ~gen);
+        Unix.fsync fd;
+        Ok
+          {
+            path;
+            fd;
+            written = Frame.header_size;
+            synced = Frame.header_size;
+            open_ = true;
+          }
+      with e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        io_error path e)
+
+let open_append ~config ~gen path =
+  ignore config;
+  ignore gen;
+  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 with
+  | exception e -> io_error path e
+  | fd -> (
+      try
+        let size = (Unix.fstat fd).Unix.st_size in
+        Ok { path; fd; written = size; synced = size; open_ = true }
+      with e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        io_error path e)
+
+let encode op =
+  let tagged tag key extra =
+    let klen = String.length key in
+    let b = Bytes.create (1 + klen + extra) in
+    Bytes.set_uint8 b 0 tag;
+    Bytes.blit_string key 0 b 1 klen;
+    b
+  in
+  match op with
+  | Put (key, v) ->
+      let b = tagged 1 key 8 in
+      Bytes.set_int64_le b (1 + String.length key) v;
+      Bytes.unsafe_to_string b
+  | Add key -> Bytes.unsafe_to_string (tagged 2 key 0)
+  | Delete key -> Bytes.unsafe_to_string (tagged 3 key 0)
+
+let decode payload =
+  let len = String.length payload in
+  if len < 2 then None
+  else
+    let key ?(drop = 0) () = String.sub payload 1 (len - 1 - drop) in
+    match payload.[0] with
+    | '\x01' when len >= 2 + 8 ->
+        let v = Bytes.get_int64_le (Bytes.unsafe_of_string payload) (len - 8) in
+        Some (Put (key ~drop:8 (), v))
+    | '\x02' -> Some (Add (key ()))
+    | '\x03' -> Some (Delete (key ()))
+    | _ -> None
+
+let append w op =
+  if not w.open_ then Error (E.Io_error (w.path ^ ": WAL writer closed"))
+  else
+    let b = Frame.frame (encode op) in
+    match write_all w.fd b with
+    | () ->
+        w.written <- w.written + Bytes.length b;
+        Ok (Bytes.length b)
+    | exception e -> io_error w.path e
+
+let sync w =
+  if not w.open_ then Error (E.Io_error (w.path ^ ": WAL writer closed"))
+  else
+    match Unix.fsync w.fd with
+    | () ->
+        w.synced <- w.written;
+        Ok ()
+    | exception e -> io_error w.path e
+
+let size w = w.written
+let synced_bytes w = w.synced
+
+let close w =
+  match sync w with
+  | Error _ as e ->
+      w.open_ <- false;
+      (try Unix.close w.fd with Unix.Unix_error _ -> ());
+      e
+  | Ok () ->
+      w.open_ <- false;
+      (try Unix.close w.fd with Unix.Unix_error _ -> ());
+      Ok ()
+
+let abort w =
+  if w.open_ then begin
+    w.open_ <- false;
+    try Unix.close w.fd with Unix.Unix_error _ -> ()
+  end
+
+(* --- replay --------------------------------------------------------- *)
+
+type replay = { records : int; valid_bytes : int; truncated : bool }
+
+let torn path what = Error (E.Torn_log (path ^ ": " ^ what))
+
+let truncate_to path valid =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.ftruncate fd valid;
+      Unix.fsync fd)
+
+let replay ~config ~gen path ~f =
+  match Frame.read_file path with
+  | exception e -> io_error path e
+  | buf -> (
+      match Frame.parse_header ~magic buf with
+      | Error Frame.Short -> torn path "file shorter than the header"
+      | Error Frame.Bad_magic -> torn path "bad magic"
+      | Error Frame.Bad_crc -> torn path "header CRC mismatch"
+      | Ok h ->
+          if h.Frame.version <> format_version then
+            Error
+              (E.Version_mismatch
+                 { found = h.Frame.version; expected = format_version })
+          else if h.Frame.fingerprint <> Hyperion.Config.fingerprint config
+          then
+            torn path
+              (Printf.sprintf
+                 "config fingerprint mismatch (file 0x%Lx, config 0x%Lx)"
+                 h.Frame.fingerprint
+                 (Hyperion.Config.fingerprint config))
+          else if Int64.to_int h.Frame.aux <> gen then
+            torn path
+              (Printf.sprintf "generation mismatch (file %Ld, expected %d)"
+                 h.Frame.aux gen)
+          else begin
+            let total = Bytes.length buf in
+            let rec loop pos records =
+              if pos = total then Ok { records; valid_bytes = pos; truncated = false }
+              else
+                match Frame.read_record buf ~pos with
+                | Error (Frame.Rec_short | Frame.Rec_bad_crc | Frame.Rec_bad_len)
+                  -> (
+                    (* torn tail: drop it *)
+                    match truncate_to path pos with
+                    | () -> Ok { records; valid_bytes = pos; truncated = true }
+                    | exception e -> io_error path e)
+                | Ok (payload, next) -> (
+                    match decode payload with
+                    | None -> (
+                        (* CRC-valid but undecodable: treat as tear, too *)
+                        match truncate_to path pos with
+                        | () ->
+                            Ok { records; valid_bytes = pos; truncated = true }
+                        | exception e -> io_error path e)
+                    | Some op -> (
+                        match f op with
+                        | Ok () -> loop next (records + 1)
+                        | Error _ as e -> e))
+            in
+            loop Frame.header_size 0
+          end)

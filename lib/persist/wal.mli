@@ -1,0 +1,69 @@
+(** Append-only write-ahead log of acknowledged mutations.
+
+    File layout: the {!Frame} header (magic ["HYPWAL\x00\x01"], aux = the
+    generation number tying the log to its base snapshot) followed by one
+    CRC-framed record per logged mutation.  Record payloads are
+    [op · key · value?]: op [1] = put (8-byte LE value appended), op [2] =
+    add (value-less key), op [3] = delete.
+
+    Appends are single unbuffered [write]s; durability is explicit via
+    {!sync} (the group-commit policy lives in {!Persist}).  On open for
+    replay, a torn tail — a record cut short, an impossible length word, or
+    a CRC mismatch at the physical end — is truncated away silently; only
+    an unreadable {e header} is an error ([Torn_log]), and by construction
+    (the header is fsynced before the first append is acknowledged) that
+    can only happen to a log holding zero durable records. *)
+
+val format_version : int
+val magic : string
+
+type op = Put of string * int64 | Add of string | Delete of string
+
+(** {1 Writing} *)
+
+type writer
+
+val create :
+  config:Hyperion.Config.t -> gen:int -> string ->
+  (writer, Hyperion.Hyperion_error.t) result
+(** Create (truncating any existing file) and make the header durable. *)
+
+val open_append :
+  config:Hyperion.Config.t -> gen:int -> string ->
+  (writer, Hyperion.Hyperion_error.t) result
+(** Reopen an existing (already replayed, hence already truncated-to-valid)
+    log for further appends.  Everything on disk at open counts as synced. *)
+
+val append : writer -> op -> (int, Hyperion.Hyperion_error.t) result
+(** Append one record (no fsync); returns the record's size in bytes. *)
+
+val sync : writer -> (unit, Hyperion.Hyperion_error.t) result
+val size : writer -> int  (** Bytes written so far, header included. *)
+
+val synced_bytes : writer -> int
+(** Durable watermark: file offset up to which records survive any crash. *)
+
+val close : writer -> (unit, Hyperion.Hyperion_error.t) result
+(** [sync] then close the descriptor. *)
+
+val abort : writer -> unit
+(** Drop the descriptor {e without} syncing — the crash-simulation exit
+    used by the chaos harness. *)
+
+(** {1 Replay} *)
+
+type replay = {
+  records : int;  (** complete records applied *)
+  valid_bytes : int;  (** offset of the last complete record's end *)
+  truncated : bool;  (** a torn tail was cut off *)
+}
+
+val replay :
+  config:Hyperion.Config.t -> gen:int -> string ->
+  f:(op -> (unit, Hyperion.Hyperion_error.t) result) ->
+  (replay, Hyperion.Hyperion_error.t) result
+(** Apply every complete record to [f] in append order, then truncate the
+    file to [valid_bytes] if a torn tail was found.  [Torn_log] when the
+    header is unreadable or names a different generation/config;
+    [Version_mismatch] on a foreign format version; [f]'s first error
+    aborts the replay. *)

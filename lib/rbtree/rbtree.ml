@@ -4,7 +4,7 @@ type color = Red | Black
 
 type node = {
   mutable key : string;
-  mutable value : int64;
+  mutable value : int64 option;
   mutable color : color;
   mutable left : node;
   mutable right : node;
@@ -22,7 +22,7 @@ let name = "RB-Tree"
 
 let make_nil () =
   let rec nil =
-    { key = ""; value = 0L; color = Black; left = nil; right = nil; parent = nil }
+    { key = ""; value = None; color = Black; left = nil; right = nil; parent = nil }
   in
   nil
 
@@ -103,7 +103,7 @@ let rec insert_fixup t z =
     end
   end
 
-let put t key value =
+let put_opt t key value =
   let y = ref t.nil and x = ref t.root in
   let existing = ref None in
   while !x != t.nil && !existing = None do
@@ -143,10 +143,15 @@ let find_node t key =
   in
   go t.root
 
-let get t key =
-  match find_node t key with Some n -> Some n.value | None -> None
+let put t key value = put_opt t key (Some value)
+
+let get t key = match find_node t key with Some n -> n.value | None -> None
 
 let mem t key = find_node t key <> None
+
+(* Like Hyperion's [Store.add]: ensure membership, but never disturb an
+   existing binding's value. *)
+let add t key = if not (mem t key) then put_opt t key None
 
 let rec minimum t x = if x.left == t.nil then x else minimum t x.left
 
@@ -257,7 +262,7 @@ let range t ?(start = "") f =
     if x != t.nil && !continue then begin
       if String.compare x.key start >= 0 then begin
         go x.left;
-        if !continue && not (f x.key (Some x.value)) then continue := false;
+        if !continue && not (f x.key x.value) then continue := false;
         if !continue then go x.right
       end
       else go x.right

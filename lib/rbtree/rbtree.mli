@@ -6,4 +6,8 @@
     [std::string] key header plus its heap buffer, and the 8-byte value
     (see {!Kvcommon.Mem_model}). *)
 
-include Kvcommon.Kv_intf.S
+include Kvcommon.Kv_intf.SET
+(** [SET]: besides the valued API, keys can be stored without a value
+    ({!add}), mirroring Hyperion's type-10 terminals — required of the
+    chaos oracle now that recovered stores (which may hold value-less
+    keys) seed it. *)
