@@ -175,6 +175,154 @@ let durability () =
   rm_rf dir;
   print_newline ()
 
+(* ---- Sharded front-end: domains vs. throughput ---- *)
+
+let json_dir : string option ref = ref None
+
+let shards_bench () =
+  let n = max 1 (n_int () / 5) in
+  let ds = Workload.Dataset.rand_ints n in
+  let pairs = ds.Workload.Dataset.pairs in
+  let cores = Domain.recommended_domain_count () in
+  let config = { Hyperion.Config.default with chunks_per_bin = 64 } in
+  Printf.printf
+    "## Sharded front-end scaling (n = %d random integer keys, %d core(s))\n\n"
+    n cores;
+  if cores < 4 then
+    Printf.printf
+      "NOTE: fewer than 4 cores available — domain counts above %d time-slice\n\
+       one another and cannot show real scaling.\n\n"
+      cores;
+  let rows = ref [] in
+  let record label domains secs bytes_per_key =
+    rows :=
+      {
+        Bench_util.Json_out.label;
+        domains;
+        ops_per_s = float_of_int (Array.length pairs) /. secs;
+        bytes_per_key;
+      }
+      :: !rows
+  in
+  (* single-store, single-domain baseline *)
+  let baseline label each =
+    let store = Hyperion.Store.create ~config () in
+    let secs = Bench_util.Measure.time (fun () -> each store) in
+    record label 1 secs
+      (if label = "baseline-insert" then
+         Bench_util.Measure.bytes_per_key
+           (Hyperion.Store.memory_usage store)
+           (Hyperion.Store.length store)
+       else 0.0);
+    secs
+  in
+  let base_insert =
+    baseline "baseline-insert" (fun store ->
+        Array.iter (fun (k, v) -> Hyperion.Store.put store k v) pairs)
+  in
+  let base_mixed =
+    baseline "baseline-mixed" (fun store ->
+        Array.iteri
+          (fun i (k, v) ->
+            if i land 1 = 0 then Hyperion.Store.put store k v
+            else ignore (Hyperion.Store.get store k))
+          pairs)
+  in
+  Printf.printf "%-8s %10s %12s %12s %10s\n" "phase" "domains" "Mops" "speedup"
+    "B/key";
+  let hr () = print_endline (String.make 56 '-') in
+  hr ();
+  let mops secs = Bench_util.Measure.mops (Array.length pairs) secs in
+  Printf.printf "%-8s %10d %12.3f %12s %10.1f\n" "insert" 1 (mops base_insert)
+    "1.00x (st)"
+    (List.find (fun r -> r.Bench_util.Json_out.label = "baseline-insert") !rows)
+      .Bench_util.Json_out.bytes_per_key;
+  Printf.printf "%-8s %10d %12.3f %12s %10s\n" "mixed" 1 (mops base_mixed)
+    "1.00x (st)" "-";
+  (* sharded: D client domains feeding D worker domains; inserts ship
+     through the batch path (one mailbox round-trip per 128 ops per shard),
+     reads are direct *)
+  let sharded domains =
+    let t = Hyperion_shard.create ~config ~shards:domains () in
+    let chunk = Array.length pairs / domains in
+    let slice d f =
+      let lo = d * chunk in
+      let hi = if d = domains - 1 then Array.length pairs else lo + chunk in
+      for i = lo to hi - 1 do
+        f i pairs.(i)
+      done
+    in
+    let drive each =
+      Bench_util.Measure.time (fun () ->
+          let spawned =
+            List.init (domains - 1) (fun d -> Domain.spawn (fun () -> each (d + 1)))
+          in
+          each 0;
+          List.iter Domain.join spawned)
+    in
+    let client_batched pick d =
+      let b = Hyperion_shard.Batch.create t in
+      let flush () =
+        match Hyperion_shard.Batch.flush b with
+        | Ok _ -> ()
+        | Error e -> failwith (Hyperion.Hyperion_error.to_string e)
+      in
+      slice d (fun i (k, v) ->
+          pick b i k v;
+          if Hyperion_shard.Batch.length b >= 128 then flush ());
+      flush ()
+    in
+    let insert_s =
+      drive (client_batched (fun b _ k v -> Hyperion_shard.Batch.put b k v))
+    in
+    if Hyperion_shard.length t <> Array.length pairs then
+      failwith "sharded insert lost keys";
+    let bpk =
+      Bench_util.Measure.bytes_per_key
+        (Hyperion_shard.memory_usage t)
+        (Hyperion_shard.length t)
+    in
+    let lookup_s =
+      drive (fun d ->
+          slice d (fun _ (k, _) -> ignore (Hyperion_shard.get t k)))
+    in
+    let mixed_s =
+      drive
+        (client_batched (fun b i k v ->
+             if i land 1 = 0 then Hyperion_shard.Batch.put b k v
+             else ignore (Hyperion_shard.get t k)))
+    in
+    (match Hyperion_shard.close t with
+    | Ok () -> ()
+    | Error e -> failwith (Hyperion.Hyperion_error.to_string e));
+    record "insert" domains insert_s bpk;
+    record "lookup" domains lookup_s 0.0;
+    record "mixed" domains mixed_s 0.0;
+    Printf.printf "%-8s %10d %12.3f %11.2fx %10.1f\n" "insert" domains
+      (mops insert_s) (base_insert /. insert_s) bpk;
+    Printf.printf "%-8s %10d %12.3f %12s %10s\n" "lookup" domains
+      (mops lookup_s) "-" "-";
+    Printf.printf "%-8s %10d %12.3f %11.2fx %10s\n" "mixed" domains
+      (mops mixed_s) (base_mixed /. mixed_s) "-"
+  in
+  List.iter sharded [ 1; 2; 4; 8 ];
+  hr ();
+  (match !json_dir with
+  | None -> ()
+  | Some dir ->
+      let path =
+        Bench_util.Json_out.write ~dir ~experiment:"shards" ~n
+          ~config:
+            [
+              ("chunks_per_bin", "64");
+              ("cores", string_of_int cores);
+              ("batch_flush", "128");
+            ]
+          ~rows:(List.rev !rows)
+      in
+      Printf.printf "json -> %s\n" path);
+  print_newline ()
+
 let all_experiments =
   [
     ("table1", fun () -> Bench_util.Experiments.table1 ~n:(n_str ()));
@@ -190,10 +338,23 @@ let all_experiments =
       fun () -> Bench_util.Experiments.arena_scaling ~n:(max 1 (n_int () / 5)) );
     ("ablation", fun () -> Bench_util.Experiments.ablation ~n:(n_str ()));
     ("durability", fun () -> durability ());
+    ("shards", fun () -> shards_bench ());
   ]
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  (* strip "--json DIR" (machine-readable output directory) from the
+     experiment-name arguments *)
+  let rec split_args = function
+    | [] -> []
+    | "--json" :: dir :: rest ->
+        json_dir := Some dir;
+        split_args rest
+    | "--json" :: [] ->
+        prerr_endline "--json needs a directory argument";
+        exit 2
+    | name :: rest -> name :: split_args rest
+  in
+  let args = split_args (Array.to_list Sys.argv |> List.tl) in
   let selected =
     match args with
     | [] -> List.map fst all_experiments

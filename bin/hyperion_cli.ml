@@ -23,6 +23,12 @@
                       del <key> | range <start> <limit> | audit
                       save <dir> | load <dir> | stats | quit
 
+   --shards D (load-ints, load-ngrams, chaos, save, load, recover) routes
+   the subcommand through the multi-domain sharded front-end: D worker
+   domains over a byte-range partition of the keyspace.  Sharded
+   persistence is a directory tree (one snapshot+WAL generation per shard)
+   rather than a one-shot snapshot file.
+
    Exit codes (all subcommands):
      0    success
      1    divergence, structural violation, or corruption detected — the
@@ -38,13 +44,10 @@ open Cmdliner
 let default_config = { Hyperion.Config.strings with chunks_per_bin = 64 }
 let make_store () = Hyperion.Store.create ~config:default_config ()
 
-let report store =
-  let st = Hyperion.Store.stats store in
-  Printf.printf "keys           : %d\n" (Hyperion.Store.length store);
-  Printf.printf "resident bytes : %d (%.1f B/key)\n"
-    (Hyperion.Store.memory_usage store)
-    (float_of_int (Hyperion.Store.memory_usage store)
-    /. float_of_int (max 1 (Hyperion.Store.length store)));
+let report_stats ~keys ~bytes st =
+  Printf.printf "keys           : %d\n" keys;
+  Printf.printf "resident bytes : %d (%.1f B/key)\n" bytes
+    (float_of_int bytes /. float_of_int (max 1 keys));
   Printf.printf "containers     : %d (+%d embedded, %d split)\n"
     st.Hyperion.Stats.containers st.Hyperion.Stats.embedded_containers
     st.Hyperion.Stats.split_containers;
@@ -56,6 +59,27 @@ let report store =
   if st.Hyperion.Stats.saturated_arenas > 0 then
     Printf.printf "SATURATED      : %d arena(s) read-only (memory exhausted)\n"
       st.Hyperion.Stats.saturated_arenas
+
+let report store =
+  report_stats
+    ~keys:(Hyperion.Store.length store)
+    ~bytes:(Hyperion.Store.memory_usage store)
+    (Hyperion.Store.stats store)
+
+let report_sharded t =
+  Printf.printf "shards         : %d worker domain(s)%s\n"
+    (Hyperion_shard.shards t)
+    (if Hyperion_shard.durable t then " (durable)" else "");
+  report_stats
+    ~keys:(Hyperion_shard.length t)
+    ~bytes:(Hyperion_shard.memory_usage t)
+    (Hyperion_shard.stats t)
+
+let check_shards shards =
+  if shards < 1 || shards > 64 then begin
+    prerr_endline "--shards must be in [1, 64]";
+    exit 2
+  end
 
 (* exit 3 on any typed persistence error *)
 let persist_fail ctx e =
@@ -77,6 +101,30 @@ let print_recovery p =
     (fun s -> Printf.printf "skipped        : %s\n" s)
     r.Persist.skipped
 
+(* Sharded (multi-domain) variants: a store partitioned into worker-owned
+   byte ranges, durable under a per-shard snapshot+WAL directory tree. *)
+
+let open_sharded_dir ~shards dir =
+  match
+    Hyperion_shard.open_durable ~config:default_config ~shards dir
+  with
+  | Ok t -> t
+  | Error e -> persist_fail ("recovering " ^ dir) e
+
+let print_shard_recoveries t =
+  List.iter
+    (fun { Hyperion_shard.shard; recovery = r } ->
+      Printf.printf
+        "shard %-3d      : generation %d, %d snapshot key(s) + %d WAL op(s)%s\n"
+        shard r.Persist.generation r.Persist.snapshot_keys r.Persist.replayed_ops
+        (if r.Persist.wal_truncated then " (torn tail truncated)" else "");
+      List.iter (fun s -> Printf.printf "skipped        : %s\n" s) r.Persist.skipped)
+    (Hyperion_shard.recoveries t)
+
+let shard_check ctx = function
+  | Ok _ -> ()
+  | Error e -> persist_fail ctx e
+
 let demo () =
   let store = make_store () in
   List.iteri
@@ -88,23 +136,52 @@ let demo () =
       true);
   report store
 
-let load_ints n =
-  let store = make_store () in
+(* Batched sharded ingest: ship mutations to the worker domains in slices
+   of 256 so a load costs one mailbox round-trip per slice per shard. *)
+let sharded_load ~shards ~what n each =
+  let t = Hyperion_shard.create ~config:default_config ~shards () in
+  let b = Hyperion_shard.Batch.create t in
   let t0 = Unix.gettimeofday () in
-  for i = 0 to n - 1 do
-    Hyperion.Store.put store (Kvcommon.Key_codec.of_u64 (Int64.of_int i)) (Int64.of_int i)
-  done;
-  Printf.printf "inserted %d sequential integers in %.2fs\n" n
-    (Unix.gettimeofday () -. t0);
-  report store
+  each (fun k v ->
+      Hyperion_shard.Batch.put b k v;
+      if Hyperion_shard.Batch.length b >= 256 then
+        shard_check "flush" (Hyperion_shard.Batch.flush b));
+  shard_check "flush" (Hyperion_shard.Batch.flush b);
+  Printf.printf "inserted %d %s in %.2fs\n" n what (Unix.gettimeofday () -. t0);
+  report_sharded t;
+  shard_check "close" (Hyperion_shard.close t)
 
-let load_ngrams n =
-  let store = make_store () in
+let load_ints n shards =
+  check_shards shards;
+  if shards > 1 then
+    sharded_load ~shards ~what:"sequential integers" n (fun put ->
+        for i = 0 to n - 1 do
+          put (Kvcommon.Key_codec.of_u64 (Int64.of_int i)) (Int64.of_int i)
+        done)
+  else begin
+    let store = make_store () in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to n - 1 do
+      Hyperion.Store.put store (Kvcommon.Key_codec.of_u64 (Int64.of_int i)) (Int64.of_int i)
+    done;
+    Printf.printf "inserted %d sequential integers in %.2fs\n" n
+      (Unix.gettimeofday () -. t0);
+    report store
+  end
+
+let load_ngrams n shards =
+  check_shards shards;
   let pairs = Workload.Ngram.generate ~n () in
-  let t0 = Unix.gettimeofday () in
-  Array.iter (fun (k, v) -> Hyperion.Store.put store k v) pairs;
-  Printf.printf "inserted %d n-grams in %.2fs\n" n (Unix.gettimeofday () -. t0);
-  report store
+  if shards > 1 then
+    sharded_load ~shards ~what:"n-grams" n (fun put ->
+        Array.iter (fun (k, v) -> put k v) pairs)
+  else begin
+    let store = make_store () in
+    let t0 = Unix.gettimeofday () in
+    Array.iter (fun (k, v) -> Hyperion.Store.put store k v) pairs;
+    Printf.printf "inserted %d n-grams in %.2fs\n" n (Unix.gettimeofday () -. t0);
+    report store
+  end
 
 (* Print all structural violations; return the count. *)
 let audit_store store =
@@ -162,7 +239,8 @@ let audit dir =
       check "close" (Persist.close p);
       exit (if violations > 0 then 1 else 0)
 
-let chaos seed ops per_mille crash dir =
+let chaos seed ops per_mille crash dir shards =
+  check_shards shards;
   if per_mille < 0 || per_mille > 1000 then begin
     prerr_endline "chaos: --per-mille must be in [0, 1000]";
     exit 2
@@ -171,7 +249,37 @@ let chaos seed ops per_mille crash dir =
     prerr_endline "chaos: --ops must be non-negative";
     exit 2
   end;
-  if crash then begin
+  if shards > 1 then begin
+    (* concurrent client domains against the sharded front-end; fault plans
+       are not domain-safe, so this mode always runs fault-free *)
+    let dir =
+      if crash || dir <> None then begin
+        let d =
+          match dir with
+          | Some d -> d
+          | None ->
+              Filename.concat (Filename.get_temp_dir_name ()) "hyperion-chaos"
+        in
+        (try if not (Sys.file_exists d) then Unix.mkdir d 0o755
+         with Unix.Unix_error (e, _, _) ->
+           Printf.eprintf "chaos: cannot create %s: %s\n" d
+             (Unix.error_message e);
+           exit 2);
+        Some d
+      end
+      else None
+    in
+    match
+      Chaos.run_sharded ~config:default_config ~shards ?dir ~seed ~ops ()
+    with
+    | Ok o ->
+        Format.printf "chaos --shards %d: OK — %a@." shards
+          Chaos.pp_sharded_outcome o
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+  end
+  else if crash then begin
     let dir =
       match dir with
       | Some d -> d
@@ -213,37 +321,83 @@ let chaos seed ops per_mille crash dir =
         exit 1
   end
 
-let save path =
-  let store = make_store () in
-  drive_stdin
-    ~put:(fun k v -> Hyperion.Store.put store k v)
-    ~add:(fun k -> Hyperion.Store.add store k)
-    ~del:(fun k -> ignore (Hyperion.Store.delete store k));
-  match Persist.save_snapshot store path with
-  | Ok bytes ->
-      Printf.printf "saved %d key(s), %d bytes -> %s\n"
-        (Hyperion.Store.length store) bytes path
-  | Error e -> persist_fail ("saving " ^ path) e
+let save path shards =
+  check_shards shards;
+  if shards > 1 then begin
+    (* sharded stores persist as a directory tree (one snapshot+WAL
+       generation per shard), not a one-shot snapshot file *)
+    let t = open_sharded_dir ~shards path in
+    drive_stdin
+      ~put:(fun k v -> shard_check "put" (Hyperion_shard.put_result t k v))
+      ~add:(fun k -> shard_check "add" (Hyperion_shard.add_result t k))
+      ~del:(fun k -> shard_check "del" (Hyperion_shard.delete_result t k));
+    shard_check "snapshot" (Hyperion_shard.snapshot_now t);
+    Printf.printf "saved %d key(s) across %d shard(s) -> %s\n"
+      (Hyperion_shard.length t) shards path;
+    shard_check "close" (Hyperion_shard.close t)
+  end
+  else begin
+    let store = make_store () in
+    drive_stdin
+      ~put:(fun k v -> Hyperion.Store.put store k v)
+      ~add:(fun k -> Hyperion.Store.add store k)
+      ~del:(fun k -> ignore (Hyperion.Store.delete store k));
+    match Persist.save_snapshot store path with
+    | Ok bytes ->
+        Printf.printf "saved %d key(s), %d bytes -> %s\n"
+          (Hyperion.Store.length store) bytes path
+    | Error e -> persist_fail ("saving " ^ path) e
+  end
 
-let load path dump =
-  match Persist.load_snapshot ~config:default_config path with
-  | Error e -> persist_fail ("loading " ^ path) e
-  | Ok store ->
-      if dump then
-        Hyperion.Store.iter store (fun k v ->
-            Printf.printf "%s %s\n" k
-              (match v with Some v -> Int64.to_string v | None -> "-"));
-      report store
+let load path dump shards =
+  check_shards shards;
+  if shards > 1 then begin
+    let t = open_sharded_dir ~shards path in
+    print_shard_recoveries t;
+    if dump then
+      Hyperion_shard.iter t (fun k v ->
+          Printf.printf "%s %s\n" k
+            (match v with Some v -> Int64.to_string v | None -> "-"));
+    report_sharded t;
+    shard_check "close" (Hyperion_shard.close t)
+  end
+  else
+    match Persist.load_snapshot ~config:default_config path with
+    | Error e -> persist_fail ("loading " ^ path) e
+    | Ok store ->
+        if dump then
+          Hyperion.Store.iter store (fun k v ->
+              Printf.printf "%s %s\n" k
+                (match v with Some v -> Int64.to_string v | None -> "-"));
+        report store
 
-let recover dir =
-  let p = open_dir dir in
-  print_recovery p;
-  report (Persist.store p);
-  let violations = audit_store (Persist.store p) in
-  (match Persist.close p with
-  | Ok () -> ()
-  | Error e -> persist_fail "close" e);
-  exit (if violations > 0 then 1 else 0)
+let recover dir shards =
+  check_shards shards;
+  if shards > 1 then begin
+    let t = open_sharded_dir ~shards dir in
+    print_shard_recoveries t;
+    report_sharded t;
+    let violations =
+      Hyperion_shard.with_quiesced t (fun stores ->
+          Array.to_list stores
+          |> List.mapi (fun i s ->
+                 Printf.printf "shard %-3d      : " i;
+                 audit_store s)
+          |> List.fold_left ( + ) 0)
+    in
+    shard_check "close" (Hyperion_shard.close t);
+    exit (if violations > 0 then 1 else 0)
+  end
+  else begin
+    let p = open_dir dir in
+    print_recovery p;
+    report (Persist.store p);
+    let violations = audit_store (Persist.store p) in
+    (match Persist.close p with
+    | Ok () -> ()
+    | Error e -> persist_fail "close" e);
+    exit (if violations > 0 then 1 else 0)
+  end
 
 let repl () =
   let store = ref (make_store ()) in
@@ -341,11 +495,16 @@ let path_pos_arg =
 let dump_arg =
   Arg.(value & flag & info [ "dump" ] ~doc:"Print every binding, in order.")
 
+let shards_arg =
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"D"
+       ~doc:"Partition the store into $(docv) worker-domain shards (the \
+             multi-domain front-end); 1 keeps the single-store code path.")
+
 let cmds =
   [
     Cmd.v (Cmd.info "demo" ~doc:"Paper example words") Term.(const demo $ const ());
-    Cmd.v (Cmd.info "load-ints" ~doc:"Sequential integer load") Term.(const load_ints $ n_arg);
-    Cmd.v (Cmd.info "load-ngrams" ~doc:"Synthetic n-gram load") Term.(const load_ngrams $ n_arg);
+    Cmd.v (Cmd.info "load-ints" ~doc:"Sequential integer load") Term.(const load_ints $ n_arg $ shards_arg);
+    Cmd.v (Cmd.info "load-ngrams" ~doc:"Synthetic n-gram load") Term.(const load_ngrams $ n_arg $ shards_arg);
     Cmd.v
       (Cmd.info "audit"
          ~doc:"Apply put/add/del lines from stdin, then validate structure; \
@@ -356,25 +515,30 @@ let cmds =
       (Cmd.info "chaos"
          ~doc:"Seeded differential run against the red-black-tree oracle \
                with fault injection; $(b,--crash) switches to the \
-               crash-recovery mode; $(b,--dir) recovers the store first. \
-               Exits 1 on divergence")
-      Term.(const chaos $ seed_arg $ ops_arg $ per_mille_arg $ crash_arg $ dir_arg);
+               crash-recovery mode; $(b,--dir) recovers the store first; \
+               $(b,--shards) > 1 runs concurrent client domains against the \
+               sharded front-end (fault-free).  Exits 1 on divergence")
+      Term.(const chaos $ seed_arg $ ops_arg $ per_mille_arg $ crash_arg $ dir_arg $ shards_arg);
     Cmd.v
       (Cmd.info "save"
          ~doc:"Apply put/add/del lines from stdin, then write a one-shot \
-               binary snapshot to $(i,FILE)")
-      Term.(const save $ path_pos_arg);
+               binary snapshot to $(i,FILE); with $(b,--shards) > 1, \
+               $(i,FILE) is a sharded durability directory instead")
+      Term.(const save $ path_pos_arg $ shards_arg);
     Cmd.v
       (Cmd.info "load"
          ~doc:"Load a snapshot written by $(b,save) (or the repl) and \
-               report stats; $(b,--dump) prints every binding")
-      Term.(const load $ path_pos_arg $ dump_arg);
+               report stats; $(b,--dump) prints every binding; with \
+               $(b,--shards) > 1, $(i,FILE) is a sharded durability \
+               directory instead")
+      Term.(const load $ path_pos_arg $ dump_arg $ shards_arg);
     Cmd.v
       (Cmd.info "recover"
          ~doc:"Open a durability directory — latest valid snapshot plus \
-               write-ahead-log replay — then validate the recovered store. \
-               Exits 1 on violations, 3 on corruption")
-      Term.(const recover $ dir_pos_arg);
+               write-ahead-log replay — then validate the recovered store; \
+               with $(b,--shards) > 1, a sharded directory recovered in \
+               parallel.  Exits 1 on violations, 3 on corruption")
+      Term.(const recover $ dir_pos_arg $ shards_arg);
     Cmd.v (Cmd.info "repl" ~doc:"Line-oriented REPL on stdin") Term.(const repl $ const ());
   ]
 

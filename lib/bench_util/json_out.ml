@@ -1,0 +1,66 @@
+type row = {
+  label : string;
+  domains : int;
+  ops_per_s : float;
+  bytes_per_key : float;
+}
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s = "\"" ^ escape s ^ "\""
+
+(* %.17g keeps full float precision but stays JSON-parseable (no nan/inf
+   is ever produced by the throughput math; guard anyway). *)
+let num f =
+  if Float.is_finite f then Printf.sprintf "%.17g" f else "0"
+
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown")
+
+let row_json r =
+  Printf.sprintf
+    "    { \"label\": %s, \"domains\": %d, \"ops_per_s\": %s, \
+     \"bytes_per_key\": %s }"
+    (str r.label) r.domains (num r.ops_per_s) (num r.bytes_per_key)
+
+let write ~dir ~experiment ~n ~config ~rows =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir ("BENCH_" ^ experiment ^ ".json") in
+  let config_json =
+    config
+    |> List.map (fun (k, v) -> Printf.sprintf "    %s: %s" (str k) (str v))
+    |> String.concat ",\n"
+  in
+  let rows_json = rows |> List.map row_json |> String.concat ",\n" in
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"experiment\": %s,\n\
+        \  \"n\": %d,\n\
+        \  \"git_rev\": %s,\n\
+        \  \"config\": {\n%s\n  },\n\
+        \  \"rows\": [\n%s\n  ]\n\
+         }\n"
+        (str experiment) n
+        (str (git_rev ()))
+        config_json rows_json);
+  path

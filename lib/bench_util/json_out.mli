@@ -1,0 +1,33 @@
+(** Machine-readable benchmark output.
+
+    One file per experiment, [BENCH_<experiment>.json], so CI and the
+    EXPERIMENTS.md tables can be regenerated from bench runs instead of
+    copy-pasted console output.  The format is flat on purpose:
+
+    {v
+    { "experiment": "shards", "n": 100000, "git_rev": "c2739ad",
+      "config": { "chunks_per_bin": "64" },
+      "rows": [ { "label": "insert", "domains": 4,
+                  "ops_per_s": 1.2e6, "bytes_per_key": 52.1 } ] }
+    v} *)
+
+type row = {
+  label : string;  (** workload phase, e.g. ["insert"], ["mixed"] *)
+  domains : int;  (** worker/client domains driving the phase *)
+  ops_per_s : float;
+  bytes_per_key : float;  (** 0.0 when not measured for this phase *)
+}
+
+val git_rev : unit -> string
+(** Short head revision of the working tree, or ["unknown"] outside a
+    checkout. *)
+
+val write :
+  dir:string ->
+  experiment:string ->
+  n:int ->
+  config:(string * string) list ->
+  rows:row list ->
+  string
+(** Write [dir/BENCH_<experiment>.json] (creating [dir] when missing) and
+    return the path written. *)

@@ -149,6 +149,433 @@ let run ?(config = H.Config.default) ?(plan = Fault.none)
       }
   with Divergence msg -> Error msg
 
+(* --- sharded chaos: concurrent clients over the multi-domain front-end *)
+
+type sharded_outcome = {
+  sh_shards : int;
+  sh_clients : int;
+  sh_ops : int;
+  sh_mutations : int;
+  sh_batched : int;
+  sh_audits : int;
+  sh_final_keys : int;
+  sh_recovered_shards : int;
+  sh_replayed : int;
+}
+
+let pp_sharded_outcome fmt o =
+  Format.fprintf fmt
+    "%d ops over %d client(s) x %d shard(s): %d mutations (%d batched), %d \
+     quiesced audits, %d keys stored%s"
+    o.sh_ops o.sh_clients o.sh_shards o.sh_mutations o.sh_batched o.sh_audits
+    o.sh_final_keys
+    (if o.sh_recovered_shards > 0 then
+       Printf.sprintf "; crash-recovered %d shard(s), %d WAL op(s) replayed"
+         o.sh_recovered_shards o.sh_replayed
+     else "")
+
+(* One client's acknowledged mutations, in acknowledgement order.  Clients
+   own disjoint key sets (ids congruent to the client index), so the final
+   store state is deterministic in the seed: replaying every client's log
+   sequentially — in any client order — yields the same bindings. *)
+type client_report = {
+  cr_log : logged_op list;  (* reversed: newest first *)
+  cr_mutations : int;
+  cr_batched : int;
+  cr_error : string option;
+}
+
+and logged_op = L_put of string * int64 | L_add of string | L_del of string
+
+let wipe_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let client_seed ~seed c = Int64.add seed (Int64.mul (Int64.of_int (c + 1)) 1_000_003L)
+
+let run_sharded_client store ~seed ~clients ~c ~ops ~key_space =
+  let rng = Workload.Mt19937_64.create (client_seed ~seed c) in
+  let slots = max 1 (key_space / clients) in
+  let expected : (string, int64 option) Hashtbl.t = Hashtbl.create 64 in
+  let log = ref [] and mutations = ref 0 and batched = ref 0 in
+  let batch = Hyperion_shard.Batch.create store in
+  (* mutations buffered in [batch] and not yet visible; applied to
+     [expected] (and the log) only when the flush is acknowledged *)
+  let pending = ref [] in
+  let pending_has key =
+    List.exists
+      (function
+        | L_put (k, _) | L_add k | L_del k -> k = key)
+      !pending
+  in
+  let err = ref None in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        if !err = None then
+          err := Some (Printf.sprintf "client %d seed=%Ld: %s" c seed msg))
+      fmt
+  in
+  let apply_expected = function
+    | L_put (k, v) -> Hashtbl.replace expected k (Some v)
+    | L_add k ->
+        (* add is "insert if absent": an existing binding keeps its value *)
+        if not (Hashtbl.mem expected k) then Hashtbl.replace expected k None
+    | L_del k -> Hashtbl.remove expected k
+  in
+  let flush () =
+    match !pending with
+    | [] -> ()
+    | ps -> (
+        let n = List.length ps in
+        match Hyperion_shard.Batch.flush batch with
+        | Ok applied when applied = n ->
+            List.iter
+              (fun op ->
+                apply_expected op;
+                log := op :: !log;
+                incr mutations;
+                incr batched)
+              (List.rev ps);
+            pending := []
+        | Ok applied ->
+            fail "batch flush applied %d of %d buffered mutations" applied n
+        | Error e ->
+            fail "batch flush rejected: %s" (H.Hyperion_error.to_string e))
+  in
+  let direct op =
+    let r =
+      match op with
+      | L_put (k, v) -> Hyperion_shard.put_result store k v
+      | L_add k -> Hyperion_shard.add_result store k
+      | L_del k -> (
+          let present = Hashtbl.mem expected k in
+          match Hyperion_shard.delete_result store k with
+          | Ok removed ->
+              if removed <> present then
+                fail "delete %S: store=%b expected=%b" k removed present;
+              Ok ()
+          | Error e -> Error e)
+    in
+    match r with
+    | Ok () ->
+        apply_expected op;
+        log := op :: !log;
+        incr mutations
+    | Error e -> fail "mutation rejected: %s" (H.Hyperion_error.to_string e)
+  in
+  let n_ops = ops in
+  (try
+     for _op = 0 to n_ops - 1 do
+       if !err = None then begin
+         let id = c + (clients * Workload.Mt19937_64.next_below rng slots) in
+         let key = key_for id in
+         let dice = Workload.Mt19937_64.next_below rng 100 in
+         if dice < 30 then begin
+           (* direct blocking put *)
+           let v = Int64.of_int (Workload.Mt19937_64.next_below rng 1_000_000) in
+           direct (L_put (key, v))
+         end
+         else if dice < 45 then begin
+           (* batched put/add, flushed every 8 buffered mutations *)
+           let v = Int64.of_int (Workload.Mt19937_64.next_below rng 1_000_000) in
+           let op =
+             if dice < 42 then L_put (key, v) else L_add key
+           in
+           (match op with
+           | L_put (k, v) -> Hyperion_shard.Batch.put batch k v
+           | L_add k -> Hyperion_shard.Batch.add batch k
+           | L_del _ -> assert false);
+           pending := op :: !pending;
+           if Hyperion_shard.Batch.length batch >= 8 then flush ()
+         end
+         else if dice < 55 then direct (L_add key)
+         else if dice < 70 then begin
+           if pending_has key then flush ();
+           direct (L_del key)
+         end
+         else if dice < 90 then begin
+           if pending_has key then flush ();
+           let got = Hyperion_shard.get store key in
+           let want = Option.join (Hashtbl.find_opt expected key) in
+           if got <> want then
+             fail "get %S: store=%s expected=%s" key
+               (match got with Some v -> Int64.to_string v | None -> "absent")
+               (match want with Some v -> Int64.to_string v | None -> "absent")
+         end
+         else begin
+           if pending_has key then flush ();
+           let got = Hyperion_shard.mem store key in
+           let want = Hashtbl.mem expected key in
+           if got <> want then fail "mem %S: store=%b expected=%b" key got want
+         end
+       end
+     done;
+     flush ()
+   with e ->
+     fail "client raised %s" (Printexc.to_string e));
+  { cr_log = !log; cr_mutations = !mutations; cr_batched = !batched; cr_error = !err }
+
+(* Quiesced audit: structural validation of every shard store plus the
+   iter/length point-in-time consistency check. *)
+let sharded_audit store =
+  Hyperion_shard.with_quiesced store (fun stores ->
+      let problem = ref None in
+      Array.iteri
+        (fun i s ->
+          if !problem = None then begin
+            (match H.Validate.check_store s with
+            | [] -> ()
+            | e :: _ ->
+                problem :=
+                  Some
+                    (Printf.sprintf "shard %d: %s" i
+                       (Format.asprintf "%a" H.Validate.pp_error e)));
+            let swept = ref 0 in
+            H.Store.iter s (fun _ _ -> incr swept);
+            if !problem = None && !swept <> H.Store.length s then
+              problem :=
+                Some
+                  (Printf.sprintf "shard %d: iter visited %d keys, length says %d"
+                     i !swept (H.Store.length s))
+          end)
+        stores;
+      !problem)
+
+let sweep_against_oracle ~what store oracle =
+  let expected = ref [] in
+  Rbtree.range oracle (fun k v ->
+      expected := (k, v) :: !expected;
+      true);
+  let expected = ref (List.rev !expected) in
+  let problem = ref None in
+  Hyperion_shard.iter store (fun k v ->
+      if !problem = None then
+        match !expected with
+        | [] -> problem := Some (Printf.sprintf "%s: extra key %S" what k)
+        | (ek, ev) :: rest ->
+            if k <> ek || v <> ev then
+              problem :=
+                Some
+                  (Printf.sprintf "%s: store has %S/%s, oracle has %S/%s" what k
+                     (match v with Some v -> Int64.to_string v | None -> "-")
+                     ek
+                     (match ev with Some v -> Int64.to_string v | None -> "-"))
+            else expected := rest);
+  (match (!problem, !expected) with
+  | None, (ek, _) :: _ ->
+      problem := Some (Printf.sprintf "%s: key %S missing from store" what ek)
+  | _ -> ());
+  !problem
+
+let run_sharded ?(config = H.Config.default) ?(shards = 4) ?clients
+    ?(key_space = 4096) ?dir ~seed ~ops () =
+  if ops < 0 then invalid_arg "Chaos.run_sharded: negative ops";
+  if shards < 1 then invalid_arg "Chaos.run_sharded: shards must be positive";
+  if key_space <= 0 then
+    invalid_arg "Chaos.run_sharded: key_space must be positive";
+  let clients = match clients with Some c -> max 1 c | None -> min shards 4 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Error (Printf.sprintf "sharded chaos seed=%Ld shards=%d: %s" seed shards msg))
+      fmt
+  in
+  let err_to_string = H.Hyperion_error.to_string in
+  let crash_dir =
+    Option.map
+      (fun d -> Filename.concat d (Printf.sprintf "shard-chaos-%Ld" seed))
+      dir
+  in
+  let wipe_tree dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f ->
+          let p = Filename.concat dir f in
+          if Sys.is_directory p then wipe_dir p
+          else try Sys.remove p with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  Option.iter wipe_tree crash_dir;
+  let opened =
+    match crash_dir with
+    | None -> Ok (Hyperion_shard.create ~config ~shards ())
+    | Some d ->
+        Hyperion_shard.open_durable ~config ~shards ~sync_every_ops:16
+          ~rotate_bytes:8192 d
+  in
+  match opened with
+  | Error e -> fail "open: %s" (err_to_string e)
+  | Ok store -> (
+      let per_client = ops / clients in
+      let finished = Atomic.make 0 in
+      let doms =
+        List.init clients (fun c ->
+            let ops =
+              if c = 0 then per_client + (ops mod clients) else per_client
+            in
+            Domain.spawn (fun () ->
+                let r =
+                  run_sharded_client store ~seed ~clients ~c ~ops ~key_space
+                in
+                Atomic.incr finished;
+                r))
+      in
+      (* Coordinator: quiesced audits while the clients hammer the store. *)
+      let audits = ref 0 and audit_problem = ref None in
+      while Atomic.get finished < clients && !audit_problem = None do
+        (match sharded_audit store with
+        | Some p -> audit_problem := Some p
+        | None -> ());
+        incr audits;
+        Unix.sleepf 0.002
+      done;
+      let reports = List.map Domain.join doms in
+      match
+        ( !audit_problem,
+          List.find_map (fun r -> r.cr_error) reports )
+      with
+      | Some p, _ -> fail "concurrent audit: %s" p
+      | None, Some e -> fail "%s" e
+      | None, None -> (
+          (* Final audit + full sweep against the merged oracle. *)
+          (match sharded_audit store with
+          | Some p -> incr audits; audit_problem := Some p
+          | None -> incr audits);
+          match !audit_problem with
+          | Some p -> fail "final audit: %s" p
+          | None -> (
+              let oracle = Rbtree.create () in
+              List.iter
+                (fun r ->
+                  List.iter
+                    (function
+                      | L_put (k, v) -> Rbtree.put oracle k v
+                      | L_add k -> Rbtree.add oracle k
+                      | L_del k -> ignore (Rbtree.delete oracle k))
+                    (List.rev r.cr_log))
+                reports;
+              match sweep_against_oracle ~what:"post-workload sweep" store oracle with
+              | Some p -> fail "%s" p
+              | None -> (
+                  let mutations =
+                    List.fold_left (fun a r -> a + r.cr_mutations) 0 reports
+                  in
+                  let batched =
+                    List.fold_left (fun a r -> a + r.cr_batched) 0 reports
+                  in
+                  let final_keys = Hyperion_shard.length store in
+                  if final_keys <> Rbtree.length oracle then
+                    fail "length: store=%d oracle=%d" final_keys
+                      (Rbtree.length oracle)
+                  else
+                    let finish_in_memory () =
+                      (match Hyperion_shard.close store with
+                      | Ok () -> ()
+                      | Error _ -> ());
+                      Ok
+                        {
+                          sh_shards = shards;
+                          sh_clients = clients;
+                          sh_ops = ops;
+                          sh_mutations = mutations;
+                          sh_batched = batched;
+                          sh_audits = !audits;
+                          sh_final_keys = final_keys;
+                          sh_recovered_shards = 0;
+                          sh_replayed = 0;
+                        }
+                    in
+                    let crash_and_recover d =
+                      (* Crash-recovery phase: group-commit everything, kill
+                         the process image, reopen per-shard (parallel
+                         recovery) and demand the byte-identical state. *)
+                      let ( let* ) = Result.bind in
+                      let closing store2 r =
+                        match r with
+                        | Ok _ as ok -> ok
+                        | Error _ as e ->
+                            ignore (Hyperion_shard.close store2);
+                            e
+                      in
+                      let* () =
+                        match Hyperion_shard.sync store with
+                        | Ok () -> Ok ()
+                        | Error e -> fail "pre-crash sync: %s" (err_to_string e)
+                      in
+                      Hyperion_shard.crash store;
+                      let* store2 =
+                        match
+                          Hyperion_shard.open_durable ~config ~shards
+                            ~sync_every_ops:16 ~rotate_bytes:8192 d
+                        with
+                        | Ok s -> Ok s
+                        | Error e -> fail "reopen: %s" (err_to_string e)
+                      in
+                      let recs = Hyperion_shard.recoveries store2 in
+                      let replayed =
+                        List.fold_left
+                          (fun a r ->
+                            a + r.Hyperion_shard.recovery.Persist.replayed_ops)
+                          0 recs
+                      in
+                      let* () =
+                        closing store2
+                          (match
+                             sweep_against_oracle ~what:"post-recovery sweep"
+                               store2 oracle
+                           with
+                          | Some p -> fail "%s" p
+                          | None -> Ok ())
+                      in
+                      let* () =
+                        closing store2
+                          (match sharded_audit store2 with
+                          | Some p -> fail "post-recovery audit: %s" p
+                          | None -> Ok ())
+                      in
+                      (* liveness: the recovered front-end still accepts
+                         mutations *)
+                      let* () =
+                        closing store2
+                          (match
+                             Hyperion_shard.put_result store2
+                               "post/recovery/probe" 1L
+                           with
+                          | Ok () -> Ok ()
+                          | Error e ->
+                              fail "post-recovery put: %s" (err_to_string e))
+                      in
+                      let* () =
+                        match Hyperion_shard.close store2 with
+                        | Ok () -> Ok ()
+                        | Error e ->
+                            fail "post-recovery close: %s" (err_to_string e)
+                      in
+                      wipe_tree d;
+                      Ok
+                        {
+                          sh_shards = shards;
+                          sh_clients = clients;
+                          sh_ops = ops;
+                          sh_mutations = mutations;
+                          sh_batched = batched;
+                          sh_audits = !audits;
+                          sh_final_keys = final_keys;
+                          sh_recovered_shards = List.length recs;
+                          sh_replayed = replayed;
+                        }
+                    in
+                    match crash_dir with
+                    | None -> finish_in_memory ()
+                    | Some d -> crash_and_recover d))))
+
 (* --- crash-recovery chaos (DESIGN.md section 8 crash matrix) --------- *)
 
 type crash_outcome = {
@@ -165,16 +592,6 @@ let pp_crash_outcome fmt o =
     "%d ops logged (%d acked), killed via %s cutting %d byte(s), %d \
      rotation(s), recovered %d ops"
     o.ops_logged o.acked o.scenario o.cut_bytes o.rotations o.recovered
-
-type logged_op = L_put of string * int64 | L_add of string | L_del of string
-
-let wipe_dir dir =
-  if Sys.file_exists dir then begin
-    Array.iter
-      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
-      (Sys.readdir dir);
-    try Unix.rmdir dir with Unix.Unix_error _ -> ()
-  end
 
 let run_crash ?(config = H.Config.default) ?(key_space = 2048)
     ?(sync_every_ops = 16) ?(rotate_bytes = 8192) ~dir ~seed ~ops () =

@@ -47,6 +47,52 @@ val run :
     recovered by {!Persist.open_or_create} — instead of a fresh one; its
     current bindings seed the oracle. *)
 
+(** {1 Sharded chaos}
+
+    The multi-domain counterpart: several client domains hammer one
+    {!Hyperion_shard} front-end concurrently — blocking mutations, batched
+    flushes, direct reads — while the coordinator runs quiesced audits
+    (per-shard {!Hyperion.Validate} sweep plus the iter/length
+    point-in-time consistency check).  Clients own {e disjoint} key sets
+    (ids congruent to the client index), so although the interleaving is
+    nondeterministic, the final store state is deterministic in the seed
+    and must match a red-black-tree oracle byte for byte.
+
+    With [?dir], the store runs through the per-shard durability layer;
+    after the workload the run group-commits, simulates a process kill,
+    reopens the directory (parallel per-shard recovery) and demands the
+    recovered store again be byte-identical to the oracle. *)
+
+type sharded_outcome = {
+  sh_shards : int;
+  sh_clients : int;
+  sh_ops : int;
+  sh_mutations : int;  (** acknowledged mutations across all clients *)
+  sh_batched : int;  (** of those, shipped through the batch/flush path *)
+  sh_audits : int;  (** quiesced audits (concurrent + final) *)
+  sh_final_keys : int;
+  sh_recovered_shards : int;  (** shards reopened after the kill; 0 in-memory *)
+  sh_replayed : int;  (** WAL records replayed across shards at reopen *)
+}
+
+val pp_sharded_outcome : Format.formatter -> sharded_outcome -> unit
+
+val run_sharded :
+  ?config:Hyperion.Config.t ->
+  ?shards:int ->
+  ?clients:int ->
+  ?key_space:int ->
+  ?dir:string ->
+  seed:int64 ->
+  ops:int ->
+  unit ->
+  (sharded_outcome, string) result
+(** [run_sharded ~seed ~ops ()] splits [ops] across the clients (default
+    [min shards 4]).  Fault injection is not supported here — plans are
+    not domain-safe; the single-store chaos modes cover it.  [?dir] works
+    in [dir/shard-chaos-<seed>] (wiped before and after).  [Error msg]
+    embeds the seed and the failing check. *)
+
 (** {1 Crash-recovery chaos}
 
     The durability counterpart: a seeded workload is driven through a

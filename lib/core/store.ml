@@ -3,7 +3,9 @@ type t = {
   mms : Memman.t array;  (** one per arena *)
   locks : Mutex.t array;  (** one per arena *)
   tries : Types.trie array;  (** 1, or 256 routed by first key byte *)
-  counts : int array;  (** keys per trie, guarded by the arena lock *)
+  counts : int Atomic.t array;
+      (** keys per trie; written under the arena lock, read lock-free by
+          {!length} (atomic, so concurrent readers never see torn values) *)
 }
 
 let name = "Hyperion"
@@ -25,7 +27,8 @@ let create ?(config = Config.default) () =
           root = Hp.null;
         })
   in
-  { cfg = config; mms; locks; tries; counts = Array.make n_tries 0 }
+  { cfg = config; mms; locks; tries;
+    counts = Array.init n_tries (fun _ -> Atomic.make 0) }
 
 let create_default () = create ()
 let config t = t.cfg
@@ -45,7 +48,7 @@ let put_opt t key value =
   if String.length key = 0 then invalid_arg "Hyperion: empty key";
   let i = route t key in
   with_arena t i (fun () ->
-      if Ops.put t.tries.(i) key value then t.counts.(i) <- t.counts.(i) + 1)
+      if Ops.put t.tries.(i) key value then Atomic.incr t.counts.(i))
 
 let put t key value = put_opt t key (Some value)
 let add t key = put_opt t key None
@@ -71,7 +74,7 @@ let delete t key =
   let i = route t key in
   with_arena t i (fun () ->
       let removed = Ops.delete t.tries.(i) key in
-      if removed then t.counts.(i) <- t.counts.(i) - 1;
+      if removed then Atomic.decr t.counts.(i);
       removed)
 
 let range t ?start f =
@@ -102,7 +105,7 @@ let range t ?start f =
     done
   end
 
-let length t = Array.fold_left ( + ) 0 t.counts
+let length t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.counts
 
 (* --- typed-result mutation API ------------------------------------- *)
 
@@ -115,7 +118,7 @@ let put_result_opt t key value =
       with_arena t i (fun () ->
           match Ops.put_checked t.tries.(i) key value with
           | Ok added ->
-              if added then t.counts.(i) <- t.counts.(i) + 1;
+              if added then Atomic.incr t.counts.(i);
               Ok ()
           | Error _ as e -> e)
 
@@ -132,7 +135,7 @@ let delete_result t key =
       with_arena t i (fun () ->
           match Ops.delete t.tries.(i) key with
           | removed ->
-              if removed then t.counts.(i) <- t.counts.(i) - 1;
+              if removed then Atomic.decr t.counts.(i);
               Ok removed
           | exception Hyperion_error.Error e -> Error e)
 
@@ -148,19 +151,31 @@ let saturated_arenas t =
     (fun acc mm -> acc + if Memman.is_saturated mm then 1 else 0)
     0 t.mms
 
+(* Readers of memory-manager state take the owning arena's lock so a
+   concurrent mutator (another thread, or a shard worker domain) can never
+   expose them to a half-updated manager. *)
+let with_arena_of_mm t mm_idx f = with_arena t mm_idx f
+
 let memory_usage t =
-  Array.fold_left (fun acc mm -> acc + Memman.total_bytes mm) 0 t.mms
+  let total = ref 0 in
+  Array.iteri
+    (fun i mm ->
+      total := !total + with_arena_of_mm t i (fun () -> Memman.total_bytes mm))
+    t.mms;
+  !total
 
 let stats t =
   (* Tries share memory managers when arenas < 256, so the per-trie
      saturation bit from [Stats.collect] would overcount; recompute it from
-     the managers themselves. *)
-  let s =
-    Array.fold_left
-      (fun acc trie -> Stats.add acc (Stats.collect trie))
-      Stats.empty t.tries
-  in
-  { s with Stats.saturated_arenas = saturated_arenas t }
+     the managers themselves.  Each trie is walked under its arena lock:
+     the walk parses live container bytes, so racing a mutator would read
+     mid-splice garbage. *)
+  let s = ref Stats.empty in
+  Array.iteri
+    (fun i trie ->
+      s := with_arena t i (fun () -> Stats.add !s (Stats.collect trie)))
+    t.tries;
+  { !s with Stats.saturated_arenas = saturated_arenas t }
 
 let superbin_profile t =
   let merged =
@@ -173,9 +188,9 @@ let superbin_profile t =
           empty_bytes = 0;
         })
   in
-  Array.iter
-    (fun mm ->
-      let p = Memman.superbin_profile mm in
+  Array.iteri
+    (fun mm_i mm ->
+      let p = with_arena_of_mm t mm_i (fun () -> Memman.superbin_profile mm) in
       Array.iteri
         (fun i s ->
           merged.(i) <-
@@ -195,7 +210,13 @@ let superbin_profile t =
   merged
 
 let allocated_chunks t =
-  Array.fold_left (fun acc mm -> acc + Memman.allocated_chunk_count mm) 0 t.mms
+  let total = ref 0 in
+  Array.iteri
+    (fun i mm ->
+      total :=
+        !total + with_arena_of_mm t i (fun () -> Memman.allocated_chunk_count mm))
+    t.mms;
+  !total
 
 let internal_tries t = t.tries
 

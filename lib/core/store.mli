@@ -63,11 +63,20 @@ val range : t -> ?start:string -> (string -> int64 option -> bool) -> unit
 (** Ordered callback iteration from [start] (paper's range queries). *)
 
 val length : t -> int
+(** Number of stored keys.  Safe under concurrent mutators: the per-trie
+    counters are [Atomic.t], so the sum never contains torn values (it may
+    lag in-flight mutations by design). *)
+
 val memory_usage : t -> int
 (** Exact resident bytes of all memory managers (initialized bin segments,
-    metabin metadata, extended-bin heap segments). *)
+    metabin metadata, extended-bin heap segments).  Takes each arena's lock
+    while reading its manager, so it is safe under concurrent mutators. *)
 
 val stats : t -> Stats.t
+(** Full structural walk.  Each trie is walked under its arena lock, so
+    calling this while other threads mutate the store yields a well-formed
+    (per-arena-consistent) snapshot instead of parsing mid-splice bytes. *)
+
 val superbin_profile : t -> Memman.superbin_stats array
 (** Aggregated over all arenas; drives Figures 14 and 16. *)
 

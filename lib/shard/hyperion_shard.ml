@@ -1,0 +1,586 @@
+module H = Hyperion
+module E = Hyperion.Hyperion_error
+
+(* --- one-shot synchronisation cell (per-request promise) -------------- *)
+
+module Ivar = struct
+  type 'a t = {
+    m : Mutex.t;
+    c : Condition.t;
+    mutable v : 'a option;
+  }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let fill t v =
+    Mutex.lock t.m;
+    t.v <- Some v;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  let read t =
+    Mutex.lock t.m;
+    let rec wait () =
+      match t.v with
+      | Some v ->
+          Mutex.unlock t.m;
+          v
+      | None ->
+          Condition.wait t.c t.m;
+          wait ()
+    in
+    wait ()
+end
+
+(* --- requests --------------------------------------------------------- *)
+
+type op = Put of string * int64 | Add of string | Delete of string
+
+(* Workers parked between two requests; the coordinator reads all stores
+   while every [arrived] worker waits for [released]. *)
+type barrier = {
+  bm : Mutex.t;
+  bc : Condition.t;
+  mutable arrived : int;
+  mutable released : bool;
+}
+
+type msg =
+  | Mut of op * (bool, E.t) result Ivar.t
+      (** one mutation; the bool is [Delete]'s "was present" *)
+  | Batched of op array * (int, E.t) result Ivar.t
+      (** a per-shard batch slice; the int counts applied mutations *)
+  | Quiesce of barrier
+
+(* --- MPSC mailbox: bounded ring, mutex + condvars --------------------- *)
+
+type mailbox = {
+  mm : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  ring : msg option array;
+  mutable head : int;  (* next slot to dequeue *)
+  mutable len : int;
+  mutable accepting : bool;  (* senders rejected once the store closes *)
+  mutable stopping : bool;  (* worker exits after draining the backlog *)
+}
+
+let mailbox_create cap =
+  {
+    mm = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    ring = Array.make cap None;
+    head = 0;
+    len = 0;
+    accepting = true;
+    stopping = false;
+  }
+
+let send mb msg =
+  Mutex.lock mb.mm;
+  let cap = Array.length mb.ring in
+  while mb.len = cap && mb.accepting do
+    Condition.wait mb.not_full mb.mm
+  done;
+  if not mb.accepting then begin
+    Mutex.unlock mb.mm;
+    false
+  end
+  else begin
+    mb.ring.((mb.head + mb.len) mod cap) <- Some msg;
+    mb.len <- mb.len + 1;
+    Condition.signal mb.not_empty;
+    Mutex.unlock mb.mm;
+    true
+  end
+
+(* Drain the whole backlog in one lock acquisition; [None] = shut down. *)
+let drain mb =
+  Mutex.lock mb.mm;
+  while mb.len = 0 && not mb.stopping do
+    Condition.wait mb.not_empty mb.mm
+  done;
+  if mb.len = 0 then begin
+    Mutex.unlock mb.mm;
+    None
+  end
+  else begin
+    let cap = Array.length mb.ring in
+    let n = mb.len in
+    let out =
+      Array.init n (fun i ->
+          let slot = (mb.head + i) mod cap in
+          let m = Option.get mb.ring.(slot) in
+          mb.ring.(slot) <- None;
+          m)
+    in
+    mb.head <- (mb.head + n) mod cap;
+    mb.len <- 0;
+    Condition.broadcast mb.not_full;
+    Mutex.unlock mb.mm;
+    Some out
+  end
+
+let shut_down mb =
+  Mutex.lock mb.mm;
+  mb.accepting <- false;
+  mb.stopping <- true;
+  Condition.broadcast mb.not_empty;
+  Condition.broadcast mb.not_full;
+  Mutex.unlock mb.mm
+
+(* --- the sharded store ------------------------------------------------ *)
+
+type shard = {
+  store : H.Store.t;
+  persist : Persist.t option;
+  mb : mailbox;
+  mutable domain : unit Domain.t option;
+}
+
+type shard_recovery = {
+  shard : int;
+  recovery : Persist.recovery;
+}
+
+type t = {
+  cfg : H.Config.t;
+  tab : shard array;
+  recs : shard_recovery list;
+  qlock : Mutex.t;  (* serializes quiesce barriers and close/crash *)
+  mutable closed : bool;
+}
+
+let shards t = Array.length t.tab
+let durable t = Array.length t.tab > 0 && t.tab.(0).persist <> None
+let config t = t.cfg
+let recoveries t = t.recs
+
+let shard_dir ~dir i = Filename.concat dir (Printf.sprintf "shard-%03d" i)
+let manifest_file ~dir = Filename.concat dir "MANIFEST"
+
+let route_byte d b = b * d / 256
+let shard_of_key t key = route_byte (Array.length t.tab) (Char.code key.[0])
+
+(* --- worker ----------------------------------------------------------- *)
+
+let apply_op sh op : (bool, E.t) result =
+  match sh.persist with
+  | Some p -> (
+      match op with
+      | Put (k, v) -> (
+          match Persist.put p k v with Ok () -> Ok true | Error _ as e -> e)
+      | Add k -> (
+          match Persist.add p k with Ok () -> Ok true | Error _ as e -> e)
+      | Delete k -> Persist.delete p k)
+  | None -> (
+      match op with
+      | Put (k, v) -> (
+          match H.Store.put_result sh.store k v with
+          | Ok () -> Ok true
+          | Error _ as e -> e)
+      | Add k -> (
+          match H.Store.add_result sh.store k with
+          | Ok () -> Ok true
+          | Error _ as e -> e)
+      | Delete k -> H.Store.delete_result sh.store k)
+
+let worker sh () =
+  let handle = function
+    | Mut (op, iv) -> Ivar.fill iv (apply_op sh op)
+    | Batched (ops, iv) ->
+        let n = Array.length ops in
+        let rec go i applied =
+          if i >= n then Ivar.fill iv (Ok applied)
+          else
+            match apply_op sh ops.(i) with
+            | Ok _ -> go (i + 1) (applied + 1)
+            | Error e -> Ivar.fill iv (Error e)
+        in
+        go 0 0
+    | Quiesce b ->
+        Mutex.lock b.bm;
+        b.arrived <- b.arrived + 1;
+        Condition.broadcast b.bc;
+        while not b.released do
+          Condition.wait b.bc b.bm
+        done;
+        Mutex.unlock b.bm
+  in
+  let rec loop () =
+    match drain sh.mb with
+    | None -> ()
+    | Some msgs ->
+        Array.iter handle msgs;
+        loop ()
+  in
+  loop ()
+
+let start_workers tab =
+  Array.iter (fun sh -> sh.domain <- Some (Domain.spawn (worker sh))) tab
+
+(* --- construction ----------------------------------------------------- *)
+
+let max_shards = 64  (* worker domains live for the store's lifetime *)
+
+let check_geometry ~shards ~mailbox =
+  if shards < 1 || shards > max_shards then
+    invalid_arg
+      (Printf.sprintf "Hyperion_shard: shards must be in [1, %d]" max_shards);
+  if mailbox < 1 then invalid_arg "Hyperion_shard: mailbox must be >= 1"
+
+let create ?(config = H.Config.default) ?(shards = 4) ?(mailbox = 1024) () =
+  check_geometry ~shards ~mailbox;
+  let tab =
+    Array.init shards (fun _ ->
+        {
+          store = H.Store.create ~config ();
+          persist = None;
+          mb = mailbox_create mailbox;
+          domain = None;
+        })
+  in
+  start_workers tab;
+  { cfg = config; tab; recs = []; qlock = Mutex.create (); closed = false }
+
+(* The manifest pins the shard count: reopening with a different partition
+   would route keys to shards whose stores do not hold them. *)
+let read_manifest dir =
+  let path = manifest_file ~dir in
+  if not (Sys.file_exists path) then Ok None
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg -> Error (E.Io_error msg)
+    | text -> (
+        match int_of_string_opt (String.trim text) with
+        | Some d when d >= 1 && d <= max_shards -> Ok (Some d)
+        | _ ->
+            Error
+              (E.Io_error
+                 (Printf.sprintf "%s: unreadable shard manifest %S" path text)))
+
+let write_manifest dir d =
+  try
+    Out_channel.with_open_text (manifest_file ~dir) (fun oc ->
+        Printf.fprintf oc "%d\n" d);
+    Ok ()
+  with Sys_error msg -> Error (E.Io_error msg)
+
+let recovery_wave = 8  (* parallel recovery domains per wave *)
+
+let open_durable ?(config = H.Config.default) ?shards ?sync_every_ops
+    ?sync_every_bytes ?rotate_bytes ?(mailbox = 1024) dir =
+  let ( let* ) = Result.bind in
+  let* () =
+    match
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+      else if not (Sys.is_directory dir) then
+        raise (Sys_error (dir ^ ": not a directory"))
+    with
+    | () -> Ok ()
+    | exception Unix.Unix_error (e, fn, _) ->
+        Error (E.Io_error (Printf.sprintf "%s: %s: %s" dir fn (Unix.error_message e)))
+    | exception Sys_error msg -> Error (E.Io_error msg)
+  in
+  let* recorded = read_manifest dir in
+  let* d =
+    match (recorded, shards) with
+    | Some d, None -> Ok d
+    | Some d, Some requested when d = requested -> Ok d
+    | Some d, Some requested ->
+        Error
+          (E.Io_error
+             (Printf.sprintf
+                "%s: directory is partitioned into %d shard(s), not %d"
+                dir d requested))
+    | None, requested ->
+        let d = Option.value requested ~default:4 in
+        check_geometry ~shards:d ~mailbox;
+        let* () = write_manifest dir d in
+        Ok d
+  in
+  check_geometry ~shards:d ~mailbox;
+  (* Parallel recovery: one domain per shard, in bounded waves. *)
+  let results = Array.make d (Error (E.Io_error "recovery never ran")) in
+  let rec waves i =
+    if i < d then begin
+      let n = min recovery_wave (d - i) in
+      let doms =
+        Array.init n (fun j ->
+            Domain.spawn (fun () ->
+                Persist.open_or_create ~config ?sync_every_ops
+                  ?sync_every_bytes ?rotate_bytes
+                  (shard_dir ~dir (i + j))))
+      in
+      Array.iteri (fun j dom -> results.(i + j) <- Domain.join dom) doms;
+      waves (i + n)
+    end
+  in
+  waves 0;
+  let first_error =
+    Array.fold_left
+      (fun acc r ->
+        match (acc, r) with None, Error e -> Some e | _ -> acc)
+      None results
+  in
+  match first_error with
+  | Some e ->
+      Array.iter
+        (function Ok p -> ignore (Persist.close p) | Error _ -> ())
+        results;
+      Error e
+  | None ->
+      let handles = Array.map (function Ok p -> p | Error _ -> assert false) results in
+      let tab =
+        Array.map
+          (fun p ->
+            {
+              store = Persist.store p;
+              persist = Some p;
+              mb = mailbox_create mailbox;
+              domain = None;
+            })
+          handles
+      in
+      let recs =
+        Array.to_list
+          (Array.mapi
+             (fun i p -> { shard = i; recovery = Persist.recovery p })
+             handles)
+      in
+      start_workers tab;
+      Ok { cfg = config; tab; recs; qlock = Mutex.create (); closed = false }
+
+(* --- blocking operations ---------------------------------------------- *)
+
+let closed_error t = E.Io_error ((if durable t then "durable " else "") ^ "sharded store closed")
+
+let submit t key op =
+  let sh = t.tab.(shard_of_key t key) in
+  let iv = Ivar.create () in
+  if send sh.mb (Mut (op, iv)) then Ivar.read iv else Error (closed_error t)
+
+let key_check key = H.Ops.key_error key
+
+let put_result t key v =
+  match key_check key with
+  | Some e -> Error e
+  | None -> (
+      match submit t key (Put (key, v)) with
+      | Ok _ -> Ok ()
+      | Error _ as e -> e)
+
+let add_result t key =
+  match key_check key with
+  | Some e -> Error e
+  | None -> (
+      match submit t key (Add key) with Ok _ -> Ok () | Error _ as e -> e)
+
+let delete_result t key =
+  match key_check key with
+  | Some e -> Error e
+  | None -> submit t key (Delete key)
+
+let ok_or_raise = function Ok v -> v | Error e -> E.fail e
+
+let put t key v =
+  if String.length key = 0 then invalid_arg "Hyperion_shard: empty key";
+  ok_or_raise (put_result t key v)
+
+let add t key =
+  if String.length key = 0 then invalid_arg "Hyperion_shard: empty key";
+  ok_or_raise (add_result t key)
+
+let delete t key =
+  if String.length key = 0 then invalid_arg "Hyperion_shard: empty key";
+  ok_or_raise (delete_result t key)
+
+let get t key =
+  if String.length key = 0 then invalid_arg "Hyperion_shard: empty key";
+  H.Store.get t.tab.(shard_of_key t key).store key
+
+let mem t key =
+  if String.length key = 0 then invalid_arg "Hyperion_shard: empty key";
+  H.Store.mem t.tab.(shard_of_key t key).store key
+
+(* --- batched mutations ------------------------------------------------ *)
+
+module Batch = struct
+  type b = {
+    owner : t;
+    pending : op list array;  (* per shard, newest first *)
+    mutable count : int;
+  }
+
+  let create owner =
+    {
+      owner;
+      pending = Array.make (Array.length owner.tab) [];
+      count = 0;
+    }
+
+  let push b key op =
+    if String.length key = 0 then invalid_arg "Hyperion_shard: empty key";
+    let i = shard_of_key b.owner key in
+    b.pending.(i) <- op :: b.pending.(i);
+    b.count <- b.count + 1
+
+  let put b key v = push b key (Put (key, v))
+  let add b key = push b key (Add key)
+  let delete b key = push b key (Delete key)
+  let length b = b.count
+
+  let flush b =
+    if b.count = 0 then Ok 0
+    else begin
+      let waits = ref [] and rejected = ref false in
+      Array.iteri
+        (fun i ops ->
+          if ops <> [] then begin
+            let slice = Array.of_list (List.rev ops) in
+            b.pending.(i) <- [];
+            let iv = Ivar.create () in
+            if send b.owner.tab.(i).mb (Batched (slice, iv)) then
+              waits := iv :: !waits
+            else rejected := true
+          end)
+        b.pending;
+      b.count <- 0;
+      let rec collect applied err = function
+        | [] -> (
+            match err with
+            | Some e -> Error e
+            | None -> if !rejected then Error (closed_error b.owner) else Ok applied)
+        | iv :: rest -> (
+            match Ivar.read iv with
+            | Ok n -> collect (applied + n) err rest
+            | Error e ->
+                (* waits is in reverse shard order, so the last error seen
+                   (lowest shard) overwrites earlier ones *)
+                collect applied (Some e) rest)
+      in
+      collect 0 None !waits
+    end
+end
+
+(* --- quiescence barrier ----------------------------------------------- *)
+
+let with_quiesced t f =
+  let stores = Array.map (fun sh -> sh.store) t.tab in
+  Mutex.lock t.qlock;
+  if t.closed then
+    (* workers are gone; the stores are frozen already *)
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.qlock) (fun () -> f stores)
+  else begin
+    let b =
+      { bm = Mutex.create (); bc = Condition.create (); arrived = 0; released = false }
+    in
+    let posted =
+      Array.fold_left
+        (fun n sh -> if send sh.mb (Quiesce b) then n + 1 else n)
+        0 t.tab
+    in
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.qlock)
+      (fun () ->
+        Mutex.lock b.bm;
+        while b.arrived < posted do
+          Condition.wait b.bc b.bm
+        done;
+        Fun.protect
+          ~finally:(fun () ->
+            b.released <- true;
+            Condition.broadcast b.bc;
+            Mutex.unlock b.bm)
+          (fun () -> f stores))
+  end
+
+let iter t f =
+  with_quiesced t (fun stores ->
+      Array.iter (fun s -> H.Store.iter s f) stores)
+
+let fold t ~init ~f =
+  with_quiesced t (fun stores ->
+      Array.fold_left (fun acc s -> H.Store.fold s ~init:acc ~f) init stores)
+
+let length t =
+  with_quiesced t (fun stores ->
+      Array.fold_left (fun acc s -> acc + H.Store.length s) 0 stores)
+
+let stats t =
+  with_quiesced t (fun stores ->
+      Array.fold_left
+        (fun acc s -> H.Stats.add acc (H.Store.stats s))
+        H.Stats.empty stores)
+
+let memory_usage t =
+  with_quiesced t (fun stores ->
+      Array.fold_left (fun acc s -> acc + H.Store.memory_usage s) 0 stores)
+
+let saturated_arenas t =
+  with_quiesced t (fun stores ->
+      Array.fold_left (fun acc s -> acc + H.Store.saturated_arenas s) 0 stores)
+
+(* --- durability control ----------------------------------------------- *)
+
+let first_error results =
+  Array.fold_left
+    (fun acc r -> match (acc, r) with None, Error e -> Some e | _ -> acc)
+    None results
+
+(* [sync]/[snapshot_now] go straight to the per-shard Persist handles: the
+   handle serialises against its worker internally, and a quiescence
+   barrier here would only narrow (not close) the race with in-flight
+   mutations the caller has not been acknowledged for. *)
+let on_handles t f =
+  if t.closed then Error (closed_error t)
+  else
+    let results =
+      Array.map
+        (fun sh -> match sh.persist with Some p -> f p | None -> Ok ())
+        t.tab
+    in
+    match first_error results with Some e -> Error e | None -> Ok ()
+
+let sync t = on_handles t Persist.sync
+let snapshot_now t = on_handles t Persist.snapshot_now
+
+let stop_workers t =
+  Mutex.lock t.qlock;
+  if t.closed then begin
+    Mutex.unlock t.qlock;
+    false
+  end
+  else begin
+    t.closed <- true;
+    Array.iter (fun sh -> shut_down sh.mb) t.tab;
+    Array.iter
+      (fun sh ->
+        match sh.domain with
+        | Some d ->
+            Domain.join d;
+            sh.domain <- None
+        | None -> ())
+      t.tab;
+    Mutex.unlock t.qlock;
+    true
+  end
+
+let close t =
+  if not (stop_workers t) then Ok ()
+  else begin
+    let results =
+      Array.map
+        (fun sh ->
+          match sh.persist with Some p -> Persist.close p | None -> Ok ())
+        t.tab
+    in
+    match first_error results with Some e -> Error e | None -> Ok ()
+  end
+
+let crash t =
+  if stop_workers t then
+    Array.iter
+      (fun sh -> match sh.persist with Some p -> Persist.crash p | None -> ())
+      t.tab

@@ -1,0 +1,157 @@
+(** Multi-domain sharded front-end over {!Hyperion.Store}.
+
+    The keyspace is partitioned by the first key byte into [D] contiguous
+    ranges (shard [i] owns bytes [[i*256/D, (i+1)*256/D)]), one private
+    {!Hyperion.Store.t} per range.  Each store is {e single-writer}: all
+    mutations are executed by one worker domain that drains a bounded
+    mutex+condvar ring mailbox in batches, so the stores themselves never
+    see concurrent mutators.  Point reads bypass the mailbox and run on the
+    caller's domain — the store's arena locks make a read racing the worker
+    safe, and a read issued after a mutation was acknowledged observes it.
+
+    Because the partition is an order-preserving byte-range split, visiting
+    the shards in index order yields the global ascending key order; {!iter}
+    and friends do exactly that under a {e quiescence barrier} (every worker
+    parked between requests), so cross-shard reads are a consistent
+    point-in-time cut of the whole keyspace.
+
+    With {!open_durable}, each shard owns a private snapshot+WAL generation
+    directory ([<dir>/shard-NNN], see {!Persist}) recovered in parallel at
+    open; mutations are logged through the shard's {!Persist.t} handle by
+    its worker domain, so the WAL order equals the apply order. *)
+
+type t
+
+val create :
+  ?config:Hyperion.Config.t -> ?shards:int -> ?mailbox:int -> unit -> t
+(** [create ()] starts [shards] worker domains (default 4, clamped to
+    [1, 64]) over fresh in-memory stores.  [mailbox] bounds each shard's
+    request ring (default 1024 requests; senders block when full).
+    @raise Invalid_argument on out-of-range [shards] or [mailbox]. *)
+
+type shard_recovery = {
+  shard : int;
+  recovery : Persist.recovery;
+}
+
+val open_durable :
+  ?config:Hyperion.Config.t ->
+  ?shards:int ->
+  ?sync_every_ops:int ->
+  ?sync_every_bytes:int ->
+  ?rotate_bytes:int ->
+  ?mailbox:int ->
+  string ->
+  (t, Hyperion.Hyperion_error.t) result
+(** [open_durable dir] opens (creating when absent) one {!Persist}
+    durability directory per shard under [dir] and recovers all of them in
+    parallel (bounded waves of recovery domains).  The shard count is
+    recorded in [dir/MANIFEST] on first creation; reopening uses the
+    recorded count, and passing [?shards] that contradicts it is an
+    [Io_error].  The per-shard knobs ([sync_every_ops], [sync_every_bytes],
+    [rotate_bytes]) are forwarded to {!Persist.open_or_create}. *)
+
+val shards : t -> int
+val durable : t -> bool
+val config : t -> Hyperion.Config.t
+
+val recoveries : t -> shard_recovery list
+(** What each shard's recovery found, ascending by shard; [[]] for
+    in-memory stores. *)
+
+val shard_of_key : t -> string -> int
+(** The shard owning a (non-empty) key: [first_byte * shards / 256]. *)
+
+(** {1 Blocking operations}
+
+    Mirror {!Hyperion.Store}: the call returns once the owning worker has
+    applied (and, when durable, logged) the mutation.  The exception-based
+    variants raise {!Hyperion.Hyperion_error.Error} exactly as the store
+    does; the [_result] variants return the same failures as values.
+    [get]/[mem] run immediately on the calling domain. *)
+
+val put : t -> string -> int64 -> unit
+val add : t -> string -> unit
+val delete : t -> string -> bool
+val get : t -> string -> int64 option
+val mem : t -> string -> bool
+
+val put_result : t -> string -> int64 -> (unit, Hyperion.Hyperion_error.t) result
+val add_result : t -> string -> (unit, Hyperion.Hyperion_error.t) result
+val delete_result : t -> string -> (bool, Hyperion.Hyperion_error.t) result
+
+(** {1 Batched mutations}
+
+    The amortized path: accumulate mutations locally, then {!Batch.flush}
+    ships each shard's slice as one mailbox message and blocks until every
+    involved worker has applied its slice.  One flush costs one mailbox
+    round-trip per {e involved shard} instead of one per operation — this
+    is what makes sharded ingest scale (see bench [shards]). *)
+
+module Batch : sig
+  type b
+
+  val create : t -> b
+  (** An empty reusable batch bound to the store. *)
+
+  val put : b -> string -> int64 -> unit
+  val add : b -> string -> unit
+  val delete : b -> string -> unit
+  val length : b -> int  (** Operations buffered and not yet flushed. *)
+
+  val flush : b -> (int, Hyperion.Hyperion_error.t) result
+  (** Apply all buffered operations, per shard in buffer order, and empty
+      the batch.  [Ok n] is the number of mutations applied.  On the first
+      error inside a shard that shard stops applying its slice, but {e
+      other} shards still apply theirs (shards are independent); the first
+      error (lowest shard index) is returned. *)
+end
+
+(** {1 Quiesced cross-shard reads}
+
+    All of these pause every worker at a barrier between two requests, so
+    they observe a single consistent point in time of the whole keyspace:
+    every acknowledged mutation is visible, no mutation is half-visible,
+    and concurrent quiesced readers serialize. *)
+
+val with_quiesced : t -> (Hyperion.Store.t array -> 'a) -> 'a
+(** [with_quiesced t f] runs [f] over the quiescent per-shard stores
+    (index = shard id).  [f] must only read; the workers resume when it
+    returns (or raises). *)
+
+val iter : t -> (string -> int64 option -> unit) -> unit
+(** Every binding in global ascending key order (shard ranges are
+    contiguous, so shard order is key order). *)
+
+val fold : t -> init:'a -> f:('a -> string -> int64 option -> 'a) -> 'a
+val length : t -> int
+val stats : t -> Hyperion.Stats.t
+val memory_usage : t -> int
+val saturated_arenas : t -> int
+
+(** {1 Durability control}
+
+    No-ops ([Ok ()]) on in-memory stores. *)
+
+val sync : t -> (unit, Hyperion.Hyperion_error.t) result
+(** Group-commit every shard's WAL now (worker-ordered: issued through the
+    mailboxes, so everything acknowledged before [sync] is durable when it
+    returns [Ok]). *)
+
+val snapshot_now : t -> (unit, Hyperion.Hyperion_error.t) result
+(** Rotate every shard into a fresh snapshot generation. *)
+
+val close : t -> (unit, Hyperion.Hyperion_error.t) result
+(** Drain and stop all workers, then close the per-shard durability
+    handles.  Further mutations are rejected ([Io_error]); quiesced reads
+    keep working on the final state.  Idempotent. *)
+
+val crash : t -> unit
+(** Simulate a process kill for crash tests: stop workers without the
+    final sync and poison the durability handles ({!Persist.crash}). *)
+
+(**/**)
+
+val shard_dir : dir:string -> int -> string
+val manifest_file : dir:string -> string
+(** On-disk layout of {!open_durable}, for tests and tooling. *)

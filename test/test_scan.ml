@@ -1,0 +1,232 @@
+(* Direct unit tests of the container scanner (Scan.find_t / find_s):
+   jump-accelerated vs. plain linear agreement, the documented predecessor
+   semantics after a jump (prev = -1, why deletions pass ~use_jumps:false),
+   and the traversed/scanned counters that drive jump-table growth. *)
+
+module T = Hyperion.Types
+module L = Hyperion.Layout
+module R = Hyperion.Records
+module S = Hyperion.Scan
+
+let cfg = { Hyperion.Config.default with chunks_per_bin = 64 }
+
+let t_rec key =
+  Hyperion.Encode.t_record ~prev_key:(-1) ~key:(Char.code key)
+    ~typ:Hyperion.Node.Leaf_no_value ~value:None
+
+(* A fresh container holding the given record content, opened as a cbox. *)
+let open_fresh content =
+  let trie = Hyperion.Ops.create cfg in
+  let hp = Hyperion.Splice.new_container trie content in
+  trie.T.root <- hp;
+  Hyperion.Splice.open_container trie hp ~tkey:0 ~where:T.W_root
+
+(* A container with records A, M, Z and a hand-written one-level container
+   jump table whose single entry targets M.  The 28 zero bytes reserved in
+   the content become the jump-table area once J is bumped to 1. *)
+let open_with_jump_table () =
+  let pad = String.make (7 * L.jt_entry_size) '\000' in
+  let cbox = open_fresh (pad ^ t_rec 'A' ^ t_rec 'M' ^ t_rec 'Z') in
+  L.set_jump_levels cbox.T.buf cbox.T.base 1;
+  let m_off = L.header_size + (7 * L.jt_entry_size) + 2 in
+  L.jt_write cbox.T.buf cbox.T.base 0 ~key:(Char.code 'M') ~off:m_off;
+  Alcotest.(check int) "one jump level" 7 (L.jt_count cbox.T.buf cbox.T.base);
+  (cbox, T.top_region cbox.T.buf cbox.T.base)
+
+let find_key cbox region ~use_jumps k =
+  S.find_t ~use_jumps cbox region (Char.code k) ~traversed:(ref 0)
+
+let test_jump_hit_prev_unknown () =
+  let cbox, region = open_with_jump_table () in
+  (match find_key cbox region ~use_jumps:true 'M' with
+  | S.T_found (t, prev) ->
+      Alcotest.(check int) "key" (Char.code 'M') t.R.t_key;
+      (* the jump target's own predecessor is unknown: reported as -1 *)
+      Alcotest.(check int) "prev unknown after jump" (-1) prev
+  | S.T_insert _ -> Alcotest.fail "M not found via jump");
+  (* the delete path passes ~use_jumps:false precisely to get the real
+     predecessor back *)
+  match find_key cbox region ~use_jumps:false 'M' with
+  | S.T_found (t, prev) ->
+      Alcotest.(check int) "key" (Char.code 'M') t.R.t_key;
+      Alcotest.(check int) "exact predecessor" (Char.code 'A') prev
+  | S.T_insert _ -> Alcotest.fail "M not found linearly"
+
+let test_jump_then_walk_prev_known () =
+  let cbox, region = open_with_jump_table () in
+  match find_key cbox region ~use_jumps:true 'Z' with
+  | S.T_found (t, prev) ->
+      Alcotest.(check int) "key" (Char.code 'Z') t.R.t_key;
+      (* records walked past after the jump have a known predecessor *)
+      Alcotest.(check int) "prev is the jump target" (Char.code 'M') prev
+  | S.T_insert _ -> Alcotest.fail "Z not found"
+
+let test_traversed_growth () =
+  let cbox, region = open_with_jump_table () in
+  let linear = ref 0 and jumped = ref 0 in
+  ignore (S.find_t ~use_jumps:false cbox region (Char.code 'Z') ~traversed:linear);
+  ignore (S.find_t ~use_jumps:true cbox region (Char.code 'Z') ~traversed:jumped);
+  Alcotest.(check int) "linear scan parses A, M, Z" 3 !linear;
+  Alcotest.(check int) "jump scan parses M, Z" 2 !jumped;
+  (* the counter accumulates across calls — Ops feeds the same ref through
+     a whole operation to decide when the container jump table must grow *)
+  ignore (S.find_t ~use_jumps:false cbox region (Char.code 'A') ~traversed:linear);
+  Alcotest.(check int) "accumulates" 4 !linear
+
+let test_insert_positions_agree () =
+  let cbox, region = open_with_jump_table () in
+  (* 'Q' is between M and Z: with jumps the scan starts at M, without it at
+     A; the insertion point must come out identical *)
+  let at_of = function
+    | S.T_insert { t_at; _ } -> t_at
+    | S.T_found _ -> Alcotest.fail "Q unexpectedly present"
+  in
+  let a1 = at_of (find_key cbox region ~use_jumps:true 'Q') in
+  let a2 = at_of (find_key cbox region ~use_jumps:false 'Q') in
+  Alcotest.(check int) "same insertion position" a2 a1;
+  (* past the end *)
+  let e1 = at_of (find_key cbox region ~use_jumps:true '~') in
+  Alcotest.(check int) "append position is the region end" region.T.re e1
+
+(* --- find_s over hand-built S-children ------------------------------- *)
+
+let s_rec prev key =
+  Hyperion.Encode.s_record ~prev_key:prev ~key:(Char.code key)
+    ~typ:Hyperion.Node.Leaf_no_value ~value:None ~child:Hyperion.Node.No_child
+
+let open_with_children () =
+  (* T 'a' (inner) with S children p, q, v; then terminal T 'b' *)
+  let t_a =
+    Hyperion.Encode.t_record ~prev_key:(-1) ~key:(Char.code 'a')
+      ~typ:Hyperion.Node.Inner ~value:None
+  in
+  let cbox =
+    open_fresh (t_a ^ s_rec (-1) 'p' ^ s_rec (-1) 'q' ^ s_rec (-1) 'v' ^ t_rec 'b')
+  in
+  let region = T.top_region cbox.T.buf cbox.T.base in
+  match S.find_t ~use_jumps:false cbox region (Char.code 'a') ~traversed:(ref 0) with
+  | S.T_found (t, _) -> (cbox, region, t)
+  | S.T_insert _ -> Alcotest.fail "T 'a' missing"
+
+let test_find_s_found_and_prev () =
+  let cbox, region, t = open_with_children () in
+  (match S.find_s cbox region t (Char.code 'q') with
+  | S.S_found (s, prev) ->
+      Alcotest.(check int) "key" (Char.code 'q') s.R.s_key;
+      Alcotest.(check int) "prev sibling" (Char.code 'p') prev
+  | S.S_insert _ -> Alcotest.fail "q not found");
+  match S.find_s cbox region t (Char.code 'p') with
+  | S.S_found (_, prev) -> Alcotest.(check int) "first child has no prev" (-1) prev
+  | S.S_insert _ -> Alcotest.fail "p not found"
+
+let test_find_s_insert_and_scanned () =
+  let cbox, region, t = open_with_children () in
+  (* 's' falls between children q and v *)
+  (match S.find_s cbox region t (Char.code 's') with
+  | S.S_insert { s_at; s_prev_key; s_succ } ->
+      Alcotest.(check int) "prev" (Char.code 'q') s_prev_key;
+      (match s_succ with
+      | Some s -> Alcotest.(check int) "succ is v" (Char.code 'v') s.R.s_key
+      | None -> Alcotest.fail "expected a successor");
+      Alcotest.(check int) "insert before v"
+        (S.t_children_end cbox region t - 2)
+        s_at
+  | S.S_found _ -> Alcotest.fail "phantom child");
+  (* scanned counts examined S-records: p, q, r then the region end *)
+  let scanned = ref 0 in
+  ignore (S.find_s ~scanned cbox region t (Char.code 'z'));
+  Alcotest.(check bool) "scanned all three children" true (!scanned >= 3)
+
+(* --- jump vs. linear agreement on a real, organically grown trie ----- *)
+
+let grown_cfg =
+  {
+    Hyperion.Config.default with
+    chunks_per_bin = 64;
+    container_jt_threshold = 2;
+    tnode_jt_threshold = 4;
+    js_threshold = 2;
+  }
+
+let test_agreement_on_grown_trie () =
+  let trie = Hyperion.Ops.create grown_cfg in
+  let keys = ref [] in
+  for a = 0 to 29 do
+    for b = 0 to 5 do
+      let key =
+        Printf.sprintf "%c%c" (Char.chr (40 + (a * 7))) (Char.chr (50 + (b * 9)))
+      in
+      keys := key :: !keys;
+      ignore (Hyperion.Ops.put trie key (Some (Int64.of_int ((a * 8) + b))))
+    done
+  done;
+  (* scans grow the container and T-node jump tables *)
+  for _pass = 0 to 3 do
+    List.iter (fun k -> ignore (Hyperion.Ops.find trie k)) !keys
+  done;
+  Alcotest.(check bool) "single unsplit container" false
+    (Hyperion.Memman.is_chained trie.T.mm trie.T.root);
+  let cbox =
+    Hyperion.Splice.open_container trie trie.T.root ~tkey:0 ~where:T.W_root
+  in
+  let region = T.top_region cbox.T.buf cbox.T.base in
+  Alcotest.(check bool) "container jump table grew" true
+    (L.jt_count cbox.T.buf cbox.T.base > 0);
+  let jt_tnodes = ref 0 in
+  for k0 = 0 to 255 do
+    let r1 = S.find_t ~use_jumps:true cbox region k0 ~traversed:(ref 0) in
+    let r2 = S.find_t ~use_jumps:false cbox region k0 ~traversed:(ref 0) in
+    match (r1, r2) with
+    | S.T_found (t1, _), S.T_found (t2, _) ->
+        Alcotest.(check int)
+          (Printf.sprintf "t=%d found at same position" k0)
+          t2.R.t_pos t1.R.t_pos;
+        if t1.R.t_jt_pos >= 0 then incr jt_tnodes;
+        for k1 = 0 to 255 do
+          let s1 = S.find_s ~use_jumps:true cbox region t1 k1 in
+          let s2 = S.find_s ~use_jumps:false cbox region t2 k1 in
+          match (s1, s2) with
+          | S.S_found (a, _), S.S_found (b, _) ->
+              Alcotest.(check int)
+                (Printf.sprintf "s=%d/%d same position" k0 k1)
+                b.R.s_pos a.R.s_pos
+          | S.S_insert { s_at = a; _ }, S.S_insert { s_at = b; _ } ->
+              Alcotest.(check int)
+                (Printf.sprintf "s=%d/%d same insert point" k0 k1)
+                b a
+          | _ ->
+              Alcotest.fail
+                (Printf.sprintf "s=%d/%d found/insert disagreement" k0 k1)
+        done
+    | S.T_insert { t_at = a; _ }, S.T_insert { t_at = b; _ } ->
+        Alcotest.(check int) (Printf.sprintf "t=%d same insert point" k0) b a
+    | _ -> Alcotest.fail (Printf.sprintf "t=%d found/insert disagreement" k0)
+  done;
+  Alcotest.(check bool) "some T-node jump tables exercised" true (!jt_tnodes > 0)
+
+let () =
+  Alcotest.run "scan"
+    [
+      ( "find_t",
+        [
+          Alcotest.test_case "jump hit reports prev -1" `Quick
+            test_jump_hit_prev_unknown;
+          Alcotest.test_case "post-jump walk knows prev" `Quick
+            test_jump_then_walk_prev_known;
+          Alcotest.test_case "traversed counter" `Quick test_traversed_growth;
+          Alcotest.test_case "insert positions agree" `Quick
+            test_insert_positions_agree;
+        ] );
+      ( "find_s",
+        [
+          Alcotest.test_case "found + predecessor" `Quick
+            test_find_s_found_and_prev;
+          Alcotest.test_case "insert point + scanned" `Quick
+            test_find_s_insert_and_scanned;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "jump vs linear on grown trie" `Quick
+            test_agreement_on_grown_trie;
+        ] );
+    ]
