@@ -22,6 +22,17 @@
                       put <key> <value> | add <key> | get <key>
                       del <key> | range <start> <limit> | audit
                       save <dir> | load <dir> | stats | quit
+     metrics        load a snapshot file (or recover --dir), probe it with
+                    an instrumented read sweep, and print the telemetry
+                    registry in the Prometheus text exposition format
+                    (structural gauges, op latency summaries, jump-table
+                    counters, slow-op trace ring)
+     bench          run a telemetry-instrumented experiment (insert):
+                    two passes (telemetry off/on) report throughput,
+                    latency percentiles and the measured telemetry
+                    overhead; --json DIR writes BENCH_insert.json
+                    (schema 2), --metrics-every K dumps the exposition
+                    every K*10k ops
 
    --shards D (load-ints, load-ngrams, chaos, save, load, recover) routes
    the subcommand through the multi-domain sharded front-end: D worker
@@ -239,7 +250,7 @@ let audit dir =
       check "close" (Persist.close p);
       exit (if violations > 0 then 1 else 0)
 
-let chaos seed ops per_mille crash dir shards =
+let chaos seed ops per_mille crash dir shards metrics_every =
   check_shards shards;
   if per_mille < 0 || per_mille > 1000 then begin
     prerr_endline "chaos: --per-mille must be in [0, 1000]";
@@ -249,6 +260,27 @@ let chaos seed ops per_mille crash dir shards =
     prerr_endline "chaos: --ops must be non-negative";
     exit 2
   end;
+  if metrics_every < 0 then begin
+    prerr_endline "chaos: --metrics-every must be non-negative";
+    exit 2
+  end;
+  if metrics_every > 0 then Telemetry.set_enabled true;
+  (* single-store runs dump mid-run through the per-op hook; the sharded
+     and crash modes drive their workload internally and dump at the end *)
+  let on_op =
+    if metrics_every > 0 && shards = 1 && not crash then
+      Some
+        (fun op ->
+          if (op + 1) mod (metrics_every * 1000) = 0 then
+            print_string (Telemetry.dump ()))
+    else None
+  in
+  let final_dump () =
+    if metrics_every > 0 then begin
+      print_string (Telemetry.dump ());
+      print_string (Telemetry.Trace.dump ())
+    end
+  in
   if shards > 1 then begin
     (* concurrent client domains against the sharded front-end; fault plans
        are not domain-safe, so this mode always runs fault-free *)
@@ -274,7 +306,8 @@ let chaos seed ops per_mille crash dir shards =
     with
     | Ok o ->
         Format.printf "chaos --shards %d: OK — %a@." shards
-          Chaos.pp_sharded_outcome o
+          Chaos.pp_sharded_outcome o;
+        final_dump ()
     | Error msg ->
         prerr_endline msg;
         exit 1
@@ -290,7 +323,9 @@ let chaos seed ops per_mille crash dir shards =
        Printf.eprintf "chaos: cannot create %s: %s\n" dir (Unix.error_message e);
        exit 2);
     match Chaos.run_crash ~config:default_config ~dir ~seed ~ops () with
-    | Ok o -> Format.printf "chaos --crash: OK — %a@." Chaos.pp_crash_outcome o
+    | Ok o ->
+        Format.printf "chaos --crash: OK — %a@." Chaos.pp_crash_outcome o;
+        final_dump ()
     | Error msg ->
         prerr_endline msg;
         exit 1
@@ -310,11 +345,12 @@ let chaos seed ops per_mille crash dir shards =
              log), so drop the handle without writing anything back *)
           (Some (Persist.store p), fun () -> Persist.crash p)
     in
-    match Chaos.run ?store ~plan ~seed ~ops () with
+    match Chaos.run ?store ?on_op ~plan ~seed ~ops () with
     | Ok o ->
         finish ();
         Format.printf "chaos: OK — %a@." Chaos.pp_outcome o;
-        Format.printf "plan : %s@." (Fault.describe plan)
+        Format.printf "plan : %s@." (Fault.describe plan);
+        final_dump ()
     | Error msg ->
         finish ();
         prerr_endline msg;
@@ -460,6 +496,142 @@ let repl () =
   in
   loop ()
 
+(* Structural gauges only the exporter knows how to fill: set once from a
+   Stats sweep right before dumping, so the exposition carries the store's
+   shape alongside the hot-path latency summaries. *)
+let g_keys =
+  Telemetry.Gauge.make "hyperion_store_keys" ~help:"Keys resident in the store"
+
+let g_bytes =
+  Telemetry.Gauge.make "hyperion_store_resident_bytes"
+    ~help:"Arena bytes resident"
+
+let g_containers =
+  Telemetry.Gauge.make "hyperion_store_containers"
+    ~help:"Containers in the trie"
+
+let g_saturated =
+  Telemetry.Gauge.make "hyperion_store_saturated_arenas"
+    ~help:"Arenas gone read-only after memory exhaustion"
+
+let set_structural_gauges ~keys ~bytes st =
+  Telemetry.Gauge.set g_keys keys;
+  Telemetry.Gauge.set g_bytes bytes;
+  Telemetry.Gauge.set g_containers st.Hyperion.Stats.containers;
+  Telemetry.Gauge.set g_saturated st.Hyperion.Stats.saturated_arenas
+
+(* Ordered sweep collecting every key, then an instrumented point-get per
+   key (capped at [probe]): populates the get-latency histogram and the
+   jump-table hit/miss counters on a store that was only ever loaded. *)
+let probe_sweep ~probe ~iter ~get =
+  let keys = ref [] and n = ref 0 in
+  iter (fun k _ ->
+      if !n < probe then begin
+        keys := k :: !keys;
+        incr n
+      end);
+  List.iter (fun k -> ignore (get k)) !keys;
+  !n
+
+let metrics file dir shards probe =
+  check_shards shards;
+  if probe < 0 then begin
+    prerr_endline "metrics: --probe must be non-negative";
+    exit 2
+  end;
+  Telemetry.set_enabled true;
+  let probed =
+    match (file, dir) with
+    | None, None ->
+        prerr_endline "metrics: need a snapshot FILE or --dir DIR";
+        exit 2
+    | Some _, Some _ ->
+        prerr_endline "metrics: FILE and --dir are mutually exclusive";
+        exit 2
+    | Some path, None ->
+        if shards > 1 then begin
+          (* with --shards, the positional path is a sharded directory tree *)
+          let t = open_sharded_dir ~shards path in
+          set_structural_gauges
+            ~keys:(Hyperion_shard.length t)
+            ~bytes:(Hyperion_shard.memory_usage t)
+            (Hyperion_shard.stats t);
+          let n =
+            probe_sweep ~probe
+              ~iter:(fun f -> Hyperion_shard.iter t f)
+              ~get:(fun k -> Hyperion_shard.get t k)
+          in
+          shard_check "close" (Hyperion_shard.close t);
+          n
+        end
+        else
+          (match Persist.load_snapshot ~config:default_config path with
+          | Error e -> persist_fail ("loading " ^ path) e
+          | Ok store ->
+              set_structural_gauges
+                ~keys:(Hyperion.Store.length store)
+                ~bytes:(Hyperion.Store.memory_usage store)
+                (Hyperion.Store.stats store);
+              probe_sweep ~probe
+                ~iter:(fun f -> Hyperion.Store.iter store f)
+                ~get:(fun k -> Hyperion.Store.get store k))
+    | None, Some dir ->
+        if shards > 1 then begin
+          let t = open_sharded_dir ~shards dir in
+          set_structural_gauges
+            ~keys:(Hyperion_shard.length t)
+            ~bytes:(Hyperion_shard.memory_usage t)
+            (Hyperion_shard.stats t);
+          let n =
+            probe_sweep ~probe
+              ~iter:(fun f -> Hyperion_shard.iter t f)
+              ~get:(fun k -> Hyperion_shard.get t k)
+          in
+          shard_check "close" (Hyperion_shard.close t);
+          n
+        end
+        else begin
+          (* recovery through the durability layer also exercises the WAL
+             replay counters, so they show up in the exposition *)
+          let p = open_dir dir in
+          let store = Persist.store p in
+          set_structural_gauges
+            ~keys:(Hyperion.Store.length store)
+            ~bytes:(Hyperion.Store.memory_usage store)
+            (Hyperion.Store.stats store);
+          let n =
+            probe_sweep ~probe
+              ~iter:(fun f -> Hyperion.Store.iter store f)
+              ~get:(fun k -> Hyperion.Store.get store k)
+          in
+          (match Persist.close p with
+          | Ok () -> ()
+          | Error e -> persist_fail "close" e);
+          n
+        end
+  in
+  Printf.printf "# probed %d key(s)\n" probed;
+  print_string (Telemetry.dump ());
+  print_string (Telemetry.Trace.dump ())
+
+let bench_cmd experiment n json_dir metrics_every =
+  if n < 1 then begin
+    prerr_endline "bench: --n must be positive";
+    exit 2
+  end;
+  if metrics_every < 0 then begin
+    prerr_endline "bench: --metrics-every must be non-negative";
+    exit 2
+  end;
+  let metrics_every = if metrics_every = 0 then None else Some metrics_every in
+  match experiment with
+  | "insert" ->
+      ignore
+        (Bench_util.Telemetry_bench.insert ~n ?json_dir ?metrics_every ())
+  | other ->
+      Printf.eprintf "bench: unknown experiment %S (try: insert)\n" other;
+      exit 2
+
 let n_arg = Arg.(value & pos 0 int 100_000 & info [] ~docv:"N")
 
 let seed_arg =
@@ -500,6 +672,33 @@ let shards_arg =
        ~doc:"Partition the store into $(docv) worker-domain shards (the \
              multi-domain front-end); 1 keeps the single-store code path.")
 
+let metrics_every_arg =
+  Arg.(value & opt int 0 & info [ "metrics-every" ] ~docv:"K"
+       ~doc:"Enable telemetry and dump the Prometheus exposition \
+             periodically: every $(docv)*1000 chaos ops (single-store \
+             mode) or every $(docv)*10000 bench inserts; 0 disables.")
+
+let file_opt_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE")
+
+let probe_arg =
+  Arg.(value & opt int 50_000 & info [ "probe" ] ~docv:"N"
+       ~doc:"Cap on instrumented point lookups issued against the loaded \
+             store to populate the latency and jump-table metrics.")
+
+let experiment_arg =
+  Arg.(value & pos 0 string "insert" & info [] ~docv:"EXPERIMENT"
+       ~doc:"Experiment to run (currently: insert).")
+
+let bench_n_arg =
+  Arg.(value & opt int 300_000 & info [ "n" ] ~docv:"N"
+       ~doc:"Keys per pass.")
+
+let json_dir_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"DIR"
+       ~doc:"Write BENCH_<experiment>.json (schema 2, with latency \
+             percentiles) into $(docv).")
+
 let cmds =
   [
     Cmd.v (Cmd.info "demo" ~doc:"Paper example words") Term.(const demo $ const ());
@@ -518,7 +717,7 @@ let cmds =
                crash-recovery mode; $(b,--dir) recovers the store first; \
                $(b,--shards) > 1 runs concurrent client domains against the \
                sharded front-end (fault-free).  Exits 1 on divergence")
-      Term.(const chaos $ seed_arg $ ops_arg $ per_mille_arg $ crash_arg $ dir_arg $ shards_arg);
+      Term.(const chaos $ seed_arg $ ops_arg $ per_mille_arg $ crash_arg $ dir_arg $ shards_arg $ metrics_every_arg);
     Cmd.v
       (Cmd.info "save"
          ~doc:"Apply put/add/del lines from stdin, then write a one-shot \
@@ -540,6 +739,22 @@ let cmds =
                parallel.  Exits 1 on violations, 3 on corruption")
       Term.(const recover $ dir_pos_arg $ shards_arg);
     Cmd.v (Cmd.info "repl" ~doc:"Line-oriented REPL on stdin") Term.(const repl $ const ());
+    Cmd.v
+      (Cmd.info "metrics"
+         ~doc:"Load a snapshot $(i,FILE) (or recover $(b,--dir), or a \
+               sharded tree with $(b,--shards) > 1), probe it with an \
+               instrumented read sweep, and print every registered metric \
+               in the Prometheus text exposition format plus the slow-op \
+               trace ring")
+      Term.(const metrics $ file_opt_arg $ dir_arg $ shards_arg $ probe_arg);
+    Cmd.v
+      (Cmd.info "bench"
+         ~doc:"Run a telemetry-instrumented experiment; $(b,insert) loads \
+               the same seeded n-gram workload with telemetry off then on, \
+               reporting throughput, latency percentiles and the measured \
+               telemetry overhead.  $(b,--json) $(i,DIR) writes \
+               BENCH_insert.json (schema 2)")
+      Term.(const bench_cmd $ experiment_arg $ bench_n_arg $ json_dir_arg $ metrics_every_arg);
   ]
 
 let () =

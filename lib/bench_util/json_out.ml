@@ -1,9 +1,36 @@
+let schema_version = 2
+
 type row = {
   label : string;
   domains : int;
   ops_per_s : float;
   bytes_per_key : float;
 }
+
+type latency = {
+  metric : string;
+  count : int;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+  mean_ns : float;
+}
+
+let latency_of_histogram ~metric h =
+  let count = Telemetry.Histogram.count h in
+  let q = Telemetry.Histogram.quantile_ns h in
+  {
+    metric;
+    count;
+    p50_ns = q 0.5;
+    p90_ns = q 0.9;
+    p99_ns = q 0.99;
+    p999_ns = q 0.999;
+    mean_ns =
+      (if count = 0 then 0.0
+       else float_of_int (Telemetry.Histogram.sum_ns h) /. float_of_int count);
+  }
 
 let escape s =
   let b = Buffer.create (String.length s + 2) in
@@ -42,7 +69,24 @@ let row_json r =
      \"bytes_per_key\": %s }"
     (str r.label) r.domains (num r.ops_per_s) (num r.bytes_per_key)
 
-let write ~dir ~experiment ~n ~config ~rows =
+let latency_json l =
+  Printf.sprintf
+    "      { \"metric\": %s, \"count\": %d, \"p50\": %s, \"p90\": %s, \
+     \"p99\": %s, \"p999\": %s, \"mean\": %s }"
+    (str l.metric) l.count (num l.p50_ns) (num l.p90_ns) (num l.p99_ns)
+    (num l.p999_ns) (num l.mean_ns)
+
+let telemetry_json = function
+  | None -> "  \"telemetry\": { \"enabled\": false, \"latency_ns\": [] },"
+  | Some lats ->
+      Printf.sprintf
+        "  \"telemetry\": {\n\
+        \    \"enabled\": true,\n\
+        \    \"latency_ns\": [\n%s\n    ]\n\
+        \  },"
+        (lats |> List.map latency_json |> String.concat ",\n")
+
+let write ~dir ~experiment ~n ~config ?telemetry ~rows () =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let path = Filename.concat dir ("BENCH_" ^ experiment ^ ".json") in
   let config_json =
@@ -54,13 +98,17 @@ let write ~dir ~experiment ~n ~config ~rows =
   Out_channel.with_open_text path (fun oc ->
       Printf.fprintf oc
         "{\n\
+        \  \"schema\": %d,\n\
         \  \"experiment\": %s,\n\
         \  \"n\": %d,\n\
         \  \"git_rev\": %s,\n\
         \  \"config\": {\n%s\n  },\n\
+         %s\n\
         \  \"rows\": [\n%s\n  ]\n\
          }\n"
-        (str experiment) n
+        schema_version (str experiment) n
         (str (git_rev ()))
-        config_json rows_json);
+        config_json
+        (telemetry_json telemetry)
+        rows_json);
   path

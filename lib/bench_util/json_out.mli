@@ -5,11 +5,22 @@
     copy-pasted console output.  The format is flat on purpose:
 
     {v
-    { "experiment": "shards", "n": 100000, "git_rev": "c2739ad",
+    { "schema": 2,
+      "experiment": "shards", "n": 100000, "git_rev": "c2739ad",
       "config": { "chunks_per_bin": "64" },
+      "telemetry": { "enabled": true, "latency_ns": [
+        { "metric": "put", "count": 100000, "p50": 812, "p90": 1344,
+          "p99": 9472, "p999": 53248, "mean": 1031.2 } ] },
       "rows": [ { "label": "insert", "domains": 4,
                   "ops_per_s": 1.2e6, "bytes_per_key": 52.1 } ] }
-    v} *)
+    v}
+
+    ["schema"] is bumped whenever a field changes meaning; consumers must
+    check it.  Schema history: 1 = rows only (implicit, no schema field);
+    2 = explicit schema + telemetry block with histogram percentiles. *)
+
+val schema_version : int
+(** Current value of the ["schema"] field (2). *)
 
 type row = {
   label : string;  (** workload phase, e.g. ["insert"], ["mixed"] *)
@@ -17,6 +28,20 @@ type row = {
   ops_per_s : float;
   bytes_per_key : float;  (** 0.0 when not measured for this phase *)
 }
+
+type latency = {
+  metric : string;  (** short op name, e.g. ["put"] *)
+  count : int;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+  mean_ns : float;
+}
+
+val latency_of_histogram : metric:string -> Telemetry.Histogram.t -> latency
+(** Snapshot a registered telemetry histogram into a [latency] record
+    (percentiles carry the histogram's documented bucket error bound). *)
 
 val git_rev : unit -> string
 (** Short head revision of the working tree, or ["unknown"] outside a
@@ -27,7 +52,11 @@ val write :
   experiment:string ->
   n:int ->
   config:(string * string) list ->
+  ?telemetry:latency list ->
   rows:row list ->
+  unit ->
   string
 (** Write [dir/BENCH_<experiment>.json] (creating [dir] when missing) and
-    return the path written. *)
+    return the path written.  Omitting [?telemetry] records
+    [{"enabled": false}] — absence of percentiles is explicit, not
+    ambiguous. *)

@@ -32,7 +32,7 @@ let key_for id =
   | _ -> base ^ "!"
 
 let run ?(config = H.Config.default) ?(plan = Fault.none)
-    ?(validate_every = 1000) ?(key_space = 4096) ?store ~seed ~ops () =
+    ?(validate_every = 1000) ?(key_space = 4096) ?on_op ?store ~seed ~ops () =
   if ops < 0 then invalid_arg "Chaos.run: negative ops";
   if key_space <= 0 then invalid_arg "Chaos.run: key_space must be positive";
   if validate_every <= 0 then
@@ -114,7 +114,8 @@ let run ?(config = H.Config.default) ?(plan = Fault.none)
          diverge op "length mismatch: hyperion=%d oracle=%d"
            (H.Store.length store) (Rbtree.length oracle));
       if Fault.fired_count plan > fired_before then audit op
-      else if (op + 1) mod validate_every = 0 then audit op
+      else if (op + 1) mod validate_every = 0 then audit op;
+      match on_op with Some f -> f op | None -> ()
     done;
     audit ops;
     (* Final full sweep: same bindings, same order. *)

@@ -29,6 +29,7 @@ val run :
   ?plan:Fault.t ->
   ?validate_every:int ->
   ?key_space:int ->
+  ?on_op:(int -> unit) ->
   ?store:Hyperion.Store.t ->
   seed:int64 ->
   ops:int ->
@@ -45,7 +46,11 @@ val run :
 
     [?store] runs the workload against an existing store — e.g. one just
     recovered by {!Persist.open_or_create} — instead of a fresh one; its
-    current bindings seed the oracle. *)
+    current bindings seed the oracle.
+
+    [?on_op] is invoked after every completed operation with its index —
+    a progress hook, e.g. for periodic telemetry dumps ([hyperion_cli
+    chaos --metrics-every]). *)
 
 (** {1 Sharded chaos}
 

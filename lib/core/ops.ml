@@ -92,7 +92,17 @@ let emb_budget trie = min 255 trie.cfg.embedded_max
 (* Turn the embedded container at [e_pos] (owned by the S-node at [s_pos])
    into a real container referenced by an HP; [enclosing] are the embedded
    containers around it, outermost first. *)
+let c_eject =
+  Telemetry.Counter.make "hyperion_embedded_eject_total"
+    ~help:"Embedded containers ejected to real containers (paper Fig. 8)"
+
+let c_split =
+  Telemetry.Counter.make "hyperion_container_split_total"
+    ~help:"Vertical container splits performed (paper Fig. 11)"
+
 let eject trie cbox enclosing s_pos e_pos =
+  Telemetry.mark Telemetry.Path.embedded_eject;
+  if Telemetry.enabled () then Telemetry.Counter.incr c_eject;
   let buf = cbox.buf in
   let size = Layout.emb_total_size buf e_pos in
   let content = Bytes.sub_string buf (e_pos + 1) (size - 1) in
@@ -666,7 +676,11 @@ let rec put_container trie key value level hp where =
       (Hyperion_error.Chunk_corrupt
          (Printf.sprintf "injected at key level %d" level));
   let cbox = Splice.open_container trie hp ~tkey:(kb key level) ~where in
-  if should_split trie cbox && try_split trie cbox then raise Restart;
+  if should_split trie cbox && try_split trie cbox then begin
+    Telemetry.mark Telemetry.Path.container_split;
+    if Telemetry.enabled () then Telemetry.Counter.incr c_split;
+    raise Restart
+  end;
   put_region trie cbox (top_region cbox.buf cbox.base) [] key value level
 
 and put_region trie cbox region emb_chain key value level =

@@ -10,6 +10,26 @@ type t = {
 
 let name = "Hyperion"
 
+(* --- telemetry -------------------------------------------------------- *)
+
+module T = Telemetry
+
+(* One latency histogram family, labelled per operation.  All recording is
+   guarded by [T.enabled ()], so with telemetry off every public op pays
+   exactly one flag load and one branch, and no metric cell is written
+   (test_telemetry.ml asserts both the zero-counter and the
+   semantics-invariance halves of that contract). *)
+let m_put =
+  T.Histogram.make "hyperion_op_latency_ns"
+    ~labels:[ ("op", "put") ]
+    ~help:"Store operation latency in nanoseconds"
+
+let m_add = T.Histogram.make "hyperion_op_latency_ns" ~labels:[ ("op", "add") ]
+let m_get = T.Histogram.make "hyperion_op_latency_ns" ~labels:[ ("op", "get") ]
+
+let m_delete =
+  T.Histogram.make "hyperion_op_latency_ns" ~labels:[ ("op", "delete") ]
+
 let create ?(config = Config.default) () =
   Config.validate config;
   let mms =
@@ -50,10 +70,29 @@ let put_opt t key value =
   with_arena t i (fun () ->
       if Ops.put t.tries.(i) key value then Atomic.incr t.counts.(i))
 
-let put t key value = put_opt t key (Some value)
-let add t key = put_opt t key None
+(* Instrumented entry: run [op]'s body between two clock reads, feed the
+   elapsed time into [metric], and hand slow ops (with whatever path flags
+   the engine marked) to the trace ring.  Written as a per-call-site [if]
+   rather than a closure-taking combinator to keep the enabled path
+   allocation-free. *)
 
-let get t key =
+let put t key value =
+  if T.enabled () then begin
+    let t0 = T.op_start () in
+    put_opt t key (Some value);
+    T.op_end m_put ~kind:"put" ~key_len:(String.length key) t0
+  end
+  else put_opt t key (Some value)
+
+let add t key =
+  if T.enabled () then begin
+    let t0 = T.op_start () in
+    put_opt t key None;
+    T.op_end m_add ~kind:"add" ~key_len:(String.length key) t0
+  end
+  else put_opt t key None
+
+let get_u t key =
   let key = xform t key in
   if String.length key = 0 then invalid_arg "Hyperion: empty key";
   let i = route t key in
@@ -62,13 +101,22 @@ let get t key =
       | Some (Some v) -> Some v
       | Some None | None -> None)
 
+let get t key =
+  if T.enabled () then begin
+    let t0 = T.op_start () in
+    let r = get_u t key in
+    T.op_end m_get ~kind:"get" ~key_len:(String.length key) t0;
+    r
+  end
+  else get_u t key
+
 let mem t key =
   let key = xform t key in
   if String.length key = 0 then invalid_arg "Hyperion: empty key";
   let i = route t key in
   with_arena t i (fun () -> Ops.find t.tries.(i) key <> None)
 
-let delete t key =
+let delete_u t key =
   let key = xform t key in
   if String.length key = 0 then invalid_arg "Hyperion: empty key";
   let i = route t key in
@@ -76,6 +124,15 @@ let delete t key =
       let removed = Ops.delete t.tries.(i) key in
       if removed then Atomic.decr t.counts.(i);
       removed)
+
+let delete t key =
+  if T.enabled () then begin
+    let t0 = T.op_start () in
+    let r = delete_u t key in
+    T.op_end m_delete ~kind:"delete" ~key_len:(String.length key) t0;
+    r
+  end
+  else delete_u t key
 
 let range t ?start f =
   let start = Option.map (xform t) start in
@@ -109,7 +166,7 @@ let length t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.counts
 
 (* --- typed-result mutation API ------------------------------------- *)
 
-let put_result_opt t key value =
+let put_result_opt_u t key value =
   match Ops.key_error key with
   | Some e -> Error e
   | None ->
@@ -122,11 +179,26 @@ let put_result_opt t key value =
               Ok ()
           | Error _ as e -> e)
 
+(* The typed-result paths feed the same histograms as the raising ones:
+   these are what the WAL-logged and sharded front-ends call, so sharded
+   benches and chaos runs surface their latencies under the same names. *)
+let put_result_opt t key value =
+  if T.enabled () then begin
+    let t0 = T.op_start () in
+    let r = put_result_opt_u t key value in
+    let m, kind =
+      match value with Some _ -> (m_put, "put") | None -> (m_add, "add")
+    in
+    T.op_end m ~kind ~key_len:(String.length key) t0;
+    r
+  end
+  else put_result_opt_u t key value
+
 let put_opt_result = put_result_opt
 let put_result t key value = put_result_opt t key (Some value)
 let add_result t key = put_result_opt t key None
 
-let delete_result t key =
+let delete_result_u t key =
   match Ops.key_error key with
   | Some e -> Error e
   | None ->
@@ -138,6 +210,15 @@ let delete_result t key =
               if removed then Atomic.decr t.counts.(i);
               Ok removed
           | exception Hyperion_error.Error e -> Error e)
+
+let delete_result t key =
+  if T.enabled () then begin
+    let t0 = T.op_start () in
+    let r = delete_result_u t key in
+    T.op_end m_delete ~kind:"delete" ~key_len:(String.length key) t0;
+    r
+  end
+  else delete_result_u t key
 
 (* --- fault injection and saturation -------------------------------- *)
 

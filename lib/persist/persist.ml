@@ -3,6 +3,32 @@ module Frame = Frame
 module Snapshot = Snapshot
 module Wal = Wal
 module E = Hyperion.Hyperion_error
+module T = Telemetry
+
+(* Durability telemetry: group-commit fsync stalls are the dominant tail
+   contributor under WAL-logged load, so they get a histogram, not just a
+   counter; rotations (snapshot + new WAL + fsyncs) likewise. *)
+let m_fsync =
+  T.Histogram.make "hyperion_wal_fsync_duration_ns"
+    ~help:"WAL fsync (group commit) duration in nanoseconds"
+
+let c_fsync =
+  T.Counter.make "hyperion_wal_fsync_total" ~help:"WAL fsyncs issued"
+
+let m_rotate =
+  T.Histogram.make "hyperion_wal_rotation_duration_ns"
+    ~help:"Generation rotation (snapshot + WAL restart) duration"
+
+let c_rotate =
+  T.Counter.make "hyperion_wal_rotation_total" ~help:"Generation rotations"
+
+let c_replayed =
+  T.Counter.make "hyperion_wal_replayed_ops_total"
+    ~help:"WAL records replayed into stores during recovery"
+
+let c_appended =
+  T.Counter.make "hyperion_wal_appended_bytes_total"
+    ~help:"Bytes appended to write-ahead logs"
 
 let snapshot_file ~dir ~gen = Filename.concat dir (Printf.sprintf "snapshot-%08d.hyp" gen)
 let wal_file ~dir ~gen = Filename.concat dir (Printf.sprintf "wal-%08d.log" gen)
@@ -90,13 +116,17 @@ let recover_generation ~config ~dir ~gen =
     Ok (store, wal, keys, 0, false)
   else
     let apply op =
-      match op with
-      | Wal.Put (k, v) -> Hyperion.Store.put_result store k v
-      | Wal.Add k -> Hyperion.Store.add_result store k
-      | Wal.Delete k -> (
-          match Hyperion.Store.delete_result store k with
-          | Ok _ -> Ok ()
-          | Error _ as e -> e)
+      let r =
+        match op with
+        | Wal.Put (k, v) -> Hyperion.Store.put_result store k v
+        | Wal.Add k -> Hyperion.Store.add_result store k
+        | Wal.Delete k -> (
+            match Hyperion.Store.delete_result store k with
+            | Ok _ -> Ok ()
+            | Error _ as e -> e)
+      in
+      if T.enabled () && r = Ok () then T.Counter.incr c_replayed;
+      r
     in
     match Wal.replay ~config ~gen wpath ~f:apply with
     | Ok r ->
@@ -197,7 +227,19 @@ let with_lock t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let do_sync t =
-  let* () = Wal.sync t.wal in
+  let* () =
+    if T.enabled () then begin
+      T.mark T.Path.wal_fsync;
+      let t0 = T.now_ns () in
+      let r = Wal.sync t.wal in
+      let d = T.now_ns () - t0 in
+      T.Histogram.observe_ns m_fsync d;
+      T.Counter.incr c_fsync;
+      T.Trace.maybe_record ~kind:"fsync" ~key_len:(-1) ~dur_ns:d;
+      r
+    end
+    else Wal.sync t.wal
+  in
   t.synced_ops <- t.applied - t.base;
   t.unsynced_ops <- 0;
   t.unsynced_bytes <- 0;
@@ -209,7 +251,7 @@ let do_sync t =
      3. start the new WAL (header fsynced);
      4. only then drop the old generation's files.
    A crash anywhere leaves either the old or the new generation whole. *)
-let do_rotate t =
+let do_rotate_u t =
   let* () = do_sync t in
   let next = t.gen + 1 in
   let* _bytes = Snapshot.save t.store (snapshot_file ~dir:t.dir ~gen:next) in
@@ -227,8 +269,22 @@ let do_rotate t =
   (try Sys.remove (snapshot_file ~dir:t.dir ~gen:old_gen) with Sys_error _ -> ());
   Ok ()
 
+let do_rotate t =
+  if T.enabled () then begin
+    T.mark T.Path.wal_rotation;
+    let t0 = T.now_ns () in
+    let r = do_rotate_u t in
+    let d = T.now_ns () - t0 in
+    T.Histogram.observe_ns m_rotate d;
+    T.Counter.incr c_rotate;
+    T.Trace.maybe_record ~kind:"rotate" ~key_len:(-1) ~dur_ns:d;
+    r
+  end
+  else do_rotate_u t
+
 let log_op t op =
   let* bytes = Wal.append t.wal op in
+  if T.enabled () then T.Counter.add c_appended bytes;
   t.applied <- t.applied + 1;
   t.unsynced_ops <- t.unsynced_ops + 1;
   t.unsynced_bytes <- t.unsynced_bytes + bytes;

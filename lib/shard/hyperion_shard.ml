@@ -1,5 +1,32 @@
 module H = Hyperion
 module E = Hyperion.Hyperion_error
+module T = Telemetry
+
+(* Shard-layer telemetry.  The mailbox depth gauge is owned by the worker
+   domains (single writer per shard): each drain records the backlog it
+   found, so the summed gauge is the backlog observed at the most recent
+   drains, and the high-watermark gauge keeps the worst backlog any worker
+   ever saw.  Batch sizes and quiesce stalls get histograms — both shape
+   tail latency directly. *)
+let g_mailbox_depth =
+  T.Gauge.make "hyperion_shard_mailbox_depth"
+    ~help:"Messages found in shard mailboxes at the latest drain (summed)"
+
+let g_mailbox_hwm =
+  T.Gauge.make "hyperion_shard_mailbox_depth_hwm" ~merge:`Max
+    ~help:"Highest backlog any shard worker has drained at once"
+
+let m_drain =
+  T.Histogram.make "hyperion_shard_drain_msgs"
+    ~help:"Messages handled per mailbox drain"
+
+let m_batch =
+  T.Histogram.make "hyperion_shard_batch_ops"
+    ~help:"Mutations per batched shard slice"
+
+let m_quiesce =
+  T.Histogram.make "hyperion_shard_quiesce_duration_ns"
+    ~help:"Drain-and-pause barrier duration for quiesced reads"
 
 (* --- one-shot synchronisation cell (per-request promise) -------------- *)
 
@@ -190,6 +217,7 @@ let worker sh () =
   let handle = function
     | Mut (op, iv) -> Ivar.fill iv (apply_op sh op)
     | Batched (ops, iv) ->
+        if T.enabled () then T.Histogram.observe_ns m_batch (Array.length ops);
         let n = Array.length ops in
         let rec go i applied =
           if i >= n then Ivar.fill iv (Ok applied)
@@ -212,7 +240,14 @@ let worker sh () =
     match drain sh.mb with
     | None -> ()
     | Some msgs ->
+        if T.enabled () then begin
+          let n = Array.length msgs in
+          T.Gauge.set g_mailbox_depth n;
+          T.Gauge.set g_mailbox_hwm n;
+          T.Histogram.observe_ns m_drain n
+        end;
         Array.iter handle msgs;
+        if T.enabled () then T.Gauge.set g_mailbox_depth 0;
         loop ()
   in
   loop ()
@@ -476,6 +511,7 @@ let with_quiesced t f =
     let b =
       { bm = Mutex.create (); bc = Condition.create (); arrived = 0; released = false }
     in
+    let t0 = if T.enabled () then T.now_ns () else 0 in
     let posted =
       Array.fold_left
         (fun n sh -> if send sh.mb (Quiesce b) then n + 1 else n)
@@ -488,6 +524,11 @@ let with_quiesced t f =
         while b.arrived < posted do
           Condition.wait b.bc b.bm
         done;
+        if T.enabled () then begin
+          let d = T.now_ns () - t0 in
+          T.Histogram.observe_ns m_quiesce d;
+          T.Trace.maybe_record ~kind:"quiesce" ~key_len:(-1) ~dur_ns:d
+        end;
         Fun.protect
           ~finally:(fun () ->
             b.released <- true;

@@ -1,0 +1,214 @@
+(** hyperion.telemetry — per-domain, allocation-free metric cores.
+
+    Observability primitives for the store's hot paths: monotonic counters,
+    gauges, log-bucketed latency histograms with a bounded relative error,
+    and a ring buffer of slow-operation spans for forensics.
+
+    {b Cost model.}  Every domain owns a private metric core reached
+    through {!Domain.DLS}; recording is a handful of int stores into arrays
+    the owning domain never shares for writing — no locks, no allocation,
+    no atomics on the hot path.  Readers ({!Counter.value},
+    {!Histogram.quantile_ns}, {!dump}) merge the per-domain cores under a
+    registry mutex; they may observe a slightly stale view of other
+    domains' plain-int cells (never a torn one — cells are word-sized),
+    which is the usual monitoring trade-off.
+
+    {b Toggle.}  All instrumentation in the store is guarded by
+    {!enabled}, a single mutable flag read; with telemetry disabled the
+    per-operation overhead is one load and one branch, and no metric cell
+    is ever written (see the invariance tests in [test/test_telemetry.ml]).
+    The flag starts [false] unless the [HYPERION_TELEMETRY] environment
+    variable is ["1"] or ["true"]. *)
+
+external now_ns : unit -> int = "hyperion_clock_monotonic_ns" [@@noalloc]
+(** Monotonic clock reading in nanoseconds, as an unboxed int. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Zero every metric cell in every domain core and clear the trace ring.
+    Metric registrations survive.  Intended for tests and for isolating
+    benchmark phases; concurrent recording during a reset may survive it. *)
+
+(** {1 Standalone histogram}
+
+    The bucket scheme shared by metric histograms, exposed standalone so
+    oracle tests (and offline tooling) can exercise it directly.
+
+    Buckets: values [0..15] are exact; above that each power of two is cut
+    into 16 sub-buckets (HdrHistogram-style: 4 mantissa bits), so a
+    bucket's representative value — its midpoint — is within
+    [1/32 = 3.125%] of any value it absorbs.  Quantiles are nearest-rank
+    over bucket counts and inherit that bound.  Buckets cover the whole
+    non-negative int range; negative observations clamp to 0. *)
+module Hist : sig
+  type t
+
+  val n_buckets : int
+  val max_rel_error : float
+  (** [1/32]: bound on [|representative - value| / value] for any value
+      with [value >= 1] (values [< 16] are represented exactly). *)
+
+  val bucket_of : int -> int
+  (** Bucket index of a value; total order preserving. *)
+
+  val representative : int -> float
+  (** Midpoint value of a bucket index. *)
+
+  val create : unit -> t
+  val observe : t -> int -> unit
+  val count : t -> int
+  val sum : t -> int
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [(0, 1]]: the representative value of the
+      bucket holding the nearest-rank [q]-quantile; [0.] when empty. *)
+
+  val merge_into : dst:t -> t -> unit
+  (** Add every cell of the source into [dst]; merging then extracting a
+      quantile is exactly the quantile of the concatenated observations
+      (bucket counts are additive). *)
+
+  val buckets : t -> int array
+  (** Copy of the raw bucket counts (testing / export). *)
+end
+
+(** {1 Registered metrics}
+
+    Metrics are registered once by name (+ static label set) and record
+    into the calling domain's core.  Registering the same name, labels and
+    kind twice returns the same metric. *)
+
+module Counter : sig
+  type t
+
+  val make : ?help:string -> ?labels:(string * string) list -> string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  val value : t -> int
+  (** Sum over all domain cores. *)
+end
+
+module Gauge : sig
+  type t
+
+  val make :
+    ?help:string ->
+    ?labels:(string * string) list ->
+    ?merge:[ `Sum | `Max ] ->
+    string ->
+    t
+  (** [merge] (default [`Sum]) says how per-domain cells combine in
+      {!value} and {!dump}: sum for additive quantities (queue depths),
+      max for high-watermarks. *)
+
+  val set : t -> int -> unit
+  val value : t -> int
+end
+
+module Histogram : sig
+  type t
+
+  val make : ?help:string -> ?labels:(string * string) list -> string -> t
+  val observe_ns : t -> int -> unit
+  val count : t -> int
+  val sum_ns : t -> int
+  val quantile_ns : t -> float -> float
+  val snapshot : t -> Hist.t
+  (** Merge of all domain cores, as a standalone histogram. *)
+
+  val find : ?labels:(string * string) list -> string -> t option
+  (** Look a histogram up by registered name + labels (exporters). *)
+end
+
+(** {1 Operation paths}
+
+    Rare structural events mark a per-domain bit while an instrumented
+    operation runs; the store clears the bits when an operation starts and
+    the trace ring records whatever fired when the operation turns out to
+    be slow. *)
+
+module Path : sig
+  val embedded_eject : int
+  val container_split : int
+  val jt_hit : int
+  val jt_miss : int
+  val wal_rotation : int
+  val wal_fsync : int
+
+  val names : int -> string list
+  (** Decode a flag set to path names, registration order. *)
+end
+
+val mark : int -> unit
+(** OR a {!Path} bit into the current domain's flag set; no-op when
+    telemetry is disabled. *)
+
+val mark_incr : int -> Counter.t -> unit
+(** [mark bit] and [Counter.incr c] fused into a single enabled check and
+    per-domain core lookup — for call sites inside the store's innermost
+    scan loops, where the separate calls' lookups are measurable. *)
+
+val clear_paths : unit -> unit
+val current_paths : unit -> int
+
+(** {1 Slow-op trace ring} *)
+
+module Trace : sig
+  type span = {
+    seq : int;  (** monotonically increasing record number *)
+    kind : string;  (** "put", "get", "fsync", ... *)
+    key_len : int;  (** -1 when not applicable *)
+    dur_ns : int;
+    paths : int;  (** {!Path} bits that fired during the op *)
+  }
+
+  val set_capacity : int -> unit
+  (** Ring size (default 256); resizing clears the ring. *)
+
+  val set_slow_ns : int -> unit
+  (** Threshold for {!maybe_record} (default 1ms). *)
+
+  val slow_ns : unit -> int
+
+  val record : kind:string -> key_len:int -> dur_ns:int -> unit
+  (** Unconditionally push a span (with the current domain's path flags)
+      into the ring.  Takes a lock: callers keep it off fast paths. *)
+
+  val maybe_record : kind:string -> key_len:int -> dur_ns:int -> unit
+  (** {!record}, but only when [dur_ns >= slow_ns ()] and telemetry is
+      enabled — the hot-path form. *)
+
+  val spans : unit -> span list
+  (** Retained spans, oldest first. *)
+
+  val total : unit -> int
+  (** Spans ever recorded (including ones the ring has dropped). *)
+
+  val clear : unit -> unit
+
+  val dump : unit -> string
+  (** Spans as ['#']-prefixed comment lines, legal to append to a
+      Prometheus exposition. *)
+end
+
+(** {1 Fused per-op shell}
+
+    The instrumentation wrapper around each store operation, fused so each
+    end costs one per-domain core lookup.  Callers guard on {!enabled}
+    themselves; these assume telemetry is on. *)
+
+val op_start : unit -> int
+(** Clear the current domain's path flags and return {!now_ns}. *)
+
+val op_end : Histogram.t -> kind:string -> key_len:int -> int -> unit
+(** [op_end h ~kind ~key_len t0]: observe [now_ns () - t0] into [h] and,
+    when the duration reaches {!Trace.slow_ns}, record a trace span with
+    whatever path bits fired since [op_start]. *)
+
+val dump : unit -> string
+(** All registered metrics in the Prometheus text exposition format:
+    counters and gauges as single samples, histograms as summaries with
+    [quantile] labels 0.5 / 0.9 / 0.99 / 0.999 plus [_count] and [_sum]
+    samples. *)

@@ -1,0 +1,109 @@
+(* BENCH_*.json shape: the bench smoke test for satellite "schema": 2.
+
+   Writes a file through [Bench_util.Json_out.write] with and without a
+   telemetry block and asserts the schema marker, the percentile fields and
+   the explicit [enabled: false] of the no-telemetry case — the contract CI
+   and EXPERIMENTS.md consumers parse. *)
+
+module J = Bench_util.Json_out
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let found = ref false in
+  for i = 0 to nh - nn do
+    if String.sub hay i nn = needle then found := true
+  done;
+  !found
+
+let assert_contains json needle =
+  if not (contains json needle) then
+    Alcotest.failf "json is missing %S in:\n%s" needle json
+
+let tmp_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hyperion-bench-json-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+  d
+
+let rows =
+  [
+    { J.label = "insert"; domains = 1; ops_per_s = 123456.0; bytes_per_key = 48.5 };
+  ]
+
+let test_schema_and_telemetry_block () =
+  let lat =
+    {
+      J.metric = "put";
+      count = 10_000;
+      p50_ns = 812.0;
+      p90_ns = 1344.0;
+      p99_ns = 9472.0;
+      p999_ns = 53248.0;
+      mean_ns = 1031.2;
+    }
+  in
+  let path =
+    J.write ~dir:(tmp_dir ()) ~experiment:"smoke" ~n:10_000
+      ~config:[ ("chunks_per_bin", "64") ]
+      ~telemetry:[ lat ] ~rows ()
+  in
+  let json = read_file path in
+  Alcotest.(check int) "schema constant" 2 J.schema_version;
+  assert_contains json "\"schema\": 2";
+  assert_contains json "\"enabled\": true";
+  assert_contains json "\"metric\": \"put\"";
+  List.iter (assert_contains json)
+    [ "\"p50\": 812"; "\"p90\": 1344"; "\"p99\": 9472"; "\"p999\": 53248" ];
+  assert_contains json "\"count\": 10000";
+  assert_contains json "\"label\": \"insert\"";
+  Sys.remove path
+
+let test_no_telemetry_is_explicit () =
+  let path =
+    J.write ~dir:(tmp_dir ()) ~experiment:"smoke2" ~n:7
+      ~config:[] ~rows ()
+  in
+  let json = read_file path in
+  assert_contains json "\"schema\": 2";
+  assert_contains json "\"enabled\": false";
+  Sys.remove path
+
+let test_histogram_snapshot_roundtrip () =
+  (* a real registered histogram snapshots into a latency record whose
+     percentiles obey the bucket error bound *)
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let h = Telemetry.Histogram.make "test_bench_json_hist_ns" in
+  for v = 1 to 1000 do
+    Telemetry.Histogram.observe_ns h v
+  done;
+  let lat = J.latency_of_histogram ~metric:"probe" h in
+  Alcotest.(check int) "count" 1000 lat.J.count;
+  let rel = abs_float (lat.J.p50_ns -. 500.0) /. 500.0 in
+  Alcotest.(check bool) "p50 within bucket error" true
+    (rel <= Telemetry.Hist.max_rel_error);
+  Telemetry.set_enabled false;
+  Telemetry.reset ()
+
+let () =
+  Alcotest.run "bench-json"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "schema 2 + telemetry block" `Quick
+            test_schema_and_telemetry_block;
+          Alcotest.test_case "no telemetry is explicit" `Quick
+            test_no_telemetry_is_explicit;
+          Alcotest.test_case "histogram snapshot roundtrip" `Quick
+            test_histogram_snapshot_roundtrip;
+        ] );
+    ]

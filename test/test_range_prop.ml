@@ -1,0 +1,145 @@
+(* Store-level range-query properties against a sorted assoc-list oracle.
+
+   A random mutation script (puts, adds, deletes — last write wins, add is
+   insert-if-absent) is applied to a Store under a tiny configuration that
+   forces embedded ejects, container splits and path compression, and to a
+   Hashtbl-backed oracle.  Three properties are then checked per script:
+
+     1. the full [Range.range] sweep yields exactly the oracle's bindings
+        in ascending key order;
+     2. [?start] yields exactly the oracle bindings with key >= start;
+     3. stopping the callback after k yields equals the first k oracle
+        bindings, with the callback invoked exactly min(k, total) times.
+
+   The whole suite runs twice: with [preprocess = false] and with
+   [preprocess = true] (keys restricted to >= 4 bytes, the codec's domain),
+   since preprocessing re-encodes both stored keys and the start bound. *)
+
+let tiny preprocess =
+  {
+    Hyperion.Config.default with
+    chunks_per_bin = 64;
+    embedded_eject_parent_limit = 256;
+    embedded_max = 64;
+    pc_max = 8;
+    tnode_jt_threshold = 4;
+    js_threshold = 2;
+    container_jt_threshold = 2;
+    split_a = 512;
+    split_b = 256;
+    split_min_piece = 64;
+    preprocess;
+  }
+
+type op = Put of string * int64 | Add of string | Del of string
+
+(* Apply the script to a fresh store and the oracle; return the store and
+   the oracle as a key-sorted assoc list. *)
+let run_script ~preprocess ops =
+  let store = Hyperion.Store.create ~config:(tiny preprocess) () in
+  let oracle = Hashtbl.create 64 in
+  List.iter
+    (fun op ->
+      match op with
+      | Put (k, v) ->
+          Hyperion.Store.put store k v;
+          Hashtbl.replace oracle k (Some v)
+      | Add k ->
+          Hyperion.Store.add store k;
+          (* insert-if-absent: an existing binding keeps its value *)
+          if not (Hashtbl.mem oracle k) then Hashtbl.replace oracle k None
+      | Del k ->
+          ignore (Hyperion.Store.delete store k);
+          Hashtbl.remove oracle k)
+    ops;
+  let sorted =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) oracle []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  (store, sorted)
+
+let collect store ?start () =
+  let acc = ref [] in
+  Hyperion.Store.range store ?start (fun k v ->
+      acc := (k, v) :: !acc;
+      true);
+  List.rev !acc
+
+(* Key generator: a small alphabet so scripts revisit keys (exercising
+   overwrite/delete), lengths [min_len..10] so containers actually split. *)
+let key_g ~min_len =
+  QCheck.Gen.(string_size ~gen:(char_range 'a' 'f') (int_range min_len 10))
+
+let op_g ~min_len =
+  let keyg = key_g ~min_len in
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k v -> Put (k, Int64.of_int v)) keyg (int_bound 10_000));
+        (2, map (fun k -> Add k) keyg);
+        (2, map (fun k -> Del k) keyg);
+      ])
+
+let pp_op = function
+  | Put (k, v) -> Printf.sprintf "put %S %Ld" k v
+  | Add k -> Printf.sprintf "add %S" k
+  | Del k -> Printf.sprintf "del %S" k
+
+let script_arb ~min_len =
+  let ops =
+    QCheck.make
+      ~print:(fun l -> String.concat "; " (List.map pp_op l))
+      QCheck.Gen.(list_size (int_range 0 200) (op_g ~min_len))
+  in
+  QCheck.pair ops (QCheck.make ~print:(Printf.sprintf "%S") (key_g ~min_len))
+
+let prop_full_and_bounded ~name ~preprocess ~min_len =
+  QCheck.Test.make ~name ~count:100 (script_arb ~min_len)
+    (fun (ops, start) ->
+      let store, want = run_script ~preprocess ops in
+      let got = collect store () in
+      let got_bounded = collect store ~start () in
+      let want_bounded =
+        List.filter (fun (k, _) -> String.compare k start >= 0) want
+      in
+      got = want && got_bounded = want_bounded)
+
+let prop_early_stop ~name ~preprocess ~min_len =
+  QCheck.Test.make ~name ~count:100
+    QCheck.(pair (script_arb ~min_len) small_nat)
+    (fun ((ops, _), k) ->
+      let store, want = run_script ~preprocess ops in
+      let calls = ref 0 and acc = ref [] in
+      Hyperion.Store.range store (fun key v ->
+          incr calls;
+          acc := (key, v) :: !acc;
+          !calls < k);
+      let got = List.rev !acc in
+      (* the callback stops the sweep by returning false on its k-th
+         invocation; with k = 0 the very first yield already stops it *)
+      let expect_n = min (max k 1) (List.length want) in
+      !calls = expect_n && got = List.filteri (fun i _ -> i < expect_n) want)
+
+let () =
+  Alcotest.run "range-prop"
+    [
+      ( "plain-keys",
+        [
+          QCheck_alcotest.to_alcotest
+            (prop_full_and_bounded ~name:"full+bounded = oracle (raw keys)"
+               ~preprocess:false ~min_len:1);
+          QCheck_alcotest.to_alcotest
+            (prop_early_stop ~name:"early stop after k (raw keys)"
+               ~preprocess:false ~min_len:1);
+        ] );
+      ( "preprocessed-keys",
+        [
+          QCheck_alcotest.to_alcotest
+            (prop_full_and_bounded
+               ~name:"full+bounded = oracle (preprocessed keys)"
+               ~preprocess:true ~min_len:4);
+          QCheck_alcotest.to_alcotest
+            (prop_early_stop ~name:"early stop after k (preprocessed keys)"
+               ~preprocess:true ~min_len:4);
+        ] );
+    ]

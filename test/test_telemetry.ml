@@ -1,0 +1,275 @@
+(* Telemetry layer tests.
+
+   Three families:
+     - histogram oracle: quantiles of 10k random durations against exact
+       nearest-rank quantiles of the sorted array, within the documented
+       1/32 relative-error bound; merge-then-quantile must equal the
+       quantile of the concatenated stream exactly (bucket counts are
+       additive);
+     - disabled invariance: with [Telemetry.enabled () = false] a full
+       instrumented workload must leave every metric cell untouched;
+     - instrumentation transparency: an instrumented store must return
+       byte-identical results to an uninstrumented one on the same seeded
+       workload. *)
+
+module T = Telemetry
+
+let tiny =
+  {
+    Hyperion.Config.default with
+    chunks_per_bin = 64;
+    embedded_eject_parent_limit = 256;
+    embedded_max = 64;
+    pc_max = 8;
+    split_a = 512;
+    split_b = 256;
+    split_min_piece = 64;
+  }
+
+(* Deterministic splitmix-style generator so runs are reproducible. *)
+let make_rng seed =
+  let state = ref seed in
+  fun bound ->
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int bound))
+
+(* Exact nearest-rank quantile of a sorted array, the definition the
+   histogram's [quantile] mirrors over bucket counts. *)
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  sorted.(rank - 1)
+
+(* Log-uniform durations: exercises buckets across 6 decades, like real
+   latency distributions do. *)
+let random_durations rng n =
+  Array.init n (fun _ ->
+      let decade = rng 6 in
+      let base = int_of_float (10. ** float_of_int decade) in
+      base + rng (9 * base))
+
+let test_quantile_oracle () =
+  let rng = make_rng 42L in
+  let samples = random_durations rng 10_000 in
+  let h = T.Hist.create () in
+  Array.iter (T.Hist.observe h) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  Alcotest.(check int) "count" (Array.length samples) (T.Hist.count h);
+  Alcotest.(check int) "sum" (Array.fold_left ( + ) 0 samples) (T.Hist.sum h);
+  List.iter
+    (fun q ->
+      let exact = float_of_int (exact_quantile sorted q) in
+      let approx = T.Hist.quantile h q in
+      let rel = abs_float (approx -. exact) /. exact in
+      if rel > T.Hist.max_rel_error then
+        Alcotest.failf "q=%.3f: histogram %.1f vs exact %.1f (rel %.4f > %.4f)"
+          q approx exact rel T.Hist.max_rel_error)
+    [ 0.5; 0.9; 0.99; 0.999 ]
+
+let test_small_values_exact () =
+  (* values 0..15 occupy singleton buckets: quantiles are exact *)
+  let h = T.Hist.create () in
+  for v = 0 to 15 do
+    T.Hist.observe h v
+  done;
+  Alcotest.(check (float 0.0)) "p50 of 0..15" 7.0 (T.Hist.quantile h 0.5);
+  Alcotest.(check (float 0.0)) "p100 of 0..15" 15.0 (T.Hist.quantile h 1.0)
+
+let test_merge_equals_concat () =
+  let rng = make_rng 7L in
+  let parts =
+    Array.init 3 (fun _ -> random_durations rng 3_000)
+  in
+  (* merge of the three per-part histograms *)
+  let merged = T.Hist.create () in
+  Array.iter
+    (fun part ->
+      let h = T.Hist.create () in
+      Array.iter (T.Hist.observe h) part;
+      T.Hist.merge_into ~dst:merged h)
+    parts;
+  (* histogram of the concatenated stream *)
+  let concat = T.Hist.create () in
+  Array.iter (fun part -> Array.iter (T.Hist.observe concat) part) parts;
+  Alcotest.(check int) "merged count" (T.Hist.count concat) (T.Hist.count merged);
+  Alcotest.(check int) "merged sum" (T.Hist.sum concat) (T.Hist.sum merged);
+  Alcotest.(check (array int)) "merged buckets identical"
+    (T.Hist.buckets concat) (T.Hist.buckets merged);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "q=%.3f merge == concat, exactly" q)
+        (T.Hist.quantile concat q) (T.Hist.quantile merged q))
+    [ 0.5; 0.9; 0.99; 0.999 ]
+
+let test_bucket_order_and_error () =
+  (* bucket_of is monotone and representatives stay within the bound *)
+  let prev = ref (-1) in
+  for v = 0 to 200_000 do
+    let b = T.Hist.bucket_of v in
+    if b < !prev then Alcotest.failf "bucket_of not monotone at %d" v;
+    prev := max !prev b;
+    if v >= 1 then begin
+      let rep = T.Hist.representative b in
+      let rel = abs_float (rep -. float_of_int v) /. float_of_int v in
+      if rel > T.Hist.max_rel_error +. 1e-9 then
+        Alcotest.failf "value %d: representative %.1f off by %.4f" v rep rel
+    end
+  done
+
+(* A seeded mixed workload driven against a store: returns every per-op
+   observable result, so two runs can be diffed exactly. *)
+let drive_workload store seed ops =
+  let rng = make_rng seed in
+  let results = Buffer.create 4096 in
+  for _ = 1 to ops do
+    let key = Printf.sprintf "k%04d" (rng 500) in
+    (match rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        Hyperion.Store.put store key (Int64.of_int (rng 100_000));
+        Buffer.add_string results "p"
+    | 4 ->
+        Hyperion.Store.add store key;
+        Buffer.add_string results "a"
+    | 5 | 6 ->
+        Buffer.add_string results
+          (match Hyperion.Store.get store key with
+          | Some v -> Int64.to_string v
+          | None -> if Hyperion.Store.mem store key then "m" else "-")
+    | 7 ->
+        Buffer.add_string results
+          (if Hyperion.Store.delete store key then "D" else "d")
+    | _ ->
+        Buffer.add_string results (string_of_int (Hyperion.Store.length store)));
+    Buffer.add_char results ';'
+  done;
+  (* final contents, in order *)
+  Hyperion.Store.range store (fun k v ->
+      Buffer.add_string results
+        (Printf.sprintf "%s=%s," k
+           (match v with Some v -> Int64.to_string v | None -> "_"));
+      true);
+  Buffer.contents results
+
+let test_disabled_leaves_metrics_untouched () =
+  T.reset ();
+  T.set_enabled false;
+  let store = Hyperion.Store.create ~config:tiny () in
+  ignore (drive_workload store 11L 5_000);
+  (* every registered histogram must still be empty *)
+  List.iter
+    (fun (op, _) ->
+      match T.Histogram.find "hyperion_op_latency_ns" ~labels:[ ("op", op) ] with
+      | None -> Alcotest.failf "histogram for op=%s not registered" op
+      | Some h ->
+          Alcotest.(check int)
+            (Printf.sprintf "op=%s count stays 0" op)
+            0 (T.Histogram.count h);
+          Alcotest.(check int)
+            (Printf.sprintf "op=%s sum stays 0" op)
+            0 (T.Histogram.sum_ns h))
+    [ ("put", ()); ("add", ()); ("get", ()); ("delete", ()) ];
+  Alcotest.(check int) "trace ring stays empty" 0 (T.Trace.total ());
+  Alcotest.(check (list string)) "no path bits marked" []
+    (T.Path.names (T.current_paths ()))
+
+let test_enabled_is_transparent () =
+  (* same seeded workload, telemetry off vs on: byte-identical results *)
+  T.reset ();
+  T.set_enabled false;
+  let plain = Hyperion.Store.create ~config:tiny () in
+  let baseline = drive_workload plain 97L 5_000 in
+  T.set_enabled true;
+  let instrumented = Hyperion.Store.create ~config:tiny () in
+  let observed = drive_workload instrumented 97L 5_000 in
+  T.set_enabled false;
+  Alcotest.(check string) "identical op results and final contents" baseline
+    observed;
+  (* and the instrumentation did fire *)
+  match T.Histogram.find "hyperion_op_latency_ns" ~labels:[ ("op", "put") ] with
+  | None -> Alcotest.fail "put histogram not registered"
+  | Some h ->
+      Alcotest.(check bool) "puts were observed" true (T.Histogram.count h > 0)
+
+let test_counters_and_gauges () =
+  T.reset ();
+  T.set_enabled true;
+  let c = T.Counter.make "test_counter_total" ~help:"test" in
+  T.Counter.incr c;
+  T.Counter.add c 41;
+  Alcotest.(check int) "counter sums" 42 (T.Counter.value c);
+  let g = T.Gauge.make "test_gauge" in
+  T.Gauge.set g 7;
+  T.Gauge.set g 3;
+  Alcotest.(check int) "gauge keeps last value" 3 (T.Gauge.value g);
+  let gm = T.Gauge.make "test_gauge_max" ~merge:`Max in
+  T.Gauge.set gm 5;
+  T.Gauge.set gm 9;
+  T.Gauge.set gm 2;
+  Alcotest.(check int) "max gauge keeps high watermark" 9 (T.Gauge.value gm);
+  let dump = T.dump () in
+  List.iter
+    (fun needle ->
+      if
+        not
+          (String.length dump >= String.length needle
+          && (let found = ref false in
+              for i = 0 to String.length dump - String.length needle do
+                if String.sub dump i (String.length needle) = needle then
+                  found := true
+              done;
+              !found))
+      then Alcotest.failf "exposition is missing %S" needle)
+    [ "test_counter_total 42"; "test_gauge 3"; "test_gauge_max 9" ];
+  T.set_enabled false;
+  T.reset ()
+
+let test_trace_ring () =
+  T.reset ();
+  T.set_enabled true;
+  T.Trace.set_capacity 4;
+  for i = 1 to 10 do
+    T.Trace.record ~kind:"op" ~key_len:i ~dur_ns:(i * 1000)
+  done;
+  let spans = T.Trace.spans () in
+  Alcotest.(check int) "ring keeps capacity" 4 (List.length spans);
+  Alcotest.(check int) "total counts drops too" 10 (T.Trace.total ());
+  Alcotest.(check (list int)) "oldest-first, newest retained"
+    [ 7; 8; 9; 10 ]
+    (List.map (fun s -> s.T.Trace.key_len) spans);
+  T.Trace.set_capacity 256;
+  T.set_enabled false;
+  T.reset ()
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "quantiles within 1/32 of exact" `Quick
+            test_quantile_oracle;
+          Alcotest.test_case "small values exact" `Quick test_small_values_exact;
+          Alcotest.test_case "merge == concatenation" `Quick
+            test_merge_equals_concat;
+          Alcotest.test_case "bucket order + error bound" `Quick
+            test_bucket_order_and_error;
+        ] );
+      ( "toggle",
+        [
+          Alcotest.test_case "disabled leaves metrics untouched" `Quick
+            test_disabled_leaves_metrics_untouched;
+          Alcotest.test_case "enabled is observationally transparent" `Quick
+            test_enabled_is_transparent;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters and gauges" `Quick
+            test_counters_and_gauges;
+          Alcotest.test_case "trace ring" `Quick test_trace_ring;
+        ] );
+    ]
