@@ -18,6 +18,11 @@
      load           load a snapshot file, report stats, optionally dump
      recover        open a durability directory (snapshot + WAL replay),
                     print what recovery found, then structurally validate
+     check          apply mutations from stdin (or load a snapshot FILE,
+                    or recover --dir), then run the full analyzer suite:
+                    structural validation plus the mark-and-sweep heap
+                    sanitizer (leaks, double references, free-list and
+                    counter integrity)
      repl           read commands from stdin:
                       put <key> <value> | add <key> | get <key>
                       del <key> | range <start> <limit> | audit
@@ -250,7 +255,7 @@ let audit dir =
       check "close" (Persist.close p);
       exit (if violations > 0 then 1 else 0)
 
-let chaos seed ops per_mille crash dir shards metrics_every =
+let chaos seed ops per_mille crash dir shards metrics_every heapcheck =
   check_shards shards;
   if per_mille < 0 || per_mille > 1000 then begin
     prerr_endline "chaos: --per-mille must be in [0, 1000]";
@@ -302,7 +307,8 @@ let chaos seed ops per_mille crash dir shards metrics_every =
       else None
     in
     match
-      Chaos.run_sharded ~config:default_config ~shards ?dir ~seed ~ops ()
+      Chaos.run_sharded ~config:default_config ~shards ~heapcheck ?dir ~seed
+        ~ops ()
     with
     | Ok o ->
         Format.printf "chaos --shards %d: OK — %a@." shards
@@ -322,7 +328,9 @@ let chaos seed ops per_mille crash dir shards metrics_every =
      with Unix.Unix_error (e, _, _) ->
        Printf.eprintf "chaos: cannot create %s: %s\n" dir (Unix.error_message e);
        exit 2);
-    match Chaos.run_crash ~config:default_config ~dir ~seed ~ops () with
+    match
+      Chaos.run_crash ~config:default_config ~heapcheck ~dir ~seed ~ops ()
+    with
     | Ok o ->
         Format.printf "chaos --crash: OK — %a@." Chaos.pp_crash_outcome o;
         final_dump ()
@@ -345,7 +353,7 @@ let chaos seed ops per_mille crash dir shards metrics_every =
              log), so drop the handle without writing anything back *)
           (Some (Persist.store p), fun () -> Persist.crash p)
     in
-    match Chaos.run ?store ?on_op ~plan ~seed ~ops () with
+    match Chaos.run ?store ?on_op ~heapcheck ~plan ~seed ~ops () with
     | Ok o ->
         finish ();
         Format.printf "chaos: OK — %a@." Chaos.pp_outcome o;
@@ -434,6 +442,88 @@ let recover dir shards =
     | Error e -> persist_fail "close" e);
     exit (if violations > 0 then 1 else 0)
   end
+
+(* Analyzer suite over one store: structural validation plus the
+   mark-and-sweep heap sanitizer; returns the combined problem count. *)
+let check_one store =
+  let violations = audit_store store in
+  let r = Analyze.Heapcheck.audit_store store in
+  Format.printf "%a@." Analyze.Heapcheck.pp_report r;
+  violations + List.length r.Analyze.Heapcheck.problems
+
+let check_sharded t =
+  Hyperion_shard.with_quiesced t (fun stores ->
+      Array.to_list stores
+      |> List.mapi (fun i s ->
+             Printf.printf "shard %-3d      :\n" i;
+             check_one s)
+      |> List.fold_left ( + ) 0)
+
+let check file dir shards =
+  check_shards shards;
+  let problems =
+    match (file, dir) with
+    | Some _, Some _ ->
+        prerr_endline "check: FILE and --dir are mutually exclusive";
+        exit 2
+    | Some path, None ->
+        if shards > 1 then begin
+          (* with --shards, the positional path is a sharded directory tree *)
+          let t = open_sharded_dir ~shards path in
+          print_shard_recoveries t;
+          let n = check_sharded t in
+          shard_check "close" (Hyperion_shard.close t);
+          n
+        end
+        else (
+          match Persist.load_snapshot ~config:default_config path with
+          | Error e -> persist_fail ("loading " ^ path) e
+          | Ok store ->
+              Printf.printf "loaded %d key(s) from %s\n"
+                (Hyperion.Store.length store) path;
+              check_one store)
+    | None, Some dir ->
+        if shards > 1 then begin
+          let t = open_sharded_dir ~shards dir in
+          print_shard_recoveries t;
+          let n = check_sharded t in
+          shard_check "close" (Hyperion_shard.close t);
+          n
+        end
+        else begin
+          (* open_or_create heap-audits the recovery itself (exit 3 on a
+             corrupt heap); this run re-checks and prints the report *)
+          let p = open_dir dir in
+          print_recovery p;
+          let n = check_one (Persist.store p) in
+          (match Persist.close p with
+          | Ok () -> ()
+          | Error e -> persist_fail "close" e);
+          n
+        end
+    | None, None ->
+        if shards > 1 then begin
+          let t = Hyperion_shard.create ~config:default_config ~shards () in
+          drive_stdin
+            ~put:(fun k v -> shard_check "put" (Hyperion_shard.put_result t k v))
+            ~add:(fun k -> shard_check "add" (Hyperion_shard.add_result t k))
+            ~del:(fun k -> shard_check "del" (Hyperion_shard.delete_result t k));
+          Printf.printf "loaded %d key(s)\n" (Hyperion_shard.length t);
+          let n = check_sharded t in
+          shard_check "close" (Hyperion_shard.close t);
+          n
+        end
+        else begin
+          let store = make_store () in
+          drive_stdin
+            ~put:(fun k v -> Hyperion.Store.put store k v)
+            ~add:(fun k -> Hyperion.Store.add store k)
+            ~del:(fun k -> ignore (Hyperion.Store.delete store k));
+          Printf.printf "loaded %d key(s)\n" (Hyperion.Store.length store);
+          check_one store
+        end
+  in
+  exit (if problems > 0 then 1 else 0)
 
 let repl () =
   let store = ref (make_store ()) in
@@ -658,6 +748,13 @@ let dir_arg =
        ~doc:"Durability directory to recover the store from (created when \
              missing).")
 
+let heapcheck_arg =
+  Arg.(value & opt bool true & info [ "heapcheck" ] ~docv:"BOOL"
+       ~doc:"Run the mark-and-sweep heap sanitizer (leaks, double \
+             references, free-list and counter integrity) on every chaos \
+             audit round and after crash recovery; $(b,false) keeps only \
+             the structural validation.")
+
 let dir_pos_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
 
@@ -716,8 +813,10 @@ let cmds =
                with fault injection; $(b,--crash) switches to the \
                crash-recovery mode; $(b,--dir) recovers the store first; \
                $(b,--shards) > 1 runs concurrent client domains against the \
-               sharded front-end (fault-free).  Exits 1 on divergence")
-      Term.(const chaos $ seed_arg $ ops_arg $ per_mille_arg $ crash_arg $ dir_arg $ shards_arg $ metrics_every_arg);
+               sharded front-end (fault-free).  $(b,--heapcheck false) \
+               disables the per-audit heap sanitizer.  Exits 1 on \
+               divergence")
+      Term.(const chaos $ seed_arg $ ops_arg $ per_mille_arg $ crash_arg $ dir_arg $ shards_arg $ metrics_every_arg $ heapcheck_arg);
     Cmd.v
       (Cmd.info "save"
          ~doc:"Apply put/add/del lines from stdin, then write a one-shot \
@@ -738,6 +837,14 @@ let cmds =
                with $(b,--shards) > 1, a sharded directory recovered in \
                parallel.  Exits 1 on violations, 3 on corruption")
       Term.(const recover $ dir_pos_arg $ shards_arg);
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:"Run the full analyzer suite — structural validation plus \
+               the mark-and-sweep heap sanitizer — over a store built from \
+               stdin mutations, a snapshot $(i,FILE), or a recovered \
+               $(b,--dir) (sharded tree with $(b,--shards) > 1).  Exits 1 \
+               when any check fails")
+      Term.(const check $ file_opt_arg $ dir_arg $ shards_arg);
     Cmd.v (Cmd.info "repl" ~doc:"Line-oriented REPL on stdin") Term.(const repl $ const ());
     Cmd.v
       (Cmd.info "metrics"

@@ -1,0 +1,59 @@
+(* Source-lint driver: [dune exec bin/lint.exe -- [PATHS] [--allow FILE]].
+
+   Lints every .ml under PATHS (default: lib) against the project rules in
+   Lint, prints one [file:line rule message] per violation and exits 1
+   when any are found (2 on usage or allow-list errors). *)
+
+let usage = "usage: lint [--allow FILE] [--root DIR] [PATH ...]"
+
+let () =
+  let allow_file = ref "lint.allow" in
+  let allow_explicit = ref false in
+  let root = ref "." in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--allow" :: f :: rest ->
+        allow_file := f;
+        allow_explicit := true;
+        parse rest
+    | "--root" :: d :: rest ->
+        root := d;
+        parse rest
+    | ("--help" | "-help") :: _ ->
+        print_endline usage;
+        exit 0
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        prerr_endline ("lint: unknown option " ^ arg);
+        prerr_endline usage;
+        exit 2
+    | path :: rest ->
+        paths := path :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
+  let allow_path =
+    if Filename.is_relative !allow_file then
+      Filename.concat !root !allow_file
+    else !allow_file
+  in
+  let allow =
+    if Sys.file_exists allow_path then
+      match Lint.load_allow allow_path with
+      | Ok a -> a
+      | Error m ->
+          prerr_endline ("lint: bad allow-list: " ^ m);
+          exit 2
+    else if !allow_explicit then begin
+      prerr_endline ("lint: allow-list not found: " ^ allow_path);
+      exit 2
+    end
+    else Lint.empty_allow
+  in
+  let violations = Lint.run ~allow ~root:!root paths in
+  List.iter (fun v -> print_endline (Lint.to_string v)) violations;
+  if violations <> [] then begin
+    Printf.eprintf "lint: %d violation(s)\n" (List.length violations);
+    exit 1
+  end

@@ -1,0 +1,481 @@
+(* Mark-and-sweep audit of the Hyperion memory manager (ISSUE 5 tentpole).
+
+   [Validate.check_store] walks the *trie* and proves structural record
+   invariants; this module audits the *allocator* underneath it.  The sweep
+   phase snapshots every chunk slot of every bin through the raw
+   [Memman.audit_*] iterators (which bypass the cached occupancy counters),
+   and the mark phase re-walks the container graph from the trie roots,
+   counting how many live HPs reference each chunk.  Comparing the two
+   proves:
+
+   - every allocated chunk is referenced by exactly one live HP
+     (leaks and double references);
+   - free chunks are disjoint from the live graph and extended-bin
+     records really are reset ([Efree], no retained heap segment);
+   - chained extended bins are well-formed 8-chunk runs;
+   - per-bin occupancy counters match a bit-by-bit recount;
+   - the nonfull metabin lists are strictly ascending (hence acyclic),
+     in range, and exactly cover the metabins that can still allocate;
+   - [total_bytes] / [superbin_profile] / [Stats] byte and container
+     accounting reconcile with swept reality.
+
+   The audit only reads; it must run with the store quiesced (no
+   concurrent mutator on any arena), like [Validate.check_store]. *)
+
+module M = Hyperion.Memman
+module Hp = Hyperion.Hp
+module R = Hyperion.Records
+module Node = Hyperion.Node
+module T = Hyperion.Types
+module S = Hyperion.Stats
+module E = Hyperion.Hyperion_error
+
+type problem = { p_rule : string; p_detail : string }
+
+type report = {
+  problems : problem list;
+  chunks_allocated : int;
+  containers_walked : int;
+  cebs_walked : int;
+  bytes_resident : int;
+}
+
+let ok r = r.problems = []
+
+let first_problem r =
+  match r.problems with
+  | [] -> None
+  | p :: _ -> Some (p.p_rule ^ ": " ^ p.p_detail)
+
+let pp_problem ppf p = Format.fprintf ppf "%s: %s" p.p_rule p.p_detail
+
+let pp_report ppf r =
+  if ok r then
+    Format.fprintf ppf
+      "heapcheck OK: %d allocated chunks, %d containers (%d split), %d \
+       resident bytes"
+      r.chunks_allocated r.containers_walked r.cebs_walked r.bytes_resident
+  else begin
+    Format.fprintf ppf "heapcheck FAILED (%d problems):"
+      (List.length r.problems);
+    List.iter (fun p -> Format.fprintf ppf "@\n  %a" pp_problem p) r.problems
+  end
+
+(* Upper bound on containers walked from one manager's roots; a corrupt
+   record chain that stops making progress trips this instead of hanging
+   the audit (mirrors Validate's guard). *)
+let max_containers = 10_000_000
+
+exception Walk_overflow
+
+type entry = { info : M.audit_chunk; mutable refs : int }
+
+type st = {
+  mm : M.t;
+  tbl : (Hp.t, entry) Hashtbl.t;
+  mutable problems : problem list; (* accumulated in reverse *)
+  mutable containers : int;
+  mutable cebs : int;
+}
+
+let probf st p_rule fmt =
+  Printf.ksprintf
+    (fun p_detail -> st.problems <- { p_rule; p_detail } :: st.problems)
+    fmt
+
+let coords (c : M.audit_chunk) =
+  Printf.sprintf "%d.%d.%d.%d" c.M.a_superbin c.M.a_metabin c.M.a_bin
+    c.M.a_chunk
+
+let hp_coords hp =
+  Printf.sprintf "%d.%d.%d.%d" (Hp.superbin hp) (Hp.metabin hp) (Hp.bin hp)
+    (Hp.chunk hp)
+
+let kind_name = function
+  | M.A_small -> "small"
+  | M.A_free -> "free"
+  | M.A_plain -> "plain"
+  | M.A_chain_head -> "chain-head"
+  | M.A_chain_member -> "chain-member"
+  | M.A_reserved -> "reserved"
+
+(* ---- mark phase: re-walk the container graph from the roots ---------- *)
+
+let rec walk_top st buf base =
+  st.containers <- st.containers + 1;
+  if st.containers > max_containers then raise Walk_overflow;
+  let region = T.top_region buf base in
+  walk_region st buf region.T.rb region.T.re
+
+and walk_region st buf rb re =
+  let pos = ref rb and prev = ref (-1) in
+  while !pos < re do
+    let t = R.parse_t buf !pos ~prev_key:!prev in
+    prev := t.R.t_key;
+    let limit = R.next_t_pos buf t ~limit:re in
+    if limit <= !pos then raise Walk_overflow;
+    let sp = ref t.R.t_head_end and sprev = ref (-1) in
+    while !sp < limit do
+      let flag = Bytes.get_uint8 buf !sp in
+      if flag = 0 || not (Node.is_snode flag) then sp := limit
+      else begin
+        let s = R.parse_s buf !sp ~prev_key:!sprev in
+        sprev := s.R.s_key;
+        (match Node.child_of_flag flag with
+        | Node.No_child | Node.Child_pc -> ()
+        | Node.Child_embedded ->
+            let r = T.emb_region buf s.R.s_head_end in
+            walk_region st buf r.T.rb r.T.re
+        | Node.Child_hp -> mark st (Hp.read buf s.R.s_head_end));
+        if s.R.s_end <= !sp then raise Walk_overflow;
+        sp := s.R.s_end
+      end
+    done;
+    pos := limit
+  done
+
+and mark st hp =
+  if Hp.is_null hp then probf st "bad-ref" "null HP stored as a child pointer"
+  else
+    match Hashtbl.find_opt st.tbl hp with
+    | None -> probf st "dangling" "HP %s names no existing chunk" (hp_coords hp)
+    | Some e ->
+        e.refs <- e.refs + 1;
+        (* Recurse only on the first visit: a double reference (or an
+           induced cycle) is recorded via [refs] without re-walking. *)
+        if e.refs = 1 then
+          if not e.info.M.a_used then
+            probf st "bad-ref" "HP %s references a free chunk" (hp_coords hp)
+          else begin
+            match e.info.M.a_kind with
+            | M.A_small | M.A_plain ->
+                let buf, base = M.resolve st.mm hp in
+                walk_top st buf base
+            | M.A_chain_head ->
+                st.cebs <- st.cebs + 1;
+                for slot = 0 to 7 do
+                  match M.ceb_slot st.mm hp ~slot with
+                  | Some (buf, off, _) -> walk_top st buf off
+                  | None -> ()
+                done
+            | (M.A_free | M.A_chain_member | M.A_reserved) as k ->
+                probf st "bad-ref" "HP %s references a %s chunk" (hp_coords hp)
+                  (kind_name k)
+          end
+
+let mark_root st hp =
+  if not (Hp.is_null hp) then
+    match mark st hp with
+    | () -> ()
+    | exception Walk_overflow ->
+        probf st "walk"
+          "container graph from root %s exceeds %d containers (cycle?)"
+          (hp_coords hp) max_containers
+    | exception Invalid_argument m ->
+        probf st "walk" "walk from root %s aborted: %s" (hp_coords hp) m
+    | exception E.Error e ->
+        probf st "walk" "walk from root %s aborted: %s" (hp_coords hp)
+          (E.to_string e)
+
+(* ---- the audit over one memory manager ------------------------------- *)
+
+let audit_mm ?(roots = []) ~tries mm =
+  let cpb = M.chunks_per_bin mm in
+  let st =
+    {
+      mm;
+      tbl = Hashtbl.create 4096;
+      problems = [];
+      containers = 0;
+      cebs = 0;
+    }
+  in
+  (* Sweep: snapshot every chunk slot and accumulate independent byte and
+     chunk totals for the accounting reconciliation below. *)
+  let sweep_alloc = Array.make 64 0 in
+  let sweep_ext_bytes = ref 0 in
+  let ext_cap_bytes = ref 0 in
+  M.audit_iter_chunks mm (fun c ->
+      let key =
+        Hp.make ~superbin:c.M.a_superbin ~metabin:c.M.a_metabin ~bin:c.M.a_bin
+          ~chunk:c.M.a_chunk
+      in
+      Hashtbl.replace st.tbl key { info = c; refs = 0 };
+      if c.M.a_superbin = 0 then begin
+        ext_cap_bytes := !ext_cap_bytes + c.M.a_cap;
+        match c.M.a_kind with
+        | (M.A_plain | M.A_chain_head | M.A_chain_member) when c.M.a_used ->
+            sweep_alloc.(0) <- sweep_alloc.(0) + 1;
+            sweep_ext_bytes := !sweep_ext_bytes + c.M.a_cap + 16
+        | _ -> ()
+      end
+      else if c.M.a_used then
+        sweep_alloc.(c.M.a_superbin) <- sweep_alloc.(c.M.a_superbin) + 1);
+  (* Bin bookkeeping: cached occupancy counter vs recount, no-room bits,
+     declared/present agreement; accumulate segment bytes while here. *)
+  let bin_bytes = ref 0 in
+  M.audit_iter_bins mm (fun b ->
+      let where =
+        Printf.sprintf "superbin %d metabin %d bin %d" b.M.b_superbin
+          b.M.b_metabin b.M.b_bin
+      in
+      if b.M.b_declared <> b.M.b_present then
+        probf st "bin" "%s: declared=%b but present=%b" where b.M.b_declared
+          b.M.b_present;
+      if b.M.b_present then begin
+        bin_bytes :=
+          !bin_bytes
+          + cpb * (if b.M.b_superbin = 0 then 16 else 32 * b.M.b_superbin);
+        if b.M.b_used_cached <> b.M.b_used_recount then
+          probf st "counter"
+            "%s: cached occupancy %d but %d chunks actually marked used" where
+            b.M.b_used_cached b.M.b_used_recount;
+        let full = b.M.b_used_recount = cpb in
+        if b.M.b_declared && b.M.b_no_room <> full then
+          probf st "no-room" "%s: no_room=%b but bin is %s" where b.M.b_no_room
+            (if full then "full" else "not full")
+      end
+      else if not b.M.b_no_room then
+        probf st "no-room" "%s: no_room clear for uninitialized bin" where);
+  (* Metabin slots and the nonfull lists. *)
+  let mb_total = ref 0 in
+  M.audit_iter_metabins mm (fun m ->
+      incr mb_total;
+      let where =
+        Printf.sprintf "superbin %d metabin %d" m.M.m_superbin m.M.m_metabin
+      in
+      if not m.M.m_present then
+        probf st "metabin" "%s: empty slot below metabin_count" where
+      else begin
+        let can_allocate =
+          m.M.m_initialized < 256 || m.M.m_no_room_set < 256
+        in
+        if can_allocate && not m.M.m_in_nonfull then
+          probf st "nonfull" "%s can still allocate but is not listed" where;
+        if (not can_allocate) && m.M.m_in_nonfull then
+          probf st "nonfull" "%s is full but still listed" where
+      end);
+  for sb = 0 to 63 do
+    let count = M.audit_metabin_count mm ~superbin:sb in
+    let rec check_sorted prev = function
+      | [] -> ()
+      | id :: tl ->
+          if id <= prev then
+            probf st "nonfull"
+              "superbin %d: nonfull list not strictly ascending at %d \
+               (duplicate or cycle)"
+              sb id;
+          if id < 0 || id >= count then
+            probf st "nonfull" "superbin %d: nonfull id %d out of range" sb id;
+          check_sorted id tl
+    in
+    check_sorted (-1) (M.audit_nonfull mm ~superbin:sb)
+  done;
+  (* Extended-bin record state machine + CEB run structure. *)
+  let find_ext mb bin chunk =
+    Hashtbl.find_opt st.tbl (Hp.make ~superbin:0 ~metabin:mb ~bin ~chunk)
+  in
+  let ceb_census = Hashtbl.create 64 in
+  let census mb bin heads members =
+    let h, m =
+      match Hashtbl.find_opt ceb_census (mb, bin) with
+      | Some (h, m) -> (h, m)
+      | None -> (0, 0)
+    in
+    Hashtbl.replace ceb_census (mb, bin) (h + heads, m + members)
+  in
+  Hashtbl.iter
+    (fun _ e ->
+      let c = e.info in
+      if c.M.a_superbin = 0 then
+        if not c.M.a_used then begin
+          if c.M.a_kind <> M.A_free then
+            probf st "ext-state" "chunk %s: free slot has %s record"
+              (coords c) (kind_name c.M.a_kind);
+          if c.M.a_cap <> 0 || c.M.a_requested <> 0 || c.M.a_mem_len <> 0 then
+            probf st "ext-state"
+              "chunk %s: free slot retains a heap segment (cap %d, mem %d)"
+              (coords c) c.M.a_cap c.M.a_mem_len
+        end
+        else begin
+          match c.M.a_kind with
+          | M.A_small -> () (* unreachable: superbin 0 *)
+          | M.A_free ->
+              probf st "ext-state" "chunk %s: used slot has a free record"
+                (coords c)
+          | M.A_reserved ->
+              if c.M.a_metabin <> 0 || c.M.a_bin <> 0 || c.M.a_chunk <> 0 then
+                probf st "ext-state"
+                  "chunk %s: reserved record outside the null chunk" (coords c)
+          | M.A_plain ->
+              if
+                c.M.a_cap <= 0 || c.M.a_mem_len <> c.M.a_cap
+                || c.M.a_requested <= 0
+                || M.size_class c.M.a_requested <> c.M.a_cap
+              then
+                probf st "ext-state"
+                  "chunk %s: plain record bookkeeping broken (cap %d, mem \
+                   %d, requested %d)"
+                  (coords c) c.M.a_cap c.M.a_mem_len c.M.a_requested
+          | M.A_chain_head | M.A_chain_member ->
+              census c.M.a_metabin c.M.a_bin
+                (if c.M.a_kind = M.A_chain_head then 1 else 0)
+                (if c.M.a_kind = M.A_chain_member then 1 else 0);
+              if c.M.a_cap = 0 then begin
+                if c.M.a_mem_len <> 0 || c.M.a_requested <> 0 then
+                  probf st "ext-state"
+                    "chunk %s: void CEB slot retains a segment" (coords c)
+              end
+              else if
+                c.M.a_mem_len <> c.M.a_cap || c.M.a_requested <= 0
+                || M.size_class c.M.a_requested <> c.M.a_cap
+              then
+                probf st "ext-state"
+                  "chunk %s: CEB slot bookkeeping broken (cap %d, mem %d, \
+                   requested %d)"
+                  (coords c) c.M.a_cap c.M.a_mem_len c.M.a_requested;
+              if c.M.a_kind = M.A_chain_head then
+                if c.M.a_chunk + 7 >= cpb then
+                  probf st "ceb" "head %s: 8-chunk run exceeds the bin"
+                    (coords c)
+                else
+                  for i = 1 to 7 do
+                    match find_ext c.M.a_metabin c.M.a_bin (c.M.a_chunk + i) with
+                    | Some m
+                      when m.info.M.a_used
+                           && m.info.M.a_kind = M.A_chain_member ->
+                        ()
+                    | _ ->
+                        probf st "ceb" "head %s: member %d missing or invalid"
+                          (coords c) i
+                  done
+        end)
+    st.tbl;
+  Hashtbl.iter
+    (fun (mb, bin) (heads, members) ->
+      if members <> 7 * heads then
+        probf st "ceb"
+          "ext metabin %d bin %d: %d chain members for %d heads (want 7 per \
+           head)"
+          mb bin members heads)
+    ceb_census;
+  (* Mark from every root. *)
+  List.iter (mark_root st) roots;
+  (* Exactly-one-live-HP: leaks and double references. *)
+  Hashtbl.iter
+    (fun _ e ->
+      let c = e.info in
+      if e.refs > 1 then
+        probf st "double-ref" "chunk %s (%s) is referenced by %d live HPs"
+          (coords c) (kind_name c.M.a_kind) e.refs;
+      if c.M.a_used && e.refs = 0 then
+        match c.M.a_kind with
+        | M.A_small | M.A_plain | M.A_chain_head ->
+            probf st "leak"
+              "allocated chunk %s (%s, cap %d) is unreachable from any root"
+              (coords c) (kind_name c.M.a_kind) c.M.a_cap
+        | M.A_chain_member | M.A_reserved | M.A_free -> ())
+    st.tbl;
+  (* Accounting reconciliation: the manager's own summaries vs the sweep. *)
+  let profile = M.superbin_profile mm in
+  Array.iteri
+    (fun sb p ->
+      if p.M.allocated_chunks <> sweep_alloc.(sb) then
+        probf st "accounting"
+          "superbin %d: profile reports %d allocated chunks, sweep found %d"
+          sb p.M.allocated_chunks sweep_alloc.(sb))
+    profile;
+  if profile.(0).M.allocated_bytes <> !sweep_ext_bytes then
+    probf st "accounting"
+      "superbin 0: profile reports %d allocated bytes, sweep found %d"
+      profile.(0).M.allocated_bytes !sweep_ext_bytes;
+  let recomputed_bytes =
+    (64 * 64)
+    + (!mb_total * M.metabin_overhead_bytes mm)
+    + !bin_bytes + !ext_cap_bytes
+  in
+  let reported_bytes = M.total_bytes mm in
+  if recomputed_bytes <> reported_bytes then
+    probf st "accounting"
+      "total_bytes reports %d but the sweep recomputes %d resident bytes"
+      reported_bytes recomputed_bytes;
+  (* Stats cross-check: an independent traversal implementation must agree
+     on container counts.  Skipped when the walk already failed (the
+     counters are meaningless then). *)
+  let walk_failed =
+    List.exists (fun p -> p.p_rule = "walk" || p.p_rule = "dangling")
+      st.problems
+  in
+  if not walk_failed then begin
+    let stats =
+      List.fold_left
+        (fun acc trie ->
+          match S.collect trie with
+          | s -> S.add acc s
+          | exception e ->
+              probf st "stats" "Stats.collect failed: %s"
+                (Printexc.to_string e);
+              acc)
+        S.empty tries
+    in
+    if stats.S.containers <> st.containers then
+      probf st "stats" "Stats reports %d containers, mark walk visited %d"
+        stats.S.containers st.containers;
+    if stats.S.split_containers <> st.cebs then
+      probf st "stats"
+        "Stats reports %d split containers, mark walk visited %d CEBs"
+        stats.S.split_containers st.cebs
+  end;
+  {
+    problems = List.rev st.problems;
+    chunks_allocated = Array.fold_left ( + ) 0 sweep_alloc;
+    containers_walked = st.containers;
+    cebs_walked = st.cebs;
+    bytes_resident = recomputed_bytes;
+  }
+
+(* ---- public entry points --------------------------------------------- *)
+
+let merge (a : report) (b : report) =
+  {
+    problems = a.problems @ b.problems;
+    chunks_allocated = a.chunks_allocated + b.chunks_allocated;
+    containers_walked = a.containers_walked + b.containers_walked;
+    cebs_walked = a.cebs_walked + b.cebs_walked;
+    bytes_resident = a.bytes_resident + b.bytes_resident;
+  }
+
+let audit_trie ?(extra_roots = []) (trie : T.trie) =
+  audit_mm ~roots:(trie.T.root :: extra_roots) ~tries:[ trie ] trie.T.mm
+
+let audit_store ?(extra_roots = []) store =
+  let tries = Array.to_list (Hyperion.Store.internal_tries store) in
+  (* Tries share managers when arenas < 256: group them by physical
+     manager so each arena is swept once, with all its roots marked. *)
+  let groups : (M.t * T.trie list ref) list ref = ref [] in
+  List.iter
+    (fun tr ->
+      match List.find_opt (fun (mm, _) -> mm == tr.T.mm) !groups with
+      | Some (_, l) -> l := tr :: !l
+      | None -> groups := !groups @ [ (tr.T.mm, ref [ tr ]) ])
+    tries;
+  let reports =
+    List.mapi
+      (fun i (mm, l) ->
+        let tries = List.rev !l in
+        let roots = List.map (fun tr -> tr.T.root) tries in
+        (* The test-only injection hook targets the first arena. *)
+        let roots = if i = 0 then roots @ extra_roots else roots in
+        audit_mm ~roots ~tries mm)
+      !groups
+  in
+  match reports with
+  | [] ->
+      {
+        problems = [];
+        chunks_allocated = 0;
+        containers_walked = 0;
+        cebs_walked = 0;
+        bytes_resident = 0;
+      }
+  | r :: rest -> List.fold_left merge r rest

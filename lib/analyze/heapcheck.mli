@@ -1,0 +1,55 @@
+(** Heap sanitizer: a mark-and-sweep audit of the Hyperion memory manager.
+
+    Where [Validate.check_store] walks the trie's record structure, this
+    module audits the allocator underneath it.  A sweep snapshots every
+    chunk/bin/metabin through the raw [Memman.audit_*] exports (bypassing
+    the cached occupancy counters), then a mark phase re-walks the
+    container graph from the trie roots counting live HP references per
+    chunk.  The audit proves, per arena:
+
+    - every allocated chunk is referenced by exactly one live HP (leak
+      and double-reference detection);
+    - free chunks are disjoint from the live graph, and freed
+      extended-bin records are fully reset;
+    - chained extended bins are well-formed 8-chunk runs;
+    - per-bin occupancy counters match a bit-by-bit recount, and the
+      no-room bits and nonfull metabin lists (strictly ascending, hence
+      acyclic) agree with swept reality;
+    - [Memman.total_bytes], [Memman.superbin_profile] and [Stats]
+      container counts reconcile with independently recomputed totals.
+
+    The audit is read-only but parses live container bytes: the store
+    must be quiesced (no concurrent mutator on any arena) while it runs,
+    exactly like [Validate.check_store].  Cost is linear in resident
+    chunks plus live containers; see DESIGN.md section 11. *)
+
+type problem = {
+  p_rule : string;  (** short rule id: ["leak"], ["double-ref"], ... *)
+  p_detail : string;  (** human-readable detail with bin/HP coordinates *)
+}
+
+type report = {
+  problems : problem list;  (** empty iff the heap is sound *)
+  chunks_allocated : int;  (** allocated chunks found by the sweep *)
+  containers_walked : int;  (** top-level containers visited by the mark *)
+  cebs_walked : int;  (** chained extended bins visited by the mark *)
+  bytes_resident : int;  (** independently recomputed resident bytes *)
+}
+
+val ok : report -> bool
+val first_problem : report -> string option
+
+val audit_store :
+  ?extra_roots:Hyperion.Hp.t list -> Hyperion.Store.t -> report
+(** Audit every arena of the store, grouping tries that share a memory
+    manager so each arena is swept once with all its roots marked.
+    [extra_roots] is a test-only injection hook: the HPs are marked as
+    additional roots of the {e first} arena, letting tests fabricate a
+    double reference without corrupting a real container. *)
+
+val audit_trie : ?extra_roots:Hyperion.Hp.t list -> Hyperion.Types.trie -> report
+(** Audit a single trie's arena (white-box entry for tests).  Only
+    meaningful when no other trie shares the manager. *)
+
+val pp_problem : Format.formatter -> problem -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,506 @@
+(* Project-specific source lint (ISSUE 5 tentpole, prong 1).
+
+   Parses every [.ml] file with the compiler's own front end
+   (compiler-libs.common — ships with the OCaml toolchain, no new
+   dependency) and enforces the rules the engine's byte-level invariants
+   depend on:
+
+   - [assert-false]   no [assert false] in lib/core, lib/persist or
+                      lib/shard: internal invariant breaches must surface
+                      through the typed [Hyperion_error] channel.
+   - [obj-magic]      no [Obj.magic], anywhere.
+   - [unsafe]         no [Array.unsafe_*] / [Bytes.unsafe_*] outside
+                      modules named in the allow-list, and even there only
+                      under a [(* SAFETY: ... *)] proof comment attached to
+                      the enclosing top-level binding.
+   - [catch-all]      no [try ... with _ ->] (or a bound-but-ignored
+                      exception variable) that can silently swallow a
+                      [Hyperion_error.Error].  Handlers that consult the
+                      exception ([with e -> cleanup; raise e]) pass.
+   - [mutable-field]  no [mutable] record field in files whose library is
+                      reachable from [hyperion_shard]'s dune dependency
+                      closure, unless the field is an [Atomic.t] or named
+                      in the allow-list (single-writer fields with an
+                      external synchronization argument).
+
+   Violations print [file:line rule message]; the driver exits non-zero
+   when any are found. *)
+
+type violation = {
+  v_file : string;
+  v_line : int;
+  v_rule : string;
+  v_msg : string;
+}
+
+let to_string v = Printf.sprintf "%s:%d %s %s" v.v_file v.v_line v.v_rule v.v_msg
+
+(* ---- allow-list ------------------------------------------------------ *)
+
+type allow = {
+  unsafe_modules : string list;  (* repo-relative .ml paths *)
+  mutable_fields : (string * string) list;  (* path, "type.field" *)
+}
+
+let empty_allow = { unsafe_modules = []; mutable_fields = [] }
+
+(* Format, one directive per line ('#' starts a comment):
+     unsafe <path.ml>
+     mutable <path.ml> <type.field>   (or <type.Constructor.field>) *)
+let parse_allow ~file text =
+  let lines = String.split_on_char '\n' text in
+  let acc = ref empty_allow in
+  let err = ref None in
+  List.iteri
+    (fun i line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> ()
+      | [ "unsafe"; path ] ->
+          acc := { !acc with unsafe_modules = path :: !acc.unsafe_modules }
+      | [ "mutable"; path; field ] ->
+          acc :=
+            { !acc with mutable_fields = (path, field) :: !acc.mutable_fields }
+      | _ ->
+          if !err = None then
+            err := Some (Printf.sprintf "%s:%d: unrecognized directive" file (i + 1)))
+    lines;
+  match !err with Some e -> Error e | None -> Ok !acc
+
+let load_allow path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> parse_allow ~file:path text
+  | exception Sys_error m -> Error m
+
+(* ---- SAFETY proof comments ------------------------------------------- *)
+
+(* Line numbers (1-based) of every "(* SAFETY" comment opener.  A raw text
+   scan is deliberate: comments do not survive into the parsetree. *)
+let safety_lines text =
+  let lines = ref [] in
+  let line = ref 1 in
+  let n = String.length text in
+  for i = 0 to n - 1 do
+    if text.[i] = '\n' then incr line
+    else if
+      text.[i] = '('
+      && i + 8 < n
+      && String.sub text i 9 = "(* SAFETY"
+    then lines := !line :: !lines
+  done;
+  List.rev !lines
+
+(* ---- the AST pass ---------------------------------------------------- *)
+
+type ctx = {
+  file : string;  (* repo-relative path used in messages and allow-list *)
+  strict : bool;  (* assert-false banned *)
+  reachable : bool;  (* mutable-field rule applies *)
+  allow : allow;
+  safety : int list;
+  mutable items : (int * int) list;  (* enclosing structure-item line spans *)
+  mutable found : violation list;
+}
+
+let report ctx line rule fmt =
+  Printf.ksprintf
+    (fun msg ->
+      ctx.found <-
+        { v_file = ctx.file; v_line = line; v_rule = rule; v_msg = msg }
+        :: ctx.found)
+    fmt
+
+let line_of (loc : Location.t) = loc.loc_start.pos_lnum
+let end_line_of (loc : Location.t) = loc.loc_end.pos_lnum
+
+let is_false_construct (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident "false"; _ }, None) -> true
+  | _ -> false
+
+(* Does [expr] mention the variable [name]?  Used to tell a logging/rethrow
+   handler ([with e -> ...; raise e]) from one that drops the exception. *)
+let uses_var name expr =
+  let found = ref false in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident n; _ } when n = name ->
+              found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.expr iter expr;
+  !found
+
+let check_handler_cases ctx (cases : Parsetree.case list) =
+  List.iter
+    (fun (c : Parsetree.case) ->
+      match c.pc_lhs.ppat_desc with
+      | Ppat_any ->
+          report ctx (line_of c.pc_lhs.ppat_loc) "catch-all"
+            "wildcard exception handler can swallow Hyperion_error; match \
+             specific exceptions or consult the value"
+      | Ppat_var { txt = name; _ } ->
+          let used =
+            uses_var name c.pc_rhs
+            || match c.pc_guard with Some g -> uses_var name g | None -> false
+          in
+          if not used then
+            report ctx (line_of c.pc_lhs.ppat_loc) "catch-all"
+              "handler binds the exception as %s but never consults it, \
+               silently swallowing Hyperion_error"
+              name
+      | _ -> ())
+    cases
+
+let check_expr ctx (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_assert inner when ctx.strict && is_false_construct inner ->
+      report ctx (line_of e.pexp_loc) "assert-false"
+        "assert false in a strict module; raise a typed Hyperion_error \
+         instead"
+  | Pexp_ident { txt; loc } -> (
+      match Longident.flatten txt with
+      | [ "Obj"; "magic" ] ->
+          report ctx (line_of loc) "obj-magic" "Obj.magic defeats the type system"
+      | [ m; f ]
+        when (m = "Array" || m = "Bytes")
+             && String.length f > 7
+             && String.sub f 0 7 = "unsafe_" -> (
+          let use_line = line_of loc in
+          if not (List.mem ctx.file ctx.allow.unsafe_modules) then
+            report ctx use_line "unsafe"
+              "%s.%s outside an allow-listed module" m f
+          else
+            match ctx.items with
+            | (item_start, _) :: _
+              when List.exists
+                     (fun l -> l >= item_start && l <= use_line)
+                     ctx.safety ->
+                ()
+            | _ ->
+                report ctx use_line "unsafe"
+                  "%s.%s without a (* SAFETY: ... *) proof comment on the \
+                   enclosing binding"
+                  m f)
+      | _ -> ())
+  | Pexp_try (_, cases) -> check_handler_cases ctx cases
+  | Pexp_match (_, cases) ->
+      (* [match ... with exception _ -> ...] is a handler too. *)
+      List.iter
+        (fun (c : Parsetree.case) ->
+          match c.pc_lhs.ppat_desc with
+          | Ppat_exception p -> check_handler_cases ctx [ { c with pc_lhs = p } ]
+          | _ -> ())
+        cases
+  | _ -> ()
+
+let is_atomic_t (ty : Parsetree.core_type) =
+  match ty.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, _) -> (
+      match Longident.flatten txt with
+      | [ "Atomic"; "t" ] -> true
+      | _ -> false)
+  | _ -> false
+
+let check_labels ctx ~tyname ~prefix (labels : Parsetree.label_declaration list)
+    =
+  List.iter
+    (fun (l : Parsetree.label_declaration) ->
+      if l.pld_mutable = Mutable && not (is_atomic_t l.pld_type) then begin
+        let field = prefix ^ l.pld_name.txt in
+        let key = tyname ^ "." ^ field in
+        if not (List.mem (ctx.file, key) ctx.allow.mutable_fields) then
+          report ctx
+            (line_of l.pld_loc)
+            "mutable-field"
+            "mutable field %s in shard-reachable type %s is not Atomic.t and \
+             not allow-listed"
+            field tyname
+      end)
+    labels
+
+let check_type_decl ctx (d : Parsetree.type_declaration) =
+  if ctx.reachable then
+    let tyname = d.ptype_name.txt in
+    match d.ptype_kind with
+    | Ptype_record labels -> check_labels ctx ~tyname ~prefix:"" labels
+    | Ptype_variant constrs ->
+        List.iter
+          (fun (c : Parsetree.constructor_declaration) ->
+            match c.pcd_args with
+            | Pcstr_record labels ->
+                check_labels ctx ~tyname ~prefix:(c.pcd_name.txt ^ ".") labels
+            | Pcstr_tuple _ -> ())
+          constrs
+    | _ -> ()
+
+let make_iterator ctx =
+  let super = Ast_iterator.default_iterator in
+  {
+    super with
+    Ast_iterator.structure_item =
+      (fun self item ->
+        ctx.items <-
+          (line_of item.Parsetree.pstr_loc, end_line_of item.Parsetree.pstr_loc)
+          :: ctx.items;
+        super.structure_item self item;
+        ctx.items <- List.tl ctx.items);
+    expr =
+      (fun self e ->
+        check_expr ctx e;
+        super.expr self e);
+    type_declaration =
+      (fun self d ->
+        check_type_decl ctx d;
+        super.type_declaration self d);
+  }
+
+let check_source ?(allow = empty_allow) ?(strict = false) ?(reachable = false)
+    ~file text =
+  let ctx =
+    {
+      file;
+      strict;
+      reachable;
+      allow;
+      safety = safety_lines text;
+      items = [];
+      found = [];
+    }
+  in
+  (match
+     let lexbuf = Lexing.from_string text in
+     Lexing.set_filename lexbuf file;
+     Parse.implementation lexbuf
+   with
+  | ast ->
+      let iter = make_iterator ctx in
+      iter.structure iter ast
+  | exception e ->
+      let line =
+        match e with
+        | Syntaxerr.Error err ->
+            line_of (Syntaxerr.location_of_error err)
+        | _ -> 1
+      in
+      report ctx line "parse" "%s" (Printexc.to_string e));
+  List.sort
+    (fun a b ->
+      match compare a.v_file b.v_file with
+      | 0 -> compare a.v_line b.v_line
+      | c -> c)
+    ctx.found
+
+(* ---- dune dependency graph (shard reachability) ---------------------- *)
+
+(* Minimal s-expression reader: enough for dune files (atoms, lists,
+   ';' line comments, double-quoted strings). *)
+type sexp = Atom of string | List of sexp list
+
+let parse_sexps text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some ';' ->
+        while !pos < n && text.[!pos] <> '\n' do
+          advance ()
+        done;
+        skip_ws ()
+    | _ -> ()
+  in
+  let atom () =
+    let start = !pos in
+    let stop = ref false in
+    while not !stop do
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | ';') | None -> stop := true
+      | Some _ -> advance ()
+    done;
+    Atom (String.sub text start (!pos - start))
+  in
+  let quoted () =
+    advance ();
+    let b = Buffer.create 16 in
+    let stop = ref false in
+    while not !stop do
+      match peek () with
+      | Some '"' | None ->
+          advance ();
+          stop := true
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some c ->
+              Buffer.add_char b c;
+              advance ()
+          | None -> ())
+      | Some c ->
+          Buffer.add_char b c;
+          advance ()
+    done;
+    Atom (Buffer.contents b)
+  in
+  let rec sexp () =
+    skip_ws ();
+    match peek () with
+    | Some '(' ->
+        advance ();
+        let items = ref [] in
+        let stop = ref false in
+        while not !stop do
+          skip_ws ();
+          match peek () with
+          | Some ')' | None ->
+              advance ();
+              stop := true
+          | Some _ -> items := sexp () :: !items
+        done;
+        List (List.rev !items)
+    | Some '"' -> quoted ()
+    | _ -> atom ()
+  in
+  let out = ref [] in
+  skip_ws ();
+  while !pos < n do
+    out := sexp () :: !out;
+    skip_ws ()
+  done;
+  List.rev !out
+
+(* [(dir, name, deps)] for every library stanza in dune files under
+   [root]/lib (skipping _build). *)
+let dune_libraries root =
+  let libs = ref [] in
+  let rec scan dir =
+    match Sys.readdir dir with
+    | entries ->
+        Array.sort compare entries;
+        Array.iter
+          (fun entry ->
+            let path = Filename.concat dir entry in
+            if entry = "_build" || entry = ".git" then ()
+            else if Sys.is_directory path then scan path
+            else if entry = "dune" then
+              match In_channel.with_open_bin path In_channel.input_all with
+              | text ->
+                  List.iter
+                    (function
+                      | List (Atom "library" :: fields) ->
+                          let name = ref None and deps = ref [] in
+                          List.iter
+                            (function
+                              | List [ Atom "name"; Atom n ] -> name := Some n
+                              | List (Atom "libraries" :: ds) ->
+                                  List.iter
+                                    (function
+                                      | Atom d -> deps := d :: !deps
+                                      | List _ -> ())
+                                    ds
+                              | _ -> ())
+                            fields;
+                          (match !name with
+                          | Some n -> libs := (dir, n, !deps) :: !libs
+                          | None -> ())
+                      | _ -> ())
+                    (parse_sexps text)
+              | exception Sys_error _ -> ())
+          entries
+    | exception Sys_error _ -> ()
+  in
+  scan (Filename.concat root "lib");
+  !libs
+
+(* Directories of every library in [hyperion_shard]'s dune dependency
+   closure — the scope of the mutable-field rule. *)
+let shard_reachable_dirs root =
+  let libs = dune_libraries root in
+  let visited = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.add visited name ();
+      List.iter
+        (fun (_, n, deps) -> if n = name then List.iter visit deps)
+        libs
+    end
+  in
+  visit "hyperion_shard";
+  List.filter_map
+    (fun (dir, n, _) -> if Hashtbl.mem visited n then Some dir else None)
+    libs
+
+(* ---- driver ---------------------------------------------------------- *)
+
+let strict_dirs = [ "lib/core"; "lib/persist"; "lib/shard" ]
+
+let normalize path =
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let in_dir dir path =
+  let dir = if dir = "" || dir.[String.length dir - 1] = '/' then dir else dir ^ "/" in
+  String.length path > String.length dir
+  && String.sub path 0 (String.length dir) = dir
+
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    let entries = Sys.readdir path in
+    Array.sort compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || entry = ".git" then acc
+        else collect_ml acc (Filename.concat path entry))
+      acc entries
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let run ?(allow = empty_allow) ~root paths =
+  let reachable_dirs =
+    List.map normalize (shard_reachable_dirs root)
+  in
+  let files =
+    List.concat_map
+      (fun p -> List.rev (collect_ml [] (Filename.concat root p)))
+      paths
+  in
+  let strip_root p =
+    let p = normalize p in
+    let prefix = normalize root ^ "/" in
+    if normalize root = "." then p
+    else if in_dir (normalize root) p then
+      String.sub p (String.length prefix) (String.length p - String.length prefix)
+    else p
+  in
+  List.concat_map
+    (fun path ->
+      let rel = strip_root path in
+      match In_channel.with_open_bin path In_channel.input_all with
+      | text ->
+          check_source ~allow
+            ~strict:(List.exists (fun d -> in_dir d rel) strict_dirs)
+            ~reachable:(List.exists (fun d -> in_dir d rel) reachable_dirs)
+            ~file:rel text
+      | exception Sys_error m ->
+          [ { v_file = rel; v_line = 1; v_rule = "io"; v_msg = m } ])
+    files

@@ -1,0 +1,65 @@
+(** Project-specific source lint, built on the compiler's own parser
+    (compiler-libs.common).
+
+    Rules (see DESIGN.md section 11 for the full table):
+    - [assert-false]: no [assert false] in strict modules (lib/core,
+      lib/persist, lib/shard) — raise a typed [Hyperion_error] instead.
+    - [obj-magic]: no [Obj.magic], anywhere.
+    - [unsafe]: no [Array.unsafe_*] / [Bytes.unsafe_*] outside
+      allow-listed modules, and only under a [(* SAFETY: ... *)] proof
+      comment within the enclosing top-level binding.
+    - [catch-all]: no exception handler that can silently swallow a
+      [Hyperion_error.Error] — a wildcard pattern, or a bound exception
+      variable the handler never consults.
+    - [mutable-field]: no non-[Atomic.t] [mutable] record field in files
+      reachable from [hyperion_shard]'s dune dependency closure, unless
+      allow-listed. *)
+
+type violation = {
+  v_file : string;
+  v_line : int;
+  v_rule : string;
+  v_msg : string;
+}
+
+val to_string : violation -> string
+(** [file:line rule message] — the format the CI job greps. *)
+
+(** {1 Allow-list}
+
+    One directive per line; ['#'] starts a comment.
+    {v
+    unsafe <path.ml>                 # module may use unsafe_* under SAFETY
+    mutable <path.ml> <type.field>   # field exempt from the mutable rule
+    v} *)
+
+type allow = {
+  unsafe_modules : string list;
+  mutable_fields : (string * string) list;
+}
+
+val empty_allow : allow
+val parse_allow : file:string -> string -> (allow, string) result
+val load_allow : string -> (allow, string) result
+
+(** {1 Checking} *)
+
+val check_source :
+  ?allow:allow ->
+  ?strict:bool ->
+  ?reachable:bool ->
+  file:string ->
+  string ->
+  violation list
+(** Lint one compilation unit given as source text.  [strict] enables the
+    assert-false rule, [reachable] the mutable-field rule; [file] is the
+    repo-relative path used in messages and allow-list lookups.  Unparsable
+    sources yield a single [parse] violation. *)
+
+val shard_reachable_dirs : string -> string list
+(** Directories of every library in [hyperion_shard]'s dune dependency
+    closure, computed from the dune files under [root]/lib. *)
+
+val run : ?allow:allow -> root:string -> string list -> violation list
+(** Lint every [.ml] under the given paths (relative to [root]), deriving
+    each file's [strict]/[reachable] setting from its location. *)

@@ -56,7 +56,7 @@ let num f =
 
 let git_rev () =
   match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
-  | exception _ -> "unknown"
+  | exception (Unix.Unix_error _ | Sys_error _) -> "unknown"
   | ic -> (
       let line = try input_line ic with End_of_file -> "" in
       match Unix.close_process_in ic with

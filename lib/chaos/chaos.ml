@@ -32,7 +32,8 @@ let key_for id =
   | _ -> base ^ "!"
 
 let run ?(config = H.Config.default) ?(plan = Fault.none)
-    ?(validate_every = 1000) ?(key_space = 4096) ?on_op ?store ~seed ~ops () =
+    ?(validate_every = 1000) ?(key_space = 4096) ?(heapcheck = true) ?on_op
+    ?store ~seed ~ops () =
   if ops < 0 then invalid_arg "Chaos.run: negative ops";
   if key_space <= 0 then invalid_arg "Chaos.run: key_space must be positive";
   if validate_every <= 0 then
@@ -62,12 +63,19 @@ let run ?(config = H.Config.default) ?(plan = Fault.none)
   in
   let audit op =
     incr audits;
-    match H.Validate.check_store store with
+    (match H.Validate.check_store store with
     | [] -> ()
     | errs ->
         diverge op "audit found %d structural violation(s); first: %s"
           (List.length errs)
-          (Format.asprintf "%a" H.Validate.pp_error (List.hd errs))
+          (Format.asprintf "%a" H.Validate.pp_error (List.hd errs)));
+    (* Heap sanitizer: the record structure can be sound while the
+       allocator underneath leaks or double-references chunks, so every
+       audit round also mark-and-sweeps the arenas (DESIGN.md section 11). *)
+    if heapcheck then
+      match Analyze.Heapcheck.first_problem (Analyze.Heapcheck.audit_store store) with
+      | None -> ()
+      | Some p -> diverge op "heap audit: %s" p
   in
   let check_key op key =
     let hv = H.Store.get store key and ov = Rbtree.get oracle key in
@@ -322,8 +330,10 @@ let run_sharded_client store ~seed ~clients ~c ~ops ~key_space =
   { cr_log = !log; cr_mutations = !mutations; cr_batched = !batched; cr_error = !err }
 
 (* Quiesced audit: structural validation of every shard store plus the
-   iter/length point-in-time consistency check. *)
-let sharded_audit store =
+   iter/length point-in-time consistency check and (unless disabled) the
+   per-shard heap sanitizer — with the workers parked at the barrier no
+   mutator can race the mark-and-sweep. *)
+let sharded_audit ~heapcheck store =
   Hyperion_shard.with_quiesced store (fun stores ->
       let problem = ref None in
       Array.iteri
@@ -342,7 +352,14 @@ let sharded_audit store =
               problem :=
                 Some
                   (Printf.sprintf "shard %d: iter visited %d keys, length says %d"
-                     i !swept (H.Store.length s))
+                     i !swept (H.Store.length s));
+            if !problem = None && heapcheck then
+              match
+                Analyze.Heapcheck.first_problem (Analyze.Heapcheck.audit_store s)
+              with
+              | None -> ()
+              | Some p ->
+                  problem := Some (Printf.sprintf "shard %d: heap audit: %s" i p)
           end)
         stores;
       !problem)
@@ -374,7 +391,7 @@ let sweep_against_oracle ~what store oracle =
   !problem
 
 let run_sharded ?(config = H.Config.default) ?(shards = 4) ?clients
-    ?(key_space = 4096) ?dir ~seed ~ops () =
+    ?(key_space = 4096) ?(heapcheck = true) ?dir ~seed ~ops () =
   if ops < 0 then invalid_arg "Chaos.run_sharded: negative ops";
   if shards < 1 then invalid_arg "Chaos.run_sharded: shards must be positive";
   if key_space <= 0 then
@@ -431,7 +448,7 @@ let run_sharded ?(config = H.Config.default) ?(shards = 4) ?clients
       (* Coordinator: quiesced audits while the clients hammer the store. *)
       let audits = ref 0 and audit_problem = ref None in
       while Atomic.get finished < clients && !audit_problem = None do
-        (match sharded_audit store with
+        (match sharded_audit ~heapcheck store with
         | Some p -> audit_problem := Some p
         | None -> ());
         incr audits;
@@ -446,7 +463,7 @@ let run_sharded ?(config = H.Config.default) ?(shards = 4) ?clients
       | None, Some e -> fail "%s" e
       | None, None -> (
           (* Final audit + full sweep against the merged oracle. *)
-          (match sharded_audit store with
+          (match sharded_audit ~heapcheck store with
           | Some p -> incr audits; audit_problem := Some p
           | None -> incr audits);
           match !audit_problem with
@@ -537,7 +554,7 @@ let run_sharded ?(config = H.Config.default) ?(shards = 4) ?clients
                       in
                       let* () =
                         closing store2
-                          (match sharded_audit store2 with
+                          (match sharded_audit ~heapcheck store2 with
                           | Some p -> fail "post-recovery audit: %s" p
                           | None -> Ok ())
                       in
@@ -595,7 +612,8 @@ let pp_crash_outcome fmt o =
     o.ops_logged o.acked o.scenario o.cut_bytes o.rotations o.recovered
 
 let run_crash ?(config = H.Config.default) ?(key_space = 2048)
-    ?(sync_every_ops = 16) ?(rotate_bytes = 8192) ~dir ~seed ~ops () =
+    ?(sync_every_ops = 16) ?(rotate_bytes = 8192) ?(heapcheck = true) ~dir
+    ~seed ~ops () =
   if ops < 0 then invalid_arg "Chaos.run_crash: negative ops";
   if key_space <= 0 then
     invalid_arg "Chaos.run_crash: key_space must be positive";
@@ -752,11 +770,24 @@ let run_crash ?(config = H.Config.default) ?(key_space = 2048)
                     fail "post-recovery dump diverges (%s, cut=%d): %s"
                       scenario cut d
                 | None -> (
-                    match H.Validate.check_store store with
-                    | e :: _ ->
-                        fail "post-recovery audit: %s"
-                          (Format.asprintf "%a" H.Validate.pp_error e)
-                    | [] -> (
+                    let audit_problem =
+                      match H.Validate.check_store store with
+                      | e :: _ ->
+                          Some (Format.asprintf "%a" H.Validate.pp_error e)
+                      | [] ->
+                          (* [Persist.open_or_create] already heap-audits
+                             the recovered store; this second pass covers
+                             the replayed-WAL + oracle-diffed state under
+                             the same reporting as the other chaos modes. *)
+                          if heapcheck then
+                            Option.map (( ^ ) "heap audit: ")
+                              (Analyze.Heapcheck.first_problem
+                                 (Analyze.Heapcheck.audit_store store))
+                          else None
+                    in
+                    match audit_problem with
+                    | Some why -> fail "post-recovery audit: %s" why
+                    | None -> (
                         (* liveness: the recovered handle must still accept
                            and persist new mutations *)
                         match Persist.put p2 "post/recovery/probe" 1L with

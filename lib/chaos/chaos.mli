@@ -29,6 +29,7 @@ val run :
   ?plan:Fault.t ->
   ?validate_every:int ->
   ?key_space:int ->
+  ?heapcheck:bool ->
   ?on_op:(int -> unit) ->
   ?store:Hyperion.Store.t ->
   seed:int64 ->
@@ -47,6 +48,11 @@ val run :
     [?store] runs the workload against an existing store — e.g. one just
     recovered by {!Persist.open_or_create} — instead of a fresh one; its
     current bindings seed the oracle.
+
+    [?heapcheck] (default [true]) additionally runs the
+    {!Analyze.Heapcheck} mark-and-sweep heap sanitizer on every audit
+    round, so an allocator leak or double-referenced chunk fails the run
+    with the same replay recipe as a structural violation.
 
     [?on_op] is invoked after every completed operation with its index —
     a progress hook, e.g. for periodic telemetry dumps ([hyperion_cli
@@ -87,6 +93,7 @@ val run_sharded :
   ?shards:int ->
   ?clients:int ->
   ?key_space:int ->
+  ?heapcheck:bool ->
   ?dir:string ->
   seed:int64 ->
   ops:int ->
@@ -95,8 +102,10 @@ val run_sharded :
 (** [run_sharded ~seed ~ops ()] splits [ops] across the clients (default
     [min shards 4]).  Fault injection is not supported here — plans are
     not domain-safe; the single-store chaos modes cover it.  [?dir] works
-    in [dir/shard-chaos-<seed>] (wiped before and after).  [Error msg]
-    embeds the seed and the failing check. *)
+    in [dir/shard-chaos-<seed>] (wiped before and after).  [?heapcheck]
+    (default [true]) runs the heap sanitizer on every shard store inside
+    each quiesced audit.  [Error msg] embeds the seed and the failing
+    check. *)
 
 (** {1 Crash-recovery chaos}
 
@@ -125,6 +134,7 @@ val run_crash :
   ?key_space:int ->
   ?sync_every_ops:int ->
   ?rotate_bytes:int ->
+  ?heapcheck:bool ->
   dir:string ->
   seed:int64 ->
   ops:int ->
@@ -134,5 +144,8 @@ val run_crash :
     sync_every_ops, rotate_bytes)].  It works in [dir/crash-<seed>] (wiped
     before and after).  Defaults force frequent group commits
     ([sync_every_ops = 16]) and rotations ([rotate_bytes = 8192]) so short
-    runs still cross every crash window.  [Error msg] embeds the seed, the
-    scenario and the cut offset — a complete replay recipe. *)
+    runs still cross every crash window.  [?heapcheck] (default [true])
+    heap-audits the recovered store after the post-crash reopen (on top of
+    the audit {!Persist.open_or_create} performs itself).  [Error msg]
+    embeds the seed, the scenario and the cut offset — a complete replay
+    recipe. *)

@@ -8,6 +8,8 @@ let delta_for ~prev_key ~key =
 let value_string v =
   let b = Bytes.create Node.value_size in
   Records.write_value b 0 v;
+  (* SAFETY: [b] is freshly allocated, fully written, and never mutated or
+     aliased after this conversion. *)
   Bytes.unsafe_to_string b
 
 let check_typ_value typ value =
@@ -45,6 +47,8 @@ let pc_body suffix value =
 let hp_body hp =
   let b = Bytes.create Hp.byte_size in
   Hp.write b 0 hp;
+  (* SAFETY: [b] is freshly allocated, fully written, and never mutated or
+     aliased after this conversion. *)
   Bytes.unsafe_to_string b
 
 let head_frag_size flag = if Node.delta_of_flag flag = 0 then 2 else 1
@@ -61,6 +65,8 @@ let re_encode_head buf pos ~key ~new_prev =
       let b = Bytes.create 2 in
       Bytes.set_uint8 b 0 flag';
       Bytes.set_uint8 b 1 key;
+      (* SAFETY: [b] is freshly allocated, fully written, and never mutated
+         or aliased after this conversion. *)
       Bytes.unsafe_to_string b
     else String.make 1 (Char.chr flag')
   in

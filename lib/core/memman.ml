@@ -97,6 +97,14 @@ let alloc_gate t site =
 (* Real memory pressure from the runtime also degrades to saturation. *)
 let guard_oom t f = try f () with Out_of_memory -> saturate t
 
+(* Internal-invariant breaches surface as a typed [Chunk_corrupt] instead of
+   [assert false]: callers with a typed-result API report them, and the
+   chaos harness can tell a corrupted manager from a crashed process. *)
+let corrupt fmt =
+  Format.kasprintf
+    (fun msg -> Hyperion_error.fail (Hyperion_error.Chunk_corrupt msg))
+    ("Memman: " ^^ fmt)
+
 let rec insert_sorted x = function
   | [] -> [ x ]
   | y :: tl as l ->
@@ -123,7 +131,7 @@ let nonfull_metabin t sb =
   | mb_id :: _ -> (
       match sb.metabins.(mb_id) with
       | Some mb -> (mb_id, mb)
-      | None -> assert false)
+      | None -> corrupt "nonfull list names missing metabin %d" mb_id)
   | [] ->
       let mb_id = sb.metabin_count in
       if mb_id >= t.max_metabins then saturate t;
@@ -154,9 +162,10 @@ let pick_bin mb ~init =
   | Some bin_id -> (
       match mb.bins.(bin_id) with
       | Some bin -> (bin_id, bin)
-      | None -> assert false)
+      | None -> corrupt "no_room clear for uninitialized bin %d" bin_id)
   | None ->
-      assert (mb.initialized < bins_per_metabin);
+      if mb.initialized >= bins_per_metabin then
+        corrupt "metabin full but listed as nonfull";
       let bin_id = mb.initialized in
       let bin = init () in
       mb.bins.(bin_id) <- Some bin;
@@ -179,7 +188,7 @@ let small_alloc t sb_id =
   let chunk =
     match Bitset.find_clear bin.used with
     | Some c -> c
-    | None -> assert false
+    | None -> corrupt "metabin %d bin %d picked but has no free chunk" mb_id bin_id
   in
   Bitset.set bin.used chunk;
   Bytes.fill bin.seg (chunk * chunk_size) chunk_size '\000';
@@ -206,7 +215,7 @@ let small_free t hp =
   Bitset.clear bin.used (Hp.chunk hp);
   match sb.metabins.(Hp.metabin hp) with
   | Some mb -> after_free_bookkeeping sb (Hp.metabin hp) mb (Hp.bin hp)
-  | None -> assert false
+  | None -> corrupt "free: metabin %d vanished mid-free" (Hp.metabin hp)
 
 (* ---- extended-bin paths ---- *)
 
@@ -234,7 +243,9 @@ let ext_alloc t requested =
     let chunk =
       match Bitset.find_clear bin.eused with
       | Some c -> c
-      | None -> assert false
+      | None ->
+          corrupt "ext metabin %d bin %d picked but has no free chunk" mb_id
+            bin_id
     in
     if reserve_null bin mb_id bin_id chunk then begin
       after_alloc_bookkeeping sb mb_id mb bin_id
@@ -285,7 +296,7 @@ let ext_free_chunk t hp chunk =
   Bitset.clear bin.eused chunk;
   match sb.metabins.(Hp.metabin hp) with
   | Some mb -> after_free_bookkeeping sb (Hp.metabin hp) mb (Hp.bin hp)
-  | None -> assert false
+  | None -> corrupt "ext free: metabin %d vanished mid-free" (Hp.metabin hp)
 
 (* ---- public plain API ---- *)
 
@@ -446,7 +457,9 @@ let ceb_alloc t =
         ignore (reserve_null bin mb_id bin_id 0);
         (match Bitset.find_clear_run bin.eused ceb_slots with
         | Some head -> (mb_id, mb, bin_id, bin, head)
-        | None -> assert false (* a fresh bin has >= 63 free chunks *))
+        | None ->
+            (* a fresh bin has >= 63 free chunks *)
+            corrupt "fresh ext bin %d.%d lacks an 8-chunk run" mb_id bin_id)
   in
   let mb_id, mb, bin_id, bin, head = search sb.nonfull in
   for i = 0 to ceb_slots - 1 do
@@ -592,3 +605,196 @@ let allocated_chunk_count t =
   Array.fold_left
     (fun acc s -> acc + s.allocated_chunks)
     0 (superbin_profile t)
+
+(* ---- heap-audit exports (consumed by hyperion.analyze) ----------------
+
+   Raw, unvalidated views of the allocator's bookkeeping.  The iterators
+   deliberately bypass the cached [Bitset.count_set] counters and the
+   [iter_bins] initialized-prefix short-cut wherever the sanitizer needs to
+   cross-check them: [b_used_recount] re-reads every bit, and bins/metabins
+   are reported even when their bookkeeping claims they do not exist. *)
+
+type audit_kind =
+  | A_small
+  | A_free
+  | A_plain
+  | A_chain_head
+  | A_chain_member
+  | A_reserved
+
+type audit_chunk = {
+  a_superbin : int;
+  a_metabin : int;
+  a_bin : int;
+  a_chunk : int;
+  a_used : bool;
+  a_kind : audit_kind;
+  a_cap : int;
+  a_requested : int;
+  a_mem_len : int;
+}
+
+type audit_bin = {
+  b_superbin : int;
+  b_metabin : int;
+  b_bin : int;
+  b_declared : bool;
+  b_present : bool;
+  b_no_room : bool;
+  b_used_cached : int;
+  b_used_recount : int;
+}
+
+type audit_metabin = {
+  m_superbin : int;
+  m_metabin : int;
+  m_present : bool;
+  m_initialized : int;
+  m_no_room_set : int;
+  m_in_nonfull : bool;
+}
+
+let chunks_per_bin t = t.cpb
+let metabin_overhead_bytes t = metabin_overhead t.cpb
+
+let audit_metabin_count t ~superbin =
+  if superbin = 0 then t.ext.metabin_count
+  else t.small.(superbin).metabin_count
+
+let audit_nonfull t ~superbin =
+  if superbin = 0 then t.ext.nonfull else t.small.(superbin).nonfull
+
+let recount_bits bs =
+  let n = ref 0 in
+  for i = 0 to Bitset.length bs - 1 do
+    if Bitset.mem bs i then incr n
+  done;
+  !n
+
+let audit_iter_metabins_of sb_id sb f =
+  for mb_id = 0 to sb.metabin_count - 1 do
+    let m_in_nonfull = List.mem mb_id sb.nonfull in
+    match sb.metabins.(mb_id) with
+    | None ->
+        f
+          {
+            m_superbin = sb_id;
+            m_metabin = mb_id;
+            m_present = false;
+            m_initialized = 0;
+            m_no_room_set = 0;
+            m_in_nonfull;
+          }
+    | Some mb ->
+        f
+          {
+            m_superbin = sb_id;
+            m_metabin = mb_id;
+            m_present = true;
+            m_initialized = mb.initialized;
+            m_no_room_set = recount_bits mb.no_room;
+            m_in_nonfull;
+          }
+  done
+
+let audit_iter_metabins t f =
+  audit_iter_metabins_of 0 t.ext f;
+  for sb_id = 1 to 63 do
+    audit_iter_metabins_of sb_id t.small.(sb_id) f
+  done
+
+let audit_iter_bins_of ~used_of sb_id sb f =
+  for mb_id = 0 to sb.metabin_count - 1 do
+    match sb.metabins.(mb_id) with
+    | None -> ()
+    | Some mb ->
+        for bin_id = 0 to bins_per_metabin - 1 do
+          let b_declared = bin_id < mb.initialized in
+          let b_present, b_used_cached, b_used_recount =
+            match mb.bins.(bin_id) with
+            | None -> (false, 0, 0)
+            | Some bin ->
+                let u = used_of bin in
+                (true, Bitset.count_set u, recount_bits u)
+          in
+          f
+            {
+              b_superbin = sb_id;
+              b_metabin = mb_id;
+              b_bin = bin_id;
+              b_declared;
+              b_present;
+              b_no_room = Bitset.mem mb.no_room bin_id;
+              b_used_cached;
+              b_used_recount;
+            }
+        done
+  done
+
+let audit_iter_bins t f =
+  audit_iter_bins_of ~used_of:(fun b -> b.eused) 0 t.ext f;
+  for sb_id = 1 to 63 do
+    audit_iter_bins_of ~used_of:(fun b -> b.used) sb_id t.small.(sb_id) f
+  done
+
+let audit_iter_chunks t f =
+  let ext = t.ext in
+  for mb_id = 0 to ext.metabin_count - 1 do
+    match ext.metabins.(mb_id) with
+    | None -> ()
+    | Some mb ->
+        for bin_id = 0 to bins_per_metabin - 1 do
+          match mb.bins.(bin_id) with
+          | None -> ()
+          | Some bin ->
+              for c = 0 to t.cpb - 1 do
+                let r = bin.recs.(c) in
+                f
+                  {
+                    a_superbin = 0;
+                    a_metabin = mb_id;
+                    a_bin = bin_id;
+                    a_chunk = c;
+                    a_used = Bitset.mem bin.eused c;
+                    a_kind =
+                      (match r.kind with
+                      | Efree -> A_free
+                      | Eplain -> A_plain
+                      | Echain_head -> A_chain_head
+                      | Echain_member -> A_chain_member
+                      | Ereserved -> A_reserved);
+                    a_cap = r.cap;
+                    a_requested = r.requested;
+                    a_mem_len = Bytes.length r.mem;
+                  }
+              done
+        done
+  done;
+  for sb_id = 1 to 63 do
+    let sb = t.small.(sb_id) in
+    let csize = small_chunk_size sb_id in
+    for mb_id = 0 to sb.metabin_count - 1 do
+      match sb.metabins.(mb_id) with
+      | None -> ()
+      | Some mb ->
+          for bin_id = 0 to bins_per_metabin - 1 do
+            match mb.bins.(bin_id) with
+            | None -> ()
+            | Some bin ->
+                for c = 0 to t.cpb - 1 do
+                  f
+                    {
+                      a_superbin = sb_id;
+                      a_metabin = mb_id;
+                      a_bin = bin_id;
+                      a_chunk = c;
+                      a_used = Bitset.mem bin.used c;
+                      a_kind = A_small;
+                      a_cap = csize;
+                      a_requested = 0;
+                      a_mem_len = 0;
+                    }
+                done
+          done
+    done
+  done

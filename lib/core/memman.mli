@@ -127,3 +127,79 @@ val total_bytes : t -> int
 
 val allocated_chunk_count : t -> int
 (** Number of currently allocated chunks (paper Fig. 14/16 totals). *)
+
+(** {1 Heap-audit exports}
+
+    Raw views of the allocator's bookkeeping, consumed by the
+    [hyperion.analyze] heap sanitizer ({!Heapcheck}).  They perform no
+    validation themselves; in particular the iterators re-read every
+    occupancy bit ([b_used_recount]) instead of trusting the cached
+    [Bitset] counter, so a sanitizer built on them can detect counter
+    drift.  Like the rest of the module, these must be called under the
+    owning arena's lock. *)
+
+(** Classification of a chunk slot.  Small-superbin chunks are always
+    [A_small] (occupancy is carried separately by [a_used]); extended-bin
+    chunks report their eHP record state. *)
+type audit_kind =
+  | A_small
+  | A_free
+  | A_plain
+  | A_chain_head
+  | A_chain_member
+  | A_reserved
+
+type audit_chunk = {
+  a_superbin : int;
+  a_metabin : int;
+  a_bin : int;
+  a_chunk : int;
+  a_used : bool;  (** occupancy bit from the bin's bitset *)
+  a_kind : audit_kind;
+  a_cap : int;  (** usable bytes: chunk size (small) or eHP capacity *)
+  a_requested : int;  (** original request behind an eHP; 0 otherwise *)
+  a_mem_len : int;  (** length of the eHP heap segment; 0 for small *)
+}
+
+type audit_bin = {
+  b_superbin : int;
+  b_metabin : int;
+  b_bin : int;
+  b_declared : bool;  (** bin id < the metabin's [initialized] count *)
+  b_present : bool;  (** a bin payload actually exists at this slot *)
+  b_no_room : bool;  (** the metabin's no-room bit for this bin *)
+  b_used_cached : int;  (** the bitset's O(1) cached population *)
+  b_used_recount : int;  (** bit-by-bit recount of the same bitset *)
+}
+
+type audit_metabin = {
+  m_superbin : int;
+  m_metabin : int;
+  m_present : bool;  (** a metabin exists at this id < metabin_count *)
+  m_initialized : int;
+  m_no_room_set : int;  (** recounted population of the no-room bitset *)
+  m_in_nonfull : bool;  (** listed in the superbin's nonfull list *)
+}
+
+val chunks_per_bin : t -> int
+(** The [chunks_per_bin] this manager was created with. *)
+
+val metabin_overhead_bytes : t -> int
+(** Metadata bytes [total_bytes] charges per metabin. *)
+
+val audit_metabin_count : t -> superbin:int -> int
+(** Metabins ever created in the superbin (0 = extended bins). *)
+
+val audit_nonfull : t -> superbin:int -> int list
+(** The superbin's nonfull metabin-id list, verbatim. *)
+
+val audit_iter_metabins : t -> (audit_metabin -> unit) -> unit
+(** Visit every metabin id below each superbin's [metabin_count],
+    including empty slots ([m_present = false]). *)
+
+val audit_iter_bins : t -> (audit_bin -> unit) -> unit
+(** Visit all 256 bin slots of every present metabin, including
+    undeclared and absent ones. *)
+
+val audit_iter_chunks : t -> (audit_chunk -> unit) -> unit
+(** Visit every chunk slot of every present bin, used or free. *)

@@ -36,7 +36,10 @@ let terminal_of_flag buf flag value_pos =
   | Node.Inner -> None
   | Node.Leaf_no_value -> Some None
   | Node.Leaf_value -> Some (Some (Records.read_value buf value_pos))
-  | Node.Invalid -> assert false
+  | Node.Invalid ->
+      Hyperion_error.fail
+        (Hyperion_error.Chunk_corrupt
+           "terminal_of_flag: invalid node type bits in live record")
 
 (* ------------------------------------------------------------------ *)
 (* Lookup                                                              *)
@@ -393,7 +396,10 @@ let try_split trie cbox =
               (match cbox.where with
               | W_root -> trie.root <- ceb
               | W_parent (pbuf, ppos) -> Hp.write pbuf ppos ceb
-              | W_slot -> assert false);
+              | W_slot ->
+                  Hyperion_error.fail
+                    (Hyperion_error.Chunk_corrupt
+                       "split: container under split is already a CEB slot"));
               Memman.free trie.mm cbox.hp
             end
             else begin
@@ -448,7 +454,10 @@ let set_terminal_t trie cbox emb_chain t value =
       Bytes.set_uint8 cbox.buf p
         (Node.with_typ (Bytes.get_uint8 cbox.buf p) Node.Leaf_value);
       ty = Node.Inner
-  | Node.Invalid, _ -> assert false
+  | Node.Invalid, _ ->
+      Hyperion_error.fail
+        (Hyperion_error.Chunk_corrupt
+           "set_terminal: invalid node type bits in live record")
 
 let set_terminal_s trie cbox emb_chain s value =
   let buf = cbox.buf in
@@ -474,7 +483,10 @@ let set_terminal_s trie cbox emb_chain s value =
       Bytes.set_uint8 cbox.buf p
         (Node.with_typ (Bytes.get_uint8 cbox.buf p) Node.Leaf_value);
       ty = Node.Inner
-  | Node.Invalid, _ -> assert false
+  | Node.Invalid, _ ->
+      Hyperion_error.fail
+        (Hyperion_error.Chunk_corrupt
+           "set_terminal: invalid node type bits in live record")
 
 (* Attach a child body (suffix continuation) to an S-node that has none. *)
 let attach_child trie cbox emb_chain key value level s =

@@ -17,6 +17,8 @@ let encode key =
     Bytes.set_uint8 out (1 + i) (six lsl 2)
   done;
   Bytes.blit_string key 4 out 5 (n - 4);
+  (* SAFETY: [out] is freshly allocated, fully written, and never mutated
+     or aliased after this conversion. *)
   Bytes.unsafe_to_string out
 
 let decode key =
@@ -35,4 +37,6 @@ let decode key =
   Bytes.set_uint8 out 2 ((!stream lsr 8) land 0xff);
   Bytes.set_uint8 out 3 (!stream land 0xff);
   Bytes.blit_string key 5 out 4 (n - 5);
+  (* SAFETY: [out] is freshly allocated, fully written, and never mutated
+     or aliased after this conversion. *)
   Bytes.unsafe_to_string out

@@ -56,7 +56,9 @@ let patch_where cbox new_hp =
   match cbox.where with
   | W_root -> cbox.trie.root <- new_hp
   | W_parent (pbuf, ppos) -> Hp.write pbuf ppos new_hp
-  | W_slot -> assert false (* slot reallocation keeps the CEB HP *)
+  | W_slot ->
+      (* slot reallocation keeps the CEB HP, so no patching is ever needed *)
+      corrupt_slot "patch_where" cbox.hp cbox.slot
 
 (* Resize the open container to [new_size] total bytes, preserving content
    (including the header, which the caller rewrites afterwards). *)

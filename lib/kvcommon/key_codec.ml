@@ -1,6 +1,8 @@
 let of_u64 x =
   let b = Bytes.create 8 in
   Bytes.set_int64_be b 0 x;
+  (* SAFETY: [b] is freshly allocated, fully written, and never mutated or
+     aliased after this conversion. *)
   Bytes.unsafe_to_string b
 
 let to_u64 s =
@@ -13,6 +15,8 @@ let to_i64 s = Int64.logxor (to_u64 s) Int64.min_int
 let of_u32 x =
   let b = Bytes.create 4 in
   Bytes.set_int32_be b 0 x;
+  (* SAFETY: [b] is freshly allocated, fully written, and never mutated or
+     aliased after this conversion. *)
   Bytes.unsafe_to_string b
 
 let to_u32 s =

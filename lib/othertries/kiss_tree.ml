@@ -102,6 +102,8 @@ let key_of f1 f2 f3 =
   let v = Int32.of_int ((f1 lsl 16) lor (f2 lsl 6) lor f3) in
   let b = Bytes.create 4 in
   Bytes.set_int32_be b 0 v;
+  (* SAFETY: [b] is freshly allocated, fully written, and never mutated or
+     aliased after this conversion. *)
   Bytes.unsafe_to_string b
 
 let range t ?(start = "") f =

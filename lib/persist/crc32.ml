@@ -24,4 +24,8 @@ let bytes ?(crc = 0l) b ~pos ~len =
   done;
   Int32.logxor !c 0xFFFFFFFFl
 
-let string ?crc s ~pos ~len = bytes ?crc (Bytes.unsafe_of_string s) ~pos ~len
+let string ?crc s ~pos ~len =
+  (* SAFETY: the aliased bytes are only ever read — [bytes] performs
+     [Bytes.get] within the validated [pos, pos+len) window and never
+     writes — so the immutable string is not mutated through the alias. *)
+  bytes ?crc (Bytes.unsafe_of_string s) ~pos ~len

@@ -168,13 +168,14 @@ let open_or_create ?(config = Hyperion.Config.default)
       closed = false;
     }
   in
-  match
-    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
-    else if not (Sys.is_directory dir) then
-      raise (Sys_error (dir ^ ": not a directory"))
-  with
-  | exception e -> io_error dir e
-  | () -> (
+  let opened =
+    match
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+      else if not (Sys.is_directory dir) then
+        raise (Sys_error (dir ^ ": not a directory"))
+    with
+    | exception e -> io_error dir e
+    | () -> (
       match scan_generations dir with
       | exception e -> io_error dir e
       | [], tmps ->
@@ -201,7 +202,14 @@ let open_or_create ?(config = Hyperion.Config.default)
                       (E.Corrupt_snapshot
                          (Printf.sprintf "no valid snapshot in %s (last: %s)"
                             dir last))
-                | [] -> assert false)
+                | [] ->
+                    (* unreachable: [attempt] is only entered with at least
+                       one generation, so an empty todo list implies a
+                       non-empty skipped list *)
+                    Error
+                      (E.Corrupt_snapshot
+                         (Printf.sprintf
+                            "no snapshot generations to recover in %s" dir)))
             | gen :: rest -> (
                 match recover_generation ~config ~dir ~gen with
                 | Ok (store, wal, keys, replayed, truncated) ->
@@ -219,6 +227,19 @@ let open_or_create ?(config = Hyperion.Config.default)
                 | Error _ as e -> e)
           in
           attempt [] gens)
+  in
+  (* Post-recovery heap audit: snapshot load and WAL replay rebuild the
+     arenas from scratch, so a bug anywhere in that path shows up here as
+     a leaked or double-referenced chunk before the handle is ever used
+     (DESIGN.md section 11).  On a fresh directory the store is empty and
+     the sweep is effectively free. *)
+  Result.bind opened (fun t ->
+      match Analyze.Heapcheck.first_problem (Analyze.Heapcheck.audit_store t.store) with
+      | None -> Ok t
+      | Some p ->
+          Error
+            (E.Chunk_corrupt
+               (Printf.sprintf "heap audit after recovering %s: %s" dir p)))
 
 (* --- logged mutations ----------------------------------------------- *)
 

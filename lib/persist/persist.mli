@@ -52,7 +52,12 @@ val open_or_create :
     Defaults: [sync_every_ops = 64], [sync_every_bytes = 1 MiB],
     [rotate_bytes = 64 MiB].  All failures — corrupt snapshot, foreign
     format version, torn WAL header, OS errors — come back as typed
-    errors; this function never raises. *)
+    errors; this function never raises.
+
+    Before the handle is returned, the recovered store's arenas pass the
+    {!Analyze.Heapcheck} mark-and-sweep heap audit; a leaked or
+    double-referenced chunk surfaces as [Error (Chunk_corrupt _)] rather
+    than a handle over a silently corrupt heap. *)
 
 val store : t -> Hyperion.Store.t
 (** The live in-memory store.  Read through it freely; mutations applied

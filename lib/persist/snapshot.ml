@@ -54,6 +54,8 @@ let fsync_dir dir =
       Unix.close fd
 
 let record_payload key value =
+  (* SAFETY: both buffers below are freshly allocated, fully written, and
+     never mutated or aliased after the conversion. *)
   let klen = String.length key in
   match value with
   | None ->
@@ -109,6 +111,8 @@ let decode_record path payload =
     | '\x00' when len >= 2 -> Ok (String.sub payload 1 (len - 1), None)
     | '\x01' when len >= 2 + 8 ->
         let key = String.sub payload 1 (len - 9) in
+        (* SAFETY: the alias is read-only — one [get_int64_le] inside the
+           length-checked payload — so the string is never mutated. *)
         let v = Bytes.get_int64_le (Bytes.unsafe_of_string payload) (len - 8) in
         Ok (key, Some v)
     | _ -> corrupt path "malformed record payload"

@@ -72,6 +72,9 @@ let open_append ~config ~gen path =
         io_error path e)
 
 let encode op =
+  (* SAFETY: every [tagged] buffer is freshly allocated, fully written, and
+     uniquely owned; the conversions below transfer ownership with no
+     mutable alias remaining. *)
   let tagged tag key extra =
     let klen = String.length key in
     let b = Bytes.create (1 + klen + extra) in
@@ -94,6 +97,8 @@ let decode payload =
     let key ?(drop = 0) () = String.sub payload 1 (len - 1 - drop) in
     match payload.[0] with
     | '\x01' when len >= 2 + 8 ->
+        (* SAFETY: the alias is read-only — one [get_int64_le] inside the
+           length-checked payload — so the string is never mutated. *)
         let v = Bytes.get_int64_le (Bytes.unsafe_of_string payload) (len - 8) in
         Some (Put (key ~drop:8 (), v))
     | '\x02' -> Some (Add (key ()))

@@ -366,7 +366,15 @@ let open_durable ?(config = H.Config.default) ?shards ?sync_every_ops
         results;
       Error e
   | None ->
-      let handles = Array.map (function Ok p -> p | Error _ -> assert false) results in
+      let handles =
+        Array.map
+          (function
+            | Ok p -> p
+            | Error e ->
+                (* unreachable: [first_error = None] covers every slot *)
+                E.fail e)
+          results
+      in
       let tab =
         Array.map
           (fun p ->

@@ -65,8 +65,11 @@ module Hist = struct
   let observe (t : t) v =
     let v = if v < 0 then 0 else v in
     let b = bucket_of v in
-    (* indices are in range by construction: [b < n_buckets] for any int,
-       and every histogram is allocated with [cells = n_buckets + 2] *)
+    (* SAFETY: indices are in range by construction.  [bucket_of] returns
+       either [v <= 15] or [((msb - 4) + 1) * 16 + sub_idx] with
+       [msb <= 61] (OCaml ints) and [sub_idx <= 15], so [b <= 943 <
+       n_buckets = 960]; and every histogram is allocated by [create] with
+       [cells = n_buckets + 2], covering the two summary cells below. *)
     Array.unsafe_set t b (Array.unsafe_get t b + 1);
     Array.unsafe_set t n_buckets (Array.unsafe_get t n_buckets + 1);
     Array.unsafe_set t (n_buckets + 1) (Array.unsafe_get t (n_buckets + 1) + v)
@@ -307,7 +310,9 @@ let mark_incr bit (t : Counter.t) =
     c.path_flags <- c.path_flags lor bit;
     let a = c.scalars in
     if t.slot < Array.length a then
-      (* in-range: skip the growth branch and the double bounds check *)
+      (* SAFETY: in range — guarded by [t.slot < Array.length a] just
+         above, and slots are non-negative registry indices; skipping the
+         growth branch and the double bounds check is the point. *)
       Array.unsafe_set a t.slot (Array.unsafe_get a t.slot + 1)
     else begin
       let a = scalar_cell c t.slot in

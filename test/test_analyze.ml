@@ -1,0 +1,316 @@
+(* ISSUE 5 analyzer suite.
+
+   Prong 1 — the source lint: every rule is exercised rule-by-rule through
+   [Lint.check_source] with a seeded violation (asserting the reported
+   line number) and a clean counterpart, plus allow-list parsing and the
+   SAFETY-comment placement contract.
+
+   Prong 2 — the heap sanitizer: clean stores (hand-built and
+   property-generated) must audit clean; chaos rounds run the sanitizer
+   after every audit; and two negative tests prove the detectors actually
+   fire — a chunk allocated behind the trie's back must be reported as a
+   leak, and a duplicated root must be reported as a double reference. *)
+
+module HC = Analyze.Heapcheck
+module H = Hyperion
+
+(* ---- lint: rule-by-rule ---------------------------------------------- *)
+
+let hits vs = List.map (fun v -> (v.Lint.v_line, v.Lint.v_rule)) vs
+
+let check_hits name expected vs =
+  Alcotest.(check (list (pair int string))) name expected (hits vs)
+
+let test_assert_false () =
+  let src = "let f x =\n  match x with\n  | Some y -> y\n  | None -> assert false\n" in
+  check_hits "flagged in strict modules"
+    [ (4, "assert-false") ]
+    (Lint.check_source ~strict:true ~file:"lib/core/x.ml" src);
+  check_hits "allowed outside strict modules" []
+    (Lint.check_source ~strict:false ~file:"lib/chaos/x.ml" src);
+  (* [assert cond] with a real condition is not the banned form *)
+  check_hits "assert with a condition passes" []
+    (Lint.check_source ~strict:true ~file:"lib/core/x.ml"
+       "let f x = assert (x >= 0)\n")
+
+let test_obj_magic () =
+  check_hits "flagged everywhere, strict or not"
+    [ (2, "obj-magic") ]
+    (Lint.check_source ~file:"lib/othertries/x.ml"
+       "let coerce x =\n  Obj.magic x\n")
+
+let allow_foo =
+  { Lint.unsafe_modules = [ "lib/foo.ml" ]; mutable_fields = [] }
+
+let test_unsafe () =
+  let src = "let get a =\n  Array.unsafe_get a 0\n" in
+  check_hits "flagged outside allow-listed modules"
+    [ (2, "unsafe") ]
+    (Lint.check_source ~file:"lib/foo.ml" src);
+  check_hits "allow-listed module still needs a SAFETY comment"
+    [ (2, "unsafe") ]
+    (Lint.check_source ~allow:allow_foo ~file:"lib/foo.ml" src);
+  check_hits "SAFETY comment inside the binding passes" []
+    (Lint.check_source ~allow:allow_foo ~file:"lib/foo.ml"
+       "let get a =\n  (* SAFETY: caller validated the index. *)\n  Array.unsafe_get a 0\n");
+  (* the proof must sit inside the enclosing binding, not float above it *)
+  check_hits "SAFETY comment above the binding does not count"
+    [ (3, "unsafe") ]
+    (Lint.check_source ~allow:allow_foo ~file:"lib/foo.ml"
+       "(* SAFETY: detached. *)\nlet get a =\n  Array.unsafe_get a 0\n");
+  check_hits "Bytes.unsafe_to_string is covered too"
+    [ (1, "unsafe") ]
+    (Lint.check_source ~file:"lib/foo.ml"
+       "let s b = Bytes.unsafe_to_string b\n")
+
+let test_catch_all () =
+  check_hits "wildcard handler flagged"
+    [ (1, "catch-all") ]
+    (Lint.check_source ~file:"lib/x.ml" "let f g = try g () with _ -> 0\n");
+  check_hits "bound-but-ignored exception flagged"
+    [ (1, "catch-all") ]
+    (Lint.check_source ~file:"lib/x.ml" "let f g = try g () with e -> 0\n");
+  check_hits "handler that consults the exception passes" []
+    (Lint.check_source ~file:"lib/x.ml"
+       "let f g = try g () with e -> prerr_endline (Printexc.to_string e); 0\n");
+  check_hits "specific exception pattern passes" []
+    (Lint.check_source ~file:"lib/x.ml"
+       "let f g = try g () with Not_found -> 0\n");
+  check_hits "match-with-exception wildcard flagged"
+    [ (1, "catch-all") ]
+    (Lint.check_source ~file:"lib/x.ml"
+       "let f g = match g () with x -> x | exception _ -> 0\n")
+
+let test_mutable_field () =
+  let src = "type t = {\n  mutable count : int;\n  name : string;\n}\n" in
+  check_hits "mutable field flagged in shard-reachable files"
+    [ (2, "mutable-field") ]
+    (Lint.check_source ~reachable:true ~file:"lib/core/t.ml" src);
+  check_hits "rule off outside the shard closure" []
+    (Lint.check_source ~reachable:false ~file:"lib/bench_util/t.ml" src);
+  check_hits "Atomic.t fields are exempt" []
+    (Lint.check_source ~reachable:true ~file:"lib/core/t.ml"
+       "type t = { mutable slot : int Atomic.t }\n");
+  let allow =
+    { Lint.unsafe_modules = []; mutable_fields = [ ("lib/core/t.ml", "t.count") ] }
+  in
+  check_hits "allow-listed field passes" []
+    (Lint.check_source ~allow ~reachable:true ~file:"lib/core/t.ml" src);
+  check_hits "inline (constructor) records are checked, keyed ty.Ctor.field"
+    [ (1, "mutable-field") ]
+    (Lint.check_source ~reachable:true ~file:"lib/core/t.ml"
+       "type u = A of { mutable x : int }\n");
+  let allow_inline =
+    { Lint.unsafe_modules = []; mutable_fields = [ ("lib/core/t.ml", "u.A.x") ] }
+  in
+  check_hits "inline record allow-list key works" []
+    (Lint.check_source ~allow:allow_inline ~reachable:true
+       ~file:"lib/core/t.ml" "type u = A of { mutable x : int }\n")
+
+let test_parse_failure () =
+  match Lint.check_source ~file:"lib/x.ml" "let = = in\n" with
+  | [ v ] -> Alcotest.(check string) "parse rule" "parse" v.Lint.v_rule
+  | vs -> Alcotest.failf "expected one parse violation, got %d" (List.length vs)
+
+let test_allow_parsing () =
+  (match
+     Lint.parse_allow ~file:"lint.allow"
+       "# comment\nunsafe lib/a.ml\nmutable lib/b.ml t.x   # trailing\n\n"
+   with
+  | Ok a ->
+      Alcotest.(check (list string)) "unsafe" [ "lib/a.ml" ] a.Lint.unsafe_modules;
+      Alcotest.(check (list (pair string string)))
+        "mutable"
+        [ ("lib/b.ml", "t.x") ]
+        a.Lint.mutable_fields
+  | Error e -> Alcotest.failf "expected Ok, got %s" e);
+  match Lint.parse_allow ~file:"lint.allow" "frobnicate lib/a.ml\n" with
+  | Ok _ -> Alcotest.fail "bad directive accepted"
+  | Error _ -> ()
+
+let test_to_string () =
+  Alcotest.(check string)
+    "file:line rule message" "lib/a.ml:7 unsafe boom"
+    (Lint.to_string
+       { Lint.v_file = "lib/a.ml"; v_line = 7; v_rule = "unsafe"; v_msg = "boom" })
+
+(* The repo's own tree must lint clean under its checked-in allow-list —
+   the same invariant the CI job enforces via [bin/lint]. *)
+let test_repo_lints_clean () =
+  let root =
+    (* tests run from _build/default/test; the sources live two up *)
+    let candidates = [ "../.."; "../../.."; "." ] in
+    match
+      List.find_opt
+        (fun r -> Sys.file_exists (Filename.concat r "lint.allow"))
+        candidates
+    with
+    | Some r -> r
+    | None -> Alcotest.skip ()
+  in
+  match Lint.load_allow (Filename.concat root "lint.allow") with
+  | Error e -> Alcotest.failf "lint.allow unreadable: %s" e
+  | Ok allow -> (
+      match Lint.run ~allow ~root [ "lib" ] with
+      | [] -> ()
+      | vs ->
+          Alcotest.failf "repo tree has %d lint violation(s); first: %s"
+            (List.length vs)
+            (Lint.to_string (List.hd vs)))
+
+(* ---- heapcheck: soundness -------------------------------------------- *)
+
+let cfg = { H.Config.strings with chunks_per_bin = 64 }
+
+(* A key mix that forces embedded ejects, splits and extended-bin chains. *)
+let key_for id =
+  let base = Printf.sprintf "%06x" id in
+  match id mod 5 with
+  | 0 -> base
+  | 1 -> base ^ "-tail"
+  | 2 -> base ^ String.make (8 + (id mod 40)) 'x'
+  | 3 -> "pfx/" ^ base
+  | _ -> base ^ "!"
+
+let build_store n =
+  let s = H.Store.create ~config:cfg () in
+  for i = 0 to n - 1 do
+    H.Store.put s (key_for i) (Int64.of_int i)
+  done;
+  for i = 0 to (n / 3) - 1 do
+    ignore (H.Store.delete s (key_for (3 * i)))
+  done;
+  s
+
+let check_clean what s =
+  let r = HC.audit_store s in
+  if not (HC.ok r) then
+    Alcotest.failf "%s: %s" what (Format.asprintf "%a" HC.pp_report r)
+
+let test_clean_stores () =
+  check_clean "empty store" (H.Store.create ~config:cfg ());
+  check_clean "small store" (build_store 50);
+  check_clean "store with deletes and splits" (build_store 3000);
+  (* default config: multiple tries sharing round-robin arenas *)
+  let s = H.Store.create () in
+  for i = 0 to 999 do
+    H.Store.put s (key_for i) (Int64.of_int i)
+  done;
+  check_clean "default config (shared arenas)" s
+
+let test_report_counts () =
+  let s = build_store 400 in
+  let r = HC.audit_store s in
+  Alcotest.(check bool) "clean" true (HC.ok r);
+  Alcotest.(check bool) "chunks found" true (r.HC.chunks_allocated > 0);
+  Alcotest.(check bool) "containers walked" true (r.HC.containers_walked > 0);
+  Alcotest.(check int)
+    "sweep count matches the allocator's own counter"
+    (H.Store.allocated_chunks s) r.HC.chunks_allocated
+
+(* ---- heapcheck: the detectors must actually fire --------------------- *)
+
+let rules r = List.map (fun p -> p.HC.p_rule) r.HC.problems
+
+let test_detects_leak () =
+  let s = build_store 200 in
+  let trie = (H.Store.internal_tries s).(0) in
+  (* allocate behind the trie's back: no live HP will ever reference it *)
+  let hp = H.Memman.alloc trie.H.Types.mm 40 in
+  let r = HC.audit_store s in
+  Alcotest.(check bool) "audit fails" false (HC.ok r);
+  Alcotest.(check bool) "reported as a leak" true (List.mem "leak" (rules r));
+  (* the report names the leaked chunk's coordinates *)
+  let mentions =
+    List.exists
+      (fun p ->
+        p.HC.p_rule = "leak"
+        && (let coords =
+              Printf.sprintf "%d.%d.%d.%d" (H.Hp.superbin hp) (H.Hp.metabin hp)
+                (H.Hp.bin hp) (H.Hp.chunk hp)
+            in
+            let detail = p.HC.p_detail in
+            let cl = String.length coords and dl = String.length detail in
+            let rec scan i =
+              i + cl <= dl && (String.sub detail i cl = coords || scan (i + 1))
+            in
+            scan 0))
+      r.HC.problems
+  in
+  Alcotest.(check bool) "leak detail carries the chunk coordinates" true mentions;
+  (* freeing the stray chunk heals the heap *)
+  H.Memman.free trie.H.Types.mm hp;
+  check_clean "after freeing the stray chunk" s
+
+let test_detects_double_ref () =
+  let s = build_store 200 in
+  let trie = (H.Store.internal_tries s).(0) in
+  (* inject the root as an extra root: two live references, one chunk *)
+  let r = HC.audit_store ~extra_roots:[ trie.H.Types.root ] s in
+  Alcotest.(check bool) "audit fails" false (HC.ok r);
+  Alcotest.(check bool)
+    "reported as a double reference" true
+    (List.mem "double-ref" (rules r));
+  (* without the injection the same store is clean *)
+  check_clean "same store without the extra root" s
+
+(* ---- properties ------------------------------------------------------ *)
+
+(* Random mutation scripts leave a heap that audits clean and a structure
+   that validates clean. *)
+let prop_random_store_clean =
+  QCheck.Test.make ~count:25 ~name:"heapcheck: random stores audit clean"
+    QCheck.(pair (int_bound 0x3fff) (int_bound 600))
+    (fun (salt, n) ->
+      let s = H.Store.create ~config:cfg () in
+      for i = 0 to n - 1 do
+        let id = (i * 2654435761) + salt land 0xffff in
+        match i mod 7 with
+        | 0 | 1 | 2 | 3 -> H.Store.put s (key_for (id land 0xfff)) (Int64.of_int i)
+        | 4 -> H.Store.add s (key_for (id land 0xfff))
+        | _ -> ignore (H.Store.delete s (key_for (id land 0xfff)))
+      done;
+      H.Validate.check_store s = [] && HC.ok (HC.audit_store s))
+
+(* Full chaos rounds: [Chaos.run] executes Validate + Heapcheck.audit after
+   every audit round (fault firings included) — an Error here carries the
+   seed as a replay recipe. *)
+let prop_chaos_rounds_clean =
+  QCheck.Test.make ~count:8 ~name:"chaos rounds pass validate + heapcheck"
+    QCheck.(int_bound 0xffffff)
+    (fun seed ->
+      match
+        Chaos.run ~config:cfg ~validate_every:150 ~heapcheck:true
+          ~seed:(Int64.of_int seed) ~ops:600 ()
+      with
+      | Ok _ -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let () =
+  Alcotest.run "analyze"
+    [
+      ( "lint",
+        [
+          Alcotest.test_case "assert-false" `Quick test_assert_false;
+          Alcotest.test_case "obj-magic" `Quick test_obj_magic;
+          Alcotest.test_case "unsafe + SAFETY placement" `Quick test_unsafe;
+          Alcotest.test_case "catch-all" `Quick test_catch_all;
+          Alcotest.test_case "mutable-field" `Quick test_mutable_field;
+          Alcotest.test_case "parse failure" `Quick test_parse_failure;
+          Alcotest.test_case "allow-list parsing" `Quick test_allow_parsing;
+          Alcotest.test_case "violation format" `Quick test_to_string;
+          Alcotest.test_case "repo tree lints clean" `Quick test_repo_lints_clean;
+        ] );
+      ( "heapcheck",
+        [
+          Alcotest.test_case "clean stores audit clean" `Quick test_clean_stores;
+          Alcotest.test_case "report counts" `Quick test_report_counts;
+          Alcotest.test_case "leak detection" `Quick test_detects_leak;
+          Alcotest.test_case "double-ref detection" `Quick test_detects_double_ref;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random_store_clean;
+          QCheck_alcotest.to_alcotest prop_chaos_rounds_clean;
+        ] );
+    ]
