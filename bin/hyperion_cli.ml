@@ -12,7 +12,13 @@
                     oracle with fault injection; with --dir, the workload
                     runs on a store recovered from that directory; with
                     --crash, a crash-recovery run instead (kill at a random
-                    WAL offset, reopen, diff against the oracle)
+                    WAL offset, reopen, diff against the oracle); with
+                    --diskfault, a storage-fault run (seeded I/O faults,
+                    sticky degraded read-only mode, heal, and — sharded —
+                    worker kills with in-place shard restarts)
+     health         open a sharded durability directory and report
+                    per-shard worker liveness, degraded state and backlog,
+                    plus a Prometheus-style up/degraded snapshot
      save           apply put/add/del lines from stdin, then write a
                     one-shot binary snapshot to the given file
      load           load a snapshot file, report stats, optionally dump
@@ -255,7 +261,7 @@ let audit dir =
       check "close" (Persist.close p);
       exit (if violations > 0 then 1 else 0)
 
-let chaos seed ops per_mille crash dir shards metrics_every heapcheck =
+let chaos seed ops per_mille crash diskfault dir shards metrics_every heapcheck =
   check_shards shards;
   if per_mille < 0 || per_mille > 1000 then begin
     prerr_endline "chaos: --per-mille must be in [0, 1000]";
@@ -269,11 +275,16 @@ let chaos seed ops per_mille crash dir shards metrics_every heapcheck =
     prerr_endline "chaos: --metrics-every must be non-negative";
     exit 2
   end;
+  if crash && diskfault then begin
+    prerr_endline "chaos: --crash and --diskfault are mutually exclusive";
+    exit 2
+  end;
   if metrics_every > 0 then Telemetry.set_enabled true;
-  (* single-store runs dump mid-run through the per-op hook; the sharded
-     and crash modes drive their workload internally and dump at the end *)
+  (* single-store runs dump mid-run through the per-op hook; the sharded,
+     crash and diskfault modes drive their workload internally and dump at
+     the end *)
   let on_op =
-    if metrics_every > 0 && shards = 1 && not crash then
+    if metrics_every > 0 && shards = 1 && not crash && not diskfault then
       Some
         (fun op ->
           if (op + 1) mod (metrics_every * 1000) = 0 then
@@ -286,26 +297,52 @@ let chaos seed ops per_mille crash dir shards metrics_every heapcheck =
       print_string (Telemetry.Trace.dump ())
     end
   in
-  if shards > 1 then begin
+  let scratch_dir () =
+    let d =
+      match dir with
+      | Some d -> d
+      | None -> Filename.concat (Filename.get_temp_dir_name ()) "hyperion-chaos"
+    in
+    (try if not (Sys.file_exists d) then Unix.mkdir d 0o755
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "chaos: cannot create %s: %s\n" d (Unix.error_message e);
+       exit 2);
+    d
+  in
+  if diskfault then begin
+    (* storage-fault mode: seeded I/O faults through the Persist.Io
+       interposition layer — degraded read-only mode, heal, and (sharded)
+       worker kills + restarts, ending in a crash-recovery check *)
+    let dir = scratch_dir () in
+    if shards > 1 then
+      match
+        Chaos.run_sharded_diskfault ~config:default_config ~shards ~heapcheck
+          ~per_mille ~dir ~seed ~ops ()
+      with
+      | Ok o ->
+          Format.printf "chaos --diskfault --shards %d: OK — %a@." shards
+            Chaos.pp_sharded_diskfault_outcome o;
+          final_dump ()
+      | Error msg ->
+          prerr_endline msg;
+          exit 1
+    else
+      match
+        Chaos.run_diskfault ~config:default_config ~heapcheck ~per_mille ~dir
+          ~seed ~ops ()
+      with
+      | Ok o ->
+          Format.printf "chaos --diskfault: OK — %a@."
+            Chaos.pp_diskfault_outcome o;
+          final_dump ()
+      | Error msg ->
+          prerr_endline msg;
+          exit 1
+  end
+  else if shards > 1 then begin
     (* concurrent client domains against the sharded front-end; fault plans
        are not domain-safe, so this mode always runs fault-free *)
-    let dir =
-      if crash || dir <> None then begin
-        let d =
-          match dir with
-          | Some d -> d
-          | None ->
-              Filename.concat (Filename.get_temp_dir_name ()) "hyperion-chaos"
-        in
-        (try if not (Sys.file_exists d) then Unix.mkdir d 0o755
-         with Unix.Unix_error (e, _, _) ->
-           Printf.eprintf "chaos: cannot create %s: %s\n" d
-             (Unix.error_message e);
-           exit 2);
-        Some d
-      end
-      else None
-    in
+    let dir = if crash || dir <> None then Some (scratch_dir ()) else None in
     match
       Chaos.run_sharded ~config:default_config ~shards ~heapcheck ?dir ~seed
         ~ops ()
@@ -319,15 +356,7 @@ let chaos seed ops per_mille crash dir shards metrics_every heapcheck =
         exit 1
   end
   else if crash then begin
-    let dir =
-      match dir with
-      | Some d -> d
-      | None -> Filename.concat (Filename.get_temp_dir_name ()) "hyperion-chaos"
-    in
-    (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
-     with Unix.Unix_error (e, _, _) ->
-       Printf.eprintf "chaos: cannot create %s: %s\n" dir (Unix.error_message e);
-       exit 2);
+    let dir = scratch_dir () in
     match
       Chaos.run_crash ~config:default_config ~heapcheck ~dir ~seed ~ops ()
     with
@@ -442,6 +471,54 @@ let recover dir shards =
     | Error e -> persist_fail "close" e);
     exit (if violations > 0 then 1 else 0)
   end
+
+(* Operational health probe: open the sharded durability tree, report
+   per-shard liveness / degradation / backlog, and emit a Prometheus-style
+   snapshot.  Exits 1 unless every shard is up and writable. *)
+let health dir shards =
+  if shards <> 0 then check_shards shards;
+  let t =
+    match
+      Hyperion_shard.open_durable ~config:default_config
+        ?shards:(if shards = 0 then None else Some shards)
+        dir
+    with
+    | Ok t -> t
+    | Error e -> persist_fail ("recovering " ^ dir) e
+  in
+  print_shard_recoveries t;
+  let hs = Hyperion_shard.health t in
+  List.iter
+    (fun h ->
+      Printf.printf "shard %-3d      : %s%s, backlog=%d\n"
+        h.Hyperion_shard.hs_shard
+        (match h.Hyperion_shard.hs_down with
+        | Some r -> "DOWN (" ^ r ^ ")"
+        | None -> "up")
+        (match h.Hyperion_shard.hs_degraded with
+        | Some w -> Printf.sprintf ", DEGRADED read-only (%s)" w
+        | None -> "")
+        h.Hyperion_shard.hs_backlog)
+    hs;
+  List.iter
+    (fun h ->
+      Printf.printf "hyperion_shard_up{shard=\"%d\"} %d\n"
+        h.Hyperion_shard.hs_shard
+        (if h.Hyperion_shard.hs_alive then 1 else 0))
+    hs;
+  List.iter
+    (fun h ->
+      Printf.printf "hyperion_shard_degraded{shard=\"%d\"} %d\n"
+        h.Hyperion_shard.hs_shard
+        (if h.Hyperion_shard.hs_degraded <> None then 1 else 0))
+    hs;
+  let healthy =
+    List.for_all
+      (fun h -> h.Hyperion_shard.hs_alive && h.Hyperion_shard.hs_degraded = None)
+      hs
+  in
+  shard_check "close" (Hyperion_shard.close t);
+  exit (if healthy then 0 else 1)
 
 (* Analyzer suite over one store: structural validation plus the
    mark-and-sweep heap sanitizer; returns the combined problem count. *)
@@ -748,6 +825,20 @@ let dir_arg =
        ~doc:"Durability directory to recover the store from (created when \
              missing).")
 
+let diskfault_arg =
+  Arg.(value & flag & info [ "diskfault" ]
+       ~doc:"Storage-fault mode: run the workload through the durability \
+             layer with seeded I/O faults injected into every syscall \
+             (EIO, ENOSPC, short writes, fsync failures), asserting sticky \
+             degraded read-only mode, successful heal, and prefix-consistent \
+             crash recovery; with $(b,--shards) > 1, also injects worker \
+             crashes and restarts shards in place.")
+
+let health_shards_arg =
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"D"
+       ~doc:"Expected shard count; 0 (default) trusts the directory's \
+             MANIFEST.")
+
 let heapcheck_arg =
   Arg.(value & opt bool true & info [ "heapcheck" ] ~docv:"BOOL"
        ~doc:"Run the mark-and-sweep heap sanitizer (leaks, double \
@@ -811,12 +902,22 @@ let cmds =
       (Cmd.info "chaos"
          ~doc:"Seeded differential run against the red-black-tree oracle \
                with fault injection; $(b,--crash) switches to the \
-               crash-recovery mode; $(b,--dir) recovers the store first; \
-               $(b,--shards) > 1 runs concurrent client domains against the \
-               sharded front-end (fault-free).  $(b,--heapcheck false) \
+               crash-recovery mode; $(b,--diskfault) to the storage-fault \
+               mode (I/O fault injection, degraded read-only mode, heal, \
+               supervised shard restarts); $(b,--dir) recovers the store \
+               first; $(b,--shards) > 1 runs concurrent client domains \
+               against the sharded front-end.  $(b,--heapcheck false) \
                disables the per-audit heap sanitizer.  Exits 1 on \
                divergence")
-      Term.(const chaos $ seed_arg $ ops_arg $ per_mille_arg $ crash_arg $ dir_arg $ shards_arg $ metrics_every_arg $ heapcheck_arg);
+      Term.(const chaos $ seed_arg $ ops_arg $ per_mille_arg $ crash_arg $ diskfault_arg $ dir_arg $ shards_arg $ metrics_every_arg $ heapcheck_arg);
+    Cmd.v
+      (Cmd.info "health"
+         ~doc:"Open a sharded durability directory and report per-shard \
+               health: worker liveness, degraded read-only state, mailbox \
+               backlog — plus a Prometheus-style \
+               $(b,hyperion_shard_up)/$(b,hyperion_shard_degraded) \
+               snapshot.  Exits 0 only when every shard is up and writable")
+      Term.(const health $ dir_pos_arg $ health_shards_arg);
     Cmd.v
       (Cmd.info "save"
          ~doc:"Apply put/add/del lines from stdin, then write a one-shot \

@@ -204,6 +204,18 @@ let wipe_dir dir =
     try Unix.rmdir dir with Unix.Unix_error _ -> ()
   end
 
+(* Remove a two-level durability tree: <dir>/shard-NNN/* then <dir>. *)
+let wipe_tree dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then wipe_dir p
+        else try Sys.remove p with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
 let client_seed ~seed c = Int64.add seed (Int64.mul (Int64.of_int (c + 1)) 1_000_003L)
 
 let run_sharded_client store ~seed ~clients ~c ~ops ~key_space =
@@ -408,17 +420,6 @@ let run_sharded ?(config = H.Config.default) ?(shards = 4) ?clients
     Option.map
       (fun d -> Filename.concat d (Printf.sprintf "shard-chaos-%Ld" seed))
       dir
-  in
-  let wipe_tree dir =
-    if Sys.file_exists dir then begin
-      Array.iter
-        (fun f ->
-          let p = Filename.concat dir f in
-          if Sys.is_directory p then wipe_dir p
-          else try Sys.remove p with Sys_error _ -> ())
-        (Sys.readdir dir);
-      try Unix.rmdir dir with Unix.Unix_error _ -> ()
-    end
   in
   Option.iter wipe_tree crash_dir;
   let opened =
@@ -808,3 +809,766 @@ let run_crash ?(config = H.Config.default) ?(key_space = 2048)
                                     scenario;
                                   })))
               end)))
+
+(* --- disk-fault chaos: seeded I/O faults, degraded mode, supervision -- *)
+
+module Io = Persist.Io
+
+type diskfault_outcome = {
+  df_ops : int;
+  df_acked : int;
+  df_rejected : int;
+  df_injected : int;
+  df_heals : int;
+  df_audits : int;
+  df_recovered : int;
+  df_final_keys : int;
+}
+
+let pp_diskfault_outcome fmt o =
+  Format.fprintf fmt
+    "%d ops: %d acked, %d rejected, %d I/O fault(s) injected, %d degraded \
+     cycle(s) healed, %d audits, recovered %d ops after the final crash, %d \
+     keys stored"
+    o.df_ops o.df_acked o.df_rejected o.df_injected o.df_heals o.df_audits
+    o.df_recovered o.df_final_keys
+
+(* Exact sweep of a plain store against the oracle (the sharded modes have
+   [sweep_against_oracle] for the front-end). *)
+let store_matches_oracle store oracle =
+  let expected = ref [] in
+  Rbtree.range oracle (fun k v ->
+      expected := (k, v) :: !expected;
+      true);
+  let expected = ref (List.rev !expected) in
+  let problem = ref None in
+  H.Store.range store (fun k v ->
+      (match !expected with
+      | [] -> problem := Some (Printf.sprintf "extra key %S in store" k)
+      | (ek, ev) :: rest ->
+          if k <> ek || v <> ev then
+            problem :=
+              Some
+                (Printf.sprintf "store has %S/%s, oracle has %S/%s" k
+                   (match v with Some v -> Int64.to_string v | None -> "-")
+                   ek
+                   (match ev with Some v -> Int64.to_string v | None -> "-"))
+          else expected := rest);
+      !problem = None);
+  (match (!problem, !expected) with
+  | None, (ek, _) :: _ ->
+      problem := Some (Printf.sprintf "key %S missing from store" ek)
+  | _ -> ());
+  !problem
+
+let run_diskfault ?(config = H.Config.default) ?(key_space = 2048)
+    ?(sync_every_ops = 16) ?(rotate_bytes = 8192) ?(heapcheck = true)
+    ?(per_mille = 3) ~dir ~seed ~ops () =
+  if ops < 0 then invalid_arg "Chaos.run_diskfault: negative ops";
+  if key_space <= 0 then
+    invalid_arg "Chaos.run_diskfault: key_space must be positive";
+  let dir = Filename.concat dir (Printf.sprintf "diskfault-%Ld" seed) in
+  wipe_dir dir;
+  let rng = Workload.Mt19937_64.create seed in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg -> Error (Printf.sprintf "diskfault chaos seed=%Ld: %s" seed msg))
+      fmt
+  in
+  let err_to_string = H.Hyperion_error.to_string in
+  let io = Io.make () in
+  let injected = ref 0
+  and heals = ref 0
+  and audits = ref 0
+  and rejected = ref 0
+  and cycle = ref 0 in
+  let arm () =
+    incr cycle;
+    Io.set_plan io
+      (Fault.seeded
+         ~seed:(Int64.add seed (Int64.of_int (7919 * !cycle)))
+         ~per_mille ~sites:Fault.io_sites)
+  in
+  let retire () =
+    injected := !injected + Fault.fired_count (Io.plan io);
+    Io.disarm io
+  in
+  match Persist.open_or_create ~config ~io ~sync_every_ops ~rotate_bytes dir with
+  | Error e -> fail "initial open: %s" (err_to_string e)
+  | Ok p -> (
+      arm ();
+      let store = Persist.store p in
+      let oracle = Rbtree.create () in
+      let log = ref [] and logged = ref 0 in
+      let record op =
+        log := op :: !log;
+        incr logged;
+        match op with
+        | L_put (k, v) -> Rbtree.put oracle k v
+        | L_add k -> Rbtree.add oracle k
+        | L_del k -> ignore (Rbtree.delete oracle k)
+      in
+      (* Reads must keep serving at all times — degraded or not — so every
+         audit includes the exact store-vs-oracle sweep. *)
+      let audit what =
+        incr audits;
+        match H.Validate.check_store store with
+        | e :: _ ->
+            fail "%s: %s" what (Format.asprintf "%a" H.Validate.pp_error e)
+        | [] -> (
+            match store_matches_oracle store oracle with
+            | Some d -> fail "%s: %s" what d
+            | None ->
+                if heapcheck then
+                  match
+                    Analyze.Heapcheck.first_problem
+                      (Analyze.Heapcheck.audit_store store)
+                  with
+                  | Some pr -> fail "%s: heap audit: %s" what pr
+                  | None -> Ok ()
+                else Ok ())
+      in
+      (* A mutation failed (or an acked one degraded the handle during its
+         group commit / rotation): verify degradation is sticky and
+         read-only, heal, and prove writes are re-armed. *)
+      let heal_cycle ~rearm op_i why =
+        let ( let* ) = Result.bind in
+        let probe = key_for (op_i mod key_space) in
+        let* () =
+          match Persist.put p probe 0xDEADL with
+          | Error (H.Hyperion_error.Degraded _) ->
+              incr rejected;
+              Ok ()
+          | Ok () -> fail "degraded handle accepted a mutation (%s)" why
+          | Error e ->
+              fail "degraded handle returned %s, wanted Degraded (%s)"
+                (err_to_string e) why
+        in
+        let* () = audit "degraded-mode audit" in
+        retire ();
+        let* () =
+          match Persist.heal p with
+          | Ok () -> Ok ()
+          | Error e -> fail "heal (%s): %s" why (err_to_string e)
+        in
+        let* () =
+          match Persist.degraded p with
+          | None -> Ok ()
+          | Some w -> fail "heal returned Ok but the handle is degraded: %s" w
+        in
+        let* () =
+          match Persist.put p probe 1L with
+          | Ok () ->
+              record (L_put (probe, 1L));
+              Ok ()
+          | Error e -> fail "post-heal put: %s" (err_to_string e)
+        in
+        incr heals;
+        if rearm then arm ();
+        Ok ()
+      in
+      let rec drive op_i =
+        if op_i >= ops then Ok ()
+        else
+          let id = Workload.Mt19937_64.next_below rng key_space in
+          let key = key_for id in
+          let dice = Workload.Mt19937_64.next_below rng 100 in
+          let step =
+            if dice < 50 then
+              let v =
+                Int64.of_int (Workload.Mt19937_64.next_below rng 1_000_000)
+              in
+              match Persist.put p key v with
+              | Ok () ->
+                  record (L_put (key, v));
+                  Ok ()
+              | Error e -> Error e
+            else if dice < 65 then
+              match Persist.add p key with
+              | Ok () ->
+                  record (L_add key);
+                  Ok ()
+              | Error e -> Error e
+            else
+              match Persist.delete p key with
+              | Ok true ->
+                  record (L_del key);
+                  Ok ()
+              | Ok false -> Ok ()
+              | Error e -> Error e
+          in
+          let next =
+            match step with
+            | Ok () -> (
+                (* append-first: a group-commit or rotation failure degrades
+                   the handle even though the op itself was acked *)
+                match Persist.degraded p with
+                | None -> Ok ()
+                | Some why -> heal_cycle ~rearm:true op_i why)
+            | Error (H.Hyperion_error.Degraded why) ->
+                incr rejected;
+                heal_cycle ~rearm:true op_i why
+            | Error e ->
+                fail "op %d: unexpected error %s (all storage failures must \
+                      surface as Degraded)"
+                  op_i (err_to_string e)
+          in
+          match next with
+          | Error _ as e -> e
+          | Ok () ->
+              if (op_i + 1) mod 500 = 0 then
+                match audit "periodic audit" with
+                | Error _ as e -> e
+                | Ok () -> drive (op_i + 1)
+              else drive (op_i + 1)
+      in
+      let ( let* ) = Result.bind in
+      let pre_crash =
+        let* () = drive 0 in
+        retire ();
+        let* () =
+          match Persist.degraded p with
+          | Some why -> heal_cycle ~rearm:false ops why
+          | None -> Ok ()
+        in
+        let* () = audit "post-workload audit" in
+        (* Crash phase, injection off: group-commit, append a small unsynced
+           tail, kill the process image at a random WAL offset at or past the
+           durable watermark, and demand prefix-consistent recovery. *)
+        let* () =
+          match Persist.sync p with
+          | Ok () -> Ok ()
+          | Error e -> fail "pre-crash sync: %s" (err_to_string e)
+        in
+        let rec tail n =
+          if n = 0 then Ok ()
+          else
+            let key = key_for (Workload.Mt19937_64.next_below rng key_space) in
+            let v = Int64.of_int (Workload.Mt19937_64.next_below rng 1_000_000) in
+            match Persist.put p key v with
+            | Ok () ->
+                record (L_put (key, v));
+                tail (n - 1)
+            | Error e -> fail "unsynced tail put: %s" (err_to_string e)
+        in
+        tail 5
+      in
+      let* () =
+        match pre_crash with
+        | Ok () -> Ok ()
+        | Error _ as e ->
+            Persist.crash p;
+            e
+      in
+      let ops_log = Array.of_list (List.rev !log) in
+      let gen = Persist.generation p in
+      let base = Persist.snapshot_base p in
+      let durable = Persist.durable_ops p in
+      let watermark = Persist.wal_synced_bytes p in
+      let size = Persist.wal_size p in
+      Persist.crash p;
+      let cut =
+        watermark + Workload.Mt19937_64.next_below rng (size - watermark + 1)
+      in
+      Unix.truncate (Persist.wal_file ~dir ~gen) cut;
+      let* p2 =
+        match
+          Persist.open_or_create ~config ~sync_every_ops ~rotate_bytes dir
+        with
+        | Ok p2 -> Ok p2
+        | Error e -> fail "reopen after crash: %s" (err_to_string e)
+      in
+      let r = Persist.recovery p2 in
+      let recovered = base + r.Persist.replayed_ops in
+      let closing r =
+        match r with
+        | Ok _ as ok -> ok
+        | Error _ as e ->
+            ignore (Persist.close p2);
+            e
+      in
+      let* () =
+        closing
+          (if r.Persist.generation <> gen then
+             fail "recovered from generation %d, expected %d"
+               r.Persist.generation gen
+           else if recovered < durable then
+             fail
+               "acknowledged ops lost: %d durable at crash, only %d recovered \
+                (cut=%d)"
+               durable recovered cut
+           else if recovered > !logged then
+             fail "recovered %d ops but only %d were ever acked" recovered
+               !logged
+           else Ok ())
+      in
+      let* () =
+        closing
+          (let prefix_oracle = Rbtree.create () in
+           Array.iteri
+             (fun i op ->
+               if i < recovered then
+                 match op with
+                 | L_put (k, v) -> Rbtree.put prefix_oracle k v
+                 | L_add k -> Rbtree.add prefix_oracle k
+                 | L_del k -> ignore (Rbtree.delete prefix_oracle k))
+             ops_log;
+           match store_matches_oracle (Persist.store p2) prefix_oracle with
+           | Some d -> fail "post-recovery sweep (cut=%d): %s" cut d
+           | None -> Ok ())
+      in
+      let* () =
+        closing
+          (if heapcheck then
+             match
+               Analyze.Heapcheck.first_problem
+                 (Analyze.Heapcheck.audit_store (Persist.store p2))
+             with
+             | Some pr -> fail "post-recovery heap audit: %s" pr
+             | None -> Ok ()
+           else Ok ())
+      in
+      let* () =
+        closing
+          (match Persist.put p2 "post/recovery/probe" 1L with
+          | Ok () -> Ok ()
+          | Error e -> fail "post-recovery put: %s" (err_to_string e))
+      in
+      let final_keys = H.Store.length (Persist.store p2) in
+      let* () =
+        match Persist.close p2 with
+        | Ok () -> Ok ()
+        | Error e -> fail "post-recovery close: %s" (err_to_string e)
+      in
+      wipe_dir dir;
+      Ok
+        {
+          df_ops = ops;
+          df_acked = !logged;
+          df_rejected = !rejected;
+          df_injected = !injected;
+          df_heals = !heals;
+          df_audits = !audits;
+          df_recovered = recovered;
+          df_final_keys = final_keys;
+        })
+
+(* --- sharded disk-fault chaos: faults + worker kills under load ------- *)
+
+type sharded_diskfault_outcome = {
+  sdf_shards : int;
+  sdf_clients : int;
+  sdf_ops : int;
+  sdf_acked : int;
+  sdf_rejected : int;
+  sdf_injected : int;
+  sdf_heals : int;
+  sdf_kills : int;
+  sdf_restarts : int;
+  sdf_audits : int;
+  sdf_final_keys : int;
+}
+
+let pp_sharded_diskfault_outcome fmt o =
+  Format.fprintf fmt
+    "%d ops over %d client(s) x %d shard(s): %d acked, %d rejected, %d I/O \
+     fault(s) injected, %d heal(s), %d worker kill(s) / %d restart(s), %d \
+     quiesced audits, %d keys stored"
+    o.sdf_ops o.sdf_clients o.sdf_shards o.sdf_acked o.sdf_rejected
+    o.sdf_injected o.sdf_heals o.sdf_kills o.sdf_restarts o.sdf_audits
+    o.sdf_final_keys
+
+(* A fault-tolerant client: typed rejections ([Degraded], [Shard_down],
+   [Overloaded]) are counted, not fatal, and the client's model is only
+   advanced for acknowledged mutations — including the exact applied
+   prefix of a partially applied batch slice ([Batch.flush_report]).
+   Every blocking call must still complete with SOME result: a hang here
+   hangs the run, which is precisely what the harness is hunting. *)
+type df_client_report = {
+  dfc_log : logged_op list;  (* reversed: newest first *)
+  dfc_acked : int;
+  dfc_rejected : int;
+  dfc_error : string option;
+}
+
+let tolerable = function
+  | H.Hyperion_error.Degraded _ | H.Hyperion_error.Shard_down _
+  | H.Hyperion_error.Overloaded _ ->
+      true
+  | _ -> false
+
+let run_diskfault_client store ~seed ~clients ~c ~ops ~key_space =
+  let rng = Workload.Mt19937_64.create (client_seed ~seed c) in
+  let slots = max 1 (key_space / clients) in
+  let expected : (string, int64 option) Hashtbl.t = Hashtbl.create 64 in
+  let log = ref [] and acked = ref 0 and rejected = ref 0 in
+  let batch = Hyperion_shard.Batch.create store in
+  let nshards = Hyperion_shard.shards store in
+  let pending = Array.make nshards [] in
+  (* per-shard mirror of [batch], newest first *)
+  let pending_count = ref 0 in
+  let err = ref None in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        if !err = None then
+          err := Some (Printf.sprintf "diskfault client %d seed=%Ld: %s" c seed msg))
+      fmt
+  in
+  let apply_expected = function
+    | L_put (k, v) -> Hashtbl.replace expected k (Some v)
+    | L_add k ->
+        if not (Hashtbl.mem expected k) then Hashtbl.replace expected k None
+    | L_del k -> Hashtbl.remove expected k
+  in
+  let note op =
+    apply_expected op;
+    log := op :: !log;
+    incr acked
+  in
+  let flush () =
+    if !pending_count > 0 then begin
+      let report = Hyperion_shard.Batch.flush_report batch in
+      List.iter
+        (fun r ->
+          let i = r.Hyperion_shard.Batch.fr_shard in
+          let slice = Array.of_list (List.rev pending.(i)) in
+          pending.(i) <- [];
+          let n = Array.length slice in
+          if r.Hyperion_shard.Batch.fr_ops <> n then
+            fail "flush report covers %d op(s) for shard %d, client buffered %d"
+              r.Hyperion_shard.Batch.fr_ops i n
+          else begin
+            let applied = r.Hyperion_shard.Batch.fr_applied in
+            for j = 0 to applied - 1 do
+              note slice.(j)
+            done;
+            rejected := !rejected + (n - applied);
+            match r.Hyperion_shard.Batch.fr_error with
+            | Some e when not (tolerable e) ->
+                fail "batch slice for shard %d failed: %s" i
+                  (H.Hyperion_error.to_string e)
+            | Some _ -> ()
+            | None ->
+                if applied <> n then
+                  fail "shard %d applied %d of %d with no error" i applied n
+          end)
+        report;
+      Array.iteri
+        (fun i ops ->
+          if ops <> [] then begin
+            fail "flush report omitted shard %d (%d op(s))" i (List.length ops);
+            pending.(i) <- []
+          end)
+        pending;
+      pending_count := 0
+    end
+  in
+  let pending_has key =
+    let i = Hyperion_shard.shard_of_key store key in
+    List.exists
+      (function L_put (k, _) | L_add k | L_del k -> k = key)
+      pending.(i)
+  in
+  let direct op =
+    let r =
+      match op with
+      | L_put (k, v) -> Hyperion_shard.put_result store k v
+      | L_add k -> Hyperion_shard.add_result store k
+      | L_del k -> (
+          let present = Hashtbl.mem expected k in
+          match Hyperion_shard.delete_result store k with
+          | Ok removed ->
+              if removed <> present then
+                fail "delete %S: store=%b expected=%b" k removed present;
+              Ok ()
+          | Error e -> Error e)
+    in
+    match r with
+    | Ok () -> note op
+    | Error e when tolerable e -> incr rejected
+    | Error e -> fail "mutation rejected with %s" (H.Hyperion_error.to_string e)
+  in
+  (try
+     for _op = 0 to ops - 1 do
+       if !err = None then begin
+         let id = c + (clients * Workload.Mt19937_64.next_below rng slots) in
+         let key = key_for id in
+         let dice = Workload.Mt19937_64.next_below rng 100 in
+         if dice < 30 then
+           let v = Int64.of_int (Workload.Mt19937_64.next_below rng 1_000_000) in
+           direct (L_put (key, v))
+         else if dice < 45 then begin
+           let v = Int64.of_int (Workload.Mt19937_64.next_below rng 1_000_000) in
+           let op = if dice < 42 then L_put (key, v) else L_add key in
+           (match op with
+           | L_put (k, v) -> Hyperion_shard.Batch.put batch k v
+           | L_add k -> Hyperion_shard.Batch.add batch k
+           | L_del _ -> ());
+           let i = Hyperion_shard.shard_of_key store key in
+           pending.(i) <- op :: pending.(i);
+           incr pending_count;
+           if Hyperion_shard.Batch.length batch >= 8 then flush ()
+         end
+         else if dice < 55 then direct (L_add key)
+         else if dice < 70 then begin
+           if pending_has key then flush ();
+           direct (L_del key)
+         end
+         else if dice < 90 then begin
+           if pending_has key then flush ();
+           let got = Hyperion_shard.get store key in
+           let want = Option.join (Hashtbl.find_opt expected key) in
+           if got <> want then
+             fail "get %S: store=%s expected=%s" key
+               (match got with Some v -> Int64.to_string v | None -> "absent")
+               (match want with Some v -> Int64.to_string v | None -> "absent")
+         end
+         else begin
+           if pending_has key then flush ();
+           let got = Hyperion_shard.mem store key in
+           let want = Hashtbl.mem expected key in
+           if got <> want then fail "mem %S: store=%b expected=%b" key got want
+         end
+       end
+     done;
+     flush ()
+   with e -> fail "client raised %s" (Printexc.to_string e));
+  { dfc_log = !log; dfc_acked = !acked; dfc_rejected = !rejected; dfc_error = !err }
+
+let run_sharded_diskfault ?(config = H.Config.default) ?(shards = 4) ?clients
+    ?(key_space = 4096) ?(heapcheck = true) ?(per_mille = 2) ~dir ~seed ~ops () =
+  if ops < 0 then invalid_arg "Chaos.run_sharded_diskfault: negative ops";
+  if shards < 1 then
+    invalid_arg "Chaos.run_sharded_diskfault: shards must be positive";
+  if key_space <= 0 then
+    invalid_arg "Chaos.run_sharded_diskfault: key_space must be positive";
+  let clients = match clients with Some c -> max 1 c | None -> min shards 4 in
+  let dir = Filename.concat dir (Printf.sprintf "sharded-diskfault-%Ld" seed) in
+  wipe_tree dir;
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Error
+          (Printf.sprintf "sharded diskfault chaos seed=%Ld shards=%d: %s" seed
+             shards msg))
+      fmt
+  in
+  let err_to_string = H.Hyperion_error.to_string in
+  let ios = Array.init shards (fun _ -> Io.make ()) in
+  let injected = ref 0 and cycle = ref 0 in
+  let plan_for i =
+    Fault.seeded
+      ~seed:
+        (Int64.add seed (Int64.of_int ((7919 * !cycle) + (104729 * (i + 1)))))
+      ~per_mille ~sites:Fault.io_sites
+  in
+  let retire i =
+    injected := !injected + Fault.fired_count (Io.plan ios.(i));
+    Io.disarm ios.(i)
+  in
+  let arm_all () =
+    incr cycle;
+    Array.iteri (fun i io -> Io.set_plan io (plan_for i)) ios
+  in
+  let retire_all () = Array.iteri (fun i _ -> retire i) ios in
+  match
+    Hyperion_shard.open_durable ~config ~shards ~sync_every_ops:16
+      ~rotate_bytes:8192 ~io_for_shard:(fun i -> ios.(i)) dir
+  with
+  | Error e -> fail "open: %s" (err_to_string e)
+  | Ok store -> (
+      arm_all ();
+      let per_client = ops / clients in
+      let finished = Atomic.make 0 in
+      let doms =
+        List.init clients (fun c ->
+            let ops =
+              if c = 0 then per_client + (ops mod clients) else per_client
+            in
+            Domain.spawn (fun () ->
+                let r =
+                  run_diskfault_client store ~seed ~clients ~c ~ops ~key_space
+                in
+                Atomic.incr finished;
+                r))
+      in
+      (* Coordinator: quiesced audits, seeded worker kills + restarts, and
+         heals — all while the clients hammer the store. *)
+      let crng = Workload.Mt19937_64.create (Int64.lognot seed) in
+      let audits = ref 0
+      and heals = ref 0
+      and kills = ref 0
+      and restarts = ref 0 in
+      let problem = ref None in
+      let note_problem fmt =
+        Printf.ksprintf (fun m -> if !problem = None then problem := Some m) fmt
+      in
+      let restart_dead ~rearm =
+        List.iter
+          (fun h ->
+            if h.Hyperion_shard.hs_down <> None then begin
+              let i = h.Hyperion_shard.hs_shard in
+              retire i;
+              (match Hyperion_shard.restart_shard store i with
+              | Ok _ -> incr restarts
+              | Error e ->
+                  note_problem "restart shard %d: %s" i (err_to_string e));
+              if rearm then Io.set_plan ios.(i) (plan_for i)
+            end)
+          (Hyperion_shard.health store)
+      in
+      let heal_degraded ~rearm =
+        if
+          List.exists
+            (fun h -> h.Hyperion_shard.hs_degraded <> None)
+            (Hyperion_shard.health store)
+        then begin
+          retire_all ();
+          (match Hyperion_shard.heal store with
+          | Ok () -> incr heals
+          | Error e -> note_problem "heal: %s" (err_to_string e));
+          if rearm then arm_all ()
+        end
+      in
+      while Atomic.get finished < clients && !problem = None do
+        if shards > 1 && Workload.Mt19937_64.next_below crng 10 = 0 then begin
+          let victim = Workload.Mt19937_64.next_below crng shards in
+          if
+            Hyperion_shard.poison store ~shard:victim
+              ~reason:"chaos: injected worker crash"
+          then begin
+            incr kills;
+            (* the poison is behind the shard's backlog; bounded wait for
+               the worker to reach it and die *)
+            let budget = ref 5000 in
+            let rec wait () =
+              let h = List.nth (Hyperion_shard.health store) victim in
+              if h.Hyperion_shard.hs_down <> None then true
+              else if !budget = 0 then false
+              else begin
+                decr budget;
+                Unix.sleepf 0.001;
+                wait ()
+              end
+            in
+            if not (wait ()) then
+              note_problem "poisoned shard %d never died" victim
+          end
+        end;
+        restart_dead ~rearm:true;
+        heal_degraded ~rearm:true;
+        (match sharded_audit ~heapcheck store with
+        | Some p -> note_problem "concurrent audit: %s" p
+        | None -> ());
+        incr audits;
+        Unix.sleepf 0.002
+      done;
+      (* No-hang guarantee: every client joins even on a coordinator
+         problem — typed errors, never stuck promises. *)
+      let reports = List.map Domain.join doms in
+      retire_all ();
+      restart_dead ~rearm:false;
+      heal_degraded ~rearm:false;
+      let bail fmt =
+        Printf.ksprintf
+          (fun msg ->
+            ignore (Hyperion_shard.close store);
+            fail "%s" msg)
+          fmt
+      in
+      match (!problem, List.find_map (fun r -> r.dfc_error) reports) with
+      | Some p, _ -> bail "%s" p
+      | None, Some e -> bail "%s" e
+      | None, None -> (
+          let oracle = Rbtree.create () in
+          List.iter
+            (fun r ->
+              List.iter
+                (function
+                  | L_put (k, v) -> Rbtree.put oracle k v
+                  | L_add k -> Rbtree.add oracle k
+                  | L_del k -> ignore (Rbtree.delete oracle k))
+                (List.rev r.dfc_log))
+            reports;
+          let acked = List.fold_left (fun a r -> a + r.dfc_acked) 0 reports in
+          let rejected =
+            List.fold_left (fun a r -> a + r.dfc_rejected) 0 reports
+          in
+          let ( let* ) = Result.bind in
+          let* () =
+            match sharded_audit ~heapcheck store with
+            | Some p -> bail "final audit: %s" p
+            | None ->
+                incr audits;
+                Ok ()
+          in
+          let* () =
+            match sweep_against_oracle ~what:"post-workload sweep" store oracle with
+            | Some p -> bail "%s" p
+            | None -> Ok ()
+          in
+          (* Crash phase, injection off: everything acked must survive a
+             group commit + kill + parallel per-shard recovery. *)
+          let* () =
+            match Hyperion_shard.sync store with
+            | Ok () -> Ok ()
+            | Error e -> bail "pre-crash sync: %s" (err_to_string e)
+          in
+          Hyperion_shard.crash store;
+          let* store2 =
+            match
+              Hyperion_shard.open_durable ~config ~shards ~sync_every_ops:16
+                ~rotate_bytes:8192 dir
+            with
+            | Ok s -> Ok s
+            | Error e -> fail "reopen: %s" (err_to_string e)
+          in
+          let closing r =
+            match r with
+            | Ok _ as ok -> ok
+            | Error _ as e ->
+                ignore (Hyperion_shard.close store2);
+                e
+          in
+          let* () =
+            closing
+              (match
+                 sweep_against_oracle ~what:"post-recovery sweep" store2 oracle
+               with
+              | Some p -> fail "%s" p
+              | None -> Ok ())
+          in
+          let* () =
+            closing
+              (match sharded_audit ~heapcheck store2 with
+              | Some p -> fail "post-recovery audit: %s" p
+              | None -> Ok ())
+          in
+          let* () =
+            closing
+              (match Hyperion_shard.put_result store2 "post/recovery/probe" 1L with
+              | Ok () -> Ok ()
+              | Error e -> fail "post-recovery put: %s" (err_to_string e))
+          in
+          let final_keys = Hyperion_shard.length store2 in
+          let* () =
+            match Hyperion_shard.close store2 with
+            | Ok () -> Ok ()
+            | Error e -> fail "post-recovery close: %s" (err_to_string e)
+          in
+          wipe_tree dir;
+          Ok
+            {
+              sdf_shards = shards;
+              sdf_clients = clients;
+              sdf_ops = ops;
+              sdf_acked = acked;
+              sdf_rejected = rejected;
+              sdf_injected = !injected;
+              sdf_heals = !heals;
+              sdf_kills = !kills;
+              sdf_restarts = !restarts;
+              sdf_audits = !audits;
+              sdf_final_keys = final_keys;
+            }))

@@ -149,3 +149,90 @@ val run_crash :
     the audit {!Persist.open_or_create} performs itself).  [Error msg]
     embeds the seed, the scenario and the cut offset — a complete replay
     recipe. *)
+
+(** {1 Disk-fault chaos}
+
+    The storage-fault counterpart (DESIGN.md section 12): the workload runs
+    through a {!Persist} handle whose syscalls are interposed by
+    {!Persist.Io} with a seeded {!Fault} plan over {!Fault.io_sites}
+    ([EIO], [ENOSPC], short writes, fsync failures, failed opens/reads/
+    renames).  The run asserts the full degraded-mode contract: a storage
+    failure surfaces as a typed [Degraded] rejection (or flips the handle
+    after an acked group-commit failure), degradation is {e sticky} and
+    strictly read-only, reads keep matching the oracle throughout,
+    {!Persist.heal} (with injection disarmed) re-arms writes, and the run
+    ends with the same kill-at-a-random-WAL-offset prefix-consistency check
+    as {!run_crash}. *)
+
+type diskfault_outcome = {
+  df_ops : int;
+  df_acked : int;  (** mutations acknowledged (and therefore logged) *)
+  df_rejected : int;  (** typed [Degraded] rejections *)
+  df_injected : int;  (** I/O faults injected across all plan cycles *)
+  df_heals : int;  (** degraded → healed cycles *)
+  df_audits : int;
+  df_recovered : int;  (** prefix reproduced after the final crash *)
+  df_final_keys : int;
+}
+
+val pp_diskfault_outcome : Format.formatter -> diskfault_outcome -> unit
+
+val run_diskfault :
+  ?config:Hyperion.Config.t ->
+  ?key_space:int ->
+  ?sync_every_ops:int ->
+  ?rotate_bytes:int ->
+  ?heapcheck:bool ->
+  ?per_mille:int ->
+  dir:string ->
+  seed:int64 ->
+  ops:int ->
+  unit ->
+  (diskfault_outcome, string) result
+(** [run_diskfault ~dir ~seed ~ops ()] works in [dir/diskfault-<seed>]
+    (wiped before and after).  [per_mille] (default 3) is the per-syscall
+    injection probability; each heal cycle re-arms a fresh plan derived
+    from [seed].  Deterministic in its parameters; [Error msg] embeds the
+    seed. *)
+
+type sharded_diskfault_outcome = {
+  sdf_shards : int;
+  sdf_clients : int;
+  sdf_ops : int;
+  sdf_acked : int;  (** acknowledged mutations across all clients *)
+  sdf_rejected : int;  (** typed rejections clients absorbed *)
+  sdf_injected : int;  (** I/O faults injected across shards and cycles *)
+  sdf_heals : int;  (** degraded → healed cycles *)
+  sdf_kills : int;  (** worker crashes injected via the poison hook *)
+  sdf_restarts : int;  (** dead shards rebuilt with [restart_shard] *)
+  sdf_audits : int;
+  sdf_final_keys : int;
+}
+
+val pp_sharded_diskfault_outcome :
+  Format.formatter -> sharded_diskfault_outcome -> unit
+
+val run_sharded_diskfault :
+  ?config:Hyperion.Config.t ->
+  ?shards:int ->
+  ?clients:int ->
+  ?key_space:int ->
+  ?heapcheck:bool ->
+  ?per_mille:int ->
+  dir:string ->
+  seed:int64 ->
+  ops:int ->
+  unit ->
+  (sharded_diskfault_outcome, string) result
+(** [run_sharded_diskfault ~dir ~seed ~ops ()] drives fault-tolerant
+    client domains over a durable {!Hyperion_shard} front-end whose
+    per-shard durability syscalls carry seeded fault plans, while the
+    coordinator interleaves quiesced audits, seeded worker kills (the
+    supervision path: every pending request must complete with a typed
+    error, never hang), single-shard restarts from their persist dirs, and
+    cluster-wide heals.  Clients model exactly the acknowledged mutations —
+    including partially applied batch slices via
+    {!Hyperion_shard.Batch.flush_report} — and the final store, both before
+    and after a group-commit + kill + parallel recovery, must equal the
+    merged oracle of every client's acked log.  [per_mille] defaults to 2.
+    Works in [dir/sharded-diskfault-<seed>] (wiped before and after). *)

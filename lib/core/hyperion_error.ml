@@ -10,6 +10,9 @@ type t =
   | Torn_log of string
   | Version_mismatch of { found : int; expected : int }
   | Io_error of string
+  | Degraded of string
+  | Overloaded of string
+  | Shard_down of string
 
 exception Error of t
 
@@ -30,6 +33,11 @@ let to_string = function
       Printf.sprintf "format version mismatch: file has v%d, this build speaks v%d"
         found expected
   | Io_error what -> Printf.sprintf "I/O error: %s" what
+  | Degraded why ->
+      Printf.sprintf
+        "store is degraded (read-only) after a storage failure: %s" why
+  | Overloaded what -> Printf.sprintf "shard overloaded: %s" what
+  | Shard_down why -> Printf.sprintf "shard worker is down: %s" why
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 

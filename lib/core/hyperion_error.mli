@@ -39,6 +39,19 @@ type t =
   | Io_error of string
       (** An operating-system I/O failure while reading or writing the
           durability directory (payload: the [Unix] error and path). *)
+  | Degraded of string
+      (** The durability handle is in sticky degraded read-only mode after
+          a persistent storage failure: mutations are rejected (and leave
+          the store unchanged), reads keep serving, and {!Persist.heal}
+          re-arms writes.  The payload is the root-cause failure. *)
+  | Overloaded of string
+      (** A shard mailbox stayed full past the enqueue deadline — back
+          off and retry; nothing was applied or logged. *)
+  | Shard_down of string
+      (** The owning shard's worker domain died on an unexpected
+          exception (payload: that exception).  The mutation was not
+          applied; the shard can be restarted from its persist
+          directory ({!Hyperion_shard.restart_shard}). *)
 
 exception Error of t
 (** The exception-API wrapper around {!t}. *)

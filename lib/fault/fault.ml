@@ -3,22 +3,56 @@ type site =
   | Superbin_exhausted
   | Chunk_corrupt
   | Restart_storm
+  | Io_write_eio
+  | Io_write_enospc
+  | Io_short_write
+  | Io_fsync
+  | Io_open
+  | Io_read
+  | Io_rename
 
 let site_name = function
   | Alloc_fail -> "alloc-fail"
   | Superbin_exhausted -> "superbin-exhausted"
   | Chunk_corrupt -> "chunk-corrupt"
   | Restart_storm -> "restart-storm"
+  | Io_write_eio -> "io-write-eio"
+  | Io_write_enospc -> "io-write-enospc"
+  | Io_short_write -> "io-short-write"
+  | Io_fsync -> "io-fsync"
+  | Io_open -> "io-open"
+  | Io_read -> "io-read"
+  | Io_rename -> "io-rename"
 
-let all_sites = [ Alloc_fail; Superbin_exhausted; Chunk_corrupt; Restart_storm ]
+let mem_sites = [ Alloc_fail; Superbin_exhausted; Chunk_corrupt; Restart_storm ]
+
+let io_sites =
+  [
+    Io_write_eio;
+    Io_write_enospc;
+    Io_short_write;
+    Io_fsync;
+    Io_open;
+    Io_read;
+    Io_rename;
+  ]
+
+let all_sites = mem_sites @ io_sites
 
 let site_index = function
   | Alloc_fail -> 0
   | Superbin_exhausted -> 1
   | Chunk_corrupt -> 2
   | Restart_storm -> 3
+  | Io_write_eio -> 4
+  | Io_write_enospc -> 5
+  | Io_short_write -> 6
+  | Io_fsync -> 7
+  | Io_open -> 8
+  | Io_read -> 9
+  | Io_rename -> 10
 
-let n_sites = 4
+let n_sites = 11
 
 type mode =
   | Disabled

@@ -16,9 +16,22 @@ type site =
   | Superbin_exhausted  (** the allocator reports an exhausted pool *)
   | Chunk_corrupt  (** a container chunk reads back corrupt *)
   | Restart_storm  (** an in-flight operation is forced to restart *)
+  | Io_write_eio  (** a [write] to a durability file fails with [EIO] *)
+  | Io_write_enospc  (** a [write] fails with [ENOSPC] *)
+  | Io_short_write  (** a [write] transfers only part of its buffer *)
+  | Io_fsync  (** an [fsync] fails (never retried — see {!Persist.Io}) *)
+  | Io_open  (** an [openfile] fails *)
+  | Io_read  (** a [read] fails *)
+  | Io_rename  (** a [rename] (snapshot publish) fails *)
 
 val site_name : site -> string
 val all_sites : site list
+
+val mem_sites : site list
+(** The in-memory store's sites (allocator, chunk, restart). *)
+
+val io_sites : site list
+(** The durability layer's syscall sites, consulted by {!Persist.Io}. *)
 
 type t
 

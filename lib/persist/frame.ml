@@ -53,18 +53,3 @@ let read_record buf ~pos =
       let crc = Bytes.get_int32_le buf (pos + 4 + len) in
       if crc <> Crc32.bytes buf ~pos:(pos + 4) ~len then Error Rec_bad_crc
       else Ok (Bytes.sub_string buf (pos + 4) len, pos + 4 + len + 4)
-
-let read_file path =
-  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      let size = (Unix.fstat fd).Unix.st_size in
-      let b = Bytes.create size in
-      let pos = ref 0 in
-      while !pos < size do
-        let n = Unix.read fd b !pos (size - !pos) in
-        if n = 0 then raise End_of_file;
-        pos := !pos + n
-      done;
-      b)

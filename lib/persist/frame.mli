@@ -43,8 +43,5 @@ type record_error = Rec_short | Rec_bad_crc | Rec_bad_len
 val read_record : Bytes.t -> pos:int -> (string * int, record_error) result
 (** [read_record buf ~pos] decodes the record starting at [pos] and returns
     [(payload, next_pos)].  Any of the three errors at the physical end of
-    a WAL is a torn tail. *)
-
-val read_file : string -> Bytes.t
-(** Whole-file read.  @raise Unix.Unix_error / [Sys_error] on I/O failure
-    (callers convert to {!Hyperion.Hyperion_error.Io_error}). *)
+    a WAL is a torn tail.  Whole-file reads live in {!Io.read_file}: this
+    module is pure. *)

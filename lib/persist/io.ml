@@ -1,0 +1,312 @@
+module E = Hyperion.Hyperion_error
+module T = Telemetry
+
+(* I/O-interposition telemetry: every syscall the durability layer issues
+   funnels through this module, so retries, injected faults and the
+   once-silent directory-fsync refusals all become visible counters. *)
+let c_retries =
+  T.Counter.make "hyperion_io_retries_total"
+    ~help:"Durability-layer syscalls retried after a transient failure"
+
+let c_injected =
+  T.Counter.make "hyperion_io_injected_faults_total"
+    ~help:"Faults injected into durability-layer syscalls by the active plan"
+
+let c_errors =
+  T.Counter.make "hyperion_io_errors_total"
+    ~help:"Durability-layer syscalls that failed after exhausting retries"
+
+let c_short_writes =
+  T.Counter.make "hyperion_io_short_writes_total"
+    ~help:"Partial write transfers observed (completed by the write loop)"
+
+let c_dir_fsync_refused =
+  T.Counter.make "hyperion_io_dir_fsync_refused_total"
+    ~help:"Directory fsyncs the filesystem refused (durability weakened, \
+           consistency intact)"
+
+(* The one Unix-exception -> typed-error formatter for the whole persist
+   layer (frame/wal/snapshot/persist previously each had a copy). *)
+let error ~path exn =
+  let detail =
+    match exn with
+    | Unix.Unix_error (e, fn, _) ->
+        Printf.sprintf "%s: %s" fn (Unix.error_message e)
+    | Sys_error msg -> msg
+    | End_of_file -> "unexpected end of file"
+    | e -> Printexc.to_string e
+  in
+  Error (E.Io_error (Printf.sprintf "%s: %s" path detail))
+
+type t = {
+  plan : Fault.t Atomic.t;
+  max_retries : int;
+  backoff_s : float;  (* first retry delay; doubles per retry *)
+}
+
+let make ?(max_retries = 4) ?(backoff_s = 2e-4) ?(plan = Fault.none) () =
+  if max_retries < 0 then invalid_arg "Io.make: max_retries must be >= 0";
+  { plan = Atomic.make plan; max_retries; backoff_s }
+
+(* Shared pass-through handle.  Its plan cell must stay [Fault.none]:
+   arming it would arm every default caller at once. *)
+let none = make ~backoff_s:0. ()
+
+let set_plan t p = Atomic.set t.plan p
+let disarm t = Atomic.set t.plan Fault.none
+let plan t = Atomic.get t.plan
+
+let injected code what path =
+  Unix.Unix_error (code, what ^ " [injected fault]", path)
+
+let consult t site =
+  let plan = Atomic.get t.plan in
+  if Fault.check plan site then begin
+    if T.enabled () then T.Counter.incr c_injected;
+    true
+  end
+  else false
+
+let retryable_errno = function
+  | Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EIO | Unix.ENOSPC ->
+      true
+  | _ -> false
+
+(* fsync failures are special: after a failed fsync the kernel may already
+   have dropped the dirty pages, so a later fsync returning success proves
+   nothing about the lost writes (the PostgreSQL fsync-gate lesson).  Only
+   the interruption case is safe to retry. *)
+let fsync_retryable_errno = function Unix.EINTR -> true | _ -> false
+
+let with_retries t ~path ?(retry = retryable_errno) f =
+  let rec go attempt =
+    match f () with
+    | v -> Ok v
+    | exception (Unix.Unix_error (code, _, _) as exn) ->
+        if retry code && attempt < t.max_retries then begin
+          if T.enabled () then T.Counter.incr c_retries;
+          if t.backoff_s > 0. then
+            Unix.sleepf (t.backoff_s *. float_of_int (1 lsl attempt));
+          go (attempt + 1)
+        end
+        else begin
+          if T.enabled () then T.Counter.incr c_errors;
+          error ~path exn
+        end
+    | exception exn ->
+        if T.enabled () then T.Counter.incr c_errors;
+        error ~path exn
+  in
+  go 0
+
+let quiet_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let openfile t path flags perm =
+  with_retries t ~path (fun () ->
+      if consult t Fault.Io_open then raise (injected Unix.EIO "open" path);
+      Unix.openfile path flags perm)
+
+(* [write_all] and [fsync] sit on the WAL append path — once per logged
+   mutation — so the unarmed configuration (plan physically [Fault.none],
+   i.e. production and any disarmed handle) takes a fast lane that issues
+   the bare syscall with no per-site consults and no retry closure.  A
+   failure on the fast lane falls back to the retrying slow lane, which
+   resumes from the bytes already transferred; the failed fast attempt is
+   not counted against [max_retries], so the fallback allows at most one
+   attempt more than a permanently-armed handle would. *)
+
+let write_all_guarded t fd b ~path ~pos =
+  let len = Bytes.length b in
+  (* [pos] survives retries: bytes already transferred are never resent. *)
+  with_retries t ~path (fun () ->
+      while !pos < len do
+        if consult t Fault.Io_write_eio then
+          raise (injected Unix.EIO "write" path);
+        if consult t Fault.Io_write_enospc then
+          raise (injected Unix.ENOSPC "write" path);
+        let want = len - !pos in
+        let want =
+          if want > 1 && consult t Fault.Io_short_write then begin
+            if T.enabled () then T.Counter.incr c_short_writes;
+            (want + 1) / 2
+          end
+          else want
+        in
+        let n = Unix.write fd b !pos want in
+        if n < want && T.enabled () then T.Counter.incr c_short_writes;
+        pos := !pos + n
+      done)
+
+let rec write_fast t fd b ~path pos len =
+  if pos >= len then Ok ()
+  else
+    let want = len - pos in
+    match Unix.write fd b pos want with
+    | n ->
+        if n < want && T.enabled () then T.Counter.incr c_short_writes;
+        write_fast t fd b ~path (pos + n) len
+    | exception Unix.Unix_error _ ->
+        write_all_guarded t fd b ~path ~pos:(ref pos)
+    | exception exn ->
+        if T.enabled () then T.Counter.incr c_errors;
+        error ~path exn
+
+let write_all t fd b ~path =
+  if Atomic.get t.plan != Fault.none then
+    write_all_guarded t fd b ~path ~pos:(ref 0)
+  else
+    (* common case first: the whole buffer goes out in one syscall *)
+    let len = Bytes.length b in
+    match Unix.write fd b 0 len with
+    | n when n = len -> Ok ()
+    | n ->
+        if T.enabled () then T.Counter.incr c_short_writes;
+        write_fast t fd b ~path n len
+    | exception Unix.Unix_error _ ->
+        write_all_guarded t fd b ~path ~pos:(ref 0)
+    | exception exn ->
+        if T.enabled () then T.Counter.incr c_errors;
+        error ~path exn
+
+let fsync_guarded t fd ~path =
+  with_retries t ~path ~retry:fsync_retryable_errno (fun () ->
+      if consult t Fault.Io_fsync then raise (injected Unix.EIO "fsync" path);
+      Unix.fsync fd)
+
+let fsync t fd ~path =
+  if Atomic.get t.plan == Fault.none then
+    match Unix.fsync fd with
+    | () -> Ok ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        (* the one retryable fsync errno; see [fsync_retryable_errno] *)
+        fsync_guarded t fd ~path
+    | exception exn ->
+        if T.enabled () then T.Counter.incr c_errors;
+        error ~path exn
+  else fsync_guarded t fd ~path
+
+(* fsync of a directory makes a completed rename durable.  Some filesystems
+   reject the operation outright; that only weakens durability, never
+   consistency, so a refusal is counted (no longer silently swallowed) and
+   tolerated, while a real write-back failure (EIO/ENOSPC) surfaces. *)
+let fsync_dir t dir =
+  let attempt () =
+    if consult t Fault.Io_fsync then raise (injected Unix.EIO "fsync" dir);
+    let fd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+    Fun.protect ~finally:(fun () -> quiet_close fd) (fun () -> Unix.fsync fd)
+  in
+  match attempt () with
+  | () -> Ok ()
+  | exception (Unix.Unix_error ((Unix.EIO | Unix.ENOSPC), _, _) as exn) ->
+      if T.enabled () then T.Counter.incr c_errors;
+      error ~path:dir exn
+  | exception Unix.Unix_error (_, _, _) ->
+      if T.enabled () then T.Counter.incr c_dir_fsync_refused;
+      Ok ()
+
+let rename t src dst =
+  with_retries t ~path:dst (fun () ->
+      if consult t Fault.Io_rename then raise (injected Unix.EIO "rename" dst);
+      Unix.rename src dst)
+
+let ftruncate t fd len ~path =
+  (* [ftruncate] shrinks the file but leaves the descriptor offset where
+     it was; a subsequent append would then leave a zero-filled hole that
+     replay reads as a torn tail.  Reposition to the new end — both
+     callers (WAL compensation, recovery tail cut) append next. *)
+  with_retries t ~path (fun () ->
+      Unix.ftruncate fd len;
+      ignore (Unix.lseek fd len Unix.SEEK_SET))
+
+let close t fd ~path =
+  ignore t;
+  match Unix.close fd with
+  | () -> Ok ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      (* POSIX leaves the descriptor state unspecified after EINTR; Linux
+         closes it, so retrying could close a descriptor reused by another
+         thread.  Treat it as closed. *)
+      Ok ()
+  | exception exn ->
+      if T.enabled () then T.Counter.incr c_errors;
+      error ~path exn
+
+let read_file t path =
+  match openfile t path [ Unix.O_RDONLY ] 0 with
+  | Error _ as e -> e
+  | Ok fd ->
+      let res =
+        with_retries t ~path (fun () ->
+            (* a retry restarts the whole read: the buffer is rebuilt, so a
+               half-filled attempt never leaks into the result *)
+            let size = (Unix.fstat fd).Unix.st_size in
+            ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+            let b = Bytes.create size in
+            let pos = ref 0 in
+            while !pos < size do
+              if consult t Fault.Io_read then
+                raise (injected Unix.EIO "read" path);
+              let n = Unix.read fd b !pos (size - !pos) in
+              if n = 0 then raise End_of_file;
+              pos := !pos + n
+            done;
+            b)
+      in
+      quiet_close fd;
+      res
+
+(* --- buffered writer (snapshot streaming) ---------------------------- *)
+
+module Out = struct
+  type w = {
+    io : t;
+    fd : Unix.file_descr;
+    path : string;
+    buf : Buffer.t;
+    mutable closed : bool;
+  }
+
+  let flush_threshold = 1 lsl 16
+
+  let create io path =
+    match
+      openfile io path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    with
+    | Error _ as e -> e
+    | Ok fd ->
+        Ok { io; fd; path; buf = Buffer.create flush_threshold; closed = false }
+
+  let flush w =
+    if Buffer.length w.buf = 0 then Ok ()
+    else begin
+      let b = Buffer.to_bytes w.buf in
+      Buffer.clear w.buf;
+      write_all w.io w.fd b ~path:w.path
+    end
+
+  let write w bytes =
+    Buffer.add_bytes w.buf bytes;
+    if Buffer.length w.buf >= flush_threshold then flush w else Ok ()
+
+  let sync w =
+    match flush w with
+    | Error _ as e -> e
+    | Ok () -> fsync w.io w.fd ~path:w.path
+
+  let close w =
+    if w.closed then Ok ()
+    else begin
+      w.closed <- true;
+      match flush w with
+      | Error e ->
+          quiet_close w.fd;
+          Error e
+      | Ok () -> close w.io w.fd ~path:w.path
+    end
+
+  let abort w =
+    if not w.closed then begin
+      w.closed <- true;
+      quiet_close w.fd
+    end
+end

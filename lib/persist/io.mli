@@ -1,0 +1,109 @@
+(** Fault-aware I/O interposition for the durability layer.
+
+    Every syscall the persist layer issues — [write], [fsync], [openfile],
+    [read], [rename], directory fsync — goes through this module.  Each
+    wrapper consults an installable {!Fault} plan first (injected failures
+    surface as ordinary [Unix_error]s, so they exercise the production
+    error paths), then retries transient errnos with bounded exponential
+    backoff, and finally converts any remaining failure into the store's
+    typed {!Hyperion.Hyperion_error.Io_error}.
+
+    Two failure classes are deliberately not retried:
+    - a failed [fsync] (beyond [EINTR]): the kernel may already have
+      dropped the dirty pages, so a subsequent success proves nothing —
+      callers must treat it as loss of the durability promise;
+    - directory-fsync refusals ([EINVAL] & co.): tolerated and counted,
+      since they weaken durability but never consistency.
+
+    A handle's plan lives in an [Atomic.t], so a coordinator domain can
+    arm or disarm injection for a worker-owned handle.  The {!Fault.t}
+    plan itself is single-consumer: only one domain may drive syscalls
+    through a given armed handle. *)
+
+type t
+
+val none : t
+(** Shared pass-through handle: no plan, no backoff delay.  Never install
+    a plan on it — it is the default for every caller that passes no
+    explicit handle. *)
+
+val make : ?max_retries:int -> ?backoff_s:float -> ?plan:Fault.t -> unit -> t
+(** [make ()] builds a handle retrying transients ([EINTR], [EAGAIN],
+    [EWOULDBLOCK], [EIO], [ENOSPC]) up to [max_retries] times (default 4)
+    with exponential backoff starting at [backoff_s] (default 200µs). *)
+
+val set_plan : t -> Fault.t -> unit
+(** Install a fault plan (atomically; visible to the consuming domain). *)
+
+val disarm : t -> unit
+(** Replace the current plan with {!Fault.none}. *)
+
+val plan : t -> Fault.t
+(** The currently installed plan. *)
+
+val error : path:string -> exn -> ('a, Hyperion.Hyperion_error.t) result
+(** The persist layer's one exception-to-[Io_error] formatter (handles
+    [Unix_error], [Sys_error], [End_of_file], anything else). *)
+
+val quiet_close : Unix.file_descr -> unit
+(** Close ignoring errors — for error-path cleanup only. *)
+
+val openfile :
+  t ->
+  string ->
+  Unix.open_flag list ->
+  int ->
+  (Unix.file_descr, Hyperion.Hyperion_error.t) result
+
+val write_all :
+  t ->
+  Unix.file_descr ->
+  bytes ->
+  path:string ->
+  (unit, Hyperion.Hyperion_error.t) result
+(** Write the whole buffer, absorbing short writes; bytes transferred
+    before a retry are never resent. *)
+
+val fsync :
+  t -> Unix.file_descr -> path:string -> (unit, Hyperion.Hyperion_error.t) result
+
+val fsync_dir : t -> string -> (unit, Hyperion.Hyperion_error.t) result
+(** Fsync a directory to make a completed rename durable.  Filesystem
+    refusals are counted and tolerated; real write-back failures ([EIO],
+    [ENOSPC]) are errors. *)
+
+val rename : t -> string -> string -> (unit, Hyperion.Hyperion_error.t) result
+
+val ftruncate :
+  t ->
+  Unix.file_descr ->
+  int ->
+  path:string ->
+  (unit, Hyperion.Hyperion_error.t) result
+(** Truncate to [len] {e and} reposition the descriptor offset to the new
+    end, so a subsequent append continues from there instead of leaving a
+    zero-filled hole past the cut. *)
+
+val close :
+  t -> Unix.file_descr -> path:string -> (unit, Hyperion.Hyperion_error.t) result
+
+val read_file : t -> string -> (bytes, Hyperion.Hyperion_error.t) result
+(** Read a whole file into memory ([Io_read] fault site; retries restart
+    the read from the beginning). *)
+
+(** Buffered writer used to stream snapshots: buffers ~64KiB, then writes
+    through {!write_all}. *)
+module Out : sig
+  type w
+
+  val create : t -> string -> (w, Hyperion.Hyperion_error.t) result
+  val write : w -> bytes -> (unit, Hyperion.Hyperion_error.t) result
+  val sync : w -> (unit, Hyperion.Hyperion_error.t) result
+  (** Flush the buffer and fsync the descriptor. *)
+
+  val close : w -> (unit, Hyperion.Hyperion_error.t) result
+  (** Flush and close; idempotent. *)
+
+  val abort : w -> unit
+  (** Drop the descriptor without flushing (error-path cleanup). *)
+end

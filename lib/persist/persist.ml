@@ -1,5 +1,6 @@
 module Crc32 = Crc32
 module Frame = Frame
+module Io = Io
 module Snapshot = Snapshot
 module Wal = Wal
 module E = Hyperion.Hyperion_error
@@ -30,6 +31,18 @@ let c_appended =
   T.Counter.make "hyperion_wal_appended_bytes_total"
     ~help:"Bytes appended to write-ahead logs"
 
+let c_degraded =
+  T.Counter.make "hyperion_persist_degraded_transitions_total"
+    ~help:"Handles flipped into sticky degraded read-only mode"
+
+let c_healed =
+  T.Counter.make "hyperion_persist_healed_total"
+    ~help:"Degraded handles re-armed by a successful heal"
+
+let c_rejected =
+  T.Counter.make "hyperion_persist_degraded_rejected_ops_total"
+    ~help:"Mutations rejected because the handle was degraded"
+
 let snapshot_file ~dir ~gen = Filename.concat dir (Printf.sprintf "snapshot-%08d.hyp" gen)
 let wal_file ~dir ~gen = Filename.concat dir (Printf.sprintf "wal-%08d.log" gen)
 
@@ -45,6 +58,7 @@ type t = {
   dir : string;
   cfg : Hyperion.Config.t;
   store : Hyperion.Store.t;
+  io : Io.t;
   sync_every_ops : int;
   sync_every_bytes : int;
   rotate_bytes : int;
@@ -58,12 +72,14 @@ type t = {
   mutable unsynced_ops : int;
   mutable unsynced_bytes : int;
   mutable rotations : int;
+  mutable degraded_why : string option;
   mutable closed : bool;
 }
 
 let store t = t.store
 let config t = t.cfg
 let dir t = t.dir
+let io t = t.io
 let recovery t = t.recovery
 let generation t = t.gen
 let applied_ops t = t.applied
@@ -72,15 +88,7 @@ let durable_ops t = t.base + t.synced_ops
 let rotations t = t.rotations
 let wal_size t = Wal.size t.wal
 let wal_synced_bytes t = Wal.synced_bytes t.wal
-
-let io_error path exn =
-  let detail =
-    match exn with
-    | Unix.Unix_error (e, fn, _) -> Printf.sprintf "%s: %s" fn (Unix.error_message e)
-    | Sys_error msg -> msg
-    | e -> Printexc.to_string e
-  in
-  Error (E.Io_error (Printf.sprintf "%s: %s" path detail))
+let degraded t = t.degraded_why
 
 let ( let* ) = Result.bind
 
@@ -99,20 +107,20 @@ let scan_generations dir =
     (Sys.readdir dir);
   (List.sort (fun a b -> compare b a) !snaps, !tmps)
 
-let fresh_generation ~config ~dir ~gen =
+let fresh_generation ~io ~config ~dir ~gen =
   let store = Hyperion.Store.create ~config () in
-  let* _bytes = Snapshot.save store (snapshot_file ~dir ~gen) in
-  let* wal = Wal.create ~config ~gen (wal_file ~dir ~gen) in
+  let* _bytes = Snapshot.save ~io store (snapshot_file ~dir ~gen) in
+  let* wal = Wal.create ~io ~config ~gen (wal_file ~dir ~gen) in
   Ok (store, wal)
 
-let recover_generation ~config ~dir ~gen =
-  let* store = Snapshot.load ~config (snapshot_file ~dir ~gen) in
+let recover_generation ~io ~config ~dir ~gen =
+  let* store = Snapshot.load ~io ~config (snapshot_file ~dir ~gen) in
   let keys = Hyperion.Store.length store in
   let wpath = wal_file ~dir ~gen in
   if not (Sys.file_exists wpath) then
     (* crash between snapshot rename and WAL creation: the snapshot alone
        is the complete durable state *)
-    let* wal = Wal.create ~config ~gen wpath in
+    let* wal = Wal.create ~io ~config ~gen wpath in
     Ok (store, wal, keys, 0, false)
   else
     let apply op =
@@ -128,18 +136,18 @@ let recover_generation ~config ~dir ~gen =
       if T.enabled () && r = Ok () then T.Counter.incr c_replayed;
       r
     in
-    match Wal.replay ~config ~gen wpath ~f:apply with
+    match Wal.replay ~io ~config ~gen wpath ~f:apply with
     | Ok r ->
-        let* wal = Wal.open_append ~config ~gen wpath in
+        let* wal = Wal.open_append ~io ~config ~gen wpath in
         Ok (store, wal, keys, r.Wal.records, r.Wal.truncated)
     | Error (E.Torn_log _) ->
         (* the header never became durable, so no record in this file was
            ever acknowledged: restart it empty *)
-        let* wal = Wal.create ~config ~gen wpath in
+        let* wal = Wal.create ~io ~config ~gen wpath in
         Ok (store, wal, keys, 0, true)
     | Error _ as e -> e
 
-let open_or_create ?(config = Hyperion.Config.default)
+let open_or_create ?(config = Hyperion.Config.default) ?(io = Io.none)
     ?(sync_every_ops = 64) ?(sync_every_bytes = 1 lsl 20)
     ?(rotate_bytes = 64 lsl 20) dir =
   if sync_every_ops < 1 then invalid_arg "Persist: sync_every_ops must be >= 1";
@@ -152,6 +160,7 @@ let open_or_create ?(config = Hyperion.Config.default)
       dir;
       cfg = config;
       store;
+      io;
       sync_every_ops;
       sync_every_bytes;
       rotate_bytes;
@@ -165,6 +174,7 @@ let open_or_create ?(config = Hyperion.Config.default)
       unsynced_ops = 0;
       unsynced_bytes = 0;
       rotations = 0;
+      degraded_why = None;
       closed = false;
     }
   in
@@ -174,13 +184,13 @@ let open_or_create ?(config = Hyperion.Config.default)
       else if not (Sys.is_directory dir) then
         raise (Sys_error (dir ^ ": not a directory"))
     with
-    | exception e -> io_error dir e
+    | exception e -> Io.error ~path:dir e
     | () -> (
       match scan_generations dir with
-      | exception e -> io_error dir e
+      | exception e -> Io.error ~path:dir e
       | [], tmps ->
           List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) tmps;
-          let* store, wal = fresh_generation ~config ~dir ~gen:0 in
+          let* store, wal = fresh_generation ~io ~config ~dir ~gen:0 in
           Ok
             (make ~gen:0 ~wal ~store
                {
@@ -211,7 +221,7 @@ let open_or_create ?(config = Hyperion.Config.default)
                          (Printf.sprintf
                             "no snapshot generations to recover in %s" dir)))
             | gen :: rest -> (
-                match recover_generation ~config ~dir ~gen with
+                match recover_generation ~io ~config ~dir ~gen with
                 | Ok (store, wal, keys, replayed, truncated) ->
                     Ok
                       (make ~gen ~wal ~store
@@ -247,6 +257,22 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+(* Flip into sticky degraded read-only mode.  Reads keep serving from the
+   in-memory store; every subsequent mutation is rejected with [Degraded]
+   until [heal] starts a fresh generation. *)
+let note_degraded t why =
+  if t.degraded_why = None then begin
+    t.degraded_why <- Some why;
+    if T.enabled () then T.Counter.incr c_degraded
+  end
+
+let reject_if_degraded t =
+  match t.degraded_why with
+  | Some why ->
+      if T.enabled () then T.Counter.incr c_rejected;
+      Some (E.Degraded why)
+  | None -> None
+
 let do_sync t =
   let* () =
     if T.enabled () then begin
@@ -271,12 +297,17 @@ let do_sync t =
      2. write the new snapshot (tmp + rename + dir fsync — atomic);
      3. start the new WAL (header fsynced);
      4. only then drop the old generation's files.
-   A crash anywhere leaves either the old or the new generation whole. *)
+   A crash anywhere leaves either the old or the new generation whole, and
+   so does a {e failure} anywhere: step 1 or 2 failing keeps the old
+   generation intact; step 3 failing leaves a valid next-generation
+   snapshot that recovery accepts via its missing-WAL path. *)
 let do_rotate_u t =
   let* () = do_sync t in
   let next = t.gen + 1 in
-  let* _bytes = Snapshot.save t.store (snapshot_file ~dir:t.dir ~gen:next) in
-  let* wal = Wal.create ~config:t.cfg ~gen:next (wal_file ~dir:t.dir ~gen:next) in
+  let* _bytes = Snapshot.save ~io:t.io t.store (snapshot_file ~dir:t.dir ~gen:next) in
+  let* wal =
+    Wal.create ~io:t.io ~config:t.cfg ~gen:next (wal_file ~dir:t.dir ~gen:next)
+  in
   let old_wal = t.wal and old_gen = t.gen in
   t.wal <- wal;
   t.gen <- next;
@@ -303,51 +334,162 @@ let do_rotate t =
   end
   else do_rotate_u t
 
-let log_op t op =
-  let* bytes = Wal.append t.wal op in
-  if T.enabled () then T.Counter.add c_appended bytes;
-  t.applied <- t.applied + 1;
-  t.unsynced_ops <- t.unsynced_ops + 1;
-  t.unsynced_bytes <- t.unsynced_bytes + bytes;
-  let* () =
-    if t.unsynced_ops >= t.sync_every_ops || t.unsynced_bytes >= t.sync_every_bytes
-    then do_sync t
-    else Ok ()
-  in
-  if Wal.size t.wal >= t.rotate_bytes then do_rotate t else Ok ()
+(* The append-first logged-mutation protocol:
+     1. the caller validated the key — nothing invalid may enter the log;
+     2. append the record.  Failure degrades the handle: the tail may hold
+        a torn partial record (replay truncates it on recovery) and the
+        store was never touched, so log and store still agree;
+     3. apply to the in-memory store;
+     4. if the store rejects the mutation, truncate the record back off
+        (compensation) — log and store stay identical and the handle stays
+        healthy, because the disk did nothing wrong;
+     5. group commit / rotate per policy.  Their failure degrades the
+        handle but the op itself is acknowledged: the record is in the
+        log, exactly the same ack-before-fsync window every group-commit
+        scheme has.
+   No prior-state capture, no undo of the store, and — crucially — never
+   an applied mutation whose record is missing from the log, nor a logged
+   record whose mutation was rolled back (either would let recovery
+   diverge from the acknowledged history). *)
+let log_then_apply t op ~apply =
+  let pre = Wal.size t.wal in
+  match Wal.append t.wal op with
+  | Error e ->
+      note_degraded t (E.to_string e);
+      Error (E.Degraded (E.to_string e))
+  | Ok bytes -> (
+      match apply () with
+      | Error e -> (
+          match Wal.truncate_writer t.wal ~len:pre with
+          | Ok () -> Error e
+          | Error te ->
+              note_degraded t
+                (Printf.sprintf "%s (while compensating for: %s)"
+                   (E.to_string te) (E.to_string e));
+              Error e)
+      | Ok result ->
+          if T.enabled () then T.Counter.add c_appended bytes;
+          t.applied <- t.applied + 1;
+          t.unsynced_ops <- t.unsynced_ops + 1;
+          t.unsynced_bytes <- t.unsynced_bytes + bytes;
+          let after =
+            let* () =
+              if
+                t.unsynced_ops >= t.sync_every_ops
+                || t.unsynced_bytes >= t.sync_every_bytes
+              then do_sync t
+              else Ok ()
+            in
+            if Wal.size t.wal >= t.rotate_bytes then do_rotate t else Ok ()
+          in
+          (match after with
+          | Ok () -> ()
+          | Error e -> note_degraded t (E.to_string e));
+          Ok result)
 
 let guard t f =
   with_lock t (fun () ->
       if t.closed then Error (E.Io_error (t.dir ^ ": persist handle closed"))
       else f ())
 
-let put t key v =
+let guard_mut t f =
   guard t (fun () ->
-      let* () = Hyperion.Store.put_result t.store key v in
-      log_op t (Wal.Put (key, v)))
+      match reject_if_degraded t with Some e -> Error e | None -> f ())
+
+let put t key v =
+  guard_mut t (fun () ->
+      match Hyperion.Ops.key_error key with
+      | Some e -> Error e
+      | None ->
+          log_then_apply t (Wal.Put (key, v)) ~apply:(fun () ->
+              Hyperion.Store.put_result t.store key v))
 
 let add t key =
-  guard t (fun () ->
-      let* () = Hyperion.Store.add_result t.store key in
-      log_op t (Wal.Add key))
+  guard_mut t (fun () ->
+      match Hyperion.Ops.key_error key with
+      | Some e -> Error e
+      | None ->
+          log_then_apply t (Wal.Add key) ~apply:(fun () ->
+              Hyperion.Store.add_result t.store key))
 
 let delete t key =
-  guard t (fun () ->
-      let* removed = Hyperion.Store.delete_result t.store key in
-      if not removed then Ok false
-      else
-        let* () = log_op t (Wal.Delete key) in
-        Ok true)
+  guard_mut t (fun () ->
+      match Hyperion.Ops.key_error key with
+      | Some e -> Error e
+      | None ->
+          (* append-first needs to know up front whether the delete will
+             remove anything: absent keys are neither logged nor applied,
+             keeping the one-record-per-acknowledged-mutation invariant *)
+          if not (Hyperion.Store.mem t.store key) then Ok false
+          else
+            log_then_apply t (Wal.Delete key) ~apply:(fun () ->
+                Hyperion.Store.delete_result t.store key))
 
-let sync t = guard t (fun () -> do_sync t)
-let snapshot_now t = guard t (fun () -> do_rotate t)
+let sync t =
+  guard_mut t (fun () ->
+      match do_sync t with
+      | Ok () -> Ok ()
+      | Error e ->
+          note_degraded t (E.to_string e);
+          Error (E.Degraded (E.to_string e)))
+
+let snapshot_now t =
+  guard_mut t (fun () ->
+      match do_rotate t with
+      | Ok () -> Ok ()
+      | Error e ->
+          note_degraded t (E.to_string e);
+          Error (E.Degraded (E.to_string e)))
+
+(* Re-arm a degraded handle: snapshot the live store — it is the
+   authoritative state; the old WAL may be torn or incomplete — into a
+   fresh generation, open a new WAL, and only then drop the old files.
+   Failure (the disk is still bad) leaves the handle degraded; [heal] can
+   simply be retried. *)
+let heal t =
+  with_lock t (fun () ->
+      if t.closed then Error (E.Io_error (t.dir ^ ": persist handle closed"))
+      else
+        match t.degraded_why with
+        | None -> Ok ()
+        | Some _ ->
+            let next = t.gen + 1 in
+            let* _bytes =
+              Snapshot.save ~io:t.io t.store (snapshot_file ~dir:t.dir ~gen:next)
+            in
+            let* wal =
+              Wal.create ~io:t.io ~config:t.cfg ~gen:next
+                (wal_file ~dir:t.dir ~gen:next)
+            in
+            let old_wal = t.wal and old_gen = t.gen in
+            t.wal <- wal;
+            t.gen <- next;
+            t.base <- t.applied;
+            t.synced_ops <- 0;
+            t.unsynced_ops <- 0;
+            t.unsynced_bytes <- 0;
+            t.rotations <- t.rotations + 1;
+            t.degraded_why <- None;
+            Wal.abort old_wal;
+            (try Sys.remove (wal_file ~dir:t.dir ~gen:old_gen)
+             with Sys_error _ -> ());
+            (try Sys.remove (snapshot_file ~dir:t.dir ~gen:old_gen)
+             with Sys_error _ -> ());
+            if T.enabled () then T.Counter.incr c_healed;
+            Ok ())
 
 let close t =
   with_lock t (fun () ->
       if t.closed then Ok ()
       else begin
         t.closed <- true;
-        Wal.close t.wal
+        match t.degraded_why with
+        | Some _ ->
+            (* durability is already known-compromised; a final sync could
+               only block on the failing device — just release *)
+            Wal.abort t.wal;
+            Ok ()
+        | None -> Wal.close t.wal
       end)
 
 let crash t =
@@ -357,7 +499,7 @@ let crash t =
 
 (* --- one-shot snapshot I/O ------------------------------------------ *)
 
-let save_snapshot = Snapshot.save
+let save_snapshot ?io store path = Snapshot.save ?io store path
 
 let load_snapshot ?config path =
   match config with

@@ -4,11 +4,12 @@
     ([snapshot-<gen>.hyp], see {!Snapshot}) plus an append-only log of the
     mutations acknowledged since it was taken ([wal-<gen>.log], see
     {!Wal}).  {!open_or_create} recovers the store as {e latest valid
-    snapshot + WAL replay}; the logged mutation API appends to the WAL
-    after the in-memory store accepts the mutation, makes records durable
-    in groups (fsync every [sync_every_ops] records or [sync_every_bytes]
-    bytes, whichever comes first), and rotates the log into a fresh
-    snapshot generation once it outgrows [rotate_bytes].
+    snapshot + WAL replay}; the logged mutation API appends each record to
+    the WAL before applying it to the in-memory store (append-first, with
+    truncation as compensation when the store rejects), makes records
+    durable in groups (fsync every [sync_every_ops] records or
+    [sync_every_bytes] bytes, whichever comes first), and rotates the log
+    into a fresh snapshot generation once it outgrows [rotate_bytes].
 
     Recovery invariants (chaos-tested, DESIGN.md section 8):
     - a mutation whose record was fsynced before a crash is always
@@ -23,10 +24,12 @@
 
 module Crc32 = Crc32
 module Frame = Frame
+module Io = Io
 module Snapshot = Snapshot
 module Wal = Wal
 (** The building blocks, re-exported for tests and tooling (the library is
-    wrapped, so they are not reachable under their bare names). *)
+    wrapped, so they are not reachable under their bare names).  {!Io} is
+    the fault-aware syscall layer every durability syscall goes through. *)
 
 type t
 
@@ -42,6 +45,7 @@ type recovery = {
 
 val open_or_create :
   ?config:Hyperion.Config.t ->
+  ?io:Io.t ->
   ?sync_every_ops:int ->
   ?sync_every_bytes:int ->
   ?rotate_bytes:int ->
@@ -50,9 +54,11 @@ val open_or_create :
 (** [open_or_create dir] creates [dir] (and an empty generation 0) when
     absent, otherwise recovers from the latest valid snapshot plus its WAL.
     Defaults: [sync_every_ops = 64], [sync_every_bytes = 1 MiB],
-    [rotate_bytes = 64 MiB].  All failures — corrupt snapshot, foreign
-    format version, torn WAL header, OS errors — come back as typed
-    errors; this function never raises.
+    [rotate_bytes = 64 MiB].  Every syscall the handle ever issues goes
+    through [io] (default {!Io.none}), the fault-injection and retry
+    layer.  All failures — corrupt snapshot, foreign format version, torn
+    WAL header, OS errors — come back as typed errors; this function never
+    raises.
 
     Before the handle is returned, the recovered store's arenas pass the
     {!Analyze.Heapcheck} mark-and-sweep heap audit; a leaked or
@@ -71,22 +77,53 @@ val recovery : t -> recovery  (** What {!open_or_create} found. *)
 (** {1 Logged mutations}
 
     Same contracts as the [Store] result API; [Ok] additionally means the
-    mutation is in the log (durable after the next group commit). *)
+    mutation is in the log (durable after the next group commit).
+
+    Mutations follow the {e append-first} protocol: validate the key,
+    append the WAL record, apply to the store, and truncate the record
+    back off if the store rejects the mutation — so the log and the store
+    never disagree about the acknowledged history.
+
+    A persistent storage failure (append, group-commit fsync, or rotation
+    failing after bounded retries) flips the handle into {e sticky
+    degraded read-only mode}: mutations return [Degraded] and leave the
+    store unchanged, reads keep serving, and {!heal} re-arms writes.  A
+    group-commit or rotation failure degrades the handle but the mutation
+    that triggered it is still acknowledged — its record is in the log;
+    what is lost is the durability promise for the not-yet-synced tail,
+    the same window every group-commit scheme has. *)
 
 val put : t -> string -> int64 -> (unit, Hyperion.Hyperion_error.t) result
 val add : t -> string -> (unit, Hyperion.Hyperion_error.t) result
 val delete : t -> string -> (bool, Hyperion.Hyperion_error.t) result
 
 val sync : t -> (unit, Hyperion.Hyperion_error.t) result
-(** Force the group commit: fsync all appended records now. *)
+(** Force the group commit: fsync all appended records now.  Failure
+    degrades the handle (a failed fsync is never retried — the kernel may
+    have dropped the dirty pages). *)
 
 val snapshot_now : t -> (unit, Hyperion.Hyperion_error.t) result
 (** Force a rotation: write a fresh snapshot generation and start an empty
     WAL, regardless of [rotate_bytes]. *)
 
+val degraded : t -> string option
+(** [Some why] when the handle is in degraded read-only mode. *)
+
+val heal : t -> (unit, Hyperion.Hyperion_error.t) result
+(** Re-arm a degraded handle: snapshot the live in-memory store (the
+    authoritative state — the old WAL may be torn) into generation
+    [gen + 1], open a fresh WAL, drop the old generation's files, and
+    clear the degraded flag.  [Ok] immediately on a healthy handle.  On
+    failure the handle stays degraded and [heal] can be retried — disarm
+    any injected fault plan on {!io} first. *)
+
+val io : t -> Io.t
+(** The syscall-interposition handle this store was opened with. *)
+
 val close : t -> (unit, Hyperion.Hyperion_error.t) result
-(** [sync] and release the WAL descriptor.  The handle rejects further
-    mutations. *)
+(** [sync] and release the WAL descriptor (degraded handles skip the
+    final sync — the device is already failing).  The handle rejects
+    further mutations. *)
 
 (** {1 Observability}
 
@@ -120,7 +157,8 @@ val crash : t -> unit
     [save]/[load] verbs. *)
 
 val save_snapshot :
-  Hyperion.Store.t -> string -> (int, Hyperion.Hyperion_error.t) result
+  ?io:Io.t -> Hyperion.Store.t -> string ->
+  (int, Hyperion.Hyperion_error.t) result
 
 val load_snapshot :
   ?config:Hyperion.Config.t -> string ->

@@ -10,16 +10,6 @@ type header = {
   count : int;
 }
 
-let io_error path exn =
-  let detail =
-    match exn with
-    | Unix.Unix_error (e, fn, _) -> Printf.sprintf "%s: %s" fn (Unix.error_message e)
-    | Sys_error msg -> msg
-    | End_of_file -> "unexpected end of file"
-    | e -> Printexc.to_string e
-  in
-  Error (E.Io_error (Printf.sprintf "%s: %s" path detail))
-
 let corrupt path what = Error (E.Corrupt_snapshot (path ^ ": " ^ what))
 
 let parse_header path buf =
@@ -39,19 +29,10 @@ let parse_header path buf =
             count = Int64.to_int h.Frame.aux;
           }
 
-let read_header path =
-  match Frame.read_file path with
-  | exception e -> io_error path e
-  | buf -> parse_header path buf
-
-(* fsync of a directory makes a completed rename durable; some filesystems
-   reject it, which only weakens durability, never consistency. *)
-let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | exception Unix.Unix_error _ -> ()
-  | fd ->
-      (try Unix.fsync fd with Unix.Unix_error _ -> ());
-      Unix.close fd
+let read_header ?(io = Io.none) path =
+  match Io.read_file io path with
+  | Error _ as e -> e
+  | Ok buf -> parse_header path buf
 
 let record_payload key value =
   (* SAFETY: both buffers below are freshly allocated, fully written, and
@@ -70,35 +51,54 @@ let record_payload key value =
       Bytes.set_int64_le b (1 + klen) v;
       Bytes.unsafe_to_string b
 
-let save store path =
+let save ?(io = Io.none) store path =
   let tmp = path ^ ".tmp" in
   let store_cfg = Hyperion.Store.config store in
-  try
-    let oc = open_out_bin tmp in
-    let written = ref 0 in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        let header =
-          Frame.make_header ~magic ~version:format_version
-            ~flags:(if store_cfg.Hyperion.Config.preprocess then 1 else 0)
-            ~fingerprint:(Hyperion.Config.fingerprint store_cfg)
-            ~aux:(Int64.of_int (Hyperion.Store.length store))
+  let ( let* ) = Result.bind in
+  let result =
+    match Io.Out.create io tmp with
+    | Error _ as e -> e
+    | Ok w -> (
+        let written = ref 0 in
+        let body =
+          let header =
+            Frame.make_header ~magic ~version:format_version
+              ~flags:(if store_cfg.Hyperion.Config.preprocess then 1 else 0)
+              ~fingerprint:(Hyperion.Config.fingerprint store_cfg)
+              ~aux:(Int64.of_int (Hyperion.Store.length store))
+          in
+          let* () = Io.Out.write w header in
+          written := Bytes.length header;
+          (* [iter] has no early exit: after the first failure the
+             remaining callbacks are no-ops *)
+          let err = ref None in
+          Hyperion.Store.iter store (fun key value ->
+              if !err = None then begin
+                let rec_bytes = Frame.frame (record_payload key value) in
+                match Io.Out.write w rec_bytes with
+                | Ok () -> written := !written + Bytes.length rec_bytes
+                | Error e -> err := Some e
+              end);
+          match !err with
+          | Some e -> Error e
+          | None ->
+              let* () = Io.Out.sync w in
+              Io.Out.close w
         in
-        output_bytes oc header;
-        written := Bytes.length header;
-        Hyperion.Store.iter store (fun key value ->
-            let rec_bytes = Frame.frame (record_payload key value) in
-            output_bytes oc rec_bytes;
-            written := !written + Bytes.length rec_bytes);
-        flush oc;
-        Unix.fsync (Unix.descr_of_out_channel oc));
-    Unix.rename tmp path;
-    fsync_dir (Filename.dirname path);
-    Ok !written
-  with e ->
-    (try Sys.remove tmp with Sys_error _ -> ());
-    io_error path e
+        match body with
+        | Error e ->
+            Io.Out.abort w;
+            Error e
+        | Ok () ->
+            let* () = Io.rename io tmp path in
+            let* () = Io.fsync_dir io (Filename.dirname path) in
+            Ok !written)
+  in
+  match result with
+  | Ok _ as ok -> ok
+  | Error _ as e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      e
 
 let apply_record store key value =
   Hyperion.Store.put_opt_result store key value
@@ -117,10 +117,10 @@ let decode_record path payload =
         Ok (key, Some v)
     | _ -> corrupt path "malformed record payload"
 
-let load ~config path =
-  match Frame.read_file path with
-  | exception e -> io_error path e
-  | buf -> (
+let load ?(io = Io.none) ~config path =
+  match Io.read_file io path with
+  | Error _ as e -> e
+  | Ok buf -> (
       match parse_header path buf with
       | Error _ as e -> e
       | Ok h ->

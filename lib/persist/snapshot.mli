@@ -26,15 +26,19 @@ type header = {
   count : int;
 }
 
-val read_header : string -> (header, Hyperion.Hyperion_error.t) result
+val read_header : ?io:Io.t -> string -> (header, Hyperion.Hyperion_error.t) result
 (** Header of the snapshot at [path], without loading records. *)
 
-val save : Hyperion.Store.t -> string -> (int, Hyperion.Hyperion_error.t) result
+val save :
+  ?io:Io.t -> Hyperion.Store.t -> string ->
+  (int, Hyperion.Hyperion_error.t) result
 (** [save store path] writes atomically and returns the snapshot's size in
-    bytes.  Errors are [Io_error]. *)
+    bytes.  All syscalls go through [io] (default {!Io.none}); errors are
+    [Io_error].  A refused directory fsync is tolerated and counted (see
+    {!Io.fsync_dir}). *)
 
 val load :
-  config:Hyperion.Config.t -> string ->
+  ?io:Io.t -> config:Hyperion.Config.t -> string ->
   (Hyperion.Store.t, Hyperion.Hyperion_error.t) result
 (** Rebuild a store from [path].  [Version_mismatch] when the format
     version differs, [Corrupt_snapshot] on bad magic, any CRC mismatch,

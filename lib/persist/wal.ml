@@ -5,31 +5,16 @@ let magic = "HYPWAL\x00\x01"
 
 type op = Put of string * int64 | Add of string | Delete of string
 
-let io_error path exn =
-  let detail =
-    match exn with
-    | Unix.Unix_error (e, fn, _) -> Printf.sprintf "%s: %s" fn (Unix.error_message e)
-    | Sys_error msg -> msg
-    | e -> Printexc.to_string e
-  in
-  Error (E.Io_error (Printf.sprintf "%s: %s" path detail))
-
 (* --- writer --------------------------------------------------------- *)
 
 type writer = {
   path : string;
   fd : Unix.file_descr;
+  io : Io.t;
   mutable written : int;
   mutable synced : int;
   mutable open_ : bool;
 }
-
-let write_all fd b =
-  let len = Bytes.length b in
-  let pos = ref 0 in
-  while !pos < len do
-    pos := !pos + Unix.write fd b !pos (len - !pos)
-  done
 
 let header_bytes ~config ~gen =
   Frame.make_header ~magic ~version:format_version
@@ -37,39 +22,41 @@ let header_bytes ~config ~gen =
     ~fingerprint:(Hyperion.Config.fingerprint config)
     ~aux:(Int64.of_int gen)
 
-let create ~config ~gen path =
-  match
-    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-  with
-  | exception e -> io_error path e
-  | fd -> (
-      try
-        write_all fd (header_bytes ~config ~gen);
-        Unix.fsync fd;
-        Ok
-          {
-            path;
-            fd;
-            written = Frame.header_size;
-            synced = Frame.header_size;
-            open_ = true;
-          }
-      with e ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        io_error path e)
+let create ?(io = Io.none) ~config ~gen path =
+  match Io.openfile io path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 with
+  | Error _ as e -> e
+  | Ok fd -> (
+      let setup =
+        match Io.write_all io fd (header_bytes ~config ~gen) ~path with
+        | Error _ as e -> e
+        | Ok () -> Io.fsync io fd ~path
+      in
+      match setup with
+      | Ok () ->
+          Ok
+            {
+              path;
+              fd;
+              io;
+              written = Frame.header_size;
+              synced = Frame.header_size;
+              open_ = true;
+            }
+      | Error _ as e ->
+          Io.quiet_close fd;
+          e)
 
-let open_append ~config ~gen path =
+let open_append ?(io = Io.none) ~config ~gen path =
   ignore config;
   ignore gen;
-  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 with
-  | exception e -> io_error path e
-  | fd -> (
-      try
-        let size = (Unix.fstat fd).Unix.st_size in
-        Ok { path; fd; written = size; synced = size; open_ = true }
-      with e ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        io_error path e)
+  match Io.openfile io path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 with
+  | Error _ as e -> e
+  | Ok fd -> (
+      match (Unix.fstat fd).Unix.st_size with
+      | size -> Ok { path; fd; io; written = size; synced = size; open_ = true }
+      | exception e ->
+          Io.quiet_close fd;
+          Io.error ~path e)
 
 let encode op =
   (* SAFETY: every [tagged] buffer is freshly allocated, fully written, and
@@ -109,39 +96,55 @@ let append w op =
   if not w.open_ then Error (E.Io_error (w.path ^ ": WAL writer closed"))
   else
     let b = Frame.frame (encode op) in
-    match write_all w.fd b with
-    | () ->
+    match Io.write_all w.io w.fd b ~path:w.path with
+    | Ok () ->
         w.written <- w.written + Bytes.length b;
         Ok (Bytes.length b)
-    | exception e -> io_error w.path e
+    | Error _ as e -> e
 
 let sync w =
   if not w.open_ then Error (E.Io_error (w.path ^ ": WAL writer closed"))
   else
-    match Unix.fsync w.fd with
-    | () ->
+    match Io.fsync w.io w.fd ~path:w.path with
+    | Ok () ->
         w.synced <- w.written;
         Ok ()
-    | exception e -> io_error w.path e
+    | Error _ as e -> e
 
 let size w = w.written
 let synced_bytes w = w.synced
+
+(* Compensation: cut an appended-but-unwanted record back off the tail.
+   Legal on an O_WRONLY/O_APPEND descriptor; the durable watermark can
+   never exceed [len] here because no sync happens between the append and
+   the truncation (both run under the owning handle's lock). *)
+let truncate_writer w ~len =
+  if not w.open_ then Error (E.Io_error (w.path ^ ": WAL writer closed"))
+  else if len < Frame.header_size || len > w.written then
+    Error (E.Io_error (w.path ^ ": truncate_writer: offset out of range"))
+  else
+    match Io.ftruncate w.io w.fd len ~path:w.path with
+    | Ok () ->
+        w.written <- len;
+        if w.synced > len then w.synced <- len;
+        Ok ()
+    | Error _ as e -> e
 
 let close w =
   match sync w with
   | Error _ as e ->
       w.open_ <- false;
-      (try Unix.close w.fd with Unix.Unix_error _ -> ());
+      Io.quiet_close w.fd;
       e
   | Ok () ->
       w.open_ <- false;
-      (try Unix.close w.fd with Unix.Unix_error _ -> ());
+      Io.quiet_close w.fd;
       Ok ()
 
 let abort w =
   if w.open_ then begin
     w.open_ <- false;
-    try Unix.close w.fd with Unix.Unix_error _ -> ()
+    Io.quiet_close w.fd
   end
 
 (* --- replay --------------------------------------------------------- *)
@@ -150,18 +153,22 @@ type replay = { records : int; valid_bytes : int; truncated : bool }
 
 let torn path what = Error (E.Torn_log (path ^ ": " ^ what))
 
-let truncate_to path valid =
-  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      Unix.ftruncate fd valid;
-      Unix.fsync fd)
+let truncate_to io path valid =
+  match Io.openfile io path [ Unix.O_WRONLY ] 0 with
+  | Error _ as e -> e
+  | Ok fd -> (
+      let res =
+        match Io.ftruncate io fd valid ~path with
+        | Error _ as e -> e
+        | Ok () -> Io.fsync io fd ~path
+      in
+      Io.quiet_close fd;
+      res)
 
-let replay ~config ~gen path ~f =
-  match Frame.read_file path with
-  | exception e -> io_error path e
-  | buf -> (
+let replay ?(io = Io.none) ~config ~gen path ~f =
+  match Io.read_file io path with
+  | Error _ as e -> e
+  | Ok buf -> (
       match Frame.parse_header ~magic buf with
       | Error Frame.Short -> torn path "file shorter than the header"
       | Error Frame.Bad_magic -> torn path "bad magic"
@@ -191,17 +198,17 @@ let replay ~config ~gen path ~f =
                 | Error (Frame.Rec_short | Frame.Rec_bad_crc | Frame.Rec_bad_len)
                   -> (
                     (* torn tail: drop it *)
-                    match truncate_to path pos with
-                    | () -> Ok { records; valid_bytes = pos; truncated = true }
-                    | exception e -> io_error path e)
+                    match truncate_to io path pos with
+                    | Ok () -> Ok { records; valid_bytes = pos; truncated = true }
+                    | Error _ as e -> e)
                 | Ok (payload, next) -> (
                     match decode payload with
                     | None -> (
                         (* CRC-valid but undecodable: treat as tear, too *)
-                        match truncate_to path pos with
-                        | () ->
+                        match truncate_to io path pos with
+                        | Ok () ->
                             Ok { records; valid_bytes = pos; truncated = true }
-                        | exception e -> io_error path e)
+                        | Error _ as e -> e)
                     | Some op -> (
                         match f op with
                         | Ok () -> loop next (records + 1)

@@ -24,12 +24,13 @@ type op = Put of string * int64 | Add of string | Delete of string
 type writer
 
 val create :
-  config:Hyperion.Config.t -> gen:int -> string ->
+  ?io:Io.t -> config:Hyperion.Config.t -> gen:int -> string ->
   (writer, Hyperion.Hyperion_error.t) result
-(** Create (truncating any existing file) and make the header durable. *)
+(** Create (truncating any existing file) and make the header durable.
+    All syscalls go through [io] (default {!Io.none}). *)
 
 val open_append :
-  config:Hyperion.Config.t -> gen:int -> string ->
+  ?io:Io.t -> config:Hyperion.Config.t -> gen:int -> string ->
   (writer, Hyperion.Hyperion_error.t) result
 (** Reopen an existing (already replayed, hence already truncated-to-valid)
     log for further appends.  Everything on disk at open counts as synced. *)
@@ -39,6 +40,13 @@ val append : writer -> op -> (int, Hyperion.Hyperion_error.t) result
 
 val sync : writer -> (unit, Hyperion.Hyperion_error.t) result
 val size : writer -> int  (** Bytes written so far, header included. *)
+
+val truncate_writer : writer -> len:int -> (unit, Hyperion.Hyperion_error.t) result
+(** Cut the log back to [len] bytes — the compensation step of the
+    append-first mutation protocol: when the in-memory store rejects a
+    mutation whose record was already appended, the record is truncated
+    off so log and store stay identical.  [len] must lie between the
+    header and the current write offset. *)
 
 val synced_bytes : writer -> int
 (** Durable watermark: file offset up to which records survive any crash. *)
@@ -59,7 +67,7 @@ type replay = {
 }
 
 val replay :
-  config:Hyperion.Config.t -> gen:int -> string ->
+  ?io:Io.t -> config:Hyperion.Config.t -> gen:int -> string ->
   f:(op -> (unit, Hyperion.Hyperion_error.t) result) ->
   (replay, Hyperion.Hyperion_error.t) result
 (** Apply every complete record to [f] in append order, then truncate the

@@ -28,6 +28,19 @@ let m_quiesce =
   T.Histogram.make "hyperion_shard_quiesce_duration_ns"
     ~help:"Drain-and-pause barrier duration for quiesced reads"
 
+let c_worker_crashes =
+  T.Counter.make "hyperion_shard_worker_crashes_total"
+    ~help:"Shard worker domains that died on an unexpected exception"
+
+let c_restarts =
+  T.Counter.make "hyperion_shard_restarts_total"
+    ~help:"Dead shard workers restarted from their persist directories"
+
+let c_overloads =
+  T.Counter.make "hyperion_shard_overload_rejections_total"
+    ~help:"Mutations rejected because a shard mailbox stayed full past the \
+           enqueue deadline"
+
 (* --- one-shot synchronisation cell (per-request promise) -------------- *)
 
 module Ivar = struct
@@ -39,10 +52,14 @@ module Ivar = struct
 
   let create () = { m = Mutex.create (); c = Condition.create (); v = None }
 
+  (* Idempotent: the first fill wins.  Worker cleanup may fail a message
+     whose handler already filled its ivar before raising. *)
   let fill t v =
     Mutex.lock t.m;
-    t.v <- Some v;
-    Condition.broadcast t.c;
+    if t.v = None then begin
+      t.v <- Some v;
+      Condition.broadcast t.c
+    end;
     Mutex.unlock t.m
 
   let read t =
@@ -72,19 +89,24 @@ type barrier = {
   mutable released : bool;
 }
 
+(* Raised by a [Poison] message: the supervision test hook's stand-in for
+   any unexpected worker exception. *)
+exception Injected_worker_crash of string
+
 type msg =
   | Mut of op * (bool, E.t) result Ivar.t
       (** one mutation; the bool is [Delete]'s "was present" *)
-  | Batched of op array * (int, E.t) result Ivar.t
-      (** a per-shard batch slice; the int counts applied mutations *)
+  | Batched of op array * (int * E.t option) Ivar.t
+      (** a per-shard batch slice; the int counts the applied prefix, the
+          error (if any) is what stopped it *)
   | Quiesce of barrier
+  | Poison of string  (** test hook: handling raises {!Injected_worker_crash} *)
 
-(* --- MPSC mailbox: bounded ring, mutex + condvars --------------------- *)
+(* --- MPSC mailbox: bounded ring, mutex + condvar ---------------------- *)
 
 type mailbox = {
   mm : Mutex.t;
   not_empty : Condition.t;
-  not_full : Condition.t;
   ring : msg option array;
   mutable head : int;  (* next slot to dequeue *)
   mutable len : int;
@@ -96,7 +118,6 @@ let mailbox_create cap =
   {
     mm = Mutex.create ();
     not_empty = Condition.create ();
-    not_full = Condition.create ();
     ring = Array.make cap None;
     head = 0;
     len = 0;
@@ -104,23 +125,43 @@ let mailbox_create cap =
     stopping = false;
   }
 
-let send mb msg =
-  Mutex.lock mb.mm;
+type send_result = Sent | Mailbox_closed | Enqueue_timeout
+
+(* [timeout_ns <= 0] waits forever.  The stdlib has no timed condvar wait,
+   so a full mailbox is waited out by unlock/sleep/relock polling with a
+   doubling backoff — overload is the rare path, and a healthy worker
+   drains whole backlogs at once, so the poll cost is invisible next to
+   the full ring it is waiting on. *)
+let send mb msg ~timeout_ns =
+  let deadline = if timeout_ns <= 0 then max_int else T.now_ns () + timeout_ns in
   let cap = Array.length mb.ring in
-  while mb.len = cap && mb.accepting do
-    Condition.wait mb.not_full mb.mm
-  done;
-  if not mb.accepting then begin
-    Mutex.unlock mb.mm;
-    false
-  end
-  else begin
-    mb.ring.((mb.head + mb.len) mod cap) <- Some msg;
-    mb.len <- mb.len + 1;
-    Condition.signal mb.not_empty;
-    Mutex.unlock mb.mm;
-    true
-  end
+  let backoff = ref 5e-5 in
+  let rec wait () =
+    if not mb.accepting then begin
+      Mutex.unlock mb.mm;
+      Mailbox_closed
+    end
+    else if mb.len < cap then begin
+      mb.ring.((mb.head + mb.len) mod cap) <- Some msg;
+      mb.len <- mb.len + 1;
+      Condition.signal mb.not_empty;
+      Mutex.unlock mb.mm;
+      Sent
+    end
+    else if T.now_ns () >= deadline then begin
+      Mutex.unlock mb.mm;
+      Enqueue_timeout
+    end
+    else begin
+      Mutex.unlock mb.mm;
+      Unix.sleepf !backoff;
+      backoff := Float.min 1e-3 (!backoff *. 2.);
+      Mutex.lock mb.mm;
+      wait ()
+    end
+  in
+  Mutex.lock mb.mm;
+  wait ()
 
 (* Drain the whole backlog in one lock acquisition; [None] = shut down. *)
 let drain mb =
@@ -144,25 +185,36 @@ let drain mb =
     in
     mb.head <- (mb.head + n) mod cap;
     mb.len <- 0;
-    Condition.broadcast mb.not_full;
     Mutex.unlock mb.mm;
     Some out
   end
+
+let backlog mb =
+  Mutex.lock mb.mm;
+  let n = mb.len in
+  Mutex.unlock mb.mm;
+  n
 
 let shut_down mb =
   Mutex.lock mb.mm;
   mb.accepting <- false;
   mb.stopping <- true;
   Condition.broadcast mb.not_empty;
-  Condition.broadcast mb.not_full;
   Mutex.unlock mb.mm
 
 (* --- the sharded store ------------------------------------------------ *)
 
+(* [store]/[persist]/[mb] are swapped only by {!restart_shard}, under
+   [t.qlock] and only while the shard's worker is dead (its domain joined),
+   so the single-writer discipline is preserved; concurrent readers of the
+   swapped pointers see either the old frozen shard or the new one, both
+   safe. *)
 type shard = {
-  store : H.Store.t;
-  persist : Persist.t option;
-  mb : mailbox;
+  id : int;
+  mutable store : H.Store.t;
+  mutable persist : Persist.t option;
+  mutable mb : mailbox;
+  health : string option Atomic.t;  (* [Some reason] = worker dead *)
   mutable domain : unit Domain.t option;
 }
 
@@ -171,11 +223,23 @@ type shard_recovery = {
   recovery : Persist.recovery;
 }
 
+(* Everything needed to rebuild a single shard after its worker died. *)
+type knobs = {
+  k_dir : string option;
+  k_sync_every_ops : int option;
+  k_sync_every_bytes : int option;
+  k_rotate_bytes : int option;
+  k_mailbox : int;
+  k_io_for_shard : (int -> Persist.Io.t) option;
+}
+
 type t = {
   cfg : H.Config.t;
   tab : shard array;
   recs : shard_recovery list;
-  qlock : Mutex.t;  (* serializes quiesce barriers and close/crash *)
+  knobs : knobs;
+  enqueue_timeout_ns : int;
+  qlock : Mutex.t;  (* serializes quiesce barriers, restart, close/crash *)
   mutable closed : bool;
 }
 
@@ -213,6 +277,15 @@ let apply_op sh op : (bool, E.t) result =
           | Error _ as e -> e)
       | Delete k -> H.Store.delete_result sh.store k)
 
+let participate b =
+  Mutex.lock b.bm;
+  b.arrived <- b.arrived + 1;
+  Condition.broadcast b.bc;
+  while not b.released do
+    Condition.wait b.bc b.bm
+  done;
+  Mutex.unlock b.bm
+
 let worker sh () =
   let handle = function
     | Mut (op, iv) -> Ivar.fill iv (apply_op sh op)
@@ -220,21 +293,46 @@ let worker sh () =
         if T.enabled () then T.Histogram.observe_ns m_batch (Array.length ops);
         let n = Array.length ops in
         let rec go i applied =
-          if i >= n then Ivar.fill iv (Ok applied)
+          if i >= n then Ivar.fill iv (applied, None)
           else
             match apply_op sh ops.(i) with
             | Ok _ -> go (i + 1) (applied + 1)
-            | Error e -> Ivar.fill iv (Error e)
+            | Error e -> Ivar.fill iv (applied, Some e)
         in
         go 0 0
-    | Quiesce b ->
-        Mutex.lock b.bm;
-        b.arrived <- b.arrived + 1;
-        Condition.broadcast b.bc;
-        while not b.released do
-          Condition.wait b.bc b.bm
-        done;
-        Mutex.unlock b.bm
+    | Quiesce b -> participate b
+    | Poison reason -> raise (Injected_worker_crash reason)
+  in
+  (* Supervision: an unexpected exception must never strand a client.
+     The dying worker marks itself unhealthy, fails every pending promise
+     with a typed [Shard_down], still takes quiesce barriers it already
+     received (a quiesced reader must not hang on a shard it posted to),
+     seals its mailbox, and exits.  Siblings keep serving; the shard can
+     be rebuilt with [restart_shard]. *)
+  let cleanup exn msgs from =
+    let reason = Printexc.to_string exn in
+    Atomic.set sh.health (Some reason);
+    if T.enabled () then T.Counter.incr c_worker_crashes;
+    let fail_one = function
+      | Mut (_, iv) -> Ivar.fill iv (Error (E.Shard_down reason))
+      | Batched (_, iv) -> Ivar.fill iv (0, Some (E.Shard_down reason))
+      | Quiesce b -> participate b
+      | Poison _ -> ()
+    in
+    (* the message that raised first: its promise may be unfilled (fill is
+       idempotent, so a message that half-completed is safe to fail) *)
+    for j = from to Array.length msgs - 1 do
+      fail_one msgs.(j)
+    done;
+    shut_down sh.mb;
+    let rec flush () =
+      match drain sh.mb with
+      | Some more ->
+          Array.iter fail_one more;
+          flush ()
+      | None -> ()
+    in
+    flush ()
   in
   let rec loop () =
     match drain sh.mb with
@@ -246,9 +344,17 @@ let worker sh () =
           T.Gauge.set g_mailbox_hwm n;
           T.Histogram.observe_ns m_drain n
         end;
-        Array.iter handle msgs;
-        if T.enabled () then T.Gauge.set g_mailbox_depth 0;
-        loop ()
+        let i = ref 0 in
+        (try
+           while !i < Array.length msgs do
+             handle msgs.(!i);
+             incr i
+           done
+         with exn -> cleanup exn msgs !i);
+        if Atomic.get sh.health = None then begin
+          if T.enabled () then T.Gauge.set g_mailbox_depth 0;
+          loop ()
+        end
   in
   loop ()
 
@@ -265,19 +371,45 @@ let check_geometry ~shards ~mailbox =
       (Printf.sprintf "Hyperion_shard: shards must be in [1, %d]" max_shards);
   if mailbox < 1 then invalid_arg "Hyperion_shard: mailbox must be >= 1"
 
-let create ?(config = H.Config.default) ?(shards = 4) ?(mailbox = 1024) () =
+let default_enqueue_timeout_ms = 30_000
+
+let timeout_ns_of_ms ms =
+  if ms < 0 then invalid_arg "Hyperion_shard: enqueue_timeout_ms must be >= 0";
+  ms * 1_000_000
+
+let create ?(config = H.Config.default) ?(shards = 4) ?(mailbox = 1024)
+    ?(enqueue_timeout_ms = default_enqueue_timeout_ms) () =
   check_geometry ~shards ~mailbox;
+  let enqueue_timeout_ns = timeout_ns_of_ms enqueue_timeout_ms in
   let tab =
-    Array.init shards (fun _ ->
+    Array.init shards (fun i ->
         {
+          id = i;
           store = H.Store.create ~config ();
           persist = None;
           mb = mailbox_create mailbox;
+          health = Atomic.make None;
           domain = None;
         })
   in
   start_workers tab;
-  { cfg = config; tab; recs = []; qlock = Mutex.create (); closed = false }
+  {
+    cfg = config;
+    tab;
+    recs = [];
+    knobs =
+      {
+        k_dir = None;
+        k_sync_every_ops = None;
+        k_sync_every_bytes = None;
+        k_rotate_bytes = None;
+        k_mailbox = mailbox;
+        k_io_for_shard = None;
+      };
+    enqueue_timeout_ns;
+    qlock = Mutex.create ();
+    closed = false;
+  }
 
 (* The manifest pins the shard count: reopening with a different partition
    would route keys to shards whose stores do not hold them. *)
@@ -305,8 +437,10 @@ let write_manifest dir d =
 let recovery_wave = 8  (* parallel recovery domains per wave *)
 
 let open_durable ?(config = H.Config.default) ?shards ?sync_every_ops
-    ?sync_every_bytes ?rotate_bytes ?(mailbox = 1024) dir =
+    ?sync_every_bytes ?rotate_bytes ?(mailbox = 1024)
+    ?(enqueue_timeout_ms = default_enqueue_timeout_ms) ?io_for_shard dir =
   let ( let* ) = Result.bind in
+  let enqueue_timeout_ns = timeout_ns_of_ms enqueue_timeout_ms in
   let* () =
     match
       if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
@@ -343,8 +477,9 @@ let open_durable ?(config = H.Config.default) ?shards ?sync_every_ops
       let n = min recovery_wave (d - i) in
       let doms =
         Array.init n (fun j ->
+            let io = Option.map (fun f -> f (i + j)) io_for_shard in
             Domain.spawn (fun () ->
-                Persist.open_or_create ~config ?sync_every_ops
+                Persist.open_or_create ~config ?io ?sync_every_ops
                   ?sync_every_bytes ?rotate_bytes
                   (shard_dir ~dir (i + j))))
       in
@@ -376,12 +511,14 @@ let open_durable ?(config = H.Config.default) ?shards ?sync_every_ops
           results
       in
       let tab =
-        Array.map
-          (fun p ->
+        Array.mapi
+          (fun i p ->
             {
+              id = i;
               store = Persist.store p;
               persist = Some p;
               mb = mailbox_create mailbox;
+              health = Atomic.make None;
               domain = None;
             })
           handles
@@ -393,16 +530,59 @@ let open_durable ?(config = H.Config.default) ?shards ?sync_every_ops
              handles)
       in
       start_workers tab;
-      Ok { cfg = config; tab; recs; qlock = Mutex.create (); closed = false }
+      Ok
+        {
+          cfg = config;
+          tab;
+          recs;
+          knobs =
+            {
+              k_dir = Some dir;
+              k_sync_every_ops = sync_every_ops;
+              k_sync_every_bytes = sync_every_bytes;
+              k_rotate_bytes = rotate_bytes;
+              k_mailbox = mailbox;
+              k_io_for_shard = io_for_shard;
+            };
+          enqueue_timeout_ns;
+          qlock = Mutex.create ();
+          closed = false;
+        }
 
 (* --- blocking operations ---------------------------------------------- *)
 
 let closed_error t = E.Io_error ((if durable t then "durable " else "") ^ "sharded store closed")
 
+(* Enqueue with supervision semantics: a dead worker yields [Shard_down],
+   a full mailbox past the deadline yields [Overloaded], and a mailbox
+   sealed by a concurrent restart is retried against the replacement. *)
+let rec submit_msg t sh msg =
+  match Atomic.get sh.health with
+  | Some reason -> Error (E.Shard_down reason)
+  | None -> (
+      let mb = sh.mb in
+      match send mb msg ~timeout_ns:t.enqueue_timeout_ns with
+      | Sent -> Ok ()
+      | Enqueue_timeout ->
+          if T.enabled () then T.Counter.incr c_overloads;
+          Error
+            (E.Overloaded
+               (Printf.sprintf "shard %d mailbox stayed full past the deadline"
+                  sh.id))
+      | Mailbox_closed -> (
+          match Atomic.get sh.health with
+          | Some reason -> Error (E.Shard_down reason)
+          | None ->
+              if t.closed then Error (closed_error t)
+              else if sh.mb != mb then submit_msg t sh msg
+              else Error (closed_error t)))
+
 let submit t key op =
   let sh = t.tab.(shard_of_key t key) in
   let iv = Ivar.create () in
-  if send sh.mb (Mut (op, iv)) then Ivar.read iv else Error (closed_error t)
+  match submit_msg t sh (Mut (op, iv)) with
+  | Ok () -> Ivar.read iv
+  | Error _ as e -> e
 
 let key_check key = H.Ops.key_error key
 
@@ -456,6 +636,13 @@ module Batch = struct
     mutable count : int;
   }
 
+  type shard_flush = {
+    fr_shard : int;
+    fr_ops : int;
+    fr_applied : int;
+    fr_error : E.t option;
+  }
+
   let create owner =
     {
       owner;
@@ -474,44 +661,50 @@ module Batch = struct
   let delete b key = push b key (Delete key)
   let length b = b.count
 
-  let flush b =
-    if b.count = 0 then Ok 0
+  let flush_report b =
+    if b.count = 0 then []
     else begin
-      let waits = ref [] and rejected = ref false in
+      let waits = ref [] in
       Array.iteri
         (fun i ops ->
           if ops <> [] then begin
             let slice = Array.of_list (List.rev ops) in
             b.pending.(i) <- [];
             let iv = Ivar.create () in
-            if send b.owner.tab.(i).mb (Batched (slice, iv)) then
-              waits := iv :: !waits
-            else rejected := true
+            let cell =
+              match submit_msg b.owner b.owner.tab.(i) (Batched (slice, iv)) with
+              | Ok () -> (i, Array.length slice, Ok iv)
+              | Error e -> (i, Array.length slice, Error e)
+            in
+            waits := cell :: !waits
           end)
         b.pending;
       b.count <- 0;
-      let rec collect applied err = function
-        | [] -> (
-            match err with
-            | Some e -> Error e
-            | None -> if !rejected then Error (closed_error b.owner) else Ok applied)
-        | iv :: rest -> (
-            match Ivar.read iv with
-            | Ok n -> collect (applied + n) err rest
-            | Error e ->
-                (* waits is in reverse shard order, so the last error seen
-                   (lowest shard) overwrites earlier ones *)
-                collect applied (Some e) rest)
-      in
-      collect 0 None !waits
+      (* waits is in reverse shard order; rev_map restores ascending *)
+      List.rev_map
+        (fun (i, ops, cell) ->
+          match cell with
+          | Ok iv ->
+              let applied, err = Ivar.read iv in
+              { fr_shard = i; fr_ops = ops; fr_applied = applied; fr_error = err }
+          | Error e ->
+              { fr_shard = i; fr_ops = ops; fr_applied = 0; fr_error = Some e })
+        !waits
     end
+
+  let flush b =
+    let report = flush_report b in
+    let applied = List.fold_left (fun acc r -> acc + r.fr_applied) 0 report in
+    match List.find_map (fun r -> r.fr_error) report with
+    | Some e -> Error e
+    | None -> Ok applied
 end
 
 (* --- quiescence barrier ----------------------------------------------- *)
 
 let with_quiesced t f =
-  let stores = Array.map (fun sh -> sh.store) t.tab in
   Mutex.lock t.qlock;
+  let stores = Array.map (fun sh -> sh.store) t.tab in
   if t.closed then
     (* workers are gone; the stores are frozen already *)
     Fun.protect ~finally:(fun () -> Mutex.unlock t.qlock) (fun () -> f stores)
@@ -520,9 +713,16 @@ let with_quiesced t f =
       { bm = Mutex.create (); bc = Condition.create (); arrived = 0; released = false }
     in
     let t0 = if T.enabled () then T.now_ns () else 0 in
+    (* dead shards return [Mailbox_closed] and are simply not counted:
+       their stores are frozen, which is as quiescent as it gets.  The
+       send never times out (timeout 0 = infinite) — skipping a live
+       shard's barrier would break the consistent cut. *)
     let posted =
       Array.fold_left
-        (fun n sh -> if send sh.mb (Quiesce b) then n + 1 else n)
+        (fun n sh ->
+          match send sh.mb (Quiesce b) ~timeout_ns:0 with
+          | Sent -> n + 1
+          | Mailbox_closed | Enqueue_timeout -> n)
         0 t.tab
     in
     Fun.protect
@@ -571,6 +771,105 @@ let saturated_arenas t =
   with_quiesced t (fun stores ->
       Array.fold_left (fun acc s -> acc + H.Store.saturated_arenas s) 0 stores)
 
+(* --- supervision ------------------------------------------------------ *)
+
+type shard_health = {
+  hs_shard : int;
+  hs_alive : bool;
+  hs_down : string option;
+  hs_degraded : string option;
+  hs_backlog : int;
+}
+
+let health t =
+  Array.to_list
+    (Array.map
+       (fun sh ->
+         let down = Atomic.get sh.health in
+         {
+           hs_shard = sh.id;
+           hs_alive = down = None && not t.closed;
+           hs_down = down;
+           hs_degraded =
+             (match sh.persist with
+             | Some p -> Persist.degraded p
+             | None -> None);
+           hs_backlog = backlog sh.mb;
+         })
+       t.tab)
+
+let restart_shard t i =
+  if i < 0 || i >= Array.length t.tab then
+    invalid_arg "Hyperion_shard.restart_shard: shard index out of range";
+  Mutex.lock t.qlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.qlock)
+    (fun () ->
+      if t.closed then Error (closed_error t)
+      else
+        let sh = t.tab.(i) in
+        match Atomic.get sh.health with
+        | None ->
+            Error
+              (E.Io_error
+                 (Printf.sprintf "shard %d is healthy; nothing to restart" i))
+        | Some _ -> (
+            (* the dying worker sealed its mailbox and is exiting (or has
+               exited): reap its domain before rebuilding *)
+            (match sh.domain with
+            | Some d ->
+                Domain.join d;
+                sh.domain <- None
+            | None -> ());
+            let respawn () =
+              Atomic.set sh.health None;
+              sh.domain <- Some (Domain.spawn (worker sh));
+              if T.enabled () then T.Counter.incr c_restarts
+            in
+            match sh.persist with
+            | None ->
+                (* in-memory shard: nothing to recover from — restart
+                   empty (the data died with the worker's store being
+                   orphaned; durable stores recover below) *)
+                sh.store <- H.Store.create ~config:t.cfg ();
+                sh.mb <- mailbox_create t.knobs.k_mailbox;
+                respawn ();
+                Ok None
+            | Some old -> (
+                (* drop the old handle's descriptors (its WAL tail may be
+                   unsynced — recovery treats it like a crash), then
+                   rebuild the shard from its persist dir while siblings
+                   keep serving *)
+                Persist.crash old;
+                let dir =
+                  match t.knobs.k_dir with
+                  | Some d -> shard_dir ~dir:d i
+                  | None -> Persist.dir old
+                in
+                let io = Option.map (fun f -> f i) t.knobs.k_io_for_shard in
+                match
+                  Persist.open_or_create ~config:t.cfg ?io
+                    ?sync_every_ops:t.knobs.k_sync_every_ops
+                    ?sync_every_bytes:t.knobs.k_sync_every_bytes
+                    ?rotate_bytes:t.knobs.k_rotate_bytes dir
+                with
+                | Error _ as e -> e
+                | Ok p ->
+                    sh.store <- Persist.store p;
+                    sh.persist <- Some p;
+                    sh.mb <- mailbox_create t.knobs.k_mailbox;
+                    respawn ();
+                    Ok (Some (Persist.recovery p)))))
+
+(* Test hook: enqueue a message whose handling raises, simulating an
+   unexpected worker exception at a drain boundary. *)
+let poison t ~shard ~reason =
+  if shard < 0 || shard >= Array.length t.tab then
+    invalid_arg "Hyperion_shard.poison: shard index out of range";
+  match submit_msg t t.tab.(shard) (Poison reason) with
+  | Ok () -> true
+  | Error _ -> false
+
 (* --- durability control ----------------------------------------------- *)
 
 let first_error results =
@@ -594,6 +893,7 @@ let on_handles t f =
 
 let sync t = on_handles t Persist.sync
 let snapshot_now t = on_handles t Persist.snapshot_now
+let heal t = on_handles t Persist.heal
 
 let stop_workers t =
   Mutex.lock t.qlock;

@@ -18,16 +18,33 @@
     With {!open_durable}, each shard owns a private snapshot+WAL generation
     directory ([<dir>/shard-NNN], see {!Persist}) recovered in parallel at
     open; mutations are logged through the shard's {!Persist.t} handle by
-    its worker domain, so the WAL order equals the apply order. *)
+    its worker domain, so the WAL order equals the apply order.
+
+    {b Supervision.}  Worker domains are supervised: an unexpected
+    exception in a worker never strands a client.  The dying worker fails
+    every pending request with a typed
+    {!Hyperion.Hyperion_error.t.Shard_down}, honours quiesce barriers it
+    already joined, seals its mailbox, and exits; sibling shards keep
+    serving.  {!health} reports per-shard liveness, {!restart_shard}
+    rebuilds a dead shard from its persist directory in place.  Blocking
+    enqueues carry a deadline: a mailbox that stays full past it yields
+    [Overloaded] instead of blocking forever. *)
 
 type t
 
 val create :
-  ?config:Hyperion.Config.t -> ?shards:int -> ?mailbox:int -> unit -> t
+  ?config:Hyperion.Config.t ->
+  ?shards:int ->
+  ?mailbox:int ->
+  ?enqueue_timeout_ms:int ->
+  unit ->
+  t
 (** [create ()] starts [shards] worker domains (default 4, clamped to
     [1, 64]) over fresh in-memory stores.  [mailbox] bounds each shard's
-    request ring (default 1024 requests; senders block when full).
-    @raise Invalid_argument on out-of-range [shards] or [mailbox]. *)
+    request ring (default 1024 requests; senders block when full, for at
+    most [enqueue_timeout_ms] — default 30_000; [0] waits forever).
+    @raise Invalid_argument on out-of-range [shards], [mailbox], or a
+    negative [enqueue_timeout_ms]. *)
 
 type shard_recovery = {
   shard : int;
@@ -41,6 +58,8 @@ val open_durable :
   ?sync_every_bytes:int ->
   ?rotate_bytes:int ->
   ?mailbox:int ->
+  ?enqueue_timeout_ms:int ->
+  ?io_for_shard:(int -> Persist.Io.t) ->
   string ->
   (t, Hyperion.Hyperion_error.t) result
 (** [open_durable dir] opens (creating when absent) one {!Persist}
@@ -49,7 +68,12 @@ val open_durable :
     recorded in [dir/MANIFEST] on first creation; reopening uses the
     recorded count, and passing [?shards] that contradicts it is an
     [Io_error].  The per-shard knobs ([sync_every_ops], [sync_every_bytes],
-    [rotate_bytes]) are forwarded to {!Persist.open_or_create}. *)
+    [rotate_bytes]) are forwarded to {!Persist.open_or_create}.
+
+    [io_for_shard i] supplies the syscall-interposition handle shard [i]'s
+    durability layer runs through (default {!Persist.Io.none}); the chaos
+    harness uses it to arm per-shard disk-fault plans.  The same function
+    is consulted again by {!restart_shard}. *)
 
 val shards : t -> int
 val durable : t -> bool
@@ -68,7 +92,12 @@ val shard_of_key : t -> string -> int
     applied (and, when durable, logged) the mutation.  The exception-based
     variants raise {!Hyperion.Hyperion_error.Error} exactly as the store
     does; the [_result] variants return the same failures as values.
-    [get]/[mem] run immediately on the calling domain. *)
+    [get]/[mem] run immediately on the calling domain.
+
+    Three failure modes are specific to the sharded front-end: [Shard_down]
+    when the owning worker died (see {!restart_shard}), [Overloaded] when
+    its mailbox stayed full past the enqueue deadline, and [Degraded] when
+    the shard's durability layer entered read-only mode (see {!heal}). *)
 
 val put : t -> string -> int64 -> unit
 val add : t -> string -> unit
@@ -99,12 +128,27 @@ module Batch : sig
   val delete : b -> string -> unit
   val length : b -> int  (** Operations buffered and not yet flushed. *)
 
+  type shard_flush = {
+    fr_shard : int;  (** shard index *)
+    fr_ops : int;  (** mutations in this shard's slice *)
+    fr_applied : int;  (** prefix of the slice actually applied *)
+    fr_error : Hyperion.Hyperion_error.t option;
+        (** what stopped the slice, if anything *)
+  }
+
+  val flush_report : b -> shard_flush list
+  (** Apply all buffered operations, per shard in buffer order, empty the
+      batch, and report per-shard outcomes (ascending by shard).  A shard
+      stops applying its slice at the first error — including a worker
+      death mid-slice, where [fr_applied] still counts exactly the applied
+      prefix — but {e other} shards still apply theirs (shards are
+      independent). *)
+
   val flush : b -> (int, Hyperion.Hyperion_error.t) result
-  (** Apply all buffered operations, per shard in buffer order, and empty
-      the batch.  [Ok n] is the number of mutations applied.  On the first
-      error inside a shard that shard stops applying its slice, but {e
-      other} shards still apply theirs (shards are independent); the first
-      error (lowest shard index) is returned. *)
+  (** {!flush_report} reduced to the historical shape: [Ok n] is the total
+      number of mutations applied; on failure the first error (lowest
+      shard index) is returned, and [n] applied mutations in other shards
+      are not rolled back. *)
 end
 
 (** {1 Quiesced cross-shard reads}
@@ -112,7 +156,9 @@ end
     All of these pause every worker at a barrier between two requests, so
     they observe a single consistent point in time of the whole keyspace:
     every acknowledged mutation is visible, no mutation is half-visible,
-    and concurrent quiesced readers serialize. *)
+    and concurrent quiesced readers serialize.  Dead shards (see
+    {!health}) don't take the barrier — their stores are frozen, which is
+    as quiescent as it gets. *)
 
 val with_quiesced : t -> (Hyperion.Store.t array -> 'a) -> 'a
 (** [with_quiesced t f] runs [f] over the quiescent per-shard stores
@@ -128,6 +174,45 @@ val length : t -> int
 val stats : t -> Hyperion.Stats.t
 val memory_usage : t -> int
 val saturated_arenas : t -> int
+
+(** {1 Supervision}
+
+    A worker that dies on an unexpected exception marks its shard
+    unhealthy and fails all of its pending and future requests with
+    [Shard_down]; everything else keeps working.  Recovery is explicit:
+    {!restart_shard} reopens the shard's persist directory (replaying its
+    WAL, exactly like a process restart scoped to one shard) and spawns a
+    fresh worker, while sibling shards keep serving throughout. *)
+
+type shard_health = {
+  hs_shard : int;  (** shard index *)
+  hs_alive : bool;  (** worker domain is serving *)
+  hs_down : string option;  (** the exception that killed the worker *)
+  hs_degraded : string option;
+      (** the shard's durability layer is in degraded read-only mode
+          (see {!Persist.degraded}) *)
+  hs_backlog : int;  (** messages waiting in the shard's mailbox *)
+}
+
+val health : t -> shard_health list
+(** Per-shard liveness, ascending by shard.  Cheap: no quiescence. *)
+
+val restart_shard :
+  t -> int -> (Persist.recovery option, Hyperion.Hyperion_error.t) result
+(** [restart_shard t i] rebuilds dead shard [i]: reaps the dead worker
+    domain, drops the old durability handle ({!Persist.crash} — its
+    unsynced WAL tail is recovered like a crash), reopens the shard's
+    persist directory, and spawns a fresh worker.  Returns what recovery
+    found ([None] for in-memory stores, which restart {e empty}: their
+    data died with the worker's store being orphaned).  Restarting a
+    healthy shard is an error.  Siblings serve throughout; requests racing
+    the restart are failed or retried onto the new mailbox, never hung.
+    @raise Invalid_argument on an out-of-range index. *)
+
+val heal : t -> (unit, Hyperion.Hyperion_error.t) result
+(** {!Persist.heal} every shard's durability handle: re-arm degraded
+    shards (fresh snapshot generation + WAL).  [Ok] for shards that are
+    not degraded.  No-op on in-memory stores. *)
 
 (** {1 Durability control}
 
@@ -155,3 +240,8 @@ val crash : t -> unit
 val shard_dir : dir:string -> int -> string
 val manifest_file : dir:string -> string
 (** On-disk layout of {!open_durable}, for tests and tooling. *)
+
+val poison : t -> shard:int -> reason:string -> bool
+(** Test hook: enqueue a message whose handling raises in the worker,
+    simulating an unexpected worker exception.  [true] when the message
+    was accepted (the worker will die when it drains it). *)

@@ -304,6 +304,104 @@ let prop_roundtrip_preprocess =
     QCheck.(list_of_size (Gen.int_range 0 400) (make key_gen))
     (fun keys -> roundtrip_prop cfg_pre keys)
 
+(* --- disk faults: degraded read-only mode and heal ------------------- *)
+
+module Io = Persist.Io
+
+let fast_io () = Persist.Io.make ~max_retries:2 ~backoff_s:1e-6 ()
+
+let test_write_failure_degrades_sticky () =
+  let dir = fresh_dir () in
+  let io = fast_io () in
+  let p = ok "open" (Persist.open_or_create ~config:cfg ~io dir) in
+  ok "put" (Persist.put p "alive" 1L);
+  Io.set_plan io (Fault.always [ Fault.Io_write_eio ]);
+  (* the append fails after exhausting retries: typed Degraded, store
+     untouched *)
+  expect_error "put under EIO" (Persist.put p "casualty" 2L) (function
+    | E.Degraded _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "handle reports degraded" true
+    (Persist.degraded p <> None);
+  Alcotest.(check bool) "failed mutation not applied" false
+    (S.mem (Persist.store p) "casualty");
+  (* sticky: the device recovering by itself is not enough *)
+  Io.disarm io;
+  expect_error "still degraded after disarm" (Persist.put p "casualty" 2L)
+    (function E.Degraded _ -> true | _ -> false);
+  (* reads keep serving *)
+  Alcotest.(check (option int64)) "reads serve while degraded" (Some 1L)
+    (S.get (Persist.store p) "alive");
+  (* heal re-arms writes in a fresh generation *)
+  let gen = Persist.generation p in
+  ok "heal" (Persist.heal p);
+  Alcotest.(check (option string)) "healed" None (Persist.degraded p);
+  Alcotest.(check bool) "heal bumps the generation" true
+    (Persist.generation p > gen);
+  ok "put after heal" (Persist.put p "recovered" 3L);
+  ok "close" (Persist.close p);
+  let p2 = ok "reopen" (Persist.open_or_create ~config:cfg dir) in
+  let s = Persist.store p2 in
+  Alcotest.(check (option int64)) "pre-fault op survives" (Some 1L)
+    (S.get s "alive");
+  Alcotest.(check (option int64)) "post-heal op survives" (Some 3L)
+    (S.get s "recovered");
+  Alcotest.(check bool) "failed op never persisted" false (S.mem s "casualty");
+  ok "close2" (Persist.close p2)
+
+let test_fsync_failure_acks_but_degrades () =
+  let dir = fresh_dir () in
+  let io = fast_io () in
+  let p =
+    ok "open" (Persist.open_or_create ~config:cfg ~io ~sync_every_ops:1 dir)
+  in
+  Io.set_plan io (Fault.always [ Fault.Io_fsync ]);
+  (* the record is in the log before the group commit fails, so the
+     mutation is acknowledged; what is lost is the durability promise *)
+  ok "put acked despite failed fsync" (Persist.put p "acked" 1L);
+  Alcotest.(check bool) "fsync failure degrades" true
+    (Persist.degraded p <> None);
+  Alcotest.(check (option int64)) "acked op applied" (Some 1L)
+    (S.get (Persist.store p) "acked");
+  Io.disarm io;
+  ok "heal" (Persist.heal p);
+  ok "put after heal" (Persist.put p "later" 2L);
+  ok "close" (Persist.close p);
+  let p2 = ok "reopen" (Persist.open_or_create ~config:cfg dir) in
+  Alcotest.(check (option int64)) "acked op survives via heal snapshot"
+    (Some 1L)
+    (S.get (Persist.store p2) "acked");
+  Alcotest.(check (option int64)) "post-heal op survives" (Some 2L)
+    (S.get (Persist.store p2) "later");
+  ok "close2" (Persist.close p2)
+
+let test_store_reject_compensates_wal () =
+  let dir = fresh_dir () in
+  let p = ok "open" (Persist.open_or_create ~config:cfg dir) in
+  ok "put" (Persist.put p "good" 1L);
+  (* a store-side failure (allocation) after the append must truncate the
+     record back off the log — and must NOT degrade the handle, the
+     storage is fine *)
+  S.set_fault_plan (Persist.store p) (Fault.always [ Fault.Alloc_fail ]);
+  expect_error "store rejects" (Persist.put p "rejected" 2L) (function
+    | E.Degraded _ -> false
+    | _ -> true);
+  Alcotest.(check (option string)) "store failure does not degrade" None
+    (Persist.degraded p);
+  S.set_fault_plan (Persist.store p) Fault.none;
+  ok "put after clear" (Persist.put p "alsogood" 3L);
+  Alcotest.(check int) "only applied mutations logged" 2
+    (Persist.applied_ops p);
+  ok "close" (Persist.close p);
+  let p2 = ok "reopen" (Persist.open_or_create ~config:cfg dir) in
+  let s = Persist.store p2 in
+  Alcotest.(check int) "exactly the acked ops replayed" 2
+    (Persist.recovery p2).Persist.replayed_ops;
+  Alcotest.(check bool) "rejected op not replayed" false (S.mem s "rejected");
+  Alcotest.(check (option int64)) "acked ops replayed" (Some 3L)
+    (S.get s "alsogood");
+  ok "close2" (Persist.close p2)
+
 (* --- crash-recovery chaos sweep (acceptance: CI runs 100 seeds) ------ *)
 
 let test_crash_chaos_sweep () =
@@ -312,6 +410,18 @@ let test_crash_chaos_sweep () =
   for seed = 1 to 25 do
     match
       Chaos.run_crash ~config:cfg ~dir ~seed:(Int64.of_int seed) ~ops:1200 ()
+    with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.fail msg
+  done
+
+let test_diskfault_chaos_sweep () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  for seed = 1 to 10 do
+    match
+      Chaos.run_diskfault ~config:cfg ~per_mille:20 ~dir
+        ~seed:(Int64.of_int seed) ~ops:800 ()
     with
     | Ok _ -> ()
     | Error msg -> Alcotest.fail msg
@@ -347,6 +457,19 @@ let () =
           QCheck_alcotest.to_alcotest prop_roundtrip_strings;
           QCheck_alcotest.to_alcotest prop_roundtrip_preprocess;
         ] );
+      ( "degraded",
+        [
+          Alcotest.test_case "write failure -> sticky degraded + heal" `Quick
+            test_write_failure_degrades_sticky;
+          Alcotest.test_case "fsync failure acks but degrades" `Quick
+            test_fsync_failure_acks_but_degrades;
+          Alcotest.test_case "store reject compensates the WAL" `Quick
+            test_store_reject_compensates_wal;
+        ] );
       ( "crash-chaos",
-        [ Alcotest.test_case "25-seed sweep" `Slow test_crash_chaos_sweep ] );
+        [
+          Alcotest.test_case "25-seed sweep" `Slow test_crash_chaos_sweep;
+          Alcotest.test_case "10-seed diskfault sweep" `Slow
+            test_diskfault_chaos_sweep;
+        ] );
     ]

@@ -1,0 +1,372 @@
+(* Shard supervision: a poisoned worker dies without stranding anyone
+   (typed [Shard_down] errors, siblings unaffected), [restart_shard]
+   rebuilds the shard from its persist directory in place, a disk fault
+   mid-batch yields an exact applied-prefix report plus a degraded shard
+   that [heal] re-arms, a full mailbox past the enqueue deadline yields
+   [Overloaded] — and a qcheck liveness property: every blocking shard
+   operation completes (never hangs) under random worker kills and
+   injected disk faults. *)
+
+module H = Hyperion
+module E = H.Hyperion_error
+module Sh = Hyperion_shard
+module Io = Persist.Io
+
+let cfg = { H.Config.strings with chunks_per_bin = 64 }
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hyperion_supervision_test_%d_%d" (Unix.getpid ())
+         !counter)
+
+(* the shard layouts are two levels deep: dir/shard-NNN/files + MANIFEST *)
+let wipe_tree dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun entry ->
+        let p = Filename.concat dir entry in
+        if Sys.is_directory p then begin
+          Array.iter (fun f -> Sys.remove (Filename.concat p f)) (Sys.readdir p);
+          Unix.rmdir p
+        end
+        else Sys.remove p)
+      (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (E.to_string e)
+
+(* a key owned by shard [i], distinguished by [j] *)
+let key_for t i j =
+  let rec scan b =
+    if b > 255 then Alcotest.failf "no key found for shard %d" i
+    else
+      let k = Printf.sprintf "%c-key-%d" (Char.chr b) j in
+      if Sh.shard_of_key t k = i then k else scan (b + 1)
+  in
+  scan 1
+
+let shard_health t i = List.nth (Sh.health t) i
+
+let wait_for ?(timeout_s = 5.0) what pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.yield ();
+      Unix.sleepf 0.002;
+      go ()
+    end
+  in
+  go ()
+
+(* --- worker death: typed errors, healthy siblings, in-place restart --- *)
+
+let test_poison_and_restart () =
+  let dir = fresh_dir () in
+  let t = ok "open" (Sh.open_durable ~config:cfg ~shards:4 ~sync_every_ops:4 dir) in
+  for i = 0 to 3 do
+    ok "seed put" (Sh.put_result t (key_for t i 0) (Int64.of_int i))
+  done;
+  Alcotest.(check bool) "poison accepted" true
+    (Sh.poison t ~shard:2 ~reason:"injected test crash");
+  wait_for "shard 2 to die" (fun () -> not (shard_health t 2).Sh.hs_alive);
+  (* the dead shard fails fast with a typed error *)
+  (match Sh.put_result t (key_for t 2 1) 9L with
+  | Error (E.Shard_down _) -> ()
+  | Ok () -> Alcotest.fail "put on dead shard succeeded"
+  | Error e -> Alcotest.failf "expected Shard_down, got %s" (E.to_string e));
+  let h2 = shard_health t 2 in
+  Alcotest.(check bool) "health names the exception" true
+    (match h2.Sh.hs_down with
+    | Some why ->
+        let contains s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          m = 0 || go 0
+        in
+        contains why "injected test crash"
+    | None -> false);
+  (* siblings keep serving *)
+  ok "sibling put" (Sh.put_result t (key_for t 0 1) 10L);
+  Alcotest.(check (option int64)) "sibling read" (Some 10L)
+    (Sh.get t (key_for t 0 1));
+  (* quiesced reads still work with a dead shard (its store is frozen) *)
+  Alcotest.(check bool) "length with a dead shard" true (Sh.length t >= 4);
+  (* restart recovers the shard's own durable data in place *)
+  (match ok "restart" (Sh.restart_shard t 2) with
+  | Some r ->
+      Alcotest.(check bool) "restart replayed the shard's log" true
+        (r.Persist.snapshot_keys + r.Persist.replayed_ops >= 1)
+  | None -> Alcotest.fail "durable restart reported no recovery");
+  Alcotest.(check bool) "restarted shard is alive" true
+    (shard_health t 2).Sh.hs_alive;
+  Alcotest.(check (option int64)) "pre-crash binding recovered" (Some 2L)
+    (Sh.get t (key_for t 2 0));
+  ok "write after restart" (Sh.put_result t (key_for t 2 1) 11L);
+  (* restarting a healthy shard is refused *)
+  (match Sh.restart_shard t 2 with
+  | Error (E.Io_error _) -> ()
+  | Ok _ -> Alcotest.fail "restarting a healthy shard succeeded"
+  | Error e -> Alcotest.failf "unexpected error %s" (E.to_string e));
+  ok "close" (Sh.close t);
+  wipe_tree dir
+
+(* --- disk fault mid-batch: exact applied prefix, heal ----------------- *)
+
+let test_partial_batch_and_heal () =
+  let dir = fresh_dir () in
+  let ios = Array.init 4 (fun _ -> Io.make ~max_retries:0 ()) in
+  let t =
+    ok "open"
+      (Sh.open_durable ~config:cfg ~shards:4
+         ~io_for_shard:(fun i -> ios.(i))
+         dir)
+  in
+  (* the 3rd WAL append on shard 1 after arming fails; retries are off, so
+     the slice stops right there and the shard degrades *)
+  Io.set_plan ios.(1) (Fault.fire_at [ (Fault.Io_write_eio, 3) ]);
+  let b = Sh.Batch.create t in
+  for j = 0 to 1 do
+    Sh.Batch.put b (key_for t 0 j) (Int64.of_int j)
+  done;
+  for j = 0 to 5 do
+    Sh.Batch.put b (key_for t 1 j) (Int64.of_int (100 + j))
+  done;
+  (match Sh.Batch.flush_report b with
+  | [ r0; r1 ] ->
+      Alcotest.(check int) "shard 0 row" 0 r0.Sh.Batch.fr_shard;
+      Alcotest.(check int) "shard 0 slice applied in full" 2
+        r0.Sh.Batch.fr_applied;
+      Alcotest.(check bool) "shard 0 clean" true (r0.Sh.Batch.fr_error = None);
+      Alcotest.(check int) "shard 1 row" 1 r1.Sh.Batch.fr_shard;
+      Alcotest.(check int) "shard 1 slice size" 6 r1.Sh.Batch.fr_ops;
+      Alcotest.(check int) "exactly the pre-fault prefix applied" 2
+        r1.Sh.Batch.fr_applied;
+      (match r1.Sh.Batch.fr_error with
+      | Some (E.Degraded _) -> ()
+      | Some e -> Alcotest.failf "expected Degraded, got %s" (E.to_string e)
+      | None -> Alcotest.fail "shard 1 reported no error")
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows));
+  (* the applied prefix is visible, the rejected tail is not *)
+  Alcotest.(check (option int64)) "applied prefix visible" (Some 101L)
+    (Sh.get t (key_for t 1 1));
+  Alcotest.(check bool) "rejected tail not applied" false
+    (Sh.mem t (key_for t 1 4));
+  (* worker is alive but its durability layer is degraded, and it stays
+     degraded until healed *)
+  let h1 = shard_health t 1 in
+  Alcotest.(check bool) "worker alive" true h1.Sh.hs_alive;
+  Alcotest.(check bool) "shard degraded" true (h1.Sh.hs_degraded <> None);
+  (match Sh.put_result t (key_for t 1 9) 1L with
+  | Error (E.Degraded _) -> ()
+  | Ok () -> Alcotest.fail "degraded shard accepted a write"
+  | Error e -> Alcotest.failf "expected Degraded, got %s" (E.to_string e));
+  Io.disarm ios.(1);
+  ok "heal" (Sh.heal t);
+  Alcotest.(check bool) "healed" true
+    ((shard_health t 1).Sh.hs_degraded = None);
+  ok "write after heal" (Sh.put_result t (key_for t 1 9) 9L);
+  ok "close" (Sh.close t);
+  wipe_tree dir
+
+(* --- full mailbox past the deadline: Overloaded ----------------------- *)
+
+let test_overloaded () =
+  let t = Sh.create ~config:cfg ~shards:1 ~mailbox:1 ~enqueue_timeout_ms:100 () in
+  ok "warm-up put" (Sh.put_result t (key_for t 0 0) 1L);
+  (* park the worker at a quiesce barrier, fill the 1-slot mailbox from a
+     second thread, then watch a third enqueue bounce off the deadline *)
+  let release = Atomic.make false in
+  let parker =
+    Thread.create
+      (fun () ->
+        Sh.with_quiesced t (fun _ ->
+            while not (Atomic.get release) do
+              Thread.yield ();
+              Unix.sleepf 0.002
+            done))
+      ()
+  in
+  Unix.sleepf 0.15;
+  let filler_result = ref (Error E.Empty_key) in
+  let filler =
+    Thread.create (fun () -> filler_result := Sh.put_result t (key_for t 0 1) 2L) ()
+  in
+  Unix.sleepf 0.15;
+  (match Sh.put_result t (key_for t 0 2) 3L with
+  | Error (E.Overloaded _) -> ()
+  | Ok () -> Alcotest.fail "enqueue past the deadline succeeded"
+  | Error e -> Alcotest.failf "expected Overloaded, got %s" (E.to_string e));
+  Atomic.set release true;
+  Thread.join parker;
+  Thread.join filler;
+  (match !filler_result with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "queued put failed: %s" (E.to_string e));
+  ok "put after release" (Sh.put_result t (key_for t 0 2) 3L);
+  ok "close" (Sh.close t)
+
+(* --- liveness: every blocking op completes under kills + disk faults -- *)
+
+let tolerable = function
+  | E.Degraded _ | E.Shard_down _ | E.Overloaded _ -> true
+  | _ -> false
+
+let liveness_prop seed =
+  let dir = fresh_dir () in
+  let shards = 2 in
+  let ios =
+    Array.init shards (fun _ -> Io.make ~max_retries:1 ~backoff_s:1e-6 ())
+  in
+  let plan_for i =
+    Fault.seeded
+      ~seed:(Int64.of_int ((seed * 31) + i))
+      ~per_mille:30
+      ~sites:[ Fault.Io_write_eio; Fault.Io_fsync ]
+  in
+  let t =
+    match
+      Sh.open_durable ~config:cfg ~shards ~sync_every_ops:4 ~mailbox:8
+        ~enqueue_timeout_ms:2000
+        ~io_for_shard:(fun i -> ios.(i))
+        dir
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "open: %s" (E.to_string e)
+  in
+  Array.iteri (fun i io -> Io.set_plan io (plan_for i)) ios;
+  let n_clients = 2 and ops_per_client = 120 in
+  let finished = Array.init n_clients (fun _ -> Atomic.make false) in
+  let problems = ref [] in
+  let pmutex = Mutex.create () in
+  let problem fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Mutex.lock pmutex;
+        problems := msg :: !problems;
+        Mutex.unlock pmutex)
+      fmt
+  in
+  let note_result what = function
+    | Ok _ -> ()
+    | Error e when tolerable e -> ()
+    | Error e -> problem "%s: intolerable error %s" what (E.to_string e)
+  in
+  let client c =
+    let rng = Random.State.make [| seed; c; 0xbeef |] in
+    let any_key () =
+      Printf.sprintf "%c-%d" (Char.chr (1 + Random.State.int rng 255))
+        (Random.State.int rng 64)
+    in
+    let batch = Sh.Batch.create t in
+    (try
+       for _ = 1 to ops_per_client do
+         match Random.State.int rng 100 with
+         | d when d < 35 ->
+             note_result "put" (Sh.put_result t (any_key ()) 1L)
+         | d when d < 45 -> note_result "add" (Sh.add_result t (any_key ()))
+         | d when d < 55 ->
+             note_result "delete" (Sh.delete_result t (any_key ()))
+         | d when d < 75 -> ignore (Sh.get t (any_key ()))
+         | d when d < 85 -> ignore (Sh.mem t (any_key ()))
+         | _ ->
+             for _ = 1 to 4 do
+               Sh.Batch.put batch (any_key ()) 2L
+             done;
+             List.iter
+               (fun r ->
+                 if r.Sh.Batch.fr_applied > r.Sh.Batch.fr_ops then
+                   problem "flush: applied %d > ops %d" r.Sh.Batch.fr_applied
+                     r.Sh.Batch.fr_ops;
+                 match r.Sh.Batch.fr_error with
+                 | None ->
+                     if r.Sh.Batch.fr_applied <> r.Sh.Batch.fr_ops then
+                       problem "flush: clean row applied %d of %d"
+                         r.Sh.Batch.fr_applied r.Sh.Batch.fr_ops
+                 | Some e when tolerable e -> ()
+                 | Some e ->
+                     problem "flush: intolerable error %s" (E.to_string e))
+               (Sh.Batch.flush_report batch)
+       done
+     with exn -> problem "client %d raised %s" c (Printexc.to_string exn));
+    Atomic.set finished.(c) true
+  in
+  let threads = List.init n_clients (fun c -> Thread.create client c) in
+  let crng = Random.State.make [| seed; 0xdead |] in
+  let all_done () =
+    Array.for_all (fun f -> Atomic.get f) finished
+  in
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  let live = ref true in
+  while (not (all_done ())) && !live do
+    if Unix.gettimeofday () > deadline then begin
+      problem "liveness violated: clients still blocked after 60s";
+      live := false
+    end
+    else begin
+      Unix.sleepf 0.01;
+      (* random worker kills *)
+      if Random.State.int crng 4 = 0 then
+        ignore
+          (Sh.poison t
+             ~shard:(Random.State.int crng shards)
+             ~reason:"liveness chaos kill");
+      (* restart the dead, heal the degraded — faults disarmed around
+         both so recovery itself cannot be re-wounded mid-repair *)
+      List.iter
+        (fun h ->
+          if not h.Sh.hs_alive then begin
+            Io.disarm ios.(h.Sh.hs_shard);
+            (match Sh.restart_shard t h.Sh.hs_shard with
+            | Ok _ -> ()
+            | Error _ -> () (* racing another repair; retried next tick *));
+            Io.set_plan ios.(h.Sh.hs_shard) (plan_for h.Sh.hs_shard)
+          end)
+        (Sh.health t);
+      if List.exists (fun h -> h.Sh.hs_degraded <> None) (Sh.health t) then begin
+        Array.iter Io.disarm ios;
+        (match Sh.heal t with Ok () -> () | Error _ -> ());
+        Array.iteri (fun i io -> Io.set_plan io (plan_for i)) ios
+      end
+    end
+  done;
+  if !live then List.iter Thread.join threads;
+  Array.iter Io.disarm ios;
+  ignore (Sh.close t);
+  if !live then wipe_tree dir;
+  match !problems with
+  | [] -> true
+  | ps ->
+      Printf.eprintf "seed %d problems:\n%s\n%!" seed (String.concat "\n" ps);
+      false
+
+let prop_liveness =
+  QCheck.Test.make
+    ~name:"blocking ops always complete under kills and disk faults"
+    ~count:6
+    QCheck.(int_range 1 10_000)
+    liveness_prop
+
+let () =
+  Alcotest.run "supervision"
+    [
+      ( "workers",
+        [
+          Alcotest.test_case "poison -> typed errors, restart in place" `Quick
+            test_poison_and_restart;
+          Alcotest.test_case "disk fault mid-batch: exact prefix + heal"
+            `Quick test_partial_batch_and_heal;
+          Alcotest.test_case "mailbox deadline -> Overloaded" `Quick
+            test_overloaded;
+        ] );
+      ("liveness", [ QCheck_alcotest.to_alcotest ~long:true prop_liveness ]);
+    ]
