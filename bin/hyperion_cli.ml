@@ -44,6 +44,18 @@
                     overhead; --json DIR writes BENCH_insert.json
                     (schema 2), --metrics-every K dumps the exposition
                     every K*10k ops
+     serve          run the TCP serving front-end (hyperion.net): binary
+                    length-prefixed pipelined protocol on --port, plus an
+                    optional memcached-text listener on --memcached-port;
+                    the store is in-memory, or recovered from --dir;
+                    --duration 0 serves until killed
+     loadgen        open-loop load generator; by default a self-contained
+                    loopback acceptance matrix (binary and memcached,
+                    1 and 4 shards) with coordinated-omission-safe
+                    latency percentiles, --json DIR writing
+                    BENCH_serve.json; --connect HOST:PORT targets an
+                    already-running server instead.  Exits 1 when any
+                    request errored
 
    --shards D (load-ints, load-ngrams, chaos, save, load, recover) routes
    the subcommand through the multi-domain sharded front-end: D worker
@@ -799,6 +811,261 @@ let bench_cmd experiment n json_dir metrics_every =
       Printf.eprintf "bench: unknown experiment %S (try: insert)\n" other;
       exit 2
 
+(* ---- network serving ------------------------------------------------- *)
+
+let serve port mc_port shards dir duration workers =
+  check_shards shards;
+  if duration < 0.0 then begin
+    prerr_endline "serve: --duration must be non-negative";
+    exit 2
+  end;
+  if port < 0 || port > 65535 || (match mc_port with
+     | Some p -> p < 0 || p > 65535
+     | None -> false)
+  then begin
+    prerr_endline "serve: ports must be in [0, 65535]";
+    exit 2
+  end;
+  let t =
+    match dir with
+    | Some d -> open_sharded_dir ~shards d
+    | None -> Hyperion_shard.create ~config:default_config ~shards ()
+  in
+  let cfg =
+    {
+      Hyperion_net.Server.default_config with
+      port;
+      memcached_port = mc_port;
+      workers_per_conn = workers;
+    }
+  in
+  match Hyperion_net.Server.start ~config:cfg t with
+  | Error m ->
+      Printf.eprintf "serve: %s\n" m;
+      shard_check "close" (Hyperion_shard.close t);
+      exit 3
+  | Ok srv ->
+      Printf.printf "serving        : binary on %d%s, %d shard(s)%s\n%!"
+        (Hyperion_net.Server.port srv)
+        (match Hyperion_net.Server.memcached_port srv with
+        | Some p -> Printf.sprintf ", memcached on %d" p
+        | None -> "")
+        shards
+        (if dir <> None then " (durable)" else "");
+      if duration > 0.0 then Unix.sleepf duration
+      else
+        (* serve until the process is killed *)
+        while true do
+          Unix.sleep 3600
+        done;
+      Hyperion_net.Server.stop srv;
+      shard_check "close" (Hyperion_shard.close t)
+
+let loadgen_scenario_label protocol shards =
+  Printf.sprintf "%s-%dshard"
+    (match protocol with
+    | Hyperion_net.Loadgen.Binary -> "binary"
+    | Hyperion_net.Loadgen.Memcached -> "memcached")
+    shards
+
+let report_loadgen label (s : Hyperion_net.Loadgen.summary) =
+  let q p = Telemetry.Hist.quantile s.s_hist p /. 1e3 in
+  Printf.printf
+    "%-18s: %7.0f/%7.0f qps, %d sent, %d done, %d error(s), p50 %.1fus p99 \
+     %.1fus p999 %.1fus\n%!"
+    label s.s_achieved_qps s.s_target_qps s.s_sent s.s_completed s.s_errors
+    (q 0.5) (q 0.99) (q 0.999)
+
+(* Run one loadgen scenario against a private loopback server: fresh
+   in-memory sharded store preloaded with the key universe, ephemeral
+   ports, clean shutdown. *)
+let loadgen_self_scenario base_cfg ks protocol shards =
+  check_shards shards;
+  let t = Hyperion_shard.create ~config:default_config ~shards () in
+  let b = Hyperion_shard.Batch.create t in
+  let store_key =
+    match protocol with
+    | Hyperion_net.Loadgen.Memcached -> Hyperion_net.Loadgen.memcached_key
+    | Hyperion_net.Loadgen.Binary -> fun k -> k
+  in
+  Array.iteri
+    (fun rank k ->
+      Hyperion_shard.Batch.put b (store_key k) (Int64.of_int rank);
+      if Hyperion_shard.Batch.length b >= 256 then
+        shard_check "flush" (Hyperion_shard.Batch.flush b))
+    (Workload.Keystream.keys ks);
+  shard_check "flush" (Hyperion_shard.Batch.flush b);
+  let scfg =
+    {
+      Hyperion_net.Server.default_config with
+      port = 0;
+      memcached_port =
+        (match protocol with
+        | Hyperion_net.Loadgen.Memcached -> Some 0
+        | Hyperion_net.Loadgen.Binary -> None);
+    }
+  in
+  match Hyperion_net.Server.start ~config:scfg t with
+  | Error m ->
+      Printf.eprintf "loadgen: %s\n" m;
+      shard_check "close" (Hyperion_shard.close t);
+      exit 3
+  | Ok srv ->
+      let port =
+        match protocol with
+        | Hyperion_net.Loadgen.Binary -> Hyperion_net.Server.port srv
+        | Hyperion_net.Loadgen.Memcached -> (
+            match Hyperion_net.Server.memcached_port srv with
+            | Some p -> p
+            | None -> Hyperion_net.Server.port srv)
+      in
+      let cfg = { base_cfg with Hyperion_net.Loadgen.protocol; port } in
+      let r = Hyperion_net.Loadgen.run ~keystream:ks cfg in
+      Hyperion_net.Server.stop srv;
+      shard_check "close" (Hyperion_shard.close t);
+      match r with
+      | Error m ->
+          Printf.eprintf "loadgen: %s\n" m;
+          exit 3
+      | Ok s ->
+          let label = loadgen_scenario_label protocol shards in
+          report_loadgen label s;
+          (label, shards, s)
+
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | None -> None
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p <= 65535 && host <> "" -> Some (host, p)
+      | Some _ | None -> None)
+
+let loadgen_cmd connect protocol qps duration conns depth read_fraction keys
+    seed arrival json_dir =
+  let protocol =
+    match protocol with
+    | "binary" -> Hyperion_net.Loadgen.Binary
+    | "memcached" -> Hyperion_net.Loadgen.Memcached
+    | other ->
+        Printf.eprintf "loadgen: unknown protocol %S (binary|memcached)\n"
+          other;
+        exit 2
+  in
+  let arrival =
+    match arrival with
+    | "poisson" -> Hyperion_net.Loadgen.Poisson
+    | "uniform" -> Hyperion_net.Loadgen.Uniform
+    | other ->
+        Printf.eprintf "loadgen: unknown arrival %S (poisson|uniform)\n" other;
+        exit 2
+  in
+  let base_cfg =
+    {
+      Hyperion_net.Loadgen.default_config with
+      protocol;
+      connections = conns;
+      depth;
+      target_qps = qps;
+      duration_s = duration;
+      arrival;
+      read_fraction;
+      n_keys = keys;
+      seed;
+    }
+  in
+  (match Hyperion_net.Loadgen.validate base_cfg with
+  | Some m ->
+      Printf.eprintf "loadgen: %s\n" m;
+      exit 2
+  | None -> ());
+  let ks = Workload.Keystream.create ~seed ~n:keys () in
+  let results =
+    match connect with
+    | Some hostport -> (
+        match parse_hostport hostport with
+        | None ->
+            Printf.eprintf "loadgen: --connect expects HOST:PORT, got %S\n"
+              hostport;
+            exit 2
+        | Some (host, port) -> (
+            let cfg = { base_cfg with Hyperion_net.Loadgen.host; port } in
+            match Hyperion_net.Loadgen.run ~keystream:ks cfg with
+            | Error m ->
+                Printf.eprintf "loadgen: %s\n" m;
+                exit 3
+            | Ok s ->
+                let label =
+                  match protocol with
+                  | Hyperion_net.Loadgen.Binary -> "binary-external"
+                  | Hyperion_net.Loadgen.Memcached -> "memcached-external"
+                in
+                report_loadgen label s;
+                [ (label, conns, s) ]))
+    | None ->
+        (* the acceptance matrix: both protocols, single- and multi-shard *)
+        List.map
+          (fun (protocol, shards) ->
+            loadgen_self_scenario base_cfg ks protocol shards)
+          [
+            (Hyperion_net.Loadgen.Binary, 1);
+            (Hyperion_net.Loadgen.Binary, 4);
+            (Hyperion_net.Loadgen.Memcached, 1);
+            (Hyperion_net.Loadgen.Memcached, 4);
+          ]
+  in
+  (match json_dir with
+  | None -> ()
+  | Some dir ->
+      let rows =
+        List.map
+          (fun (label, domains, (s : Hyperion_net.Loadgen.summary)) ->
+            {
+              Bench_util.Json_out.label;
+              domains;
+              ops_per_s = s.s_achieved_qps;
+              bytes_per_key = 0.0;
+            })
+          results
+      in
+      let lats =
+        List.map
+          (fun (label, _, s) ->
+            Hyperion_net.Loadgen.latency_of_summary ~metric:label s)
+          results
+      in
+      let config =
+        [
+          ("target_qps", Printf.sprintf "%.0f" qps);
+          ("duration_s", Printf.sprintf "%.2f" duration);
+          ("connections", string_of_int conns);
+          ("depth", string_of_int depth);
+          ("arrival",
+           match arrival with
+           | Hyperion_net.Loadgen.Poisson -> "poisson"
+           | Hyperion_net.Loadgen.Uniform -> "uniform");
+          ("read_fraction", Printf.sprintf "%.2f" read_fraction);
+          ("seed", Int64.to_string seed);
+          ("mode", if connect = None then "loopback" else "external");
+        ]
+      in
+      let path =
+        Bench_util.Json_out.write ~dir ~experiment:"serve" ~n:keys ~config
+          ~telemetry:lats ~rows ()
+      in
+      Printf.printf "wrote          : %s\n" path);
+  let errors =
+    List.fold_left
+      (fun acc (_, _, (s : Hyperion_net.Loadgen.summary)) ->
+        acc + s.s_errors)
+      0 results
+  in
+  if errors > 0 then begin
+    Printf.eprintf "loadgen: %d request error(s)\n" errors;
+    exit 1
+  end
+
 let n_arg = Arg.(value & pos 0 int 100_000 & info [] ~docv:"N")
 
 let seed_arg =
@@ -887,6 +1154,72 @@ let json_dir_arg =
        ~doc:"Write BENCH_<experiment>.json (schema 2, with latency \
              percentiles) into $(docv).")
 
+let port_arg =
+  Arg.(value & opt int 7791 & info [ "port" ] ~docv:"PORT"
+       ~doc:"Binary-protocol listener port; 0 picks an ephemeral port.")
+
+let mc_port_arg =
+  Arg.(value & opt (some int) None & info [ "memcached-port" ] ~docv:"PORT"
+       ~doc:"Also serve the memcached-text subset \
+             (get/set/delete/stats/version/quit) on $(docv); 0 picks an \
+             ephemeral port.")
+
+let duration_arg =
+  Arg.(value & opt float 0.0 & info [ "duration" ] ~docv:"SECONDS"
+       ~doc:"Serve for $(docv) seconds then shut down cleanly; 0 (default) \
+             serves until the process is killed.")
+
+let workers_arg =
+  Arg.(value & opt int 4 & info [ "workers" ] ~docv:"W"
+       ~doc:"Op worker threads per connection (mutations, batches, stats).")
+
+let connect_arg =
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT"
+       ~doc:"Drive an already-running server instead of the self-contained \
+             loopback matrix.")
+
+let protocol_arg =
+  Arg.(value & opt string "binary" & info [ "protocol" ] ~docv:"P"
+       ~doc:"Protocol for $(b,--connect) mode: $(b,binary) or \
+             $(b,memcached).")
+
+let qps_arg =
+  Arg.(value & opt float 20_000.0 & info [ "qps" ] ~docv:"QPS"
+       ~doc:"Aggregate open-loop arrival rate, split across connections.")
+
+let lg_duration_arg =
+  Arg.(value & opt float 2.0 & info [ "duration" ] ~docv:"SECONDS"
+       ~doc:"Measured run length per scenario.")
+
+let conns_arg =
+  Arg.(value & opt int 4 & info [ "conns" ] ~docv:"C"
+       ~doc:"Client connections (threads), each with its own socket and \
+             generator stream.")
+
+let depth_arg =
+  Arg.(value & opt int 16 & info [ "depth" ] ~docv:"D"
+       ~doc:"Max outstanding pipelined requests per connection; the sender \
+             blocks beyond this, but latency stays measured from the \
+             scheduled send time (no coordinated omission).")
+
+let read_fraction_arg =
+  Arg.(value & opt float 0.9 & info [ "read-fraction" ] ~docv:"F"
+       ~doc:"Fraction of requests that are reads, in [0, 1].")
+
+let lg_keys_arg =
+  Arg.(value & opt int 10_000 & info [ "keys" ] ~docv:"N"
+       ~doc:"Zipf-ranked n-gram key universe size (preloaded in loopback \
+             mode).")
+
+let lg_seed_arg =
+  Arg.(value & opt int64 20190301L & info [ "seed" ] ~docv:"SEED"
+       ~doc:"Keystream and schedule seed (reproducible runs).")
+
+let arrival_arg =
+  Arg.(value & opt string "poisson" & info [ "arrival" ] ~docv:"A"
+       ~doc:"Inter-arrival law: $(b,poisson) (exponential gaps) or \
+             $(b,uniform) (fixed gaps).")
+
 let cmds =
   [
     Cmd.v (Cmd.info "demo" ~doc:"Paper example words") Term.(const demo $ const ());
@@ -963,6 +1296,27 @@ let cmds =
                telemetry overhead.  $(b,--json) $(i,DIR) writes \
                BENCH_insert.json (schema 2)")
       Term.(const bench_cmd $ experiment_arg $ bench_n_arg $ json_dir_arg $ metrics_every_arg);
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:"Run the TCP serving front-end: the length-prefixed pipelined \
+               binary protocol on $(b,--port), optionally the \
+               memcached-text subset on $(b,--memcached-port); the store \
+               is in-memory ($(b,--shards) worker domains) or recovered \
+               from a durable $(b,--dir).  $(b,--duration) 0 serves until \
+               killed.  Exits 3 when the bind or recovery fails")
+      Term.(const serve $ port_arg $ mc_port_arg $ shards_arg $ dir_arg $ duration_arg $ workers_arg);
+    Cmd.v
+      (Cmd.info "loadgen"
+         ~doc:"Open-loop load generator with \
+               coordinated-omission-safe latency (measured from scheduled \
+               send times).  Default: a self-contained loopback acceptance \
+               matrix — binary and memcached, 1 and 4 shards — preloading \
+               the key universe and using ephemeral ports; $(b,--connect) \
+               $(i,HOST:PORT) drives an external server instead.  \
+               $(b,--json) $(i,DIR) writes BENCH_serve.json (schema 2).  \
+               Exits 1 when any request errored, 3 when a connection \
+               failed")
+      Term.(const loadgen_cmd $ connect_arg $ protocol_arg $ qps_arg $ lg_duration_arg $ conns_arg $ depth_arg $ read_fraction_arg $ lg_keys_arg $ lg_seed_arg $ arrival_arg $ json_dir_arg);
   ]
 
 let () =

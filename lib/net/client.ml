@@ -1,0 +1,118 @@
+type t = {
+  fd : Unix.file_descr;
+  dec : Frame.Decoder.t;
+  rbuf : Bytes.t;
+  ebuf : Buffer.t;
+  pending : (int, Frame.response) Hashtbl.t;
+      (* out-of-order responses stashed by [request] *)
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let addr = Unix.inet_addr_of_string host in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (Unix.ADDR_INET (addr, port));
+    Unix.setsockopt fd Unix.TCP_NODELAY true
+  with
+  | () ->
+      Ok
+        {
+          fd;
+          dec = Frame.Decoder.create ();
+          rbuf = Bytes.create 65536;
+          ebuf = Buffer.create 256;
+          pending = Hashtbl.create 8;
+          next_id = 1;
+          closed = false;
+        }
+  | exception Unix.Unix_error (err, fn, _) ->
+      (match Unix.close fd with
+      | () -> ()
+      | exception Unix.Unix_error (e2, _, _) -> ignore e2);
+      Error
+        (Printf.sprintf "connect %s:%d: %s (%s)" host port
+           (Unix.error_message err) fn)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match Unix.close t.fd with
+    | () -> ()
+    | exception Unix.Unix_error (err, _, _) -> ignore err
+  end
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n = Unix.write fd b off len in
+    write_all fd b (off + n) (len - n)
+  end
+
+let send t ~id req =
+  if t.closed then Error "connection closed"
+  else begin
+    Buffer.clear t.ebuf;
+    Frame.encode_request t.ebuf ~id req;
+    let s = Buffer.contents t.ebuf in
+    (* SAFETY: Bytes.unsafe_of_string aliases an immutable string that
+       write(2) only reads; the bytes are never mutated. *)
+    match write_all t.fd (Bytes.unsafe_of_string s) 0 (String.length s) with
+    | () -> Ok ()
+    | exception Unix.Unix_error (err, fn, _) ->
+        Error (Printf.sprintf "send: %s (%s)" (Unix.error_message err) fn)
+  end
+
+let poll t timeout_s =
+  if t.closed then false
+  else if Frame.Decoder.buffered t.dec > 0 then true
+  else
+    match Unix.select [ t.fd ] [] [] timeout_s with
+    | [], _, _ -> false
+    | _ :: _, _, _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    | exception Unix.Unix_error (err, _, _) ->
+        ignore err;
+        false
+
+let rec recv t =
+  if t.closed then Error "connection closed"
+  else
+    match Frame.Decoder.next t.dec with
+    | Frame.Corrupt msg -> Error (Printf.sprintf "corrupt frame: %s" msg)
+    | Frame.Frame (id, tag, payload) -> (
+        match Frame.parse_response ~tag payload with
+        | Ok resp -> Ok (id, resp)
+        | Error msg -> Error (Printf.sprintf "bad response: %s" msg))
+    | Frame.Need_more -> (
+        match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+        | 0 -> Error "connection closed by server"
+        | n ->
+            Frame.Decoder.feed t.dec t.rbuf 0 n;
+            recv t
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv t
+        | exception Unix.Unix_error (err, fn, _) ->
+            Error (Printf.sprintf "recv: %s (%s)" (Unix.error_message err) fn))
+
+let request t req =
+  let id = t.next_id in
+  t.next_id <- (if id >= 0x3FFFFFFF then 1 else id + 1);
+  match Hashtbl.find_opt t.pending id with
+  | Some resp ->
+      Hashtbl.remove t.pending id;
+      Ok resp
+  | None -> (
+      match send t ~id req with
+      | Error _ as e -> e
+      | Ok () ->
+          let rec await () =
+            match recv t with
+            | Error _ as e -> e
+            | Ok (rid, resp) ->
+                if rid = id then Ok resp
+                else begin
+                  Hashtbl.replace t.pending rid resp;
+                  await ()
+                end
+          in
+          await ())

@@ -1,0 +1,40 @@
+(** Blocking binary-protocol client over one TCP connection.
+
+    The minimal counterpart to {!Server}: encode with {!Frame}, write,
+    read, decode.  Two usage styles:
+
+    - {!request} — one synchronous round trip (tests, tooling).  It
+      assigns its own ids and keeps reading until the matching response
+      arrives (stashing any out-of-order responses for later {!recv}s).
+    - {!send} / {!recv} — explicit pipelining for the load generator:
+      queue many requests, then collect responses in whatever order the
+      server finishes them, correlating by id.
+
+    Not thread-safe; one client per thread. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> (t, string) result
+(** TCP connect (default host ["127.0.0.1"]); [TCP_NODELAY] is set so
+    pipelined small frames are not Nagle-delayed. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val send : t -> id:int -> Frame.request -> (unit, string) result
+(** Encode and write one request frame.  [Error] means the connection
+    is dead (peer closed or I/O error). *)
+
+val poll : t -> float -> bool
+(** [poll t timeout_s]: wait up to [timeout_s] seconds for response bytes
+    (buffered or readable on the socket).  [true] means a {!recv} will
+    (very likely) not block — the load generator uses this to observe
+    responses near their arrival time instead of when its pipeline window
+    fills. *)
+
+val recv : t -> (int * Frame.response, string) result
+(** Block for the next response frame, in server completion order.
+    [Error] on EOF, I/O failure or a corrupt frame. *)
+
+val request : t -> Frame.request -> (Frame.response, string) result
+(** One synchronous round trip with an auto-assigned id. *)

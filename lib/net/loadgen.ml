@@ -1,0 +1,476 @@
+module Ks = Workload.Keystream
+module Mt = Workload.Mt19937_64
+
+type protocol = Binary | Memcached
+type arrival = Poisson | Uniform
+
+type config = {
+  host : string;
+  port : int;
+  protocol : protocol;
+  connections : int;
+  depth : int;
+  target_qps : float;
+  duration_s : float;
+  arrival : arrival;
+  read_fraction : float;
+  n_keys : int;
+  seed : int64;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7791;
+    protocol = Binary;
+    connections = 4;
+    depth = 16;
+    target_qps = 20_000.0;
+    duration_s = 2.0;
+    arrival = Poisson;
+    read_fraction = 0.9;
+    n_keys = 10_000;
+    seed = 20190301L;
+  }
+
+type summary = {
+  s_protocol : protocol;
+  s_target_qps : float;
+  s_achieved_qps : float;
+  s_sent : int;
+  s_completed : int;
+  s_errors : int;
+  s_elapsed_s : float;
+  s_hist : Telemetry.Hist.t;
+}
+
+(* what one connection thread hands back *)
+type conn_out = {
+  co_hist : Telemetry.Hist.t;
+  co_sent : int;
+  co_completed : int;
+  co_errors : int;
+  co_elapsed_s : float;  (* first schedule tick to last drained response *)
+}
+
+let validate cfg =
+  if cfg.connections < 1 then Some "connections must be >= 1"
+  else if cfg.depth < 1 then Some "depth must be >= 1"
+  else if not (cfg.target_qps > 0.0) then Some "target_qps must be > 0"
+  else if not (cfg.duration_s > 0.0) then Some "duration_s must be > 0"
+  else if cfg.read_fraction < 0.0 || cfg.read_fraction > 1.0 then
+    Some "read_fraction must be in [0, 1]"
+  else if cfg.n_keys < 1 then Some "n_keys must be >= 1"
+  else None
+
+(* Distinct, deterministic per-connection generator streams. *)
+let conn_rng cfg ix = Mt.create (Int64.add cfg.seed (Int64.of_int (7919 * (ix + 1))))
+
+(* Exponential (Poisson process) or fixed inter-arrival gap, in ns. *)
+let next_gap cfg rng interval_ns =
+  match cfg.arrival with
+  | Uniform -> interval_ns
+  | Poisson ->
+      let u = Mt.next_float rng in
+      -.interval_ns *. log (1.0 -. u)
+
+(* Pace to the scheduled send time while opportunistically consuming
+   responses the moment they arrive ([poll]/[drain] supplied by the
+   protocol runner).  Two latency traps live here:
+
+   - observing responses only when the pipeline window fills would delay
+     every measurement by up to [depth * gap] — so the wait multiplexes
+     on the socket and drains eagerly;
+   - a bare [Unix.sleepf] overshoots by scheduler granularity (tens of
+     µs), which at millisecond gaps silently caps the send rate below
+     target — so the last stretch before the deadline yield-spins. *)
+let pace_until ~poll ~drain ~outstanding ~dead sched_ns =
+  let spin_ns = 300_000 in
+  let rec loop () =
+    if not !dead then begin
+      let now = Telemetry.now_ns () in
+      if now < sched_ns then begin
+        let gap = sched_ns - now in
+        let wait_s =
+          if gap > spin_ns then float_of_int (gap - 200_000) /. 1e9 else 0.0
+        in
+        if outstanding () > 0 && poll wait_s then drain ()
+        else if gap > spin_ns then Unix.sleepf wait_s
+        else Thread.yield ();
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* ---- binary-protocol connection -------------------------------------- *)
+
+let run_binary_conn cfg ks ix =
+  match Client.connect ~host:cfg.host ~port:cfg.port () with
+  | Error _ as e -> e
+  | Ok cl ->
+      let rng = conn_rng cfg ix in
+      let hist = Telemetry.Hist.create () in
+      let sched_of = Hashtbl.create (2 * cfg.depth) in
+      let sent = ref 0 and completed = ref 0 and errors = ref 0 in
+      let interval_ns = 1e9 *. float_of_int cfg.connections /. cfg.target_qps in
+      let dead = ref false in
+      let recv_one () =
+        match Client.recv cl with
+        | Error _ ->
+            incr errors;
+            dead := true
+        | Ok (id, resp) -> (
+            match Hashtbl.find_opt sched_of id with
+            | None -> incr errors
+            | Some s ->
+                Hashtbl.remove sched_of id;
+                incr completed;
+                (* coordinated-omission-safe: measured from the SCHEDULED
+                   send time, so server-induced pipeline stalls are charged
+                   to the server *)
+                Telemetry.Hist.observe hist (Telemetry.now_ns () - s);
+                (match resp with
+                | Frame.Err _ -> incr errors
+                | Frame.Ack | Frame.Value _ | Frame.Found _ | Frame.Applied _
+                | Frame.Stats_r _ | Frame.Health_r _ ->
+                    ()))
+      in
+      let t0 = Telemetry.now_ns () in
+      let t_end = t0 + int_of_float (cfg.duration_s *. 1e9) in
+      let sched = ref (float_of_int t0) in
+      let next_id = ref 1 in
+      while (not !dead) && Telemetry.now_ns () < t_end do
+        sched := !sched +. next_gap cfg rng interval_ns;
+        while (not !dead) && Hashtbl.length sched_of >= cfg.depth do
+          recv_one ()
+        done;
+        if not !dead then begin
+          let s_ns = int_of_float !sched in
+          pace_until
+            ~poll:(fun w -> Client.poll cl w)
+            ~drain:recv_one
+            ~outstanding:(fun () -> Hashtbl.length sched_of)
+            ~dead s_ns;
+          let key = Ks.sample ks rng in
+          let req =
+            if Mt.next_float rng < cfg.read_fraction then Frame.Get key
+            else Frame.Put (key, Int64.of_int (Mt.next_below rng 1_000_000))
+          in
+          let id = !next_id in
+          next_id := id + 1;
+          Hashtbl.replace sched_of id s_ns;
+          match Client.send cl ~id req with
+          | Ok () -> incr sent
+          | Error _ ->
+              Hashtbl.remove sched_of id;
+              incr errors;
+              dead := true
+        end
+      done;
+      while (not !dead) && Hashtbl.length sched_of > 0 do
+        recv_one ()
+      done;
+      Client.close cl;
+      Ok
+        {
+          co_hist = hist;
+          co_sent = !sent;
+          co_completed = !completed;
+          co_errors = !errors;
+          co_elapsed_s = float_of_int (Telemetry.now_ns () - t0) /. 1e9;
+        }
+
+(* ---- memcached-text connection --------------------------------------- *)
+
+(* The n-gram keys contain spaces and a tab; the memcached text protocol
+   is whitespace-delimited, so those bytes must not appear in a key. *)
+let memcached_key k =
+  String.map (fun c -> if c = ' ' || c = '\t' then '_' else c) k
+
+(* Minimal in-order pipelined memcached-text client: a FIFO of scheduled
+   send times paired with the expected reply shape. *)
+module Mc = struct
+  type t = {
+    fd : Unix.file_descr;
+    mutable buf : Bytes.t;
+    mutable len : int;
+    chunk : Bytes.t;
+  }
+
+  let connect ~host ~port =
+    let addr = Unix.inet_addr_of_string host in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      Unix.setsockopt fd Unix.TCP_NODELAY true
+    with
+    | () -> Ok { fd; buf = Bytes.create 8192; len = 0; chunk = Bytes.create 8192 }
+    | exception Unix.Unix_error (err, fn, _) ->
+        (match Unix.close fd with
+        | () -> ()
+        | exception Unix.Unix_error (e2, _, _) -> ignore e2);
+        Error
+          (Printf.sprintf "connect %s:%d: %s (%s)" host port
+             (Unix.error_message err) fn)
+
+    let close t =
+      match Unix.close t.fd with
+      | () -> ()
+      | exception Unix.Unix_error (err, _, _) -> ignore err
+
+  let rec write_all fd b off len =
+    if len > 0 then begin
+      let n = Unix.write fd b off len in
+      write_all fd b (off + n) (len - n)
+    end
+
+  let send t s =
+    (* SAFETY: Bytes.unsafe_of_string aliases an immutable string that
+       write(2) only reads; the bytes are never mutated. *)
+    match write_all t.fd (Bytes.unsafe_of_string s) 0 (String.length s) with
+    | () -> true
+    | exception Unix.Unix_error (err, _, _) ->
+        ignore err;
+        false
+
+  let refill t =
+    match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+    | 0 -> false
+    | n ->
+        if t.len + n > Bytes.length t.buf then begin
+          let nb = Bytes.create (max (t.len + n) (2 * Bytes.length t.buf)) in
+          Bytes.blit t.buf 0 nb 0 t.len;
+          t.buf <- nb
+        end;
+        Bytes.blit t.chunk 0 t.buf t.len n;
+        t.len <- t.len + n;
+        true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+    | exception Unix.Unix_error (err, _, _) ->
+        ignore err;
+        false
+
+  let consume t n =
+    Bytes.blit t.buf n t.buf 0 (t.len - n);
+    t.len <- t.len - n
+
+  let rec read_line t =
+    let nl = Bytes.index_opt (Bytes.sub t.buf 0 t.len) '\n' in
+    match nl with
+    | Some i ->
+        let stop = if i > 0 && Bytes.get t.buf (i - 1) = '\r' then i - 1 else i in
+        let line = Bytes.sub_string t.buf 0 stop in
+        consume t (i + 1);
+        Some line
+    | None -> if refill t then read_line t else None
+
+  let rec skip_data t n =
+    if t.len >= n + 1 then begin
+      let skip =
+        if
+          Bytes.get t.buf n = '\r' && t.len >= n + 2
+          && Bytes.get t.buf (n + 1) = '\n'
+        then n + 2
+        else if Bytes.get t.buf n = '\n' then n + 1
+        else n
+      in
+      consume t skip;
+      true
+    end
+    else if refill t then skip_data t n
+    else false
+
+  (* One reply for a pipelined [get]: VALUE blocks until END.  Returns
+     [None] on transport death, [Some ok] otherwise. *)
+  let read_get_reply t =
+    let rec loop () =
+      match read_line t with
+      | None -> None
+      | Some line ->
+          if line = "END" then Some true
+          else if String.length line >= 6 && String.sub line 0 6 = "VALUE " then
+            let words =
+              String.split_on_char ' ' line
+              |> List.filter (fun w -> w <> "")
+            in
+            match words with
+            | [ _value; _key; _flags; nbytes ] -> (
+                match int_of_string_opt nbytes with
+                | Some n when n >= 0 -> if skip_data t n then loop () else None
+                | Some _ | None -> Some false)
+            | _ -> Some false
+          else Some false
+    in
+    loop ()
+
+  let read_set_reply t =
+    match read_line t with
+    | None -> None
+    | Some "STORED" -> Some true
+    | Some _ -> Some false
+
+  let poll t timeout_s =
+    if t.len > 0 then true
+    else
+      match Unix.select [ t.fd ] [] [] timeout_s with
+      | [], _, _ -> false
+      | _ :: _, _, _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+      | exception Unix.Unix_error (err, _, _) ->
+          ignore err;
+          false
+end
+
+let run_mc_conn cfg ks ix =
+  match Mc.connect ~host:cfg.host ~port:cfg.port with
+  | Error _ as e -> e
+  | Ok mc ->
+      let rng = conn_rng cfg ix in
+      let hist = Telemetry.Hist.create () in
+      let window : (bool * int) Queue.t = Queue.create () in
+      (* (is_get, scheduled ns), reply order = send order *)
+      let sent = ref 0 and completed = ref 0 and errors = ref 0 in
+      let interval_ns = 1e9 *. float_of_int cfg.connections /. cfg.target_qps in
+      let dead = ref false in
+      let recv_one () =
+        match Queue.take_opt window with
+        | None -> ()
+        | Some (is_get, s) -> (
+            let reply =
+              if is_get then Mc.read_get_reply mc else Mc.read_set_reply mc
+            in
+            match reply with
+            | None ->
+                incr errors;
+                dead := true
+            | Some ok ->
+                incr completed;
+                Telemetry.Hist.observe hist (Telemetry.now_ns () - s);
+                if not ok then incr errors)
+      in
+      let t0 = Telemetry.now_ns () in
+      let t_end = t0 + int_of_float (cfg.duration_s *. 1e9) in
+      let sched = ref (float_of_int t0) in
+      while (not !dead) && Telemetry.now_ns () < t_end do
+        sched := !sched +. next_gap cfg rng interval_ns;
+        while (not !dead) && Queue.length window >= cfg.depth do
+          recv_one ()
+        done;
+        if not !dead then begin
+          let s_ns = int_of_float !sched in
+          pace_until
+            ~poll:(fun w -> Mc.poll mc w)
+            ~drain:recv_one
+            ~outstanding:(fun () -> Queue.length window)
+            ~dead s_ns;
+          let key = memcached_key (Ks.sample ks rng) in
+          let is_get = Mt.next_float rng < cfg.read_fraction in
+          let line =
+            if is_get then Printf.sprintf "get %s\r\n" key
+            else
+              let data = string_of_int (Mt.next_below rng 1_000_000) in
+              Printf.sprintf "set %s 0 0 %d\r\n%s\r\n" key
+                (String.length data) data
+          in
+          Queue.push (is_get, s_ns) window;
+          if Mc.send mc line then incr sent
+          else begin
+            ignore (Queue.take_opt window);
+            incr errors;
+            dead := true
+          end
+        end
+      done;
+      while (not !dead) && Queue.length window > 0 do
+        recv_one ()
+      done;
+      Mc.close mc;
+      Ok
+        {
+          co_hist = hist;
+          co_sent = !sent;
+          co_completed = !completed;
+          co_errors = !errors;
+          co_elapsed_s = float_of_int (Telemetry.now_ns () - t0) /. 1e9;
+        }
+
+(* ---- driver ----------------------------------------------------------- *)
+
+let run ?keystream cfg =
+  match validate cfg with
+  | Some m -> Error m
+  | None ->
+      let ks =
+        match keystream with
+        | Some ks -> ks
+        | None -> Ks.create ~seed:cfg.seed ~n:cfg.n_keys ()
+      in
+      let body =
+        match cfg.protocol with
+        | Binary -> run_binary_conn cfg ks
+        | Memcached -> run_mc_conn cfg ks
+      in
+      let results = Array.make cfg.connections (Error "connection not run") in
+      let threads =
+        Array.init cfg.connections (fun ix ->
+            Thread.create (fun () -> results.(ix) <- body ix) ())
+      in
+      Array.iter Thread.join threads;
+      (* active serving time: the slowest connection's schedule-to-drain
+         span (connect/teardown overhead would deflate achieved QPS) *)
+      let elapsed_s =
+        Array.fold_left
+          (fun acc r ->
+            match r with Ok co -> Float.max acc co.co_elapsed_s | Error _ -> acc)
+          0.0 results
+      in
+      let failure =
+        Array.fold_left
+          (fun acc r ->
+            match (acc, r) with
+            | Some _, _ -> acc
+            | None, Error m -> Some m
+            | None, Ok _ -> None)
+          None results
+      in
+      match failure with
+      | Some m -> Error m
+      | None ->
+          let hist = Telemetry.Hist.create () in
+          let sent = ref 0 and completed = ref 0 and errors = ref 0 in
+          Array.iter
+            (fun r ->
+              match r with
+              | Error _ -> ()
+              | Ok co ->
+                  Telemetry.Hist.merge_into ~dst:hist co.co_hist;
+                  sent := !sent + co.co_sent;
+                  completed := !completed + co.co_completed;
+                  errors := !errors + co.co_errors)
+            results;
+          Ok
+            {
+              s_protocol = cfg.protocol;
+              s_target_qps = cfg.target_qps;
+              s_achieved_qps =
+                (if elapsed_s > 0.0 then float_of_int !completed /. elapsed_s
+                 else 0.0);
+              s_sent = !sent;
+              s_completed = !completed;
+              s_errors = !errors;
+              s_elapsed_s = elapsed_s;
+              s_hist = hist;
+            }
+
+let latency_of_summary ~metric s =
+  let h = s.s_hist in
+  {
+    Bench_util.Json_out.metric;
+    count = Telemetry.Hist.count h;
+    p50_ns = Telemetry.Hist.quantile h 0.5;
+    p90_ns = Telemetry.Hist.quantile h 0.9;
+    p99_ns = Telemetry.Hist.quantile h 0.99;
+    p999_ns = Telemetry.Hist.quantile h 0.999;
+    mean_ns = Telemetry.Hist.mean h;
+  }

@@ -1,0 +1,76 @@
+(** Open-loop load generator for the hyperion.net server.
+
+    Drives a running server (binary protocol or memcached-text) from
+    [connections] client threads, each following an {e open-loop} arrival
+    schedule at [target_qps / connections] requests per second: send
+    times are scheduled ahead of time (exponential inter-arrivals for
+    {!Poisson}, fixed for {!Uniform}) and the schedule {e never skips}.
+    When the server falls behind, the bounded pipelining window ([depth]
+    outstanding requests per connection) makes the sender wait — but each
+    request's latency is still measured from its {e scheduled} send time,
+    so queueing delay the server caused is charged to the server.  This
+    is the standard defence against coordinated omission: a closed-loop
+    harness that only timestamps actual sends silently excuses every
+    stall it was blocked by.
+
+    Keys are drawn Zipf-popularity-skewed from a {!Workload.Keystream}
+    (rank 0 hottest), reads and writes mixed by [read_fraction], all
+    reproducible from [seed].  Latencies accumulate into per-connection
+    {!Telemetry.Hist} histograms merged at the end — no shared cells on
+    the measurement path. *)
+
+type protocol = Binary | Memcached
+
+type arrival = Poisson | Uniform
+
+type config = {
+  host : string;
+  port : int;
+  protocol : protocol;
+  connections : int;  (** client threads, each with its own socket *)
+  depth : int;  (** max outstanding requests per connection *)
+  target_qps : float;  (** aggregate, split evenly across connections *)
+  duration_s : float;
+  arrival : arrival;
+  read_fraction : float;  (** in [0, 1]: Get (binary) / get (memcached) *)
+  n_keys : int;  (** keystream universe when none is supplied *)
+  seed : int64;
+}
+
+val default_config : config
+(** localhost binary, 4 connections, depth 16, 20k QPS, 2 s, Poisson,
+    90% reads, 10k keys, seed 20190301. *)
+
+type summary = {
+  s_protocol : protocol;
+  s_target_qps : float;
+  s_achieved_qps : float;  (** completed / elapsed *)
+  s_sent : int;
+  s_completed : int;
+  s_errors : int;
+      (** error responses + transport/decode failures; a clean run
+          reports [0] *)
+  s_elapsed_s : float;
+  s_hist : Telemetry.Hist.t;
+      (** scheduled-send-to-response latency, all connections merged *)
+}
+
+val memcached_key : string -> string
+(** The key transform applied in {!Memcached} mode: n-gram keys contain
+    spaces and a tab, which the whitespace-delimited text protocol cannot
+    carry, so they are mapped to ['_'].  Loopback harnesses preloading
+    the store must apply the same transform. *)
+
+val validate : config -> string option
+(** [Some reason] when the config is out of bounds (callers that need to
+    distinguish bad arguments from connection failures check first;
+    {!run} also checks). *)
+
+val run : ?keystream:Workload.Keystream.t -> config -> (summary, string) result
+(** Execute one run.  [Error] only for setup failures (bad config, cannot
+    connect); per-request failures are counted in [s_errors].  Supplying
+    [keystream] skips corpus construction and overrides [n_keys]. *)
+
+val latency_of_summary : metric:string -> summary -> Bench_util.Json_out.latency
+(** The merged histogram as a BENCH-file latency record (p50/p90/p99/p999
+    within the histogram's 3.125% bucket error, exact mean). *)

@@ -1,0 +1,744 @@
+(* TCP serving front-end: acceptor + per-connection reader/workers/writer
+   multiplexing pipelined binary frames onto the shard mailboxes, plus an
+   optional memcached-text listener.  See server.mli and DESIGN.md §13. *)
+
+module Sh = Hyperion_shard
+module E = Hyperion.Hyperion_error
+
+type config = {
+  host : string;
+  port : int;
+  memcached_port : int option;
+  workers_per_conn : int;
+  max_connections : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7791;
+    memcached_port = None;
+    workers_per_conn = 4;
+    max_connections = 1024;
+  }
+
+(* ---- telemetry ------------------------------------------------------- *)
+
+let g_conns =
+  Telemetry.Gauge.make "hyperion_net_connections"
+    ~help:"Open client connections (binary + memcached listeners)"
+
+let g_inflight =
+  Telemetry.Gauge.make "hyperion_net_inflight"
+    ~help:"Requests queued to or executing on connection op workers"
+
+let c_proto_errors =
+  Telemetry.Counter.make "hyperion_net_protocol_errors_total"
+    ~help:"Malformed frames, unknown opcodes and framing corruption"
+
+let op_names =
+  [| "put"; "add"; "get"; "mem"; "delete"; "batch"; "stats"; "health" |]
+
+let c_requests =
+  Array.map
+    (fun op ->
+      Telemetry.Counter.make "hyperion_net_requests_total"
+        ~help:"Requests received per opcode" ~labels:[ ("op", op) ])
+    op_names
+
+let h_latency =
+  Array.map
+    (fun op ->
+      Telemetry.Histogram.make "hyperion_net_server_latency_ns"
+        ~help:"Server-side latency from frame decode to response enqueue"
+        ~labels:[ ("op", op) ])
+    op_names
+
+(* opcode (1-based on the wire) -> metric index *)
+let metric_ix req = Frame.opcode req - 1
+
+let inflight = Atomic.make 0
+
+let inflight_add d =
+  let v = Atomic.fetch_and_add inflight d + d in
+  if Telemetry.enabled () then Telemetry.Gauge.set g_inflight v
+
+(* ---- blocking queue -------------------------------------------------- *)
+
+module Bq = struct
+  type 'a t = {
+    m : Mutex.t;
+    c : Condition.t;
+    q : 'a Queue.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    { m = Mutex.create (); c = Condition.create (); q = Queue.create ();
+      closed = false }
+
+  let push t v =
+    Mutex.lock t.m;
+    let accepted = not t.closed in
+    if accepted then begin
+      Queue.push v t.q;
+      Condition.signal t.c
+    end;
+    Mutex.unlock t.m;
+    accepted
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  (* Blocks until an element is available or the queue is closed and
+     drained; [None] means no element will ever come. *)
+  let pop t =
+    Mutex.lock t.m;
+    let rec wait () =
+      match Queue.take_opt t.q with
+      | Some v ->
+          Mutex.unlock t.m;
+          Some v
+      | None ->
+          if t.closed then begin
+            Mutex.unlock t.m;
+            None
+          end
+          else begin
+            Condition.wait t.c t.m;
+            wait ()
+          end
+    in
+    wait ()
+end
+
+(* ---- sockets --------------------------------------------------------- *)
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n = Unix.write fd b off len in
+    write_all fd b (off + n) (len - n)
+  end
+
+let quiet_close fd =
+  match Unix.close fd with
+  | () -> ()
+  | exception Unix.Unix_error (err, _, _) -> ignore err
+
+let quiet_shutdown fd =
+  match Unix.shutdown fd Unix.SHUTDOWN_ALL with
+  | () -> ()
+  | exception Unix.Unix_error (err, _, _) -> ignore err
+
+(* ---- request execution ----------------------------------------------- *)
+
+let of_result = function
+  | Ok () -> Frame.Ack
+  | Error e -> Frame.Err (Frame.err_of_hyperion e, E.to_string e)
+
+let bad_key k =
+  if k = "" then Some (Frame.Err (Frame.E_empty_key, "empty key"))
+  else if String.length k > Frame.max_key_len then
+    Some
+      (Frame.Err
+         ( Frame.E_key_too_long,
+           Printf.sprintf "key length %d exceeds %d" (String.length k)
+             Frame.max_key_len ))
+  else None
+
+let exec store (req : Frame.request) : Frame.response =
+  match req with
+  | Put (k, v) -> (
+      match bad_key k with
+      | Some e -> e
+      | None -> of_result (Sh.put_result store k v))
+  | Add k -> (
+      match bad_key k with
+      | Some e -> e
+      | None -> of_result (Sh.add_result store k))
+  | Delete k -> (
+      match bad_key k with
+      | Some e -> e
+      | None -> (
+          match Sh.delete_result store k with
+          | Ok existed -> Frame.Found existed
+          | Error e -> Frame.Err (Frame.err_of_hyperion e, E.to_string e)))
+  | Get k -> (
+      match bad_key k with
+      | Some e -> e
+      | None -> Frame.Value (Sh.get store k))
+  | Mem k -> (
+      match bad_key k with
+      | Some e -> e
+      | None -> Frame.Found (Sh.mem store k))
+  | Batch ops -> (
+      let bad =
+        Array.fold_left
+          (fun acc op ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                match op with
+                | Frame.Bput (k, _) | Frame.Badd k | Frame.Bdel k -> bad_key k))
+          None ops
+      in
+      match bad with
+      | Some e -> e
+      | None ->
+          let b = Sh.Batch.create store in
+          Array.iter
+            (fun op ->
+              match op with
+              | Frame.Bput (k, v) -> Sh.Batch.put b k v
+              | Frame.Badd k -> Sh.Batch.add b k
+              | Frame.Bdel k -> Sh.Batch.delete b k)
+            ops;
+          (match Sh.Batch.flush b with
+          | Ok n -> Frame.Applied n
+          | Error e -> Frame.Err (Frame.err_of_hyperion e, E.to_string e)))
+  | Stats ->
+      let keys, bytes, saturated =
+        Sh.with_quiesced store (fun stores ->
+            Array.fold_left
+              (fun (k, b, s) st ->
+                ( k + Hyperion.Store.length st,
+                  b + Hyperion.Store.memory_usage st,
+                  s + Hyperion.Store.saturated_arenas st ))
+              (0, 0, 0) stores)
+      in
+      Frame.Stats_r
+        {
+          st_keys = Int64.of_int keys;
+          st_resident_bytes = Int64.of_int bytes;
+          st_shards = Sh.shards store;
+          st_saturated_arenas = saturated;
+        }
+  | Health ->
+      Frame.Health_r
+        (Array.of_list
+           (List.map
+              (fun h ->
+                {
+                  Frame.sh_shard = h.Sh.hs_shard;
+                  sh_alive = h.Sh.hs_alive;
+                  sh_degraded = h.Sh.hs_degraded <> None;
+                  sh_backlog = h.Sh.hs_backlog;
+                })
+              (Sh.health store)))
+
+let exec_safe store req =
+  match exec store req with
+  | resp -> resp
+  | exception E.Error e ->
+      Frame.Err (Frame.err_of_hyperion e, E.to_string e)
+  | exception Invalid_argument msg -> Frame.Err (Frame.E_bad_request, msg)
+  | exception exn -> Frame.Err (Frame.E_internal, Printexc.to_string exn)
+
+(* ---- connections ----------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  work : (int * int * Frame.request) Bq.t;  (* id, t0_ns, request *)
+  out : string Bq.t;  (* encoded response frames *)
+  wm : Mutex.t;
+  mutable live_workers : int;
+}
+
+type t = {
+  store : Sh.t;
+  cfg : config;
+  bin_sock : Unix.file_descr;
+  bin_port : int;
+  mc_sock : Unix.file_descr option;
+  mc_port : int option;
+  sm : Mutex.t;
+  conns : (int, conn * Thread.t list) Hashtbl.t;
+  mutable next_conn : int;
+  mutable stopping : bool;
+  mutable acceptors : Thread.t list;
+}
+
+let set_conn_gauge t =
+  if Telemetry.enabled () then
+    Telemetry.Gauge.set g_conns (Hashtbl.length t.conns)
+
+let respond conn ~id resp =
+  let b = Buffer.create 64 in
+  Frame.encode_response b ~id resp;
+  ignore (Bq.push conn.out (Buffer.contents b))
+
+let observe_latency req t0 =
+  if Telemetry.enabled () && t0 >= 0 then
+    Telemetry.Histogram.observe_ns
+      h_latency.(metric_ix req)
+      (Telemetry.now_ns () - t0)
+
+let count_request req =
+  if Telemetry.enabled () then Telemetry.Counter.incr c_requests.(metric_ix req)
+
+let count_proto_error () =
+  if Telemetry.enabled () then Telemetry.Counter.incr c_proto_errors
+
+(* Op worker: drain the connection's work queue through the store. *)
+let worker_loop t conn =
+  let rec loop () =
+    match Bq.pop conn.work with
+    | None -> ()
+    | Some (id, t0, req) ->
+        let resp = exec_safe t.store req in
+        observe_latency req t0;
+        respond conn ~id resp;
+        inflight_add (-1);
+        loop ()
+  in
+  loop ();
+  (* the last worker out seals the response queue so the writer can
+     finish its drain and close the socket *)
+  Mutex.lock conn.wm;
+  conn.live_workers <- conn.live_workers - 1;
+  let last = conn.live_workers = 0 in
+  Mutex.unlock conn.wm;
+  if last then Bq.close conn.out
+
+let writer_loop conn =
+  let rec loop () =
+    match Bq.pop conn.out with
+    | None -> ()
+    | Some frame ->
+        (* SAFETY: Bytes.unsafe_of_string aliases an immutable string that
+           write(2) only reads; the bytes are never mutated. *)
+        (match write_all conn.fd (Bytes.unsafe_of_string frame) 0
+                 (String.length frame)
+         with
+        | () -> ()
+        | exception Unix.Unix_error (err, _, _) ->
+            (* peer gone: discard the rest of the queue but keep popping so
+               workers never block on a full ... (queue is unbounded; this
+               just drains promptly) *)
+            ignore err);
+        loop ()
+  in
+  loop ();
+  quiet_close conn.fd
+
+let reader_loop t conn =
+  let buf = Bytes.create 65536 in
+  let dec = Frame.Decoder.create () in
+  let stop = ref false in
+  let handle_frame id tag payload =
+    match Frame.parse_request ~tag payload with
+    | Error msg ->
+        count_proto_error ();
+        respond conn ~id (Frame.Err (Frame.E_bad_request, msg))
+    | Ok req -> (
+        count_request req;
+        let t0 = if Telemetry.enabled () then Telemetry.now_ns () else -1 in
+        match req with
+        | Frame.Get _ | Frame.Mem _ ->
+            (* lock-free reads never touch a mailbox: serve them on the
+               reader so they overtake queued mutations (pipelining) *)
+            let resp = exec_safe t.store req in
+            observe_latency req t0;
+            respond conn ~id resp
+        | _ ->
+            inflight_add 1;
+            if not (Bq.push conn.work (id, t0, req)) then inflight_add (-1))
+  in
+  let drain_frames () =
+    let continue = ref true in
+    while !continue do
+      match Frame.Decoder.next dec with
+      | Frame.Frame (id, tag, payload) -> handle_frame id tag payload
+      | Frame.Need_more -> continue := false
+      | Frame.Corrupt msg ->
+          count_proto_error ();
+          respond conn ~id:0 (Frame.Err (Frame.E_too_large, msg));
+          stop := true;
+          continue := false
+    done
+  in
+  while not !stop do
+    match Unix.read conn.fd buf 0 (Bytes.length buf) with
+    | 0 -> stop := true
+    | n ->
+        Frame.Decoder.feed dec buf 0 n;
+        drain_frames ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (err, _, _) ->
+        ignore err;
+        stop := true
+  done;
+  Bq.close conn.work
+
+let finish_conn t cid =
+  Mutex.lock t.sm;
+  Hashtbl.remove t.conns cid;
+  set_conn_gauge t;
+  Mutex.unlock t.sm
+
+(* ---- memcached-text listener ----------------------------------------- *)
+
+(* Line-oriented reader with an explicit byte accumulator: memcached
+   frames are CRLF lines except the [set] data block, which is an exact
+   byte count. *)
+module Mc = struct
+  type r = {
+    fd : Unix.file_descr;
+    mutable buf : Bytes.t;
+    mutable len : int;
+    chunk : Bytes.t;
+  }
+
+  let make fd = { fd; buf = Bytes.create 4096; len = 0; chunk = Bytes.create 4096 }
+
+  let refill r =
+    match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+    | 0 -> false
+    | n ->
+        if r.len + n > Bytes.length r.buf then begin
+          let nb = Bytes.create (max (r.len + n) (2 * Bytes.length r.buf)) in
+          Bytes.blit r.buf 0 nb 0 r.len;
+          r.buf <- nb
+        end;
+        Bytes.blit r.chunk 0 r.buf r.len n;
+        r.len <- r.len + n;
+        true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+    | exception Unix.Unix_error (err, _, _) ->
+        ignore err;
+        false
+
+  let consume r n =
+    Bytes.blit r.buf n r.buf 0 (r.len - n);
+    r.len <- r.len - n
+
+  (* One text line without its terminator; tolerates bare LF. *)
+  let rec read_line r =
+    let nl = Bytes.index_opt (Bytes.sub r.buf 0 r.len) '\n' in
+    match nl with
+    | Some i ->
+        let stop = if i > 0 && Bytes.get r.buf (i - 1) = '\r' then i - 1 else i in
+        let line = Bytes.sub_string r.buf 0 stop in
+        consume r (i + 1);
+        Some line
+    | None -> if refill r then read_line r else None
+
+  (* Exactly [n] data bytes followed by (CR)LF. *)
+  let rec read_data r n =
+    if r.len >= n + 1 then begin
+      let data = Bytes.sub_string r.buf 0 n in
+      let skip =
+        if Bytes.get r.buf n = '\r' && r.len >= n + 2
+           && Bytes.get r.buf (n + 1) = '\n'
+        then n + 2
+        else if Bytes.get r.buf n = '\n' then n + 1
+        else n
+      in
+      consume r skip;
+      Some data
+    end
+    else if refill r then read_data r n
+    else None
+end
+
+let mc_send fd s =
+  (* SAFETY: Bytes.unsafe_of_string aliases an immutable string that
+     write(2) only reads; the bytes are never mutated. *)
+  match write_all fd (Bytes.unsafe_of_string s) 0 (String.length s) with
+  | () -> ()
+  | exception Unix.Unix_error (err, _, _) -> ignore err
+
+let mc_error_reply e =
+  Printf.sprintf "SERVER_ERROR %s\r\n" (E.to_string e)
+
+let mc_loop t fd =
+  let r = Mc.make fd in
+  let reply = Buffer.create 256 in
+  let running = ref true in
+  while !running do
+    Buffer.clear reply;
+    match Mc.read_line r with
+    | None -> running := false
+    | Some line -> (
+        let words =
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun w -> w <> "")
+        in
+        match words with
+        | [] -> ()
+        | "get" :: keys when keys <> [] ->
+            List.iter
+              (fun k ->
+                if k <> "" && String.length k <= Frame.max_key_len then
+                  match Sh.get t.store k with
+                  | Some v ->
+                      let data = Int64.to_string v in
+                      Buffer.add_string reply
+                        (Printf.sprintf "VALUE %s 0 %d\r\n%s\r\n" k
+                           (String.length data) data)
+                  | None ->
+                      if Sh.mem t.store k then
+                        Buffer.add_string reply
+                          (Printf.sprintf "VALUE %s 0 0\r\n\r\n" k))
+              keys;
+            Buffer.add_string reply "END\r\n";
+            mc_send fd (Buffer.contents reply)
+        | "set" :: k :: _flags :: _exptime :: nbytes :: rest -> (
+            let noreply = rest = [ "noreply" ] in
+            let say s = if not noreply then mc_send fd s in
+            match int_of_string_opt nbytes with
+            | None -> say "CLIENT_ERROR bad data chunk\r\n"
+            | Some n when n < 0 || n > Frame.max_frame_len ->
+                say "CLIENT_ERROR bad data chunk\r\n"
+            | Some n -> (
+                match Mc.read_data r n with
+                | None -> running := false
+                | Some data ->
+                    if k = "" || String.length k > Frame.max_key_len then
+                      say "CLIENT_ERROR bad key\r\n"
+                    else if data = "" then (
+                      match Sh.add_result t.store k with
+                      | Ok () -> say "STORED\r\n"
+                      | Error e -> say (mc_error_reply e))
+                    else (
+                      match Int64.of_string_opt (String.trim data) with
+                      | None ->
+                          say
+                            "CLIENT_ERROR value must be a decimal 64-bit \
+                             integer\r\n"
+                      | Some v -> (
+                          match Sh.put_result t.store k v with
+                          | Ok () -> say "STORED\r\n"
+                          | Error e -> say (mc_error_reply e)))))
+        | "delete" :: k :: rest when rest = [] || rest = [ "noreply" ] -> (
+            let say s = if rest = [] then mc_send fd s in
+            if k = "" || String.length k > Frame.max_key_len then
+              say "NOT_FOUND\r\n"
+            else
+              match Sh.delete_result t.store k with
+              | Ok true -> say "DELETED\r\n"
+              | Ok false -> say "NOT_FOUND\r\n"
+              | Error e -> say (mc_error_reply e))
+        | [ "stats" ] ->
+            let keys, bytes =
+              Sh.with_quiesced t.store (fun stores ->
+                  Array.fold_left
+                    (fun (k, b) st ->
+                      ( k + Hyperion.Store.length st,
+                        b + Hyperion.Store.memory_usage st ))
+                    (0, 0) stores)
+            in
+            Buffer.add_string reply
+              (Printf.sprintf "STAT curr_items %d\r\n" keys);
+            Buffer.add_string reply (Printf.sprintf "STAT bytes %d\r\n" bytes);
+            Buffer.add_string reply
+              (Printf.sprintf "STAT threads %d\r\n" (Sh.shards t.store));
+            Buffer.add_string reply
+              (Printf.sprintf "STAT curr_connections %d\r\n"
+                 (Mutex.lock t.sm;
+                  let n = Hashtbl.length t.conns in
+                  Mutex.unlock t.sm;
+                  n));
+            Buffer.add_string reply "END\r\n";
+            mc_send fd (Buffer.contents reply)
+        | [ "version" ] -> mc_send fd "VERSION hyperion-net 1.0\r\n"
+        | [ "quit" ] -> running := false
+        | _ -> mc_send fd "ERROR\r\n")
+  done;
+  quiet_close fd
+
+(* ---- accept / lifecycle ---------------------------------------------- *)
+
+let spawn_binary_conn t fd =
+  Mutex.lock t.sm;
+  if t.stopping || Hashtbl.length t.conns >= t.cfg.max_connections then begin
+    Mutex.unlock t.sm;
+    quiet_close fd
+  end
+  else begin
+    let cid = t.next_conn in
+    t.next_conn <- cid + 1;
+    let conn =
+      {
+        fd;
+        work = Bq.create ();
+        out = Bq.create ();
+        wm = Mutex.create ();
+        live_workers = max 1 t.cfg.workers_per_conn;
+      }
+    in
+    let workers =
+      List.init conn.live_workers (fun _ ->
+          Thread.create (fun () -> worker_loop t conn) ())
+    in
+    let writer = Thread.create (fun () -> writer_loop conn) () in
+    let reader =
+      Thread.create
+        (fun () ->
+          reader_loop t conn;
+          (* reader closed the work queue; workers drain then seal [out];
+             writer flushes and closes the fd.  Join them so the conn's
+             registry entry outlives all its threads. *)
+          List.iter Thread.join workers;
+          Thread.join writer;
+          finish_conn t cid)
+        ()
+    in
+    Hashtbl.replace t.conns cid (conn, reader :: writer :: workers);
+    set_conn_gauge t;
+    Mutex.unlock t.sm
+  end
+
+let spawn_mc_conn t fd =
+  Mutex.lock t.sm;
+  if t.stopping || Hashtbl.length t.conns >= t.cfg.max_connections then begin
+    Mutex.unlock t.sm;
+    quiet_close fd
+  end
+  else begin
+    let cid = t.next_conn in
+    t.next_conn <- cid + 1;
+    let conn =
+      { fd; work = Bq.create (); out = Bq.create (); wm = Mutex.create ();
+        live_workers = 0 }
+    in
+    let th =
+      Thread.create
+        (fun () ->
+          mc_loop t fd;
+          finish_conn t cid)
+        ()
+    in
+    Hashtbl.replace t.conns cid (conn, [ th ]);
+    set_conn_gauge t;
+    Mutex.unlock t.sm
+  end
+
+let acceptor_loop t sock spawn =
+  let running = ref true in
+  while !running do
+    match Unix.accept ~cloexec:true sock with
+    | fd, _ -> spawn t fd
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (err, _, _) ->
+        (* the listener was closed by [stop] (EBADF/EINVAL) or is beyond
+           recovery; either way the accept loop is done *)
+        ignore err;
+        running := false
+  done
+
+let listen_on ~host ~port =
+  let addr = Unix.inet_addr_of_string host in
+  let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (addr, port));
+    Unix.listen sock 128;
+    Unix.getsockname sock
+  with
+  | Unix.ADDR_INET (_, bound) -> Ok (sock, bound)
+  | Unix.ADDR_UNIX _ ->
+      quiet_close sock;
+      Error "unexpected unix-domain listener"
+  | exception Unix.Unix_error (err, fn, _) ->
+      quiet_close sock;
+      Error
+        (Printf.sprintf "cannot listen on %s:%d: %s (%s)" host port
+           (Unix.error_message err) fn)
+
+let start ?(config = default_config) store =
+  if config.workers_per_conn < 1 || config.workers_per_conn > 64 then
+    Error "workers_per_conn must be in [1, 64]"
+  else if config.max_connections < 1 then Error "max_connections must be >= 1"
+  else begin
+    (* a peer that disappears mid-write must surface as EPIPE, not kill
+       the process *)
+    (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+    | _old -> ()
+    | exception Invalid_argument msg -> ignore msg);
+    match listen_on ~host:config.host ~port:config.port with
+    | Error _ as e -> e
+    | Ok (bin_sock, bin_port) -> (
+        let mc =
+          match config.memcached_port with
+          | None -> Ok None
+          | Some p -> (
+              match listen_on ~host:config.host ~port:p with
+              | Ok (s, bound) -> Ok (Some (s, bound))
+              | Error _ as e ->
+                  quiet_close bin_sock;
+                  (match e with Error m -> Error m | Ok _ -> Error "unreachable"))
+        in
+        match mc with
+        | Error m -> Error m
+        | Ok mc ->
+            let t =
+              {
+                store;
+                cfg = config;
+                bin_sock;
+                bin_port;
+                mc_sock = Option.map fst mc;
+                mc_port = Option.map snd mc;
+                sm = Mutex.create ();
+                conns = Hashtbl.create 64;
+                next_conn = 0;
+                stopping = false;
+                acceptors = [];
+              }
+            in
+            let acc =
+              Thread.create
+                (fun () -> acceptor_loop t bin_sock spawn_binary_conn)
+                ()
+            in
+            let accs =
+              match t.mc_sock with
+              | None -> [ acc ]
+              | Some s ->
+                  let a =
+                    Thread.create (fun () -> acceptor_loop t s spawn_mc_conn) ()
+                  in
+                  [ acc; a ]
+            in
+            t.acceptors <- accs;
+            Ok t)
+  end
+
+let port t = t.bin_port
+let memcached_port t = t.mc_port
+
+let connections t =
+  Mutex.lock t.sm;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.sm;
+  n
+
+let stop t =
+  Mutex.lock t.sm;
+  let already = t.stopping in
+  t.stopping <- true;
+  let conn_threads =
+    Hashtbl.fold (fun _ (conn, ths) acc -> (conn, ths) :: acc) t.conns []
+  in
+  Mutex.unlock t.sm;
+  if not already then begin
+    (* shutdown() first: on Linux, close() alone does not wake a thread
+       blocked in accept(2), shutdown does (the accept fails) *)
+    quiet_shutdown t.bin_sock;
+    quiet_close t.bin_sock;
+    (match t.mc_sock with
+    | Some s ->
+        quiet_shutdown s;
+        quiet_close s
+    | None -> ());
+    List.iter Thread.join t.acceptors;
+    (* shut connections down: readers see EOF, pipelines drain, writers
+       flush and close *)
+    List.iter (fun (conn, _) -> quiet_shutdown conn.fd) conn_threads;
+    List.iter (fun (_, ths) -> List.iter Thread.join ths) conn_threads;
+    if Telemetry.enabled () then Telemetry.Gauge.set g_conns 0
+  end

@@ -1,0 +1,57 @@
+(** hyperion.net — the TCP serving front-end over {!Hyperion_shard}.
+
+    One acceptor thread per listening socket; each accepted connection
+    gets a {e reader} thread (frame parsing + lock-free [Get]/[Mem]
+    served inline), a small pool of {e op worker} threads (blocking
+    mutations, [Batch], [Stats], [Health] — each op rides the shard
+    mailboxes and completes an ivar ack), and a {e writer} thread
+    draining a response queue.  Responses therefore leave in completion
+    order, not arrival order: pipelined clients correlate by request id
+    (see {!Frame}).  Typed store failures ({!Hyperion.Hyperion_error.t},
+    including [Degraded]/[Shard_down]/[Overloaded]) map to protocol
+    error codes; a malformed frame is answered [E_bad_request] without
+    closing the connection, while an unrecoverable framing error
+    (oversized length prefix) closes it.
+
+    An optional second listener speaks a memcached-text subset
+    ([get]/[set]/[delete]/[stats]/[version]/[quit]) so off-the-shelf
+    clients can talk to the store: values are decimal 64-bit integers
+    (an empty data block stores a valueless member), responses are
+    in-order as that protocol requires.
+
+    Telemetry (when enabled): [hyperion_net_connections] /
+    [hyperion_net_inflight] gauges, [hyperion_net_requests_total]
+    counters per op, [hyperion_net_protocol_errors_total], and
+    [hyperion_net_server_latency_ns{op=...}] histograms measured from
+    frame decode to response enqueue. *)
+
+type t
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** binary listener; [0] picks an ephemeral port *)
+  memcached_port : int option;
+      (** when set, also serve the memcached-text subset there
+          ([Some 0] = ephemeral) *)
+  workers_per_conn : int;  (** op worker threads per connection (default 4) *)
+  max_connections : int;  (** accepted connections beyond this are closed *)
+}
+
+val default_config : config
+
+val start : ?config:config -> Hyperion_shard.t -> (t, string) result
+(** Bind, listen and spawn the acceptor(s).  The server borrows the store:
+    {!stop} does not close it. *)
+
+val port : t -> int
+(** The bound binary port (resolves an ephemeral request). *)
+
+val memcached_port : t -> int option
+
+val connections : t -> int
+(** Currently-open connections across both listeners. *)
+
+val stop : t -> unit
+(** Close the listeners and every connection, then join all threads.
+    In-flight operations finish (their responses are discarded if the
+    peer is already gone).  Idempotent. *)

@@ -91,6 +91,10 @@ module Hist = struct
       go 0 0
     end
 
+  let mean (t : t) =
+    let n = count t in
+    if n = 0 then 0.0 else float_of_int (sum t) /. float_of_int n
+
   let merge_into ~dst (src : t) =
     for i = 0 to cells - 1 do
       dst.(i) <- dst.(i) + src.(i)

@@ -64,6 +64,10 @@ module Hist : sig
   (** [quantile t q] for [q] in [(0, 1]]: the representative value of the
       bucket holding the nearest-rank [q]-quantile; [0.] when empty. *)
 
+  val mean : t -> float
+  (** Exact mean of the raw observed values ([sum/count], not
+      bucket-quantized); [0.] when empty. *)
+
   val merge_into : dst:t -> t -> unit
   (** Add every cell of the source into [dst]; merging then extracting a
       quantile is exactly the quantile of the concatenated observations

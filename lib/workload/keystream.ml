@@ -1,0 +1,101 @@
+(* English letter frequencies (per mille), used to draw word characters so
+   that byte distributions are skewed like natural text.  Moved here from
+   ngram.ml so the corpus generator and the popularity stream share one
+   vocabulary model. *)
+let letter_weights =
+  [| ('e', 127); ('t', 91); ('a', 82); ('o', 75); ('i', 70); ('n', 67);
+     ('s', 63); ('h', 61); ('r', 60); ('d', 43); ('l', 40); ('c', 28);
+     ('u', 28); ('m', 24); ('w', 24); ('f', 22); ('g', 20); ('y', 20);
+     ('p', 19); ('b', 15); ('v', 10); ('k', 8); ('j', 2); ('x', 2);
+     ('q', 1); ('z', 1) |]
+
+let letter_cdf =
+  let total = Array.fold_left (fun acc (_, w) -> acc + w) 0 letter_weights in
+  let acc = ref 0 in
+  Array.map
+    (fun (c, w) ->
+      acc := !acc + w;
+      (c, float_of_int !acc /. float_of_int total))
+    letter_weights
+
+let sample_letter rng =
+  let u = Mt19937_64.next_float rng in
+  let rec find i =
+    let c, cum = letter_cdf.(i) in
+    if u <= cum || i = Array.length letter_cdf - 1 then c else find (i + 1)
+  in
+  find 0
+
+let random_word rng =
+  let len = 2 + Mt19937_64.next_below rng 9 in
+  String.init len (fun _ -> sample_letter rng)
+
+let build_vocabulary rng size =
+  let seen = Hashtbl.create (2 * size) in
+  let words = Array.make size "" in
+  let filled = ref 0 in
+  while !filled < size do
+    let w = random_word rng in
+    if not (Hashtbl.mem seen w) then begin
+      Hashtbl.add seen w ();
+      words.(!filled) <- w;
+      incr filled
+    end
+  done;
+  words
+
+let add_key buf rng ~vocab ~zipf ~min_words ~max_words =
+  Buffer.clear buf;
+  let words = min_words + Mt19937_64.next_below rng (max_words - min_words + 1) in
+  for w = 0 to words - 1 do
+    if w > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf vocab.(Zipf.sample zipf rng)
+  done;
+  Buffer.add_char buf '\t';
+  Buffer.add_string buf (string_of_int (1800 + Mt19937_64.next_below rng 209))
+
+(* ---- the popularity stream ------------------------------------------- *)
+
+type t = {
+  keys : string array;  (* rank order: keys.(0) is the hottest *)
+  rank_zipf : Zipf.t;  (* popularity over ranks *)
+  rng : Mt19937_64.t;  (* internal sampler for [next] *)
+}
+
+let create ?(seed = 20190301L) ?(vocab_size = 8192) ?(min_words = 2)
+    ?(max_words = 5) ?(s = 0.99) ~n () =
+  if n < 1 then invalid_arg "Keystream.create: n must be positive";
+  if min_words < 1 || max_words < min_words then
+    invalid_arg "Keystream.create: need 1 <= min_words <= max_words";
+  if s < 0.0 then invalid_arg "Keystream.create: s must be non-negative";
+  let rng = Mt19937_64.create seed in
+  let vocab = build_vocabulary rng vocab_size in
+  (* the corpus vocabulary skew is the paper's 1.07, independent of the
+     rank-popularity exponent [s] *)
+  let vocab_zipf = Zipf.create ~n:vocab_size ~s:1.07 in
+  let buf = Buffer.create 64 in
+  let seen = Hashtbl.create (2 * n) in
+  let keys = Array.make n "" in
+  let filled = ref 0 in
+  while !filled < n do
+    add_key buf rng ~vocab ~zipf:vocab_zipf ~min_words ~max_words;
+    let k = Buffer.contents buf in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      keys.(!filled) <- k;
+      incr filled
+    end
+  done;
+  { keys; rank_zipf = Zipf.create ~n ~s; rng }
+
+let size t = Array.length t.keys
+
+let rank_key t r =
+  if r < 0 || r >= Array.length t.keys then
+    invalid_arg "Keystream.rank_key: rank out of range";
+  t.keys.(r)
+
+let keys t = Array.copy t.keys
+let sample_rank t rng = Zipf.sample t.rank_zipf rng
+let sample t rng = t.keys.(sample_rank t rng)
+let next t = sample t t.rng

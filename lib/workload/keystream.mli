@@ -1,0 +1,74 @@
+(** Seeded key-popularity stream: Zipf-ranked synthetic n-gram keys.
+
+    One reusable implementation of the "skewed key popularity" wiring that
+    both the bench corpus ({!Ngram}) and the network load generator
+    ({!Net.Loadgen}) need: a deterministic universe of [n] distinct
+    n-gram-shaped keys (built from the shared English letter-frequency
+    vocabulary model) plus a Zipf sampler over their {e ranks}, so rank 0
+    is drawn most often — the access pattern of a popularity-skewed cache
+    or serving workload.
+
+    Construction and sampling are reproducible from the seed.  A [t] is
+    immutable after {!create} except for the internal sampling generator
+    behind {!next}; concurrent samplers must use {!sample} with one
+    {!Mt19937_64.t} per thread. *)
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?vocab_size:int ->
+  ?min_words:int ->
+  ?max_words:int ->
+  ?s:float ->
+  n:int ->
+  unit ->
+  t
+(** [create ~n ()] builds [n] distinct keys and a Zipf rank sampler.
+    Defaults: [seed = 20190301L], [vocab_size = 8192], [min_words = 2],
+    [max_words = 5], [s = 0.99] (the YCSB-style skew exponent; the corpus
+    vocabulary itself always uses the paper's 1.07).
+    @raise Invalid_argument when [n < 1], the word bounds are inconsistent,
+    or [s] is negative. *)
+
+val size : t -> int
+(** Number of distinct keys ([n]). *)
+
+val rank_key : t -> int -> string
+(** [rank_key t r] is the key at popularity rank [r] ([0] = hottest).
+    @raise Invalid_argument when [r] is out of range. *)
+
+val keys : t -> string array
+(** A fresh copy of all keys, rank order. *)
+
+val sample : t -> Mt19937_64.t -> string
+(** Draw a key with Zipf popularity using the caller's generator —
+    the thread-safe sampling path (a [t] is never mutated by it). *)
+
+val sample_rank : t -> Mt19937_64.t -> int
+(** The rank underneath {!sample}. *)
+
+val next : t -> string
+(** {!sample} with the stream's internal generator (single-threaded
+    convenience). *)
+
+(** {1 Corpus-construction internals}
+
+    The letter-frequency vocabulary model shared with {!Ngram}, exposed so
+    the corpus generator and this stream build keys from one
+    implementation instead of two copies of the Zipf wiring. *)
+
+val build_vocabulary : Mt19937_64.t -> int -> string array
+(** [build_vocabulary rng size] draws [size] distinct words (2–10 letters,
+    English letter frequencies). *)
+
+val add_key :
+  Buffer.t ->
+  Mt19937_64.t ->
+  vocab:string array ->
+  zipf:Zipf.t ->
+  min_words:int ->
+  max_words:int ->
+  unit
+(** Append one n-gram key — Zipf-sampled vocabulary words joined by
+    spaces, a tab, and a 4-digit year — to the buffer (cleared first). *)

@@ -1,46 +1,9 @@
-(* English letter frequencies (per mille), used to draw word characters so
-   that byte distributions are skewed like natural text. *)
-let letter_weights =
-  [| ('e', 127); ('t', 91); ('a', 82); ('o', 75); ('i', 70); ('n', 67);
-     ('s', 63); ('h', 61); ('r', 60); ('d', 43); ('l', 40); ('c', 28);
-     ('u', 28); ('m', 24); ('w', 24); ('f', 22); ('g', 20); ('y', 20);
-     ('p', 19); ('b', 15); ('v', 10); ('k', 8); ('j', 2); ('x', 2);
-     ('q', 1); ('z', 1) |]
-
-let letter_cdf =
-  let total = Array.fold_left (fun acc (_, w) -> acc + w) 0 letter_weights in
-  let acc = ref 0 in
-  Array.map
-    (fun (c, w) ->
-      acc := !acc + w;
-      (c, float_of_int !acc /. float_of_int total))
-    letter_weights
-
-let sample_letter rng =
-  let u = Mt19937_64.next_float rng in
-  let rec find i =
-    let c, cum = letter_cdf.(i) in
-    if u <= cum || i = Array.length letter_cdf - 1 then c else find (i + 1)
-  in
-  find 0
-
-let random_word rng =
-  let len = 2 + Mt19937_64.next_below rng 9 in
-  String.init len (fun _ -> sample_letter rng)
-
-let build_vocabulary rng size =
-  let seen = Hashtbl.create (2 * size) in
-  let words = Array.make size "" in
-  let filled = ref 0 in
-  while !filled < size do
-    let w = random_word rng in
-    if not (Hashtbl.mem seen w) then begin
-      Hashtbl.add seen w ();
-      words.(!filled) <- w;
-      incr filled
-    end
-  done;
-  words
+(* Synthetic Google-Books-style n-gram corpus.  The letter-frequency
+   vocabulary model and the key construction live in {!Keystream} (shared
+   with the network load generator); this module adds the value encoding
+   and the (key, value) pair stream.  The draw order below is unchanged
+   from the pre-Keystream implementation, so seeded corpora are
+   byte-identical across the refactor. *)
 
 let generate ?(seed = 20190301L) ?(vocab_size = 8192) ?(min_words = 2)
     ?(max_words = 5) ~n () =
@@ -48,18 +11,11 @@ let generate ?(seed = 20190301L) ?(vocab_size = 8192) ?(min_words = 2)
   if min_words < 1 || max_words < min_words then
     invalid_arg "Ngram.generate: need 1 <= min_words <= max_words";
   let rng = Mt19937_64.create seed in
-  let vocab = build_vocabulary rng vocab_size in
+  let vocab = Keystream.build_vocabulary rng vocab_size in
   let zipf = Zipf.create ~n:vocab_size ~s:1.07 in
   let buf = Buffer.create 64 in
   let make_key () =
-    Buffer.clear buf;
-    let words = min_words + Mt19937_64.next_below rng (max_words - min_words + 1) in
-    for w = 0 to words - 1 do
-      if w > 0 then Buffer.add_char buf ' ';
-      Buffer.add_string buf vocab.(Zipf.sample zipf rng)
-    done;
-    Buffer.add_char buf '\t';
-    Buffer.add_string buf (string_of_int (1800 + Mt19937_64.next_below rng 209));
+    Keystream.add_key buf rng ~vocab ~zipf ~min_words ~max_words;
     Buffer.contents buf
   in
   let make_value () =
