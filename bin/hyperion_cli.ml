@@ -120,8 +120,46 @@ let persist_fail ctx e =
   Printf.eprintf "%s: %s\n" ctx (Hyperion.Hyperion_error.to_string e);
   exit 3
 
-let open_dir dir =
-  match Persist.open_or_create ~config:default_config dir with
+(* --- key compression (hyperion.compress) ----------------------------
+
+   [--dict FILE] supplies a trained dictionary (written by [train]) and
+   selects the dict encoder; bare [--compress] selects the dict encoder
+   and adopts whatever dictionary the durability directory already
+   persists.  Resolution yields the config (compress id set) plus the
+   explicit encoder, if any. *)
+
+let load_dict path =
+  let blob =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let b = really_input_string ic n in
+      close_in ic;
+      b
+    with Sys_error m ->
+      Printf.eprintf "cannot read dictionary %s: %s\n" path m;
+      exit 2
+  in
+  match Compress.dict_of_string blob with
+  | Ok d -> Compress.Dict d
+  | Error why ->
+      Printf.eprintf "bad dictionary %s: %s\n" path why;
+      exit 2
+
+let resolve_compress compress dict =
+  match dict with
+  | Some f -> ({ default_config with Hyperion.Config.compress = 1 }, Some (load_dict f))
+  | None when compress ->
+      ({ default_config with Hyperion.Config.compress = 1 }, None)
+  | None -> (default_config, None)
+
+let report_encoder enc =
+  if enc <> Compress.Identity then
+    Printf.printf "encoder        : %s (hash 0x%Lx)\n" (Compress.name enc)
+      (Compress.hash enc)
+
+let open_dir ?compress ?(config = default_config) dir =
+  match Persist.open_or_create ~config ?compress dir with
   | Ok p -> p
   | Error e -> persist_fail ("recovering " ^ dir) e
 
@@ -138,10 +176,8 @@ let print_recovery p =
 (* Sharded (multi-domain) variants: a store partitioned into worker-owned
    byte ranges, durable under a per-shard snapshot+WAL directory tree. *)
 
-let open_sharded_dir ~shards dir =
-  match
-    Hyperion_shard.open_durable ~config:default_config ~shards dir
-  with
+let open_sharded_dir ?compress ?(config = default_config) ~shards dir =
+  match Hyperion_shard.open_durable ~config ?compress ~shards dir with
   | Ok t -> t
   | Error e -> persist_fail ("recovering " ^ dir) e
 
@@ -273,8 +309,15 @@ let audit dir =
       check "close" (Persist.close p);
       exit (if violations > 0 then 1 else 0)
 
-let chaos seed ops per_mille crash diskfault dir shards metrics_every heapcheck =
+let chaos seed ops per_mille crash diskfault dir shards metrics_every heapcheck
+    compress dict =
   check_shards shards;
+  if compress && (crash || diskfault || dir <> None || shards > 1) then begin
+    prerr_endline
+      "chaos: --compress runs the single-store in-memory mode only (no \
+       --crash/--diskfault/--dir/--shards)";
+    exit 2
+  end;
   if per_mille < 0 || per_mille > 1000 then begin
     prerr_endline "chaos: --per-mille must be in [0, 1000]";
     exit 2
@@ -394,7 +437,26 @@ let chaos seed ops per_mille crash diskfault dir shards metrics_every heapcheck 
              log), so drop the handle without writing anything back *)
           (Some (Persist.store p), fun () -> Persist.crash p)
     in
-    match Chaos.run ?store ?on_op ~heapcheck ~plan ~seed ~ops () with
+    let config, chaos_compress =
+      if not compress then (Hyperion.Config.default, Compress.Identity)
+      else
+        (* the chaos key universe is closed (Chaos.key_for over the default
+           4096-id space), so the dictionary can be trained on exactly the
+           keys the run will generate — unless --dict supplied one *)
+        let enc =
+          match dict with
+          | Some f -> load_dict f
+          | None ->
+              Compress.Dict
+                (Compress.train (Seq.init 4096 Chaos.key_for))
+        in
+        report_encoder enc;
+        ({ Hyperion.Config.default with compress = 1 }, enc)
+    in
+    match
+      Chaos.run ~config ~compress:chaos_compress ?store ?on_op ~heapcheck
+        ~plan ~seed ~ops ()
+    with
     | Ok o ->
         finish ();
         Format.printf "chaos: OK — %a@." Chaos.pp_outcome o;
@@ -406,12 +468,15 @@ let chaos seed ops per_mille crash diskfault dir shards metrics_every heapcheck 
         exit 1
   end
 
-let save path shards =
+let save path shards compress dict =
   check_shards shards;
+  let config, enc_opt = resolve_compress compress dict in
   if shards > 1 then begin
     (* sharded stores persist as a directory tree (one snapshot+WAL
-       generation per shard), not a one-shot snapshot file *)
-    let t = open_sharded_dir ~shards path in
+       generation per shard), not a one-shot snapshot file; the shard
+       front end encodes keys transparently *)
+    let t = open_sharded_dir ?compress:enc_opt ~config ~shards path in
+    report_encoder (Hyperion_shard.compress t);
     drive_stdin
       ~put:(fun k v -> shard_check "put" (Hyperion_shard.put_result t k v))
       ~add:(fun k -> shard_check "add" (Hyperion_shard.add_result t k))
@@ -422,23 +487,36 @@ let save path shards =
     shard_check "close" (Hyperion_shard.close t)
   end
   else begin
-    let store = make_store () in
+    let enc =
+      match (enc_opt, compress) with
+      | Some e, _ -> e
+      | None, true ->
+          (* a one-shot snapshot has no prior state to adopt a dictionary
+             from *)
+          prerr_endline "save: --compress needs --dict FILE (train one first)";
+          exit 2
+      | None, false -> Compress.Identity
+    in
+    let store = Hyperion.Store.create ~config () in
     drive_stdin
-      ~put:(fun k v -> Hyperion.Store.put store k v)
-      ~add:(fun k -> Hyperion.Store.add store k)
-      ~del:(fun k -> ignore (Hyperion.Store.delete store k));
-    match Persist.save_snapshot store path with
+      ~put:(fun k v -> Hyperion.Store.put store (Compress.encode enc k) v)
+      ~add:(fun k -> Hyperion.Store.add store (Compress.encode enc k))
+      ~del:(fun k ->
+        ignore (Hyperion.Store.delete store (Compress.encode enc k)));
+    match Persist.save_snapshot ~compress:enc store path with
     | Ok bytes ->
         Printf.printf "saved %d key(s), %d bytes -> %s\n"
           (Hyperion.Store.length store) bytes path
     | Error e -> persist_fail ("saving " ^ path) e
   end
 
-let load path dump shards =
+let load path dump shards compress dict =
   check_shards shards;
+  let config, enc_opt = resolve_compress compress dict in
   if shards > 1 then begin
-    let t = open_sharded_dir ~shards path in
+    let t = open_sharded_dir ?compress:enc_opt ~config ~shards path in
     print_shard_recoveries t;
+    report_encoder (Hyperion_shard.compress t);
     if dump then
       Hyperion_shard.iter t (fun k v ->
           Printf.printf "%s %s\n" k
@@ -447,20 +525,30 @@ let load path dump shards =
     shard_check "close" (Hyperion_shard.close t)
   end
   else
-    match Persist.load_snapshot ~config:default_config path with
+    match Persist.load_snapshot ?expect:enc_opt ~config path with
     | Error e -> persist_fail ("loading " ^ path) e
-    | Ok store ->
+    | Ok (store, enc) ->
+        report_encoder enc;
         if dump then
-          Hyperion.Store.iter store (fun k v ->
+          Hyperion.Store.iter store (fun ek v ->
+              let k =
+                match Compress.decode enc ek with
+                | Ok k -> k
+                | Error why ->
+                    Printf.eprintf "stored key fails to decode: %s\n" why;
+                    exit 1
+              in
               Printf.printf "%s %s\n" k
                 (match v with Some v -> Int64.to_string v | None -> "-"));
         report store
 
-let recover dir shards =
+let recover dir shards compress dict =
   check_shards shards;
+  let config, enc_opt = resolve_compress compress dict in
   if shards > 1 then begin
-    let t = open_sharded_dir ~shards dir in
+    let t = open_sharded_dir ?compress:enc_opt ~config ~shards dir in
     print_shard_recoveries t;
+    report_encoder (Hyperion_shard.compress t);
     report_sharded t;
     let violations =
       Hyperion_shard.with_quiesced t (fun stores ->
@@ -474,8 +562,9 @@ let recover dir shards =
     exit (if violations > 0 then 1 else 0)
   end
   else begin
-    let p = open_dir dir in
+    let p = open_dir ?compress:enc_opt ~config dir in
     print_recovery p;
+    report_encoder (Persist.compress p);
     report (Persist.store p);
     let violations = audit_store (Persist.store p) in
     (match Persist.close p with
@@ -487,11 +576,12 @@ let recover dir shards =
 (* Operational health probe: open the sharded durability tree, report
    per-shard liveness / degradation / backlog, and emit a Prometheus-style
    snapshot.  Exits 1 unless every shard is up and writable. *)
-let health dir shards =
+let health dir shards compress dict =
   if shards <> 0 then check_shards shards;
+  let config, enc_opt = resolve_compress compress dict in
   let t =
     match
-      Hyperion_shard.open_durable ~config:default_config
+      Hyperion_shard.open_durable ~config ?compress:enc_opt
         ?shards:(if shards = 0 then None else Some shards)
         dir
     with
@@ -567,7 +657,7 @@ let check file dir shards =
         else (
           match Persist.load_snapshot ~config:default_config path with
           | Error e -> persist_fail ("loading " ^ path) e
-          | Ok store ->
+          | Ok (store, _enc) ->
               Printf.printf "loaded %d key(s) from %s\n"
                 (Hyperion.Store.length store) path;
               check_one store)
@@ -660,8 +750,11 @@ let repl () =
                   (Hyperion.Hyperion_error.to_string e));
             loop ()
         | [ "load"; path ] ->
+            (* the repl is identity-encoded only; snapshots written under a
+               dictionary refuse to load here (Version_mismatch) instead of
+               surfacing garbled keys *)
             (match Persist.load_snapshot ~config:default_config path with
-            | Ok s ->
+            | Ok (s, _enc) ->
                 store := s;
                 Printf.printf "loaded %d key(s)\n" (Hyperion.Store.length s)
             | Error e ->
@@ -746,7 +839,7 @@ let metrics file dir shards probe =
         else
           (match Persist.load_snapshot ~config:default_config path with
           | Error e -> persist_fail ("loading " ^ path) e
-          | Ok store ->
+          | Ok (store, _enc) ->
               set_structural_gauges
                 ~keys:(Hyperion.Store.length store)
                 ~bytes:(Hyperion.Store.memory_usage store)
@@ -807,14 +900,59 @@ let bench_cmd experiment n json_dir metrics_every =
   | "insert" ->
       ignore
         (Bench_util.Telemetry_bench.insert ~n ?json_dir ?metrics_every ())
+  | "compress" ->
+      ignore (Bench_util.Compress_bench.run ~n ?json_dir ())
   | other ->
-      Printf.eprintf "bench: unknown experiment %S (try: insert)\n" other;
+      Printf.eprintf
+        "bench: unknown experiment %S (try: insert, compress)\n" other;
       exit 2
+
+(* ---- dictionary training --------------------------------------------- *)
+
+(* [train OUT]: reservoir-sample keys (stdin lines, or the synthetic
+   n-gram corpus with --ngrams), train the order-preserving dictionary,
+   write the 258-byte blob to OUT for later --dict FILE use. *)
+let train out ngrams sample seed =
+  if sample < 1 then begin
+    prerr_endline "train: --sample must be positive";
+    exit 2
+  end;
+  if ngrams < 0 then begin
+    prerr_endline "train: --ngrams must be non-negative";
+    exit 2
+  end;
+  let keys =
+    if ngrams > 0 then
+      Seq.map fst (Array.to_seq (Workload.Ngram.generate ~n:ngrams ()))
+    else
+      Seq.of_dispenser (fun () ->
+          match input_line stdin with
+          | line -> Some line
+          | exception End_of_file -> None)
+  in
+  let sampled = Workload.Keystream.reservoir ~seed ~k:sample keys in
+  if Array.length sampled = 0 then begin
+    prerr_endline "train: no keys to train on";
+    exit 2
+  end;
+  let dict = Compress.train (Array.to_seq sampled) in
+  let blob = Compress.dict_to_string dict in
+  (try
+     let oc = open_out_bin out in
+     output_string oc blob;
+     close_out oc
+   with Sys_error m ->
+     Printf.eprintf "cannot write %s: %s\n" out m;
+     exit 2);
+  Printf.printf "trained on %d sampled key(s) -> %s (%d bytes, hash 0x%Lx)\n"
+    (Array.length sampled) out (String.length blob)
+    (Compress.dict_hash dict)
 
 (* ---- network serving ------------------------------------------------- *)
 
-let serve port mc_port shards dir duration workers =
+let serve port mc_port shards dir duration workers compress dict =
   check_shards shards;
+  let config, enc_opt = resolve_compress compress dict in
   if duration < 0.0 then begin
     prerr_endline "serve: --duration must be non-negative";
     exit 2
@@ -828,9 +966,17 @@ let serve port mc_port shards dir duration workers =
   end;
   let t =
     match dir with
-    | Some d -> open_sharded_dir ~shards d
-    | None -> Hyperion_shard.create ~config:default_config ~shards ()
+    | Some d -> open_sharded_dir ?compress:enc_opt ~config ~shards d
+    | None ->
+        if compress && enc_opt = None then begin
+          prerr_endline
+            "serve: --compress without --dir needs --dict FILE (an \
+             in-memory store has no persisted dictionary to adopt)";
+          exit 2
+        end;
+        Hyperion_shard.create ~config ?compress:enc_opt ~shards ()
   in
+  report_encoder (Hyperion_shard.compress t);
   let cfg =
     {
       Hyperion_net.Server.default_config with
@@ -1220,6 +1366,35 @@ let arrival_arg =
        ~doc:"Inter-arrival law: $(b,poisson) (exponential gaps) or \
              $(b,uniform) (fixed gaps).")
 
+let compress_flag_arg =
+  Arg.(value & flag & info [ "compress" ]
+       ~doc:"Use the trained-dictionary order-preserving key encoder \
+             (hyperion.compress).  Over a durability directory the \
+             persisted dictionary is adopted; elsewhere supply one with \
+             $(b,--dict).")
+
+let dict_arg =
+  Arg.(value & opt (some string) None & info [ "dict" ] ~docv:"FILE"
+       ~doc:"Trained dictionary blob written by $(b,train); implies \
+             $(b,--compress) and is verified against any persisted \
+             dictionary.")
+
+let train_out_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT")
+
+let train_ngrams_arg =
+  Arg.(value & opt int 0 & info [ "ngrams" ] ~docv:"N"
+       ~doc:"Train on $(docv) synthetic n-gram keys instead of stdin \
+             lines.")
+
+let sample_arg =
+  Arg.(value & opt int 4096 & info [ "sample" ] ~docv:"K"
+       ~doc:"Reservoir-sample size the dictionary is trained on.")
+
+let train_seed_arg =
+  Arg.(value & opt int64 20190301L & info [ "seed" ] ~docv:"SEED"
+       ~doc:"Reservoir-sampling seed (deterministic training).")
+
 let cmds =
   [
     Cmd.v (Cmd.info "demo" ~doc:"Paper example words") Term.(const demo $ const ());
@@ -1242,7 +1417,7 @@ let cmds =
                against the sharded front-end.  $(b,--heapcheck false) \
                disables the per-audit heap sanitizer.  Exits 1 on \
                divergence")
-      Term.(const chaos $ seed_arg $ ops_arg $ per_mille_arg $ crash_arg $ diskfault_arg $ dir_arg $ shards_arg $ metrics_every_arg $ heapcheck_arg);
+      Term.(const chaos $ seed_arg $ ops_arg $ per_mille_arg $ crash_arg $ diskfault_arg $ dir_arg $ shards_arg $ metrics_every_arg $ heapcheck_arg $ compress_flag_arg $ dict_arg);
     Cmd.v
       (Cmd.info "health"
          ~doc:"Open a sharded durability directory and report per-shard \
@@ -1250,27 +1425,34 @@ let cmds =
                backlog — plus a Prometheus-style \
                $(b,hyperion_shard_up)/$(b,hyperion_shard_degraded) \
                snapshot.  Exits 0 only when every shard is up and writable")
-      Term.(const health $ dir_pos_arg $ health_shards_arg);
+      Term.(const health $ dir_pos_arg $ health_shards_arg $ compress_flag_arg $ dict_arg);
     Cmd.v
       (Cmd.info "save"
          ~doc:"Apply put/add/del lines from stdin, then write a one-shot \
                binary snapshot to $(i,FILE); with $(b,--shards) > 1, \
                $(i,FILE) is a sharded durability directory instead")
-      Term.(const save $ path_pos_arg $ shards_arg);
+      Term.(const save $ path_pos_arg $ shards_arg $ compress_flag_arg $ dict_arg);
+    Cmd.v
+      (Cmd.info "train"
+         ~doc:"Train the order-preserving key-compression dictionary on a \
+               reservoir sample of keys (stdin lines, or $(b,--ngrams) \
+               $(i,N) synthetic keys) and write the blob to $(i,OUT) for \
+               later $(b,--dict) use")
+      Term.(const train $ train_out_arg $ train_ngrams_arg $ sample_arg $ train_seed_arg);
     Cmd.v
       (Cmd.info "load"
          ~doc:"Load a snapshot written by $(b,save) (or the repl) and \
                report stats; $(b,--dump) prints every binding; with \
                $(b,--shards) > 1, $(i,FILE) is a sharded durability \
                directory instead")
-      Term.(const load $ path_pos_arg $ dump_arg $ shards_arg);
+      Term.(const load $ path_pos_arg $ dump_arg $ shards_arg $ compress_flag_arg $ dict_arg);
     Cmd.v
       (Cmd.info "recover"
          ~doc:"Open a durability directory — latest valid snapshot plus \
                write-ahead-log replay — then validate the recovered store; \
                with $(b,--shards) > 1, a sharded directory recovered in \
                parallel.  Exits 1 on violations, 3 on corruption")
-      Term.(const recover $ dir_pos_arg $ shards_arg);
+      Term.(const recover $ dir_pos_arg $ shards_arg $ compress_flag_arg $ dict_arg);
     Cmd.v
       (Cmd.info "check"
          ~doc:"Run the full analyzer suite — structural validation plus \
@@ -1293,8 +1475,10 @@ let cmds =
          ~doc:"Run a telemetry-instrumented experiment; $(b,insert) loads \
                the same seeded n-gram workload with telemetry off then on, \
                reporting throughput, latency percentiles and the measured \
-               telemetry overhead.  $(b,--json) $(i,DIR) writes \
-               BENCH_insert.json (schema 2)")
+               telemetry overhead; $(b,compress) re-measures bytes/key and \
+               op latency with the trained key-compression dictionary \
+               against an identity arm.  $(b,--json) $(i,DIR) writes \
+               BENCH_<experiment>.json (schema 2)")
       Term.(const bench_cmd $ experiment_arg $ bench_n_arg $ json_dir_arg $ metrics_every_arg);
     Cmd.v
       (Cmd.info "serve"
@@ -1304,7 +1488,7 @@ let cmds =
                is in-memory ($(b,--shards) worker domains) or recovered \
                from a durable $(b,--dir).  $(b,--duration) 0 serves until \
                killed.  Exits 3 when the bind or recovery fails")
-      Term.(const serve $ port_arg $ mc_port_arg $ shards_arg $ dir_arg $ duration_arg $ workers_arg);
+      Term.(const serve $ port_arg $ mc_port_arg $ shards_arg $ dir_arg $ duration_arg $ workers_arg $ compress_flag_arg $ dict_arg);
     Cmd.v
       (Cmd.info "loadgen"
          ~doc:"Open-loop load generator with \

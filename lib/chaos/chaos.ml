@@ -31,9 +31,9 @@ let key_for id =
   | 3 -> "pfx/" ^ base
   | _ -> base ^ "!"
 
-let run ?(config = H.Config.default) ?(plan = Fault.none)
-    ?(validate_every = 1000) ?(key_space = 4096) ?(heapcheck = true) ?on_op
-    ?store ~seed ~ops () =
+let run ?(config = H.Config.default) ?(compress = Compress.Identity)
+    ?(plan = Fault.none) ?(validate_every = 1000) ?(key_space = 4096)
+    ?(heapcheck = true) ?on_op ?store ~seed ~ops () =
   if ops < 0 then invalid_arg "Chaos.run: negative ops";
   if key_space <= 0 then invalid_arg "Chaos.run: key_space must be positive";
   if validate_every <= 0 then
@@ -43,10 +43,23 @@ let run ?(config = H.Config.default) ?(plan = Fault.none)
     match store with Some s -> s | None -> H.Store.create ~config ()
   in
   H.Store.set_fault_plan store plan;
+  (* The encoder sits where the shard/CLI front doors put it: the store
+     only ever sees encoded keys, the oracle only raw ones, and the final
+     sweep decodes on the way out — so the run also differentially tests
+     the encode/decode round trip under every fault the plan fires. *)
+  let enc_key = Compress.encode compress in
+  let dec_key op ek =
+    match Compress.decode compress ek with
+    | Ok k -> k
+    | Error why -> raise (Divergence (Printf.sprintf
+        "chaos seed=%Ld op=%d: stored key %S fails to decode: %s"
+        seed op ek why))
+  in
   let oracle = Rbtree.create () in
   (* A pre-existing (e.g. just-recovered) store seeds the oracle, so the
      differential run starts from agreement instead of a false divergence. *)
-  H.Store.iter store (fun k v ->
+  H.Store.iter store (fun ek v ->
+      let k = dec_key (-1) ek in
       match v with Some v -> Rbtree.put oracle k v | None -> Rbtree.add oracle k);
   let mutations_ok = ref 0
   and mutations_failed = ref 0
@@ -78,7 +91,7 @@ let run ?(config = H.Config.default) ?(plan = Fault.none)
       | Some p -> diverge op "heap audit: %s" p
   in
   let check_key op key =
-    let hv = H.Store.get store key and ov = Rbtree.get oracle key in
+    let hv = H.Store.get store (enc_key key) and ov = Rbtree.get oracle key in
     if hv <> ov then
       diverge op "lookup mismatch on %S: hyperion=%s oracle=%s" key
         (match hv with Some v -> Int64.to_string v | None -> "absent")
@@ -96,7 +109,7 @@ let run ?(config = H.Config.default) ?(plan = Fault.none)
       let dice = Workload.Mt19937_64.next_below rng 100 in
       (if dice < 55 then begin
          let v = Int64.of_int (Workload.Mt19937_64.next_below rng 1_000_000) in
-         match H.Store.put_result store key v with
+         match H.Store.put_result store (enc_key key) v with
          | Ok () ->
              incr mutations_ok;
              Rbtree.put oracle key v
@@ -106,7 +119,7 @@ let run ?(config = H.Config.default) ?(plan = Fault.none)
              check_key op key
        end
        else if dice < 75 then begin
-         match H.Store.delete_result store key with
+         match H.Store.delete_result store (enc_key key) with
          | Ok removed ->
              incr mutations_ok;
              let oracle_removed = Rbtree.delete oracle key in
@@ -133,7 +146,8 @@ let run ?(config = H.Config.default) ?(plan = Fault.none)
         true);
     let expected = ref (List.rev !expected) in
     let sweep_pos = ref 0 in
-    H.Store.range store (fun k v ->
+    H.Store.range store (fun ek v ->
+        let k = dec_key ops ek in
         (match !expected with
         | [] -> diverge ops "sweep: extra key %S in hyperion" k
         | (ek, ev) :: rest ->

@@ -24,8 +24,15 @@ type outcome = {
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
+val key_for : int -> string
+(** The deterministic key the workload derives from id [i] — a mix of
+    short, suffixed and prefixed shapes.  Exposed so a key-compression
+    dictionary can be trained on exactly the closed key universe a run
+    will generate ([hyperion_cli chaos --compress]). *)
+
 val run :
   ?config:Hyperion.Config.t ->
+  ?compress:Compress.t ->
   ?plan:Fault.t ->
   ?validate_every:int ->
   ?key_space:int ->
@@ -56,7 +63,15 @@ val run :
 
     [?on_op] is invoked after every completed operation with its index —
     a progress hook, e.g. for periodic telemetry dumps ([hyperion_cli
-    chaos --metrics-every]). *)
+    chaos --metrics-every]).
+
+    [?compress] (default identity) threads an order-preserving key encoder
+    between the workload and the store, exactly where the shard and CLI
+    front doors put it: every store operation sees encoded keys, the
+    oracle keeps raw ones, and the final ordered sweep decodes each stored
+    key on the way out — a decode failure or order divergence fails the
+    run like any other mismatch.  The caller is responsible for [config]
+    agreeing ([config.compress = Compress.id compress]). *)
 
 (** {1 Sharded chaos}
 

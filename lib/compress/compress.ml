@@ -1,0 +1,319 @@
+(* Order-preserving single-byte dictionary coder (HOPE-style).
+
+   Symbol space: 257 symbols in a fixed total order — symbol 0 is a
+   virtual end-of-string terminator (it must sort below every real byte
+   so that a strict prefix key still sorts first), symbol [b + 1] is byte
+   value [b].  A trained dictionary assigns every symbol a prefix-free
+   bit code from one *alphabetic* code tree: symbol order equals code
+   order as left-aligned bit strings, which is exactly what makes
+   byte-wise [compare] on encodings agree with [compare] on keys.
+
+   Encoding a key = concatenating its bytes' codes, the terminator code,
+   and 0–7 zero padding bits to reach a byte boundary.  Decoding walks
+   the code tree bit by bit until the terminator, then verifies the
+   padding, so [decode (encode k) = Ok k] exactly. *)
+
+let n_symbols = 257
+let max_code_bits = 32
+let scheme_dict = 1
+
+type dict = {
+  lens : int array;  (* 257 code lengths, bits, in [1, max_code_bits] *)
+  codes : int array;  (* code values, low [lens.(i)] bits *)
+  tree : int array;  (* decode tree: see [build_tree] *)
+  hash : int64;  (* FNV-1a of [dict_to_string] *)
+}
+
+type t = Identity | Dict of dict
+
+let id = function Identity -> 0 | Dict _ -> scheme_dict
+let name = function Identity -> "identity" | Dict _ -> "dict"
+let hash = function Identity -> 0L | Dict d -> d.hash
+let dict_hash d = d.hash
+
+let tag = function
+  | Identity -> 0
+  | Dict d -> 1 lor ((Int64.to_int d.hash land 0xffff) lsl 4)
+
+let equal a b =
+  match (a, b) with
+  | Identity, Identity -> true
+  | Dict a, Dict b -> a.hash = b.hash && a.lens = b.lens
+  | _ -> false
+
+(* The same FNV-1a step as Hyperion.Config.fingerprint, duplicated here so
+   this library stays dependency-free (the constants are part of the
+   persisted-format contract either way). *)
+let fnv_prime = 0x100000001b3L
+let fnv_basis = 0xcbf29ce484222325L
+let fnv_mix acc n = Int64.mul (Int64.logxor acc n) fnv_prime
+
+let mix_fingerprint fp = function
+  | Identity -> fp
+  | Dict d -> fnv_mix (fnv_mix fp (Int64.of_int scheme_dict)) d.hash
+
+(* ---- code construction ---------------------------------------------- *)
+
+(* Decode tree over the canonical codes.  [tree.(2 * node + bit)] is 0
+   when unset (unreachable in a Kraft-complete code; treated as corrupt
+   input by [decode]), a positive internal-node index, or [-sym - 1] for
+   a leaf.  Node 0 is the root; a full binary tree with 257 leaves has
+   256 internal nodes, so 2 * 257 slots suffice. *)
+let build_tree lens codes =
+  let tree = Array.make (2 * n_symbols) 0 in
+  let next = ref 1 in
+  for sym = 0 to n_symbols - 1 do
+    let len = lens.(sym) and code = codes.(sym) in
+    let node = ref 0 in
+    for j = len - 1 downto 1 do
+      let slot = (2 * !node) + ((code lsr j) land 1) in
+      match tree.(slot) with
+      | 0 ->
+          if !next >= n_symbols then failwith "code tree overflow";
+          tree.(slot) <- !next;
+          node := !next;
+          incr next
+      | v when v > 0 -> node := v
+      | _ -> failwith "code is not prefix-free"
+    done;
+    let slot = (2 * !node) + (code land 1) in
+    if tree.(slot) <> 0 then failwith "code is not prefix-free";
+    tree.(slot) <- -sym - 1
+  done;
+  tree
+
+(* Alphabetic canonical codes from the length sequence: consecutive
+   leaves of a full binary tree in left-to-right order satisfy
+   c_{i+1} = (c_i + 1) shifted to leaf i+1's depth. *)
+let codes_of_lens lens =
+  let codes = Array.make n_symbols 0 in
+  for i = 1 to n_symbols - 1 do
+    let bump = codes.(i - 1) + 1 in
+    let dl = lens.(i) - lens.(i - 1) in
+    codes.(i) <- (if dl >= 0 then bump lsl dl else bump asr -dl)
+  done;
+  codes
+
+let serialize lens =
+  let b = Bytes.create (1 + n_symbols) in
+  Bytes.set_uint8 b 0 scheme_dict;
+  for i = 0 to n_symbols - 1 do
+    Bytes.set_uint8 b (1 + i) lens.(i)
+  done;
+  Bytes.to_string b
+
+let hash_of_blob blob =
+  let h = ref fnv_basis in
+  String.iter (fun c -> h := fnv_mix !h (Int64.of_int (Char.code c))) blob;
+  !h
+
+(* Full validation: anything that passes here is a correct alphabetic
+   prefix-free code (used by both [train] output and untrusted
+   [dict_of_string] input). *)
+let dict_of_lens lens =
+  let ( let* ) = Result.bind in
+  let* () =
+    if Array.length lens <> n_symbols then Error "wrong symbol count"
+    else if Array.exists (fun l -> l < 1 || l > max_code_bits) lens then
+      Error "code length out of range"
+    else Ok ()
+  in
+  let maxl = Array.fold_left max 0 lens in
+  let kraft = Array.fold_left (fun acc l -> acc + (1 lsl (maxl - l))) 0 lens in
+  let* () =
+    if kraft <> 1 lsl maxl then Error "lengths are not Kraft-complete"
+    else Ok ()
+  in
+  let codes = codes_of_lens lens in
+  let fits = ref true and monotone = ref true in
+  for i = 0 to n_symbols - 1 do
+    if codes.(i) lsr lens.(i) <> 0 then fits := false;
+    if
+      i > 0
+      && codes.(i) lsl (maxl - lens.(i)) <= codes.(i - 1) lsl (maxl - lens.(i - 1))
+    then monotone := false
+  done;
+  let* () = if !fits then Ok () else Error "code overflows its length" in
+  let* () = if !monotone then Ok () else Error "codes are not ordered" in
+  match build_tree lens codes with
+  | tree -> Ok { lens; codes; tree; hash = hash_of_blob (serialize lens) }
+  | exception Failure why -> Error why
+
+let dict_to_string d = serialize d.lens
+
+let dict_of_string s =
+  if String.length s <> 1 + n_symbols then
+    Error "dictionary blob must be 258 bytes"
+  else if Char.code s.[0] <> scheme_dict then
+    Error (Printf.sprintf "unknown scheme byte %d" (Char.code s.[0]))
+  else dict_of_lens (Array.init n_symbols (fun i -> Char.code s.[1 + i]))
+
+let of_id ?dict = function
+  | 0 -> Ok Identity
+  | 1 -> (
+      match dict with
+      | Some d -> Ok (Dict d)
+      | None -> Error "scheme 1 (dict) needs a trained dictionary")
+  | n -> Error (Printf.sprintf "unknown encoder id %d" n)
+
+(* ---- training ------------------------------------------------------- *)
+
+(* Recursive weight-balanced split: at each node cut the symbol range
+   where the left/right weight difference is smallest.  Depth is
+   O(log(total / min_weight)); with +1 smoothing that stays well under
+   [max_code_bits] for any realistic sample, and the halving loop makes
+   the cap unconditional (all-equal weights give depth 9). *)
+let lens_of_weights w =
+  let lens = Array.make n_symbols 0 in
+  let p = Array.make (n_symbols + 1) 0 in
+  for i = 0 to n_symbols - 1 do
+    p.(i + 1) <- p.(i) + w.(i)
+  done;
+  let split lo hi =
+    let total = p.(lo) + p.(hi) in
+    (* smallest m in [lo+1, hi-1] with 2 * p.(m) >= total *)
+    let rec bs a b =
+      if a >= b then a
+      else
+        let mid = (a + b) / 2 in
+        if 2 * p.(mid) >= total then bs a mid else bs (mid + 1) b
+    in
+    let m = bs (lo + 1) (hi - 1) in
+    if m > lo + 1 && abs ((2 * p.(m - 1)) - total) <= abs ((2 * p.(m)) - total)
+    then m - 1
+    else m
+  in
+  let rec assign lo hi depth =
+    if hi - lo = 1 then lens.(lo) <- depth
+    else begin
+      let m = split lo hi in
+      assign lo m (depth + 1);
+      assign m hi (depth + 1)
+    end
+  in
+  assign 0 n_symbols 0;
+  lens
+
+let train seq =
+  let freq = Array.make n_symbols 0 in
+  Seq.iter
+    (fun key ->
+      freq.(0) <- freq.(0) + 1;
+      String.iter
+        (fun c ->
+          let s = Char.code c + 1 in
+          freq.(s) <- freq.(s) + 1)
+        key)
+    seq;
+  let rec attempt w =
+    let lens = lens_of_weights w in
+    if Array.fold_left max 0 lens <= max_code_bits then lens
+    else attempt (Array.map (fun x -> if x > 1 then x / 2 else 1) w)
+  in
+  let lens = attempt (Array.map (fun f -> f + 1) freq) in
+  match dict_of_lens lens with
+  | Ok d -> d
+  | Error why -> failwith ("Compress.train: internal error: " ^ why)
+
+(* ---- encode / decode ------------------------------------------------ *)
+
+let encode_dict d s =
+  (* SAFETY: every [String.unsafe_get s i] below has [0 <= i < length s]
+     by its loop bound; every [Array.unsafe_get] indexes [lens]/[codes]
+     (length 257) with [Char.code _ + 1] in [1, 256] or the constant 0;
+     [Bytes.unsafe_set out pos] stays in bounds because [out] is sized
+     from the exact bit count summed in the first pass, and each stored
+     byte is masked to 8 bits before [Char.unsafe_chr]. *)
+  let lens = d.lens and codes = d.codes in
+  let n = String.length s in
+  let bits = ref lens.(0) in
+  for i = 0 to n - 1 do
+    bits :=
+      !bits + Array.unsafe_get lens (Char.code (String.unsafe_get s i) + 1)
+  done;
+  let out = Bytes.create ((!bits + 7) lsr 3) in
+  let acc = ref 0 and nacc = ref 0 and pos = ref 0 in
+  (* [acc] never exceeds 7 + max_code_bits = 39 significant bits *)
+  let put sym =
+    acc := (!acc lsl Array.unsafe_get lens sym) lor Array.unsafe_get codes sym;
+    nacc := !nacc + Array.unsafe_get lens sym;
+    while !nacc >= 8 do
+      nacc := !nacc - 8;
+      Bytes.unsafe_set out !pos (Char.unsafe_chr ((!acc lsr !nacc) land 0xff));
+      incr pos
+    done;
+    acc := !acc land ((1 lsl !nacc) - 1)
+  in
+  for i = 0 to n - 1 do
+    put (Char.code (String.unsafe_get s i) + 1)
+  done;
+  put 0;
+  if !nacc > 0 then
+    Bytes.unsafe_set out !pos (Char.unsafe_chr ((!acc lsl (8 - !nacc)) land 0xff));
+  Bytes.unsafe_to_string out
+
+let encode t s = match t with Identity -> s | Dict d -> encode_dict d s
+
+let encoded_length t s =
+  match t with
+  | Identity -> String.length s
+  | Dict d ->
+      let bits = ref d.lens.(0) in
+      String.iter (fun c -> bits := !bits + d.lens.(Char.code c + 1)) s;
+      (!bits + 7) lsr 3
+
+let first_byte t s =
+  match t with
+  | Identity ->
+      if s = "" then invalid_arg "Compress.first_byte: empty identity key"
+      else Char.code s.[0]
+  | Dict d ->
+      let n = String.length s in
+      let acc = ref 0 and nacc = ref 0 and i = ref 0 in
+      while !nacc < 8 && !i <= n do
+        let sym = if !i < n then Char.code s.[!i] + 1 else 0 in
+        acc := (!acc lsl d.lens.(sym)) lor d.codes.(sym);
+        nacc := !nacc + d.lens.(sym);
+        incr i
+      done;
+      if !nacc >= 8 then (!acc lsr (!nacc - 8)) land 0xff
+      else (!acc lsl (8 - !nacc)) land 0xff
+
+let decode_dict d s =
+  let total = 8 * String.length s in
+  let tree = d.tree in
+  let buf = Buffer.create (1 + (2 * String.length s)) in
+  let pos = ref 0 in
+  let bit p = (Char.code s.[p lsr 3] lsr (7 - (p land 7))) land 1 in
+  let rec symbol node =
+    if !pos >= total then Error "truncated code"
+    else begin
+      let b = bit !pos in
+      incr pos;
+      match tree.((2 * node) + b) with
+      | 0 -> Error "invalid code path"
+      | v when v > 0 -> symbol v
+      | v -> Ok (-v - 1)
+    end
+  in
+  let rec loop () =
+    match symbol 0 with
+    | Error _ as e -> e
+    | Ok 0 ->
+        (* terminator: only sub-byte zero padding may remain *)
+        if total - !pos >= 8 then Error "bytes after terminator"
+        else begin
+          let ok = ref true in
+          while !pos < total do
+            if bit !pos <> 0 then ok := false;
+            incr pos
+          done;
+          if !ok then Ok (Buffer.contents buf) else Error "nonzero padding"
+        end
+    | Ok sym ->
+        Buffer.add_char buf (Char.chr (sym - 1));
+        loop ()
+  in
+  loop ()
+
+let decode t s = match t with Identity -> Ok s | Dict d -> decode_dict d s

@@ -13,6 +13,7 @@ type t = {
   arenas : int;
   preprocess : bool;
   delta_encoding : bool;
+  compress : int;
 }
 
 let default =
@@ -31,6 +32,7 @@ let default =
     arenas = 1;
     preprocess = false;
     delta_encoding = true;
+    compress = 0;
   }
 
 let strings = { default with embedded_eject_parent_limit = 16 * 1024 }
@@ -44,23 +46,29 @@ let fingerprint c =
     let acc = Int64.logxor acc (Int64.of_int n) in
     Int64.mul acc fnv_prime
   in
-  List.fold_left mix basis
-    [
-      c.embedded_eject_parent_limit;
-      c.embedded_max;
-      c.pc_max;
-      c.js_threshold;
-      c.tnode_jt_threshold;
-      c.container_jt_threshold;
-      c.split_a;
-      c.split_b;
-      c.split_min_piece;
-      c.chunks_per_bin;
-      c.max_metabins;
-      c.arenas;
-      (if c.preprocess then 1 else 0);
-      (if c.delta_encoding then 1 else 0);
-    ]
+  let fp =
+    List.fold_left mix basis
+      [
+        c.embedded_eject_parent_limit;
+        c.embedded_max;
+        c.pc_max;
+        c.js_threshold;
+        c.tnode_jt_threshold;
+        c.container_jt_threshold;
+        c.split_a;
+        c.split_b;
+        c.split_min_piece;
+        c.chunks_per_bin;
+        c.max_metabins;
+        c.arenas;
+        (if c.preprocess then 1 else 0);
+        (if c.delta_encoding then 1 else 0);
+      ]
+  in
+  (* [compress] participates only when non-zero so every fingerprint
+     persisted before the field existed (implicitly identity) is
+     unchanged; mixing 0 through FNV-1a would not be the identity. *)
+  if c.compress = 0 then fp else mix fp c.compress
 
 let validate c =
   let check cond msg = if not cond then invalid_arg ("Config: " ^ msg) in
@@ -85,4 +93,6 @@ let validate c =
   check
     (c.max_metabins >= 1 && c.max_metabins <= 1 lsl 14)
     "max_metabins must be in [1, 2^14]";
-  check (c.arenas >= 1 && c.arenas <= 256) "arenas must be in [1, 256]"
+  check (c.arenas >= 1 && c.arenas <= 256) "arenas must be in [1, 256]";
+  check (c.compress >= 0 && c.compress <= 1)
+    "compress must be 0 (identity) or 1 (dict)"

@@ -45,6 +45,16 @@ type t = {
   delta_encoding : bool;
       (** Delta-encode sibling key bytes (Section 3.3).  Default true;
           disabled only by the ablation benchmarks. *)
+  compress : int;
+      (** Order-preserving key-encoder scheme id this store's keys were
+          encoded with {e before} reaching the trie: 0 = identity
+          (default), 1 = trained dictionary ({!Compress}).  The store
+          itself never encodes or decodes — front doors (shard, persist,
+          CLI) do — but the id is part of the config contract and of
+          persisted fingerprints so a snapshot can never be reopened
+          under the wrong encoder.  Scheme 1 additionally mixes the
+          dictionary hash into persisted fingerprints (see
+          {!Compress.mix_fingerprint}). *)
 }
 
 val default : t

@@ -57,6 +57,7 @@ type recovery = {
 type t = {
   dir : string;
   cfg : Hyperion.Config.t;
+  enc : Compress.t;  (* the encoder this directory's keys are encoded with *)
   store : Hyperion.Store.t;
   io : Io.t;
   sync_every_ops : int;
@@ -78,6 +79,7 @@ type t = {
 
 let store t = t.store
 let config t = t.cfg
+let compress t = t.enc
 let dir t = t.dir
 let io t = t.io
 let recovery t = t.recovery
@@ -107,21 +109,21 @@ let scan_generations dir =
     (Sys.readdir dir);
   (List.sort (fun a b -> compare b a) !snaps, !tmps)
 
-let fresh_generation ~io ~config ~dir ~gen =
+let fresh_generation ~io ~config ~compress ~dir ~gen =
   let store = Hyperion.Store.create ~config () in
-  let* _bytes = Snapshot.save ~io store (snapshot_file ~dir ~gen) in
-  let* wal = Wal.create ~io ~config ~gen (wal_file ~dir ~gen) in
+  let* _bytes = Snapshot.save ~io ~compress store (snapshot_file ~dir ~gen) in
+  let* wal = Wal.create ~io ~compress ~config ~gen (wal_file ~dir ~gen) in
   Ok (store, wal)
 
-let recover_generation ~io ~config ~dir ~gen =
-  let* store = Snapshot.load ~io ~config (snapshot_file ~dir ~gen) in
+let recover_generation ~io ~config ?expect ~dir ~gen () =
+  let* store, enc = Snapshot.load ~io ?expect ~config (snapshot_file ~dir ~gen) in
   let keys = Hyperion.Store.length store in
   let wpath = wal_file ~dir ~gen in
   if not (Sys.file_exists wpath) then
     (* crash between snapshot rename and WAL creation: the snapshot alone
        is the complete durable state *)
-    let* wal = Wal.create ~io ~config ~gen wpath in
-    Ok (store, wal, keys, 0, false)
+    let* wal = Wal.create ~io ~compress:enc ~config ~gen wpath in
+    Ok (store, enc, wal, keys, 0, false)
   else
     let apply op =
       let r =
@@ -136,29 +138,37 @@ let recover_generation ~io ~config ~dir ~gen =
       if T.enabled () && r = Ok () then T.Counter.incr c_replayed;
       r
     in
-    match Wal.replay ~io ~config ~gen wpath ~f:apply with
+    match Wal.replay ~io ~compress:enc ~config ~gen wpath ~f:apply with
     | Ok r ->
         let* wal = Wal.open_append ~io ~config ~gen wpath in
-        Ok (store, wal, keys, r.Wal.records, r.Wal.truncated)
+        Ok (store, enc, wal, keys, r.Wal.records, r.Wal.truncated)
     | Error (E.Torn_log _) ->
         (* the header never became durable, so no record in this file was
            ever acknowledged: restart it empty *)
-        let* wal = Wal.create ~io ~config ~gen wpath in
-        Ok (store, wal, keys, 0, true)
+        let* wal = Wal.create ~io ~compress:enc ~config ~gen wpath in
+        Ok (store, enc, wal, keys, 0, true)
     | Error _ as e -> e
 
-let open_or_create ?(config = Hyperion.Config.default) ?(io = Io.none)
-    ?(sync_every_ops = 64) ?(sync_every_bytes = 1 lsl 20)
+let open_or_create ?(config = Hyperion.Config.default) ?compress
+    ?(io = Io.none) ?(sync_every_ops = 64) ?(sync_every_bytes = 1 lsl 20)
     ?(rotate_bytes = 64 lsl 20) dir =
   if sync_every_ops < 1 then invalid_arg "Persist: sync_every_ops must be >= 1";
   if sync_every_bytes < 1 then
     invalid_arg "Persist: sync_every_bytes must be >= 1";
   if rotate_bytes < Frame.header_size then
     invalid_arg "Persist: rotate_bytes too small";
-  let make ~gen ~wal ~store recovery =
+  (match compress with
+  | Some e when Compress.id e <> config.Hyperion.Config.compress ->
+      invalid_arg
+        (Printf.sprintf
+           "Persist: config.compress = %d but the %s encoder was passed"
+           config.Hyperion.Config.compress (Compress.name e))
+  | _ -> ());
+  let make ~gen ~enc ~wal ~store recovery =
     {
       dir;
       cfg = config;
+      enc;
       store;
       io;
       sync_every_ops;
@@ -190,9 +200,24 @@ let open_or_create ?(config = Hyperion.Config.default) ?(io = Io.none)
       | exception e -> Io.error ~path:dir e
       | [], tmps ->
           List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) tmps;
-          let* store, wal = fresh_generation ~io ~config ~dir ~gen:0 in
+          let* enc =
+            match compress with
+            | Some e -> Ok e
+            | None ->
+                if config.Hyperion.Config.compress = 0 then Ok Compress.Identity
+                else
+                  (* a dict-encoded tree cannot be conjured from a scheme
+                     id alone: the dictionary must come from the caller
+                     (fresh) or from the snapshot (existing) *)
+                  Error
+                    (E.Io_error
+                       (dir
+                      ^ ": config.compress selects the dict encoder but the \
+                         directory is fresh and no dictionary was passed"))
+          in
+          let* store, wal = fresh_generation ~io ~config ~compress:enc ~dir ~gen:0 in
           Ok
-            (make ~gen:0 ~wal ~store
+            (make ~gen:0 ~enc ~wal ~store
                {
                  generation = 0;
                  snapshot_keys = 0;
@@ -221,10 +246,10 @@ let open_or_create ?(config = Hyperion.Config.default) ?(io = Io.none)
                          (Printf.sprintf
                             "no snapshot generations to recover in %s" dir)))
             | gen :: rest -> (
-                match recover_generation ~io ~config ~dir ~gen with
-                | Ok (store, wal, keys, replayed, truncated) ->
+                match recover_generation ~io ~config ?expect:compress ~dir ~gen () with
+                | Ok (store, enc, wal, keys, replayed, truncated) ->
                     Ok
-                      (make ~gen ~wal ~store
+                      (make ~gen ~enc ~wal ~store
                          {
                            generation = gen;
                            snapshot_keys = keys;
@@ -304,9 +329,13 @@ let do_sync t =
 let do_rotate_u t =
   let* () = do_sync t in
   let next = t.gen + 1 in
-  let* _bytes = Snapshot.save ~io:t.io t.store (snapshot_file ~dir:t.dir ~gen:next) in
+  let* _bytes =
+    Snapshot.save ~io:t.io ~compress:t.enc t.store
+      (snapshot_file ~dir:t.dir ~gen:next)
+  in
   let* wal =
-    Wal.create ~io:t.io ~config:t.cfg ~gen:next (wal_file ~dir:t.dir ~gen:next)
+    Wal.create ~io:t.io ~compress:t.enc ~config:t.cfg ~gen:next
+      (wal_file ~dir:t.dir ~gen:next)
   in
   let old_wal = t.wal and old_gen = t.gen in
   t.wal <- wal;
@@ -455,10 +484,11 @@ let heal t =
         | Some _ ->
             let next = t.gen + 1 in
             let* _bytes =
-              Snapshot.save ~io:t.io t.store (snapshot_file ~dir:t.dir ~gen:next)
+              Snapshot.save ~io:t.io ~compress:t.enc t.store
+                (snapshot_file ~dir:t.dir ~gen:next)
             in
             let* wal =
-              Wal.create ~io:t.io ~config:t.cfg ~gen:next
+              Wal.create ~io:t.io ~compress:t.enc ~config:t.cfg ~gen:next
                 (wal_file ~dir:t.dir ~gen:next)
             in
             let old_wal = t.wal and old_gen = t.gen in
@@ -499,19 +529,20 @@ let crash t =
 
 (* --- one-shot snapshot I/O ------------------------------------------ *)
 
-let save_snapshot ?io store path = Snapshot.save ?io store path
+let save_snapshot ?io ?compress store path = Snapshot.save ?io ?compress store path
 
-let load_snapshot ?config path =
+let load_snapshot ?config ?expect path =
   match config with
-  | Some config -> Snapshot.load ~config path
+  | Some config -> Snapshot.load ?expect ~config path
   | None -> (
-      (* infer the config family from the recorded preprocess flag; the
-         fingerprint still has to match, so only snapshots written with
-         stock configs load without an explicit one *)
-      match Snapshot.read_header path with
+      (* infer the config family from the recorded preprocess flag and
+         encoder; the (encoder-mixed) fingerprint still has to match, so
+         only snapshots written with stock configs load without an
+         explicit one *)
+      match Snapshot.probe path with
       | Error _ as e -> e
-      | Ok h ->
-          let candidates =
+      | Ok (h, enc) ->
+          let stock =
             [
               Hyperion.Config.default;
               Hyperion.Config.strings;
@@ -520,16 +551,27 @@ let load_snapshot ?config path =
               { Hyperion.Config.strings with chunks_per_bin = 64 };
             ]
           in
+          let candidates =
+            List.map
+              (fun c -> { c with Hyperion.Config.compress = h.Snapshot.encoder })
+              stock
+          in
           let matching =
             List.find_opt
-              (fun c -> Hyperion.Config.fingerprint c = h.Snapshot.fingerprint)
+              (fun c ->
+                Compress.mix_fingerprint (Hyperion.Config.fingerprint c) enc
+                = h.Snapshot.fingerprint)
               candidates
           in
           let config =
             Option.value matching
               ~default:
-                (if h.Snapshot.preprocess then
-                   { Hyperion.Config.default with preprocess = true }
-                 else Hyperion.Config.default)
+                {
+                  (if h.Snapshot.preprocess then
+                     { Hyperion.Config.default with preprocess = true }
+                   else Hyperion.Config.default)
+                  with
+                  compress = h.Snapshot.encoder;
+                }
           in
-          Snapshot.load ~config path)
+          Snapshot.load ?expect ~config path)

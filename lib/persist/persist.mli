@@ -45,6 +45,7 @@ type recovery = {
 
 val open_or_create :
   ?config:Hyperion.Config.t ->
+  ?compress:Compress.t ->
   ?io:Io.t ->
   ?sync_every_ops:int ->
   ?sync_every_bytes:int ->
@@ -58,7 +59,20 @@ val open_or_create :
     through [io] (default {!Io.none}), the fault-injection and retry
     layer.  All failures — corrupt snapshot, foreign format version, torn
     WAL header, OS errors — come back as typed errors; this function never
-    raises.
+    raises (except on a [compress]/[config.compress] id disagreement,
+    which is a wiring bug).
+
+    {b Key compression.}  This layer stores and logs keys {e exactly as
+    given} — when [config.compress] is non-zero the caller (shard layer,
+    CLI) encodes keys before every mutation.  [compress] declares the
+    encoder those keys are under: on a fresh directory it is persisted
+    into every snapshot and WAL header; on an existing directory the
+    persisted dictionary is adopted (retraining-free recovery) and
+    [compress], when given, is verified against it
+    ([Version_mismatch] on a different dictionary).  Opening a fresh
+    directory with [config.compress = 1] and no [compress] fails with
+    [Io_error] — a dictionary cannot be conjured from the scheme id.
+    {!compress} exposes the adopted encoder.
 
     Before the handle is returned, the recovered store's arenas pass the
     {!Analyze.Heapcheck} mark-and-sweep heap audit; a leaked or
@@ -71,6 +85,11 @@ val store : t -> Hyperion.Store.t
     logged API below. *)
 
 val config : t -> Hyperion.Config.t
+
+val compress : t -> Compress.t
+(** The encoder this directory's keys are encoded with (persisted in the
+    snapshot; adopted on recovery). *)
+
 val dir : t -> string
 val recovery : t -> recovery  (** What {!open_or_create} found. *)
 
@@ -157,12 +176,16 @@ val crash : t -> unit
     [save]/[load] verbs. *)
 
 val save_snapshot :
-  ?io:Io.t -> Hyperion.Store.t -> string ->
+  ?io:Io.t -> ?compress:Compress.t -> Hyperion.Store.t -> string ->
   (int, Hyperion.Hyperion_error.t) result
 
 val load_snapshot :
-  ?config:Hyperion.Config.t -> string ->
-  (Hyperion.Store.t, Hyperion.Hyperion_error.t) result
+  ?config:Hyperion.Config.t -> ?expect:Compress.t -> string ->
+  (Hyperion.Store.t * Compress.t, Hyperion.Hyperion_error.t) result
+(** Like {!Snapshot.load}, but when [config] is omitted it is inferred
+    from the header (stock config families, the preprocess flag and the
+    persisted encoder).  Returns the store together with the encoder its
+    keys are encoded under. *)
 
 val snapshot_file : dir:string -> gen:int -> string
 val wal_file : dir:string -> gen:int -> string

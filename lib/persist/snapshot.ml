@@ -1,16 +1,23 @@
 module E = Hyperion.Hyperion_error
 
-let format_version = 1
+let format_version = 2
 let magic = "HYPSNAP\x01"
 
 type header = {
   version : int;
   preprocess : bool;
+  encoder : int;
   fingerprint : int64;
   count : int;
 }
 
 let corrupt path what = Error (E.Corrupt_snapshot (path ^ ": " ^ what))
+
+(* Header flags: bit 0 = preprocess, bits 1-2 = key-encoder scheme id.
+   v1 files predate the encoder field; their flags only ever held the
+   preprocess bit, so decoding them with this layout reads encoder 0
+   (identity) — exactly what they were written with. *)
+let flags_of ~preprocess ~encoder = (if preprocess then 1 else 0) lor (encoder lsl 1)
 
 let parse_header path buf =
   match Frame.parse_header ~magic buf with
@@ -18,13 +25,14 @@ let parse_header path buf =
   | Error Frame.Bad_magic -> corrupt path "bad magic"
   | Error Frame.Bad_crc -> corrupt path "header CRC mismatch"
   | Ok h ->
-      if h.Frame.version <> format_version then
+      if h.Frame.version <> format_version && h.Frame.version <> 1 then
         Error (E.Version_mismatch { found = h.Frame.version; expected = format_version })
       else
         Ok
           {
             version = h.Frame.version;
             preprocess = h.Frame.flags land 1 <> 0;
+            encoder = (h.Frame.flags lsr 1) land 3;
             fingerprint = h.Frame.fingerprint;
             count = Int64.to_int h.Frame.aux;
           }
@@ -33,6 +41,27 @@ let read_header ?(io = Io.none) path =
   match Io.read_file io path with
   | Error _ as e -> e
   | Ok buf -> parse_header path buf
+
+(* The encoder persisted in a v2 file: the framed record right after the
+   header — empty payload for identity, the 258-byte dictionary blob for
+   the dict scheme.  v1 files have no such record and are identity. *)
+let parse_encoder path h buf =
+  if h.version = 1 then
+    if h.encoder <> 0 then corrupt path "v1 snapshot with nonzero encoder bits"
+    else Ok (Compress.Identity, Frame.header_size)
+  else
+    match Frame.read_record buf ~pos:Frame.header_size with
+    | Error _ -> corrupt path "missing or torn dictionary record"
+    | Ok (blob, next) -> (
+        match h.encoder with
+        | 0 ->
+            if blob = "" then Ok (Compress.Identity, next)
+            else corrupt path "identity snapshot carries a dictionary"
+        | 1 -> (
+            match Compress.dict_of_string blob with
+            | Ok d -> Ok (Compress.Dict d, next)
+            | Error why -> corrupt path ("bad dictionary: " ^ why))
+        | n -> Error (E.Version_mismatch { found = n; expected = 1 }))
 
 let record_payload key value =
   (* SAFETY: both buffers below are freshly allocated, fully written, and
@@ -51,9 +80,14 @@ let record_payload key value =
       Bytes.set_int64_le b (1 + klen) v;
       Bytes.unsafe_to_string b
 
-let save ?(io = Io.none) store path =
+let save ?(io = Io.none) ?(compress = Compress.Identity) store path =
   let tmp = path ^ ".tmp" in
   let store_cfg = Hyperion.Store.config store in
+  if store_cfg.Hyperion.Config.compress <> Compress.id compress then
+    invalid_arg
+      (Printf.sprintf
+         "Snapshot.save: store config selects encoder %d but %s was passed"
+         store_cfg.Hyperion.Config.compress (Compress.name compress));
   let ( let* ) = Result.bind in
   let result =
     match Io.Out.create io tmp with
@@ -63,12 +97,25 @@ let save ?(io = Io.none) store path =
         let body =
           let header =
             Frame.make_header ~magic ~version:format_version
-              ~flags:(if store_cfg.Hyperion.Config.preprocess then 1 else 0)
-              ~fingerprint:(Hyperion.Config.fingerprint store_cfg)
+              ~flags:
+                (flags_of ~preprocess:store_cfg.Hyperion.Config.preprocess
+                   ~encoder:(Compress.id compress))
+              ~fingerprint:
+                (Compress.mix_fingerprint
+                   (Hyperion.Config.fingerprint store_cfg)
+                   compress)
               ~aux:(Int64.of_int (Hyperion.Store.length store))
           in
           let* () = Io.Out.write w header in
           written := Bytes.length header;
+          let dict_rec =
+            Frame.frame
+              (match compress with
+              | Compress.Identity -> ""
+              | Compress.Dict d -> Compress.dict_to_string d)
+          in
+          let* () = Io.Out.write w dict_rec in
+          written := !written + Bytes.length dict_rec;
           (* [iter] has no early exit: after the first failure the
              remaining callbacks are no-ops *)
           let err = ref None in
@@ -117,44 +164,89 @@ let decode_record path payload =
         Ok (key, Some v)
     | _ -> corrupt path "malformed record payload"
 
-let load ?(io = Io.none) ~config path =
+let probe ?(io = Io.none) path =
   match Io.read_file io path with
   | Error _ as e -> e
   | Ok buf -> (
       match parse_header path buf with
       | Error _ as e -> e
-      | Ok h ->
-          if h.fingerprint <> Hyperion.Config.fingerprint config then
-            corrupt path
-              (Printf.sprintf
-                 "config fingerprint mismatch (file 0x%Lx, config 0x%Lx)"
-                 h.fingerprint
-                 (Hyperion.Config.fingerprint config))
-          else begin
-            let store = Hyperion.Store.create ~config () in
-            let total = Bytes.length buf in
-            let rec loop pos seen =
-              if pos = total then
-                if seen = h.count then Ok store
-                else
-                  corrupt path
-                    (Printf.sprintf "header promises %d records, file has %d"
-                       h.count seen)
-              else if seen = h.count then corrupt path "trailing bytes"
-              else
-                match Frame.read_record buf ~pos with
-                | Error Frame.Rec_short -> corrupt path "truncated record"
-                | Error Frame.Rec_bad_len -> corrupt path "absurd record length"
-                | Error Frame.Rec_bad_crc ->
-                    corrupt path
-                      (Printf.sprintf "record #%d CRC mismatch" seen)
-                | Ok (payload, next) -> (
-                    match decode_record path payload with
-                    | Error _ as e -> e
-                    | Ok (key, value) -> (
-                        match apply_record store key value with
-                        | Ok () -> loop next (seen + 1)
-                        | Error _ as e -> e))
-            in
-            loop Frame.header_size 0
-          end)
+      | Ok h -> (
+          match parse_encoder path h buf with
+          | Error _ as e -> e
+          | Ok (enc, _) -> Ok (h, enc)))
+
+let load ?(io = Io.none) ?expect ~config path =
+  match Io.read_file io path with
+  | Error _ as e -> e
+  | Ok buf -> (
+      match parse_header path buf with
+      | Error _ as e -> e
+      | Ok h -> (
+          match parse_encoder path h buf with
+          | Error _ as e -> e
+          | Ok (enc, records_pos) ->
+              if config.Hyperion.Config.compress <> Compress.id enc then
+                (* the config demands a different encoder scheme: refusing
+                   here is what keeps a dict-encoded store from being
+                   silently served through an identity front door *)
+                Error
+                  (E.Version_mismatch
+                     {
+                       found = Compress.tag enc;
+                       expected = config.Hyperion.Config.compress;
+                     })
+              else if
+                match expect with
+                | None -> false
+                | Some e -> not (Compress.equal e enc)
+              then
+                (* same scheme, different dictionary bytes *)
+                Error
+                  (E.Version_mismatch
+                     {
+                       found = Compress.tag enc;
+                       expected = Compress.tag (Option.get expect);
+                     })
+              else if
+                h.fingerprint
+                <> Compress.mix_fingerprint
+                     (Hyperion.Config.fingerprint config)
+                     enc
+              then
+                corrupt path
+                  (Printf.sprintf
+                     "config fingerprint mismatch (file 0x%Lx, config 0x%Lx)"
+                     h.fingerprint
+                     (Compress.mix_fingerprint
+                        (Hyperion.Config.fingerprint config)
+                        enc))
+              else begin
+                let store = Hyperion.Store.create ~config () in
+                let total = Bytes.length buf in
+                let rec loop pos seen =
+                  if pos = total then
+                    if seen = h.count then Ok (store, enc)
+                    else
+                      corrupt path
+                        (Printf.sprintf
+                           "header promises %d records, file has %d" h.count
+                           seen)
+                  else if seen = h.count then corrupt path "trailing bytes"
+                  else
+                    match Frame.read_record buf ~pos with
+                    | Error Frame.Rec_short -> corrupt path "truncated record"
+                    | Error Frame.Rec_bad_len ->
+                        corrupt path "absurd record length"
+                    | Error Frame.Rec_bad_crc ->
+                        corrupt path
+                          (Printf.sprintf "record #%d CRC mismatch" seen)
+                    | Ok (payload, next) -> (
+                        match decode_record path payload with
+                        | Error _ as e -> e
+                        | Ok (key, value) -> (
+                            match apply_record store key value with
+                            | Ok () -> loop next (seen + 1)
+                            | Error _ as e -> e))
+                in
+                loop records_pos 0
+              end))

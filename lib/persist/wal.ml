@@ -16,18 +16,25 @@ type writer = {
   mutable open_ : bool;
 }
 
-let header_bytes ~config ~gen =
+(* Like snapshot headers: flags bit 0 = preprocess, bits 1-2 = encoder
+   scheme id; the fingerprint is encoder-mixed.  With the identity
+   encoder both reduce to the historical v1 values, so pre-compression
+   logs keep replaying byte-for-byte. *)
+let header_bytes ~config ~compress ~gen =
   Frame.make_header ~magic ~version:format_version
-    ~flags:(if config.Hyperion.Config.preprocess then 1 else 0)
-    ~fingerprint:(Hyperion.Config.fingerprint config)
+    ~flags:
+      ((if config.Hyperion.Config.preprocess then 1 else 0)
+      lor (Compress.id compress lsl 1))
+    ~fingerprint:
+      (Compress.mix_fingerprint (Hyperion.Config.fingerprint config) compress)
     ~aux:(Int64.of_int gen)
 
-let create ?(io = Io.none) ~config ~gen path =
+let create ?(io = Io.none) ?(compress = Compress.Identity) ~config ~gen path =
   match Io.openfile io path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 with
   | Error _ as e -> e
   | Ok fd -> (
       let setup =
-        match Io.write_all io fd (header_bytes ~config ~gen) ~path with
+        match Io.write_all io fd (header_bytes ~config ~compress ~gen) ~path with
         | Error _ as e -> e
         | Ok () -> Io.fsync io fd ~path
       in
@@ -165,7 +172,7 @@ let truncate_to io path valid =
       Io.quiet_close fd;
       res)
 
-let replay ?(io = Io.none) ~config ~gen path ~f =
+let replay ?(io = Io.none) ?(compress = Compress.Identity) ~config ~gen path ~f =
   match Io.read_file io path with
   | Error _ as e -> e
   | Ok buf -> (
@@ -178,13 +185,18 @@ let replay ?(io = Io.none) ~config ~gen path ~f =
             Error
               (E.Version_mismatch
                  { found = h.Frame.version; expected = format_version })
-          else if h.Frame.fingerprint <> Hyperion.Config.fingerprint config
+          else if
+            h.Frame.fingerprint
+            <> Compress.mix_fingerprint (Hyperion.Config.fingerprint config)
+                 compress
           then
             torn path
               (Printf.sprintf
                  "config fingerprint mismatch (file 0x%Lx, config 0x%Lx)"
                  h.Frame.fingerprint
-                 (Hyperion.Config.fingerprint config))
+                 (Compress.mix_fingerprint
+                    (Hyperion.Config.fingerprint config)
+                    compress))
           else if Int64.to_int h.Frame.aux <> gen then
             torn path
               (Printf.sprintf "generation mismatch (file %Ld, expected %d)"

@@ -235,6 +235,7 @@ type knobs = {
 
 type t = {
   cfg : H.Config.t;
+  enc : Compress.t;  (* every key is encoded through this at the front door *)
   tab : shard array;
   recs : shard_recovery list;
   knobs : knobs;
@@ -246,13 +247,37 @@ type t = {
 let shards t = Array.length t.tab
 let durable t = Array.length t.tab > 0 && t.tab.(0).persist <> None
 let config t = t.cfg
+let compress t = t.enc
 let recoveries t = t.recs
 
 let shard_dir ~dir i = Filename.concat dir (Printf.sprintf "shard-%03d" i)
 let manifest_file ~dir = Filename.concat dir "MANIFEST"
 
 let route_byte d b = b * d / 256
-let shard_of_key t key = route_byte (Array.length t.tab) (Char.code key.[0])
+
+(* Routing happens over *encoded* bytes; the encoder is order-preserving,
+   so the boundary math (first byte, fixed split) is unchanged. *)
+let shard_of_encoded t ekey = route_byte (Array.length t.tab) (Char.code ekey.[0])
+let shard_of_key t key = route_byte (Array.length t.tab) (Compress.first_byte t.enc key)
+
+(* Front-door key validation + encoding: the raw key must satisfy the
+   store's key rules (rejecting e.g. the empty key before it gains bytes
+   from the terminator code), and so must its encoding (worst-case
+   expansion can push a near-limit key over the length cap). *)
+let front_key enc key =
+  match H.Ops.key_error key with
+  | Some e -> Error e
+  | None -> (
+      match enc with
+      | Compress.Identity -> Ok key
+      | Compress.Dict _ -> (
+          let ek = Compress.encode enc key in
+          match H.Ops.key_error ek with Some e -> Error e | None -> Ok ek))
+
+let decoded enc ekey =
+  match Compress.decode enc ekey with
+  | Ok k -> k
+  | Error why -> E.fail (E.Chunk_corrupt ("stored key fails to decode: " ^ why))
 
 (* --- worker ----------------------------------------------------------- *)
 
@@ -377,9 +402,35 @@ let timeout_ns_of_ms ms =
   if ms < 0 then invalid_arg "Hyperion_shard: enqueue_timeout_ms must be >= 0";
   ms * 1_000_000
 
-let create ?(config = H.Config.default) ?(shards = 4) ?(mailbox = 1024)
-    ?(enqueue_timeout_ms = default_enqueue_timeout_ms) () =
+(* The encoder is part of the config contract: [config.compress] names
+   the scheme, [?compress] supplies the trained state.  A disagreement is
+   a wiring bug (invalid_arg); a missing dictionary for scheme 1 is too,
+   for the in-memory constructor (the durable path can adopt one from its
+   snapshots instead). *)
+let check_encoder ~config compress =
+  match compress with
+  | Some e ->
+      if Compress.id e <> config.H.Config.compress then
+        invalid_arg
+          (Printf.sprintf
+             "Hyperion_shard: config.compress = %d but the %s encoder was \
+              passed"
+             config.H.Config.compress (Compress.name e));
+      Some e
+  | None ->
+      if config.H.Config.compress = 0 then Some Compress.Identity else None
+
+let create ?(config = H.Config.default) ?compress ?(shards = 4)
+    ?(mailbox = 1024) ?(enqueue_timeout_ms = default_enqueue_timeout_ms) () =
   check_geometry ~shards ~mailbox;
+  let enc =
+    match check_encoder ~config compress with
+    | Some e -> e
+    | None ->
+        invalid_arg
+          "Hyperion_shard.create: config.compress selects the dict encoder; \
+           pass ?compress with the trained dictionary"
+  in
   let enqueue_timeout_ns = timeout_ns_of_ms enqueue_timeout_ms in
   let tab =
     Array.init shards (fun i ->
@@ -395,6 +446,7 @@ let create ?(config = H.Config.default) ?(shards = 4) ?(mailbox = 1024)
   start_workers tab;
   {
     cfg = config;
+    enc;
     tab;
     recs = [];
     knobs =
@@ -436,10 +488,11 @@ let write_manifest dir d =
 
 let recovery_wave = 8  (* parallel recovery domains per wave *)
 
-let open_durable ?(config = H.Config.default) ?shards ?sync_every_ops
+let open_durable ?(config = H.Config.default) ?compress ?shards ?sync_every_ops
     ?sync_every_bytes ?rotate_bytes ?(mailbox = 1024)
     ?(enqueue_timeout_ms = default_enqueue_timeout_ms) ?io_for_shard dir =
   let ( let* ) = Result.bind in
+  let expect = check_encoder ~config compress in
   let enqueue_timeout_ns = timeout_ns_of_ms enqueue_timeout_ms in
   let* () =
     match
@@ -479,8 +532,8 @@ let open_durable ?(config = H.Config.default) ?shards ?sync_every_ops
         Array.init n (fun j ->
             let io = Option.map (fun f -> f (i + j)) io_for_shard in
             Domain.spawn (fun () ->
-                Persist.open_or_create ~config ?io ?sync_every_ops
-                  ?sync_every_bytes ?rotate_bytes
+                Persist.open_or_create ~config ?compress:expect ?io
+                  ?sync_every_ops ?sync_every_bytes ?rotate_bytes
                   (shard_dir ~dir (i + j))))
       in
       Array.iteri (fun j dom -> results.(i + j) <- Domain.join dom) doms;
@@ -510,6 +563,25 @@ let open_durable ?(config = H.Config.default) ?shards ?sync_every_ops
                 E.fail e)
           results
       in
+      (* adopt the persisted encoder (shard 0's) and insist every shard
+         agrees: divergent dictionaries would route and compare
+         incoherently across the partition *)
+      let enc =
+        match expect with Some e -> e | None -> Persist.compress handles.(0)
+      in
+      let* () =
+        if
+          Array.for_all
+            (fun p -> Compress.equal (Persist.compress p) enc)
+            handles
+        then Ok ()
+        else begin
+          Array.iter (fun p -> ignore (Persist.close p)) handles;
+          Error
+            (E.Corrupt_snapshot
+               (dir ^ ": shards disagree about the key-compression dictionary"))
+        end
+      in
       let tab =
         Array.mapi
           (fun i p ->
@@ -533,6 +605,7 @@ let open_durable ?(config = H.Config.default) ?shards ?sync_every_ops
       Ok
         {
           cfg = config;
+          enc;
           tab;
           recs;
           knobs =
@@ -577,33 +650,31 @@ let rec submit_msg t sh msg =
               else if sh.mb != mb then submit_msg t sh msg
               else Error (closed_error t)))
 
-let submit t key op =
-  let sh = t.tab.(shard_of_key t key) in
+let submit t ekey op =
+  let sh = t.tab.(shard_of_encoded t ekey) in
   let iv = Ivar.create () in
   match submit_msg t sh (Mut (op, iv)) with
   | Ok () -> Ivar.read iv
   | Error _ as e -> e
 
-let key_check key = H.Ops.key_error key
-
 let put_result t key v =
-  match key_check key with
-  | Some e -> Error e
-  | None -> (
-      match submit t key (Put (key, v)) with
+  match front_key t.enc key with
+  | Error e -> Error e
+  | Ok ek -> (
+      match submit t ek (Put (ek, v)) with
       | Ok _ -> Ok ()
       | Error _ as e -> e)
 
 let add_result t key =
-  match key_check key with
-  | Some e -> Error e
-  | None -> (
-      match submit t key (Add key) with Ok _ -> Ok () | Error _ as e -> e)
+  match front_key t.enc key with
+  | Error e -> Error e
+  | Ok ek -> (
+      match submit t ek (Add ek) with Ok _ -> Ok () | Error _ as e -> e)
 
 let delete_result t key =
-  match key_check key with
-  | Some e -> Error e
-  | None -> submit t key (Delete key)
+  match front_key t.enc key with
+  | Error e -> Error e
+  | Ok ek -> submit t ek (Delete ek)
 
 let ok_or_raise = function Ok v -> v | Error e -> E.fail e
 
@@ -621,11 +692,13 @@ let delete t key =
 
 let get t key =
   if String.length key = 0 then invalid_arg "Hyperion_shard: empty key";
-  H.Store.get t.tab.(shard_of_key t key).store key
+  let ek = Compress.encode t.enc key in
+  H.Store.get t.tab.(shard_of_encoded t ek).store ek
 
 let mem t key =
   if String.length key = 0 then invalid_arg "Hyperion_shard: empty key";
-  H.Store.mem t.tab.(shard_of_key t key).store key
+  let ek = Compress.encode t.enc key in
+  H.Store.mem t.tab.(shard_of_encoded t ek).store ek
 
 (* --- batched mutations ------------------------------------------------ *)
 
@@ -650,15 +723,28 @@ module Batch = struct
       count = 0;
     }
 
-  let push b key op =
-    if String.length key = 0 then invalid_arg "Hyperion_shard: empty key";
-    let i = shard_of_key b.owner key in
+  (* keys are encoded at push time so flush routes and applies encoded
+     bytes, same as the blocking front door *)
+  let push b ekey op =
+    let i = shard_of_encoded b.owner ekey in
     b.pending.(i) <- op :: b.pending.(i);
     b.count <- b.count + 1
 
-  let put b key v = push b key (Put (key, v))
-  let add b key = push b key (Add key)
-  let delete b key = push b key (Delete key)
+  let enc_key b key =
+    if String.length key = 0 then invalid_arg "Hyperion_shard: empty key";
+    Compress.encode b.owner.enc key
+
+  let put b key v =
+    let ek = enc_key b key in
+    push b ek (Put (ek, v))
+
+  let add b key =
+    let ek = enc_key b key in
+    push b ek (Add ek)
+
+  let delete b key =
+    let ek = enc_key b key in
+    push b ek (Delete ek)
   let length b = b.count
 
   let flush_report b =
@@ -747,11 +833,17 @@ let with_quiesced t f =
 
 let iter t f =
   with_quiesced t (fun stores ->
-      Array.iter (fun s -> H.Store.iter s f) stores)
+      Array.iter
+        (fun s -> H.Store.iter s (fun ekey v -> f (decoded t.enc ekey) v))
+        stores)
 
 let fold t ~init ~f =
   with_quiesced t (fun stores ->
-      Array.fold_left (fun acc s -> H.Store.fold s ~init:acc ~f) init stores)
+      Array.fold_left
+        (fun acc s ->
+          H.Store.fold s ~init:acc ~f:(fun acc ekey v ->
+              f acc (decoded t.enc ekey) v))
+        init stores)
 
 let length t =
   with_quiesced t (fun stores ->
@@ -848,7 +940,7 @@ let restart_shard t i =
                 in
                 let io = Option.map (fun f -> f i) t.knobs.k_io_for_shard in
                 match
-                  Persist.open_or_create ~config:t.cfg ?io
+                  Persist.open_or_create ~config:t.cfg ~compress:t.enc ?io
                     ?sync_every_ops:t.knobs.k_sync_every_ops
                     ?sync_every_bytes:t.knobs.k_sync_every_bytes
                     ?rotate_bytes:t.knobs.k_rotate_bytes dir

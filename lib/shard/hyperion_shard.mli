@@ -20,6 +20,15 @@
     open; mutations are logged through the shard's {!Persist.t} handle by
     its worker domain, so the WAL order equals the apply order.
 
+    {b Key compression.}  When the store's {!Hyperion.Config.t.compress}
+    selects the trained-dictionary encoder ({!Compress}), every front-door
+    key is encoded before it reaches a store (and before WAL logging), and
+    decoded on the way back out of {!iter}/{!fold}.  Routing happens over
+    encoded bytes — the encoder is order-preserving, so the contiguous
+    byte-range partition and global iteration order are unchanged.
+    {!with_quiesced} deliberately stays below the boundary: it exposes the
+    raw stores, whose keys are {e encoded}.
+
     {b Supervision.}  Worker domains are supervised: an unexpected
     exception in a worker never strands a client.  The dying worker fails
     every pending request with a typed
@@ -34,6 +43,7 @@ type t
 
 val create :
   ?config:Hyperion.Config.t ->
+  ?compress:Compress.t ->
   ?shards:int ->
   ?mailbox:int ->
   ?enqueue_timeout_ms:int ->
@@ -43,8 +53,11 @@ val create :
     [1, 64]) over fresh in-memory stores.  [mailbox] bounds each shard's
     request ring (default 1024 requests; senders block when full, for at
     most [enqueue_timeout_ms] — default 30_000; [0] waits forever).
-    @raise Invalid_argument on out-of-range [shards], [mailbox], or a
-    negative [enqueue_timeout_ms]. *)
+    [compress] supplies the trained key encoder and must agree with
+    [config.compress]; when [config.compress = 1] it is mandatory (an
+    in-memory store has no snapshot to adopt a dictionary from).
+    @raise Invalid_argument on out-of-range [shards], [mailbox], a
+    negative [enqueue_timeout_ms], or an encoder/config disagreement. *)
 
 type shard_recovery = {
   shard : int;
@@ -53,6 +66,7 @@ type shard_recovery = {
 
 val open_durable :
   ?config:Hyperion.Config.t ->
+  ?compress:Compress.t ->
   ?shards:int ->
   ?sync_every_ops:int ->
   ?sync_every_bytes:int ->
@@ -73,18 +87,30 @@ val open_durable :
     [io_for_shard i] supplies the syscall-interposition handle shard [i]'s
     durability layer runs through (default {!Persist.Io.none}); the chaos
     harness uses it to arm per-shard disk-fault plans.  The same function
-    is consulted again by {!restart_shard}. *)
+    is consulted again by {!restart_shard}.
+
+    [compress] forwards to each shard's {!Persist.open_or_create}: on a
+    fresh directory it seeds the persisted dictionary; on reopen it is
+    verified against the persisted one ([Version_mismatch] on
+    disagreement).  When omitted over an existing directory, the persisted
+    encoder is adopted — shard 0's, with every other shard required to
+    agree ([Corrupt_snapshot] otherwise). *)
 
 val shards : t -> int
 val durable : t -> bool
 val config : t -> Hyperion.Config.t
+
+val compress : t -> Compress.t
+(** The key encoder every front-door key passes through (adopted from the
+    persisted dictionary when {!open_durable} was given none). *)
 
 val recoveries : t -> shard_recovery list
 (** What each shard's recovery found, ascending by shard; [[]] for
     in-memory stores. *)
 
 val shard_of_key : t -> string -> int
-(** The shard owning a (non-empty) key: [first_byte * shards / 256]. *)
+(** The shard owning a (non-empty) raw key:
+    [first_encoded_byte * shards / 256] (see {!Compress.first_byte}). *)
 
 (** {1 Blocking operations}
 
@@ -163,11 +189,14 @@ end
 val with_quiesced : t -> (Hyperion.Store.t array -> 'a) -> 'a
 (** [with_quiesced t f] runs [f] over the quiescent per-shard stores
     (index = shard id).  [f] must only read; the workers resume when it
-    returns (or raises). *)
+    returns (or raises).  The stores hold {e encoded} keys — decode with
+    {!compress} (as {!iter}/{!fold} do) before showing them to anyone. *)
 
 val iter : t -> (string -> int64 option -> unit) -> unit
 (** Every binding in global ascending key order (shard ranges are
-    contiguous, so shard order is key order). *)
+    contiguous, so shard order is key order).  Keys are decoded back to
+    their raw form; a stored key that fails to decode raises
+    [Error (Chunk_corrupt _)]. *)
 
 val fold : t -> init:'a -> f:('a -> string -> int64 option -> 'a) -> 'a
 val length : t -> int

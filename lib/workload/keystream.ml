@@ -99,3 +99,27 @@ let keys t = Array.copy t.keys
 let sample_rank t rng = Zipf.sample t.rank_zipf rng
 let sample t rng = t.keys.(sample_rank t rng)
 let next t = sample t t.rng
+
+(* ---- deterministic key sampling --------------------------------------- *)
+
+(* Vitter's Algorithm R: one pass, O(k) memory, every element of the
+   stream kept with probability k/n.  Seeded so that dictionary training
+   (Compress.train) and the bench arms draw the same sample. *)
+let reservoir ?(seed = 20190301L) ~k seq =
+  if k < 1 then invalid_arg "Keystream.reservoir: k must be positive";
+  let rng = Mt19937_64.create seed in
+  let res = Array.make k "" in
+  let n = ref 0 in
+  Seq.iter
+    (fun x ->
+      if !n < k then res.(!n) <- x
+      else begin
+        let j = Mt19937_64.next_below rng (!n + 1) in
+        if j < k then res.(j) <- x
+      end;
+      incr n)
+    seq;
+  if !n >= k then res else Array.sub res 0 !n
+
+let training_sample ?seed ?(k = 4096) t =
+  reservoir ?seed ~k (Array.to_seq t.keys)

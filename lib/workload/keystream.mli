@@ -52,6 +52,20 @@ val next : t -> string
 (** {!sample} with the stream's internal generator (single-threaded
     convenience). *)
 
+(** {1 Deterministic key sampling} *)
+
+val reservoir : ?seed:int64 -> k:int -> string Seq.t -> string array
+(** [reservoir ~k seq] draws a uniform [k]-element sample of the stream
+    in one pass (Vitter's Algorithm R), deterministically in [seed]
+    (default [20190301L]).  Streams shorter than [k] are returned whole.
+    Shared by dictionary training ({!Compress.train} callers) and the
+    bench arms so both see the same sample.
+    @raise Invalid_argument when [k < 1]. *)
+
+val training_sample : ?seed:int64 -> ?k:int -> t -> string array
+(** {!reservoir} over this stream's key universe ([k] defaults to
+    4096) — the sample a compression dictionary is trained on. *)
+
 (** {1 Corpus-construction internals}
 
     The letter-frequency vocabulary model shared with {!Ngram}, exposed so

@@ -1,0 +1,408 @@
+(* Order-preserving key compression: encoder properties, dictionary
+   serialization, snapshot/persist round trips, shard transparency. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* A trained dictionary over n-gram-shaped keys (the corpus the encoder
+   is meant for) plus arbitrary binary junk so every byte value has been
+   exercised at least via smoothing. *)
+let trained =
+  let ks = Workload.Keystream.create ~n:2000 () in
+  Compress.train (Array.to_seq (Workload.Keystream.keys ks))
+
+let enc = Compress.Dict trained
+
+let arb_key =
+  QCheck.(string_gen_of_size (Gen.int_bound 64) Gen.char)
+
+let prop_round_trip =
+  QCheck.Test.make ~count:1000 ~name:"encode/decode round trip (arbitrary bytes)"
+    arb_key (fun k ->
+      match Compress.decode enc (Compress.encode enc k) with
+      | Ok k' -> k' = k
+      | Error _ -> false)
+
+let prop_order =
+  QCheck.Test.make ~count:1000 ~name:"order preservation vs String.compare"
+    QCheck.(pair arb_key arb_key)
+    (fun (a, b) ->
+      let sign n = compare n 0 in
+      sign (String.compare (Compress.encode enc a) (Compress.encode enc b))
+      = sign (String.compare a b))
+
+let prop_first_byte =
+  QCheck.Test.make ~count:1000 ~name:"first_byte agrees with encode"
+    arb_key (fun k ->
+      Compress.first_byte enc k = Char.code (Compress.encode enc k).[0])
+
+let prop_encoded_length =
+  QCheck.Test.make ~count:500 ~name:"encoded_length agrees with encode"
+    arb_key (fun k ->
+      Compress.encoded_length enc k = String.length (Compress.encode enc k))
+
+let test_dict_serialization () =
+  let blob = Compress.dict_to_string trained in
+  Alcotest.(check int) "blob size" 258 (String.length blob);
+  match Compress.dict_of_string blob with
+  | Error why -> Alcotest.failf "dict_of_string: %s" why
+  | Ok d ->
+      Alcotest.(check bool) "same encoder" true
+        (Compress.equal enc (Compress.Dict d));
+      Alcotest.(check string) "stable blob" blob (Compress.dict_to_string d);
+      let k = "some key\tbytes \x00\xff" in
+      Alcotest.(check string) "same encoding"
+        (Compress.encode enc k)
+        (Compress.encode (Compress.Dict d) k)
+
+let test_dict_rejects_garbage () =
+  let reject what s =
+    match Compress.dict_of_string s with
+    | Ok _ -> Alcotest.failf "accepted %s" what
+    | Error _ -> ()
+  in
+  reject "empty" "";
+  reject "short" (String.make 10 '\x05');
+  reject "bad scheme" ("\x02" ^ String.make 257 '\x08');
+  reject "zero length" ("\x01" ^ String.make 257 '\x00');
+  reject "non-Kraft lengths" ("\x01" ^ String.make 257 '\x01')
+
+let test_compresses_corpus () =
+  let ks = Workload.Keystream.create ~n:1000 () in
+  let raw = ref 0 and encd = ref 0 in
+  Array.iter
+    (fun k ->
+      raw := !raw + String.length k;
+      encd := !encd + String.length (Compress.encode enc k))
+    (Workload.Keystream.keys ks);
+  Alcotest.(check bool)
+    (Printf.sprintf "n-gram keys shrink (raw %d, encoded %d)" !raw !encd)
+    true
+    (float_of_int !encd < 0.8 *. float_of_int !raw)
+
+let test_empty_and_prefix () =
+  (* "" encodes to the bare terminator and still sorts below everything *)
+  let e = Compress.encode enc "" in
+  Alcotest.(check bool) "nonempty" true (String.length e >= 1);
+  Alcotest.(check (result string string)) "round trip" (Ok "")
+    (Compress.decode enc e);
+  let a = Compress.encode enc "abc" and ab = Compress.encode enc "abcd" in
+  Alcotest.(check bool) "prefix sorts first" true (String.compare a ab < 0)
+
+let test_decode_rejects () =
+  let e = Compress.encode enc "hello world" in
+  let flip s i =
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    Bytes.to_string b
+  in
+  (match Compress.decode enc (e ^ String.make 4 '\x00') with
+  | Ok _ -> Alcotest.fail "accepted trailing bytes"
+  | Error _ -> ());
+  (* flipping a bit either still decodes (to a different key) or errors,
+     but must never return the original *)
+  match Compress.decode enc (flip e 0) with
+  | Ok k -> Alcotest.(check bool) "different key" true (k <> "hello world")
+  | Error _ -> ()
+
+let test_of_id () =
+  (match Compress.of_id 0 with
+  | Ok Compress.Identity -> ()
+  | _ -> Alcotest.fail "of_id 0");
+  (match Compress.of_id ~dict:trained 1 with
+  | Ok (Compress.Dict _) -> ()
+  | _ -> Alcotest.fail "of_id 1");
+  (match Compress.of_id 1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "of_id 1 without dict must fail");
+  match Compress.of_id 7 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "of_id 7 must fail"
+
+let test_reservoir () =
+  let seq = Seq.init 10_000 (fun i -> Printf.sprintf "key-%05d" i) in
+  let a = Workload.Keystream.reservoir ~k:256 seq in
+  let b = Workload.Keystream.reservoir ~k:256 seq in
+  Alcotest.(check int) "size" 256 (Array.length a);
+  Alcotest.(check bool) "deterministic" true (a = b);
+  let c = Workload.Keystream.reservoir ~seed:7L ~k:256 seq in
+  Alcotest.(check bool) "seed-dependent" true (a <> c);
+  let small = Workload.Keystream.reservoir ~k:64 (Seq.init 10 string_of_int) in
+  Alcotest.(check int) "short stream keeps everything" 10 (Array.length small)
+
+(* ---- persistence integration ---------------------------------------- *)
+
+module E = Hyperion.Hyperion_error
+
+let cfg_dict =
+  { Hyperion.Config.strings with chunks_per_bin = 64; compress = 1 }
+
+let cfg_id = { cfg_dict with compress = 0 }
+
+let fresh_file () = Filename.temp_file "hyperion_compress_test" ".hyp"
+
+let fresh_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hyperion-compress-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let sample_keys n =
+  Array.init n (fun i -> Printf.sprintf "compress/key-%04d" i)
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (E.to_string e)
+
+(* A dict-encoded store round-trips through a v2 snapshot: the dictionary
+   travels inside the file, and the reopened pair decodes every key. *)
+let test_snapshot_dict_roundtrip () =
+  let store = Hyperion.Store.create ~config:cfg_dict () in
+  let keys = sample_keys 500 in
+  Array.iteri
+    (fun i k ->
+      Hyperion.Store.put store (Compress.encode enc k) (Int64.of_int i))
+    keys;
+  let path = fresh_file () in
+  ignore (ok "save" (Persist.save_snapshot ~compress:enc store path));
+  let store2, enc2 = ok "load" (Persist.load_snapshot ~config:cfg_dict path) in
+  Alcotest.(check bool) "encoder travels in the file" true
+    (Compress.equal enc enc2);
+  Alcotest.(check int) "length" (Array.length keys)
+    (Hyperion.Store.length store2);
+  Array.iteri
+    (fun i k ->
+      Alcotest.(check (option int64))
+        k
+        (Some (Int64.of_int i))
+        (Hyperion.Store.get store2 (Compress.encode enc2 k)))
+    keys;
+  (* stored keys decode back to the raw ones, in order *)
+  let decoded = ref [] in
+  Hyperion.Store.iter store2 (fun ek _ ->
+      match Compress.decode enc2 ek with
+      | Ok k -> decoded := k :: !decoded
+      | Error why -> Alcotest.failf "decode: %s" why);
+  Alcotest.(check (list string)) "raw keys in order"
+    (Array.to_list keys)
+    (List.rev !decoded);
+  Sys.remove path
+
+(* A hand-built format-v1 file (no dictionary record, plain config
+   fingerprint) still loads, as the identity encoder. *)
+let test_snapshot_v1_backcompat () =
+  let buf = Buffer.create 256 in
+  let header =
+    Persist.Frame.make_header ~magic:Persist.Snapshot.magic ~version:1 ~flags:0
+      ~fingerprint:(Hyperion.Config.fingerprint cfg_id)
+      ~aux:2L
+  in
+  Buffer.add_bytes buf header;
+  List.iter
+    (fun (k, v) ->
+      let klen = String.length k in
+      let p = Bytes.create (1 + klen + 8) in
+      Bytes.set_uint8 p 0 1;
+      Bytes.blit_string k 0 p 1 klen;
+      Bytes.set_int64_le p (1 + klen) v;
+      Buffer.add_bytes buf (Persist.Frame.frame (Bytes.to_string p)))
+    [ ("alpha", 1L); ("beta", 2L) ];
+  let path = fresh_file () in
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  let store, enc1 = ok "load v1" (Persist.load_snapshot ~config:cfg_id path) in
+  Alcotest.(check bool) "v1 is identity" true
+    (Compress.equal Compress.Identity enc1);
+  Alcotest.(check (option int64)) "alpha" (Some 1L)
+    (Hyperion.Store.get store "alpha");
+  Alcotest.(check (option int64)) "beta" (Some 2L)
+    (Hyperion.Store.get store "beta");
+  Sys.remove path
+
+(* Opening under the wrong encoder is a typed refusal, never garbled
+   keys: scheme mismatch and dictionary mismatch both map to
+   Version_mismatch. *)
+let test_encoder_mismatch () =
+  let store = Hyperion.Store.create ~config:cfg_dict () in
+  Hyperion.Store.put store (Compress.encode enc "k") 1L;
+  let path = fresh_file () in
+  ignore (ok "save" (Persist.save_snapshot ~compress:enc store path));
+  (* identity config against a dict snapshot *)
+  (match Persist.load_snapshot ~config:cfg_id path with
+  | Error (E.Version_mismatch _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "identity config must not open a dict snapshot");
+  (* same scheme, different dictionary bytes *)
+  let other =
+    Compress.Dict
+      (Compress.train (Seq.init 400 (Printf.sprintf "ZZ-%d-unrelated")))
+  in
+  Alcotest.(check bool) "dictionaries differ" false (Compress.equal enc other);
+  (match Persist.load_snapshot ~expect:other ~config:cfg_dict path with
+  | Error (E.Version_mismatch _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "mismatched dictionary must not load");
+  (* and an identity store refuses a dict expectation the other way *)
+  let id_store = Hyperion.Store.create ~config:cfg_id () in
+  Hyperion.Store.put id_store "k" 1L;
+  let path2 = fresh_file () in
+  ignore (ok "save id" (Persist.save_snapshot id_store path2));
+  (match Persist.load_snapshot ~config:cfg_dict path2 with
+  | Error (E.Version_mismatch _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "dict config must not open an identity snapshot");
+  Sys.remove path;
+  Sys.remove path2
+
+(* The durability layer persists the dictionary and adopts it on reopen —
+   including keys that only live in the WAL (logged post-encoding, so
+   replay needs no retraining). *)
+let test_persist_adopts_dict () =
+  let dir = fresh_dir () in
+  let p =
+    ok "open fresh"
+      (Persist.open_or_create ~config:cfg_dict ~compress:enc dir)
+  in
+  let keys = sample_keys 64 in
+  Array.iteri
+    (fun i k ->
+      ok "put" (Persist.put p (Compress.encode enc k) (Int64.of_int i)))
+    keys;
+  ok "snapshot" (Persist.snapshot_now p);
+  (* a few more keys that exist only in the WAL of the new generation *)
+  ok "wal put" (Persist.put p (Compress.encode enc "wal/only-1") 1001L);
+  ok "wal put" (Persist.put p (Compress.encode enc "wal/only-2") 1002L);
+  ok "close" (Persist.close p);
+  (* reopen with no explicit dictionary: the persisted one is adopted *)
+  let p2 = ok "reopen" (Persist.open_or_create ~config:cfg_dict dir) in
+  Alcotest.(check bool) "adopted the persisted dictionary" true
+    (Compress.equal enc (Persist.compress p2));
+  let store = Persist.store p2 in
+  Array.iteri
+    (fun i k ->
+      Alcotest.(check (option int64))
+        k
+        (Some (Int64.of_int i))
+        (Hyperion.Store.get store (Compress.encode enc k)))
+    keys;
+  Alcotest.(check (option int64)) "wal key replayed" (Some 1001L)
+    (Hyperion.Store.get store (Compress.encode enc "wal/only-1"));
+  Alcotest.(check (option int64)) "wal key replayed" (Some 1002L)
+    (Hyperion.Store.get store (Compress.encode enc "wal/only-2"));
+  (* a contradicting explicit dictionary is refused *)
+  let other =
+    Compress.Dict (Compress.train (Seq.init 300 (Printf.sprintf "no-%d")))
+  in
+  ok "close" (Persist.close p2);
+  (match Persist.open_or_create ~config:cfg_dict ~compress:other dir with
+  | Error (E.Version_mismatch _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (E.to_string e)
+  | Ok p3 ->
+      ignore (Persist.close p3);
+      Alcotest.fail "contradicting dictionary must not open");
+  rm_rf dir
+
+(* The sharded front door is transparent: raw keys in, raw keys out, with
+   encoded bytes underneath and the dictionary adopted on reopen. *)
+let test_shard_transparency () =
+  let dir = fresh_dir () in
+  let keys = sample_keys 300 in
+  let t =
+    ok "open"
+      (Hyperion_shard.open_durable ~config:cfg_dict ~compress:enc ~shards:4
+         dir)
+  in
+  Array.iteri
+    (fun i k -> Hyperion_shard.put t k (Int64.of_int i))
+    keys;
+  Alcotest.(check (option int64)) "get raw key" (Some 7L)
+    (Hyperion_shard.get t (keys.(7)));
+  Alcotest.(check bool) "mem raw key" true (Hyperion_shard.mem t keys.(0));
+  Alcotest.(check bool) "delete raw key" true (Hyperion_shard.delete t keys.(299));
+  (* iter yields decoded keys, in global raw order *)
+  let got = ref [] in
+  Hyperion_shard.iter t (fun k _ -> got := k :: !got);
+  Alcotest.(check (list string)) "iter decodes"
+    (Array.to_list (Array.sub keys 0 299))
+    (List.rev !got);
+  (* below the boundary the stores hold encoded bytes *)
+  Hyperion_shard.with_quiesced t (fun stores ->
+      let raw_hits = ref 0 in
+      Array.iter
+        (fun s ->
+          Array.iter
+            (fun k -> if Hyperion.Store.mem s k then incr raw_hits)
+            keys)
+        stores;
+      Alcotest.(check int) "raw keys are not stored verbatim" 0 !raw_hits);
+  ok "close" (Hyperion_shard.close t);
+  (* reopen with nothing: every shard adopts the same persisted dict *)
+  let t2 = ok "reopen" (Hyperion_shard.open_durable ~config:cfg_dict ~shards:4 dir) in
+  Alcotest.(check bool) "adopted" true
+    (Compress.equal enc (Hyperion_shard.compress t2));
+  Alcotest.(check (option int64)) "survives reopen" (Some 7L)
+    (Hyperion_shard.get t2 (keys.(7)));
+  ok "close" (Hyperion_shard.close t2);
+  rm_rf dir
+
+(* Differential chaos smoke with the encoder armed: store sees encoded
+   keys, oracle raw ones, final sweep decodes — any asymmetry diverges. *)
+let test_chaos_compress () =
+  let chaos_enc =
+    Compress.Dict (Compress.train (Seq.init 4096 Chaos.key_for))
+  in
+  match
+    Chaos.run
+      ~config:{ Hyperion.Config.default with compress = 1 }
+      ~compress:chaos_enc ~seed:42L ~ops:5000 ()
+  with
+  | Ok o -> Alcotest.(check bool) "keys stored" true (o.Chaos.final_keys > 0)
+  | Error msg -> Alcotest.fail msg
+
+let () =
+  Alcotest.run "compress"
+    [
+      ( "encoder",
+        [
+          qcheck prop_round_trip;
+          qcheck prop_order;
+          qcheck prop_first_byte;
+          qcheck prop_encoded_length;
+          Alcotest.test_case "corpus compression" `Quick test_compresses_corpus;
+          Alcotest.test_case "empty + prefix keys" `Quick test_empty_and_prefix;
+          Alcotest.test_case "decode rejects junk" `Quick test_decode_rejects;
+          Alcotest.test_case "of_id" `Quick test_of_id;
+        ] );
+      ( "dictionary",
+        [
+          Alcotest.test_case "serialization round trip" `Quick
+            test_dict_serialization;
+          Alcotest.test_case "rejects garbage" `Quick test_dict_rejects_garbage;
+        ] );
+      ( "sampling",
+        [ Alcotest.test_case "reservoir" `Quick test_reservoir ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "dict snapshot round trip" `Quick
+            test_snapshot_dict_roundtrip;
+          Alcotest.test_case "v1 back compat" `Quick test_snapshot_v1_backcompat;
+          Alcotest.test_case "encoder mismatch is typed" `Quick
+            test_encoder_mismatch;
+          Alcotest.test_case "persist adopts the dictionary" `Quick
+            test_persist_adopts_dict;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "shard transparency" `Quick test_shard_transparency;
+          Alcotest.test_case "chaos with encoder" `Quick test_chaos_compress;
+        ] );
+    ]

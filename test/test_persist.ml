@@ -49,7 +49,7 @@ let test_snapshot_roundtrip () =
   let path = fresh_file () in
   let bytes = ok "save" (Persist.save_snapshot s path) in
   Alcotest.(check bool) "snapshot non-trivial" true (bytes > 32);
-  let s2 = ok "load" (Persist.Snapshot.load ~config:cfg path) in
+  let s2, _enc = ok "load" (Persist.Snapshot.load ~config:cfg path) in
   Alcotest.(check int) "length preserved" (S.length s) (S.length s2);
   Alcotest.(check bool) "bindings preserved" true (dump s = dump s2);
   Alcotest.(check (option int64)) "valueless stays valueless" None
@@ -63,7 +63,7 @@ let test_snapshot_empty_store () =
   let s = S.create ~config:cfg () in
   let path = fresh_file () in
   ignore (ok "save" (Persist.save_snapshot s path));
-  let s2 = ok "load" (Persist.Snapshot.load ~config:cfg path) in
+  let s2, _enc = ok "load" (Persist.Snapshot.load ~config:cfg path) in
   Alcotest.(check int) "empty round-trip" 0 (S.length s2);
   Sys.remove path
 
@@ -123,7 +123,7 @@ let test_version_mismatch_typed () =
   write_file path (Bytes.to_string b);
   expect_error "future version" (Persist.Snapshot.load ~config:cfg path)
     (function
-      | E.Version_mismatch { found = 99; expected = 1 } -> true
+      | E.Version_mismatch { found = 99; expected = 2 } -> true
       | _ -> false);
   Sys.remove path
 
@@ -277,7 +277,7 @@ let roundtrip_prop config keys =
     | Ok _ -> (
         match Persist.Snapshot.load ~config path with
         | Error e -> Alcotest.failf "load: %s" (E.to_string e)
-        | Ok s -> s)
+        | Ok (s, _enc) -> s)
   in
   Sys.remove path;
   let after = sequences reloaded in
