@@ -352,6 +352,11 @@ let all_experiments =
         ignore
           (Bench_util.Telemetry_bench.insert ~n:(n_str ())
              ?json_dir:!json_dir ()) );
+    ( "probe",
+      fun () ->
+        ignore
+          (Bench_util.Probe_bench.probe ~n:(n_str ()) ?json_dir:!json_dir ());
+        Bench_util.Probe_bench.comparison ~n:(max 1 (n_str () / 6)) () );
   ]
 
 let () =

@@ -105,13 +105,24 @@ let rec walk_top st buf base =
   st.containers <- st.containers + 1;
   if st.containers > max_containers then raise Walk_overflow;
   let region = T.top_region buf base in
-  walk_region st buf region.T.rb region.T.re
+  let computed = walk_region st buf region.T.rb region.T.re in
+  (* Negative-lookup tag soundness: the stored tag byte must be a
+     superset of the bits of the T-keys actually present in the top
+     region (deletes may leave stale extra bits — that only costs a
+     scan; a missing bit would make a present key unfindable). *)
+  let stored = Hyperion.Layout.read_tag buf base in
+  if stored land computed <> computed then
+    probf st "tag"
+      "container tag 0x%02x is missing bits 0x%02x of present T-keys"
+      stored (computed land lnot stored)
 
 and walk_region st buf rb re =
   let pos = ref rb and prev = ref (-1) in
+  let tag = ref 0 in
   while !pos < re do
     let t = R.parse_t buf !pos ~prev_key:!prev in
     prev := t.R.t_key;
+    tag := !tag lor Hyperion.Tag.bit t.R.t_key;
     let limit = R.next_t_pos buf t ~limit:re in
     if limit <= !pos then raise Walk_overflow;
     let sp = ref t.R.t_head_end and sprev = ref (-1) in
@@ -124,15 +135,18 @@ and walk_region st buf rb re =
         (match Node.child_of_flag flag with
         | Node.No_child | Node.Child_pc -> ()
         | Node.Child_embedded ->
+            (* Embedded regions are untagged; their T-keys do not feed
+               the enclosing container's tag byte. *)
             let r = T.emb_region buf s.R.s_head_end in
-            walk_region st buf r.T.rb r.T.re
+            ignore (walk_region st buf r.T.rb r.T.re : int)
         | Node.Child_hp -> mark st (Hp.read buf s.R.s_head_end));
         if s.R.s_end <= !sp then raise Walk_overflow;
         sp := s.R.s_end
       end
     done;
     pos := limit
-  done
+  done;
+  !tag
 
 and mark st hp =
   if Hp.is_null hp then probf st "bad-ref" "null HP stored as a child pointer"

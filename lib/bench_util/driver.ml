@@ -1,7 +1,7 @@
 module Make_hyperion (C : sig
   val name : string
   val config : Hyperion.Config.t
-end) : Kvcommon.Kv_intf.S = struct
+end) : Kvcommon.Kv_intf.S with type t = Hyperion.Store.t = struct
   type t = Hyperion.Store.t
 
   let name = C.name
@@ -37,26 +37,71 @@ module Hyperion_p = Make_hyperion (struct
 end)
 
 type instance =
-  | Instance :
-      (module Kvcommon.Kv_intf.S with type t = 'a)
-      * 'a
-      * (unit -> (string * int) list)
+  | Instance : {
+      impl : (module Kvcommon.Kv_intf.S with type t = 'a);
+      store : 'a;
+      alt : unit -> (string * int) list;
+      batched : (?width:int -> string array -> int64 option array) option;
+    }
       -> instance
 
 type driver = { dname : string; make : unit -> instance }
 
 let open_instance d = d.make ()
-let name (Instance ((module S), _, _)) = S.name
-let put (Instance ((module S), s, _)) k v = S.put s k v
-let get (Instance ((module S), s, _)) k = S.get s k
-let delete (Instance ((module S), s, _)) k = S.delete s k
-let range (Instance ((module S), s, _)) ?start f = S.range s ?start f
-let length (Instance ((module S), s, _)) = S.length s
-let memory_usage (Instance ((module S), s, _)) = S.memory_usage s
-let alt_memories (Instance (_, _, alt)) = alt ()
+let name (Instance { impl = (module S); _ }) = S.name
+let put (Instance { impl = (module S); store; _ }) k v = S.put store k v
+let get (Instance { impl = (module S); store; _ }) k = S.get store k
+let delete (Instance { impl = (module S); store; _ }) k = S.delete store k
+
+let range (Instance { impl = (module S); store; _ }) ?start f =
+  S.range store ?start f
+
+let length (Instance { impl = (module S); store; _ }) = S.length store
+
+let memory_usage (Instance { impl = (module S); store; _ }) =
+  S.memory_usage store
+
+let alt_memories (Instance { alt; _ }) = alt ()
+let has_batched (Instance { batched; _ }) = batched <> None
+
+let get_many ?width (Instance { impl = (module S); store; batched; _ }) keys =
+  match batched with
+  | Some f -> f ?width keys
+  | None -> Array.map (S.get store) keys
 
 let driver (type a) dname (module S : Kvcommon.Kv_intf.S with type t = a) =
-  { dname; make = (fun () -> Instance ((module S), S.create (), fun () -> [])) }
+  {
+    dname;
+    make =
+      (fun () ->
+        Instance
+          {
+            impl = (module S);
+            store = S.create ();
+            alt = (fun () -> []);
+            batched = None;
+          });
+  }
+
+(* Hyperion rows get the store's native memory-level-parallel batch path;
+   every other structure keeps the sequential-loop default, which is the
+   fair baseline a probe bench compares against. *)
+let hyperion_driver dname
+    (module S : Kvcommon.Kv_intf.S with type t = Hyperion.Store.t) =
+  {
+    dname;
+    make =
+      (fun () ->
+        let store = S.create () in
+        Instance
+          {
+            impl = (module S);
+            store;
+            alt = (fun () -> []);
+            batched =
+              Some (fun ?width keys -> Hyperion.Store.get_many ?width store keys);
+          });
+  }
 
 (* ART and HOT additionally report the paper's ARTC / ARTopt / HOTopt
    memory models for the same index. *)
@@ -67,13 +112,17 @@ let art_driver =
       (fun () ->
         let s = Art.create () in
         Instance
-          ( (module Art),
-            s,
-            fun () ->
-              [
-                ("ARTC", Art.memory_usage_model s Art.Leafalloc);
-                ("ARTopt", Art.memory_usage_model s Art.Opt);
-              ] ));
+          {
+            impl = (module Art);
+            store = s;
+            alt =
+              (fun () ->
+                [
+                  ("ARTC", Art.memory_usage_model s Art.Leafalloc);
+                  ("ARTopt", Art.memory_usage_model s Art.Opt);
+                ]);
+            batched = None;
+          });
   }
 
 let hot_driver =
@@ -83,13 +132,18 @@ let hot_driver =
       (fun () ->
         let s = Hot.create () in
         Instance
-          ((module Hot), s, fun () -> [ ("HOTopt", Hot.memory_usage_opt s) ]));
+          {
+            impl = (module Hot);
+            store = s;
+            alt = (fun () -> [ ("HOTopt", Hot.memory_usage_opt s) ]);
+            batched = None;
+          });
   }
 
 let for_integers () =
   [
-    driver "Hyperion" (module Hyperion_kv);
-    driver "Hyperion_p" (module Hyperion_p);
+    hyperion_driver "Hyperion" (module Hyperion_kv);
+    hyperion_driver "Hyperion_p" (module Hyperion_p);
     driver "Judy" (module Judy);
     driver "HAT" (module Hat);
     art_driver;
@@ -100,7 +154,7 @@ let for_integers () =
 
 let for_strings () =
   [
-    driver "Hyperion" (module Hyperion_strings);
+    hyperion_driver "Hyperion" (module Hyperion_strings);
     driver "Judy" (module Judy);
     driver "HAT" (module Hat);
     art_driver;

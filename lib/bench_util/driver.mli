@@ -16,10 +16,14 @@ module Hyperion_p : Kvcommon.Kv_intf.S
 (** Hyperion with key pre-processing enabled (keys must be >= 4 bytes). *)
 
 type instance =
-  | Instance :
-      (module Kvcommon.Kv_intf.S with type t = 'a)
-      * 'a
-      * (unit -> (string * int) list)
+  | Instance : {
+      impl : (module Kvcommon.Kv_intf.S with type t = 'a);
+      store : 'a;
+      alt : unit -> (string * int) list;
+      batched : (?width:int -> string array -> int64 option array) option;
+          (** native batched point-read hook; [None] for structures
+              without one (they fall back to a sequential loop) *)
+    }
       -> instance
 
 type driver = { dname : string; make : unit -> instance }
@@ -29,6 +33,17 @@ val name : instance -> string
 val put : instance -> string -> int64 -> unit
 val get : instance -> string -> int64 option
 val delete : instance -> string -> bool
+
+val get_many : ?width:int -> instance -> string array -> int64 option array
+(** Batched point reads.  Hyperion instances route through the store's
+    native memory-level-parallel {!Hyperion.Store.get_many}; every other
+    driver runs the default sequential loop over [get] — the fair
+    baseline a probe bench compares the batched path against.  Results
+    are positionally [Array.map (get i) keys] either way. *)
+
+(** [has_batched i] is whether {!get_many} uses a native batched path
+    (rather than the sequential fallback) on this instance. *)
+val has_batched : instance -> bool
 val range : instance -> ?start:string -> (string -> int64 option -> bool) -> unit
 val length : instance -> int
 val memory_usage : instance -> int

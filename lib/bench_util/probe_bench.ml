@@ -1,0 +1,245 @@
+(* The [probe] experiment: sequential vs batched (memory-level-parallel)
+   point reads under a miss-rate / batch-width sweep.
+
+   Hyperion's batched path wins on two mechanisms this bench isolates:
+   software-pipelined prefetching descents (pays off when probes miss
+   cache, i.e. at every miss rate) and per-container negative-lookup tags
+   (pay off on probe misses, i.e. at high miss rates).  The sweep runs
+   miss rates 0/50/95% against batch widths 1/8/32, with the two arms
+   interleaved chunk by chunk — the same matched-pairs discipline as the
+   telemetry insert bench, so run-long drift cancels out.  Both arms are
+   timed per chunk of [width] probes (identical clock overhead), and
+   per-op percentiles divide the chunk durations by the width.
+
+   The timed sweep runs with telemetry off (pure path cost); a short
+   follow-up pass with telemetry on harvests the tag-rejected and
+   prefetch-issued counters for BENCH_probe.json, which CI gates on. *)
+
+let default_config = { Hyperion.Config.strings with chunks_per_bin = 64 }
+let miss_rates = [ 0; 50; 95 ]
+let widths = [ 1; 8; 32 ]
+
+(* Same registered metrics as lib/core — registration is idempotent, so
+   this is how an exporter reads the engine's counters. *)
+let c_tag_rejected =
+  Telemetry.Counter.make "hyperion_tag_rejected_total"
+    ~help:"Lookups short-circuited by a container's negative-lookup tag"
+
+let c_prefetch =
+  Telemetry.Counter.make "hyperion_prefetch_issued_total"
+    ~help:"Software prefetches issued by the batched read path"
+
+type result = {
+  rows : Json_out.row list;
+  lats : Json_out.latency list;
+  tag_rejected : int;
+  prefetch_issued : int;
+  json_path : string option;
+}
+
+(* Percentiles of per-op cost from per-chunk durations. *)
+let lat_of ~metric durs ~width =
+  let a = Array.copy durs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let q f =
+    float_of_int a.(min (n - 1) (int_of_float (f *. float_of_int n)))
+    /. float_of_int width
+  in
+  let total_ops = n * width in
+  {
+    Json_out.metric;
+    count = total_ops;
+    p50_ns = q 0.5;
+    p90_ns = q 0.9;
+    p99_ns = q 0.99;
+    p999_ns = q 0.999;
+    mean_ns =
+      float_of_int (Array.fold_left ( + ) 0 durs) /. float_of_int total_ops;
+  }
+
+(* A pool of keys guaranteed absent, in two interleaved shapes:
+   - a present key with one byte overwritten by '\x01' at a cycling
+     position: the descent diverges mid-key, and when the position
+     coincides with a container boundary the negative-lookup tag can
+     reject the child container without scanning it;
+   - a present key with a '\x01' suffix appended: the descent runs the
+     full present path before missing.
+   Absence is verified either way (n-gram keys can be prefixes and
+   substrings of each other, so construction alone is not proof). *)
+let absent_pool store pairs count =
+  Array.init count (fun i ->
+      let base = fst pairs.(i mod Array.length pairs) in
+      let len = String.length base in
+      let candidate =
+        if len > 1 && i land 1 = 0 then begin
+          let b = Bytes.of_string base in
+          Bytes.set b (1 + (i / 2 mod (len - 1))) '\x01';
+          Bytes.to_string b
+        end
+        else base ^ "\x01"
+      in
+      let k = ref candidate in
+      while Hyperion.Store.mem store !k do
+        k := !k ^ "\x01"
+      done;
+      !k)
+
+(* Probe stream for one miss rate: deterministic interleave of present
+   and absent keys (seeded, so every width cell replays the same probes). *)
+let probe_stream ~seed ~miss_pct ~count pairs absents =
+  let rng = Random.State.make [| seed; miss_pct |] in
+  Array.init count (fun _ ->
+      if Random.State.int rng 100 < miss_pct then
+        absents.(Random.State.int rng (Array.length absents))
+      else fst pairs.(Random.State.int rng (Array.length pairs)))
+
+let probe ?(n = 200_000) ?(probes = 64_000) ?(config = default_config)
+    ?json_dir () =
+  let ds = Workload.Dataset.ngrams_random n in
+  let pairs = ds.Workload.Dataset.pairs in
+  Printf.printf "## Probe experiment: sequential vs batched gets (n = %d)\n\n"
+    n;
+  let was_enabled = Telemetry.enabled () in
+  Telemetry.reset ();
+  Telemetry.set_enabled false;
+  let store = Hyperion.Store.create ~config () in
+  Array.iter (fun (k, v) -> Hyperion.Store.put store k v) pairs;
+  let absents = absent_pool store pairs (min n 20_000) in
+  Gc.compact ();
+  let rows = ref [] and lats = ref [] in
+  Printf.printf "%-8s %-6s %12s %12s %10s\n" "miss%" "width" "seq Mops"
+    "batched Mops" "p50 ratio";
+  print_endline (String.make 52 '-');
+  List.iter
+    (fun miss_pct ->
+      let stream = probe_stream ~seed:0x9e0b ~miss_pct ~count:probes pairs absents in
+      List.iter
+        (fun width ->
+          let chunks = probes / width in
+          let durs_seq = Array.make chunks 0 in
+          let durs_bat = Array.make chunks 0 in
+          let sub = Array.make width "" in
+          for c = 0 to chunks - 1 do
+            Array.blit stream (c * width) sub 0 width;
+            let seq () =
+              let t0 = Telemetry.now_ns () in
+              for j = 0 to width - 1 do
+                ignore (Hyperion.Store.get store sub.(j) : int64 option)
+              done;
+              durs_seq.(c) <- Telemetry.now_ns () - t0
+            in
+            let bat () =
+              let t0 = Telemetry.now_ns () in
+              ignore
+                (Hyperion.Store.get_many ~width store sub : int64 option array);
+              durs_bat.(c) <- Telemetry.now_ns () - t0
+            in
+            if c land 1 = 0 then begin seq (); bat () end
+            else begin bat (); seq () end
+          done;
+          let cell = Printf.sprintf "m%d-w%d" miss_pct width in
+          let sum a = Array.fold_left ( + ) 0 a in
+          let ops = float_of_int (chunks * width) in
+          let t_seq = float_of_int (sum durs_seq) *. 1e-9 in
+          let t_bat = float_of_int (sum durs_bat) *. 1e-9 in
+          let l_seq = lat_of ~metric:("seq-" ^ cell) durs_seq ~width in
+          let l_bat = lat_of ~metric:("batched-" ^ cell) durs_bat ~width in
+          rows :=
+            !rows
+            @ [
+                {
+                  Json_out.label = "seq-" ^ cell;
+                  domains = 1;
+                  ops_per_s = ops /. t_seq;
+                  bytes_per_key = 0.0;
+                };
+                {
+                  Json_out.label = "batched-" ^ cell;
+                  domains = 1;
+                  ops_per_s = ops /. t_bat;
+                  bytes_per_key = 0.0;
+                };
+              ];
+          lats := !lats @ [ l_seq; l_bat ];
+          Printf.printf "%-8d %-6d %12.3f %12.3f %9.2fx\n" miss_pct width
+            (ops /. t_seq /. 1e6) (ops /. t_bat /. 1e6)
+            (l_bat.Json_out.p50_ns /. l_seq.Json_out.p50_ns))
+        widths)
+    miss_rates;
+  (* Counter pass: one batched sweep of the high-miss stream with
+     telemetry on, so the JSON carries nonzero engine counters proving
+     both mechanisms actually fired. *)
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let stream95 = probe_stream ~seed:0x9e0b ~miss_pct:95 ~count:probes pairs absents in
+  ignore (Hyperion.Store.get_many ~width:32 store stream95 : int64 option array);
+  let tag_rejected = Telemetry.Counter.value c_tag_rejected in
+  let prefetch_issued = Telemetry.Counter.value c_prefetch in
+  Telemetry.set_enabled was_enabled;
+  Printf.printf
+    "\ncounters (95%% miss, width 32, %d probes): tag_rejected %d, \
+     prefetch_issued %d\n"
+    probes tag_rejected prefetch_issued;
+  let json_path =
+    match json_dir with
+    | None -> None
+    | Some dir ->
+        let path =
+          Json_out.write ~dir ~experiment:"probe" ~n
+            ~config:
+              [
+                ( "chunks_per_bin",
+                  string_of_int config.Hyperion.Config.chunks_per_bin );
+                ("keys", "ngrams_random");
+                ("probes", string_of_int probes);
+                ("tag_rejected_total", string_of_int tag_rejected);
+                ("prefetch_issued_total", string_of_int prefetch_issued);
+              ]
+            ~telemetry:!lats ~rows:!rows ()
+        in
+        Printf.printf "json -> %s\n" path;
+        Some path
+  in
+  print_newline ();
+  {
+    rows = !rows;
+    lats = !lats;
+    tag_rejected;
+    prefetch_issued;
+    json_path;
+  }
+
+(* Cross-structure sanity row: the same probe mix through every driver's
+   [Driver.get_many] — native batched path for Hyperion, the sequential
+   fallback loop for ART/HAT/Judy/... — so the batched numbers above can
+   be read against the comparison set without methodology skew. *)
+let comparison ?(n = 50_000) ?(probes = 32_000) () =
+  let ds = Workload.Dataset.ngrams_random n in
+  let pairs = ds.Workload.Dataset.pairs in
+  Printf.printf "## Probe comparison (50%% miss, width 32, n = %d)\n\n" n;
+  Printf.printf "%-12s %12s %10s\n" "structure" "Mops" "batched";
+  print_endline (String.make 36 '-');
+  let rng = Random.State.make [| 0x51de |] in
+  let stream =
+    Array.init probes (fun _ ->
+        let k = fst pairs.(Random.State.int rng n) in
+        if Random.State.int rng 100 < 50 then k ^ "\x01\x01" else k)
+  in
+  List.iter
+    (fun d ->
+      let inst = Driver.open_instance d in
+      Array.iter (fun (k, v) -> Driver.put inst k v) pairs;
+      let chunks = probes / 32 in
+      let sub = Array.make 32 "" in
+      let t0 = Telemetry.now_ns () in
+      for c = 0 to chunks - 1 do
+        Array.blit stream (c * 32) sub 0 32;
+        ignore (Driver.get_many ~width:32 inst sub : int64 option array)
+      done;
+      let dt = float_of_int (Telemetry.now_ns () - t0) *. 1e-9 in
+      Printf.printf "%-12s %12.3f %10s\n" d.Driver.dname
+        (float_of_int (chunks * 32) /. dt /. 1e6)
+        (if Driver.has_batched inst then "native" else "fallback"))
+    (Driver.for_strings ());
+  print_newline ()

@@ -74,6 +74,41 @@ let run ?(config = H.Config.default) ?(compress = Compress.Identity)
                 (Fault.describe plan))))
       fmt
   in
+  (* Every audit round also fires a mixed hit/miss batch through the
+     pipelined cursor engine: get_many/mem_many must agree with the
+     oracle key-for-key under whatever container churn (splices, ejects,
+     splits, rolled-back faults) the run has produced so far — the
+     negative-lookup tags in particular must still admit every present
+     key.  The "\x01#" suffix never occurs in [key_for] output, so those
+     probes are guaranteed misses. *)
+  let batch_audit op =
+    let w = 8 + Workload.Mt19937_64.next_below rng 41 in
+    let keys =
+      Array.init w (fun _ ->
+          let key = key_for (Workload.Mt19937_64.next_below rng key_space) in
+          if Workload.Mt19937_64.next_below rng 4 = 0 then key ^ "\x01#"
+          else key)
+    in
+    let width = 1 + Workload.Mt19937_64.next_below rng 32 in
+    let ekeys = Array.map enc_key keys in
+    let got = H.Store.get_many ~width store ekeys in
+    let mems = H.Store.mem_many ~width store ekeys in
+    Array.iteri
+      (fun i key ->
+        let ov = Rbtree.get oracle key in
+        if got.(i) <> ov then
+          diverge op "batched lookup mismatch on %S (width %d): hyperion=%s \
+                      oracle=%s"
+            key width
+            (match got.(i) with Some v -> Int64.to_string v | None -> "absent")
+            (match ov with Some v -> Int64.to_string v | None -> "absent");
+        if mems.(i) <> Rbtree.mem oracle key then
+          diverge op "batched mem mismatch on %S (width %d): hyperion=%b \
+                      oracle=%b"
+            key width mems.(i)
+            (Rbtree.mem oracle key))
+      keys
+  in
   let audit op =
     incr audits;
     (match H.Validate.check_store store with
@@ -86,9 +121,12 @@ let run ?(config = H.Config.default) ?(compress = Compress.Identity)
        allocator underneath leaks or double-references chunks, so every
        audit round also mark-and-sweeps the arenas (DESIGN.md section 11). *)
     if heapcheck then
-      match Analyze.Heapcheck.first_problem (Analyze.Heapcheck.audit_store store) with
+      (match
+         Analyze.Heapcheck.first_problem (Analyze.Heapcheck.audit_store store)
+       with
       | None -> ()
-      | Some p -> diverge op "heap audit: %s" p
+      | Some p -> diverge op "heap audit: %s" p);
+    batch_audit op
   in
   let check_key op key =
     let hv = H.Store.get store (enc_key key) and ov = Rbtree.get oracle key in
@@ -342,11 +380,47 @@ let run_sharded_client store ~seed ~clients ~c ~ops ~key_space =
                (match got with Some v -> Int64.to_string v | None -> "absent")
                (match want with Some v -> Int64.to_string v | None -> "absent")
          end
-         else begin
+         else if dice < 96 then begin
            if pending_has key then flush ();
            let got = Hyperion_shard.mem store key in
            let want = Hashtbl.mem expected key in
            if got <> want then fail "mem %S: store=%b expected=%b" key got want
+         end
+         else begin
+           (* Mixed hit/miss batch through the direct-door pipelined read
+              path.  Clients own disjoint id slices and the "\x01#"
+              suffix never occurs in [key_for] output, so every probe is
+              either this client's key or a guaranteed miss — the model
+              answer is exact even with other clients mutating. *)
+           flush ();
+           let w = 4 + Workload.Mt19937_64.next_below rng 13 in
+           let ks =
+             Array.init w (fun _ ->
+                 let id =
+                   c + (clients * Workload.Mt19937_64.next_below rng slots)
+                 in
+                 let k = key_for id in
+                 if Workload.Mt19937_64.next_below rng 4 = 0 then k ^ "\x01#"
+                 else k)
+           in
+           let width = 1 + Workload.Mt19937_64.next_below rng 8 in
+           let got = Hyperion_shard.get_many ~width store ks in
+           let mems = Hyperion_shard.mem_many ~width store ks in
+           Array.iteri
+             (fun i k ->
+               let want = Option.join (Hashtbl.find_opt expected k) in
+               if got.(i) <> want then
+                 fail "batched get %S (width %d): store=%s expected=%s" k width
+                   (match got.(i) with
+                   | Some v -> Int64.to_string v
+                   | None -> "absent")
+                   (match want with
+                   | Some v -> Int64.to_string v
+                   | None -> "absent");
+               if mems.(i) <> Hashtbl.mem expected k then
+                 fail "batched mem %S (width %d): store=%b expected=%b" k width
+                   mems.(i) (Hashtbl.mem expected k))
+             ks
          end
        end
      done;
@@ -415,6 +489,51 @@ let sweep_against_oracle ~what store oracle =
       problem := Some (Printf.sprintf "%s: key %S missing from store" what ek)
   | _ -> ());
   !problem
+
+(* Mixed hit/miss batch of the sharded front-end against the merged
+   oracle: a sample of present keys plus guaranteed-absent variants, read
+   back via [get_many]/[mem_many].  Run after the ordered sweep — and
+   again after crash recovery, where the replay rebuilds every container
+   (negative-lookup tags included) from the WAL. *)
+let batched_vs_oracle ~what store oracle =
+  let present = ref [] and n = ref 0 in
+  Rbtree.range oracle (fun k _ ->
+      present := k :: !present;
+      incr n;
+      !n < 96);
+  let present = Array.of_list !present in
+  let misses =
+    Array.map
+      (fun k -> k ^ "\x01#")
+      (Array.sub present 0 (min 32 (Array.length present)))
+  in
+  let keys = Array.append present misses in
+  if Array.length keys = 0 then None
+  else begin
+    let got = Hyperion_shard.get_many ~width:16 store keys in
+    let mems = Hyperion_shard.mem_many ~width:16 store keys in
+    let problem = ref None in
+    Array.iteri
+      (fun i k ->
+        if !problem = None then
+          if got.(i) <> Rbtree.get oracle k then
+            problem :=
+              Some
+                (Printf.sprintf "%s: batched get %S: store=%s oracle=%s" what k
+                   (match got.(i) with
+                   | Some v -> Int64.to_string v
+                   | None -> "absent")
+                   (match Rbtree.get oracle k with
+                   | Some v -> Int64.to_string v
+                   | None -> "absent"))
+          else if mems.(i) <> Rbtree.mem oracle k then
+            problem :=
+              Some
+                (Printf.sprintf "%s: batched mem %S: store=%b oracle=%b" what k
+                   mems.(i) (Rbtree.mem oracle k)))
+      keys;
+    !problem
+  end
 
 let run_sharded ?(config = H.Config.default) ?(shards = 4) ?clients
     ?(key_space = 4096) ?(heapcheck = true) ?dir ~seed ~ops () =
@@ -494,7 +613,14 @@ let run_sharded ?(config = H.Config.default) ?(shards = 4) ?clients
                       | L_del k -> ignore (Rbtree.delete oracle k))
                     (List.rev r.cr_log))
                 reports;
-              match sweep_against_oracle ~what:"post-workload sweep" store oracle with
+              match
+                (match
+                   sweep_against_oracle ~what:"post-workload sweep" store oracle
+                 with
+                | Some _ as p -> p
+                | None ->
+                    batched_vs_oracle ~what:"post-workload batch" store oracle)
+              with
               | Some p -> fail "%s" p
               | None -> (
                   let mutations =
@@ -561,8 +687,14 @@ let run_sharded ?(config = H.Config.default) ?(shards = 4) ?clients
                       let* () =
                         closing store2
                           (match
-                             sweep_against_oracle ~what:"post-recovery sweep"
-                               store2 oracle
+                             (match
+                                sweep_against_oracle
+                                  ~what:"post-recovery sweep" store2 oracle
+                              with
+                             | Some _ as p -> p
+                             | None ->
+                                 batched_vs_oracle ~what:"post-recovery batch"
+                                   store2 oracle)
                            with
                           | Some p -> fail "%s" p
                           | None -> Ok ())
@@ -1518,7 +1650,14 @@ let run_sharded_diskfault ?(config = H.Config.default) ?(shards = 4) ?clients
                 Ok ()
           in
           let* () =
-            match sweep_against_oracle ~what:"post-workload sweep" store oracle with
+            match
+              (match
+                 sweep_against_oracle ~what:"post-workload sweep" store oracle
+               with
+              | Some _ as p -> p
+              | None ->
+                  batched_vs_oracle ~what:"post-workload batch" store oracle)
+            with
             | Some p -> bail "%s" p
             | None -> Ok ()
           in
@@ -1548,7 +1687,13 @@ let run_sharded_diskfault ?(config = H.Config.default) ?(shards = 4) ?clients
           let* () =
             closing
               (match
-                 sweep_against_oracle ~what:"post-recovery sweep" store2 oracle
+                 (match
+                    sweep_against_oracle ~what:"post-recovery sweep" store2
+                      oracle
+                  with
+                 | Some _ as p -> p
+                 | None ->
+                     batched_vs_oracle ~what:"post-recovery batch" store2 oracle)
                with
               | Some p -> fail "%s" p
               | None -> Ok ())

@@ -1,0 +1,72 @@
+(* Batched, memory-level-parallel point reads (tentpole of the probe
+   path).  Each operation in a batch is a little state machine whose only
+   state is "which container am I about to scan"; a round-robin loop
+   advances every live operation by exactly one {!Ops.probe_container}
+   step per pass.  When an operation exits a container through an HP
+   child, the child's chunk is software-prefetched *before* the loop
+   moves on to the other operations, so by the time the round-robin
+   returns the line is (ideally) already in cache — the descents overlap
+   their memory stalls instead of serializing them.
+
+   Correctness: a probe step is the same code the sequential [Ops.find]
+   runs, and the whole batch executes on the calling domain under the
+   same arena lock a sequential loop would take, so results are
+   bit-identical to [Array.map (Ops.find trie) keys] by construction. *)
+
+open Types
+
+let c_prefetch =
+  Telemetry.Counter.make "hyperion_prefetch_issued_total"
+    ~help:"Software prefetches issued by the batched read path"
+
+let default_width = 32
+
+(* Prefetch the chunk behind [hp]: the first header bytes of the
+   container the probe will open next.  For a chained extended bin the
+   relevant line is the slot [Ops.probe_container] will resolve for this
+   key's T-key; resolution failures are swallowed — the probe itself
+   will surface them, a prefetch must never change behaviour. *)
+let prefetch trie hp ~tkey =
+  Memman.prefetch trie.mm hp ~tkey;
+  if Telemetry.enabled () then Telemetry.Counter.incr c_prefetch
+
+let find_many ?(width = default_width) trie keys =
+  let n = Array.length keys in
+  let results = Array.make n None in
+  if not (Hp.is_null trie.root) then begin
+    let width = max 1 width in
+    (* Cursor state lives in two unboxed int arrays hoisted out of the
+       chunk loop: [hps.(i)] is the container operation [i] scans next
+       ([Hp.t] is an int) and [levels.(i)] the level to scan it at, with
+       -1 marking a finished operation. *)
+    let hps = Array.make width trie.root in
+    let levels = Array.make width 0 in
+    let lo = ref 0 in
+    while !lo < n do
+      let w = min width (n - !lo) in
+      for i = 0 to w - 1 do
+        hps.(i) <- trie.root;
+        levels.(i) <- 0
+      done;
+      let remaining = ref w in
+      while !remaining > 0 do
+        for i = 0 to w - 1 do
+          let level = levels.(i) in
+          if level >= 0 then begin
+            let key = keys.(!lo + i) in
+            match Ops.probe_container trie hps.(i) key level with
+            | Ops.P_done r ->
+                levels.(i) <- -1;
+                results.(!lo + i) <- r;
+                decr remaining
+            | Ops.P_child (child, level') ->
+                prefetch trie child ~tkey:(Char.code key.[level']);
+                hps.(i) <- child;
+                levels.(i) <- level'
+          end
+        done
+      done;
+      lo := !lo + w
+    done
+  end;
+  results

@@ -1,0 +1,28 @@
+(** Batched, memory-level-parallel point reads.
+
+    [find_many] software-pipelines up to [width] concurrent descents:
+    every in-flight operation advances one container per round-robin
+    pass ({!Ops.probe_container}), and each operation's {i next}
+    container is prefetched ({!Telemetry.prefetch}) as soon as its HP is
+    known, so the descents overlap their cache misses instead of paying
+    them back to back.  Per-container negative-lookup tags make probe
+    misses terminate without scanning.
+
+    Results are bit-identical to a sequential loop of {!Ops.find}: both
+    paths share the per-container probe code and the batch runs on the
+    calling domain (callers hold the same arena lock a sequential loop
+    would). *)
+
+val default_width : int
+(** 32: enough in-flight descents to cover a memory stall without
+    spilling cursor state out of cache. *)
+
+val find_many :
+  ?width:int -> Types.trie -> string array -> int64 option option array
+(** [find_many t keys] is observably [Array.map (find t) keys] for the
+    trie behind one arena: [None] absent, [Some None] key stored without
+    a value, [Some (Some v)] key mapped to [v], positionally.
+
+    Keys must already be validated (non-empty, within the length bound) —
+    {!Store} front-ends do this; unlike {!Ops.find} no check is repeated
+    here.  [width] below 1 is clamped to 1. *)

@@ -1,10 +1,13 @@
-let header_size = 4
+let header_size = 5
 let max_container_size = (1 lsl 19) - 1
 let jt_entry_size = 4
 let emb_header_size = 1
 
 (* Header word, little-endian: size bits 0-18, free bits 19-26, J bits
-   27-29, S bits 30-31. *)
+   27-29, S bits 30-31.  Byte 4 is the container's negative-lookup tag —
+   an 8-bit Bloom filter over the top-region T-node keys (bit
+   [t_key mod 8]) consulted before any scan.  The word codec below never
+   touches it, so header rewrites preserve the tag. *)
 
 let read_word buf base =
   Bytes.get_uint8 buf base
@@ -52,6 +55,11 @@ let set_split_delay buf base split_delay =
     ~free:(read_free buf base)
     ~jump_levels:(read_jump_levels buf base)
     ~split_delay
+
+let tag_pos = 4
+
+let read_tag buf base = Bytes.get_uint8 buf (base + tag_pos)
+let write_tag buf base v = Bytes.set_uint8 buf (base + tag_pos) (v land 0xff)
 
 let jt_count buf base = 7 * read_jump_levels buf base
 let jt_area_size buf base = jt_entry_size * jt_count buf base

@@ -3,11 +3,16 @@
 
     A top-level container is laid out as:
     {v
-    [4-byte header][container jump table: J*7 entries x 4 bytes][records...][zeroed free tail]
+    [5-byte header][container jump table: J*7 entries x 4 bytes][records...][zeroed free tail]
     v}
-    The header packs (little-endian 32-bit word): size (19 bits, total
-    allocated bytes), free (8 bits, zeroed bytes at the end), J (3 bits,
-    jump-table size in 7-entry steps), S (2 bits, split delay).
+    The first 4 header bytes pack (little-endian 32-bit word): size (19
+    bits, total allocated bytes), free (8 bits, zeroed bytes at the end),
+    J (3 bits, jump-table size in 7-entry steps), S (2 bits, split
+    delay).  The fifth byte is the container's {e negative-lookup tag}:
+    an 8-bit Bloom filter over the top-region T-node keys (bit
+    [t_key mod 8] set for every present T-node), consulted by lookups
+    before any scan so probe misses terminate early.  Header-word
+    rewrites never touch the tag byte.
 
     A container jump-table entry is 4 bytes: the target T-node's key (u8)
     and its offset from the container base (u24 little-endian); offset 0
@@ -17,7 +22,16 @@
     including the header itself. *)
 
 val header_size : int
-(** 4. *)
+(** 5: the 4-byte packed word plus the tag byte. *)
+
+val tag_pos : int
+(** Offset of the tag byte within the header (4). *)
+
+val read_tag : Bytes.t -> int -> int
+(** The container's negative-lookup tag byte. *)
+
+val write_tag : Bytes.t -> int -> int -> unit
+(** Overwrite the tag byte (low 8 bits of the argument). *)
 
 val max_container_size : int
 (** 2^19 - 1, the largest encodable container size. *)

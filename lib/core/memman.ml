@@ -347,6 +347,44 @@ let resolve t hp =
     | Eplain -> (r.mem, 0)
     | _ -> invalid_arg "Memman.resolve: not a plain allocation"
 
+(* Best-effort cache-warming hint for the batched read path: locate the
+   chunk (or, for a CEB, the slot that would serve [tkey]) and issue a
+   software prefetch for its first cache line.  Allocation-free — the
+   per-hop cost must stay far below the memory latency it hides — and
+   never raises or changes state: an HP in any unexpected shape silently
+   hints nothing, and the probe that follows surfaces any real error. *)
+let prefetch t hp ~tkey =
+  if not (Hp.is_null hp) then
+    let sb_id = Hp.superbin hp in
+    if sb_id > 0 then (
+      match t.small.(sb_id).metabins.(Hp.metabin hp) with
+      | Some mb -> (
+          match mb.bins.(Hp.bin hp) with
+          | Some bin ->
+              Telemetry.prefetch bin.seg (Hp.chunk hp * small_chunk_size sb_id)
+          | None -> ())
+      | None -> ())
+    else
+      match t.ext.metabins.(Hp.metabin hp) with
+      | Some mb -> (
+          match mb.bins.(Hp.bin hp) with
+          | Some bin -> (
+              let head = Hp.chunk hp in
+              let r = bin.recs.(head) in
+              match r.kind with
+              | Eplain -> Telemetry.prefetch r.mem 0
+              | Echain_head ->
+                  let rec scan slot =
+                    if slot >= 0 then
+                      let s = bin.recs.(head + slot) in
+                      if s.cap > 0 then Telemetry.prefetch s.mem 0
+                      else scan (slot - 1)
+                  in
+                  scan (min 7 (max 0 tkey / 32))
+              | Efree | Ereserved | Echain_member -> ())
+          | None -> ())
+      | None -> ()
+
 let realloc t hp n =
   let new_cap = size_class n in
   if Hp.is_null hp then invalid_arg "Memman.realloc: null HP";

@@ -65,6 +65,14 @@ val free : t -> Hp.t -> unit
 val capacity : t -> Hp.t -> int
 (** Usable bytes behind a plain HP. *)
 
+val prefetch : t -> Hp.t -> tkey:int -> unit
+(** [prefetch t hp ~tkey] issues a software prefetch for the first cache
+    line of the chunk behind [hp] — for a chained extended bin, of the
+    slot that would serve T-node key [tkey].  Allocation-free and
+    side-effect-free; never raises (an HP in an unexpected shape hints
+    nothing).  The batched read path calls this one hop ahead of each
+    descent ({!Getmany}). *)
+
 val resolve : t -> Hp.t -> Bytes.t * int
 (** [resolve t hp] is the backing buffer and the chunk's byte offset within
     it.  The pair is invalidated by any [realloc]/[free] of the same HP. *)

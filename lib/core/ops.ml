@@ -45,42 +45,64 @@ let terminal_of_flag buf flag value_pos =
 (* Lookup                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let rec lookup_container trie hp key level =
-  let cbox = Splice.open_container trie hp ~tkey:(kb key level) ~where:W_slot in
-  lookup_region trie cbox (top_region cbox.buf cbox.base) key level
+(* One container's worth of descent, shared verbatim by the sequential
+   [find] and the batched memory-level-parallel path ({!Getmany}): both
+   run exactly this code per container, so batched results are
+   bit-identical to sequential ones by construction. *)
+type container_probe =
+  | P_done of int64 option option
+  | P_child of Hp.t * int
 
-and lookup_region trie cbox region key level =
+let rec probe_region cbox region key level =
   let len = String.length key in
   let traversed = ref 0 in
   match Scan.find_t cbox region (kb key level) ~traversed with
-  | Scan.T_insert _ -> None
+  | Scan.T_insert _ -> P_done None
   | Scan.T_found (t, _) -> (
       if level = len - 1 then
-        terminal_of_flag cbox.buf t.Records.t_flag t.Records.t_value_pos
+        P_done (terminal_of_flag cbox.buf t.Records.t_flag t.Records.t_value_pos)
       else
         match Scan.find_s cbox region t (kb key (level + 1)) with
-        | Scan.S_insert _ -> None
+        | Scan.S_insert _ -> P_done None
         | Scan.S_found (s, _) -> (
             if level + 2 = len then
-              terminal_of_flag cbox.buf s.Records.s_flag s.Records.s_value_pos
+              P_done
+                (terminal_of_flag cbox.buf s.Records.s_flag
+                   s.Records.s_value_pos)
             else
               match Node.child_of_flag s.Records.s_flag with
-              | Node.No_child -> None
+              | Node.No_child -> P_done None
               | Node.Child_pc ->
                   let pc = Records.parse_pc cbox.buf s.Records.s_head_end in
-                  if pc_matches cbox.buf pc key (level + 2) then
-                    if pc.Records.pc_value_pos >= 0 then
-                      Some (Some (Records.read_value cbox.buf pc.Records.pc_value_pos))
-                    else Some None
-                  else None
+                  P_done
+                    (if pc_matches cbox.buf pc key (level + 2) then
+                       if pc.Records.pc_value_pos >= 0 then
+                         Some
+                           (Some
+                              (Records.read_value cbox.buf
+                                 pc.Records.pc_value_pos))
+                       else Some None
+                     else None)
               | Node.Child_embedded ->
-                  lookup_region trie cbox
+                  probe_region cbox
                     (emb_region cbox.buf s.Records.s_head_end)
                     key (level + 2)
               | Node.Child_hp ->
-                  lookup_container trie
-                    (Hp.read cbox.buf s.Records.s_head_end)
-                    key (level + 2)))
+                  P_child (Hp.read cbox.buf s.Records.s_head_end, level + 2)))
+
+let probe_container trie hp key level =
+  let cbox = Splice.open_container trie hp ~tkey:(kb key level) ~where:W_slot in
+  if not (Tag.may_contain (Layout.read_tag cbox.buf cbox.base) (kb key level))
+  then begin
+    Tag.note_rejected ();
+    P_done None
+  end
+  else probe_region cbox (top_region cbox.buf cbox.base) key level
+
+let rec lookup_container trie hp key level =
+  match probe_container trie hp key level with
+  | P_done r -> r
+  | P_child (child, level') -> lookup_container trie child key level'
 
 let find trie key =
   check_key key;
@@ -312,6 +334,9 @@ let write_slot trie ceb slot content =
         ~jump_levels:0 ~split_delay:0;
       Bytes.blit_string content 0 buf (off + Layout.header_size)
         (String.length content);
+      (* Callers recompute the tag byte once the content is fully
+         consistent — a split's right piece still needs its jump offsets
+         adjusted, and recycled chunks hold a stale tag until then. *)
       (buf, off)
   | None ->
       Hyperion_error.fail
@@ -386,10 +411,12 @@ let try_split trie cbox =
             if cbox.slot < 0 then begin
               let ceb = Memman.ceb_alloc trie.mm in
               (try
-                 ignore (write_slot trie ceb 0 left_content);
+                 let lbuf, loff = write_slot trie ceb 0 left_content in
+                 Tag.recompute lbuf loff;
                  let rbuf, roff = write_slot trie ceb right_slot right_content in
                  if d <> 0 then
-                   Splice.adjust_record_offsets rbuf (roff + Layout.header_size) d
+                   Splice.adjust_record_offsets rbuf (roff + Layout.header_size) d;
+                 Tag.recompute rbuf roff
                with e ->
                  Memman.free trie.mm ceb;
                  raise e);
@@ -414,13 +441,15 @@ let try_split trie cbox =
                    write_slot trie cbox.hp right_slot right_content
                  in
                  if d <> 0 then
-                   Splice.adjust_record_offsets rbuf (roff + Layout.header_size) d
+                   Splice.adjust_record_offsets rbuf (roff + Layout.header_size) d;
+                 Tag.recompute rbuf roff
                with e ->
                  Memman.ceb_clear_slot trie.mm cbox.hp ~slot:right_slot;
                  raise e);
               Fault.with_pause (Memman.fault trie.mm) (fun () ->
                   Memman.ceb_clear_slot trie.mm cbox.hp ~slot:cbox.slot;
-                  ignore (write_slot trie cbox.hp cbox.slot left_content))
+                  let lbuf, loff = write_slot trie cbox.hp cbox.slot left_content in
+                  Tag.recompute lbuf loff)
             end
           with
           | () -> true
@@ -717,6 +746,9 @@ and put_region trie cbox region emb_chain key value level =
   | Scan.T_insert { t_at; t_prev_key; t_succ } ->
       insert_t trie cbox emb_chain key value level ~k0 ~at:t_at ~prev:t_prev_key
         ~succ:t_succ;
+      (* a new top-region T-node must be visible to the negative-lookup
+         tag before the put is acknowledged (embedded regions untagged) *)
+      if region.top then Tag.add cbox.buf cbox.base k0;
       post_insert true
   | Scan.T_found (t, _) -> (
       if level = len - 1 then begin

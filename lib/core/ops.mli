@@ -9,6 +9,28 @@
 val create : Config.t -> Types.trie
 (** A fresh empty trie with its own memory manager. *)
 
+type container_probe =
+  | P_done of int64 option option
+  | P_child of Hp.t * int
+      (** child container HP and the key level the descent continues at *)
+
+(** One container's worth of point-query descent.  [probe_container t hp
+    key level] opens the container behind [hp], consults its
+    negative-lookup tag byte, and scans until the key either resolves
+    ([P_done], with the same [int64 option option] convention as {!find})
+    or exits through an HP child ([P_child]).  Embedded containers are
+    descended inline — a probe step is exactly one heap chunk.
+
+    {!find} is a loop over this function; the batched memory-level-parallel
+    path ({!Getmany.find_many}) interleaves many such loops, prefetching
+    each [P_child] target before resuming other operations.  Both paths
+    run the identical per-container code, which is what makes batched
+    results bit-identical to sequential ones.
+
+    The key must be non-empty and [level < String.length key]; callers are
+    expected to have validated it (as {!find} does). *)
+val probe_container : Types.trie -> Hp.t -> string -> int -> container_probe
+
 val find : Types.trie -> string -> int64 option option
 (** [find t key] is [None] when absent, [Some None] when the key is stored
     without a value (type-10 terminal), [Some (Some v)] when it maps to

@@ -47,6 +47,8 @@ let new_container trie content =
     ~free:(size - Layout.header_size - len)
     ~jump_levels:0 ~split_delay:0;
   Bytes.blit_string content 0 buf (base + Layout.header_size) len;
+  (* the recycled chunk's tag byte is stale garbage until this *)
+  Tag.recompute buf base;
   hp
 
 let container_size cbox = Layout.read_size cbox.buf cbox.base

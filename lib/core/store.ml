@@ -30,6 +30,12 @@ let m_get = T.Histogram.make "hyperion_op_latency_ns" ~labels:[ ("op", "get") ]
 let m_delete =
   T.Histogram.make "hyperion_op_latency_ns" ~labels:[ ("op", "delete") ]
 
+let m_get_many =
+  T.Histogram.make "hyperion_op_latency_ns" ~labels:[ ("op", "get_many") ]
+
+let m_mem_many =
+  T.Histogram.make "hyperion_op_latency_ns" ~labels:[ ("op", "mem_many") ]
+
 let create ?(config = Config.default) () =
   Config.validate config;
   let mms =
@@ -115,6 +121,80 @@ let mem t key =
   if String.length key = 0 then invalid_arg "Hyperion: empty key";
   let i = route t key in
   with_arena t i (fun () -> Ops.find t.tries.(i) key <> None)
+
+(* --- batched reads -------------------------------------------------- *)
+
+(* Validate before touching any trie so a batch either runs whole or
+   raises without partial effects — reads have none anyway, but this
+   keeps [get_many keys = Array.map (get t) keys] exact even on the
+   raising cases: the empty check mirrors [get_u]'s, the length check
+   mirrors [Ops.find]'s (both on the post-[xform] key). *)
+let validate_batch ekeys =
+  Array.iter
+    (fun k ->
+      if String.length k = 0 then invalid_arg "Hyperion: empty key";
+      if Ops.key_error k <> None then
+        invalid_arg "Hyperion: key longer than 2^20 bytes")
+    ekeys
+
+let find_many_u ?width t keys =
+  let n = Array.length keys in
+  (* the identity xform needs no per-batch copy *)
+  let ekeys =
+    if t.cfg.preprocess then Array.map (xform t) keys else keys
+  in
+  validate_batch ekeys;
+  if Array.length t.tries = 1 then
+    with_arena t 0 (fun () -> Getmany.find_many ?width t.tries.(0) ekeys)
+  else begin
+    (* Group per routed trie, pipeline each group under its arena lock,
+       then scatter results back to input positions. *)
+    let out = Array.make n None in
+    let groups = Array.make 256 [] in
+    for i = n - 1 downto 0 do
+      let r = Char.code ekeys.(i).[0] in
+      groups.(r) <- i :: groups.(r)
+    done;
+    Array.iteri
+      (fun tri idxs ->
+        if idxs <> [] then begin
+          let idxa = Array.of_list idxs in
+          let sub = Array.map (fun i -> ekeys.(i)) idxa in
+          let r =
+            with_arena t tri (fun () ->
+                Getmany.find_many ?width t.tries.(tri) sub)
+          in
+          Array.iteri (fun j i -> out.(i) <- r.(j)) idxa
+        end)
+      groups;
+    out
+  end
+
+let get_many ?width t keys =
+  let body () =
+    Array.map
+      (function Some (Some v) -> Some v | Some None | None -> None)
+      (find_many_u ?width t keys)
+  in
+  if T.enabled () then begin
+    let t0 = T.op_start () in
+    let r = body () in
+    T.op_end m_get_many ~kind:"get_many" ~key_len:(Array.length keys) t0;
+    r
+  end
+  else body ()
+
+let mem_many ?width t keys =
+  let body () =
+    Array.map (fun r -> r <> None) (find_many_u ?width t keys)
+  in
+  if T.enabled () then begin
+    let t0 = T.op_start () in
+    let r = body () in
+    T.op_end m_mem_many ~kind:"mem_many" ~key_len:(Array.length keys) t0;
+    r
+  end
+  else body ()
 
 let delete_u t key =
   let key = xform t key in

@@ -27,6 +27,25 @@ val get : t -> string -> int64 option
 val mem : t -> string -> bool
 val delete : t -> string -> bool
 
+(** {1 Batched reads}
+
+    The memory-level-parallel read path: up to [width] (default 32)
+    descents per arena are software-pipelined, each operation's next
+    container prefetched while the others advance, and per-container
+    negative-lookup tags cut probe misses short.  Results are
+    bit-identical to the equivalent sequential loop — both paths share
+    the per-container probe code, and each routed group runs under its
+    arena lock, so a batch linearizes against concurrent mutators at
+    per-arena granularity exactly like a sequential loop would. *)
+
+val get_many : ?width:int -> t -> string array -> int64 option array
+(** [get_many t keys] is observably [Array.map (get t) keys],
+    positionally (duplicates included).  Keys are validated up front, so
+    an invalid key raises before any trie is touched. *)
+
+val mem_many : ?width:int -> t -> string array -> bool array
+(** [mem_many t keys] is observably [Array.map (mem t) keys]. *)
+
 (** {1 Typed-result mutation API}
 
     [put]/[add]/[delete] raise [Hyperion_error.Error] when the store cannot

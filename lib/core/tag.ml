@@ -1,0 +1,44 @@
+(* Per-container negative-lookup tag: an 8-bit Bloom filter over the
+   top-region T-node keys, stored in the header's fifth byte
+   (Layout.tag_pos).  A lookup consults the tag before scanning; a clear
+   bit proves the probed key byte has no T-node in this container, so the
+   miss terminates without touching any record.
+
+   Soundness invariant: the stored tag is a superset of the computed
+   one — every present T-key's bit is set, but stale bits (from deletes,
+   or from an insert whose splice later rolled back) are allowed.  That
+   makes maintenance cheap: inserts OR their bit in, deletes do nothing,
+   and only container (re)construction recomputes from scratch. *)
+
+let c_rejected =
+  Telemetry.Counter.make "hyperion_tag_rejected_total"
+    ~help:"Lookups short-circuited by a container's negative-lookup tag"
+
+let bit t_key = 1 lsl (t_key land 7)
+let may_contain tag t_key = tag land bit t_key <> 0
+
+let note_rejected () =
+  if Telemetry.enabled () then Telemetry.Counter.incr c_rejected
+
+let add buf base t_key =
+  Layout.write_tag buf base (Layout.read_tag buf base lor bit t_key)
+
+(* The exact tag for the container at [base]: the outer T-record walk of
+   its top region (same traversal as the validators). *)
+let compute buf base =
+  let re = base + Layout.content_end buf base in
+  let pos = ref (base + Layout.payload_start buf base) in
+  let prev = ref (-1) in
+  let tag = ref 0 in
+  while !pos < re do
+    let t = Records.parse_t buf !pos ~prev_key:!prev in
+    tag := !tag lor bit t.Records.t_key;
+    prev := t.Records.t_key;
+    pos := Records.next_t_pos buf t ~limit:re
+  done;
+  !tag
+
+(* Containers are carved out of recycled chunk memory, so a fresh
+   container's tag byte holds arbitrary stale bits until this runs; every
+   construction site (new_container, write_slot) must call it. *)
+let recompute buf base = Layout.write_tag buf base (compute buf base)

@@ -1,0 +1,37 @@
+(** Per-container negative-lookup tags (Umbra-style pointer tagging
+    adapted to Hyperion's HP-addressed containers).
+
+    Each top-level (or CEB-slot) container stores an 8-bit Bloom filter
+    over its top-region T-node keys in the header's fifth byte: bit
+    [t_key mod 8] is set for every T-node present.  Lookups consult the
+    tag before scanning; a clear bit is a proof of absence and the probe
+    terminates early.
+
+    {b Soundness:} the stored tag is maintained as a {e superset} of the
+    exact tag — inserts OR their bit in ({!add}), deletes leave stale
+    bits (sound: extra bits only cost a scan), and container
+    construction recomputes from scratch ({!recompute}, mandatory
+    because recycled chunk memory holds arbitrary stale tag bytes).  A
+    tag rejection therefore never occurs for a present key; the heap
+    sanitizer audits [stored ⊇ computed]. *)
+
+val bit : int -> int
+(** [bit t_key] is the tag bit for a T-node key: [1 lsl (t_key mod 8)]. *)
+
+val may_contain : int -> int -> bool
+(** [may_contain tag t_key]: false proves no T-node with [t_key] exists
+    in the tagged container's top region. *)
+
+val note_rejected : unit -> unit
+(** Count one tag short-circuit (telemetry-gated). *)
+
+val add : Bytes.t -> int -> int -> unit
+(** [add buf base t_key] ORs [t_key]'s bit into the stored tag. *)
+
+val compute : Bytes.t -> int -> int
+(** The exact tag of the container at [base]: union of {!bit} over its
+    top-region T-nodes. *)
+
+val recompute : Bytes.t -> int -> unit
+(** Store {!compute}'s result — required at every container
+    construction site before the container becomes reachable. *)

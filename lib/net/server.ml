@@ -324,14 +324,82 @@ let writer_loop conn =
   loop ();
   quiet_close conn.fd
 
+(* Cap on reads drained into one batched descent: bounds the latency of
+   the first response in a burst and the scratch arrays below. *)
+let max_read_burst = 256
+
 let reader_loop t conn =
   let buf = Bytes.create 65536 in
   let dec = Frame.Decoder.create () in
   let stop = ref false in
+  (* Consecutive pipelined Get/Mem frames accumulate here (newest first)
+     and flush through one batched store descent at batch boundaries: a
+     mutation frame, the decode buffer running dry, burst cap, corruption
+     or EOF. *)
+  let pending = ref [] in
+  let npending = ref 0 in
+  let flush_reads () =
+    if !npending > 0 then begin
+      let frames = Array.of_list (List.rev !pending) in
+      pending := [];
+      npending := 0;
+      let nf = Array.length frames in
+      let resps = Array.make nf (Frame.Err (Frame.E_internal, "unset")) in
+      (* Per-frame key validation stays per-frame (a bad key must not
+         poison its neighbours); valid reads group by opcode. *)
+      let gets = ref [] and mems = ref [] in
+      Array.iteri
+        (fun i (_, _, req) ->
+          match req with
+          | Frame.Get k -> (
+              match bad_key k with
+              | Some e -> resps.(i) <- e
+              | None -> gets := (i, k) :: !gets)
+          | Frame.Mem k -> (
+              match bad_key k with
+              | Some e -> resps.(i) <- e
+              | None -> mems := (i, k) :: !mems)
+          | _ -> resps.(i) <- Frame.Err (Frame.E_internal, "non-read batched"))
+        frames;
+      let scatter group run =
+        match List.rev group with
+        | [] -> ()
+        | l -> (
+            let idx = Array.of_list (List.map fst l) in
+            let keys = Array.of_list (List.map snd l) in
+            match run keys with
+            | rs -> Array.iteri (fun j r -> resps.(idx.(j)) <- r) rs
+            | exception (E.Error _ | Invalid_argument _) ->
+                (* one failing batch must not fail the whole burst: re-run
+                   the slice per frame so each response carries its own
+                   typed error *)
+                Array.iter
+                  (fun i ->
+                    let _, _, req = frames.(i) in
+                    resps.(i) <- exec_safe t.store req)
+                  idx
+            | exception exn ->
+                let msg = Printexc.to_string exn in
+                Array.iter
+                  (fun i -> resps.(i) <- Frame.Err (Frame.E_internal, msg))
+                  idx)
+      in
+      scatter !gets (fun keys ->
+          Array.map (fun v -> Frame.Value v) (Sh.get_many t.store keys));
+      scatter !mems (fun keys ->
+          Array.map (fun b -> Frame.Found b) (Sh.mem_many t.store keys));
+      Array.iteri
+        (fun i (id, t0, req) ->
+          observe_latency req t0;
+          respond conn ~id resps.(i))
+        frames
+    end
+  in
   let handle_frame id tag payload =
     match Frame.parse_request ~tag payload with
     | Error msg ->
         count_proto_error ();
+        flush_reads ();
         respond conn ~id (Frame.Err (Frame.E_bad_request, msg))
     | Ok req -> (
         count_request req;
@@ -339,11 +407,13 @@ let reader_loop t conn =
         match req with
         | Frame.Get _ | Frame.Mem _ ->
             (* lock-free reads never touch a mailbox: serve them on the
-               reader so they overtake queued mutations (pipelining) *)
-            let resp = exec_safe t.store req in
-            observe_latency req t0;
-            respond conn ~id resp
+               reader so they overtake queued mutations (pipelining);
+               consecutive reads batch into one pipelined descent *)
+            pending := (id, t0, req) :: !pending;
+            incr npending;
+            if !npending >= max_read_burst then flush_reads ()
         | _ ->
+            flush_reads ();
             inflight_add 1;
             if not (Bq.push conn.work (id, t0, req)) then inflight_add (-1))
   in
@@ -352,9 +422,12 @@ let reader_loop t conn =
     while !continue do
       match Frame.Decoder.next dec with
       | Frame.Frame (id, tag, payload) -> handle_frame id tag payload
-      | Frame.Need_more -> continue := false
+      | Frame.Need_more ->
+          flush_reads ();
+          continue := false
       | Frame.Corrupt msg ->
           count_proto_error ();
+          flush_reads ();
           respond conn ~id:0 (Frame.Err (Frame.E_too_large, msg));
           stop := true;
           continue := false
@@ -371,6 +444,7 @@ let reader_loop t conn =
         ignore err;
         stop := true
   done;
+  flush_reads ();
   Bq.close conn.work
 
 let finish_conn t cid =

@@ -700,6 +700,47 @@ let mem t key =
   let ek = Compress.encode t.enc key in
   H.Store.mem t.tab.(shard_of_encoded t ek).store ek
 
+(* --- batched reads ---------------------------------------------------- *)
+
+(* Like [get]/[mem], batched reads use the lock-free direct door: they
+   run on the calling domain against each shard's store (which takes its
+   own arena locks), never the mailbox — so they serve down shards too.
+   Keys are encoded, grouped by owning shard, pushed through the store's
+   memory-level-parallel batch path, and scattered back in input order. *)
+let encode_batch t keys =
+  Array.map
+    (fun k ->
+      if String.length k = 0 then invalid_arg "Hyperion_shard: empty key";
+      Compress.encode t.enc k)
+    keys
+
+let read_many t ekeys ~run ~default =
+  let n = Array.length ekeys in
+  let out = Array.make n default in
+  let groups = Array.make (Array.length t.tab) [] in
+  for i = n - 1 downto 0 do
+    let s = shard_of_encoded t ekeys.(i) in
+    groups.(s) <- i :: groups.(s)
+  done;
+  Array.iteri
+    (fun s idxs ->
+      if idxs <> [] then begin
+        let idxa = Array.of_list idxs in
+        let sub = Array.map (fun i -> ekeys.(i)) idxa in
+        let r = run t.tab.(s).store sub in
+        Array.iteri (fun j i -> out.(i) <- r.(j)) idxa
+      end)
+    groups;
+  out
+
+let get_many ?width t keys =
+  read_many t (encode_batch t keys) ~default:None ~run:(fun store sub ->
+      H.Store.get_many ?width store sub)
+
+let mem_many ?width t keys =
+  read_many t (encode_batch t keys) ~default:false ~run:(fun store sub ->
+      H.Store.mem_many ?width store sub)
+
 (* --- batched mutations ------------------------------------------------ *)
 
 module Batch = struct

@@ -131,6 +131,17 @@ val delete : t -> string -> bool
 val get : t -> string -> int64 option
 val mem : t -> string -> bool
 
+val get_many : ?width:int -> t -> string array -> int64 option array
+(** [get_many t keys] is observably [Array.map (get t) keys]: like [get]
+    it runs immediately on the calling domain through the lock-free
+    direct door (it serves down and degraded shards), but the keys are
+    grouped per owning shard and each group descends through the store's
+    memory-level-parallel batch path ({!Hyperion.Store.get_many}) with
+    software-pipelined, prefetching descents of [width] (default 32). *)
+
+val mem_many : ?width:int -> t -> string array -> bool array
+(** [mem_many t keys] is observably [Array.map (mem t) keys]. *)
+
 val put_result : t -> string -> int64 -> (unit, Hyperion.Hyperion_error.t) result
 val add_result : t -> string -> (unit, Hyperion.Hyperion_error.t) result
 val delete_result : t -> string -> (bool, Hyperion.Hyperion_error.t) result

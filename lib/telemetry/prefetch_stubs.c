@@ -1,0 +1,30 @@
+/* Software-prefetch stub for the memory-level-parallel read path.
+ *
+ * hyperion_prefetch(buf, off) issues a read prefetch for the cache line
+ * holding byte [off] of the Bytes buffer [buf].  It never reads or
+ * writes the byte, allocates nothing, and cannot fault (prefetch of an
+ * unmapped line is architecturally a no-op), so it is declared
+ * [@@noalloc] on the OCaml side.
+ *
+ * The batched get path calls this for each in-flight operation's *next*
+ * container header right after reading its HP, then advances the other
+ * cursors; by the time the round-robin returns, the line is (ideally)
+ * in L1 — the Cuckoo Trie's software-pipelining trick applied to
+ * Hyperion's HP-addressed heap.
+ *
+ * The offset is bounds-trusted: callers pass offsets derived from HPs
+ * the memory manager resolved.  A stale offset would merely prefetch a
+ * wrong (still-mapped) line.
+ */
+#include <caml/mlvalues.h>
+
+CAMLprim value hyperion_prefetch(value buf, value off)
+{
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch((const char *)Bytes_val(buf) + Long_val(off), 0, 3);
+#else
+  (void)buf;
+  (void)off;
+#endif
+  return Val_unit;
+}

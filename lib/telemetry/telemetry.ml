@@ -1,4 +1,5 @@
 external now_ns : unit -> int = "hyperion_clock_monotonic_ns" [@@noalloc]
+external prefetch : Bytes.t -> int -> unit = "hyperion_prefetch" [@@noalloc]
 
 (* --- toggle ----------------------------------------------------------- *)
 

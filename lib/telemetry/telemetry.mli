@@ -23,6 +23,13 @@
 external now_ns : unit -> int = "hyperion_clock_monotonic_ns" [@@noalloc]
 (** Monotonic clock reading in nanoseconds, as an unboxed int. *)
 
+external prefetch : Bytes.t -> int -> unit = "hyperion_prefetch" [@@noalloc]
+(** [prefetch buf off] issues a read software-prefetch
+    ([__builtin_prefetch], locality 3) for the cache line holding byte
+    [off] of [buf].  Never reads the byte, never faults, never
+    allocates; a no-op on non-GNU toolchains.  Used by the batched
+    memory-level-parallel get path to overlap container fetches. *)
+
 val enabled : unit -> bool
 val set_enabled : bool -> unit
 

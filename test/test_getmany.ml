@@ -1,0 +1,199 @@
+(* Differential qcheck suite for the batched memory-level-parallel read
+   path: [Store.get_many]/[Store.mem_many] (and the sharded/compressed
+   front-end's variants) must be observably the map of their sequential
+   counterparts over arbitrary key multisets — duplicates, absent keys,
+   every pipeline width — plus the negative-lookup-tag soundness
+   property: a present key is never rejected by a container tag.
+
+   The oracle is a balanced-tree map (Stdlib [Map], the RB-tree stand-in)
+   built from the same mutation script, under a tiny configuration that
+   forces embedded ejects, container splits and path compression, so the
+   batched probes cross real multi-container descents. *)
+
+module SMap = Map.Make (String)
+
+let tiny preprocess =
+  {
+    Hyperion.Config.default with
+    chunks_per_bin = 64;
+    embedded_eject_parent_limit = 256;
+    embedded_max = 64;
+    pc_max = 8;
+    tnode_jt_threshold = 4;
+    js_threshold = 2;
+    container_jt_threshold = 2;
+    split_a = 512;
+    split_b = 256;
+    split_min_piece = 64;
+    preprocess;
+  }
+
+type op = Put of string * int64 | Add of string | Del of string
+
+let run_script ~preprocess ops =
+  let store = Hyperion.Store.create ~config:(tiny preprocess) () in
+  let oracle = ref SMap.empty in
+  List.iter
+    (fun op ->
+      match op with
+      | Put (k, v) ->
+          Hyperion.Store.put store k v;
+          oracle := SMap.add k (Some v) !oracle
+      | Add k ->
+          Hyperion.Store.add store k;
+          if not (SMap.mem k !oracle) then oracle := SMap.add k None !oracle
+      | Del k ->
+          ignore (Hyperion.Store.delete store k);
+          oracle := SMap.remove k !oracle)
+    ops;
+  (store, !oracle)
+
+(* Small alphabet: scripts revisit keys and probe batches hit a healthy
+   present/absent/duplicate blend without any steering. *)
+let key_g ~min_len =
+  QCheck.Gen.(string_size ~gen:(char_range 'a' 'f') (int_range min_len 10))
+
+let op_g ~min_len =
+  let keyg = key_g ~min_len in
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k v -> Put (k, Int64.of_int v)) keyg (int_bound 10_000));
+        (2, map (fun k -> Add k) keyg);
+        (2, map (fun k -> Del k) keyg);
+      ])
+
+let pp_op = function
+  | Put (k, v) -> Printf.sprintf "put %S %Ld" k v
+  | Add k -> Printf.sprintf "add %S" k
+  | Del k -> Printf.sprintf "del %S" k
+
+let pp_case (ops, probes) =
+  Printf.sprintf "script: %s\nprobes: %s"
+    (String.concat "; " (List.map pp_op ops))
+    (String.concat "; " (List.map (Printf.sprintf "%S") probes))
+
+(* A script plus a probe multiset over the same alphabet. *)
+let case_arb ~min_len =
+  QCheck.make ~print:pp_case
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 0 200) (op_g ~min_len))
+        (list_size (int_range 0 120) (key_g ~min_len)))
+
+let widths = [ 1; 5; 32 ]
+
+let oracle_get oracle k =
+  match SMap.find_opt k oracle with Some (Some v) -> Some v | _ -> None
+
+let prop_store_eq ~name ~preprocess ~min_len ~count =
+  QCheck.Test.make ~name ~count (case_arb ~min_len) (fun (ops, probes) ->
+      let store, oracle = run_script ~preprocess ops in
+      let probes = Array.of_list probes in
+      let want_get = Array.map (Hyperion.Store.get store) probes in
+      let want_mem = Array.map (Hyperion.Store.mem store) probes in
+      let oracle_ok =
+        want_get = Array.map (oracle_get oracle) probes
+        && want_mem = Array.map (fun k -> SMap.mem k oracle) probes
+      in
+      oracle_ok
+      && List.for_all
+           (fun width ->
+             Hyperion.Store.get_many ~width store probes = want_get
+             && Hyperion.Store.mem_many ~width store probes = want_mem)
+           widths
+      (* default width too *)
+      && Hyperion.Store.get_many store probes = want_get
+      && Hyperion.Store.mem_many store probes = want_mem)
+
+(* A batch containing an empty key must raise exactly like the sequential
+   loop would — and, like it, before any result is produced. *)
+let prop_empty_key =
+  QCheck.Test.make ~name:"empty key in a batch raises like get" ~count:100
+    (case_arb ~min_len:1) (fun (ops, probes) ->
+      let store, _ = run_script ~preprocess:false ops in
+      let probes = Array.of_list (("" :: probes) |> List.sort (fun _ _ -> Random.int 3 - 1)) in
+      let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
+      raises (fun () -> Array.map (Hyperion.Store.get store) probes)
+      && raises (fun () -> Hyperion.Store.get_many store probes)
+      && raises (fun () -> Hyperion.Store.mem_many store probes))
+
+(* Tag soundness vs the oracle: looking up a key the oracle holds must
+   never trip the negative-lookup tag (a rejection would make a present
+   key unfindable).  Observed through the engine's own counter, over both
+   the sequential and the batched path. *)
+let c_tag_rejected =
+  Telemetry.Counter.make "hyperion_tag_rejected_total"
+    ~help:"Lookups short-circuited by a container's negative-lookup tag"
+
+let prop_tag_soundness =
+  QCheck.Test.make ~name:"tag rejection never fires for a present key"
+    ~count:300 (case_arb ~min_len:1) (fun (ops, _) ->
+      let store, oracle = run_script ~preprocess:false ops in
+      let present = Array.of_list (List.map fst (SMap.bindings oracle)) in
+      let was = Telemetry.enabled () in
+      Telemetry.reset ();
+      Telemetry.set_enabled true;
+      let seq_ok =
+        Array.for_all (fun k -> Hyperion.Store.mem store k) present
+      in
+      let batched =
+        if Array.length present = 0 then [||]
+        else Hyperion.Store.mem_many ~width:32 store present
+      in
+      let rejected = Telemetry.Counter.value c_tag_rejected in
+      Telemetry.set_enabled was;
+      seq_ok && Array.for_all (fun b -> b) batched && rejected = 0)
+
+(* Compressed front-end: the sharded store with a trained dictionary
+   encodes every key on the way in; batched reads group by encoded route
+   byte and must still be the map of sequential [get]/[mem]. *)
+let trained_enc =
+  let ks = Workload.Keystream.create ~n:500 () in
+  Compress.Dict (Compress.train (Array.to_seq (Workload.Keystream.keys ks)))
+
+let cfg_dict =
+  { (tiny false) with Hyperion.Config.compress = 1 }
+
+let prop_compressed_eq =
+  QCheck.Test.make ~name:"sharded+compressed get_many/mem_many = map of get/mem"
+    ~count:60 (case_arb ~min_len:1) (fun (ops, probes) ->
+      let t =
+        Hyperion_shard.create ~config:cfg_dict ~compress:trained_enc ~shards:2
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () -> ignore (Hyperion_shard.close t))
+        (fun () ->
+          List.iter
+            (fun op ->
+              match op with
+              | Put (k, v) -> Hyperion_shard.put t k v
+              | Add k -> Hyperion_shard.add t k
+              | Del k -> ignore (Hyperion_shard.delete t k))
+            ops;
+          let probes = Array.of_list probes in
+          Hyperion_shard.get_many t probes
+          = Array.map (Hyperion_shard.get t) probes
+          && Hyperion_shard.mem_many ~width:8 t probes
+             = Array.map (Hyperion_shard.mem t) probes))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "getmany"
+    [
+      ( "differential",
+        [
+          qcheck
+            (prop_store_eq ~name:"get_many/mem_many = map of get/mem (raw)"
+               ~preprocess:false ~min_len:1 ~count:400);
+          qcheck
+            (prop_store_eq
+               ~name:"get_many/mem_many = map of get/mem (preprocessed)"
+               ~preprocess:true ~min_len:4 ~count:300);
+          qcheck prop_empty_key;
+          qcheck prop_compressed_eq;
+        ] );
+      ("tags", [ qcheck prop_tag_soundness ]);
+    ]

@@ -34,7 +34,7 @@ let test_cjt () =
   L.write_header buf 0 ~size:64 ~free:0 ~jump_levels:2 ~split_delay:0;
   Alcotest.(check int) "entries" 14 (L.jt_count buf 0);
   Alcotest.(check int) "area" 56 (L.jt_area_size buf 0);
-  Alcotest.(check int) "payload start" 60 (L.payload_start buf 0);
+  Alcotest.(check int) "payload start" 61 (L.payload_start buf 0);
   L.jt_write buf 0 3 ~key:128 ~off:99999;
   Alcotest.(check (pair int int)) "entry" (128, 99999) (L.jt_read buf 0 3)
 

@@ -415,6 +415,174 @@ let test_memcached_text () =
   Unix.close sock;
   stop_server (t, srv)
 
+(* --- pipelined read bursts through the batched path -------------------- *)
+
+(* Same registered metric as lib/core — registration is idempotent, so
+   this reads the engine's own counter. *)
+let c_prefetch =
+  Telemetry.Counter.make "hyperion_prefetch_issued_total"
+    ~help:"Software prefetches issued by the batched read path"
+
+(* A connection's queued Get/Mem frames drain into one [Sh.get_many]/
+   [Sh.mem_many] call: every response must still correlate by id with the
+   exact sequential answer, and the engine's prefetch counter moving
+   proves the burst really went through the pipelined path. *)
+let test_pipelined_get_burst () =
+  let (t, srv) = start_server () in
+  let n = 4000 in
+  for i = 0 to n - 1 do
+    Sh.put t (Printf.sprintf "burst key %05d" i) (Int64.of_int i)
+  done;
+  let cl = connect srv in
+  let was = Telemetry.enabled () in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let m = 256 in
+  let expect_tbl = Hashtbl.create m in
+  for j = 0 to m - 1 do
+    let id = 9000 + j in
+    let i = j * 97 mod n in
+    let base = Printf.sprintf "burst key %05d" i in
+    let req, want =
+      match j mod 4 with
+      | 0 -> (F.Get base, F.Value (Some (Int64.of_int i)))
+      | 1 -> (F.Get (base ^ "\x01"), F.Value None)
+      | 2 -> (F.Mem base, F.Found true)
+      | _ -> (F.Mem (base ^ "\x01"), F.Found false)
+    in
+    Hashtbl.replace expect_tbl id want;
+    match Client.send cl ~id req with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "send %d: %s" j msg
+  done;
+  for _ = 1 to m do
+    match Client.recv cl with
+    | Error msg -> Alcotest.failf "recv: %s" msg
+    | Ok (id, resp) -> (
+        match Hashtbl.find_opt expect_tbl id with
+        | None -> Alcotest.failf "alien or duplicate id %d" id
+        | Some want ->
+            if resp <> want then Alcotest.failf "id %d: wrong response" id;
+            Hashtbl.remove expect_tbl id)
+  done;
+  Alcotest.(check int) "all answered" 0 (Hashtbl.length expect_tbl);
+  let prefetches = Telemetry.Counter.value c_prefetch in
+  Telemetry.set_enabled was;
+  Alcotest.(check bool) "burst served via the batched path" true
+    (prefetches > 0);
+  Client.close cl;
+  stop_server (t, srv)
+
+(* The burst survives sick shards: with shard 0 dead and shard 1 sticky-
+   degraded, a pipelined burst of reads is still answered exactly (the
+   direct read door serves down and degraded shards alike), while the
+   mutation frames wedged mid-burst come back as their typed errors. *)
+let test_burst_with_down_and_degraded_shards () =
+  let dir = fresh_dir () in
+  let shards = 2 in
+  let ios = Array.init shards (fun _ -> Io.make ~max_retries:0 ()) in
+  let t =
+    match
+      Sh.open_durable ~config:cfg ~shards ~sync_every_ops:2
+        ~io_for_shard:(fun i -> ios.(i)) dir
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "open_durable: %s" (E.to_string e)
+  in
+  let srv =
+    ok "server start"
+      (Server.start ~config:{ Server.default_config with port = 0 } t)
+  in
+  (* sacrificial keys with a known owner, for degrading/killing workers
+     and for the mid-burst mutation frames *)
+  let key_owned i =
+    let rec go b =
+      if b > 255 then Alcotest.failf "no key for shard %d" i
+      else
+        let k = Printf.sprintf "%c sick shard probe" (Char.chr b) in
+        if Sh.shard_of_key t k = i then k else go (b + 1)
+    in
+    go 1
+  in
+  let k0 = key_owned 0 and k1 = key_owned 1 in
+  (* spread the read set over both shards: the leading byte routes *)
+  let sick_key i = Printf.sprintf "%csick key %03d" (Char.chr (1 + (i mod 128))) i in
+  let n = 200 in
+  for i = 0 to n - 1 do
+    Sh.put t (sick_key i) (Int64.of_int i)
+  done;
+  (* degrade shard 1: one-shot WAL write fault, mutate until sticky *)
+  Io.set_plan ios.(1) (Fault.fire_at [ (Fault.Io_write_eio, 1) ]);
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec degrade () =
+    if Unix.gettimeofday () > deadline then
+      Alcotest.fail "shard 1 never degraded"
+    else
+      match Sh.put_result t k1 7L with
+      | Error (E.Degraded _) -> ()
+      | Ok () | Error _ -> degrade ()
+  in
+  degrade ();
+  Io.disarm ios.(1);
+  (* kill shard 0: poison trips on the next op its worker dequeues *)
+  ignore (Sh.poison t ~shard:0 ~reason:"burst test kill");
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec until_down () =
+    if Unix.gettimeofday () > deadline then
+      Alcotest.fail "shard 0 never died"
+    else
+      match Sh.put_result t k0 7L with
+      | Error (E.Shard_down _) -> ()
+      | Ok () | Error _ -> until_down ()
+  in
+  until_down ();
+  let cl = connect srv in
+  (* pipelined burst: reads across both shards (hits and misses) with a
+     shard-down Put and a degraded Put wedged mid-burst *)
+  let m = 80 in
+  let expect_tbl = Hashtbl.create m in
+  for j = 0 to m - 1 do
+    let id = 7000 + j in
+    let req, check =
+      if j = 25 then
+        (F.Put (k0, 9L), fun r ->
+          match r with F.Err (F.E_shard_down, _) -> true | _ -> false)
+      else if j = 55 then
+        (F.Put (k1, 9L), fun r ->
+          match r with F.Err (F.E_degraded, _) -> true | _ -> false)
+      else
+        let i = j * 13 mod n in
+        let base = sick_key i in
+        match j mod 3 with
+        | 0 -> (F.Get base, fun r -> r = F.Value (Some (Int64.of_int i)))
+        | 1 -> (F.Mem base, fun r -> r = F.Found true)
+        | _ -> (F.Get (base ^ "\x01"), fun r -> r = F.Value None)
+    in
+    Hashtbl.replace expect_tbl id check;
+    match Client.send cl ~id req with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "send %d: %s" j msg
+  done;
+  for _ = 1 to m do
+    match Client.recv cl with
+    | Error msg -> Alcotest.failf "recv: %s" msg
+    | Ok (id, resp) -> (
+        match Hashtbl.find_opt expect_tbl id with
+        | None -> Alcotest.failf "alien or duplicate id %d" id
+        | Some check ->
+            if not (check resp) then
+              Alcotest.failf "id %d: wrong response shape" id;
+            Hashtbl.remove expect_tbl id)
+  done;
+  Alcotest.(check int) "all answered" 0 (Hashtbl.length expect_tbl);
+  Client.close cl;
+  Server.stop srv;
+  Array.iter Io.disarm ios;
+  (match Sh.close t with
+  | Ok () | Error (E.Shard_down _) -> ()
+  | Error e -> Alcotest.failf "close: %s" (E.to_string e));
+  wipe_tree dir
+
 (* --- clean shutdown under load ----------------------------------------- *)
 
 let test_stop_with_live_connections () =
@@ -451,6 +619,13 @@ let () =
             test_degraded_over_wire;
           Alcotest.test_case "shard down over the wire" `Quick
             test_shard_down_over_wire;
+        ] );
+      ( "burst",
+        [
+          Alcotest.test_case "pipelined get burst via get_many" `Quick
+            test_pipelined_get_burst;
+          Alcotest.test_case "burst with down + degraded shards" `Quick
+            test_burst_with_down_and_degraded_shards;
         ] );
       ("memcached", [ Alcotest.test_case "text subset" `Quick test_memcached_text ]);
       ( "lifecycle",
