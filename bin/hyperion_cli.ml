@@ -26,9 +26,12 @@
                     print what recovery found, then structurally validate
      check          apply mutations from stdin (or load a snapshot FILE,
                     or recover --dir), then run the full analyzer suite:
-                    structural validation plus the mark-and-sweep heap
-                    sanitizer (leaks, double references, free-list and
-                    counter integrity)
+                    the static passes (source lint + the typedtree
+                    Racecheck lock-discipline analyzer, when run inside
+                    the source tree; --json for machine-readable output)
+                    followed by structural validation plus the
+                    mark-and-sweep heap sanitizer (leaks, double
+                    references, free-list and counter integrity)
      repl           read commands from stdin:
                       put <key> <value> | add <key> | get <key>
                       del <key> | range <start> <limit> | audit
@@ -309,9 +312,70 @@ let audit dir =
       check "close" (Persist.close p);
       exit (if violations > 0 then 1 else 0)
 
-let chaos seed ops per_mille crash diskfault dir shards metrics_every heapcheck
-    compress dict =
+(* --- static preflight (lint + racecheck over the source tree) -------- *)
+
+(* [check] and the chaos preflight run the same two static passes as
+   bin/lint.  They locate the source tree by walking up from the working
+   directory to the directory holding dune-project + lint.allow; outside
+   the tree (an installed binary) the phase is skipped rather than
+   failed. *)
+let find_source_root () =
+  let rec up dir depth =
+    if depth > 8 then None
+    else if
+      Sys.file_exists (Filename.concat dir "dune-project")
+      && Sys.file_exists (Filename.concat dir "lint.allow")
+    then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent (depth + 1)
+  in
+  up (Sys.getcwd ()) 0
+
+(* Returns [None] when skipped (no source tree above the cwd), [Some n]
+   with the violation count otherwise; prints the report (text, or one
+   JSON document with [~json:true]). *)
+let static_analysis ~json () =
+  match find_source_root () with
+  | None -> None
+  | Some root ->
+      let allow =
+        match Lint.load_allow (Filename.concat root "lint.allow") with
+        | Ok a -> a
+        | Error m ->
+            Printf.eprintf "static: bad allow-list: %s\n" m;
+            exit 2
+      in
+      let paths = [ "lib" ] in
+      let vs = Lint.run ~allow ~root paths in
+      let rc = Racecheck.run ~allow ~root paths in
+      let unavailable =
+        List.exists (fun v -> v.Lint.v_rule = "racecheck-unavailable") rc
+      in
+      (* stale-entry detection is only meaningful once Racecheck has
+         consulted the allow list over the full scope *)
+      let vs = vs @ rc @ (if unavailable then [] else Lint.stale allow) in
+      let vs = Lint.sort_violations vs in
+      if json then print_endline (Lint.to_json vs)
+      else List.iter (fun v -> print_endline (Lint.to_string v)) vs;
+      Some (List.length vs)
+
+let chaos no_preflight seed ops per_mille crash diskfault dir shards
+    metrics_every heapcheck compress dict =
   check_shards shards;
+  if not no_preflight then begin
+    match static_analysis ~json:false () with
+    | None ->
+        print_endline
+          "chaos: static preflight skipped (outside the source tree)"
+    | Some 0 -> print_endline "chaos: static preflight clean"
+    | Some n ->
+        Printf.eprintf
+          "chaos: static preflight found %d violation(s) — fix them or rerun \
+           with --no-preflight\n"
+          n;
+        exit 1
+  end;
   if compress && (crash || diskfault || dir <> None || shards > 1) then begin
     prerr_endline
       "chaos: --compress runs the single-store in-memory mode only (no \
@@ -638,8 +702,19 @@ let check_sharded t =
              check_one s)
       |> List.fold_left ( + ) 0)
 
-let check file dir shards =
+let check file dir shards json =
   check_shards shards;
+  let static_problems =
+    match static_analysis ~json () with
+    | None ->
+        if not json then
+          print_endline "static analysis: skipped (outside the source tree)";
+        0
+    | Some n ->
+        if n = 0 && not json then
+          print_endline "static analysis: lint + racecheck clean";
+        n
+  in
   let problems =
     match (file, dir) with
     | Some _, Some _ ->
@@ -702,7 +777,7 @@ let check file dir shards =
           check_one store
         end
   in
-  exit (if problems > 0 then 1 else 0)
+  exit (if problems + static_problems > 0 then 1 else 0)
 
 let repl () =
   let store = ref (make_store ()) in
@@ -1391,6 +1466,15 @@ let sample_arg =
   Arg.(value & opt int 4096 & info [ "sample" ] ~docv:"K"
        ~doc:"Reservoir-sample size the dictionary is trained on.")
 
+let no_preflight_arg =
+  Arg.(value & flag & info [ "no-preflight" ]
+       ~doc:"Skip the static lint/racecheck preflight over the source tree.")
+
+let check_json_arg =
+  Arg.(value & flag & info [ "json" ]
+       ~doc:"Print the static-analysis report as a single JSON document \
+             (the dynamic store report stays textual).")
+
 let train_seed_arg =
   Arg.(value & opt int64 20190301L & info [ "seed" ] ~docv:"SEED"
        ~doc:"Reservoir-sampling seed (deterministic training).")
@@ -1415,9 +1499,10 @@ let cmds =
                supervised shard restarts); $(b,--dir) recovers the store \
                first; $(b,--shards) > 1 runs concurrent client domains \
                against the sharded front-end.  $(b,--heapcheck false) \
-               disables the per-audit heap sanitizer.  Exits 1 on \
-               divergence")
-      Term.(const chaos $ seed_arg $ ops_arg $ per_mille_arg $ crash_arg $ diskfault_arg $ dir_arg $ shards_arg $ metrics_every_arg $ heapcheck_arg $ compress_flag_arg $ dict_arg);
+               disables the per-audit heap sanitizer; $(b,--no-preflight) \
+               skips the static lint/racecheck preflight.  Exits 1 on \
+               divergence or preflight violations")
+      Term.(const chaos $ no_preflight_arg $ seed_arg $ ops_arg $ per_mille_arg $ crash_arg $ diskfault_arg $ dir_arg $ shards_arg $ metrics_every_arg $ heapcheck_arg $ compress_flag_arg $ dict_arg);
     Cmd.v
       (Cmd.info "health"
          ~doc:"Open a sharded durability directory and report per-shard \
@@ -1455,12 +1540,15 @@ let cmds =
       Term.(const recover $ dir_pos_arg $ shards_arg $ compress_flag_arg $ dict_arg);
     Cmd.v
       (Cmd.info "check"
-         ~doc:"Run the full analyzer suite — structural validation plus \
-               the mark-and-sweep heap sanitizer — over a store built from \
-               stdin mutations, a snapshot $(i,FILE), or a recovered \
-               $(b,--dir) (sharded tree with $(b,--shards) > 1).  Exits 1 \
-               when any check fails")
-      Term.(const check $ file_opt_arg $ dir_arg $ shards_arg);
+         ~doc:"Run the full analyzer suite — the static passes (source \
+               lint plus the typedtree Racecheck lock-discipline analyzer, \
+               when run inside the source tree) and then structural \
+               validation plus the mark-and-sweep heap sanitizer — over a \
+               store built from stdin mutations, a snapshot $(i,FILE), or \
+               a recovered $(b,--dir) (sharded tree with $(b,--shards) > \
+               1).  $(b,--json) prints the static report as one JSON \
+               document.  Exits 1 when any check fails")
+      Term.(const check $ file_opt_arg $ dir_arg $ shards_arg $ check_json_arg);
     Cmd.v (Cmd.info "repl" ~doc:"Line-oriented REPL on stdin") Term.(const repl $ const ());
     Cmd.v
       (Cmd.info "metrics"

@@ -1,15 +1,26 @@
-(* Source-lint driver: [dune exec bin/lint.exe -- [PATHS] [--allow FILE]].
+(* Source-lint driver:
+   [dune exec bin/lint.exe -- [PATHS] [--allow FILE] [--json]].
 
-   Lints every .ml under PATHS (default: lib) against the project rules in
-   Lint, prints one [file:line rule message] per violation and exits 1
-   when any are found (2 on usage or allow-list errors). *)
+   Runs the parsetree lint (Lint) and the typedtree Racecheck pass
+   (Racecheck) over every .ml under PATHS (default: lib), prints one
+   [file:line rule message] per violation — or a single JSON document
+   with [--json] — and exits 1 when any are found (2 on usage or
+   allow-list errors).
 
-let usage = "usage: lint [--allow FILE] [--root DIR] [PATH ...]"
+   Stale allow entries are reported (rule [stale-allow]) only when both
+   passes ran over the default full scope with the default allow file:
+   a partial run or [--no-racecheck] legitimately leaves entries
+   unconsulted. *)
+
+let usage =
+  "usage: lint [--allow FILE] [--root DIR] [--json] [--no-racecheck] [PATH ...]"
 
 let () =
   let allow_file = ref "lint.allow" in
   let allow_explicit = ref false in
   let root = ref "." in
+  let json = ref false in
+  let racecheck = ref true in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
@@ -19,6 +30,12 @@ let () =
         parse rest
     | "--root" :: d :: rest ->
         root := d;
+        parse rest
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--no-racecheck" :: rest ->
+        racecheck := false;
         parse rest
     | ("--help" | "-help") :: _ ->
         print_endline usage;
@@ -32,6 +49,7 @@ let () =
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let default_scope = !paths = [] in
   let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
   let allow_path =
     if Filename.is_relative !allow_file then
@@ -52,7 +70,17 @@ let () =
     else Lint.empty_allow
   in
   let violations = Lint.run ~allow ~root:!root paths in
-  List.iter (fun v -> print_endline (Lint.to_string v)) violations;
+  let violations =
+    if !racecheck then violations @ Racecheck.run ~allow ~root:!root paths
+    else violations
+  in
+  let violations =
+    if !racecheck && default_scope then violations @ Lint.stale allow
+    else violations
+  in
+  let violations = Lint.sort_violations violations in
+  if !json then print_endline (Lint.to_json violations)
+  else List.iter (fun v -> print_endline (Lint.to_string v)) violations;
   if violations <> [] then begin
     Printf.eprintf "lint: %d violation(s)\n" (List.length violations);
     exit 1

@@ -1,4 +1,5 @@
-(* Project-specific source lint (ISSUE 5 tentpole, prong 1).
+(* Project-specific source lint (ISSUE 5 tentpole, prong 1; allow-list
+   and reporting shared with the Racecheck typedtree pass, ISSUE 10).
 
    Parses every [.ml] file with the compiler's own front end
    (compiler-libs.common — ships with the OCaml toolchain, no new
@@ -17,14 +18,14 @@
                       exception variable) that can silently swallow a
                       [Hyperion_error.Error].  Handlers that consult the
                       exception ([with e -> cleanup; raise e]) pass.
-   - [mutable-field]  no [mutable] record field in files whose library is
-                      reachable from [hyperion_shard]'s dune dependency
-                      closure, unless the field is an [Atomic.t] or named
-                      in the allow-list (single-writer fields with an
-                      external synchronization argument).
+
+   The PR 5 [mutable-field] keyword heuristic is gone: lock-discipline for
+   mutable state is now enforced by the typedtree Racecheck pass (see
+   racecheck.ml), which understands [@guarded_by] annotations instead of
+   blanket-banning the keyword.
 
    Violations print [file:line rule message]; the driver exits non-zero
-   when any are found. *)
+   when any are found.  [--json] output is available via [to_json]. *)
 
 type violation = {
   v_file : string;
@@ -35,21 +36,79 @@ type violation = {
 
 let to_string v = Printf.sprintf "%s:%d %s %s" v.v_file v.v_line v.v_rule v.v_msg
 
+let sort_violations vs =
+  List.sort
+    (fun a b ->
+      match compare a.v_file b.v_file with
+      | 0 -> (
+          match compare a.v_line b.v_line with
+          | 0 -> compare a.v_rule b.v_rule
+          | c -> c)
+      | c -> c)
+    vs
+
+(* ---- JSON output ------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json vs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"tool\":\"hyperion-lint\",\"version\":1,\"count\":%d,\"violations\":["
+       (List.length vs));
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
+           (json_escape v.v_file) v.v_line (json_escape v.v_rule)
+           (json_escape v.v_msg)))
+    vs;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
 (* ---- allow-list ------------------------------------------------------ *)
 
-type allow = {
-  unsafe_modules : string list;  (* repo-relative .ml paths *)
-  mutable_fields : (string * string) list;  (* path, "type.field" *)
-}
+(* One directive per line ('#' starts a comment); every entry records its
+   line so stale entries can be reported, and whether any rule consulted
+   it, so [stale] can flag dead exemptions:
 
-let empty_allow = { unsafe_modules = []; mutable_fields = [] }
+     unsafe <path.ml>                   module may use unsafe_* under SAFETY
+     unguarded <path.ml> <type.field>   mutable field exempt from guarded-by
+     racy-read <path.ml> <type.field>   unlocked READS of a guarded field ok
+     escape <path.ml> <ident>           spawn-captured root exempt
+     blocking <path.ml> <callee>        blocking call under a lock sanctioned
+     nonblocking <lock-token>           lock is latency-critical: no blocking
+     lockorder <outer> <inner>          sanctioned acquisition-order edge *)
 
-(* Format, one directive per line ('#' starts a comment):
-     unsafe <path.ml>
-     mutable <path.ml> <type.field>   (or <type.Constructor.field>) *)
+type entry = { e_line : int; e_key : string list; mutable e_used : bool }
+type allow = { a_file : string; a_entries : entry list }
+
+let empty_allow = { a_file = "lint.allow"; a_entries = [] }
+let allow_file a = a.a_file
+
+let directive_arity = function
+  | "unsafe" | "nonblocking" -> Some 1
+  | "unguarded" | "racy-read" | "escape" | "blocking" | "lockorder" -> Some 2
+  | _ -> None
+
 let parse_allow ~file text =
   let lines = String.split_on_char '\n' text in
-  let acc = ref empty_allow in
+  let acc = ref [] in
   let err = ref None in
   List.iteri
     (fun i line ->
@@ -65,21 +124,71 @@ let parse_allow ~file text =
       in
       match words with
       | [] -> ()
-      | [ "unsafe"; path ] ->
-          acc := { !acc with unsafe_modules = path :: !acc.unsafe_modules }
-      | [ "mutable"; path; field ] ->
-          acc :=
-            { !acc with mutable_fields = (path, field) :: !acc.mutable_fields }
-      | _ ->
-          if !err = None then
-            err := Some (Printf.sprintf "%s:%d: unrecognized directive" file (i + 1)))
+      | kw :: args -> (
+          match directive_arity kw with
+          | Some n when List.length args = n ->
+              acc := { e_line = i + 1; e_key = words; e_used = false } :: !acc
+          | Some n ->
+              if !err = None then
+                err :=
+                  Some
+                    (Printf.sprintf "%s:%d: '%s' takes %d argument%s" file
+                       (i + 1) kw n
+                       (if n = 1 then "" else "s"))
+          | None ->
+              if !err = None then
+                err :=
+                  Some
+                    (Printf.sprintf "%s:%d: unrecognized directive '%s'" file
+                       (i + 1) kw)))
     lines;
-  match !err with Some e -> Error e | None -> Ok !acc
+  match !err with
+  | Some e -> Error e
+  | None -> Ok { a_file = file; a_entries = List.rev !acc }
 
 let load_allow path =
   match In_channel.with_open_bin path In_channel.input_all with
   | text -> parse_allow ~file:path text
   | exception Sys_error m -> Error m
+
+(* Exact-match lookup; a hit marks the entry used. *)
+let allowed a key =
+  let hit = ref false in
+  List.iter
+    (fun e ->
+      if e.e_key = key then begin
+        e.e_used <- true;
+        hit := true
+      end)
+    a.a_entries;
+  !hit
+
+let mark_used a key =
+  List.iter (fun e -> if e.e_key = key then e.e_used <- true) a.a_entries
+
+(* All entries for one keyword, arguments only — order preserved. *)
+let directives a kw =
+  List.filter_map
+    (fun e -> match e.e_key with k :: args when k = kw -> Some args | _ -> None)
+    a.a_entries
+
+let stale a =
+  List.filter_map
+    (fun e ->
+      if e.e_used then None
+      else
+        Some
+          {
+            v_file = a.a_file;
+            v_line = e.e_line;
+            v_rule = "stale-allow";
+            v_msg =
+              Printf.sprintf
+                "allow entry '%s' no longer matches any use; delete it or fix \
+                 the reference"
+                (String.concat " " e.e_key);
+          })
+    a.a_entries
 
 (* ---- SAFETY proof comments ------------------------------------------- *)
 
@@ -104,7 +213,6 @@ let safety_lines text =
 type ctx = {
   file : string;  (* repo-relative path used in messages and allow-list *)
   strict : bool;  (* assert-false banned *)
-  reachable : bool;  (* mutable-field rule applies *)
   allow : allow;
   safety : int list;
   mutable items : (int * int) list;  (* enclosing structure-item line spans *)
@@ -182,7 +290,7 @@ let check_expr ctx (e : Parsetree.expression) =
              && String.length f > 7
              && String.sub f 0 7 = "unsafe_" -> (
           let use_line = line_of loc in
-          if not (List.mem ctx.file ctx.allow.unsafe_modules) then
+          if not (allowed ctx.allow [ "unsafe"; ctx.file ]) then
             report ctx use_line "unsafe"
               "%s.%s outside an allow-listed module" m f
           else
@@ -209,46 +317,6 @@ let check_expr ctx (e : Parsetree.expression) =
         cases
   | _ -> ()
 
-let is_atomic_t (ty : Parsetree.core_type) =
-  match ty.ptyp_desc with
-  | Ptyp_constr ({ txt; _ }, _) -> (
-      match Longident.flatten txt with
-      | [ "Atomic"; "t" ] -> true
-      | _ -> false)
-  | _ -> false
-
-let check_labels ctx ~tyname ~prefix (labels : Parsetree.label_declaration list)
-    =
-  List.iter
-    (fun (l : Parsetree.label_declaration) ->
-      if l.pld_mutable = Mutable && not (is_atomic_t l.pld_type) then begin
-        let field = prefix ^ l.pld_name.txt in
-        let key = tyname ^ "." ^ field in
-        if not (List.mem (ctx.file, key) ctx.allow.mutable_fields) then
-          report ctx
-            (line_of l.pld_loc)
-            "mutable-field"
-            "mutable field %s in shard-reachable type %s is not Atomic.t and \
-             not allow-listed"
-            field tyname
-      end)
-    labels
-
-let check_type_decl ctx (d : Parsetree.type_declaration) =
-  if ctx.reachable then
-    let tyname = d.ptype_name.txt in
-    match d.ptype_kind with
-    | Ptype_record labels -> check_labels ctx ~tyname ~prefix:"" labels
-    | Ptype_variant constrs ->
-        List.iter
-          (fun (c : Parsetree.constructor_declaration) ->
-            match c.pcd_args with
-            | Pcstr_record labels ->
-                check_labels ctx ~tyname ~prefix:(c.pcd_name.txt ^ ".") labels
-            | Pcstr_tuple _ -> ())
-          constrs
-    | _ -> ()
-
 let make_iterator ctx =
   let super = Ast_iterator.default_iterator in
   {
@@ -264,24 +332,11 @@ let make_iterator ctx =
       (fun self e ->
         check_expr ctx e;
         super.expr self e);
-    type_declaration =
-      (fun self d ->
-        check_type_decl ctx d;
-        super.type_declaration self d);
   }
 
-let check_source ?(allow = empty_allow) ?(strict = false) ?(reachable = false)
-    ~file text =
+let check_source ?(allow = empty_allow) ?(strict = false) ~file text =
   let ctx =
-    {
-      file;
-      strict;
-      reachable;
-      allow;
-      safety = safety_lines text;
-      items = [];
-      found = [];
-    }
+    { file; strict; allow; safety = safety_lines text; items = []; found = [] }
   in
   (match
      let lexbuf = Lexing.from_string text in
@@ -299,14 +354,9 @@ let check_source ?(allow = empty_allow) ?(strict = false) ?(reachable = false)
         | _ -> 1
       in
       report ctx line "parse" "%s" (Printexc.to_string e));
-  List.sort
-    (fun a b ->
-      match compare a.v_file b.v_file with
-      | 0 -> compare a.v_line b.v_line
-      | c -> c)
-    ctx.found
+  sort_violations ctx.found
 
-(* ---- dune dependency graph (shard reachability) ---------------------- *)
+(* ---- dune dependency graph (library reachability) -------------------- *)
 
 (* Minimal s-expression reader: enough for dune files (atoms, lists,
    ';' line comments, double-quoted strings). *)
@@ -431,9 +481,9 @@ let dune_libraries root =
   scan (Filename.concat root "lib");
   !libs
 
-(* Directories of every library in [hyperion_shard]'s dune dependency
-   closure — the scope of the mutable-field rule. *)
-let shard_reachable_dirs root =
+(* Directories of every library in the dune dependency closure of the
+   given root libraries. *)
+let reachable_dirs root ~roots =
   let libs = dune_libraries root in
   let visited = Hashtbl.create 16 in
   let rec visit name =
@@ -444,10 +494,12 @@ let shard_reachable_dirs root =
         libs
     end
   in
-  visit "hyperion_shard";
+  List.iter visit roots;
   List.filter_map
     (fun (dir, n, _) -> if Hashtbl.mem visited n then Some dir else None)
     libs
+
+let shard_reachable_dirs root = reachable_dirs root ~roots:[ "hyperion_shard" ]
 
 (* ---- driver ---------------------------------------------------------- *)
 
@@ -475,31 +527,27 @@ let rec collect_ml acc path =
   else if Filename.check_suffix path ".ml" then path :: acc
   else acc
 
+let strip_root ~root p =
+  let p = normalize p in
+  let prefix = normalize root ^ "/" in
+  if normalize root = "." then p
+  else if in_dir (normalize root) p then
+    String.sub p (String.length prefix) (String.length p - String.length prefix)
+  else p
+
 let run ?(allow = empty_allow) ~root paths =
-  let reachable_dirs =
-    List.map normalize (shard_reachable_dirs root)
-  in
   let files =
     List.concat_map
       (fun p -> List.rev (collect_ml [] (Filename.concat root p)))
       paths
   in
-  let strip_root p =
-    let p = normalize p in
-    let prefix = normalize root ^ "/" in
-    if normalize root = "." then p
-    else if in_dir (normalize root) p then
-      String.sub p (String.length prefix) (String.length p - String.length prefix)
-    else p
-  in
   List.concat_map
     (fun path ->
-      let rel = strip_root path in
+      let rel = strip_root ~root path in
       match In_channel.with_open_bin path In_channel.input_all with
       | text ->
           check_source ~allow
             ~strict:(List.exists (fun d -> in_dir d rel) strict_dirs)
-            ~reachable:(List.exists (fun d -> in_dir d rel) reachable_dirs)
             ~file:rel text
       | exception Sys_error m ->
           [ { v_file = rel; v_line = 1; v_rule = "io"; v_msg = m } ])

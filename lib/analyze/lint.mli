@@ -1,7 +1,9 @@
 (** Project-specific source lint, built on the compiler's own parser
-    (compiler-libs.common).
+    (compiler-libs.common).  The allow-list, violation shape and JSON
+    output are shared with the typedtree Racecheck pass (see
+    {!Racecheck} in the [hyperion.racecheck] library).
 
-    Rules (see DESIGN.md section 11 for the full table):
+    Rules (see DESIGN.md sections 11 and 16 for the full table):
     - [assert-false]: no [assert false] in strict modules (lib/core,
       lib/persist, lib/shard) — raise a typed [Hyperion_error] instead.
     - [obj-magic]: no [Obj.magic], anywhere.
@@ -11,9 +13,8 @@
     - [catch-all]: no exception handler that can silently swallow a
       [Hyperion_error.Error] — a wildcard pattern, or a bound exception
       variable the handler never consults.
-    - [mutable-field]: no non-[Atomic.t] [mutable] record field in files
-      reachable from [hyperion_shard]'s dune dependency closure, unless
-      allow-listed. *)
+    - [stale-allow]: a [lint.allow] entry no rule consulted (reported by
+      {!stale} once every pass has run). *)
 
 type violation = {
   v_file : string;
@@ -25,41 +26,77 @@ type violation = {
 val to_string : violation -> string
 (** [file:line rule message] — the format the CI job greps. *)
 
+val sort_violations : violation list -> violation list
+(** Stable report order: by file, then line, then rule. *)
+
+val to_json : violation list -> string
+(** Machine-readable output:
+    [{"tool":"hyperion-lint","version":1,"count":N,"violations":[...]}] *)
+
 (** {1 Allow-list}
 
     One directive per line; ['#'] starts a comment.
     {v
-    unsafe <path.ml>                 # module may use unsafe_* under SAFETY
-    mutable <path.ml> <type.field>   # field exempt from the mutable rule
-    v} *)
+    unsafe <path.ml>                   # module may use unsafe_* under SAFETY
+    unguarded <path.ml> <type.field>   # mutable field exempt from guarded-by
+    racy-read <path.ml> <type.field>   # unlocked READS of guarded field ok
+    escape <path.ml> <ident>           # spawn-captured mutable root exempt
+    blocking <path.ml> <callee>        # blocking call under a lock sanctioned
+    nonblocking <lock-token>           # lock is latency-critical
+    lockorder <outer> <inner>          # sanctioned acquisition-order edge
+    v}
 
-type allow = {
-  unsafe_modules : string list;
-  mutable_fields : (string * string) list;
-}
+    Every entry records its source line and whether any rule consulted
+    it, so {!stale} can report dead exemptions. *)
+
+type allow
 
 val empty_allow : allow
+val allow_file : allow -> string
 val parse_allow : file:string -> string -> (allow, string) result
 val load_allow : string -> (allow, string) result
+
+val allowed : allow -> string list -> bool
+(** [allowed a ["unguarded"; file; key]] — exact directive match; a hit
+    marks the entry used. *)
+
+val mark_used : allow -> string list -> unit
+(** Mark matching entries used without consulting the result. *)
+
+val directives : allow -> string -> string list list
+(** All entries for one keyword, arguments only, in file order. *)
+
+val stale : allow -> violation list
+(** One [stale-allow] violation (at the allow file's own [file:line]) per
+    entry that no rule consulted.  Only meaningful after a full-scope run
+    of both the parsetree lint and Racecheck. *)
 
 (** {1 Checking} *)
 
 val check_source :
-  ?allow:allow ->
-  ?strict:bool ->
-  ?reachable:bool ->
-  file:string ->
-  string ->
-  violation list
+  ?allow:allow -> ?strict:bool -> file:string -> string -> violation list
 (** Lint one compilation unit given as source text.  [strict] enables the
-    assert-false rule, [reachable] the mutable-field rule; [file] is the
-    repo-relative path used in messages and allow-list lookups.  Unparsable
-    sources yield a single [parse] violation. *)
+    assert-false rule; [file] is the repo-relative path used in messages
+    and allow-list lookups.  Unparsable sources yield a single [parse]
+    violation. *)
+
+val dune_libraries : string -> (string * string * string list) list
+(** [(dir, name, deps)] for every library stanza under [root]/lib. *)
+
+val reachable_dirs : string -> roots:string list -> string list
+(** Directories of every library in the dune dependency closure of the
+    given root libraries, computed from the dune files under [root]/lib. *)
 
 val shard_reachable_dirs : string -> string list
-(** Directories of every library in [hyperion_shard]'s dune dependency
-    closure, computed from the dune files under [root]/lib. *)
+(** [reachable_dirs root ~roots:["hyperion_shard"]]. *)
+
+(** {1 Path helpers} (shared with Racecheck) *)
+
+val normalize : string -> string
+val in_dir : string -> string -> bool
+val strip_root : root:string -> string -> string
+val collect_ml : string list -> string -> string list
 
 val run : ?allow:allow -> root:string -> string list -> violation list
 (** Lint every [.ml] under the given paths (relative to [root]), deriving
-    each file's [strict]/[reachable] setting from its location. *)
+    each file's [strict] setting from its location. *)

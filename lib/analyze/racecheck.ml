@@ -1,0 +1,1167 @@
+(* Racecheck — typedtree lock-discipline and domain-safety analyzer
+   (ISSUE 10 tentpole).
+
+   Works on the [-bin-annot] [.cmt] files the normal dune build already
+   emits (compiler-libs.common, no new dependency), falling back to
+   re-typechecking standalone sources for fixture tests.  Four rule
+   families, all reported with the shared [Lint.violation] shape:
+
+   - [racecheck-guarded]   every non-[Atomic.t] mutable record field in
+     the concurrent scope (the dune closure of [hyperion_shard] and
+     [hyperion_net]) carries a [@guarded_by lock] annotation or a
+     justified [unguarded] allow entry; every read/write of a guarded
+     field must be lexically inside a [Mutex.lock]/[Mutex.protect]/
+     lock-wrapper region of that lock.  [@@requires_lock "tok"] marks a
+     function whose body assumes the lock; its callers must hold it.
+     [@@lock_wrapper "tok"] marks a with_lock-style combinator: the last
+     literal-lambda argument is analyzed with the token held.
+   - [racecheck-escape]    non-[Atomic.t] mutable state ([mutable]
+     fields, arrays, [Bytes.t]) captured by a closure literal passed to
+     [Domain.spawn]/[Thread.create] and written without a lock held.
+   - [racecheck-blocking]  no blocking call (transitive callgraph
+     closure over [Unix.*], [Condition.wait], [Thread.join]/[delay],
+     [Domain.join]) while holding a lock declared [nonblocking] in
+     lint.allow (arena mutexes, mailbox mutexes).  Waiting on a condvar
+     of the held lock itself is the one sanctioned shape.
+   - [racecheck-order]     the lock-order graph built from lexically
+     nested acquisitions (and acquire-closures of calls made under a
+     lock) must be acyclic, and every edge must be covered by the
+     sanctioned [lockorder] hierarchy in lint.allow.
+
+   A unit that cannot be analyzed (missing [.cmt]) yields a single
+   [racecheck-unavailable] violation so CI cannot silently skip the
+   pass.
+
+   Token identity: locks and fields are named by normalized paths such
+   as [Store.t.locks] or [Persist.t.lock] — the compilation-unit name
+   (wrapped-library manglings like [Hyperion__Store] and library
+   wrapper prefixes like [Hyperion.] are stripped) followed by the
+   module path, type and field inside the unit.  The same spelling is
+   used by annotations, allow entries and diagnostics. *)
+
+module SS = Set.Make (String)
+module SM = Map.Make (String)
+
+type violation = Lint.violation = {
+  v_file : string;
+  v_line : int;
+  v_rule : string;
+  v_msg : string;
+}
+
+(* ---- attribute helpers ----------------------------------------------- *)
+
+let attr_named name (attrs : Parsetree.attributes) =
+  List.find_opt (fun (a : Parsetree.attribute) -> a.attr_name.txt = name) attrs
+
+let string_payload (a : Parsetree.attribute) =
+  match a.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let ident_payload (a : Parsetree.attribute) =
+  match a.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_ident { txt = Longident.Lident s; _ }; _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+(* ---- path normalization ---------------------------------------------- *)
+
+(* "Hyperion__Store" -> Some "Store"; "Persist__" -> Some ""; plain -> None *)
+let dunder_suffix s =
+  let n = String.length s in
+  let rec last i = if i < 0 then None else
+      if i + 1 < n && s.[i] = '_' && s.[i + 1] = '_' then Some (i + 2)
+      else last (i - 1)
+  in
+  match last (n - 2) with
+  | Some j -> Some (String.sub s j (n - j))
+  | None -> None
+
+let map_component s = match dunder_suffix s with Some s' -> s' | None -> s
+
+type unit_ctx = {
+  u_name : string;  (* capitalized compilation-unit name, e.g. "Store" *)
+  u_file : string;  (* repo-relative source path *)
+  u_concurrent : bool;
+  (* module aliases ([module Sh = Hyperion_shard]) and canonical names of
+     unit-toplevel (and nested-module-toplevel) values, modules, types,
+     keyed by [Ident.unique_name]. *)
+  u_aliases : (string, string) Hashtbl.t;
+  u_topnames : (string, string) Hashtbl.t;
+}
+
+(* Library wrapper modules (generated alias-only modules such as
+   [Hyperion]): a path head to strip when a longer path follows.
+   [Stdlib] behaves the same way ([Stdlib.Array.get]). *)
+let norm_path ctx wrappers p =
+  let rec flat p acc =
+    match p with
+    | Path.Pident id -> (Some id, acc)
+    | Path.Pdot (p, s) -> flat p (s :: acc)
+    | Path.Papply (p, _) -> flat p acc
+    | Path.Pextra_ty (p, _) -> flat p acc
+  in
+  let head, rest = flat p [] in
+  let rest = List.map map_component rest in
+  let comps =
+    match head with
+    | None -> rest
+    | Some id -> (
+        let raw = Ident.name id in
+        let name = map_component raw in
+        if name = "" then rest (* generated "Lib__" alias module *)
+        else if Ident.persistent id || Ident.global id then
+          if (name = "Stdlib" || SS.mem name wrappers) && rest <> [] then rest
+          else name :: rest
+        else
+          let key = Ident.unique_name id in
+          match Hashtbl.find_opt ctx.u_aliases key with
+          | Some target -> String.split_on_char '.' target @ rest
+          | None -> (
+              match Hashtbl.find_opt ctx.u_topnames key with
+              | Some canon -> String.split_on_char '.' canon @ rest
+              | None -> ctx.u_name :: name :: rest))
+  in
+  String.concat "." comps
+
+let type_token ctx wrappers (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Some (norm_path ctx wrappers p)
+  | _ -> None
+
+(* Guard token of a field at a use site, from the label description the
+   typechecker resolved (works cross-module via the cmi). *)
+let guarded_of_label ctx wrappers (lbl : Types.label_description) =
+  match attr_named "guarded_by" lbl.lbl_attributes with
+  | None -> None
+  | Some a -> (
+      match string_payload a with
+      | Some s -> Some s
+      | None -> (
+          match ident_payload a with
+          | Some f -> (
+              match type_token ctx wrappers lbl.lbl_res with
+              | Some t -> Some (t ^ "." ^ f)
+              | None -> Some f)
+          | None -> Some "<bad guarded_by payload>"))
+
+(* ---- global analysis state ------------------------------------------- *)
+
+type fn_sum = {
+  mutable fs_calls : SS.t;
+  mutable fs_acquires : SS.t;
+  mutable fs_blocking : bool;
+}
+
+type gstate = {
+  allow : Lint.allow;
+  wrappers : SS.t;  (* library wrapper module names *)
+  g_requires : (string, string) Hashtbl.t;  (* fn -> token *)
+  g_wrapfns : (string, string) Hashtbl.t;  (* fn -> token *)
+  sums : (string, fn_sum) Hashtbl.t;
+  mutable blocking_closure : SS.t;
+  mutable acquire_closure : SS.t SM.t;
+  nonblocking : SS.t;
+  (* (outer, inner, file, line), lexical and closure-derived *)
+  mutable edges : (string * string * string * int) list;
+  mutable viol : violation list;
+}
+
+let report g file line rule fmt =
+  Printf.ksprintf
+    (fun msg ->
+      g.viol <- { v_file = file; v_line = line; v_rule = rule; v_msg = msg } :: g.viol)
+    fmt
+
+let line_of (loc : Location.t) = loc.loc_start.pos_lnum
+
+let sum_for g fn =
+  match Hashtbl.find_opt g.sums fn with
+  | Some s -> s
+  | None ->
+      let s = { fs_calls = SS.empty; fs_acquires = SS.empty; fs_blocking = false } in
+      Hashtbl.add g.sums fn s;
+      s
+
+(* Direct blocking calls: the roots of the blocking-effect closure.
+   Monotonic-clock reads are excluded — they are syscalls but not
+   latency cliffs, and the telemetry spans sit inside arena sections. *)
+let nonblocking_syscalls =
+  SS.of_list [ "Unix.gettimeofday"; "Unix.getpid"; "Unix.time" ]
+
+let blocking_name n =
+  if SS.mem n nonblocking_syscalls then false
+  else
+    let head = match String.index_opt n '.' with
+      | Some i -> String.sub n 0 i
+      | None -> n
+    in
+    head = "Unix" || head = "UnixLabels"
+    || n = "Condition.wait" || n = "Thread.delay" || n = "Thread.join"
+    || n = "Thread.yield" || n = "Domain.join"
+
+let spawn_name n = n = "Domain.spawn" || n = "Thread.create"
+
+(* Array/bytes mutation primitives and the 0-based index (among the
+   supplied arguments) of the mutated value, for the escape analysis.
+   [a.(i) <- v] and [b.[i] <- c] desugar to these.  Writes only: a read
+   of a captured array slot is benign when every writer is checked. *)
+let mutating_target_index = function
+  | "Array.set" | "Array.unsafe_set" | "Array.fill" | "Bytes.set"
+  | "Bytes.unsafe_set" | "Bytes.fill" | "Bytes.set_uint8"
+  | "Bytes.set_uint16_le" | "Bytes.set_int32_le" | "Bytes.set_int64_le" ->
+      Some 0
+  | "Array.blit" | "Bytes.blit" | "Bytes.unsafe_blit" | "Bytes.blit_string"
+  | "String.blit" ->
+      Some 2
+  | _ -> None
+
+(* ---- per-expression environment -------------------------------------- *)
+
+type env = {
+  held : (string * int) list;  (* token, acquisition line; innermost first *)
+  bound : SS.t;  (* unique_names of locally bound idents in this toplevel fn *)
+  spawn_outer : SS.t option;  (* Some outer-bound set inside a spawn thunk *)
+  aliases : string SM.t;  (* local ident unique_name -> lock token *)
+  fn : string;  (* canonical name of the enclosing toplevel binding *)
+}
+
+type mode = Collect | Check
+
+let held_has env tok = List.exists (fun (t, _) -> t = tok) env.held
+let add_held env tok line = { env with held = (tok, line) :: env.held }
+let drop_held env tok =
+  { env with held = List.filter (fun (t, _) -> t <> tok) env.held }
+
+let bind_idents env ids =
+  {
+    env with
+    bound = List.fold_left (fun s id -> SS.add (Ident.unique_name id) s) env.bound ids;
+  }
+
+let captured env id =
+  match env.spawn_outer with
+  | None -> false
+  | Some outer -> SS.mem (Ident.unique_name id) outer
+
+(* intersection of held sets after a branch join *)
+let join_held envs base =
+  match envs with
+  | [] -> base
+  | e0 :: rest ->
+      let keep (t, _) = List.for_all (fun e -> held_has e t) rest in
+      { base with held = List.filter keep e0.held }
+
+(* ---- the walker ------------------------------------------------------- *)
+
+let rec walk g u mode env (e : Typedtree.expression) : env =
+  let loc = line_of e.exp_loc in
+  match e.exp_desc with
+  | Texp_sequence (a, b) ->
+      let env1 = walk g u mode env a in
+      walk g u mode env1 b
+  | Texp_let (_, vbs, body) ->
+      let env' =
+        List.fold_left
+          (fun env (vb : Typedtree.value_binding) ->
+            let _ = walk g u mode env vb.vb_expr in
+            let env = bind_idents env (Typedtree.pat_bound_idents vb.vb_pat) in
+            match (vb.vb_pat.pat_desc, lock_token g u env vb.vb_expr) with
+            | Tpat_var (id, _), Some tok
+              when is_mutex_type g u vb.vb_expr.exp_type ->
+                { env with aliases = SM.add (Ident.unique_name id) tok env.aliases }
+            | _ -> env)
+          env vbs
+      in
+      walk g u mode env' body
+  | Texp_function { cases; _ } ->
+      List.iter
+        (fun (c : Typedtree.value Typedtree.case) ->
+          let env_c = bind_idents env (Typedtree.pat_bound_idents c.c_lhs) in
+          (match c.c_guard with Some gd -> ignore (walk g u mode env_c gd) | None -> ());
+          ignore (walk g u mode env_c c.c_rhs))
+        cases;
+      env
+  | Texp_match (scrut, cases, _) ->
+      let env1 = walk g u mode env scrut in
+      let finals =
+        List.map
+          (fun (c : Typedtree.computation Typedtree.case) ->
+            let env_c = bind_idents env1 (Typedtree.pat_bound_idents c.c_lhs) in
+            (match c.c_guard with Some gd -> ignore (walk g u mode env_c gd) | None -> ());
+            walk g u mode env_c c.c_rhs)
+          cases
+      in
+      join_held finals env1
+  | Texp_try (b, cases) ->
+      let envb = walk g u mode env b in
+      let finals =
+        List.map
+          (fun (c : Typedtree.value Typedtree.case) ->
+            let env_c = bind_idents env (Typedtree.pat_bound_idents c.c_lhs) in
+            walk g u mode env_c c.c_rhs)
+          cases
+      in
+      join_held (envb :: finals) env
+  | Texp_ifthenelse (c, a, b) ->
+      let env1 = walk g u mode env c in
+      let ea = walk g u mode env1 a in
+      let eb = match b with Some b -> walk g u mode env1 b | None -> env1 in
+      join_held [ ea; eb ] env1
+  | Texp_while (c, body) ->
+      let env1 = walk g u mode env c in
+      ignore (walk g u mode env1 body);
+      env
+  | Texp_for (id, _, lo, hi, _, body) ->
+      let env1 = walk g u mode env lo in
+      let env2 = walk g u mode env1 hi in
+      ignore (walk g u mode (bind_idents env2 [ id ]) body);
+      env
+  | Texp_field (b, _, lbl) ->
+      check_access g u mode env ~write:false b lbl loc;
+      walk g u mode env b
+  | Texp_setfield (b, _, lbl, v) ->
+      check_access g u mode env ~write:true b lbl loc;
+      let env1 = walk g u mode env b in
+      walk g u mode env1 v
+  | Texp_apply (fn, args) -> walk_apply g u mode env e fn args loc
+  | _ ->
+      iter_children g u mode env e;
+      env
+
+and iter_children g u mode env e =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr = (fun _ ce -> ignore (walk g u mode env ce));
+    }
+  in
+  Tast_iterator.default_iterator.expr it e
+
+and is_mutex_type g u ty =
+  match type_token u g.wrappers ty with Some "Mutex.t" -> true | _ -> false
+
+(* Resolve the lock token an expression denotes: a mutex-typed field
+   ([t.lock], [mb.mm]), a local alias ([let lock = t.locks.(i)]), an
+   element of a mutex-array field, a unit-toplevel or global mutex. *)
+and lock_token g u env (e : Typedtree.expression) : string option =
+  match e.exp_desc with
+  | Texp_field (_, _, lbl) -> (
+      match type_token u g.wrappers lbl.lbl_res with
+      | Some t -> Some (t ^ "." ^ lbl.lbl_name)
+      | None -> None)
+  | Texp_ident (Path.Pident id, _, _) -> (
+      let key = Ident.unique_name id in
+      match SM.find_opt key env.aliases with
+      | Some tok -> Some tok
+      | None -> Hashtbl.find_opt u.u_topnames key)
+  | Texp_ident (p, _, _) -> Some (norm_path u g.wrappers p)
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+    when (match norm_path u g.wrappers p with
+         | "Array.get" | "Array.unsafe_get" -> true
+         | _ -> false) -> (
+      match args with
+      | (_, Some a) :: _ -> lock_token g u env a
+      | _ -> None)
+  | _ -> None
+
+and callee_name g u p = norm_path u g.wrappers p
+
+(* an acquisition of [tok] at [line] while [env.held] — record order edges *)
+and note_acquire g u env tok line =
+  List.iter (fun (h, _) -> g.edges <- (h, tok, u.u_file, line) :: g.edges) env.held;
+  if SS.mem tok g.nonblocking then
+    Lint.mark_used g.allow [ "nonblocking"; tok ]
+
+and blocking_check g u env callee line =
+  let nb = List.filter (fun (t, _) -> SS.mem t g.nonblocking) env.held in
+  if nb <> [] then
+    let is_blocking =
+      blocking_name callee || SS.mem callee g.blocking_closure
+    in
+    if is_blocking
+       && not (Lint.allowed g.allow [ "blocking"; u.u_file; callee ])
+    then
+      let t, al = List.hd nb in
+      report g u.u_file line "racecheck-blocking"
+        "blocking call %s while holding nonblocking-class lock %s (acquired \
+         line %d)"
+        callee t al
+
+and walk_apply g u mode env _e fn args loc =
+  let named =
+    match fn.exp_desc with
+    | Texp_ident (p, _, _) -> Some (callee_name g u p)
+    | _ ->
+        ignore (walk g u mode env fn);
+        None
+  in
+  let walk_args ?(skip = []) env =
+    List.iter
+      (fun (_, arg) ->
+        match arg with
+        | Some (a : Typedtree.expression) when not (List.memq a skip) ->
+            ignore (walk g u mode env a)
+        | _ -> ())
+      args
+  in
+  let first_arg () =
+    match List.filter_map (fun (_, a) -> a) args with a :: _ -> Some a | [] -> None
+  in
+  match named with
+  | None ->
+      walk_args env;
+      env
+  | Some "Mutex.lock" -> (
+      match first_arg () with
+      | Some a -> (
+          ignore (walk g u mode env a);
+          match lock_token g u env a with
+          | Some tok ->
+              (match mode with
+              | Collect ->
+                  (sum_for g env.fn).fs_acquires <-
+                    SS.add tok (sum_for g env.fn).fs_acquires
+              | Check ->
+                  if held_has env tok then
+                    report g u.u_file loc "racecheck-order"
+                      "lock %s acquired while already held (self-deadlock)" tok
+                  else note_acquire g u env tok loc);
+              add_held env tok loc
+          | None -> env)
+      | None -> env)
+  | Some "Mutex.unlock" -> (
+      match first_arg () with
+      | Some a -> (
+          ignore (walk g u mode env a);
+          match lock_token g u env a with
+          | Some tok -> drop_held env tok
+          | None -> env)
+      | None -> env)
+  | Some "Condition.wait" ->
+      (* Condition.wait c m releases m while waiting: sanctioned iff m is
+         the only nonblocking-class lock held. *)
+      (if mode = Check then
+         let m_tok =
+           match args with
+           | [ _; (_, Some m) ] -> lock_token g u env m
+           | _ -> None
+         in
+         let nb = List.filter (fun (t, _) -> SS.mem t g.nonblocking) env.held in
+         match nb with
+         | [] -> ()
+         | [ (t, _) ] when Some t = m_tok -> ()
+         | (t, al) :: _ ->
+             if not (Lint.allowed g.allow [ "blocking"; u.u_file; "Condition.wait" ])
+             then
+               report g u.u_file loc "racecheck-blocking"
+                 "Condition.wait while holding nonblocking-class lock %s \
+                  (acquired line %d) that is not the wait mutex"
+                 t al);
+      if mode = Collect then (sum_for g env.fn).fs_blocking <- true;
+      walk_args env;
+      env
+  | Some callee when spawn_name callee ->
+      (* literal thunks run on a fresh domain/thread: empty lock context,
+         captured locals become shared state *)
+      let thunks =
+        List.filter_map
+          (fun (_, a) ->
+            match a with
+            | Some ({ Typedtree.exp_desc = Texp_function _; _ } as a) -> Some a
+            | _ -> None)
+          args
+      in
+      List.iter
+        (fun th ->
+          let spawn_env =
+            {
+              env with
+              held = [];
+              spawn_outer = Some env.bound;
+              fn = (match mode with Collect -> "<spawned>" | Check -> env.fn);
+            }
+          in
+          ignore (walk g u mode spawn_env th))
+        thunks;
+      walk_args ~skip:thunks env;
+      env
+  | Some callee ->
+      let wrapper_tok =
+        match Hashtbl.find_opt g.g_wrapfns callee with
+        | Some t -> Some t
+        | None -> if callee = "Mutex.protect" then
+            (match first_arg () with
+             | Some a -> lock_token g u env a
+             | None -> None)
+          else None
+      in
+      (match mode with
+      | Collect ->
+          let s = sum_for g env.fn in
+          s.fs_calls <- SS.add callee s.fs_calls;
+          if blocking_name callee then s.fs_blocking <- true;
+          (match wrapper_tok with
+          | Some t -> s.fs_acquires <- SS.add t s.fs_acquires
+          | None -> ())
+      | Check -> (
+          (match Hashtbl.find_opt g.g_requires callee with
+          | Some tok when not (held_has env tok) ->
+              report g u.u_file loc "racecheck-guarded"
+                "call to %s requires lock %s to be held" callee tok
+          | _ -> ());
+          blocking_check g u env callee loc;
+          (* array/bytes writes on spawn-captured roots with no lock *)
+          (match mutating_target_index callee with
+          | Some idx when env.spawn_outer <> None && env.held = [] -> (
+              let present = List.filter_map (fun (_, a) -> a) args in
+              match List.nth_opt present idx with
+              | Some target -> (
+                  match root_ident target with
+                  | Some id when captured env id ->
+                      if
+                        not
+                          (Lint.allowed g.allow
+                             [ "escape"; u.u_file; Ident.name id ])
+                      then
+                        report g u.u_file loc "racecheck-escape"
+                          "%s on %s captured by a Domain.spawn/Thread.create \
+                           closure with no lock held"
+                          callee (Ident.name id)
+                  | _ -> ())
+              | None -> ())
+          | _ -> ());
+          (* acquisitions the callee performs, for the order graph *)
+          (match SM.find_opt callee g.acquire_closure with
+          | Some toks ->
+              SS.iter
+                (fun t ->
+                  if not (held_has env t) then note_acquire g u env t loc)
+                toks
+          | None -> ());
+          match wrapper_tok with
+          | Some t -> note_acquire g u env t loc
+          | None -> ()));
+      (* a lock wrapper runs its last literal lambda under the token *)
+      (match wrapper_tok with
+      | Some tok -> (
+          let lambdas =
+            List.filter_map
+              (fun (_, a) ->
+                match a with
+                | Some ({ Typedtree.exp_desc = Texp_function _; _ } as a) ->
+                    Some a
+                | _ -> None)
+              args
+          in
+          match List.rev lambdas with
+          | last :: _ ->
+              let held_env = add_held env tok loc in
+              ignore (walk g u mode held_env last);
+              walk_args ~skip:[ last ] env
+          | [] -> walk_args env)
+      | None -> walk_args env);
+      env
+
+(* guarded-by discipline at a field read/write; escape analysis for
+   spawn-captured mutable state *)
+and check_access g u mode env ~write (base : Typedtree.expression)
+    (lbl : Types.label_description) line =
+  if mode = Check then begin
+    let tytok = type_token u g.wrappers lbl.lbl_res in
+    let key =
+      match tytok with
+      | Some t -> t ^ "." ^ lbl.lbl_name
+      | None -> lbl.lbl_name
+    in
+    match guarded_of_label u g.wrappers lbl with
+    | Some tok ->
+        if not (held_has env tok) then
+          if (not write)
+             && Lint.allowed g.allow [ "racy-read"; u.u_file; key ]
+          then ()
+          else
+            report g u.u_file line "racecheck-guarded"
+              "%s of field %s guarded by %s outside its lock region"
+              (if write then "write" else "read")
+              key tok
+    | None ->
+        if lbl.lbl_mut = Mutable && write && env.spawn_outer <> None
+           && env.held = []
+        then
+          match root_ident base with
+          | Some id when captured env id ->
+              if not (Lint.allowed g.allow [ "escape"; u.u_file; Ident.name id ])
+                 && not (Lint.allowed g.allow [ "unguarded"; u.u_file; key ])
+              then
+                report g u.u_file line "racecheck-escape"
+                  "write to mutable field %s of %s captured by a \
+                   Domain.spawn/Thread.create closure with no lock held"
+                  key (Ident.name id)
+          | _ -> ()
+  end
+
+and root_ident (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> Some id
+  | Texp_field (b, _, _) -> root_ident b
+  | Texp_apply ({ exp_desc = Texp_ident _; _ }, args) -> (
+      match List.filter_map (fun (_, a) -> a) args with
+      | a :: _ -> root_ident a
+      | [] -> None)
+  | _ -> None
+
+(* ---- structure walking ------------------------------------------------ *)
+
+let vb_name (vb : Typedtree.value_binding) =
+  match vb.vb_pat.pat_desc with
+  | Tpat_var (id, _) -> Some id
+  | _ -> None
+
+let canon u stack name = String.concat "." (u.u_name :: List.rev_append stack [ name ])
+
+(* Pass 0: attributes, declarations, canonical name tables. *)
+let scan_unit g u (str : Typedtree.structure) =
+  let rec scan_items stack items =
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Typedtree.value_binding) ->
+                match vb_name vb with
+                | None -> ()
+                | Some id ->
+                    let cname = canon u stack (Ident.name id) in
+                    Hashtbl.replace u.u_topnames (Ident.unique_name id) cname;
+                    (match attr_named "requires_lock" vb.vb_attributes with
+                    | Some a -> (
+                        match string_payload a with
+                        | Some tok -> Hashtbl.replace g.g_requires cname tok
+                        | None ->
+                            report g u.u_file (line_of vb.vb_loc)
+                              "racecheck-guarded"
+                              "requires_lock on %s needs a string literal \
+                               lock token"
+                              cname)
+                    | None -> ());
+                    (match attr_named "lock_wrapper" vb.vb_attributes with
+                    | Some a -> (
+                        match string_payload a with
+                        | Some tok -> Hashtbl.replace g.g_wrapfns cname tok
+                        | None ->
+                            report g u.u_file (line_of vb.vb_loc)
+                              "racecheck-guarded"
+                              "lock_wrapper on %s needs a string literal \
+                               lock token"
+                              cname)
+                    | None -> ()))
+              vbs
+        | Tstr_module mb -> scan_module stack mb
+        | Tstr_recmodule mbs -> List.iter (scan_module stack) mbs
+        | Tstr_type (_, decls) ->
+            List.iter
+              (fun (d : Typedtree.type_declaration) ->
+                let tname = canon u stack d.typ_name.txt in
+                Hashtbl.replace u.u_topnames (Ident.unique_name d.typ_id) tname;
+                scan_type_decl stack tname d)
+              decls
+        | _ -> ())
+      items
+  and scan_module stack (mb : Typedtree.module_binding) =
+    let name = match mb.mb_name.txt with Some n -> n | None -> "_" in
+    (match mb.mb_id with
+    | Some id ->
+        Hashtbl.replace u.u_topnames (Ident.unique_name id) (canon u stack name)
+    | None -> ());
+    let rec expr stack (me : Typedtree.module_expr) =
+      match me.mod_desc with
+      | Tmod_structure s -> scan_items stack s.str_items
+      | Tmod_constraint (me, _, _, _) -> expr stack me
+      | Tmod_ident (p, _) -> (
+          match mb.mb_id with
+          | Some id ->
+              Hashtbl.replace u.u_aliases (Ident.unique_name id)
+                (norm_path u g.wrappers p)
+          | None -> ())
+      | _ -> ()
+    in
+    expr (name :: stack) mb.mb_expr
+  and scan_type_decl _stack tname (d : Typedtree.type_declaration) =
+    let atomic (ct : Typedtree.core_type) =
+      (* record label types come wrapped in Ttyp_poly, even monomorphic *)
+      let rec unwrap (ct : Typedtree.core_type) =
+        match ct.ctyp_desc with
+        | Ttyp_poly (_, inner) -> unwrap inner
+        | d -> d
+      in
+      match unwrap ct with
+      | Ttyp_constr (p, _, _) -> norm_path u g.wrappers p = "Atomic.t"
+      | _ -> false
+    in
+    let labels prefix lds =
+      List.iter
+        (fun (ld : Typedtree.label_declaration) ->
+          if ld.ld_mutable = Mutable && not (atomic ld.ld_type) then begin
+            let key = tname ^ "." ^ prefix ^ ld.ld_name.txt in
+            match attr_named "guarded_by" ld.ld_attributes with
+            | Some _ -> ()
+            | None ->
+                if u.u_concurrent
+                   && not (Lint.allowed g.allow [ "unguarded"; u.u_file; key ])
+                then
+                  report g u.u_file (line_of ld.ld_loc) "racecheck-guarded"
+                    "mutable field %s is not Atomic.t, has no [@guarded_by] \
+                     annotation and no justified 'unguarded' allow entry"
+                    key
+          end)
+        lds
+    in
+    match d.typ_kind with
+    | Ttype_record lds -> labels "" lds
+    | Ttype_variant cds ->
+        List.iter
+          (fun (cd : Typedtree.constructor_declaration) ->
+            match cd.cd_args with
+            | Cstr_record lds -> labels (cd.cd_name.txt ^ ".") lds
+            | Cstr_tuple _ -> ())
+          cds
+    | _ -> ()
+  in
+  scan_items [] str.str_items
+
+(* Pass 1 (Collect) / pass 2 (Check): walk every toplevel binding body. *)
+let walk_unit g u mode (str : Typedtree.structure) =
+  let rec items stack is =
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Typedtree.value_binding) ->
+                let fn =
+                  match vb_name vb with
+                  | Some id -> canon u stack (Ident.name id)
+                  | None -> canon u stack "_"
+                in
+                let requires =
+                  match Hashtbl.find_opt g.g_requires fn with
+                  | Some tok -> [ (tok, line_of vb.vb_loc) ]
+                  | None -> []
+                in
+                let env =
+                  {
+                    held = requires;
+                    bound = SS.empty;
+                    spawn_outer = None;
+                    aliases = SM.empty;
+                    fn;
+                  }
+                in
+                ignore (walk g u mode env vb.vb_expr))
+              vbs
+        | Tstr_module mb -> module_ stack mb
+        | Tstr_recmodule mbs -> List.iter (module_ stack) mbs
+        | Tstr_eval (e, _) ->
+            let env =
+              { held = []; bound = SS.empty; spawn_outer = None;
+                aliases = SM.empty; fn = canon u stack "_" }
+            in
+            ignore (walk g u mode env e)
+        | _ -> ())
+      is
+  and module_ stack (mb : Typedtree.module_binding) =
+    let name = match mb.mb_name.txt with Some n -> n | None -> "_" in
+    let rec expr (me : Typedtree.module_expr) =
+      match me.mod_desc with
+      | Tmod_structure s -> items (name :: stack) s.str_items
+      | Tmod_constraint (me, _, _, _) -> expr me
+      | _ -> ()
+    in
+    expr mb.mb_expr
+  in
+  items [] str.str_items
+
+(* ---- closures --------------------------------------------------------- *)
+
+let compute_closures g =
+  (* blocking: fixpoint over the call graph *)
+  let blocking = Hashtbl.create 64 in
+  Hashtbl.iter (fun fn s -> if s.fs_blocking then Hashtbl.replace blocking fn ()) g.sums;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun fn s ->
+        if not (Hashtbl.mem blocking fn)
+           && SS.exists (fun c -> Hashtbl.mem blocking c || blocking_name c) s.fs_calls
+        then begin
+          Hashtbl.replace blocking fn ();
+          changed := true
+        end)
+      g.sums
+  done;
+  g.blocking_closure <-
+    Hashtbl.fold (fun fn () acc -> SS.add fn acc) blocking SS.empty;
+  (* acquires: fixpoint union *)
+  let acq = Hashtbl.create 64 in
+  Hashtbl.iter (fun fn s -> Hashtbl.replace acq fn s.fs_acquires) g.sums;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun fn s ->
+        let cur = try Hashtbl.find acq fn with Not_found -> SS.empty in
+        let next =
+          SS.fold
+            (fun c acc ->
+              match Hashtbl.find_opt acq c with
+              | Some ts -> SS.union ts acc
+              | None -> acc)
+            s.fs_calls cur
+        in
+        if not (SS.equal cur next) then begin
+          Hashtbl.replace acq fn next;
+          changed := true
+        end)
+      g.sums
+  done;
+  g.acquire_closure <-
+    Hashtbl.fold (fun fn ts acc -> SM.add fn ts acc) acq SM.empty
+
+(* ---- lock-order graph -------------------------------------------------- *)
+
+let check_order g =
+  (* dedupe observed edges, keeping the first (file, line) witness *)
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun (a, b, f, l) ->
+      if not (Hashtbl.mem seen (a, b)) then Hashtbl.add seen (a, b) (f, l))
+    (List.rev g.edges);
+  let edges = Hashtbl.fold (fun (a, b) (f, l) acc -> (a, b, f, l) :: acc) seen [] in
+  let nodes =
+    List.fold_left (fun s (a, b, _, _) -> SS.add a (SS.add b s)) SS.empty edges
+  in
+  (* SCC by repeated DFS reachability (graphs here are tiny) *)
+  let succ a =
+    List.filter_map (fun (x, y, _, _) -> if x = a then Some y else None) edges
+  in
+  let reaches a b =
+    let visited = Hashtbl.create 16 in
+    let rec go n =
+      n = b
+      || (not (Hashtbl.mem visited n))
+         && begin
+              Hashtbl.add visited n ();
+              List.exists go (succ n)
+            end
+    in
+    List.exists go (succ a)
+  in
+  let cyclic_edges =
+    List.filter (fun (a, b, _, _) -> a = b || reaches b a) edges
+  in
+  List.iter
+    (fun (a, b, f, l) ->
+      report g f l "racecheck-order"
+        "lock-order cycle: acquiring %s while holding %s closes a cycle in \
+         the acquisition graph"
+        b a)
+    cyclic_edges;
+  (* sanctioned-hierarchy coverage for the acyclic remainder *)
+  let sanctioned = Lint.directives g.allow "lockorder" in
+  let sedges =
+    List.filter_map
+      (function [ a; b ] -> Some (a, b) | _ -> None)
+      sanctioned
+  in
+  let ssucc a = List.filter_map (fun (x, y) -> if x = a then Some y else None) sedges in
+  (* sanctioned path a -> b; returns the edges used so they can be marked *)
+  let spath a b =
+    let rec bfs frontier visited parents =
+      match frontier with
+      | [] -> None
+      | n :: rest ->
+          if n = b then Some parents
+          else
+            let nexts =
+              List.filter (fun m -> not (List.mem m visited)) (ssucc n)
+            in
+            let parents =
+              List.fold_left (fun ps m -> (m, n) :: ps) parents nexts
+            in
+            bfs (rest @ nexts) (nexts @ visited) parents
+    in
+    match bfs [ a ] [ a ] [] with
+    | None -> None
+    | Some parents ->
+        let rec collect n acc =
+          if n = a then acc
+          else
+            match List.assoc_opt n parents with
+            | Some p -> collect p ((p, n) :: acc)
+            | None -> acc
+        in
+        Some (collect b [])
+  in
+  List.iter
+    (fun (a, b, f, l) ->
+      if not (List.exists (fun (x, y, _, _) -> x = a && y = b) cyclic_edges)
+      then
+        match spath a b with
+        | Some used ->
+            List.iter
+              (fun (x, y) -> Lint.mark_used g.allow [ "lockorder"; x; y ])
+              used
+        | None ->
+            report g f l "racecheck-order"
+              "undeclared lock-order edge: %s acquired while holding %s — \
+               extend the sanctioned hierarchy ('lockorder %s %s' in \
+               lint.allow) deliberately or fix the nesting"
+              b a a b)
+    edges;
+  (* the sanctioned hierarchy itself must be a DAG *)
+  let s_succ a = ssucc a in
+  let s_reaches a b =
+    let visited = Hashtbl.create 16 in
+    let rec go n =
+      n = b
+      || (not (Hashtbl.mem visited n))
+         && begin
+              Hashtbl.add visited n ();
+              List.exists go (s_succ n)
+            end
+    in
+    List.exists go (s_succ a)
+  in
+  List.iter
+    (fun (a, b) ->
+      if a = b || s_reaches b a then
+        report g (Lint.allow_file g.allow) 1 "racecheck-order"
+          "sanctioned hierarchy is cyclic at lockorder %s %s" a b)
+    sedges;
+  ignore nodes
+
+(* ---- unit assembly ----------------------------------------------------- *)
+
+type unit_src = {
+  s_name : string;
+  s_file : string;
+  s_concurrent : bool;
+  s_str : Typedtree.structure;
+}
+
+let analyze ?(allow = Lint.empty_allow) ~wrappers units =
+  let g =
+    {
+      allow;
+      wrappers;
+      g_requires = Hashtbl.create 32;
+      g_wrapfns = Hashtbl.create 32;
+      sums = Hashtbl.create 256;
+      blocking_closure = SS.empty;
+      acquire_closure = SM.empty;
+      nonblocking =
+        List.fold_left
+          (fun s d -> match d with [ t ] -> SS.add t s | _ -> s)
+          SS.empty
+          (Lint.directives allow "nonblocking");
+      edges = [];
+      viol = [];
+    }
+  in
+  let mk u =
+    {
+      u_name = u.s_name;
+      u_file = u.s_file;
+      u_concurrent = u.s_concurrent;
+      u_aliases = Hashtbl.create 16;
+      u_topnames = Hashtbl.create 64;
+    }
+  in
+  let ctxs = List.map (fun u -> (mk u, u.s_str)) units in
+  List.iter (fun (ctx, str) -> scan_unit g ctx str) ctxs;
+  List.iter (fun (ctx, str) -> walk_unit g ctx Collect str) ctxs;
+  compute_closures g;
+  List.iter (fun (ctx, str) -> walk_unit g ctx Check str) ctxs;
+  check_order g;
+  List.sort
+    (fun a b ->
+      match compare a.v_file b.v_file with
+      | 0 -> compare a.v_line b.v_line
+      | c -> c)
+    g.viol
+
+(* ---- cmt loading ------------------------------------------------------- *)
+
+let unit_name_of_modname m =
+  (* "Hyperion__Store" -> "Store"; "Persist" -> "Persist" *)
+  map_component m
+
+let rec collect_cmts acc dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.fold_left
+        (fun acc e ->
+          let p = Filename.concat dir e in
+          if Sys.is_directory p then collect_cmts acc p
+          else if Filename.check_suffix e ".cmt" then p :: acc
+          else acc)
+        acc entries
+  | exception Sys_error _ -> acc
+
+(* Library wrapper modules: a dune library whose directory has no
+   <libname>.ml main module gets a generated alias wrapper. *)
+let wrapper_set root =
+  List.fold_left
+    (fun s (dir, name, _) ->
+      if Sys.file_exists (Filename.concat dir (name ^ ".ml")) then s
+      else SS.add (String.capitalize_ascii name) s)
+    SS.empty
+    (Lint.dune_libraries root)
+
+let load_units ~root ~concurrent_dirs paths =
+  let build = Filename.concat root "_build/default/lib" in
+  let cmts = collect_cmts [] build in
+  let in_scope rel =
+    List.exists (fun p -> Lint.in_dir p rel || p = rel) paths
+  in
+  (* An unreadable cmt (truncated file, version skew) is not fatal: its
+     source, if in scope, surfaces as racecheck-unavailable below. *)
+  let read_cmt path =
+    match Cmt_format.read_cmt path with
+    | cmt -> Ok cmt
+    | exception e -> Error (Printexc.to_string e)
+  in
+  let units, covered =
+    List.fold_left
+      (fun (units, covered) cmt ->
+        match read_cmt cmt with
+        | Ok {
+            Cmt_format.cmt_annots = Cmt_format.Implementation str;
+            cmt_sourcefile = Some src;
+            cmt_modname;
+            _;
+          }
+          when Filename.check_suffix src ".ml" && in_scope src
+               && Sys.file_exists (Filename.concat root src)
+               && not (SS.mem src covered) ->
+            let name = unit_name_of_modname cmt_modname in
+            if name = "" then (units, covered)
+            else
+              let dir = Filename.dirname src in
+              let u =
+                {
+                  s_name = name;
+                  s_file = src;
+                  s_concurrent = List.mem dir concurrent_dirs;
+                  s_str = str;
+                }
+              in
+              (u :: units, SS.add src covered)
+        | Ok _ | Error _ -> (units, covered))
+      ([], SS.empty) cmts
+  in
+  (List.rev units, covered)
+
+let run ?(allow = Lint.empty_allow) ~root paths =
+  (* dune dirs come back root-prefixed; cmt source paths are root-relative
+     (also with an absolute [root], e.g. when the CLI walks up to find the
+     tree), so strip before comparing *)
+  let concurrent_dirs =
+    List.map
+      (Lint.strip_root ~root)
+      (Lint.reachable_dirs root ~roots:[ "hyperion_shard"; "hyperion_net" ])
+  in
+  let units, covered = load_units ~root ~concurrent_dirs paths in
+  let missing =
+    List.concat_map
+      (fun p ->
+        List.rev (Lint.collect_ml [] (Filename.concat root p)))
+      paths
+    |> List.filter_map (fun abs ->
+           let rel = Lint.strip_root ~root abs in
+           if SS.mem rel covered then None
+           else
+             Some
+               {
+                 v_file = rel;
+                 v_line = 1;
+                 v_rule = "racecheck-unavailable";
+                 v_msg =
+                   "no .cmt for this unit under _build/default — run 'dune \
+                    build' before linting";
+               })
+  in
+  let wrappers = wrapper_set root in
+  missing @ analyze ~allow ~wrappers units
+
+let available ~root =
+  Sys.file_exists (Filename.concat root "_build/default/lib")
+
+(* ---- re-typechecking fallback (fixtures) ------------------------------- *)
+
+let compiler_initialized = ref false
+
+let init_compiler () =
+  if not !compiler_initialized then begin
+    compiler_initialized := true;
+    Compmisc.init_path ();
+    let stdlib = Config.standard_library in
+    List.iter
+      (fun sub ->
+        let d = Filename.concat stdlib sub in
+        if Sys.file_exists d then Load_path.add_dir d)
+      [ "unix"; "threads" ]
+  end
+
+let unit_of_file file =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename file))
+
+let check_source ?(allow = Lint.empty_allow) ~file text =
+  init_compiler ();
+  let uname = unit_of_file file in
+  Env.set_unit_name uname;
+  match
+    let lexbuf = Lexing.from_string text in
+    Lexing.set_filename lexbuf file;
+    let past = Parse.implementation lexbuf in
+    let tstr, _, _, _, _ = Typemod.type_structure (Compmisc.initial_env ()) past in
+    tstr
+  with
+  | tstr ->
+      analyze ~allow ~wrappers:SS.empty
+        [ { s_name = uname; s_file = file; s_concurrent = true; s_str = tstr } ]
+  | exception e ->
+      let msg =
+        match Location.error_of_exn e with
+        | Some (`Ok err) -> Format.asprintf "%a" Location.print_report err
+        | _ -> Printexc.to_string e
+      in
+      [
+        {
+          v_file = file;
+          v_line = 1;
+          v_rule = "racecheck-unavailable";
+          v_msg = "cannot typecheck: " ^ String.trim msg;
+        };
+      ]

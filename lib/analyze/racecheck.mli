@@ -1,0 +1,56 @@
+(** Racecheck — typedtree lock-discipline and domain-safety analyzer.
+
+    Runs over the [-bin-annot] [.cmt] files the normal [dune build]
+    emits (compiler-libs.common, no new dependency), falling back to
+    re-typechecking standalone sources for fixture tests.  Rule ids:
+
+    - [racecheck-guarded]: a non-[Atomic.t] mutable record field in the
+      concurrent scope lacks a [@guarded_by lock] annotation (and a
+      justified [unguarded] allow entry); a read/write of a guarded
+      field outside a [Mutex.lock]/[Mutex.protect]/lock-wrapper region
+      of its lock; a call to a [@@requires_lock "tok"] function without
+      the lock held; a malformed annotation payload.
+    - [racecheck-escape]: mutable state (fields, arrays, [Bytes.t])
+      captured by a closure literal passed to [Domain.spawn] /
+      [Thread.create] and written with no lock held.
+    - [racecheck-blocking]: a blocking call (transitive callgraph
+      closure over [Unix.*], [Condition.wait], [Thread.join]/[delay],
+      [Domain.join]) while holding a lock declared [nonblocking] in the
+      allow-list.  [Condition.wait c m] with [m] the only such lock
+      held is the sanctioned exception.
+    - [racecheck-order]: a cycle in the lock-order graph built from
+      nested acquisitions, or an acquisition edge not covered by the
+      sanctioned [lockorder] hierarchy.
+    - [racecheck-unavailable]: a unit in scope has no [.cmt] (run
+      [dune build] first) or a fixture fails to typecheck.
+
+    Lock and field tokens are normalized paths such as [Store.t.locks]
+    or [Persist.t.lock]: compilation-unit name (dune wrapper manglings
+    stripped), then module/type/field path.  Annotations:
+
+    - [mutable f : ty [@guarded_by lock]] — field [f] is protected by
+      the mutex field [lock] of the same record (or, with a string
+      payload, by the named token: ["Persist.t.lock"]).
+    - [let f ... = ... [@@requires_lock "tok"]] — body assumes the lock
+      is held; call sites are checked.
+    - [let with_x t f = ... [@@lock_wrapper "tok"]] — calling it
+      acquires the token around its last literal-lambda argument. *)
+
+val run :
+  ?allow:Lint.allow -> root:string -> string list -> Lint.violation list
+(** Analyze every built unit whose source lives under the given paths
+    (relative to [root]), using the [.cmt] files under
+    [root/_build/default/lib].  Sources in scope with no [.cmt] each
+    yield one [racecheck-unavailable] violation.  The concurrent scope
+    (where undeclared mutable fields are violations) is the dune
+    closure of [hyperion_shard] and [hyperion_net]. *)
+
+val available : root:string -> bool
+(** Whether a [_build/default/lib] tree exists to analyze at all. *)
+
+val check_source :
+  ?allow:Lint.allow -> file:string -> string -> Lint.violation list
+(** Analyze one standalone compilation unit given as source text, by
+    re-typechecking it against the installed stdlib (plus the unix and
+    threads cmis when present).  The unit is treated as concurrent.
+    Used by fixture tests and seeded-violation CI proofs. *)

@@ -68,6 +68,7 @@ let with_arena t idx f =
   let lock = t.locks.(idx mod Array.length t.locks) in
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+[@@lock_wrapper "Store.t.locks"]
 
 let put_opt t key value =
   let key = xform t key in

@@ -70,7 +70,7 @@ module Bq = struct
     m : Mutex.t;
     c : Condition.t;
     q : 'a Queue.t;
-    mutable closed : bool;
+    mutable closed : bool; [@guarded_by m]
   }
 
   let create () =
@@ -244,7 +244,7 @@ type conn = {
   work : (int * int * Frame.request) Bq.t;  (* id, t0_ns, request *)
   out : string Bq.t;  (* encoded response frames *)
   wm : Mutex.t;
-  mutable live_workers : int;
+  mutable live_workers : int; [@guarded_by wm]
 }
 
 type t = {
@@ -256,9 +256,10 @@ type t = {
   mc_port : int option;
   sm : Mutex.t;
   conns : (int, conn * Thread.t list) Hashtbl.t;
-  mutable next_conn : int;
-  mutable stopping : bool;
+  mutable next_conn : int; [@guarded_by sm]
+  mutable stopping : bool; [@guarded_by sm]
   mutable acceptors : Thread.t list;
+      (* written once by [start] before any reader exists; joined by [stop] *)
 }
 
 let set_conn_gauge t =
@@ -635,17 +636,18 @@ let spawn_binary_conn t fd =
   else begin
     let cid = t.next_conn in
     t.next_conn <- cid + 1;
+    let nworkers = max 1 t.cfg.workers_per_conn in
     let conn =
       {
         fd;
         work = Bq.create ();
         out = Bq.create ();
         wm = Mutex.create ();
-        live_workers = max 1 t.cfg.workers_per_conn;
+        live_workers = nworkers;
       }
     in
     let workers =
-      List.init conn.live_workers (fun _ ->
+      List.init nworkers (fun _ ->
           Thread.create (fun () -> worker_loop t conn) ())
     in
     let writer = Thread.create (fun () -> writer_loop conn) () in

@@ -65,17 +65,23 @@ type t = {
   rotate_bytes : int;
   recovery : recovery;
   lock : Mutex.t;
-  mutable gen : int;
-  mutable wal : Wal.writer;
-  mutable applied : int;  (* mutations logged since open *)
-  mutable base : int;  (* of those, captured by the current snapshot *)
-  mutable synced_ops : int;  (* of (applied - base), fsynced *)
-  mutable unsynced_ops : int;
-  mutable unsynced_bytes : int;
-  mutable rotations : int;
-  mutable degraded_why : string option;
-  mutable closed : bool;
+  mutable gen : int; [@guarded_by lock]
+  mutable wal : Wal.writer; [@guarded_by lock]
+  mutable applied : int; [@guarded_by lock]  (* mutations logged since open *)
+  mutable base : int; [@guarded_by lock]
+      (* of those, captured by the current snapshot *)
+  mutable synced_ops : int; [@guarded_by lock]  (* of (applied - base), fsynced *)
+  mutable unsynced_ops : int; [@guarded_by lock]
+  mutable unsynced_bytes : int; [@guarded_by lock]
+  mutable rotations : int; [@guarded_by lock]
+  mutable degraded_why : string option; [@guarded_by lock]
+  mutable closed : bool; [@guarded_by lock]
 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+[@@lock_wrapper "Persist.t.lock"]
 
 let store t = t.store
 let config t = t.cfg
@@ -83,13 +89,18 @@ let compress t = t.enc
 let dir t = t.dir
 let io t = t.io
 let recovery t = t.recovery
+
+(* Stat accessors: single-field reads of lock-protected counters.  Health
+   probes and progress reports tolerate staleness, so these read without
+   the lock (racy-read entries in lint.allow); anything touching WAL
+   writer state still takes it. *)
 let generation t = t.gen
 let applied_ops t = t.applied
 let snapshot_base t = t.base
-let durable_ops t = t.base + t.synced_ops
+let durable_ops t = with_lock t (fun () -> t.base + t.synced_ops)
 let rotations t = t.rotations
-let wal_size t = Wal.size t.wal
-let wal_synced_bytes t = Wal.synced_bytes t.wal
+let wal_size t = with_lock t (fun () -> Wal.size t.wal)
+let wal_synced_bytes t = with_lock t (fun () -> Wal.synced_bytes t.wal)
 let degraded t = t.degraded_why
 
 let ( let* ) = Result.bind
@@ -278,10 +289,6 @@ let open_or_create ?(config = Hyperion.Config.default) ?compress
 
 (* --- logged mutations ----------------------------------------------- *)
 
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
-
 (* Flip into sticky degraded read-only mode.  Reads keep serving from the
    in-memory store; every subsequent mutation is rejected with [Degraded]
    until [heal] starts a fresh generation. *)
@@ -290,6 +297,7 @@ let note_degraded t why =
     t.degraded_why <- Some why;
     if T.enabled () then T.Counter.incr c_degraded
   end
+[@@requires_lock "Persist.t.lock"]
 
 let reject_if_degraded t =
   match t.degraded_why with
@@ -297,6 +305,7 @@ let reject_if_degraded t =
       if T.enabled () then T.Counter.incr c_rejected;
       Some (E.Degraded why)
   | None -> None
+[@@requires_lock "Persist.t.lock"]
 
 let do_sync t =
   let* () =
@@ -316,6 +325,7 @@ let do_sync t =
   t.unsynced_ops <- 0;
   t.unsynced_bytes <- 0;
   Ok ()
+[@@requires_lock "Persist.t.lock"]
 
 (* Rotate into generation [gen + 1]:
      1. make the old log durable (nothing acknowledged may regress);
@@ -349,6 +359,7 @@ let do_rotate_u t =
   (try Sys.remove (wal_file ~dir:t.dir ~gen:old_gen) with Sys_error _ -> ());
   (try Sys.remove (snapshot_file ~dir:t.dir ~gen:old_gen) with Sys_error _ -> ());
   Ok ()
+[@@requires_lock "Persist.t.lock"]
 
 let do_rotate t =
   if T.enabled () then begin
@@ -362,6 +373,7 @@ let do_rotate t =
     r
   end
   else do_rotate_u t
+[@@requires_lock "Persist.t.lock"]
 
 (* The append-first logged-mutation protocol:
      1. the caller validated the key — nothing invalid may enter the log;
@@ -415,15 +427,18 @@ let log_then_apply t op ~apply =
           | Ok () -> ()
           | Error e -> note_degraded t (E.to_string e));
           Ok result)
+[@@requires_lock "Persist.t.lock"]
 
 let guard t f =
   with_lock t (fun () ->
       if t.closed then Error (E.Io_error (t.dir ^ ": persist handle closed"))
       else f ())
+[@@lock_wrapper "Persist.t.lock"]
 
 let guard_mut t f =
   guard t (fun () ->
       match reject_if_degraded t with Some e -> Error e | None -> f ())
+[@@lock_wrapper "Persist.t.lock"]
 
 let put t key v =
   guard_mut t (fun () ->

@@ -7,13 +7,16 @@ type op = Put of string * int64 | Add of string | Delete of string
 
 (* --- writer --------------------------------------------------------- *)
 
+(* A writer is owned by exactly one [Persist.t] handle; its mutable
+   watermarks are part of that handle's lock-protected state (racecheck
+   enforces the string-token guard cross-module). *)
 type writer = {
   path : string;
   fd : Unix.file_descr;
   io : Io.t;
-  mutable written : int;
-  mutable synced : int;
-  mutable open_ : bool;
+  mutable written : int; [@guarded_by "Persist.t.lock"]
+  mutable synced : int; [@guarded_by "Persist.t.lock"]
+  mutable open_ : bool; [@guarded_by "Persist.t.lock"]
 }
 
 (* Like snapshot headers: flags bit 0 = preprocess, bits 1-2 = encoder
@@ -108,6 +111,7 @@ let append w op =
         w.written <- w.written + Bytes.length b;
         Ok (Bytes.length b)
     | Error _ as e -> e
+[@@requires_lock "Persist.t.lock"]
 
 let sync w =
   if not w.open_ then Error (E.Io_error (w.path ^ ": WAL writer closed"))
@@ -117,9 +121,10 @@ let sync w =
         w.synced <- w.written;
         Ok ()
     | Error _ as e -> e
+[@@requires_lock "Persist.t.lock"]
 
-let size w = w.written
-let synced_bytes w = w.synced
+let size w = w.written [@@requires_lock "Persist.t.lock"]
+let synced_bytes w = w.synced [@@requires_lock "Persist.t.lock"]
 
 (* Compensation: cut an appended-but-unwanted record back off the tail.
    Legal on an O_WRONLY/O_APPEND descriptor; the durable watermark can
@@ -136,6 +141,7 @@ let truncate_writer w ~len =
         if w.synced > len then w.synced <- len;
         Ok ()
     | Error _ as e -> e
+[@@requires_lock "Persist.t.lock"]
 
 let close w =
   match sync w with
@@ -147,12 +153,14 @@ let close w =
       w.open_ <- false;
       Io.quiet_close w.fd;
       Ok ()
+[@@requires_lock "Persist.t.lock"]
 
 let abort w =
   if w.open_ then begin
     w.open_ <- false;
     Io.quiet_close w.fd
   end
+[@@requires_lock "Persist.t.lock"]
 
 (* --- replay --------------------------------------------------------- *)
 

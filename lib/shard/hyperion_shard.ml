@@ -47,7 +47,7 @@ module Ivar = struct
   type 'a t = {
     m : Mutex.t;
     c : Condition.t;
-    mutable v : 'a option;
+    mutable v : 'a option; [@guarded_by m]
   }
 
   let create () = { m = Mutex.create (); c = Condition.create (); v = None }
@@ -85,8 +85,8 @@ type op = Put of string * int64 | Add of string | Delete of string
 type barrier = {
   bm : Mutex.t;
   bc : Condition.t;
-  mutable arrived : int;
-  mutable released : bool;
+  mutable arrived : int; [@guarded_by bm]
+  mutable released : bool; [@guarded_by bm]
 }
 
 (* Raised by a [Poison] message: the supervision test hook's stand-in for
@@ -108,10 +108,12 @@ type mailbox = {
   mm : Mutex.t;
   not_empty : Condition.t;
   ring : msg option array;
-  mutable head : int;  (* next slot to dequeue *)
-  mutable len : int;
-  mutable accepting : bool;  (* senders rejected once the store closes *)
-  mutable stopping : bool;  (* worker exits after draining the backlog *)
+  mutable head : int; [@guarded_by mm]  (* next slot to dequeue *)
+  mutable len : int; [@guarded_by mm]
+  mutable accepting : bool; [@guarded_by mm]
+      (* senders rejected once the store closes *)
+  mutable stopping : bool; [@guarded_by mm]
+      (* worker exits after draining the backlog *)
 }
 
 let mailbox_create cap =
@@ -136,6 +138,10 @@ let send mb msg ~timeout_ns =
   let deadline = if timeout_ns <= 0 then max_int else T.now_ns () + timeout_ns in
   let cap = Array.length mb.ring in
   let backoff = ref 5e-5 in
+  (* the lock is taken before [wait] is even defined so the whole retry
+     loop is lexically a critical section (racecheck's guarded-by rule);
+     the full-ring path drops it across the backoff sleep *)
+  Mutex.lock mb.mm;
   let rec wait () =
     if not mb.accepting then begin
       Mutex.unlock mb.mm;
@@ -160,7 +166,6 @@ let send mb msg ~timeout_ns =
       wait ()
     end
   in
-  Mutex.lock mb.mm;
   wait ()
 
 (* Drain the whole backlog in one lock acquisition; [None] = shut down. *)
@@ -871,6 +876,7 @@ let with_quiesced t f =
             Mutex.unlock b.bm)
           (fun () -> f stores))
   end
+[@@lock_wrapper "Hyperion_shard.t.qlock"]
 
 let iter t f =
   with_quiesced t (fun stores ->

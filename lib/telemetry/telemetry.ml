@@ -131,6 +131,7 @@ let cores : core list ref = ref []
 let with_registry f =
   Mutex.lock registry_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+[@@lock_wrapper "Telemetry.registry_lock"]
 
 let new_core () =
   let c =

@@ -1,11 +1,18 @@
-(* ISSUE 5 analyzer suite.
+(* ISSUE 5 + ISSUE 10 analyzer suite.
 
-   Prong 1 — the source lint: every rule is exercised rule-by-rule through
-   [Lint.check_source] with a seeded violation (asserting the reported
-   line number) and a clean counterpart, plus allow-list parsing and the
+   Prong 1 — the source lint: every parsetree rule is exercised
+   rule-by-rule through [Lint.check_source] with a seeded violation
+   (asserting the reported line number) and a clean counterpart, plus
+   allow-list parsing, stale-entry detection, JSON output and the
    SAFETY-comment placement contract.
 
-   Prong 2 — the heap sanitizer: clean stores (hand-built and
+   Prong 2 — Racecheck: each typedtree rule family (guarded-by
+   discipline, requires/wrapper annotations, cross-domain escape,
+   blocking-under-lock, lock-order) is driven through
+   [Racecheck.check_source] fixtures with exact line asserts, violating
+   and sanctioned variants.
+
+   Prong 3 — the heap sanitizer: clean stores (hand-built and
    property-generated) must audit clean; chaos rounds run the sanitizer
    after every audit; and two negative tests prove the detectors actually
    fire — a chunk allocated behind the trie's back must be reported as a
@@ -14,12 +21,19 @@
 module HC = Analyze.Heapcheck
 module H = Hyperion
 
-(* ---- lint: rule-by-rule ---------------------------------------------- *)
+(* ---- shared helpers -------------------------------------------------- *)
 
 let hits vs = List.map (fun v -> (v.Lint.v_line, v.Lint.v_rule)) vs
 
 let check_hits name expected vs =
   Alcotest.(check (list (pair int string))) name expected (hits vs)
+
+let allow_of text =
+  match Lint.parse_allow ~file:"lint.allow" text with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "allow-list did not parse: %s" e
+
+(* ---- lint: rule-by-rule ---------------------------------------------- *)
 
 let test_assert_false () =
   let src = "let f x =\n  match x with\n  | Some y -> y\n  | None -> assert false\n" in
@@ -39,8 +53,7 @@ let test_obj_magic () =
     (Lint.check_source ~file:"lib/othertries/x.ml"
        "let coerce x =\n  Obj.magic x\n")
 
-let allow_foo =
-  { Lint.unsafe_modules = [ "lib/foo.ml" ]; mutable_fields = [] }
+let allow_foo = allow_of "unsafe lib/foo.ml\n"
 
 let test_unsafe () =
   let src = "let get a =\n  Array.unsafe_get a 0\n" in
@@ -81,32 +94,6 @@ let test_catch_all () =
     (Lint.check_source ~file:"lib/x.ml"
        "let f g = match g () with x -> x | exception _ -> 0\n")
 
-let test_mutable_field () =
-  let src = "type t = {\n  mutable count : int;\n  name : string;\n}\n" in
-  check_hits "mutable field flagged in shard-reachable files"
-    [ (2, "mutable-field") ]
-    (Lint.check_source ~reachable:true ~file:"lib/core/t.ml" src);
-  check_hits "rule off outside the shard closure" []
-    (Lint.check_source ~reachable:false ~file:"lib/bench_util/t.ml" src);
-  check_hits "Atomic.t fields are exempt" []
-    (Lint.check_source ~reachable:true ~file:"lib/core/t.ml"
-       "type t = { mutable slot : int Atomic.t }\n");
-  let allow =
-    { Lint.unsafe_modules = []; mutable_fields = [ ("lib/core/t.ml", "t.count") ] }
-  in
-  check_hits "allow-listed field passes" []
-    (Lint.check_source ~allow ~reachable:true ~file:"lib/core/t.ml" src);
-  check_hits "inline (constructor) records are checked, keyed ty.Ctor.field"
-    [ (1, "mutable-field") ]
-    (Lint.check_source ~reachable:true ~file:"lib/core/t.ml"
-       "type u = A of { mutable x : int }\n");
-  let allow_inline =
-    { Lint.unsafe_modules = []; mutable_fields = [ ("lib/core/t.ml", "u.A.x") ] }
-  in
-  check_hits "inline record allow-list key works" []
-    (Lint.check_source ~allow:allow_inline ~reachable:true
-       ~file:"lib/core/t.ml" "type u = A of { mutable x : int }\n")
-
 let test_parse_failure () =
   match Lint.check_source ~file:"lib/x.ml" "let = = in\n" with
   | [ v ] -> Alcotest.(check string) "parse rule" "parse" v.Lint.v_rule
@@ -115,18 +102,48 @@ let test_parse_failure () =
 let test_allow_parsing () =
   (match
      Lint.parse_allow ~file:"lint.allow"
-       "# comment\nunsafe lib/a.ml\nmutable lib/b.ml t.x   # trailing\n\n"
+       "# comment\n\
+        unsafe lib/a.ml\n\
+        unguarded lib/b.ml t.x   # trailing\n\
+        racy-read lib/b.ml t.y\n\
+        nonblocking Store.t.locks\n\
+        lockorder A.t.m B.t.m\n\n"
    with
   | Ok a ->
-      Alcotest.(check (list string)) "unsafe" [ "lib/a.ml" ] a.Lint.unsafe_modules;
-      Alcotest.(check (list (pair string string)))
-        "mutable"
-        [ ("lib/b.ml", "t.x") ]
-        a.Lint.mutable_fields
+      Alcotest.(check (list (list string)))
+        "unsafe" [ [ "lib/a.ml" ] ] (Lint.directives a "unsafe");
+      Alcotest.(check (list (list string)))
+        "unguarded" [ [ "lib/b.ml"; "t.x" ] ] (Lint.directives a "unguarded");
+      Alcotest.(check (list (list string)))
+        "racy-read" [ [ "lib/b.ml"; "t.y" ] ] (Lint.directives a "racy-read");
+      Alcotest.(check (list (list string)))
+        "lockorder" [ [ "A.t.m"; "B.t.m" ] ] (Lint.directives a "lockorder");
+      Alcotest.(check bool) "allowed marks used" true
+        (Lint.allowed a [ "unsafe"; "lib/a.ml" ])
   | Error e -> Alcotest.failf "expected Ok, got %s" e);
-  match Lint.parse_allow ~file:"lint.allow" "frobnicate lib/a.ml\n" with
+  (match Lint.parse_allow ~file:"lint.allow" "frobnicate lib/a.ml\n" with
   | Ok _ -> Alcotest.fail "bad directive accepted"
+  | Error _ -> ());
+  (match Lint.parse_allow ~file:"lint.allow" "mutable lib/b.ml t.x\n" with
+  | Ok _ -> Alcotest.fail "retired 'mutable' directive accepted"
+  | Error _ -> ());
+  match Lint.parse_allow ~file:"lint.allow" "unsafe lib/a.ml extra\n" with
+  | Ok _ -> Alcotest.fail "wrong arity accepted"
   | Error _ -> ()
+
+let test_stale_allow () =
+  (* an entry no rule consults is reported at its own allow-file line *)
+  let allow = allow_of "# header\nunsafe lib/zzz.ml\n" in
+  ignore (Lint.check_source ~allow ~file:"lib/x.ml" "let x = 1\n");
+  check_hits "unused entry reported"
+    [ (2, "stale-allow") ]
+    (Lint.stale allow);
+  (* a consulted entry is not stale, even when it suppressed nothing *)
+  let allow = allow_of "unsafe lib/x.ml\n" in
+  ignore
+    (Lint.check_source ~allow ~file:"lib/x.ml"
+       "let get a =\n  (* SAFETY: proven. *)\n  Array.unsafe_get a 0\n");
+  check_hits "consulted entry is not stale" [] (Lint.stale allow)
 
 let test_to_string () =
   Alcotest.(check string)
@@ -134,19 +151,221 @@ let test_to_string () =
     (Lint.to_string
        { Lint.v_file = "lib/a.ml"; v_line = 7; v_rule = "unsafe"; v_msg = "boom" })
 
-(* The repo's own tree must lint clean under its checked-in allow-list —
-   the same invariant the CI job enforces via [bin/lint]. *)
+let test_json () =
+  Alcotest.(check string)
+    "empty document"
+    "{\"tool\":\"hyperion-lint\",\"version\":1,\"count\":0,\"violations\":[]}"
+    (Lint.to_json []);
+  Alcotest.(check string)
+    "quotes and backslashes escaped"
+    ("{\"tool\":\"hyperion-lint\",\"version\":1,\"count\":1,\"violations\":["
+    ^ "{\"file\":\"lib/a.ml\",\"line\":3,\"rule\":\"unsafe\","
+    ^ "\"message\":\"say \\\"hi\\\"\"}]}")
+    (Lint.to_json
+       [
+         {
+           Lint.v_file = "lib/a.ml";
+           v_line = 3;
+           v_rule = "unsafe";
+           v_msg = "say \"hi\"";
+         };
+       ])
+
+(* ---- racecheck: rule-by-rule fixtures -------------------------------- *)
+
+(* Each fixture is typechecked against the installed stdlib and analyzed
+   as a concurrent unit; the [lib/fix/...] paths exist only as unit names
+   and allow-list keys. *)
+let rc_hits ?allow ~file src =
+  hits (Lint.sort_violations (Racecheck.check_source ?allow ~file src))
+
+let check_rc name ?allow ~file expected src =
+  Alcotest.(check (list (pair int string))) name expected (rc_hits ?allow ~file src)
+
+let decl_src = "type t = { mutable n : int }\n\nlet bump t = t.n <- t.n + 1\n"
+
+let test_rc_declaration () =
+  check_rc "undeclared mutable field flagged at its declaration"
+    ~file:"lib/fix/rc_decl.ml"
+    [ (1, "racecheck-guarded") ]
+    decl_src;
+  check_rc "justified 'unguarded' entry suppresses it"
+    ~allow:(allow_of "unguarded lib/fix/rc_decl.ml Rc_decl.t.n\n")
+    ~file:"lib/fix/rc_decl.ml" [] decl_src;
+  check_rc "Atomic.t mutable slots are exempt"
+    ~file:"lib/fix/rc_decl.ml" []
+    "type t = { mutable a : int Atomic.t }\n\nlet v t = Atomic.get t.a\n"
+
+let access_src =
+  "type t = {\n\
+  \  lock : Mutex.t;\n\
+  \  mutable n : int; [@guarded_by lock]\n\
+   }\n\
+   \n\
+   let good t =\n\
+  \  Mutex.lock t.lock;\n\
+  \  t.n <- t.n + 1;\n\
+  \  Mutex.unlock t.lock\n\
+   \n\
+   let protected t = Mutex.protect t.lock (fun () -> t.n)\n\
+   \n\
+   let bad_write t = t.n <- 7\n\
+   \n\
+   let bad_read t = t.n\n"
+
+let test_rc_guarded_access () =
+  check_rc "accesses outside the lock region flagged; guarded regions pass"
+    ~file:"lib/fix/rc_access.ml"
+    [ (13, "racecheck-guarded"); (15, "racecheck-guarded") ]
+    access_src;
+  check_rc "'racy-read' allows the read but never the write"
+    ~allow:(allow_of "racy-read lib/fix/rc_access.ml Rc_access.t.n\n")
+    ~file:"lib/fix/rc_access.ml"
+    [ (13, "racecheck-guarded") ]
+    access_src
+
+let wrap_src =
+  "type t = {\n\
+  \  lock : Mutex.t;\n\
+  \  mutable n : int; [@guarded_by lock]\n\
+   }\n\
+   \n\
+   let with_lock t f =\n\
+  \  Mutex.lock t.lock;\n\
+  \  let r = f () in\n\
+  \  Mutex.unlock t.lock;\n\
+  \  r\n\
+   [@@lock_wrapper \"Rc_wrap.t.lock\"]\n\
+   \n\
+   let bump t = t.n <- t.n + 1 [@@requires_lock \"Rc_wrap.t.lock\"]\n\
+   \n\
+   let ok t = with_lock t (fun () -> bump t)\n\
+   \n\
+   let bad t = bump t\n"
+
+let test_rc_requires_wrapper () =
+  check_rc
+    "requires_lock body passes; wrapper call satisfies it; bare call flagged"
+    ~file:"lib/fix/rc_wrap.ml"
+    [ (17, "racecheck-guarded") ]
+    wrap_src
+
+let escape_src =
+  "let leak () =\n\
+  \  let results = Array.make 4 0 in\n\
+  \  let d = Domain.spawn (fun () -> results.(0) <- 1) in\n\
+  \  Domain.join d;\n\
+  \  results.(0)\n"
+
+let test_rc_escape () =
+  check_rc "spawn-captured array write with no lock flagged"
+    ~file:"lib/fix/rc_escape.ml"
+    [ (3, "racecheck-escape") ]
+    escape_src;
+  check_rc "justified 'escape' entry suppresses it"
+    ~allow:(allow_of "escape lib/fix/rc_escape.ml results\n")
+    ~file:"lib/fix/rc_escape.ml" [] escape_src
+
+let block_src =
+  "type t = { m : Mutex.t }\n\
+   \n\
+   let slow c m2 = Condition.wait c m2\n\
+   \n\
+   let direct t c m2 =\n\
+  \  Mutex.lock t.m;\n\
+  \  Condition.wait c m2;\n\
+  \  Mutex.unlock t.m\n\
+   \n\
+   let indirect t c m2 =\n\
+  \  Mutex.lock t.m;\n\
+  \  slow c m2;\n\
+  \  Mutex.unlock t.m\n\
+   \n\
+   let ok t c =\n\
+  \  Mutex.lock t.m;\n\
+  \  Condition.wait c t.m;\n\
+  \  Mutex.unlock t.m\n"
+
+let test_rc_blocking () =
+  (* direct wait on a foreign condvar and an indirect call through the
+     blocking-effect closure are both flagged; waiting on the held lock's
+     own condvar (releasing it) is the sanctioned pattern *)
+  check_rc "blocking under a nonblocking-class lock"
+    ~allow:(allow_of "nonblocking Rc_block.t.m\n")
+    ~file:"lib/fix/rc_block.ml"
+    [ (7, "racecheck-blocking"); (12, "racecheck-blocking") ]
+    block_src;
+  check_rc "no nonblocking declaration, no blocking rule"
+    ~file:"lib/fix/rc_block.ml" [] block_src
+
+let order_src =
+  "type t = { a : Mutex.t; b : Mutex.t }\n\
+   \n\
+   let nested t =\n\
+  \  Mutex.lock t.a;\n\
+  \  Mutex.lock t.b;\n\
+  \  Mutex.unlock t.b;\n\
+  \  Mutex.unlock t.a\n"
+
+let test_rc_order_edge () =
+  check_rc "undeclared lock-order edge flagged at the inner acquisition"
+    ~file:"lib/fix/rc_order.ml"
+    [ (5, "racecheck-order") ]
+    order_src;
+  check_rc "sanctioned hierarchy edge passes"
+    ~allow:(allow_of "lockorder Rc_order.t.a Rc_order.t.b\n")
+    ~file:"lib/fix/rc_order.ml" [] order_src
+
+let cycle_src =
+  "type t = { a : Mutex.t; b : Mutex.t }\n\
+   \n\
+   let ab t =\n\
+  \  Mutex.lock t.a;\n\
+  \  Mutex.lock t.b;\n\
+  \  Mutex.unlock t.b;\n\
+  \  Mutex.unlock t.a\n\
+   \n\
+   let ba t =\n\
+  \  Mutex.lock t.b;\n\
+  \  Mutex.lock t.a;\n\
+  \  Mutex.unlock t.a;\n\
+  \  Mutex.unlock t.b\n"
+
+let test_rc_order_cycle () =
+  (* both edges of the a<->b cycle are reported, sanctioned or not *)
+  check_rc "lock-order cycle reported on every participating edge"
+    ~file:"lib/fix/rc_cycle.ml"
+    [ (5, "racecheck-order"); (11, "racecheck-order") ]
+    cycle_src;
+  check_rc "a lockorder entry cannot sanction a cycle"
+    ~allow:
+      (allow_of
+         "lockorder Rc_cycle.t.a Rc_cycle.t.b\n\
+          lockorder Rc_cycle.t.b Rc_cycle.t.a\n")
+    ~file:"lib/fix/rc_cycle.ml"
+    (* the two runtime edges, plus one report per cyclic lockorder entry
+       (anchored at the allow file, which sorts after lib/fix/...) *)
+    [ (5, "racecheck-order");
+      (11, "racecheck-order");
+      (1, "racecheck-order");
+      (1, "racecheck-order")
+    ]
+    cycle_src
+
+(* ---- the repo's own tree --------------------------------------------- *)
+
+let find_repo_root () =
+  (* tests run from _build/default/test; the sources live above _build *)
+  let candidates = [ "../.."; "../../.."; "." ] in
+  List.find_opt
+    (fun r -> Sys.file_exists (Filename.concat r "lint.allow"))
+    candidates
+
+(* The repo must lint clean under its checked-in allow-list — the same
+   invariant the CI job enforces via [bin/lint]. *)
 let test_repo_lints_clean () =
   let root =
-    (* tests run from _build/default/test; the sources live two up *)
-    let candidates = [ "../.."; "../../.."; "." ] in
-    match
-      List.find_opt
-        (fun r -> Sys.file_exists (Filename.concat r "lint.allow"))
-        candidates
-    with
-    | Some r -> r
-    | None -> Alcotest.skip ()
+    match find_repo_root () with Some r -> r | None -> Alcotest.skip ()
   in
   match Lint.load_allow (Filename.concat root "lint.allow") with
   | Error e -> Alcotest.failf "lint.allow unreadable: %s" e
@@ -157,6 +376,32 @@ let test_repo_lints_clean () =
           Alcotest.failf "repo tree has %d lint violation(s); first: %s"
             (List.length vs)
             (Lint.to_string (List.hd vs)))
+
+(* And it must racecheck clean, with every allow entry earning its keep
+   (no stale entries).  Skipped when the cmt tree is absent or partial —
+   the CI racecheck job is the authoritative gate after a full build. *)
+let test_repo_racechecks_clean () =
+  let root =
+    match find_repo_root () with Some r -> r | None -> Alcotest.skip ()
+  in
+  if not (Racecheck.available ~root) then Alcotest.skip ();
+  match Lint.load_allow (Filename.concat root "lint.allow") with
+  | Error e -> Alcotest.failf "lint.allow unreadable: %s" e
+  | Ok allow ->
+      let lint_vs = Lint.run ~allow ~root [ "lib" ] in
+      let rc_vs = Racecheck.run ~allow ~root [ "lib" ] in
+      if
+        List.exists
+          (fun v -> v.Lint.v_rule = "racecheck-unavailable")
+          rc_vs
+      then Alcotest.skip ();
+      match Lint.sort_violations (lint_vs @ rc_vs @ Lint.stale allow) with
+      | [] -> ()
+      | vs ->
+          Alcotest.failf
+            "repo tree has %d lint+racecheck violation(s); first: %s"
+            (List.length vs)
+            (Lint.to_string (List.hd vs))
 
 (* ---- heapcheck: soundness -------------------------------------------- *)
 
@@ -295,11 +540,33 @@ let () =
           Alcotest.test_case "obj-magic" `Quick test_obj_magic;
           Alcotest.test_case "unsafe + SAFETY placement" `Quick test_unsafe;
           Alcotest.test_case "catch-all" `Quick test_catch_all;
-          Alcotest.test_case "mutable-field" `Quick test_mutable_field;
           Alcotest.test_case "parse failure" `Quick test_parse_failure;
           Alcotest.test_case "allow-list parsing" `Quick test_allow_parsing;
+          Alcotest.test_case "stale allow entries" `Quick test_stale_allow;
           Alcotest.test_case "violation format" `Quick test_to_string;
-          Alcotest.test_case "repo tree lints clean" `Quick test_repo_lints_clean;
+          Alcotest.test_case "json output" `Quick test_json;
+        ] );
+      ( "racecheck",
+        [
+          Alcotest.test_case "guarded: declaration completeness" `Quick
+            test_rc_declaration;
+          Alcotest.test_case "guarded: lock regions + racy-read" `Quick
+            test_rc_guarded_access;
+          Alcotest.test_case "guarded: requires_lock + lock_wrapper" `Quick
+            test_rc_requires_wrapper;
+          Alcotest.test_case "escape: spawn-captured state" `Quick
+            test_rc_escape;
+          Alcotest.test_case "blocking: under nonblocking locks" `Quick
+            test_rc_blocking;
+          Alcotest.test_case "order: undeclared edge" `Quick test_rc_order_edge;
+          Alcotest.test_case "order: cycle detection" `Quick
+            test_rc_order_cycle;
+        ] );
+      ( "repo",
+        [
+          Alcotest.test_case "tree lints clean" `Quick test_repo_lints_clean;
+          Alcotest.test_case "tree racechecks clean (no stale allows)" `Quick
+            test_repo_racechecks_clean;
         ] );
       ( "heapcheck",
         [
